@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"minshare/internal/core"
+	"minshare/internal/costmodel"
+	"minshare/internal/docshare"
+	"minshare/internal/medical"
+	"minshare/internal/reldb"
+	"minshare/internal/transport"
+)
+
+// runE3 reproduces the Section 6.2.1 selective-document-sharing
+// estimate, three ways: the paper's constants, the host-calibrated
+// constants, and an actual scaled-down protocol run extrapolated to the
+// paper's workload.
+func runE3(env *environment) error {
+	const (
+		paperDR, paperDS = 10, 100
+		paperWordsR      = 1000
+		paperWordsS      = 1000
+		t1               = 1.544e6
+	)
+	k := env.group.Bits()
+
+	paperEst := costmodel.DocShareEstimate(paperDR, paperDS, paperWordsR, paperWordsS,
+		costmodel.PaperK, costmodel.PaperCosts, costmodel.PaperParallelism, t1)
+	hostEst := costmodel.DocShareEstimate(paperDR, paperDS, paperWordsR, paperWordsS,
+		k, env.costs, costmodel.PaperParallelism, t1)
+
+	fmt.Printf("paper workload: |D_R|=%d |D_S|=%d |d|=%d words, k=%d, P=%d, T1 line\n",
+		paperDR, paperDS, paperWordsR, costmodel.PaperK, costmodel.PaperParallelism)
+	fmt.Printf("%-28s %14s %12s %14s %12s\n", "", "exponentiations", "comp time", "bits", "comm time")
+	fmt.Printf("%-28s %14s %12s %14s %12s   (paper prints ≈2h / ≈35min)\n", "paper constants (2001 P-III)",
+		costmodel.FormatApprox(paperEst.Exponentiations), roundD(paperEst.CompTime),
+		costmodel.FormatApprox(paperEst.Bits), roundD(paperEst.CommTime))
+	fmt.Printf("%-28s %14s %12s %14s %12s\n", "host-calibrated constants",
+		costmodel.FormatApprox(hostEst.Exponentiations), roundD(hostEst.CompTime),
+		costmodel.FormatApprox(hostEst.Bits), roundD(hostEst.CommTime))
+
+	// Measured scaled-down run.
+	nDR, nDS, words := 2, 4, 30
+	if env.quick {
+		nDR, nDS, words = 2, 2, 12
+	}
+	// Both corpora embed the same "shared-word-*" third, so every (r,s)
+	// pair overlaps in words/3 terms and clears the 0.1 threshold.
+	docsR := genDocs("r", nDR, words, words/3)
+	docsS := genDocs("s", nDS, words, words/3)
+
+	cfg := core.Config{Group: env.group, Parallelism: env.usePar}
+	ctx := context.Background()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	meter := transport.NewMeter(connR)
+
+	start := time.Now()
+	ch := make(chan error, 1)
+	go func() {
+		ch <- docshare.MatchSender(ctx, cfg, connS, docsS)
+	}()
+	matches, err := docshare.MatchReceiver(ctx, cfg, meter, docsR, docshare.DiceLike, 0.1)
+	if err != nil {
+		return err
+	}
+	if err := <-ch; err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	pairs := nDR * nDS
+	paperPairs := paperDR * paperDS
+	scale := float64(paperPairs) / float64(pairs) *
+		float64(paperWordsR+paperWordsS) / float64(2*words)
+	fmt.Printf("measured (scaled %dx%d docs, %d words): %v wall, %d wire bytes, %d matches\n",
+		nDR, nDS, words, wall.Round(time.Millisecond), meter.TotalBytes(), len(matches))
+	fmt.Printf("extrapolated to paper workload: comp ≈ %v, traffic ≈ %s bits\n",
+		roundD(time.Duration(float64(wall)*scale)),
+		costmodel.FormatApprox(float64(meter.TotalBytes()*8)*scale))
+	return nil
+}
+
+func genDocs(prefix string, n, words, shared int) []docshare.Document {
+	docs := make([]docshare.Document, n)
+	for d := range docs {
+		ws := make([]string, words)
+		for w := range ws {
+			if w < shared {
+				ws[w] = fmt.Sprintf("shared-word-%d", w)
+			} else {
+				ws[w] = fmt.Sprintf("%s-doc%d-word-%d", prefix, d, w)
+			}
+		}
+		docs[d] = docshare.Document{ID: fmt.Sprintf("%s-%d", prefix, d), Words: ws}
+	}
+	return docs
+}
+
+// runE4 reproduces the Section 6.2.2 medical-research estimate the same
+// three ways.
+func runE4(env *environment) error {
+	const t1 = 1.544e6
+	k := env.group.Bits()
+
+	paperEst := costmodel.MedicalEstimate(1_000_000, 1_000_000,
+		costmodel.PaperK, costmodel.PaperCosts, costmodel.PaperParallelism, t1)
+	hostEst := costmodel.MedicalEstimate(1_000_000, 1_000_000,
+		k, env.costs, costmodel.PaperParallelism, t1)
+
+	fmt.Printf("paper workload: |V_R|=|V_S|=10^6, k=%d, P=%d, T1 line\n",
+		costmodel.PaperK, costmodel.PaperParallelism)
+	fmt.Printf("%-28s %14s %12s %14s %12s\n", "", "exponentiations", "comp time", "bits", "comm time")
+	fmt.Printf("%-28s %14s %12s %14s %12s   (paper prints ≈4h / ≈1.5h)\n", "paper constants (2001 P-III)",
+		costmodel.FormatApprox(paperEst.Exponentiations), roundD(paperEst.CompTime),
+		costmodel.FormatApprox(paperEst.Bits), roundD(paperEst.CommTime))
+	fmt.Printf("%-28s %14s %12s %14s %12s\n", "host-calibrated constants",
+		costmodel.FormatApprox(hostEst.Exponentiations), roundD(hostEst.CompTime),
+		costmodel.FormatApprox(hostEst.Bits), roundD(hostEst.CommTime))
+
+	// Measured scaled-down study.
+	n := 120
+	if env.quick {
+		n = 40
+	}
+	tR, tS := reldb.GenPeopleTables(n, 0.4, 0.6, 0.3, 11)
+	cfg := core.Config{Group: env.group, Parallelism: env.usePar}
+	start := time.Now()
+	counts, err := medical.RunStudy(context.Background(), cfg, cfg, cfg, tR, tS)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	want, err := medical.PlaintextCounts(tR, tS)
+	if err != nil {
+		return err
+	}
+	ok := *counts == *want
+	fmt.Printf("measured (scaled n=%d study): %v wall, counts %+v, matches plaintext: %v\n",
+		n, wall.Round(time.Millisecond), *counts, ok)
+	scale := 2_000_000.0 / float64(2*n)
+	fmt.Printf("extrapolated to paper workload: comp ≈ %v (single-threaded host)\n",
+		roundD(time.Duration(float64(wall)*scale)))
+	if !ok {
+		return fmt.Errorf("private counts %+v != plaintext %+v", *counts, *want)
+	}
+	return nil
+}
+
+func roundD(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

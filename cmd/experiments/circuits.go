@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+
+	"minshare/internal/circuit"
+	"minshare/internal/costmodel"
+)
+
+// runE5 reproduces the Appendix A.1.2 table of circuit sizes, and
+// cross-checks the model against real gate counts from the circuit
+// builder at feasible sizes.
+func runE5(env *environment) error {
+	fmt.Println("partitioning circuit (w=32), model f(n) = (m²/(m−1)·G_l + G_e)(n^log_m(2m−1) − 1):")
+	fmt.Printf("%-12s %4s %-12s %-12s   paper: (m, f(n))\n", "n", "m", "f(n)", "brute force")
+	paper := map[float64]string{
+		1e4: "(11, 2.3×10^8)",
+		1e6: "(19, 7.3×10^10)",
+		1e8: "(32, 1.9×10^13)",
+	}
+	for _, row := range costmodel.PartitionTable(costmodel.PaperW, 1e4, 1e6, 1e8) {
+		fmt.Printf("%-12s %4d %-12s %-12s   %s\n",
+			costmodel.FormatApprox(row.N), row.OptimalM,
+			costmodel.FormatApprox(row.Partition),
+			costmodel.FormatApprox(row.BruteForce),
+			paper[row.N])
+	}
+
+	fmt.Println("\nbrute-force circuit, model n²·G_e vs real builder gate count:")
+	fmt.Printf("%6s %6s %3s %12s %12s\n", "nS", "nR", "w", "model", "built")
+	for _, n := range []int{4, 8, 16} {
+		c := circuit.BruteForceIntersection(8, n, n)
+		model := costmodel.BruteForceGates(float64(n), 8)
+		fmt.Printf("%6d %6d %3d %12.0f %12d\n", n, n, 8, model, c.NumGates())
+	}
+	fmt.Println("(builder count slightly above the model: the model is the paper's lower bound n²·G_e)")
+
+	// The appendix's key structural claim — circuits over ORDERED arrays
+	// beat brute force — checked with REAL gates: the repository's
+	// bitonic-merge intersection-size circuit vs the all-pairs circuit.
+	fmt.Println("\nordered-input (sort-based) circuit vs brute force, REAL gate counts (w=16):")
+	fmt.Printf("%6s %14s %14s %8s\n", "n", "sorted gates", "brute gates", "ratio")
+	for _, n := range []int{8, 32, 128, 512} {
+		sorted := circuit.SortedIntersectionSize(16, n, n).NumGates()
+		brute := circuit.BruteForceIntersection(16, n, n).NumGates()
+		fmt.Printf("%6d %14d %14d %7.2fx\n", n, sorted, brute, float64(brute)/float64(sorted))
+	}
+	fmt.Println("(Θ(n·log²n·w) vs Θ(n²·w): the gap the appendix derives for its partitioning circuit)")
+	return nil
+}
+
+// runE6 reproduces the Appendix A.2 computation comparison table.
+func runE6(env *environment) error {
+	fmt.Println("computation (paper table: circuit input OT / circuit evaluation / our protocol):")
+	fmt.Printf("%-10s %16s %16s %14s\n", "n", "input (OT)", "evaluation", "ours")
+	paperRows := map[float64][3]string{
+		1e4: {"5×10^4 Ce", "4.7×10^8 Cr", "4×10^4 Ce"},
+		1e6: {"5×10^6 Ce", "1.5×10^11 Cr", "4×10^6 Ce"},
+		1e8: {"5×10^8 Ce", "3.8×10^13 Cr", "4×10^8 Ce"},
+	}
+	rows := costmodel.ComparisonTable(costmodel.PaperW, 8, costmodel.PaperK0, costmodel.PaperK1, costmodel.PaperK, 1e4, 1e6, 1e8)
+	for _, r := range rows {
+		fmt.Printf("%-10s %13s Ce %13s Cr %11s Ce   paper: %v\n",
+			costmodel.FormatApprox(r.N),
+			costmodel.FormatApprox(r.CircuitInputCe),
+			costmodel.FormatApprox(r.CircuitEvalCr),
+			costmodel.FormatApprox(r.OursCe),
+			paperRows[r.N])
+	}
+	fmt.Printf("\nOT constants: optimal l = %d, C_ot = %.3f·Ce (paper: l=8, 0.157·Ce)\n",
+		costmodel.OptimalOTBatch(), costmodel.OTComputeFactor(costmodel.OptimalOTBatch()))
+	fmt.Printf("host ratio Cr/Ce = %.2e: with Cr > Ce/10000 our protocol is substantially faster (paper's criterion)\n",
+		float64(env.costs.Cr)/float64(env.costs.Ce))
+	return nil
+}
+
+// runE7 reproduces the Appendix A.2 communication comparison table and
+// the headline 144-days-vs-half-an-hour claim.
+func runE7(env *environment) error {
+	fmt.Println("communication in bits (paper table: OT input / circuit tables / ours):")
+	fmt.Printf("%-10s %14s %14s %12s\n", "n", "input (OT)", "tables", "ours")
+	paperRows := map[float64][3]string{
+		1e4: {"10^9", "6.0×10^10", "3×10^7"},
+		1e6: {"10^11", "1.8×10^13", "3×10^9"},
+		1e8: {"10^13", "4.9×10^15", "3×10^11"},
+	}
+	rows := costmodel.ComparisonTable(costmodel.PaperW, 8, costmodel.PaperK0, costmodel.PaperK1, costmodel.PaperK, 1e4, 1e6, 1e8)
+	for _, r := range rows {
+		fmt.Printf("%-10s %14s %14s %12s   paper: %v\n",
+			costmodel.FormatApprox(r.N),
+			costmodel.FormatApprox(r.CircuitInputBits),
+			costmodel.FormatApprox(r.CircuitTableBits),
+			costmodel.FormatApprox(r.OursBits),
+			paperRows[r.N])
+	}
+
+	// The headline claim at n = 10^6 over a T1 line.
+	const t1 = 1.544e6
+	r := rows[1]
+	circuitDays := (r.CircuitInputBits + r.CircuitTableBits) / t1 / 86400
+	oursHours := r.OursBits / t1 / 3600
+	fmt.Printf("\nn = 10^6 on a T1 line: circuit ≈ %.0f days vs ours ≈ %.1f hours (paper: \"144 days ... versus 0.5 hours\")\n",
+		circuitDays, oursHours)
+	fmt.Printf("ratio ≈ %.0f× (paper: \"1000 to 10,000 times as much communication\")\n",
+		(r.CircuitInputBits+r.CircuitTableBits)/r.OursBits)
+	return nil
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"minshare/internal/commutative"
+	"minshare/internal/core"
+	"minshare/internal/costmodel"
+	"minshare/internal/transport"
+)
+
+func sweepSizes(quick bool) []int {
+	if quick {
+		return []int{16, 32, 64}
+	}
+	return []int{32, 64, 128, 256}
+}
+
+// runE1 verifies the Section 6.1 computation formulas against
+// instrumented protocol runs: the C_e census must match EXACTLY.
+func runE1(env *environment) error {
+	fmt.Println("protocol      |V_S|  |V_R|  Ce(formula)  Ce(measured)  match  wall")
+	for _, n := range sweepSizes(env.quick) {
+		nS, nR, shared := n, n, n/3
+		vR, vS := overlapping(nR, nS, shared)
+
+		// Intersection.
+		countR := commutative.NewCounting(commutative.NewPowerFn(env.group))
+		countS := commutative.NewCounting(commutative.NewPowerFn(env.group))
+		cfgR := core.Config{Group: env.group, Scheme: countR, Parallelism: env.usePar}
+		cfgS := core.Config{Group: env.group, Scheme: countS, Parallelism: env.usePar}
+
+		start := time.Now()
+		err := runProtocolPair(
+			func(ctx context.Context, conn transport.Conn) error {
+				_, err := core.IntersectionReceiver(ctx, cfgR, conn, vR)
+				return err
+			},
+			func(ctx context.Context, conn transport.Conn) error {
+				_, err := core.IntersectionSender(ctx, cfgS, conn, vS)
+				return err
+			})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		formula := costmodel.IntersectionOps(nS, nR).Ce
+		measured := countR.Ops() + countS.Ops()
+		fmt.Printf("intersection  %5d  %5d  %11d  %12d  %5v  %v\n",
+			nS, nR, formula, measured, formula == measured, wall.Round(time.Millisecond))
+
+		// Equijoin.
+		countR.Reset()
+		countS.Reset()
+		recs := make([]core.JoinRecord, len(vS))
+		for i, v := range vS {
+			recs[i] = core.JoinRecord{Value: v, Ext: []byte("ext")}
+		}
+		start = time.Now()
+		err = runProtocolPair(
+			func(ctx context.Context, conn transport.Conn) error {
+				_, err := core.EquijoinReceiver(ctx, cfgR, conn, vR)
+				return err
+			},
+			func(ctx context.Context, conn transport.Conn) error {
+				_, err := core.EquijoinSender(ctx, cfgS, conn, recs)
+				return err
+			})
+		if err != nil {
+			return err
+		}
+		wall = time.Since(start)
+		formula = costmodel.JoinOps(nS, nR, shared).Ce
+		measured = countR.Ops() + countS.Ops()
+		fmt.Printf("equijoin      %5d  %5d  %11d  %12d  %5v  %v\n",
+			nS, nR, formula, measured, formula == measured, wall.Round(time.Millisecond))
+	}
+	fmt.Println("paper formulas: intersection ≈ 2Ce(|V_S|+|V_R|), join ≈ 2Ce|V_S|+5Ce|V_R|")
+	return nil
+}
+
+// runE2 verifies the Section 6.1 communication formulas against metered
+// wire traffic (element payloads; fixed framing overhead reported
+// separately).
+func runE2(env *environment) error {
+	k := env.group.Bits()
+	elem := int64(env.group.ElementLen())
+	const headerLen = 1 + 1 + 4 + 32 + 8
+	const vecOverhead = 1 + 4
+
+	fmt.Printf("k = %d bits per codeword\n", k)
+	fmt.Println("protocol      |V_S|  |V_R|  bits(formula)  bits(measured)  match")
+	for _, n := range sweepSizes(env.quick) {
+		nS, nR, shared := n+n/2, n, n/4
+		vR, vS := overlapping(nR, nS, shared)
+		cfg := core.Config{Group: env.group, Parallelism: env.usePar}
+
+		// Intersection.
+		meter, err := runMeteredReceiver(
+			func(ctx context.Context, conn transport.Conn) error {
+				_, err := core.IntersectionReceiver(ctx, cfg, conn, vR)
+				return err
+			},
+			func(ctx context.Context, conn transport.Conn) error {
+				_, err := core.IntersectionSender(ctx, cfg, conn, vS)
+				return err
+			})
+		if err != nil {
+			return err
+		}
+		formulaBits := int64(costmodel.IntersectionCommBits(nS, nR, k))
+		measuredBits := (meter.TotalBytes() - 2*headerLen - 3*vecOverhead) * 8
+		fmt.Printf("intersection  %5d  %5d  %13d  %14d  %5v\n",
+			nS, nR, formulaBits, measuredBits, formulaBits == measuredBits)
+
+		// Equijoin with fixed 32-byte ext payloads.
+		recs := make([]core.JoinRecord, len(vS))
+		for i, v := range vS {
+			ext := make([]byte, 32)
+			copy(ext, v)
+			recs[i] = core.JoinRecord{Value: v, Ext: ext}
+		}
+		cfgN := cfg
+		kPrime := 8 * (32 + 16) // hybrid cipher: payload + tag
+		meter, err = runMeteredReceiver(
+			func(ctx context.Context, conn transport.Conn) error {
+				_, err := core.EquijoinReceiver(ctx, cfgN, conn, vR)
+				return err
+			},
+			func(ctx context.Context, conn transport.Conn) error {
+				_, err := core.EquijoinSender(ctx, cfgN, conn, recs)
+				return err
+			})
+		if err != nil {
+			return err
+		}
+		formulaBits = int64(costmodel.JoinCommBits(nS, nR, k, kPrime))
+		measuredBits = (meter.TotalBytes() - 2*headerLen - 3*vecOverhead - int64(nS)*4) * 8
+		fmt.Printf("equijoin      %5d  %5d  %13d  %14d  %5v\n",
+			nS, nR, formulaBits, measuredBits, formulaBits == measuredBits)
+		_ = elem
+	}
+	fmt.Println("paper formulas: intersection (|V_S|+2|V_R|)k bits, join (|V_S|+3|V_R|)k + |V_S|k' bits")
+	return nil
+}
+
+// runProtocolPair executes both ends of a protocol over a pipe.
+func runProtocolPair(recvFn, sendFn func(ctx context.Context, conn transport.Conn) error) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	ch := make(chan error, 1)
+	go func() {
+		err := sendFn(ctx, connS)
+		if err != nil {
+			connS.Close()
+		}
+		ch <- err
+	}()
+	if err := recvFn(ctx, connR); err != nil {
+		connR.Close()
+		<-ch
+		return fmt.Errorf("receiver: %w", err)
+	}
+	if err := <-ch; err != nil {
+		return fmt.Errorf("sender: %w", err)
+	}
+	return nil
+}
+
+// runMeteredReceiver is runProtocolPair with a meter on the receiver end.
+func runMeteredReceiver(recvFn, sendFn func(ctx context.Context, conn transport.Conn) error) (*transport.Meter, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	meter := transport.NewMeter(connR)
+	ch := make(chan error, 1)
+	go func() {
+		err := sendFn(ctx, connS)
+		if err != nil {
+			connS.Close()
+		}
+		ch <- err
+	}()
+	if err := recvFn(ctx, meter); err != nil {
+		connR.Close()
+		<-ch
+		return nil, fmt.Errorf("receiver: %w", err)
+	}
+	if err := <-ch; err != nil {
+		return nil, fmt.Errorf("sender: %w", err)
+	}
+	return meter, nil
+}

@@ -1,0 +1,126 @@
+// Command experiments regenerates every quantitative table and figure of
+// the paper (see DESIGN.md's experiment index E1-E10):
+//
+//	E1  §6.1   computation formulas vs instrumented operation counts
+//	E2  §6.1   communication formulas vs metered wire bytes
+//	E3  §6.2.1 selective document sharing estimate (paper, host, measured)
+//	E4  §6.2.2 medical research estimate (paper, host, measured)
+//	E5  A.1.2  partitioning-circuit size table
+//	E6  A.2    computation comparison table (circuit vs ours)
+//	E7  A.2    communication comparison table + the 144-days-vs-0.5-hours claim
+//	E8  §3.2.2 hash collision probability
+//	E9  ext.   real garbled-circuit PSI vs our protocol, measured at small n
+//	E10 §5.2   equijoin-size leakage characterization
+//
+// Usage:
+//
+//	experiments -exp all            # everything
+//	experiments -exp E5,E7          # a subset
+//	experiments -exp E1 -quick      # smaller measured sweeps
+//	experiments -group 256          # small group for fast smoke runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minshare/internal/costmodel"
+	"minshare/internal/group"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(env *environment) error
+}
+
+type environment struct {
+	group   *group.Group
+	quick   bool
+	costs   costmodel.Costs // host-calibrated
+	usePar  int             // parallelism for measured runs
+	verbose bool
+}
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (E1..E10) or 'all'")
+		groupBits = flag.Int("group", 1024, "builtin group size for measured runs")
+		quick     = flag.Bool("quick", false, "smaller measured sweeps")
+		par       = flag.Int("p", 0, "parallelism for measured runs (0 = all cores)")
+	)
+	flag.Parse()
+
+	g, err := group.Builtin(group.Size(*groupBits))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	experiments := []experiment{
+		{"E1", "§6.1 computation formulas vs measured operation counts", runE1},
+		{"E2", "§6.1 communication formulas vs metered bytes", runE2},
+		{"E3", "§6.2.1 selective document sharing", runE3},
+		{"E4", "§6.2.2 medical research", runE4},
+		{"E5", "Appendix A.1.2 partitioning-circuit sizes", runE5},
+		{"E6", "Appendix A.2 computation comparison", runE6},
+		{"E7", "Appendix A.2 communication comparison", runE7},
+		{"E8", "§3.2.2 hash collision probability", runE8},
+		{"E9", "garbled-circuit PSI vs our protocol (measured)", runE9},
+		{"E10", "§5.2 equijoin-size leakage", runE10},
+	}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range experiments {
+			want[e.id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	fmt.Printf("# minshare experiment harness\n")
+	fmt.Printf("# group: %s   quick: %v\n", g, *quick)
+	fmt.Printf("# calibrating host cost constants...\n")
+	costs := costmodel.Calibrate(g)
+	fmt.Printf("# host:  %s\n", costs)
+	fmt.Printf("# paper: %s (Pentium III, 2001)\n\n", costmodel.PaperCosts)
+
+	env := &environment{group: g, quick: *quick, costs: costs, usePar: *par}
+	failed := false
+	for _, e := range experiments {
+		if !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		if err := e.run(env); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.id, err)
+			failed = true
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// values builds n distinct protocol values with a prefix.
+func values(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s%08d", prefix, i))
+	}
+	return out
+}
+
+// overlapping builds two sets sharing exactly `shared` values.
+func overlapping(nR, nS, shared int) (vR, vS [][]byte) {
+	common := values("common-", shared)
+	vR = append(append([][]byte{}, common...), values("r-only-", nR-shared)...)
+	vS = append(append([][]byte{}, common...), values("s-only-", nS-shared)...)
+	return
+}

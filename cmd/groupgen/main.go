@@ -1,0 +1,37 @@
+// Command groupgen generates a fresh safe-prime group for the
+// commutative-encryption protocols and prints its modulus as hex.
+//
+//	groupgen -bits 1024
+//
+// Safe primes are rare; large sizes take minutes on one core.  The
+// builtin groups (group.Builtin) cover common sizes without waiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"minshare/internal/group"
+)
+
+func main() {
+	bits := flag.Int("bits", 1024, "modulus size in bits")
+	timeout := flag.Duration("timeout", time.Hour, "give up after this long")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	start := time.Now()
+	g, err := group.Generate(ctx, *bits, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "groupgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "groupgen: %d-bit safe prime found in %s\n",
+		g.Bits(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%x\n", g.P())
+}

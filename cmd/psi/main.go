@@ -1,0 +1,260 @@
+// Command psi runs one of the paper's protocols between two machines
+// over TCP.
+//
+// One side listens, the other connects; the receiver learns the result.
+//
+//	# on the sender's machine (holds the private set server-side):
+//	psi -role sender -proto intersection -listen :9000 -values s.txt
+//
+//	# on the receiver's machine:
+//	psi -role receiver -proto intersection -connect host:9000 -values r.txt
+//
+// Value files contain one value per line.  For the equijoin the sender's
+// file uses TAB-separated "value<TAB>ext" lines; the receiver gets each
+// matching value's ext printed alongside it.  -proto is one of
+// intersection, join, intersection-size, join-size.  -group selects the
+// builtin safe-prime modulus size (default 1024, the paper's).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "psi:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role      = flag.String("role", "", "party role: sender | receiver")
+		proto     = flag.String("proto", "intersection", "protocol: intersection | join | intersection-size | join-size")
+		listen    = flag.String("listen", "", "listen address (e.g. :9000)")
+		connect   = flag.String("connect", "", "peer address to connect to")
+		valueFile = flag.String("values", "", "path to the value file (one value per line; sender join files use value<TAB>ext)")
+		groupBits = flag.Int("group", 1024, "builtin safe-prime group size in bits")
+		par       = flag.Int("p", 0, "encryption parallelism (0 = all cores)")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "overall protocol deadline")
+	)
+	flag.Parse()
+
+	if *role != "sender" && *role != "receiver" {
+		return fmt.Errorf("-role must be sender or receiver")
+	}
+	if (*listen == "") == (*connect == "") {
+		return fmt.Errorf("exactly one of -listen and -connect is required")
+	}
+	if *valueFile == "" {
+		return fmt.Errorf("-values is required")
+	}
+
+	g, err := group.Builtin(group.Size(*groupBits))
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Group: g, Parallelism: *par}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	conn, err := establish(ctx, *listen, *connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	switch *proto {
+	case "intersection":
+		return runIntersection(ctx, cfg, conn, *role, *valueFile)
+	case "join":
+		return runJoin(ctx, cfg, conn, *role, *valueFile)
+	case "intersection-size":
+		return runIntersectionSize(ctx, cfg, conn, *role, *valueFile)
+	case "join-size":
+		return runJoinSize(ctx, cfg, conn, *role, *valueFile)
+	default:
+		return fmt.Errorf("unknown -proto %q", *proto)
+	}
+}
+
+func establish(ctx context.Context, listen, connect string) (transport.Conn, error) {
+	if connect != "" {
+		return transport.Dial(ctx, "tcp", connect)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	fmt.Fprintf(os.Stderr, "psi: listening on %s\n", ln.Addr())
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return transport.NewTCP(r.c), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func readValues(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		out = append(out, []byte(line))
+	}
+	return out, sc.Err()
+}
+
+func readJoinRecords(path string) ([]core.JoinRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []core.JoinRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		value, ext, _ := strings.Cut(line, "\t")
+		out = append(out, core.JoinRecord{Value: []byte(value), Ext: []byte(ext)})
+	}
+	return out, sc.Err()
+}
+
+func runIntersection(ctx context.Context, cfg core.Config, conn transport.Conn, role, path string) error {
+	values, err := readValues(path)
+	if err != nil {
+		return err
+	}
+	if role == "sender" {
+		info, err := core.IntersectionSender(ctx, cfg, conn, values)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("peer set size: %d\n", info.ReceiverSetSize)
+		return nil
+	}
+	res, err := core.IntersectionReceiver(ctx, cfg, conn, values)
+	if err != nil {
+		return err
+	}
+	lines := make([]string, len(res.Values))
+	for i, v := range res.Values {
+		lines[i] = string(v)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	fmt.Fprintf(os.Stderr, "psi: |intersection| = %d, |V_S| = %d\n", len(res.Values), res.SenderSetSize)
+	return nil
+}
+
+func runJoin(ctx context.Context, cfg core.Config, conn transport.Conn, role, path string) error {
+	if role == "sender" {
+		recs, err := readJoinRecords(path)
+		if err != nil {
+			return err
+		}
+		info, err := core.EquijoinSender(ctx, cfg, conn, recs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("peer set size: %d\n", info.ReceiverSetSize)
+		return nil
+	}
+	values, err := readValues(path)
+	if err != nil {
+		return err
+	}
+	res, err := core.EquijoinReceiver(ctx, cfg, conn, values)
+	if err != nil {
+		return err
+	}
+	for _, m := range res.Matches {
+		fmt.Printf("%s\t%s\n", m.Value, m.Ext)
+	}
+	fmt.Fprintf(os.Stderr, "psi: %d joined values, |V_S| = %d\n", len(res.Matches), res.SenderSetSize)
+	return nil
+}
+
+func runIntersectionSize(ctx context.Context, cfg core.Config, conn transport.Conn, role, path string) error {
+	values, err := readValues(path)
+	if err != nil {
+		return err
+	}
+	if role == "sender" {
+		info, err := core.IntersectionSizeSender(ctx, cfg, conn, values)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("peer set size: %d\n", info.ReceiverSetSize)
+		return nil
+	}
+	res, err := core.IntersectionSizeReceiver(ctx, cfg, conn, values)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("|intersection| = %d (|V_S| = %d)\n", res.IntersectionSize, res.SenderSetSize)
+	return nil
+}
+
+func runJoinSize(ctx context.Context, cfg core.Config, conn transport.Conn, role, path string) error {
+	values, err := readValues(path)
+	if err != nil {
+		return err
+	}
+	if role == "sender" {
+		info, err := core.EquijoinSizeSender(ctx, cfg, conn, values)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("peer multiset size: %d\n", info.ReceiverMultisetSize)
+		return nil
+	}
+	res, err := core.EquijoinSizeReceiver(ctx, cfg, conn, values)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("|join| = %d (|T_S.A| = %d)\n", res.JoinSize, res.SenderMultisetSize)
+	return nil
+}

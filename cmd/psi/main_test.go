@@ -1,0 +1,158 @@
+package main
+
+// End-to-end test of the CLI: build the binary once, then run real
+// sender and receiver processes against each other over localhost.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+var psiBinary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "psi-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	psiBinary = filepath.Join(dir, "psi")
+	build := exec.Command("go", "build", "-o", psiBinary, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "building psi:", err)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func writeLines(t *testing.T, lines ...string) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "values-*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(strings.Join(lines, "\n") + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return f.Name()
+}
+
+// freePort reserves a localhost port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func runPair(t *testing.T, proto, senderFile, receiverFile string) (senderOut, receiverOut string) {
+	t.Helper()
+	addr := freePort(t)
+
+	sender := exec.Command(psiBinary,
+		"-role", "sender", "-proto", proto, "-listen", addr,
+		"-values", senderFile, "-group", "256", "-timeout", "30s")
+	var sOut, sErrBuf strings.Builder
+	sender.Stdout = &sOut
+	sender.Stderr = &sErrBuf
+	if err := sender.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Process.Kill()
+
+	// The receiver retries its dial until the sender's listener is up.
+	var rOutBytes []byte
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		receiver := exec.Command(psiBinary,
+			"-role", "receiver", "-proto", proto, "-connect", addr,
+			"-values", receiverFile, "-group", "256", "-timeout", "30s")
+		out, err := receiver.CombinedOutput()
+		if err == nil {
+			rOutBytes = out
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("receiver never connected: %v\n%s", err, out)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err := sender.Wait(); err != nil {
+		t.Fatalf("sender: %v\nstdout: %s\nstderr: %s", err, sOut.String(), sErrBuf.String())
+	}
+	return sOut.String(), string(rOutBytes)
+}
+
+func TestCLIIntersection(t *testing.T) {
+	senderFile := writeLines(t, "apple", "banana", "cherry")
+	receiverFile := writeLines(t, "banana", "cherry", "durian")
+
+	sOut, rOut := runPair(t, "intersection", senderFile, receiverFile)
+
+	var got []string
+	for _, line := range strings.Split(rOut, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "psi:") {
+			continue
+		}
+		got = append(got, line)
+	}
+	sort.Strings(got)
+	want := []string{"banana", "cherry"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("receiver output %q, want %v", got, want)
+	}
+	if !strings.Contains(sOut, "peer set size: 3") {
+		t.Errorf("sender output %q lacks peer size", sOut)
+	}
+}
+
+func TestCLIIntersectionSize(t *testing.T) {
+	senderFile := writeLines(t, "a", "b", "c", "d")
+	receiverFile := writeLines(t, "c", "d", "e")
+	_, rOut := runPair(t, "intersection-size", senderFile, receiverFile)
+	if !strings.Contains(rOut, "|intersection| = 2") {
+		t.Errorf("receiver output %q", rOut)
+	}
+}
+
+func TestCLIJoin(t *testing.T) {
+	senderFile := writeLines(t, "ann\tbalance=10", "bob\tbalance=20", "eve\tbalance=99")
+	receiverFile := writeLines(t, "bob", "carol")
+	_, rOut := runPair(t, "join", senderFile, receiverFile)
+	if !strings.Contains(rOut, "bob\tbalance=20") {
+		t.Errorf("receiver output %q lacks joined record", rOut)
+	}
+	if strings.Contains(rOut, "eve") {
+		t.Errorf("receiver output leaked unjoined record: %q", rOut)
+	}
+}
+
+func TestCLIBadFlags(t *testing.T) {
+	out, err := exec.Command(psiBinary, "-role", "nonsense").CombinedOutput()
+	if err == nil {
+		t.Errorf("bad role accepted: %s", out)
+	}
+	out, err = exec.Command(psiBinary, "-role", "sender", "-listen", ":0").CombinedOutput()
+	if err == nil {
+		t.Errorf("missing -values accepted: %s", out)
+	}
+	out, err = exec.Command(psiBinary, "-role", "sender", "-listen", ":0", "-connect", "x", "-values", "f").CombinedOutput()
+	if err == nil {
+		t.Errorf("both -listen and -connect accepted: %s", out)
+	}
+}

@@ -1,0 +1,135 @@
+// Command psiserver runs a long-lived minimal-sharing endpoint for one
+// table attribute: the enterprise-side deployment of the paper's
+// protocols, with the Section 2.3 query-restriction defences enabled.
+//
+//	psiserver -listen :9000 -table data.csv -attr customer
+//
+// Remote receivers (cmd/psi with -connect, or party.Client) can then run
+// intersection, intersection-size, equijoin (ext(v) = the full rows
+// matching each attribute value) and equijoin-size sessions against it.
+//
+// The CSV header types columns as name:type (string|int|bool); see
+// internal/reldb.ReadCSV.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/leakage"
+	"minshare/internal/party"
+	"minshare/internal/reldb"
+	"minshare/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "psiserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen     = flag.String("listen", ":9000", "listen address")
+		tableFile  = flag.String("table", "", "CSV file with the table (typed header; see reldb.ReadCSV)")
+		attr       = flag.String("attr", "", "join attribute column")
+		groupBits  = flag.Int("group", 1024, "builtin safe-prime group size in bits")
+		protocols  = flag.String("protocols", "", "comma-separated allowed protocols (default: all); e.g. intersection-size,join-size")
+		maxPeerSet = flag.Int("max-peer-set", 1<<20, "reject sessions announcing a larger peer set")
+		minPeerSet = flag.Int("min-peer-set", 0, "reject sessions announcing a smaller peer set")
+		maxQueries = flag.Int("max-queries", 1000, "per-peer session budget (0 = unlimited)")
+	)
+	flag.Parse()
+	if *tableFile == "" || *attr == "" {
+		return fmt.Errorf("-table and -attr are required")
+	}
+
+	f, err := os.Open(*tableFile)
+	if err != nil {
+		return err
+	}
+	table, err := reldb.ReadCSV("table", f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	values, err := table.DistinctValues(*attr)
+	if err != nil {
+		return err
+	}
+	multiset, err := table.ColumnValues(*attr)
+	if err != nil {
+		return err
+	}
+	joinValues, exts, err := table.ExtPayloads(*attr)
+	if err != nil {
+		return err
+	}
+	records := make([]core.JoinRecord, len(joinValues))
+	for i := range joinValues {
+		records[i] = core.JoinRecord{Value: joinValues[i], Ext: exts[i]}
+	}
+
+	g, err := group.Builtin(group.Size(*groupBits))
+	if err != nil {
+		return err
+	}
+
+	policy := party.Policy{
+		MaxPeerSetSize:    *maxPeerSet,
+		MinPeerSetSize:    *minPeerSet,
+		MaxQueriesPerPeer: *maxQueries,
+	}
+	if *protocols != "" {
+		byName := map[string]wire.Protocol{
+			"intersection":      wire.ProtoIntersection,
+			"join":              wire.ProtoEquijoin,
+			"intersection-size": wire.ProtoIntersectionSize,
+			"join-size":         wire.ProtoEquijoinSize,
+		}
+		for _, name := range strings.Split(*protocols, ",") {
+			p, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return fmt.Errorf("unknown protocol %q", name)
+			}
+			policy.AllowedProtocols = append(policy.AllowedProtocols, p)
+		}
+	}
+
+	srv := &party.Server{
+		Config:   core.Config{Group: g},
+		Values:   values,
+		Records:  records,
+		Multiset: multiset,
+		Policy:   policy,
+		Auditor:  leakage.NewAuditor(leakage.AuditPolicy{MaxOverlapFraction: 1, MaxQueries: *maxQueries}),
+		Logf:     log.Printf,
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("psiserver: serving %d distinct %q values (%d rows) on %s",
+		len(values), *attr, table.NumRows(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = srv.Serve(ctx, ln)
+	if ctx.Err() != nil {
+		log.Printf("psiserver: shutting down")
+		return nil
+	}
+	return err
+}

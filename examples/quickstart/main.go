@@ -1,0 +1,46 @@
+// Quickstart: compute a private set intersection in-process.
+//
+// Two parties hold customer email lists; the receiver learns exactly the
+// shared customers and the sender's list size — nothing else — and the
+// sender learns only the receiver's list size.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"minshare"
+)
+
+func main() {
+	receiverList := [][]byte{
+		[]byte("ann@example.com"),
+		[]byte("bob@example.com"),
+		[]byte("carol@example.com"),
+		[]byte("dave@example.com"),
+	}
+	senderList := [][]byte{
+		[]byte("bob@example.com"),
+		[]byte("erin@example.com"),
+		[]byte("carol@example.com"),
+	}
+
+	// The zero Config selects the paper's parameters: a 1024-bit
+	// safe-prime group, Pohlig-Hellman commutative encryption and a
+	// SHA-256 random-oracle hash.
+	res, senderInfo, err := minshare.Intersect(context.Background(), minshare.Config{},
+		receiverList, senderList)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("shared customers (receiver's view):")
+	for _, v := range res.Values {
+		fmt.Printf("  %s\n", v)
+	}
+	fmt.Printf("receiver also learned: |V_S| = %d\n", res.SenderSetSize)
+	fmt.Printf("sender learned only:   |V_R| = %d\n", senderInfo.ReceiverSetSize)
+}

@@ -1,0 +1,3 @@
+module minshare
+
+go 1.22

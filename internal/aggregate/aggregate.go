@@ -1,0 +1,231 @@
+// Package aggregate implements private aggregation queries on top of the
+// core protocols — the paper's closing future-work item ("can we ...
+// discover corresponding protocols for other database operations such as
+// aggregations?", Section 7).
+//
+// Two constructions are provided:
+//
+//   - GroupByCounts generalizes the medical application (Figure 2) from
+//     one boolean attribute per side to arbitrarily many: R partitions
+//     its ids by k boolean columns, S by m boolean columns (optionally
+//     filtered), and a researcher T obtains the full 2^k × 2^m
+//     contingency table through 2^(k+m) third-party intersection-size
+//     runs — learning only the counts.
+//
+//   - JoinAggregate computes SUM/COUNT/AVG/MIN/MAX of a numeric column
+//     over the private equijoin's matches.  Disclosure here is exactly
+//     the equijoin's (R sees ext(v) for joined values and aggregates
+//     locally); it is a composition convenience, not a tighter protocol,
+//     and the doc comment says so — per the paper, a sum-only protocol
+//     with less disclosure remains open.
+package aggregate
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"minshare/internal/core"
+	"minshare/internal/reldb"
+	"minshare/internal/transport"
+)
+
+// Cell identifies one bucket of the generalized contingency table: the
+// boolean values of R's group-by columns followed by S's.
+type Cell struct {
+	R, S string // canonical bit strings, e.g. "10" for (true, false)
+}
+
+// CountsTable is the researcher's result: joined-and-filtered row counts
+// per cell.
+type CountsTable map[Cell]int
+
+// Total sums all cells.
+func (t CountsTable) Total() int {
+	n := 0
+	for _, c := range t {
+		n += c
+	}
+	return n
+}
+
+// Cells returns the cells in deterministic order.
+func (t CountsTable) Cells() []Cell {
+	out := make([]Cell, 0, len(t))
+	for c := range t {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].R != out[j].R {
+			return out[i].R < out[j].R
+		}
+		return out[i].S < out[j].S
+	})
+	return out
+}
+
+// StudySpec describes a generalized group-by-count study.
+type StudySpec struct {
+	// TableR with IDColR is enterprise R's table and join key; GroupByR
+	// lists its boolean group-by columns (the paper's "pattern").
+	TableR   *reldb.Table
+	IDColR   string
+	GroupByR []string
+	// TableS, IDColS, GroupByS mirror the S side (the paper's
+	// "reaction"); FilterS, when non-empty, names a boolean column that
+	// must be true for a row to participate (the paper's "drug = true").
+	TableS   *reldb.Table
+	IDColS   string
+	GroupByS []string
+	FilterS  string
+}
+
+// partitions splits a table's ids by the combination of boolean columns.
+func partitions(t *reldb.Table, idCol string, boolCols []string, filter string) (map[string][][]byte, error) {
+	idIdx, err := t.Schema().ColumnIndex(idCol)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := make([]int, len(boolCols))
+	for i, c := range boolCols {
+		colIdx[i], err = t.Schema().ColumnIndex(c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	filterIdx := -1
+	if filter != "" {
+		filterIdx, err = t.Schema().ColumnIndex(filter)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string][][]byte)
+	// Pre-create every combination so empty cells still appear.
+	for c := 0; c < 1<<len(boolCols); c++ {
+		out[bitKey(c, len(boolCols))] = nil
+	}
+	for _, row := range t.Rows() {
+		if filterIdx >= 0 && !row[filterIdx].AsBool() {
+			continue
+		}
+		key := make([]byte, len(boolCols))
+		for i, idx := range colIdx {
+			if row[idx].AsBool() {
+				key[i] = '1'
+			} else {
+				key[i] = '0'
+			}
+		}
+		out[string(key)] = append(out[string(key)], row[idIdx].Encode())
+	}
+	return out, nil
+}
+
+func bitKey(v, n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if v&(1<<i) != 0 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// GroupByCounts runs the generalized Figure 2 study: one third-party
+// intersection size per cell pair.  The number of protocol runs is
+// 2^|GroupByR| × 2^|GroupByS|, so each side may contribute at most 8
+// group-by columns.
+func GroupByCounts(ctx context.Context, cfgR, cfgS, cfgT core.Config, spec StudySpec) (CountsTable, error) {
+	if len(spec.GroupByR) > 8 || len(spec.GroupByS) > 8 {
+		return nil, fmt.Errorf("aggregate: at most 8 group-by columns per side")
+	}
+	partsR, err := partitions(spec.TableR, spec.IDColR, spec.GroupByR, "")
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: partitioning R: %w", err)
+	}
+	partsS, err := partitions(spec.TableS, spec.IDColS, spec.GroupByS, spec.FilterS)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: partitioning S: %w", err)
+	}
+
+	table := make(CountsTable, len(partsR)*len(partsS))
+	for rKey, rIDs := range partsR {
+		for sKey, sIDs := range partsS {
+			n, err := runThirdPartySize(ctx, cfgR, cfgS, cfgT, rIDs, sIDs)
+			if err != nil {
+				return nil, fmt.Errorf("aggregate: cell (%s,%s): %w", rKey, sKey, err)
+			}
+			table[Cell{R: rKey, S: sKey}] = n
+		}
+	}
+	return table, nil
+}
+
+// PlaintextGroupByCounts evaluates the same study directly, for
+// verification.
+func PlaintextGroupByCounts(spec StudySpec) (CountsTable, error) {
+	partsR, err := partitions(spec.TableR, spec.IDColR, spec.GroupByR, "")
+	if err != nil {
+		return nil, err
+	}
+	partsS, err := partitions(spec.TableS, spec.IDColS, spec.GroupByS, spec.FilterS)
+	if err != nil {
+		return nil, err
+	}
+	table := make(CountsTable, len(partsR)*len(partsS))
+	for rKey, rIDs := range partsR {
+		rSet := make(map[string]struct{}, len(rIDs))
+		for _, id := range rIDs {
+			rSet[string(id)] = struct{}{}
+		}
+		for sKey, sIDs := range partsS {
+			n := 0
+			seen := make(map[string]struct{}, len(sIDs))
+			for _, id := range sIDs {
+				if _, dup := seen[string(id)]; dup {
+					continue
+				}
+				seen[string(id)] = struct{}{}
+				if _, hit := rSet[string(id)]; hit {
+					n++
+				}
+			}
+			table[Cell{R: rKey, S: sKey}] = n
+		}
+	}
+	return table, nil
+}
+
+func runThirdPartySize(ctx context.Context, cfgA, cfgB, cfgT core.Config, vA, vB [][]byte) (int, error) {
+	abA, abB := transport.Pipe()
+	atA, atT := transport.Pipe()
+	btB, btT := transport.Pipe()
+	defer abA.Close()
+	defer atA.Close()
+	defer btB.Close()
+
+	errA := make(chan error, 1)
+	errB := make(chan error, 1)
+	go func() {
+		_, err := core.ThirdPartyPartyA(ctx, cfgA, abA, atA, vA)
+		errA <- err
+	}()
+	go func() {
+		_, err := core.ThirdPartyPartyB(ctx, cfgB, abB, btB, vB)
+		errB <- err
+	}()
+	res, err := core.ThirdPartyAnalyst(ctx, cfgT, atT, btT)
+	if err != nil {
+		return 0, err
+	}
+	if err := <-errA; err != nil {
+		return 0, err
+	}
+	if err := <-errB; err != nil {
+		return 0, err
+	}
+	return res.IntersectionSize, nil
+}

@@ -1,0 +1,219 @@
+package aggregate
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/reldb"
+	"minshare/internal/transport"
+)
+
+func testCfg(seed int64) core.Config {
+	return core.Config{Group: group.TestGroup(), Rand: rand.New(rand.NewSource(seed)), Parallelism: 1}
+}
+
+// buildStudy creates R and S tables with two boolean group-by columns on
+// R and one on S plus a filter, over a partially shared id space.
+func buildStudy(t *testing.T) StudySpec {
+	t.Helper()
+	tR := reldb.NewTable("R", reldb.MustSchema(
+		reldb.Column{Name: "id", Type: reldb.TypeInt},
+		reldb.Column{Name: "flagA", Type: reldb.TypeBool},
+		reldb.Column{Name: "flagB", Type: reldb.TypeBool},
+	))
+	tS := reldb.NewTable("S", reldb.MustSchema(
+		reldb.Column{Name: "id", Type: reldb.TypeInt},
+		reldb.Column{Name: "active", Type: reldb.TypeBool},
+		reldb.Column{Name: "outcome", Type: reldb.TypeBool},
+	))
+	rng := rand.New(rand.NewSource(9))
+	for id := 0; id < 60; id++ {
+		tR.MustInsert(reldb.Int(int64(id)), reldb.Bool(rng.Intn(2) == 0), reldb.Bool(rng.Intn(3) == 0))
+	}
+	for id := 30; id < 90; id++ { // ids 30-59 shared
+		tS.MustInsert(reldb.Int(int64(id)), reldb.Bool(rng.Intn(4) != 0), reldb.Bool(rng.Intn(2) == 0))
+	}
+	return StudySpec{
+		TableR: tR, IDColR: "id", GroupByR: []string{"flagA", "flagB"},
+		TableS: tS, IDColS: "id", GroupByS: []string{"outcome"}, FilterS: "active",
+	}
+}
+
+func TestGroupByCountsMatchesPlaintext(t *testing.T) {
+	spec := buildStudy(t)
+	want, err := PlaintextGroupByCounts(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GroupByCounts(context.Background(), testCfg(1), testCfg(2), testCfg(3), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4*2 { // 2^2 R cells × 2^1 S cells
+		t.Fatalf("cells = %d, want 8", len(got))
+	}
+	for _, cell := range got.Cells() {
+		if got[cell] != want[cell] {
+			t.Errorf("cell %+v: private %d, plaintext %d", cell, got[cell], want[cell])
+		}
+	}
+	if got.Total() != want.Total() {
+		t.Errorf("totals %d vs %d", got.Total(), want.Total())
+	}
+}
+
+func TestGroupByCountsMedicalEquivalence(t *testing.T) {
+	// With one bool per side and the drug filter, the generalized study
+	// must equal the dedicated medical implementation's plaintext.
+	tR, tS := reldb.GenPeopleTables(50, 0.4, 0.6, 0.3, 13)
+	spec := StudySpec{
+		TableR: tR, IDColR: "personid", GroupByR: []string{"pattern"},
+		TableS: tS, IDColS: "personid", GroupByS: []string{"reaction"}, FilterS: "drug",
+	}
+	got, err := GroupByCounts(context.Background(), testCfg(1), testCfg(2), testCfg(3), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PlaintextGroupByCounts(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range got.Cells() {
+		if got[cell] != want[cell] {
+			t.Errorf("cell %+v: %d vs %d", cell, got[cell], want[cell])
+		}
+	}
+	if got.Total() == 0 {
+		t.Error("empty study")
+	}
+}
+
+func TestGroupByCountsNoGroupColumns(t *testing.T) {
+	// Zero group-by columns per side degenerate to a single private
+	// intersection size.
+	spec := buildStudy(t)
+	spec.GroupByR = nil
+	spec.GroupByS = nil
+	got, err := GroupByCounts(context.Background(), testCfg(1), testCfg(2), testCfg(3), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("cells = %d, want 1", len(got))
+	}
+	want, _ := PlaintextGroupByCounts(spec)
+	cell := got.Cells()[0]
+	if got[cell] != want[cell] {
+		t.Errorf("count %d vs %d", got[cell], want[cell])
+	}
+}
+
+func TestGroupByCountsValidation(t *testing.T) {
+	spec := buildStudy(t)
+	spec.GroupByR = make([]string, 9)
+	if _, err := GroupByCounts(context.Background(), testCfg(1), testCfg(2), testCfg(3), spec); err == nil {
+		t.Error("9 group-by columns accepted")
+	}
+	spec = buildStudy(t)
+	spec.IDColR = "missing"
+	if _, err := GroupByCounts(context.Background(), testCfg(1), testCfg(2), testCfg(3), spec); err == nil {
+		t.Error("missing id column accepted")
+	}
+	spec = buildStudy(t)
+	spec.FilterS = "missing"
+	if _, err := GroupByCounts(context.Background(), testCfg(1), testCfg(2), testCfg(3), spec); err == nil {
+		t.Error("missing filter column accepted")
+	}
+}
+
+func TestJoinAggregate(t *testing.T) {
+	orders := reldb.NewTable("orders", reldb.MustSchema(
+		reldb.Column{Name: "cust", Type: reldb.TypeString},
+		reldb.Column{Name: "amount", Type: reldb.TypeInt},
+	))
+	orders.MustInsert(reldb.String("ann"), reldb.Int(10))
+	orders.MustInsert(reldb.String("ann"), reldb.Int(30))
+	orders.MustInsert(reldb.String("bob"), reldb.Int(5))
+	orders.MustInsert(reldb.String("eve"), reldb.Int(1000)) // not shared
+
+	values, exts, err := orders.ExtPayloads("cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]core.JoinRecord, len(values))
+	for i := range values {
+		recs[i] = core.JoinRecord{Value: values[i], Ext: exts[i]}
+	}
+	query := [][]byte{
+		reldb.String("ann").Encode(),
+		reldb.String("bob").Encode(),
+		reldb.String("carol").Encode(),
+	}
+
+	ctx := context.Background()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	ch := make(chan error, 1)
+	go func() {
+		_, err := core.EquijoinSender(ctx, testCfg(2), connS, recs)
+		ch <- err
+	}()
+	res, err := JoinAggregate(ctx, testCfg(1), connR, query, orders.Schema(), "amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Count != 3 || res.Sum != 45 || res.Min != 5 || res.Max != 30 {
+		t.Errorf("aggregate = %+v", *res)
+	}
+	if res.Avg() != 15 {
+		t.Errorf("avg = %f", res.Avg())
+	}
+	if res.Matches != 2 || res.SenderSetSize != 3 {
+		t.Errorf("matches/sender = %d/%d", res.Matches, res.SenderSetSize)
+	}
+}
+
+func TestJoinAggregateEmptyJoin(t *testing.T) {
+	schema := reldb.MustSchema(
+		reldb.Column{Name: "k", Type: reldb.TypeString},
+		reldb.Column{Name: "v", Type: reldb.TypeInt},
+	)
+	ctx := context.Background()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	ch := make(chan error, 1)
+	go func() {
+		_, err := core.EquijoinSender(ctx, testCfg(2), connS, []core.JoinRecord{
+			{Value: []byte("unshared"), Ext: (reldb.Row{reldb.String("unshared"), reldb.Int(7)}).Encode()},
+		})
+		ch <- err
+	}()
+	res, err := JoinAggregate(ctx, testCfg(1), connR, [][]byte{[]byte("other")}, schema, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	if res.Count != 0 || res.Sum != 0 || res.Min != 0 || res.Max != 0 || res.Avg() != 0 {
+		t.Errorf("empty join aggregate = %+v", *res)
+	}
+}
+
+func TestJoinAggregateColumnValidation(t *testing.T) {
+	schema := reldb.MustSchema(
+		reldb.Column{Name: "k", Type: reldb.TypeString},
+		reldb.Column{Name: "v", Type: reldb.TypeInt},
+	)
+	if _, err := JoinAggregate(context.Background(), testCfg(1), nil, nil, schema, "missing"); err == nil {
+		t.Error("missing column accepted")
+	}
+	if _, err := JoinAggregate(context.Background(), testCfg(1), nil, nil, schema, "k"); err == nil {
+		t.Error("non-numeric column accepted")
+	}
+}

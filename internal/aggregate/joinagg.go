@@ -1,0 +1,83 @@
+package aggregate
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"minshare/internal/core"
+	"minshare/internal/reldb"
+	"minshare/internal/transport"
+)
+
+// JoinAggregateResult holds local aggregates over the joined rows.
+//
+// Disclosure note: this is the equijoin protocol plus local folding, so
+// R sees every joined row (the equijoin's contract) — the aggregate is a
+// convenience, not a tighter privacy guarantee.  A protocol revealing
+// ONLY the sum is the open problem the paper's Section 7 poses.
+type JoinAggregateResult struct {
+	// Count is the number of joined rows.
+	Count int
+	// Sum, Min, Max aggregate the numeric column; Min/Max are
+	// meaningless when Count is zero.
+	Sum, Min, Max int64
+	// Matches is the number of joined distinct values.
+	Matches int
+	// SenderSetSize is |V_S|.
+	SenderSetSize int
+}
+
+// Avg returns Sum/Count, or 0 for an empty join.
+func (r *JoinAggregateResult) Avg() float64 {
+	if r.Count == 0 {
+		return 0
+	}
+	return float64(r.Sum) / float64(r.Count)
+}
+
+// JoinAggregate runs the receiver side of the equijoin against conn and
+// folds the named numeric column of the decoded ext rows.  schema is the
+// sender's row schema (known to both parties per Section 2.3's "we
+// assume that the database schemas are known").
+func JoinAggregate(ctx context.Context, cfg core.Config, conn transport.Conn,
+	values [][]byte, schema *reldb.Schema, numericCol string) (*JoinAggregateResult, error) {
+	colIdx, err := schema.ColumnIndex(numericCol)
+	if err != nil {
+		return nil, err
+	}
+	if schema.Columns()[colIdx].Type != reldb.TypeInt {
+		return nil, fmt.Errorf("aggregate: column %q is not numeric", numericCol)
+	}
+	join, err := core.EquijoinReceiver(ctx, cfg, conn, values)
+	if err != nil {
+		return nil, err
+	}
+	res := &JoinAggregateResult{
+		Matches:       len(join.Matches),
+		SenderSetSize: join.SenderSetSize,
+		Min:           math.MaxInt64,
+		Max:           math.MinInt64,
+	}
+	for _, m := range join.Matches {
+		rows, err := reldb.DecodeRows(m.Ext, schema.NumColumns())
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: decoding ext for %q: %w", m.Value, err)
+		}
+		for _, row := range rows {
+			v := row[colIdx].AsInt()
+			res.Count++
+			res.Sum += v
+			if v < res.Min {
+				res.Min = v
+			}
+			if v > res.Max {
+				res.Max = v
+			}
+		}
+	}
+	if res.Count == 0 {
+		res.Min, res.Max = 0, 0
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+// Package circuit implements the boolean-circuit substrate of the
+// paper's Appendix A.
+//
+// Appendix A estimates what the paper's problems would cost if solved
+// with the generic Yao construction: represent the function as a circuit
+// of boolean gates, garble it, and evaluate it obliviously.  This
+// package supplies the circuits themselves — a builder, the equality
+// comparator (2w−1 gates) and less-than comparator the appendix counts
+// with, the brute-force set-intersection circuit it lower-bounds, and a
+// plaintext evaluator used both for correctness tests and as the
+// reference for the garbled evaluation of package garble.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GateType enumerates the supported boolean gates.
+type GateType uint8
+
+// Gate types.  INV is unary (In1 is ignored).
+const (
+	XOR GateType = iota
+	AND
+	OR
+	INV
+)
+
+// String implements fmt.Stringer.
+func (g GateType) String() string {
+	switch g {
+	case XOR:
+		return "XOR"
+	case AND:
+		return "AND"
+	case OR:
+		return "OR"
+	case INV:
+		return "INV"
+	default:
+		return fmt.Sprintf("gate(%d)", uint8(g))
+	}
+}
+
+// Gate is one boolean gate: Out = Type(In0, In1).
+type Gate struct {
+	Type     GateType
+	In0, In1 int
+	Out      int
+}
+
+// Circuit is a directed acyclic boolean circuit.  Wires are integers;
+// gates appear in topological order (the builder guarantees it).
+type Circuit struct {
+	// NumWires is the total wire count (inputs + gate outputs).
+	NumWires int
+	// GarblerInputs and EvaluatorInputs list the input wires owned by
+	// each party, in bit order.
+	GarblerInputs   []int
+	EvaluatorInputs []int
+	// Outputs lists the circuit's output wires.
+	Outputs []int
+	// Gates in topological order.
+	Gates []Gate
+}
+
+// NumGates returns the total gate count — the quantity Appendix A's cost
+// model bounds.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// Copy returns a deep copy of the circuit — what the garbler actually
+// ships to the evaluator (the shape is public; only labels are secret).
+func (c *Circuit) Copy() *Circuit {
+	return &Circuit{
+		NumWires:        c.NumWires,
+		GarblerInputs:   append([]int(nil), c.GarblerInputs...),
+		EvaluatorInputs: append([]int(nil), c.EvaluatorInputs...),
+		Outputs:         append([]int(nil), c.Outputs...),
+		Gates:           append([]Gate(nil), c.Gates...),
+	}
+}
+
+// NumANDs returns the number of non-XOR gates (relevant for garbling
+// optimizations; reported by the experiment harness).
+func (c *Circuit) NumANDs() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Type == AND || g.Type == OR {
+			n++
+		}
+	}
+	return n
+}
+
+// Eval computes the circuit on plaintext inputs.  garbler and evaluator
+// hold the two parties' input bits in the order of GarblerInputs and
+// EvaluatorInputs.
+func (c *Circuit) Eval(garbler, evaluator []bool) ([]bool, error) {
+	if len(garbler) != len(c.GarblerInputs) {
+		return nil, fmt.Errorf("circuit: %d garbler bits, want %d", len(garbler), len(c.GarblerInputs))
+	}
+	if len(evaluator) != len(c.EvaluatorInputs) {
+		return nil, fmt.Errorf("circuit: %d evaluator bits, want %d", len(evaluator), len(c.EvaluatorInputs))
+	}
+	wires := make([]bool, c.NumWires)
+	for i, w := range c.GarblerInputs {
+		wires[w] = garbler[i]
+	}
+	for i, w := range c.EvaluatorInputs {
+		wires[w] = evaluator[i]
+	}
+	for _, g := range c.Gates {
+		switch g.Type {
+		case XOR:
+			wires[g.Out] = wires[g.In0] != wires[g.In1]
+		case AND:
+			wires[g.Out] = wires[g.In0] && wires[g.In1]
+		case OR:
+			wires[g.Out] = wires[g.In0] || wires[g.In1]
+		case INV:
+			wires[g.Out] = !wires[g.In0]
+		default:
+			return nil, fmt.Errorf("circuit: unknown gate type %v", g.Type)
+		}
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, w := range c.Outputs {
+		out[i] = wires[w]
+	}
+	return out, nil
+}
+
+// Validate checks structural sanity: all wire references in range, gates
+// topologically ordered, inputs disjoint from gate outputs.
+func (c *Circuit) Validate() error {
+	if c.NumWires <= 0 {
+		return errors.New("circuit: no wires")
+	}
+	defined := make([]bool, c.NumWires)
+	mark := func(w int, what string) error {
+		if w < 0 || w >= c.NumWires {
+			return fmt.Errorf("circuit: %s wire %d out of range", what, w)
+		}
+		if defined[w] {
+			return fmt.Errorf("circuit: %s wire %d multiply defined", what, w)
+		}
+		defined[w] = true
+		return nil
+	}
+	for _, w := range c.GarblerInputs {
+		if err := mark(w, "garbler input"); err != nil {
+			return err
+		}
+	}
+	for _, w := range c.EvaluatorInputs {
+		if err := mark(w, "evaluator input"); err != nil {
+			return err
+		}
+	}
+	for i, g := range c.Gates {
+		if g.In0 < 0 || g.In0 >= c.NumWires || !defined[g.In0] {
+			return fmt.Errorf("circuit: gate %d input 0 (wire %d) undefined", i, g.In0)
+		}
+		if g.Type != INV {
+			if g.In1 < 0 || g.In1 >= c.NumWires || !defined[g.In1] {
+				return fmt.Errorf("circuit: gate %d input 1 (wire %d) undefined", i, g.In1)
+			}
+		}
+		if err := mark(g.Out, "gate output"); err != nil {
+			return err
+		}
+	}
+	for _, w := range c.Outputs {
+		if w < 0 || w >= c.NumWires || !defined[w] {
+			return fmt.Errorf("circuit: output wire %d undefined", w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGateEval(t *testing.T) {
+	b := NewBuilder()
+	in := b.GarblerInputs(2)
+	x := b.XOR(in[0], in[1])
+	a := b.AND(in[0], in[1])
+	o := b.OR(in[0], in[1])
+	n := b.NOT(in[0])
+	b.Output(x, a, o, n)
+	c := b.MustBuild()
+
+	cases := []struct {
+		in   []bool
+		want []bool
+	}{
+		{[]bool{false, false}, []bool{false, false, false, true}},
+		{[]bool{false, true}, []bool{true, false, true, true}},
+		{[]bool{true, false}, []bool{true, false, true, false}},
+		{[]bool{true, true}, []bool{false, true, true, false}},
+	}
+	for _, tc := range cases {
+		got, err := c.Eval(tc.in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("in=%v out[%d]=%v want %v", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestEvalInputArityChecked(t *testing.T) {
+	b := NewBuilder()
+	in := b.GarblerInputs(2)
+	b.Output(b.AND(in[0], in[1]))
+	c := b.MustBuild()
+	if _, err := c.Eval([]bool{true}, nil); err == nil {
+		t.Error("wrong garbler arity accepted")
+	}
+	if _, err := c.Eval([]bool{true, true}, []bool{false}); err == nil {
+		t.Error("wrong evaluator arity accepted")
+	}
+}
+
+func TestEqualExhaustive(t *testing.T) {
+	const w = 4
+	b := NewBuilder()
+	a := b.GarblerInputs(w)
+	y := b.EvaluatorInputs(w)
+	b.Output(b.Equal(a, y))
+	c := b.MustBuild()
+
+	for x := uint64(0); x < 1<<w; x++ {
+		for z := uint64(0); z < 1<<w; z++ {
+			got, err := c.Eval(UintToBits(x, w), UintToBits(z, w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != (x == z) {
+				t.Fatalf("Equal(%d,%d) = %v", x, z, got[0])
+			}
+		}
+	}
+}
+
+func TestEqualGateCount(t *testing.T) {
+	// Our construction uses w XOR + (w-1) OR + 1 NOT = 2w gates; the
+	// paper's constant is 2w−1.  Assert the actual count so the
+	// one-gate difference is pinned down, not accidental.
+	for _, w := range []int{1, 8, 32} {
+		b := NewBuilder()
+		a := b.GarblerInputs(w)
+		y := b.EvaluatorInputs(w)
+		b.Output(b.Equal(a, y))
+		c := b.MustBuild()
+		if got, want := c.NumGates(), 2*w; got != want {
+			t.Errorf("w=%d: %d gates, want %d", w, got, want)
+		}
+	}
+}
+
+func TestLessThanExhaustive(t *testing.T) {
+	const w = 4
+	b := NewBuilder()
+	a := b.GarblerInputs(w)
+	y := b.EvaluatorInputs(w)
+	b.Output(b.LessThan(a, y))
+	c := b.MustBuild()
+
+	for x := uint64(0); x < 1<<w; x++ {
+		for z := uint64(0); z < 1<<w; z++ {
+			got, err := c.Eval(UintToBits(x, w), UintToBits(z, w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != (x < z) {
+				t.Fatalf("LessThan(%d,%d) = %v", x, z, got[0])
+			}
+		}
+	}
+}
+
+func TestLessThanSingleBit(t *testing.T) {
+	b := NewBuilder()
+	a := b.GarblerInputs(1)
+	y := b.EvaluatorInputs(1)
+	b.Output(b.LessThan(a, y))
+	c := b.MustBuild()
+	for _, tc := range []struct{ x, z, want bool }{
+		{false, false, false}, {false, true, true}, {true, false, false}, {true, true, false},
+	} {
+		got, _ := c.Eval([]bool{tc.x}, []bool{tc.z})
+		if got[0] != tc.want {
+			t.Errorf("LessThan(%v,%v) = %v", tc.x, tc.z, got[0])
+		}
+	}
+}
+
+func TestLessThanGateCountLinear(t *testing.T) {
+	// The paper's constant is 5w−3; assert ours is Θ(w) and report it.
+	counts := map[int]int{}
+	for _, w := range []int{1, 8, 16, 32} {
+		b := NewBuilder()
+		a := b.GarblerInputs(w)
+		y := b.EvaluatorInputs(w)
+		b.Output(b.LessThan(a, y))
+		counts[w] = b.MustBuild().NumGates()
+	}
+	if counts[1] != 2 {
+		t.Errorf("w=1: %d gates", counts[1])
+	}
+	// Linearity: count(32) - count(16) == count(16) - count(8) * 2 ...
+	if d1, d2 := counts[16]-counts[8], counts[32]-counts[16]; d2 != 2*d1 {
+		t.Errorf("gate growth not linear: Δ8→16=%d, Δ16→32=%d", d1, d2)
+	}
+	t.Logf("LessThan gate counts: %v (paper model: 5w−3)", counts)
+}
+
+func TestBruteForceIntersectionExhaustiveSmall(t *testing.T) {
+	const w, nS, nR = 3, 2, 2
+	c := BruteForceIntersection(w, nS, nR)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All combinations of two 3-bit S values and two R values.
+	for a := uint64(0); a < 8; a++ {
+		for b2 := uint64(0); b2 < 8; b2++ {
+			for y0 := uint64(0); y0 < 8; y0++ {
+				for y1 := uint64(0); y1 < 8; y1++ {
+					got, err := c.Eval(
+						FlattenValues([]uint64{a, b2}, w),
+						FlattenValues([]uint64{y0, y1}, w))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want0 := y0 == a || y0 == b2
+					want1 := y1 == a || y1 == b2
+					if got[0] != want0 || got[1] != want1 {
+						t.Fatalf("S={%d,%d} R={%d,%d}: got %v", a, b2, y0, y1, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBruteForceIntersectionGateCount(t *testing.T) {
+	// nR·nS equality blocks (2w gates each) + nR·(nS−1) ORs.
+	const w, nS, nR = 8, 5, 3
+	c := BruteForceIntersection(w, nS, nR)
+	want := nR*nS*(2*w) + nR*(nS-1)
+	if c.NumGates() != want {
+		t.Errorf("gates = %d, want %d", c.NumGates(), want)
+	}
+	// The paper's lower bound |V_R|·|V_S|·G_e must hold with G_e = 2w−1.
+	if lower := nR * nS * (2*w - 1); c.NumGates() < lower {
+		t.Errorf("gate count %d below the paper's lower bound %d", c.NumGates(), lower)
+	}
+}
+
+func TestUintBitsRoundTrip(t *testing.T) {
+	f := func(v uint32, wRaw uint8) bool {
+		w := int(wRaw%32) + 1
+		masked := uint64(v) & ((1 << w) - 1)
+		return BitsToUint(UintToBits(masked, w)) == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesBadCircuits(t *testing.T) {
+	// Out-of-range input.
+	c := &Circuit{NumWires: 2, GarblerInputs: []int{0},
+		Gates: []Gate{{Type: AND, In0: 0, In1: 5, Out: 1}}, Outputs: []int{1}}
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-range wire accepted")
+	}
+	// Use before definition.
+	c = &Circuit{NumWires: 3, GarblerInputs: []int{0},
+		Gates: []Gate{{Type: AND, In0: 0, In1: 2, Out: 1}}, Outputs: []int{1}}
+	if err := c.Validate(); err == nil {
+		t.Error("forward reference accepted")
+	}
+	// Doubly-defined output.
+	c = &Circuit{NumWires: 2, GarblerInputs: []int{0},
+		Gates: []Gate{{Type: INV, In0: 0, Out: 0}}, Outputs: []int{0}}
+	if err := c.Validate(); err == nil {
+		t.Error("redefinition accepted")
+	}
+	// Undefined output wire.
+	c = &Circuit{NumWires: 2, GarblerInputs: []int{0}, Outputs: []int{1}}
+	if err := c.Validate(); err == nil {
+		t.Error("undefined output accepted")
+	}
+	// Empty.
+	c = &Circuit{}
+	if err := c.Validate(); err == nil {
+		t.Error("empty circuit accepted")
+	}
+}
+
+func TestNumANDs(t *testing.T) {
+	b := NewBuilder()
+	in := b.GarblerInputs(2)
+	b.Output(b.AND(b.XOR(in[0], in[1]), b.OR(in[0], in[1])))
+	c := b.MustBuild()
+	if c.NumANDs() != 2 { // AND + OR
+		t.Errorf("NumANDs = %d, want 2", c.NumANDs())
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	for _, g := range []GateType{XOR, AND, OR, INV, GateType(9)} {
+		if g.String() == "" {
+			t.Errorf("GateType(%d).String() empty", g)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package commutative implements the commutative encryption primitive of
+// Section 3.2.1 of the paper (Definition 2) together with decorators used
+// by the cost-analysis experiments.
+//
+// A commutative encryption F is a family of bijections f_e over a domain
+// DomF such that f_e ∘ f_e' = f_e' ∘ f_e for all keys e, e', each f_e is
+// invertible in polynomial time given e, and — under the Decisional
+// Diffie-Hellman assumption — seeing (x, f_e(x)) does not help encrypting
+// or decrypting any independent value (Property 4).
+//
+// The concrete scheme, Example 1 of the paper, is the Pohlig-Hellman
+// power function over quadratic residues modulo a safe prime p:
+//
+//	f_e(x) = x^e mod p,   e ∈ [1, q-1],  q = (p-1)/2
+//
+// Powers commute, each f_e is a bijection on QR(p) with inverse
+// f_{e^{-1} mod q}, and DDH over QR(p) gives Property 4.
+package commutative
+
+import (
+	"errors"
+	"io"
+	"math/big"
+	"sync/atomic"
+
+	"minshare/internal/group"
+)
+
+// ErrNilKey is returned when an operation receives a nil key.
+var ErrNilKey = errors.New("commutative: nil key")
+
+// Key is a secret commutative-encryption key (an exponent in [1, q-1]).
+// Keys are produced by a Scheme and must not be shared between groups of
+// different moduli.
+type Key struct {
+	e *big.Int
+}
+
+// Exponent returns a copy of the key's secret exponent.  It is exposed
+// for serialization in tools; protocol code never needs it.
+func (k *Key) Exponent() *big.Int { return new(big.Int).Set(k.e) }
+
+// Scheme is a commutative encryption over a fixed group, in the sense of
+// Definition 2 of the paper.  Implementations must be safe for concurrent
+// use.
+type Scheme interface {
+	// Group returns the underlying domain DomF = QR(p).
+	Group() *group.Group
+	// GenerateKey draws a fresh uniform key from KeyF.  The randomness
+	// source defaults to crypto/rand when nil.
+	GenerateKey(r io.Reader) (*Key, error)
+	// Encrypt computes f_e(x).  x must be a group element.
+	Encrypt(k *Key, x *big.Int) (*big.Int, error)
+	// Decrypt computes f_e^{-1}(y) (Property 3 of Definition 2).
+	Decrypt(k *Key, y *big.Int) (*big.Int, error)
+}
+
+// PowerFn is the Pohlig-Hellman power-function scheme of Example 1.
+type PowerFn struct {
+	g *group.Group
+}
+
+// NewPowerFn returns the power-function scheme over g.
+func NewPowerFn(g *group.Group) *PowerFn {
+	return &PowerFn{g: g}
+}
+
+// Group implements Scheme.
+func (s *PowerFn) Group() *group.Group { return s.g }
+
+// GenerateKey implements Scheme: a uniform exponent in [1, q-1].
+func (s *PowerFn) GenerateKey(r io.Reader) (*Key, error) {
+	e, err := s.g.RandomExponent(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Key{e: e}, nil
+}
+
+// KeyFromExponent wraps an explicit exponent as a Key, validating that it
+// lies in [1, q-1].  Used by deterministic tests and key persistence.
+func (s *PowerFn) KeyFromExponent(e *big.Int) (*Key, error) {
+	if e == nil || e.Sign() <= 0 || e.Cmp(s.g.Q()) >= 0 {
+		return nil, errors.New("commutative: exponent outside [1, q-1]")
+	}
+	return &Key{e: new(big.Int).Set(e)}, nil
+}
+
+// Encrypt implements Scheme: f_e(x) = x^e mod p.
+func (s *PowerFn) Encrypt(k *Key, x *big.Int) (*big.Int, error) {
+	if k == nil || k.e == nil {
+		return nil, ErrNilKey
+	}
+	if !s.g.Contains(x) {
+		return nil, group.ErrNotInGroup
+	}
+	return s.g.Exp(x, k.e), nil
+}
+
+// Decrypt implements Scheme: f_e^{-1}(y) = y^{e^{-1} mod q} mod p.
+func (s *PowerFn) Decrypt(k *Key, y *big.Int) (*big.Int, error) {
+	if k == nil || k.e == nil {
+		return nil, ErrNilKey
+	}
+	if !s.g.Contains(y) {
+		return nil, group.ErrNotInGroup
+	}
+	inv, err := s.g.InvExponent(k.e)
+	if err != nil {
+		return nil, err
+	}
+	return s.g.Exp(y, inv), nil
+}
+
+// Counting wraps a Scheme and counts encryption and decryption calls.
+// The experiment harness uses it to verify the operation-count formulas
+// of Section 6.1 exactly (each call costs one C_e).
+type Counting struct {
+	inner Scheme
+
+	encrypts atomic.Int64
+	decrypts atomic.Int64
+	keygens  atomic.Int64
+}
+
+// NewCounting wraps inner with operation counters.
+func NewCounting(inner Scheme) *Counting {
+	return &Counting{inner: inner}
+}
+
+// Group implements Scheme.
+func (c *Counting) Group() *group.Group { return c.inner.Group() }
+
+// GenerateKey implements Scheme.
+func (c *Counting) GenerateKey(r io.Reader) (*Key, error) {
+	c.keygens.Add(1)
+	return c.inner.GenerateKey(r)
+}
+
+// Encrypt implements Scheme.
+func (c *Counting) Encrypt(k *Key, x *big.Int) (*big.Int, error) {
+	c.encrypts.Add(1)
+	return c.inner.Encrypt(k, x)
+}
+
+// Decrypt implements Scheme.
+func (c *Counting) Decrypt(k *Key, y *big.Int) (*big.Int, error) {
+	c.decrypts.Add(1)
+	return c.inner.Decrypt(k, y)
+}
+
+// Encrypts returns the number of Encrypt calls so far.
+func (c *Counting) Encrypts() int64 { return c.encrypts.Load() }
+
+// Decrypts returns the number of Decrypt calls so far.
+func (c *Counting) Decrypts() int64 { return c.decrypts.Load() }
+
+// Ops returns encrypts + decrypts: the total number of C_e operations in
+// the sense of the Section 6.1 cost model.
+func (c *Counting) Ops() int64 { return c.Encrypts() + c.Decrypts() }
+
+// Reset zeroes all counters.
+func (c *Counting) Reset() {
+	c.encrypts.Store(0)
+	c.decrypts.Store(0)
+	c.keygens.Store(0)
+}

@@ -1,0 +1,102 @@
+package commutative
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+)
+
+// EncryptAll encrypts every element of xs under key k using up to
+// parallelism worker goroutines and returns the results in input order.
+//
+// The paper's application estimates (Section 6.2) assume "P processors
+// that we can utilize in parallel ... a default value of P = 10": bulk
+// exponentiation is embarrassingly parallel, and EncryptAll is that
+// worker pool.  parallelism <= 0 selects GOMAXPROCS.
+func EncryptAll(ctx context.Context, s Scheme, k *Key, xs []*big.Int, parallelism int) ([]*big.Int, error) {
+	return mapAll(ctx, xs, parallelism, func(x *big.Int) (*big.Int, error) {
+		return s.Encrypt(k, x)
+	})
+}
+
+// DecryptAll is the decryption counterpart of EncryptAll.
+func DecryptAll(ctx context.Context, s Scheme, k *Key, ys []*big.Int, parallelism int) ([]*big.Int, error) {
+	return mapAll(ctx, ys, parallelism, func(y *big.Int) (*big.Int, error) {
+		return s.Decrypt(k, y)
+	})
+}
+
+func mapAll(ctx context.Context, xs []*big.Int, parallelism int, f func(*big.Int) (*big.Int, error)) ([]*big.Int, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(xs) {
+		parallelism = len(xs)
+	}
+	out := make([]*big.Int, len(xs))
+	if len(xs) == 0 {
+		return out, nil
+	}
+	if parallelism <= 1 {
+		for i, x := range xs {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("commutative: bulk operation cancelled: %w", err)
+			}
+			y, err := f(x)
+			if err != nil {
+				return nil, fmt.Errorf("commutative: element %d: %w", i, err)
+			}
+			out[i] = y
+		}
+		return out, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int)
+		quit     = make(chan struct{})
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(quit)
+		})
+	}
+
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				y, err := f(xs[i])
+				if err != nil {
+					fail(fmt.Errorf("commutative: element %d: %w", i, err))
+					return
+				}
+				out[i] = y
+			}
+		}()
+	}
+
+feed:
+	for i := range xs {
+		select {
+		case next <- i:
+		case <-quit:
+			break feed
+		case <-ctx.Done():
+			fail(fmt.Errorf("commutative: bulk operation cancelled: %w", ctx.Err()))
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+
+	"minshare/internal/group"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// tinyGroupConfig returns a config over QR(23) — 11 elements, so hash
+// collisions among a dozen values are essentially certain.  This
+// exercises the Section 3.2.2 pre-flight collision check.
+func tinyGroupConfig(seed int64) Config {
+	cfg := testConfig(seed)
+	cfg.Group = group.MustNew(big.NewInt(23))
+	return cfg
+}
+
+func TestHashCollisionDetectedBeforeSending(t *testing.T) {
+	cfg := tinyGroupConfig(1)
+	values := vals("v", 20) // 20 values into an 11-element domain
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	tap := transport.NewTap(connR)
+
+	done := make(chan struct{})
+	go func() {
+		// A peer that would answer the handshake, so the failure we see
+		// comes from the collision check, not a hung handshake.
+		defer close(done)
+		m := newMalicious(tinyGroupConfig(2), connS)
+		if m.recv(ctx, t) == nil {
+			return
+		}
+		m.send(ctx, t, m.header(1))
+		m.recv(ctx, t) // either the abort ErrorMsg or nothing
+	}()
+
+	_, err := IntersectionReceiver(ctx, cfg, tap, values)
+	if !errors.Is(err, ErrHashCollision) {
+		t.Fatalf("err = %v, want ErrHashCollision", err)
+	}
+	// Crucially, no element vector left the machine — only the header
+	// and the abort notice.
+	for _, frame := range tap.Sent() {
+		codec := newSession(cfg, nil).codec
+		m, decErr := codec.Decode(frame)
+		if decErr != nil {
+			continue
+		}
+		if m.Kind() == 2 /* wire.KindElements */ {
+			t.Fatal("encrypted set was sent despite a local hash collision")
+		}
+	}
+	cancel()
+	<-done
+}
+
+func TestHashCollisionAllProtocols(t *testing.T) {
+	values := vals("v", 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	run := func(name string, proto wire.Protocol, f func(conn transport.Conn) error) {
+		connR, connS := transport.Pipe()
+		defer connR.Close()
+		go func() {
+			m := newMalicious(tinyGroupConfig(2), connS)
+			if m.recv(ctx, t) == nil {
+				return
+			}
+			hdr := m.header(1)
+			hdr.Protocol = proto
+			m.send(ctx, t, hdr)
+		}()
+		if err := f(connR); !errors.Is(err, ErrHashCollision) {
+			t.Errorf("%s: err = %v, want ErrHashCollision", name, err)
+		}
+	}
+	run("intersection-size", wire.ProtoIntersectionSize, func(conn transport.Conn) error {
+		_, err := IntersectionSizeReceiver(ctx, tinyGroupConfig(1), conn, values)
+		return err
+	})
+	run("equijoin-size", wire.ProtoEquijoinSize, func(conn transport.Conn) error {
+		_, err := EquijoinSizeReceiver(ctx, tinyGroupConfig(1), conn, values)
+		return err
+	})
+	run("equijoin", wire.ProtoEquijoin, func(conn transport.Conn) error {
+		_, err := EquijoinReceiver(ctx, tinyGroupConfig(1), conn, values)
+		return err
+	})
+}
+
+// TestThirdPartyPeerFailurePropagates: if party B dies, party A and the
+// analyst report errors instead of hanging or fabricating counts.
+func TestThirdPartyPeerFailurePropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	abA, abB := transport.Pipe()
+	atA, atT := transport.Pipe()
+	_, btT := transport.Pipe()
+	defer abA.Close()
+	defer atA.Close()
+
+	// Party B: immediately closes its peer connection.
+	abB.Close()
+
+	errA := make(chan error, 1)
+	go func() {
+		_, err := ThirdPartyPartyA(ctx, testConfig(1), abA, atA, vals("a", 3))
+		errA <- err
+	}()
+	analystErr := make(chan error, 1)
+	go func() {
+		_, err := ThirdPartyAnalyst(ctx, testConfig(3), atT, btT)
+		analystErr <- err
+	}()
+
+	if err := <-errA; err == nil {
+		t.Error("party A succeeded despite dead peer")
+	}
+	cancel() // release the analyst, which never hears from either side
+	if err := <-analystErr; err == nil {
+		t.Error("analyst succeeded despite dead parties")
+	}
+}
+
+// TestSenderSideCollisionAborts: the sender detects collisions in ITS
+// set too and notifies the receiver.
+func TestSenderSideCollisionAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+
+	sErr := make(chan error, 1)
+	go func() {
+		_, err := IntersectionSizeSender(ctx, tinyGroupConfig(2), connS, vals("v", 20))
+		sErr <- err
+	}()
+	// The receiver has a clean small set that cannot collide.
+	_, rErr := IntersectionSizeReceiver(ctx, tinyGroupConfig(1), connR, vals("x", 1))
+	if err := <-sErr; !errors.Is(err, ErrHashCollision) {
+		t.Errorf("sender err = %v, want ErrHashCollision", err)
+	}
+	if rErr == nil {
+		t.Error("receiver succeeded despite sender abort")
+	}
+}

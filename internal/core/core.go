@@ -1,0 +1,287 @@
+// Package core implements the paper's four minimal-information-sharing
+// protocols — intersection (Section 3.3), equijoin (Section 4.3),
+// intersection size (Section 5.1.1) and equijoin size (Section 5.2) —
+// plus the insecure hash-exchange baseline of Section 3.1 and the
+// third-party intersection-size variant of Figure 2 used by the medical
+// research application.
+//
+// # Roles
+//
+// Following the paper, party S is the sender and party R the receiver:
+// R obtains the query answer, S obtains only |V_R| (and, for the
+// multiset join-size protocol, the distribution of duplicates in
+// T_R.A).  Each protocol is exposed as a pair of functions, one per
+// role, that drive one endpoint of a transport.Conn; running both ends —
+// in two goroutines over a transport.Pipe, or in two processes over TCP —
+// executes the protocol.
+//
+// # Inputs
+//
+// Values are opaque byte strings.  The set protocols (intersection,
+// equijoin, intersection size) operate on the *set* of distinct values,
+// as the paper defines V_S and V_R ("the set of values (without
+// duplicates)"); duplicate inputs are removed before the run.  The
+// equijoin-size protocol deliberately keeps multisets, since the
+// distribution of duplicates is part of its (leaky) contract.
+//
+// # Guarantees
+//
+// Assuming both parties are semi-honest and the underlying commutative
+// encryption satisfies Definition 2, each protocol reveals exactly what
+// Section 2.2.1 of the paper states and nothing else; package-level
+// tests verify the structural consequences (exact message counts and
+// sizes, sorted transcript order, dictionary-attack resistance) and
+// package leakage quantifies the equijoin-size leak.
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"minshare/internal/commutative"
+	"minshare/internal/group"
+	"minshare/internal/kenc"
+	"minshare/internal/oracle"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// Common errors.
+var (
+	// ErrGroupMismatch reports that the peer announced a different group.
+	ErrGroupMismatch = errors.New("core: peer uses a different group")
+	// ErrProtocolMismatch reports that the peer is running a different protocol.
+	ErrProtocolMismatch = errors.New("core: peer runs a different protocol")
+	// ErrPeerFailure wraps an error message received from the peer.
+	ErrPeerFailure = errors.New("core: peer reported failure")
+	// ErrHashCollision reports a hash collision inside a party's own set,
+	// detected by the Section 3.2.2 sort check before any value leaves
+	// the machine.
+	ErrHashCollision = errors.New("core: hash collision detected in local set")
+	// ErrMalformedReply reports a peer message inconsistent with the
+	// protocol state (wrong cardinality, non-group elements, unsorted
+	// vectors where sorting is mandated).
+	ErrMalformedReply = errors.New("core: malformed peer reply")
+)
+
+// Config carries the shared cryptographic setup for one protocol run.
+// Both parties must use the same Group; everything else is private.
+type Config struct {
+	// Group is the commutative-encryption domain.  Defaults to
+	// group.Default() (the 1024-bit group) when nil.
+	Group *group.Group
+	// Scheme is the commutative encryption.  Defaults to the
+	// Pohlig-Hellman power function over Group.  Tests inject a
+	// commutative.Counting wrapper here to audit C_e operation counts.
+	Scheme commutative.Scheme
+	// Oracle is the hash h : V → DomF.  Defaults to oracle.New(Group).
+	Oracle *oracle.Oracle
+	// Cipher encrypts ext(v) payloads in the equijoin protocol.
+	// Defaults to kenc.NewHybrid(Group).
+	Cipher kenc.Cipher
+	// Rand is the randomness source for key generation; nil means
+	// crypto/rand.Reader.
+	Rand io.Reader
+	// Parallelism bounds the worker pool for bulk exponentiation (the
+	// paper's parameter P, Section 6.2).  Zero selects GOMAXPROCS.
+	Parallelism int
+}
+
+// normalized returns a copy of c with every nil field defaulted.
+func (c Config) normalized() Config {
+	if c.Group == nil {
+		c.Group = group.Default()
+	}
+	if c.Scheme == nil {
+		c.Scheme = commutative.NewPowerFn(c.Group)
+	}
+	if c.Oracle == nil {
+		c.Oracle = oracle.New(c.Group)
+	}
+	if c.Cipher == nil {
+		c.Cipher = kenc.NewHybrid(c.Group)
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Reader
+	}
+	return c
+}
+
+// session couples a transport connection with the codec and config for
+// one protocol run.
+type session struct {
+	cfg   Config
+	conn  transport.Conn
+	codec *wire.Codec
+}
+
+func newSession(cfg Config, conn transport.Conn) *session {
+	cfg = cfg.normalized()
+	return &session{cfg: cfg, conn: conn, codec: wire.NewCodec(cfg.Group)}
+}
+
+// send encodes and transmits one message.
+func (s *session) send(ctx context.Context, m wire.Message) error {
+	data, err := s.codec.Encode(m)
+	if err != nil {
+		return fmt.Errorf("core: encoding %v: %w", m.Kind(), err)
+	}
+	if err := s.conn.Send(ctx, data); err != nil {
+		return fmt.Errorf("core: sending %v: %w", m.Kind(), err)
+	}
+	return nil
+}
+
+// recv receives one message and checks its kind.  A wire.ErrorMsg from
+// the peer is converted into ErrPeerFailure.
+func (s *session) recv(ctx context.Context, want wire.Kind) (wire.Message, error) {
+	data, err := s.conn.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: receiving %v: %w", want, err)
+	}
+	m, err := s.codec.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedReply, err)
+	}
+	if em, ok := m.(wire.ErrorMsg); ok {
+		return nil, fmt.Errorf("%w: %s", ErrPeerFailure, em.Text)
+	}
+	if m.Kind() != want {
+		return nil, fmt.Errorf("%w: got %v, want %v", wire.ErrKindMismatch, m.Kind(), want)
+	}
+	return m, nil
+}
+
+// abort best-effort notifies the peer of a fatal local error and returns
+// the original error.
+func (s *session) abort(ctx context.Context, err error) error {
+	_ = s.send(ctx, wire.ErrorMsg{Text: err.Error()})
+	return err
+}
+
+// handshake exchanges headers.  Each party announces its set size — the
+// paper's additional information I — and both verify they agree on the
+// protocol and the group.  sendFirst breaks the symmetric deadlock over
+// strictly alternating transports: the receiver R always sends first.
+func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int, sendFirst bool) (peerSize int, err error) {
+	my := wire.Header{
+		Protocol:    proto,
+		GroupBits:   uint32(s.cfg.Group.Bits()),
+		GroupDigest: wire.GroupDigest(s.cfg.Group),
+		SetSize:     uint64(mySize),
+	}
+	var peer wire.Header
+	if sendFirst {
+		if err := s.send(ctx, my); err != nil {
+			return 0, err
+		}
+		m, err := s.recv(ctx, wire.KindHeader)
+		if err != nil {
+			return 0, err
+		}
+		peer = m.(wire.Header)
+	} else {
+		m, err := s.recv(ctx, wire.KindHeader)
+		if err != nil {
+			return 0, err
+		}
+		peer = m.(wire.Header)
+		if err := s.send(ctx, my); err != nil {
+			return 0, err
+		}
+	}
+	if peer.Protocol != proto {
+		return 0, s.abort(ctx, fmt.Errorf("%w: peer=%v local=%v", ErrProtocolMismatch, peer.Protocol, proto))
+	}
+	if peer.GroupBits != my.GroupBits || peer.GroupDigest != my.GroupDigest {
+		return 0, s.abort(ctx, ErrGroupMismatch)
+	}
+	return int(peer.SetSize), nil
+}
+
+// checkVector validates that a received element vector has the expected
+// cardinality and that every entry is a group member.
+func (s *session) checkVector(elems []*big.Int, wantLen int, what string) error {
+	if wantLen >= 0 && len(elems) != wantLen {
+		return fmt.Errorf("%w: %s has %d elements, want %d", ErrMalformedReply, what, len(elems), wantLen)
+	}
+	for i, e := range elems {
+		if !s.cfg.Group.Contains(e) {
+			return fmt.Errorf("%w: %s element %d is not a group member", ErrMalformedReply, what, i)
+		}
+	}
+	return nil
+}
+
+// checkSorted validates that a vector arrived in the lexicographic order
+// the protocols mandate (footnote 3 of the paper: unsorted replies leak
+// alignment information).
+func (s *session) checkSorted(elems []*big.Int, what string) error {
+	for i := 1; i < len(elems); i++ {
+		if elems[i-1].Cmp(elems[i]) > 0 {
+			return fmt.Errorf("%w: %s is not sorted at index %d", ErrMalformedReply, what, i)
+		}
+	}
+	return nil
+}
+
+// dedup returns the distinct values of vs, preserving first-seen order.
+func dedup(vs [][]byte) [][]byte {
+	seen := make(map[string]struct{}, len(vs))
+	out := make([][]byte, 0, len(vs))
+	for _, v := range vs {
+		k := string(v)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// hashSet hashes each value and runs the Section 3.2.2 collision check.
+func (s *session) hashSet(vs [][]byte) ([]*big.Int, error) {
+	if cols := oracle.DetectCollisions(s.cfg.Oracle, vs); len(cols) > 0 {
+		return nil, fmt.Errorf("%w: indices %d and %d", ErrHashCollision, cols[0].I, cols[0].J)
+	}
+	return s.cfg.Oracle.HashAll(vs), nil
+}
+
+// encryptSet bulk-encrypts under k with the configured parallelism.
+func (s *session) encryptSet(ctx context.Context, k *commutative.Key, xs []*big.Int) ([]*big.Int, error) {
+	return commutative.EncryptAll(ctx, s.cfg.Scheme, k, xs, s.cfg.Parallelism)
+}
+
+// decryptSet bulk-decrypts under k with the configured parallelism.
+func (s *session) decryptSet(ctx context.Context, k *commutative.Key, ys []*big.Int) ([]*big.Int, error) {
+	return commutative.DecryptAll(ctx, s.cfg.Scheme, k, ys, s.cfg.Parallelism)
+}
+
+// sortedCopy returns the elements in ascending numeric order, which for
+// the fixed-width wire encoding coincides with lexicographic byte order —
+// the "reordered lexicographically" of the paper's protocol steps.
+func sortedCopy(elems []*big.Int) []*big.Int {
+	out := make([]*big.Int, len(elems))
+	copy(out, elems)
+	sort.Slice(out, func(i, j int) bool { return out[i].Cmp(out[j]) < 0 })
+	return out
+}
+
+// elemKey returns a map key for a group element.
+func elemKey(x *big.Int) string { return string(x.Bytes()) }
+
+// sortSlice sorts xs with the provided less function; a tiny wrapper that
+// keeps call sites terse.
+func sortSlice(xs []int, less func(a, b int) bool) {
+	sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+}
+
+// valuesEqual reports whether two application values are identical.
+func valuesEqual(a, b []byte) bool { return bytes.Equal(a, b) }

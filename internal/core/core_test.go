@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"minshare/internal/group"
+	"minshare/internal/transport"
+)
+
+// testConfig returns a Config over the small test group with a seeded
+// randomness source, suitable for fast deterministic protocol runs.
+func testConfig(seed int64) Config {
+	return Config{
+		Group:       group.TestGroup(),
+		Rand:        rand.New(rand.NewSource(seed)),
+		Parallelism: 1, // deterministic consumption of the seeded source
+	}
+}
+
+// vals builds the value set {prefix0, prefix1, ..., prefix(n-1)}.
+func vals(prefix string, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+// overlapping builds two sets of sizes nR and nS sharing exactly `shared`
+// values.
+func overlapping(nR, nS, shared int) (vR, vS [][]byte) {
+	if shared > nR || shared > nS {
+		panic("shared larger than a set")
+	}
+	common := vals("common-", shared)
+	vR = append(append([][]byte{}, common...), vals("only-r-", nR-shared)...)
+	vS = append(append([][]byte{}, common...), vals("only-s-", nS-shared)...)
+	return vR, vS
+}
+
+// plaintextIntersection is the reference computation.
+func plaintextIntersection(a, b [][]byte) map[string]bool {
+	inB := map[string]bool{}
+	for _, v := range b {
+		inB[string(v)] = true
+	}
+	out := map[string]bool{}
+	for _, v := range a {
+		if inB[string(v)] {
+			out[string(v)] = true
+		}
+	}
+	return out
+}
+
+// runPair executes the receiver and sender halves of a protocol over an
+// in-memory pipe and returns both results.
+func runPair[R, S any](
+	t *testing.T,
+	recvFn func(ctx context.Context, conn transport.Conn) (R, error),
+	sendFn func(ctx context.Context, conn transport.Conn) (S, error),
+) (R, S) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+
+	type sendOut struct {
+		res S
+		err error
+	}
+	ch := make(chan sendOut, 1)
+	go func() {
+		res, err := sendFn(ctx, connS)
+		ch <- sendOut{res, err}
+	}()
+	rRes, rErr := recvFn(ctx, connR)
+	sOut := <-ch
+	if rErr != nil {
+		t.Fatalf("receiver: %v", rErr)
+	}
+	if sOut.err != nil {
+		t.Fatalf("sender: %v", sOut.err)
+	}
+	return rRes, sOut.res
+}
+
+// runPairExpectErr is runPair for failure tests: it returns both errors
+// without failing the test.
+func runPairExpectErr[R, S any](
+	recvFn func(ctx context.Context, conn transport.Conn) (R, error),
+	sendFn func(ctx context.Context, conn transport.Conn) (S, error),
+) (rErr, sErr error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	defer connS.Close()
+
+	ch := make(chan error, 1)
+	go func() {
+		_, err := sendFn(ctx, connS)
+		if err != nil {
+			// Unblock a receiver still waiting on this conn.
+			connS.Close()
+		}
+		ch <- err
+	}()
+	_, rErr = recvFn(ctx, connR)
+	if rErr != nil {
+		connR.Close()
+	}
+	sErr = <-ch
+	return rErr, sErr
+}
+
+func sortedStrings(bs [][]byte) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = string(b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDedup(t *testing.T) {
+	in := [][]byte{[]byte("a"), []byte("b"), []byte("a"), []byte("c"), []byte("b")}
+	got := dedup(in)
+	if len(got) != 3 {
+		t.Fatalf("dedup kept %d values, want 3", len(got))
+	}
+	want := []string{"a", "b", "c"}
+	for i, v := range got {
+		if string(v) != want[i] {
+			t.Errorf("dedup[%d] = %q, want %q (order must be first-seen)", i, v, want[i])
+		}
+	}
+}
+
+func TestDedupRecords(t *testing.T) {
+	recs := []JoinRecord{
+		{Value: []byte("a"), Ext: []byte("1")},
+		{Value: []byte("b"), Ext: []byte("2")},
+		{Value: []byte("a"), Ext: []byte("1")}, // identical dup: fine
+	}
+	v, e, err := dedupRecords(recs)
+	if err != nil || len(v) != 2 || len(e) != 2 {
+		t.Fatalf("dedupRecords: %v %v %v", v, e, err)
+	}
+	recs = append(recs, JoinRecord{Value: []byte("a"), Ext: []byte("DIFFERENT")})
+	if _, _, err := dedupRecords(recs); err == nil {
+		t.Error("conflicting duplicate accepted")
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	var c Config
+	n := c.normalized()
+	if n.Group == nil || n.Scheme == nil || n.Oracle == nil || n.Cipher == nil || n.Rand == nil {
+		t.Error("normalized left nil fields")
+	}
+	if n.Group.Bits() != 1024 {
+		t.Errorf("default group is %d bits, want 1024", n.Group.Bits())
+	}
+}

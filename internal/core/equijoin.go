@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// JoinRecord is one (value, extra-information) pair on S's side of the
+// equijoin: ext(v) is everything in T_S pertaining to v — in the paper's
+// words, "all records in T_S where T_S.A = v" — serialized by the caller
+// (package reldb provides the serialization used by the applications).
+type JoinRecord struct {
+	Value []byte
+	Ext   []byte
+}
+
+// JoinMatch is one joined value as learned by R: the value, and S's
+// decrypted ext(v).
+type JoinMatch struct {
+	Value []byte
+	Ext   []byte
+}
+
+// JoinResult is what party R learns from the equijoin protocol:
+// V_S ∩ V_R with ext(v) for each element, plus |V_S|.
+type JoinResult struct {
+	// Matches holds one entry per v ∈ V_S ∩ V_R, in R's input order.
+	Matches []JoinMatch
+	// SenderSetSize is |V_S|.
+	SenderSetSize int
+}
+
+// EquijoinReceiver runs party R of the equijoin protocol of Section 4.3.
+//
+// Steps executed here (numbering from Section 4.3):
+//
+//	1-2. hash V_R, draw e_R, compute Y_R
+//	3.   send Y_R sorted
+//	6.   apply f_eR^{-1} to both encrypted components of each aligned
+//	     reply, obtaining ⟨f_eS(h(v)), f_e'S(h(v))⟩ per v ∈ V_R
+//	7.   match S's ⟨f_eS(h(v)), K(κ(v), ext(v))⟩ pairs on the first
+//	     entry and decrypt ext(v) with κ(v) = f_e'S(h(v))
+//	8.   return the matches (the caller computes T_S ⋈ T_R from them)
+func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*JoinResult, error) {
+	s := newSession(cfg, conn)
+	vR := dedup(values)
+
+	peerSize, err := s.handshake(ctx, wire.ProtoEquijoin, len(vR), true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 1-2.
+	xR, err := s.hashSet(vR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	eR, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, s.abort(ctx, fmt.Errorf("core: generating e_R: %w", err))
+	}
+	yR, err := s.encryptSet(ctx, eR, xR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 3: send Y_R sorted, remembering the permutation.
+	order := sortIndicesByElem(yR)
+	sortedYR := make([]*big.Int, len(yR))
+	for pos, idx := range order {
+		sortedYR[pos] = yR[idx]
+	}
+	if err := s.send(ctx, wire.Elements{Elems: sortedYR}); err != nil {
+		return nil, err
+	}
+
+	// Step 4 (peer): receive ⟨f_eS(y), f_e'S(y)⟩ aligned with sortedYR.
+	// (S preserves order instead of echoing y — the Section 6.1
+	// optimization applied to the 3-tuples.)
+	m, err := s.recv(ctx, wire.KindPairs)
+	if err != nil {
+		return nil, err
+	}
+	pairs := m.(wire.Pairs)
+	if err := s.checkVector(pairs.A, len(vR), "f_eS(Y_R)"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkVector(pairs.B, len(vR), "f_e'S(Y_R)"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 5 (peer): receive the ⟨f_eS(h(v)), c(v)⟩ pairs, sorted by the
+	// first entry.
+	m, err = s.recv(ctx, wire.KindExtPairs)
+	if err != nil {
+		return nil, err
+	}
+	extPairs := m.(wire.ExtPairs)
+	if err := s.checkVector(extPairs.Elem, peerSize, "f_eS(h(V_S))"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(extPairs.Elem, "f_eS(h(V_S))"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 6: strip R's own layer from both components,
+	// f_eR^{-1}(f_eS(f_eR(h(v)))) = f_eS(h(v)) and likewise for e'_S.
+	singleS, err := s.decryptSet(ctx, eR, pairs.A)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	kappas, err := s.decryptSet(ctx, eR, pairs.B)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 7: index S's pairs by first entry and match.
+	extByElem := make(map[string][]byte, len(extPairs.Elem))
+	for i, e := range extPairs.Elem {
+		extByElem[elemKey(e)] = extPairs.Ext[i]
+	}
+	res := &JoinResult{SenderSetSize: peerSize}
+	matched := make([]*JoinMatch, len(vR))
+	for pos, idx := range order {
+		ct, hit := extByElem[elemKey(singleS[pos])]
+		if !hit {
+			continue
+		}
+		ext, err := s.cfg.Cipher.Decrypt(kappas[pos], ct)
+		if err != nil {
+			return nil, s.abort(ctx, fmt.Errorf("core: decrypting ext(v): %w", err))
+		}
+		matched[idx] = &JoinMatch{Value: vR[idx], Ext: ext}
+	}
+	for _, jm := range matched {
+		if jm != nil {
+			res.Matches = append(res.Matches, *jm)
+		}
+	}
+	return res, nil
+}
+
+// EquijoinSender runs party S of the equijoin protocol of Section 4.3.
+// records may repeat a value only with an identical Ext; conflicting
+// duplicates are rejected, since ext(v) is defined per distinct value.
+func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, records []JoinRecord) (*SenderInfo, error) {
+	s := newSession(cfg, conn)
+	vS, exts, err := dedupRecords(records)
+	if err != nil {
+		return nil, err
+	}
+
+	peerSize, err := s.handshake(ctx, wire.ProtoEquijoin, len(vS), false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1: hash V_S; draw the two secret keys e_S and e'_S.
+	xS, err := s.hashSet(vS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	eS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
+	}
+	ePrimeS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, s.abort(ctx, fmt.Errorf("core: generating e'_S: %w", err))
+	}
+
+	// Step 3 (peer): receive Y_R.
+	m, err := s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	yR := m.(wire.Elements).Elems
+	if err := s.checkVector(yR, peerSize, "Y_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(yR, "Y_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 4: encrypt each y ∈ Y_R with e_S and with e'_S; reply aligned.
+	withES, err := s.encryptSet(ctx, eS, yR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	withEPrimeS, err := s.encryptSet(ctx, ePrimeS, yR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.send(ctx, wire.Pairs{A: withES, B: withEPrimeS}); err != nil {
+		return nil, err
+	}
+
+	// Step 5: for each v ∈ V_S, form ⟨f_eS(h(v)), K(f_e'S(h(v)), ext(v))⟩.
+	firsts, err := s.encryptSet(ctx, eS, xS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	kappas, err := s.encryptSet(ctx, ePrimeS, xS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	ciphertexts := make([][]byte, len(vS))
+	for i := range vS {
+		ciphertexts[i], err = s.cfg.Cipher.Encrypt(kappas[i], exts[i])
+		if err != nil {
+			return nil, s.abort(ctx, fmt.Errorf("core: encrypting ext(v): %w", err))
+		}
+	}
+	// Ship in lexicographic order of the first entry.
+	perm := sortIndicesByElem(firsts)
+	msg := wire.ExtPairs{
+		Elem: make([]*big.Int, len(vS)),
+		Ext:  make([][]byte, len(vS)),
+	}
+	for pos, idx := range perm {
+		msg.Elem[pos] = firsts[idx]
+		msg.Ext[pos] = ciphertexts[idx]
+	}
+	if err := s.send(ctx, msg); err != nil {
+		return nil, err
+	}
+	return &SenderInfo{ReceiverSetSize: peerSize}, nil
+}
+
+// dedupRecords splits records into parallel value/ext slices with
+// duplicates removed, rejecting a value that appears with two different
+// Ext payloads.
+func dedupRecords(records []JoinRecord) (values [][]byte, exts [][]byte, err error) {
+	seen := make(map[string]int, len(records))
+	for _, rec := range records {
+		k := string(rec.Value)
+		if i, dup := seen[k]; dup {
+			if !valuesEqual(exts[i], rec.Ext) {
+				return nil, nil, fmt.Errorf("core: value %q has conflicting ext payloads", rec.Value)
+			}
+			continue
+		}
+		seen[k] = len(values)
+		values = append(values, rec.Value)
+		exts = append(exts, rec.Ext)
+	}
+	return values, exts, nil
+}

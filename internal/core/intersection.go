@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// IntersectionResult is what party R learns from the intersection
+// protocol: the set V_S ∩ V_R and the size |V_S| — exactly the contract
+// of Section 2.2.1 — and nothing else.
+type IntersectionResult struct {
+	// Values is V_S ∩ V_R, in R's input order.
+	Values [][]byte
+	// SenderSetSize is |V_S| (part of the permitted information I).
+	SenderSetSize int
+}
+
+// SenderInfo is what party S learns from a protocol run: only |V_R|.
+type SenderInfo struct {
+	// ReceiverSetSize is |V_R|.
+	ReceiverSetSize int
+}
+
+// IntersectionReceiver runs party R of the intersection protocol of
+// Section 3.3 over conn.  values may contain duplicates; the distinct
+// set V_R is used, as the paper prescribes.
+//
+// Protocol steps executed here (numbering from Section 3.3):
+//
+//	1-2. hash V_R, draw e_R, compute Y_R = f_eR(h(V_R))
+//	3.   send Y_R to S, reordered lexicographically
+//	5.   encrypt each y ∈ Y_S with e_R, giving Z_S; pair the aligned
+//	     replies ⟨f_eR(h(v)), f_eS(f_eR(h(v)))⟩ back with their v
+//	6.   select all v ∈ V_R whose double encryption lands in Z_S
+func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*IntersectionResult, error) {
+	s := newSession(cfg, conn)
+	vR := dedup(values)
+
+	peerSize, err := s.handshake(ctx, wire.ProtoIntersection, len(vR), true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1: hash the set (with the §3.2.2 collision check) and draw e_R.
+	xR, err := s.hashSet(vR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	eR, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, s.abort(ctx, fmt.Errorf("core: generating e_R: %w", err))
+	}
+
+	// Step 2: Y_R = f_eR(h(V_R)).
+	yR, err := s.encryptSet(ctx, eR, xR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 3: ship Y_R sorted.  Remember which value sits at each sorted
+	// position so the aligned reply of step 4(b) can be matched back.
+	order := sortIndicesByElem(yR)
+	sortedYR := make([]*big.Int, len(yR))
+	for pos, idx := range order {
+		sortedYR[pos] = yR[idx]
+	}
+	if err := s.send(ctx, wire.Elements{Elems: sortedYR}); err != nil {
+		return nil, err
+	}
+
+	// Step 4(a): receive Y_S (sorted, |V_S| elements).
+	m, err := s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	yS := m.(wire.Elements).Elems
+	if err := s.checkVector(yS, peerSize, "Y_S"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(yS, "Y_S"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 4(b): receive f_eS(y) for each y ∈ Y_R, aligned with the
+	// sorted order of step 3 (S "does not retransmit the y's back but
+	// just preserves the original order" — the Section 6.1 optimization).
+	m, err = s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	doubles := m.(wire.Elements).Elems
+	if err := s.checkVector(doubles, len(vR), "f_eS(Y_R)"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 5: Z_S = f_eR(Y_S).
+	zS, err := s.encryptSet(ctx, eR, yS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	zSet := make(map[string]struct{}, len(zS))
+	for _, z := range zS {
+		zSet[elemKey(z)] = struct{}{}
+	}
+
+	// Step 6: v ∈ V_S ∩ V_R iff f_eS(f_eR(h(v))) ∈ Z_S.
+	inIntersection := make([]bool, len(vR))
+	for pos, idx := range order {
+		if _, hit := zSet[elemKey(doubles[pos])]; hit {
+			inIntersection[idx] = true
+		}
+	}
+	res := &IntersectionResult{SenderSetSize: peerSize}
+	for i, v := range vR {
+		if inIntersection[i] {
+			res.Values = append(res.Values, v)
+		}
+	}
+	return res, nil
+}
+
+// IntersectionSender runs party S of the intersection protocol of
+// Section 3.3 over conn.  S learns only |V_R|.
+func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SenderInfo, error) {
+	s := newSession(cfg, conn)
+	vS := dedup(values)
+
+	peerSize, err := s.handshake(ctx, wire.ProtoIntersection, len(vS), false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1-2: hash V_S, draw e_S, compute Y_S.
+	xS, err := s.hashSet(vS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	eS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
+	}
+	yS, err := s.encryptSet(ctx, eS, xS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 3 (peer): receive Y_R.
+	m, err := s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	yR := m.(wire.Elements).Elems
+	if err := s.checkVector(yR, peerSize, "Y_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(yR, "Y_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 4(a): ship Y_S reordered lexicographically.
+	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yS)}); err != nil {
+		return nil, err
+	}
+
+	// Step 4(b): encrypt each y ∈ Y_R with e_S and send back, preserving
+	// the received order so R can match without the y's being repeated.
+	zR, err := s.encryptSet(ctx, eS, yR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.send(ctx, wire.Elements{Elems: zR}); err != nil {
+		return nil, err
+	}
+	return &SenderInfo{ReceiverSetSize: peerSize}, nil
+}
+
+// sortIndicesByElem returns a permutation perm such that
+// elems[perm[0]] <= elems[perm[1]] <= ... in numeric (= wire
+// lexicographic) order.
+func sortIndicesByElem(elems []*big.Int) []int {
+	perm := make([]int, len(elems))
+	for i := range perm {
+		perm[i] = i
+	}
+	sortSlice(perm, func(a, b int) bool { return elems[a].Cmp(elems[b]) < 0 })
+	return perm
+}

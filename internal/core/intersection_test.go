@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"minshare/internal/group"
+	"minshare/internal/transport"
+)
+
+func runIntersection(t *testing.T, vR, vS [][]byte) (*IntersectionResult, *SenderInfo) {
+	t.Helper()
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	return runPair(t,
+		func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+			return IntersectionReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSender(ctx, cfgS, conn, vS)
+		})
+}
+
+func TestIntersectionBasic(t *testing.T) {
+	vR, vS := overlapping(10, 15, 4)
+	res, sInfo := runIntersection(t, vR, vS)
+
+	want := plaintextIntersection(vR, vS)
+	if len(res.Values) != len(want) {
+		t.Fatalf("|intersection| = %d, want %d", len(res.Values), len(want))
+	}
+	for _, v := range res.Values {
+		if !want[string(v)] {
+			t.Errorf("spurious value %q", v)
+		}
+	}
+	if res.SenderSetSize != 15 {
+		t.Errorf("R learned |V_S| = %d, want 15", res.SenderSetSize)
+	}
+	if sInfo.ReceiverSetSize != 10 {
+		t.Errorf("S learned |V_R| = %d, want 10", sInfo.ReceiverSetSize)
+	}
+}
+
+func TestIntersectionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		nR, nS int
+		shared int
+	}{
+		{"disjoint", 5, 7, 0},
+		{"R subset of S", 4, 10, 4},
+		{"S subset of R", 10, 3, 3},
+		{"identical", 6, 6, 6},
+		{"singletons equal", 1, 1, 1},
+		{"singletons distinct", 1, 1, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			vR, vS := overlapping(tc.nR, tc.nS, tc.shared)
+			res, _ := runIntersection(t, vR, vS)
+			if len(res.Values) != tc.shared {
+				t.Errorf("|intersection| = %d, want %d", len(res.Values), tc.shared)
+			}
+		})
+	}
+}
+
+func TestIntersectionEmptySets(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		vR, vS [][]byte
+	}{
+		{"both empty", nil, nil},
+		{"R empty", nil, vals("s", 5)},
+		{"S empty", vals("r", 5), nil},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, _ := runIntersection(t, tc.vR, tc.vS)
+			if len(res.Values) != 0 {
+				t.Errorf("nonempty intersection %v", res.Values)
+			}
+		})
+	}
+}
+
+func TestIntersectionDuplicateInputs(t *testing.T) {
+	// Duplicates must be removed: the protocols operate on sets.
+	vR := [][]byte{[]byte("x"), []byte("x"), []byte("y")}
+	vS := [][]byte{[]byte("x"), []byte("z"), []byte("z")}
+	res, sInfo := runIntersection(t, vR, vS)
+	if got := sortedStrings(res.Values); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("intersection = %v, want [x]", got)
+	}
+	if res.SenderSetSize != 2 {
+		t.Errorf("|V_S| = %d, want 2 (deduped)", res.SenderSetSize)
+	}
+	if sInfo.ReceiverSetSize != 2 {
+		t.Errorf("|V_R| = %d, want 2 (deduped)", sInfo.ReceiverSetSize)
+	}
+}
+
+func TestIntersectionPreservesReceiverOrder(t *testing.T) {
+	vR := [][]byte{[]byte("c"), []byte("a"), []byte("b")}
+	vS := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	res, _ := runIntersection(t, vR, vS)
+	got := make([]string, len(res.Values))
+	for i, v := range res.Values {
+		got[i] = string(v)
+	}
+	if !reflect.DeepEqual(got, []string{"c", "a", "b"}) {
+		t.Errorf("result order %v, want R's input order [c a b]", got)
+	}
+}
+
+func TestIntersectionProperty(t *testing.T) {
+	// Random set pairs: protocol output must equal plaintext intersection.
+	f := func(seedR, seedS uint8) bool {
+		nR := int(seedR%12) + 1
+		nS := int(seedS%12) + 1
+		shared := int(seedR+seedS) % (min(nR, nS) + 1)
+		vR, vS := overlapping(nR, nS, shared)
+		res, _ := runIntersection(t, vR, vS)
+		return len(res.Values) == shared
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionGroupMismatch(t *testing.T) {
+	cfgR := testConfig(1)
+	cfgS := testConfig(2)
+	cfgS.Group = group.MustBuiltin(group.Bits512)
+	rErr, sErr := runPairExpectErr(
+		func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+			return IntersectionReceiver(ctx, cfgR, conn, vals("r", 3))
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSender(ctx, cfgS, conn, vals("s", 3))
+		})
+	if rErr == nil && sErr == nil {
+		t.Fatal("group mismatch went undetected")
+	}
+	if rErr != nil && !errors.Is(rErr, ErrGroupMismatch) && !errors.Is(rErr, ErrPeerFailure) {
+		t.Errorf("receiver error = %v", rErr)
+	}
+	if sErr != nil && !errors.Is(sErr, ErrGroupMismatch) && !errors.Is(sErr, ErrPeerFailure) {
+		t.Errorf("sender error = %v", sErr)
+	}
+}
+
+func TestProtocolMismatch(t *testing.T) {
+	// R runs intersection, S runs intersection-size: both must abort.
+	rErr, sErr := runPairExpectErr(
+		func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+			return IntersectionReceiver(ctx, testConfig(1), conn, vals("r", 3))
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSizeSender(ctx, testConfig(2), conn, vals("s", 3))
+		})
+	if rErr == nil && sErr == nil {
+		t.Fatal("protocol mismatch went undetected")
+	}
+}

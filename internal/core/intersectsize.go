@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// SizeResult is what party R learns from the intersection-size protocol:
+// the two sizes of Section 2.2.1 and nothing about membership.
+type SizeResult struct {
+	// IntersectionSize is |V_S ∩ V_R|.
+	IntersectionSize int
+	// SenderSetSize is |V_S|.
+	SenderSetSize int
+}
+
+// IntersectionSizeReceiver runs party R of the intersection-size
+// protocol of Section 5.1.1.  The difference from the intersection
+// protocol is confined to step 4(b): S returns only the lexicographically
+// reordered encryptions of R's values, not paired with the originals, so
+// R cannot match them back to its own values and learns only the overlap
+// cardinality.
+func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SizeResult, error) {
+	s := newSession(cfg, conn)
+	vR := dedup(values)
+
+	peerSize, err := s.handshake(ctx, wire.ProtoIntersectionSize, len(vR), true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 1-2: hash, draw e_R, encrypt.
+	xR, err := s.hashSet(vR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	eR, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, s.abort(ctx, fmt.Errorf("core: generating e_R: %w", err))
+	}
+	yR, err := s.encryptSet(ctx, eR, xR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 3: send Y_R sorted.  No permutation bookkeeping is needed —
+	// nothing that comes back can be aligned, by design.
+	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yR)}); err != nil {
+		return nil, err
+	}
+
+	// Step 4(a): receive Y_S sorted.
+	m, err := s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	yS := m.(wire.Elements).Elems
+	if err := s.checkVector(yS, peerSize, "Y_S"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(yS, "Y_S"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 4(b): receive Z_R = f_eS(f_eR(h(V_R))), reordered
+	// lexicographically — the detachment from the y's is the whole point.
+	m, err = s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	zR := m.(wire.Elements).Elems
+	if err := s.checkVector(zR, len(vR), "Z_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(zR, "Z_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 5: Z_S = f_eR(Y_S).
+	zS, err := s.encryptSet(ctx, eR, yS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 6: |Z_S ∩ Z_R| = |V_S ∩ V_R|.
+	zSet := make(map[string]struct{}, len(zS))
+	for _, z := range zS {
+		zSet[elemKey(z)] = struct{}{}
+	}
+	size := 0
+	for _, z := range zR {
+		if _, hit := zSet[elemKey(z)]; hit {
+			size++
+		}
+	}
+	return &SizeResult{IntersectionSize: size, SenderSetSize: peerSize}, nil
+}
+
+// IntersectionSizeSender runs party S of the intersection-size protocol
+// of Section 5.1.1.
+func IntersectionSizeSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SenderInfo, error) {
+	s := newSession(cfg, conn)
+	vS := dedup(values)
+
+	peerSize, err := s.handshake(ctx, wire.ProtoIntersectionSize, len(vS), false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 1-2.
+	xS, err := s.hashSet(vS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	eS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
+	}
+	yS, err := s.encryptSet(ctx, eS, xS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 3 (peer): receive Y_R.
+	m, err := s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	yR := m.(wire.Elements).Elems
+	if err := s.checkVector(yR, peerSize, "Y_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(yR, "Y_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 4(a): ship Y_S sorted.
+	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yS)}); err != nil {
+		return nil, err
+	}
+
+	// Step 4(b): ship Z_R = f_eS(Y_R), *reordered lexicographically* so R
+	// cannot match encryptions back to its values.
+	zR, err := s.encryptSet(ctx, eS, yR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(zR)}); err != nil {
+		return nil, err
+	}
+	return &SenderInfo{ReceiverSetSize: peerSize}, nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// JoinSizeResult is what party R learns from the equijoin-size protocol
+// of Section 5.2.  Beyond |T_S ⋈ T_R| and |V_S| (as a multiset), R also
+// learns the distribution of duplicates in T_S.A — the leak the paper
+// explicitly characterizes.  Package leakage computes exactly which
+// partition-level overlaps that distribution reveals.
+type JoinSizeResult struct {
+	// JoinSize is |T_S ⋈ T_R| restricted to the join attribute, i.e.
+	// Σ_v dup_R(v)·dup_S(v).
+	JoinSize int
+	// SenderMultisetSize is the number of rows in T_S.A (with duplicates).
+	SenderMultisetSize int
+	// SenderDuplicateDistribution maps a duplicate count d to the number
+	// of distinct values in V_S having exactly d duplicates: the
+	// distribution R inevitably observes from the repeated encryptions.
+	SenderDuplicateDistribution map[int]int
+}
+
+// JoinSizeSenderInfo is what party S learns: |T_R.A| as a multiset and
+// the distribution of duplicates in T_R.A.
+type JoinSizeSenderInfo struct {
+	// ReceiverMultisetSize is the number of rows in T_R.A.
+	ReceiverMultisetSize int
+	// ReceiverDuplicateDistribution maps duplicate count to number of
+	// distinct values of V_R with that count.
+	ReceiverDuplicateDistribution map[int]int
+}
+
+// EquijoinSizeReceiver runs party R of the equijoin-size protocol of
+// Section 5.2: the intersection-size protocol run on multisets, with the
+// join size computed in the final step.  values is T_R.A *with*
+// duplicates.
+func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*JoinSizeResult, error) {
+	s := newSession(cfg, conn)
+
+	peerSize, err := s.handshake(ctx, wire.ProtoEquijoinSize, len(values), true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 1-2 on the multiset: equal values hash (and encrypt) to equal
+	// elements, so S will see T_R.A's duplicate structure — the leak the
+	// paper accepts for this protocol.
+	xR, err := s.hashSet(values)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	eR, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, s.abort(ctx, fmt.Errorf("core: generating e_R: %w", err))
+	}
+	yR, err := s.encryptSet(ctx, eR, xR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 3: send Y_R sorted.
+	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yR)}); err != nil {
+		return nil, err
+	}
+
+	// Step 4(a): receive Y_S (multiset) sorted.
+	m, err := s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	yS := m.(wire.Elements).Elems
+	if err := s.checkVector(yS, peerSize, "Y_S"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(yS, "Y_S"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 4(b): receive Z_R sorted.
+	m, err = s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	zR := m.(wire.Elements).Elems
+	if err := s.checkVector(zR, len(values), "Z_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(zR, "Z_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 5: Z_S = f_eR(Y_S).
+	zS, err := s.encryptSet(ctx, eR, yS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 6 (modified per Section 5.2): join size instead of
+	// intersection size — Σ over distinct doubly-encrypted values of
+	// count_R · count_S.
+	countR := multisetCounts(zR)
+	countS := multisetCounts(zS)
+	join := 0
+	for k, cR := range countR {
+		join += cR * countS[k]
+	}
+
+	return &JoinSizeResult{
+		JoinSize:                    join,
+		SenderMultisetSize:          peerSize,
+		SenderDuplicateDistribution: DuplicateDistributionElems(yS),
+	}, nil
+}
+
+// EquijoinSizeSender runs party S of the equijoin-size protocol of
+// Section 5.2.  values is T_S.A *with* duplicates.
+func EquijoinSizeSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*JoinSizeSenderInfo, error) {
+	s := newSession(cfg, conn)
+
+	peerSize, err := s.handshake(ctx, wire.ProtoEquijoinSize, len(values), false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 1-2 on the multiset.
+	xS, err := s.hashSet(values)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	eS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
+	}
+	yS, err := s.encryptSet(ctx, eS, xS)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 3 (peer): receive Y_R (multiset).
+	m, err := s.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	yR := m.(wire.Elements).Elems
+	if err := s.checkVector(yR, peerSize, "Y_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.checkSorted(yR, "Y_R"); err != nil {
+		return nil, s.abort(ctx, err)
+	}
+
+	// Step 4(a): ship Y_S sorted.
+	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yS)}); err != nil {
+		return nil, err
+	}
+
+	// Step 4(b): ship Z_R sorted.
+	zR, err := s.encryptSet(ctx, eS, yR)
+	if err != nil {
+		return nil, s.abort(ctx, err)
+	}
+	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(zR)}); err != nil {
+		return nil, err
+	}
+
+	return &JoinSizeSenderInfo{
+		ReceiverMultisetSize:          peerSize,
+		ReceiverDuplicateDistribution: DuplicateDistributionElems(yR),
+	}, nil
+}
+
+// multisetCounts tallies occurrences of each element.
+func multisetCounts(elems []*big.Int) map[string]int {
+	out := make(map[string]int, len(elems))
+	for _, e := range elems {
+		out[elemKey(e)]++
+	}
+	return out
+}
+
+// DuplicateDistributionElems maps duplicate count d to the number of
+// distinct elements occurring exactly d times — the "distribution of
+// duplicates" of Section 5.2 as observed from an encrypted multiset.
+func DuplicateDistributionElems(elems []*big.Int) map[int]int {
+	counts := multisetCounts(elems)
+	dist := make(map[int]int)
+	for _, c := range counts {
+		dist[c]++
+	}
+	return dist
+}
+
+// DuplicateDistributionValues is DuplicateDistributionElems for plaintext
+// application values; the leakage analysis compares the two.
+func DuplicateDistributionValues(values [][]byte) map[int]int {
+	counts := make(map[string]int, len(values))
+	for _, v := range values {
+		counts[string(v)]++
+	}
+	dist := make(map[int]int)
+	for _, c := range counts {
+		dist[c]++
+	}
+	return dist
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"minshare/internal/oracle"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+func runNaive(t *testing.T, vR, vS [][]byte) (*NaiveResult, *SenderInfo) {
+	t.Helper()
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	return runPair(t,
+		func(ctx context.Context, conn transport.Conn) (*NaiveResult, error) {
+			return NaiveHashReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return NaiveHashSender(ctx, cfgS, conn, vS)
+		})
+}
+
+func TestNaiveProtocolIsCorrect(t *testing.T) {
+	// Section 3.1: the naive protocol *does* compute the intersection.
+	vR, vS := overlapping(6, 9, 3)
+	res, _ := runNaive(t, vR, vS)
+	if len(res.Values) != 3 {
+		t.Errorf("|intersection| = %d, want 3", len(res.Values))
+	}
+}
+
+// TestNaiveProtocolIsBroken reproduces the attack of Section 3.1: "For
+// any arbitrary value v ... R can simply compute h(v) and check whether
+// h(v) ∈ X_S" — with a small domain, R recovers V_S completely.
+func TestNaiveProtocolIsBroken(t *testing.T) {
+	domain := vals("patient-", 50) // the (small) value domain V
+	vS := [][]byte{domain[3], domain[17], domain[42]}
+	vR := [][]byte{domain[3]} // R legitimately shares only one value
+
+	res, _ := runNaive(t, vR, vS)
+	if len(res.Values) != 1 {
+		t.Fatalf("legitimate intersection = %d, want 1", len(res.Values))
+	}
+
+	// The dictionary attack on R's received view recovers ALL of V_S.
+	o := oracle.New(testConfig(1).Group)
+	recovered := NaiveDictionaryAttack(o, res.HashedSenderSet, domain)
+	if len(recovered) != 3 {
+		t.Fatalf("attack recovered %d values, want all 3 of V_S", len(recovered))
+	}
+	got := map[string]bool{}
+	for _, v := range recovered {
+		got[string(v)] = true
+	}
+	for _, v := range vS {
+		if !got[string(v)] {
+			t.Errorf("attack missed %q", v)
+		}
+	}
+}
+
+// TestRealProtocolResistsDictionaryAttack runs the same attack against
+// the *real* intersection protocol's transcript and shows it recovers
+// nothing: the commutative encryption of the hashes is exactly what
+// Section 3.3 adds over Section 3.1.
+func TestRealProtocolResistsDictionaryAttack(t *testing.T) {
+	domain := vals("patient-", 50)
+	vS := [][]byte{domain[3], domain[17], domain[42]}
+	vR := [][]byte{domain[3]}
+
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	ctx := context.Background()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	tapR := transport.NewTap(connR)
+
+	ch := make(chan error, 1)
+	go func() {
+		_, err := IntersectionSender(ctx, cfgS, connS, vS)
+		ch <- err
+	}()
+	res, err := IntersectionReceiver(ctx, cfgR, tapR, vR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 {
+		t.Fatalf("intersection = %d, want 1", len(res.Values))
+	}
+
+	// Collect every group element R received and attack them all.
+	codec := wire.NewCodec(cfgR.Group)
+	o := oracle.New(cfgR.Group)
+	var recovered int
+	for _, frame := range tapR.Received() {
+		m, err := codec.Decode(frame)
+		if err != nil {
+			t.Fatalf("decoding tapped frame: %v", err)
+		}
+		if el, ok := m.(wire.Elements); ok {
+			recovered += len(DictionaryAttackElements(o, el.Elems, domain))
+		}
+	}
+	if recovered != 0 {
+		t.Fatalf("dictionary attack recovered %d values from the REAL protocol transcript", recovered)
+	}
+}
+
+func TestNaiveEmptySets(t *testing.T) {
+	res, _ := runNaive(t, nil, nil)
+	if len(res.Values) != 0 {
+		t.Error("empty naive run produced values")
+	}
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"minshare/internal/commutative"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// tapRun runs a protocol pair with taps on both connections and returns
+// the two incoming views.
+func tapRun(t *testing.T, vR, vS [][]byte,
+	recvFn func(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) error,
+	sendFn func(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) error,
+) (viewR, viewS *transport.Tap) {
+	t.Helper()
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	ctx := context.Background()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	tapR := transport.NewTap(connR)
+	tapS := transport.NewTap(connS)
+
+	ch := make(chan error, 1)
+	go func() { ch <- sendFn(ctx, cfgS, tapS, vS) }()
+	if err := recvFn(ctx, cfgR, tapR, vR); err != nil {
+		t.Fatalf("receiver: %v", err)
+	}
+	if err := <-ch; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	return tapR, tapS
+}
+
+// decodeFrames parses every tapped frame.
+func decodeFrames(t *testing.T, cfg Config, frames [][]byte) []wire.Message {
+	t.Helper()
+	codec := wire.NewCodec(cfg.normalized().Group)
+	out := make([]wire.Message, len(frames))
+	for i, f := range frames {
+		m, err := codec.Decode(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// TestIntersectionSenderViewIsMinimal checks Statement 2's content for S:
+// apart from the header, S's entire incoming view is ONE message holding
+// exactly |V_R| sorted group elements — nothing about which values they
+// are.
+func TestIntersectionSenderViewIsMinimal(t *testing.T) {
+	vR, vS := overlapping(7, 9, 3)
+	_, tapS := tapRun(t, vR, vS,
+		func(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) error {
+			_, err := IntersectionReceiver(ctx, cfg, conn, values)
+			return err
+		},
+		func(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) error {
+			_, err := IntersectionSender(ctx, cfg, conn, values)
+			return err
+		})
+
+	msgs := decodeFrames(t, testConfig(0), tapS.Received())
+	if len(msgs) != 2 {
+		t.Fatalf("S received %d messages, want 2 (header + Y_R)", len(msgs))
+	}
+	hdr, ok := msgs[0].(wire.Header)
+	if !ok {
+		t.Fatalf("first message is %T", msgs[0])
+	}
+	if hdr.SetSize != 7 {
+		t.Errorf("header announces %d, want |V_R| = 7", hdr.SetSize)
+	}
+	el, ok := msgs[1].(wire.Elements)
+	if !ok {
+		t.Fatalf("second message is %T", msgs[1])
+	}
+	if len(el.Elems) != 7 {
+		t.Errorf("Y_R carries %d elements, want 7", len(el.Elems))
+	}
+	for i := 1; i < len(el.Elems); i++ {
+		if el.Elems[i-1].Cmp(el.Elems[i]) > 0 {
+			t.Fatal("Y_R not sorted: positional information leaks (footnote 3)")
+		}
+	}
+}
+
+// TestIntersectionSizeReceiverViewDetached checks the crucial difference
+// of Section 5.1: the Z_R vector R receives is sorted, hence carries no
+// alignment with the Y_R that R sent.
+func TestIntersectionSizeReceiverViewDetached(t *testing.T) {
+	vR, vS := overlapping(8, 5, 2)
+	tapR, _ := tapRun(t, vR, vS,
+		func(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) error {
+			_, err := IntersectionSizeReceiver(ctx, cfg, conn, values)
+			return err
+		},
+		func(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) error {
+			_, err := IntersectionSizeSender(ctx, cfg, conn, values)
+			return err
+		})
+
+	msgs := decodeFrames(t, testConfig(0), tapR.Received())
+	// header, Y_S, Z_R
+	if len(msgs) != 3 {
+		t.Fatalf("R received %d messages, want 3", len(msgs))
+	}
+	for i, m := range msgs[1:] {
+		el, ok := m.(wire.Elements)
+		if !ok {
+			t.Fatalf("message %d is %T", i+1, m)
+		}
+		for j := 1; j < len(el.Elems); j++ {
+			if el.Elems[j-1].Cmp(el.Elems[j]) > 0 {
+				t.Fatalf("message %d not sorted", i+1)
+			}
+		}
+	}
+}
+
+// TestIntersectionComputationCounts verifies the Section 6.1 computation
+// formula *exactly*: the intersection protocol performs
+// 2(|V_S| + |V_R|) C_e operations in total.
+func TestIntersectionComputationCounts(t *testing.T) {
+	nR, nS, shared := 11, 6, 2
+	vR, vS := overlapping(nR, nS, shared)
+
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	countR := commutative.NewCounting(commutative.NewPowerFn(cfgR.Group))
+	countS := commutative.NewCounting(commutative.NewPowerFn(cfgS.Group))
+	cfgR.Scheme = countR
+	cfgS.Scheme = countS
+
+	runPair(t,
+		func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+			return IntersectionReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSender(ctx, cfgS, conn, vS)
+		})
+
+	// R encrypts V_R once and Y_S once: |V_R| + |V_S| ops.
+	if got, want := countR.Ops(), int64(nR+nS); got != want {
+		t.Errorf("R performed %d C_e ops, want %d", got, want)
+	}
+	// S encrypts V_S once and Y_R once: |V_S| + |V_R| ops.
+	if got, want := countS.Ops(), int64(nR+nS); got != want {
+		t.Errorf("S performed %d C_e ops, want %d", got, want)
+	}
+	// Total = 2(|V_S|+|V_R|), the paper's approximate intersection cost.
+	if got, want := countR.Ops()+countS.Ops(), int64(2*(nR+nS)); got != want {
+		t.Errorf("total C_e ops = %d, want %d", got, want)
+	}
+}
+
+// TestEquijoinComputationCounts verifies the Section 6.1 join formula:
+// 2C_e|V_S| + 5C_e|V_R| in total, split as S: 2|V_S|+2|V_R| and
+// R: 3|V_R| (one encryption of V_R plus two decryptions per element).
+func TestEquijoinComputationCounts(t *testing.T) {
+	nR, nS, shared := 9, 7, 4
+	vR, vS := overlapping(nR, nS, shared)
+
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	countR := commutative.NewCounting(commutative.NewPowerFn(cfgR.Group))
+	countS := commutative.NewCounting(commutative.NewPowerFn(cfgS.Group))
+	cfgR.Scheme = countR
+	cfgS.Scheme = countS
+
+	runPair(t,
+		func(ctx context.Context, conn transport.Conn) (*JoinResult, error) {
+			return EquijoinReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return EquijoinSender(ctx, cfgS, conn, mkRecords(vS))
+		})
+
+	if got, want := countR.Ops(), int64(3*nR); got != want {
+		t.Errorf("R performed %d C_e ops, want 3|V_R| = %d", got, want)
+	}
+	if got, want := countS.Ops(), int64(2*nS+2*nR); got != want {
+		t.Errorf("S performed %d C_e ops, want 2|V_S|+2|V_R| = %d", got, want)
+	}
+	if got, want := countR.Ops()+countS.Ops(), int64(2*nS+5*nR); got != want {
+		t.Errorf("total = %d, want 2|V_S|+5|V_R| = %d", got, want)
+	}
+}
+
+// TestIntersectionCommunicationBytes verifies the Section 6.1
+// communication formula exactly: (|V_S| + 2|V_R|)·k bits of group
+// elements flow during the intersection protocol (excluding the two
+// fixed-size headers and fixed per-message framing).
+func TestIntersectionCommunicationBytes(t *testing.T) {
+	nR, nS, shared := 10, 13, 5
+	vR, vS := overlapping(nR, nS, shared)
+	cfgR, cfgS := testConfig(1), testConfig(2)
+
+	ctx := context.Background()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	meterR := transport.NewMeter(connR)
+
+	ch := make(chan error, 1)
+	go func() {
+		_, err := IntersectionSender(ctx, cfgS, connS, vS)
+		ch <- err
+	}()
+	if _, err := IntersectionReceiver(ctx, cfgR, meterR, vR); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+
+	elem := int64(cfgR.Group.ElementLen())
+	const headerLen = 1 + 1 + 4 + 32 + 8 // kind + proto + bits + digest + size
+	const vecOverhead = 1 + 4            // kind + count
+
+	wantSent := int64(headerLen) + vecOverhead + int64(nR)*elem
+	if got := meterR.BytesSent(); got != wantSent {
+		t.Errorf("R sent %d bytes, want %d (header + |V_R| elements)", got, wantSent)
+	}
+	wantRecv := int64(headerLen) + 2*vecOverhead + int64(nS+nR)*elem
+	if got := meterR.BytesRecv(); got != wantRecv {
+		t.Errorf("R received %d bytes, want %d (header + (|V_S|+|V_R|) elements)", got, wantRecv)
+	}
+	// Total element payload = (|V_S| + 2|V_R|)·k bits, the paper formula.
+	gotElems := meterR.TotalBytes() - 2*headerLen - 3*vecOverhead
+	if want := int64(nS+2*nR) * elem; gotElems != want {
+		t.Errorf("element traffic = %d bytes, want (|V_S|+2|V_R|)k = %d", gotElems, want)
+	}
+}
+
+// TestEquijoinCommunicationBytes verifies the join communication formula
+// (|V_S| + 3|V_R|)·k + |V_S|·k' (k' = ciphertext size for our ext
+// payloads) against metered traffic.
+func TestEquijoinCommunicationBytes(t *testing.T) {
+	nR, nS, shared := 6, 8, 3
+	vR, vS := overlapping(nR, nS, shared)
+	cfgR, cfgS := testConfig(1), testConfig(2)
+
+	// Fix every ext payload to the same length so k' is well defined.
+	recs := make([]JoinRecord, len(vS))
+	for i, v := range vS {
+		ext := make([]byte, 24)
+		copy(ext, v)
+		recs[i] = JoinRecord{Value: v, Ext: ext}
+	}
+
+	ctx := context.Background()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	meterR := transport.NewMeter(connR)
+
+	ch := make(chan error, 1)
+	go func() {
+		_, err := EquijoinSender(ctx, cfgS, connS, recs)
+		ch <- err
+	}()
+	if _, err := EquijoinReceiver(ctx, cfgR, meterR, vR); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+
+	elem := int64(cfgR.Group.ElementLen())
+	kPrime := int64(cfgR.normalized().Cipher.CiphertextLen(24))
+	const headerLen = 1 + 1 + 4 + 32 + 8
+	const vecOverhead = 1 + 4
+	const extLenPrefix = 4 // per-ext length prefix inside ExtPairs
+
+	// R sends: header + |V_R| elements.
+	wantSent := int64(headerLen) + vecOverhead + int64(nR)*elem
+	if got := meterR.BytesSent(); got != wantSent {
+		t.Errorf("R sent %d bytes, want %d", got, wantSent)
+	}
+	// R receives: header + 2|V_R| elements (pairs) + |V_S| elements with
+	// |V_S| ciphertexts (ext pairs).
+	wantRecv := int64(headerLen) +
+		vecOverhead + 2*int64(nR)*elem +
+		vecOverhead + int64(nS)*(elem+extLenPrefix+kPrime)
+	if got := meterR.BytesRecv(); got != wantRecv {
+		t.Errorf("R received %d bytes, want %d", got, wantRecv)
+	}
+	// Element+ciphertext payload matches (|V_S|+3|V_R|)k + |V_S|k'.
+	gotPayload := meterR.TotalBytes() - 2*headerLen - 3*vecOverhead - int64(nS)*extLenPrefix
+	if want := int64(nS+3*nR)*elem + int64(nS)*kPrime; gotPayload != want {
+		t.Errorf("payload = %d bytes, want (|V_S|+3|V_R|)k + |V_S|k' = %d", gotPayload, want)
+	}
+}
+
+// TestDoubleEncryptionsMatchAcrossParties is the algebraic heart of every
+// protocol: f_eS(f_eR(h(v))) computed by S equals f_eR(f_eS(h(v)))
+// computed by R, for the same v — and differs for different v.
+func TestDoubleEncryptionsMatchAcrossParties(t *testing.T) {
+	cfg := testConfig(1).normalized()
+	o := cfg.Oracle
+	s := cfg.Scheme
+	kR, _ := s.GenerateKey(cfg.Rand)
+	kS, _ := s.GenerateKey(cfg.Rand)
+
+	hv := o.HashString("shared-value")
+	viaR, err := s.Encrypt(kS, mustEncrypt(t, s, kR, hv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaS, err := s.Encrypt(kR, mustEncrypt(t, s, kS, hv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaR.Cmp(viaS) != 0 {
+		t.Fatal("double encryptions disagree for the same value")
+	}
+
+	other := o.HashString("different-value")
+	viaOther, err := s.Encrypt(kR, mustEncrypt(t, s, kS, other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOther.Cmp(viaR) == 0 {
+		t.Fatal("double encryptions collide for different values")
+	}
+}
+
+func mustEncrypt(t *testing.T, s commutative.Scheme, k *commutative.Key, x *big.Int) *big.Int {
+	t.Helper()
+	y, err := s.Encrypt(k, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"minshare/internal/transport"
+)
+
+func runIntersectionSize(t *testing.T, vR, vS [][]byte) (*SizeResult, *SenderInfo) {
+	t.Helper()
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	return runPair(t,
+		func(ctx context.Context, conn transport.Conn) (*SizeResult, error) {
+			return IntersectionSizeReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSizeSender(ctx, cfgS, conn, vS)
+		})
+}
+
+func TestIntersectionSizeBasic(t *testing.T) {
+	vR, vS := overlapping(10, 14, 6)
+	res, sInfo := runIntersectionSize(t, vR, vS)
+	if res.IntersectionSize != 6 {
+		t.Errorf("size = %d, want 6", res.IntersectionSize)
+	}
+	if res.SenderSetSize != 14 {
+		t.Errorf("|V_S| = %d, want 14", res.SenderSetSize)
+	}
+	if sInfo.ReceiverSetSize != 10 {
+		t.Errorf("|V_R| = %d, want 10", sInfo.ReceiverSetSize)
+	}
+}
+
+func TestIntersectionSizeSweep(t *testing.T) {
+	for _, tc := range []struct{ nR, nS, shared int }{
+		{1, 1, 0}, {1, 1, 1}, {5, 5, 0}, {5, 5, 5}, {8, 3, 2}, {3, 8, 3},
+	} {
+		vR, vS := overlapping(tc.nR, tc.nS, tc.shared)
+		res, _ := runIntersectionSize(t, vR, vS)
+		if res.IntersectionSize != tc.shared {
+			t.Errorf("(%d,%d,%d): size = %d", tc.nR, tc.nS, tc.shared, res.IntersectionSize)
+		}
+	}
+}
+
+func TestIntersectionSizeEmpty(t *testing.T) {
+	res, _ := runIntersectionSize(t, nil, nil)
+	if res.IntersectionSize != 0 || res.SenderSetSize != 0 {
+		t.Errorf("empty run: %+v", res)
+	}
+}
+
+func TestIntersectionSizeDedupes(t *testing.T) {
+	vR := [][]byte{[]byte("a"), []byte("a"), []byte("b")}
+	vS := [][]byte{[]byte("a"), []byte("c"), []byte("c")}
+	res, _ := runIntersectionSize(t, vR, vS)
+	if res.IntersectionSize != 1 {
+		t.Errorf("size = %d, want 1", res.IntersectionSize)
+	}
+	if res.SenderSetSize != 2 {
+		t.Errorf("|V_S| = %d, want 2", res.SenderSetSize)
+	}
+}
+
+// ---- equijoin size (multisets) ----
+
+func runJoinSize(t *testing.T, vR, vS [][]byte) (*JoinSizeResult, *JoinSizeSenderInfo) {
+	t.Helper()
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	return runPair(t,
+		func(ctx context.Context, conn transport.Conn) (*JoinSizeResult, error) {
+			return EquijoinSizeReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*JoinSizeSenderInfo, error) {
+			return EquijoinSizeSender(ctx, cfgS, conn, vS)
+		})
+}
+
+// plaintextJoinSize computes Σ_v dup_R(v)·dup_S(v).
+func plaintextJoinSize(vR, vS [][]byte) int {
+	cR := map[string]int{}
+	for _, v := range vR {
+		cR[string(v)]++
+	}
+	cS := map[string]int{}
+	for _, v := range vS {
+		cS[string(v)]++
+	}
+	n := 0
+	for k, a := range cR {
+		n += a * cS[k]
+	}
+	return n
+}
+
+func TestEquijoinSizeNoDuplicates(t *testing.T) {
+	// Without duplicates the join size equals the intersection size.
+	vR, vS := overlapping(7, 9, 4)
+	res, _ := runJoinSize(t, vR, vS)
+	if res.JoinSize != 4 {
+		t.Errorf("join size = %d, want 4", res.JoinSize)
+	}
+}
+
+func TestEquijoinSizeWithDuplicates(t *testing.T) {
+	vR := [][]byte{
+		[]byte("a"), []byte("a"), []byte("a"), // a ×3
+		[]byte("b"),              // b ×1
+		[]byte("c"), []byte("c"), // c ×2
+		[]byte("r1"), []byte("r2"), // R-only
+	}
+	vS := [][]byte{
+		[]byte("a"), []byte("a"), // a ×2
+		[]byte("b"), []byte("b"), []byte("b"), // b ×3
+		[]byte("s1"), // S-only
+	}
+	res, sInfo := runJoinSize(t, vR, vS)
+	want := 3*2 + 1*3 // a: 6, b: 3
+	if res.JoinSize != want {
+		t.Errorf("join size = %d, want %d", res.JoinSize, want)
+	}
+	if res.SenderMultisetSize != len(vS) {
+		t.Errorf("|T_S.A| = %d, want %d", res.SenderMultisetSize, len(vS))
+	}
+	if sInfo.ReceiverMultisetSize != len(vR) {
+		t.Errorf("|T_R.A| = %d, want %d", sInfo.ReceiverMultisetSize, len(vR))
+	}
+
+	// Section 5.2: R learns the distribution of duplicates in T_S.A ...
+	wantDistS := map[int]int{2: 1, 3: 1, 1: 1} // a×2, b×3, s1×1
+	if !reflect.DeepEqual(res.SenderDuplicateDistribution, wantDistS) {
+		t.Errorf("S duplicate distribution = %v, want %v", res.SenderDuplicateDistribution, wantDistS)
+	}
+	// ... and S learns the distribution of duplicates in T_R.A.
+	wantDistR := map[int]int{3: 1, 1: 3, 2: 1} // a×3; b,r1,r2×1; c×2
+	if !reflect.DeepEqual(sInfo.ReceiverDuplicateDistribution, wantDistR) {
+		t.Errorf("R duplicate distribution = %v, want %v", sInfo.ReceiverDuplicateDistribution, wantDistR)
+	}
+}
+
+func TestEquijoinSizeProperty(t *testing.T) {
+	f := func(dupsR, dupsS []uint8) bool {
+		if len(dupsR) > 8 {
+			dupsR = dupsR[:8]
+		}
+		if len(dupsS) > 8 {
+			dupsS = dupsS[:8]
+		}
+		var vR, vS [][]byte
+		for i, d := range dupsR {
+			for j := 0; j < int(d%4); j++ {
+				vR = append(vR, []byte{byte('a' + i)})
+			}
+		}
+		for i, d := range dupsS {
+			for j := 0; j < int(d%4); j++ {
+				vS = append(vS, []byte{byte('a' + i)})
+			}
+		}
+		res, _ := runJoinSize(t, vR, vS)
+		return res.JoinSize == plaintextJoinSize(vR, vS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateDistributionHelpers(t *testing.T) {
+	values := [][]byte{[]byte("x"), []byte("x"), []byte("y")}
+	want := map[int]int{2: 1, 1: 1}
+	if got := DuplicateDistributionValues(values); !reflect.DeepEqual(got, want) {
+		t.Errorf("DuplicateDistributionValues = %v, want %v", got, want)
+	}
+}

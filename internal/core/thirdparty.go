@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// Third-party intersection size (Figure 2 of the paper).
+//
+// The medical research application uses "a slightly modified version of
+// the intersection size protocol where Z_R and Z_S are sent to T, the
+// researcher, instead of to S and R".  Parties A and B each hold a value
+// set; they exchange encrypted sets directly (steps 1-4 of the
+// Section 5.1.1 protocol), but the doubly-encrypted sets go to the
+// analyst T, who alone computes |V_A ∩ V_B|.  Neither A nor B learns the
+// intersection size; T learns only the two set sizes and the overlap.
+//
+// Party A plays the header-first role (like R); party B responds (like
+// S).  Both need a connection to each other and to T.
+
+// ThirdPartySizeResult is what the analyst T learns.
+type ThirdPartySizeResult struct {
+	// IntersectionSize is |V_A ∩ V_B| (multiset-aware: for multiset
+	// inputs it is the join size Σ dup_A·dup_B).
+	IntersectionSize int
+	// SizeA and SizeB are the announced set sizes.
+	SizeA, SizeB int
+}
+
+// ThirdPartyPeerInfo is what each data party learns: the other party's
+// set size (from the direct exchange) and nothing about the overlap.
+type ThirdPartyPeerInfo struct {
+	PeerSetSize int
+}
+
+// ThirdPartyPartyA runs the first data party.  peer connects to party B;
+// analyst connects to T.
+func ThirdPartyPartyA(ctx context.Context, cfg Config, peer, analyst transport.Conn, values [][]byte) (*ThirdPartyPeerInfo, error) {
+	return thirdPartyParty(ctx, cfg, peer, analyst, values, true)
+}
+
+// ThirdPartyPartyB runs the second data party.
+func ThirdPartyPartyB(ctx context.Context, cfg Config, peer, analyst transport.Conn, values [][]byte) (*ThirdPartyPeerInfo, error) {
+	return thirdPartyParty(ctx, cfg, peer, analyst, values, false)
+}
+
+func thirdPartyParty(ctx context.Context, cfg Config, peer, analyst transport.Conn, values [][]byte, first bool) (*ThirdPartyPeerInfo, error) {
+	ps := newSession(cfg, peer)
+	as := newSession(cfg, analyst)
+	vals := dedup(values)
+
+	peerSize, err := ps.handshake(ctx, wire.ProtoIntersectionSize, len(vals), first)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 1-2: hash own set, draw key, encrypt.
+	x, err := ps.hashSet(vals)
+	if err != nil {
+		return nil, ps.abort(ctx, err)
+	}
+	key, err := ps.cfg.Scheme.GenerateKey(ps.cfg.Rand)
+	if err != nil {
+		return nil, ps.abort(ctx, fmt.Errorf("core: generating key: %w", err))
+	}
+	y, err := ps.encryptSet(ctx, key, x)
+	if err != nil {
+		return nil, ps.abort(ctx, err)
+	}
+
+	// Step 3: exchange singly-encrypted sets with the peer, sorted.
+	// Party A sends first to avoid a lockstep deadlock.
+	if first {
+		if err := ps.send(ctx, wire.Elements{Elems: sortedCopy(y)}); err != nil {
+			return nil, err
+		}
+	}
+	m, err := ps.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, err
+	}
+	theirY := m.(wire.Elements).Elems
+	if err := ps.checkVector(theirY, peerSize, "peer Y"); err != nil {
+		return nil, ps.abort(ctx, err)
+	}
+	if err := ps.checkSorted(theirY, "peer Y"); err != nil {
+		return nil, ps.abort(ctx, err)
+	}
+	if !first {
+		if err := ps.send(ctx, wire.Elements{Elems: sortedCopy(y)}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Step 4: double-encrypt the peer's set and ship it — sorted, so the
+	// analyst (and no one else) can only count — to T, together with a
+	// header announcing our own set size.
+	z, err := ps.encryptSet(ctx, key, theirY)
+	if err != nil {
+		return nil, ps.abort(ctx, err)
+	}
+	if _, err := as.handshake(ctx, wire.ProtoIntersectionSize, len(vals), true); err != nil {
+		return nil, err
+	}
+	if err := as.send(ctx, wire.Elements{Elems: sortedCopy(z)}); err != nil {
+		return nil, err
+	}
+	return &ThirdPartyPeerInfo{PeerSetSize: peerSize}, nil
+}
+
+// ThirdPartyAnalyst runs the analyst T: it receives the doubly-encrypted
+// set of party B's values from party A and vice versa, and counts the
+// overlap.  connA and connB are T's connections to the two data parties.
+func ThirdPartyAnalyst(ctx context.Context, cfg Config, connA, connB transport.Conn) (*ThirdPartySizeResult, error) {
+	sa := newSession(cfg, connA)
+	sb := newSession(cfg, connB)
+
+	// Each data party announces its own size, then ships the *other*
+	// party's doubly-encrypted set.
+	sizeA, err := sa.handshake(ctx, wire.ProtoIntersectionSize, 0, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyst handshake with A: %w", err)
+	}
+	ma, err := sa.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyst receiving from A: %w", err)
+	}
+	zFromA := ma.(wire.Elements).Elems // = Z_B: B's values, doubly encrypted
+
+	sizeB, err := sb.handshake(ctx, wire.ProtoIntersectionSize, 0, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyst handshake with B: %w", err)
+	}
+	mb, err := sb.recv(ctx, wire.KindElements)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyst receiving from B: %w", err)
+	}
+	zFromB := mb.(wire.Elements).Elems // = Z_A: A's values, doubly encrypted
+
+	if err := sa.checkVector(zFromA, sizeB, "Z from A"); err != nil {
+		return nil, err
+	}
+	if err := sb.checkVector(zFromB, sizeA, "Z from B"); err != nil {
+		return nil, err
+	}
+
+	countA := multisetCounts(zFromB)
+	countB := multisetCounts(zFromA)
+	size := 0
+	for k, ca := range countA {
+		size += ca * countB[k]
+	}
+	return &ThirdPartySizeResult{IntersectionSize: size, SizeA: sizeA, SizeB: sizeB}, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"minshare/internal/transport"
+)
+
+// runThirdParty wires up the three-party topology of Figure 2 over
+// in-memory pipes and runs A, B and the analyst T concurrently.
+func runThirdParty(t *testing.T, vA, vB [][]byte) (*ThirdPartySizeResult, *ThirdPartyPeerInfo, *ThirdPartyPeerInfo) {
+	t.Helper()
+	ctx := context.Background()
+
+	abA, abB := transport.Pipe() // A <-> B
+	atA, atT := transport.Pipe() // A <-> T
+	btB, btT := transport.Pipe() // B <-> T
+	defer abA.Close()
+	defer atA.Close()
+	defer btB.Close()
+
+	cfgA, cfgB, cfgT := testConfig(1), testConfig(2), testConfig(3)
+
+	type aOut struct {
+		info *ThirdPartyPeerInfo
+		err  error
+	}
+	chA := make(chan aOut, 1)
+	chB := make(chan aOut, 1)
+	go func() {
+		info, err := ThirdPartyPartyA(ctx, cfgA, abA, atA, vA)
+		chA <- aOut{info, err}
+	}()
+	go func() {
+		info, err := ThirdPartyPartyB(ctx, cfgB, abB, btB, vB)
+		chB <- aOut{info, err}
+	}()
+	res, err := ThirdPartyAnalyst(ctx, cfgT, atT, btT)
+	if err != nil {
+		t.Fatalf("analyst: %v", err)
+	}
+	a := <-chA
+	if a.err != nil {
+		t.Fatalf("party A: %v", a.err)
+	}
+	b := <-chB
+	if b.err != nil {
+		t.Fatalf("party B: %v", b.err)
+	}
+	return res, a.info, b.info
+}
+
+func TestThirdPartyIntersectionSize(t *testing.T) {
+	vA, vB := overlapping(9, 12, 5)
+	res, aInfo, bInfo := runThirdParty(t, vA, vB)
+	if res.IntersectionSize != 5 {
+		t.Errorf("T's intersection size = %d, want 5", res.IntersectionSize)
+	}
+	if res.SizeA != 9 || res.SizeB != 12 {
+		t.Errorf("T's sizes = (%d,%d), want (9,12)", res.SizeA, res.SizeB)
+	}
+	// The data parties learn each other's sizes and nothing about overlap.
+	if aInfo.PeerSetSize != 12 {
+		t.Errorf("A learned |V_B| = %d, want 12", aInfo.PeerSetSize)
+	}
+	if bInfo.PeerSetSize != 9 {
+		t.Errorf("B learned |V_A| = %d, want 9", bInfo.PeerSetSize)
+	}
+}
+
+func TestThirdPartyDisjointAndIdentical(t *testing.T) {
+	vA, vB := overlapping(4, 4, 0)
+	res, _, _ := runThirdParty(t, vA, vB)
+	if res.IntersectionSize != 0 {
+		t.Errorf("disjoint size = %d", res.IntersectionSize)
+	}
+	vA, vB = overlapping(6, 6, 6)
+	res, _, _ = runThirdParty(t, vA, vB)
+	if res.IntersectionSize != 6 {
+		t.Errorf("identical size = %d", res.IntersectionSize)
+	}
+}
+
+func TestThirdPartyEmpty(t *testing.T) {
+	res, _, _ := runThirdParty(t, nil, vals("b", 3))
+	if res.IntersectionSize != 0 || res.SizeA != 0 || res.SizeB != 3 {
+		t.Errorf("empty A: %+v", res)
+	}
+}
+
+// TestThirdPartyMedicalQuery runs the full Figure 2 algorithm: four
+// intersection sizes over the partitioned id sets give the researcher
+// the 2×2 contingency table and nothing about individual ids.
+func TestThirdPartyMedicalQuery(t *testing.T) {
+	// ids 0..19 took the drug.  R side: ids with the DNA pattern.
+	patternIDs := vals("id-", 12)           // V'_R: ids 0-11 have the pattern
+	allR := vals("id-", 30)                 // everyone R knows about
+	drugIDs := vals("id-", 20)              // V_S: took the drug
+	adverseIDs := drugIDs[:8]               // V'_S: ids 0-7 had a reaction
+	noPattern := allR[len(patternIDs):]     // V_R - V'_R: ids 12-29
+	noReaction := drugIDs[len(adverseIDs):] // V_S - V'_S: ids 8-19
+
+	run := func(a, b [][]byte) int {
+		res, _, _ := runThirdParty(t, a, b)
+		return res.IntersectionSize
+	}
+	// Figure 2's four IntersectionSize calls.
+	got := [4]int{
+		run(patternIDs, adverseIDs), // pattern ∧ reaction
+		run(patternIDs, noReaction), // pattern ∧ ¬reaction
+		run(noPattern, adverseIDs),  // ¬pattern ∧ reaction
+		run(noPattern, noReaction),  // ¬pattern ∧ ¬reaction
+	}
+	// ids 0-7 adverse, all have pattern (0-11): cell1 = 8.
+	// ids 8-19 no reaction; of those, 8-11 have pattern: cell2 = 4.
+	// no-pattern ids are 12-29; adverse are 0-7: cell3 = 0.
+	// no-pattern ∧ no-reaction: ids 12-19: cell4 = 8.
+	want := [4]int{8, 4, 0, 8}
+	if got != want {
+		t.Errorf("contingency table %v, want %v", got, want)
+	}
+	// Sanity: the four cells partition the drug takers.
+	if got[0]+got[1]+got[2]+got[3] != len(drugIDs) {
+		t.Errorf("cells sum to %d, want %d", got[0]+got[1]+got[2]+got[3], len(drugIDs))
+	}
+}

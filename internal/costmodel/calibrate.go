@@ -1,0 +1,88 @@
+package costmodel
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"minshare/internal/group"
+	"minshare/internal/kenc"
+	"minshare/internal/oracle"
+)
+
+// Calibrate measures the paper's cost constants on the host machine for
+// the given group (the paper's substrate was a 2001 Pentium III; this is
+// the documented substitution).  The measurement is a fixed-iteration
+// median-free average, deliberately lightweight: the experiment harness
+// calls it once per run.
+func Calibrate(g *group.Group) Costs {
+	rng := rand.New(rand.NewSource(1))
+	x, _ := g.RandomElement(rng)
+	e, _ := g.RandomExponent(rng)
+
+	// C_e: modular exponentiation.
+	ce := measure(16, func() {
+		_ = g.Exp(x, e)
+	})
+
+	// C_h: hash into the group.
+	o := oracle.New(g)
+	i := 0
+	ch := measure(64, func() {
+		o.Hash([]byte{byte(i), byte(i >> 8), 0x42})
+		i++
+	})
+
+	// C_K: multiplicative payload encryption (Example 2).
+	mult := kenc.NewMultiplicative(g)
+	kappa, _ := g.RandomElement(rng)
+	payload := make([]byte, mult.MaxPayload())
+	ck := measure(64, func() {
+		_, _ = mult.Encrypt(kappa, payload)
+	})
+
+	// C_s: per-comparison sorting constant, from sorting 4096 random
+	// element encodings.
+	elems := make([]string, 4096)
+	for j := range elems {
+		v, _ := g.RandomElement(rng)
+		elems[j] = string(v.Bytes())
+	}
+	csTotal := measure(4, func() {
+		cp := append([]string(nil), elems...)
+		sort.Strings(cp)
+	})
+	n := float64(len(elems))
+	cs := time.Duration(float64(csTotal) / (n * math.Log2(n)))
+
+	// C_r: one pseudorandom-function evaluation (SHA-256 of two labels).
+	var label [33]byte
+	cr := measure(1024, func() {
+		_ = sha256.Sum256(label[:])
+	})
+
+	// C_mul: one modular multiplication.
+	y, _ := g.RandomElement(rng)
+	cmul := measure(1024, func() {
+		_ = g.Mul(x, y)
+	})
+
+	return Costs{Ce: ce, Ch: ch, CK: ck, Cs: cs, Cr: cr, Cmul: cmul}
+}
+
+func measure(iters int, f func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// String renders the constants for experiment output.
+func (c Costs) String() string {
+	return fmt.Sprintf("Ce=%v Ch=%v CK=%v Cs=%v Cr=%v Cmul=%v",
+		c.Ce, c.Ch, c.CK, c.Cs, c.Cr, c.Cmul)
+}

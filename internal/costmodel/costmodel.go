@@ -1,0 +1,362 @@
+// Package costmodel reproduces the paper's entire quantitative analysis:
+// the Section 6.1 computation/communication formulas, the Section 6.2
+// application estimates, and the Appendix A circuit-baseline cost model
+// (oblivious-transfer amortization, brute-force and partitioning circuit
+// sizes, and the comparison tables).
+//
+// Everything is expressed twice: symbolically (operation counts, gate
+// counts, bit counts — exact integers/floats reproducing the paper's
+// tables) and concretely (durations, via a Costs table that can hold
+// either the paper's 2001 constants or values calibrated on the host
+// with Calibrate).  The experiment harness prints paper-vs-model-vs-
+// measured rows from these functions.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Costs holds the per-operation time constants of the paper's analysis.
+type Costs struct {
+	// Ce is one commutative encryption/decryption: a k-bit modular
+	// exponentiation x^y mod p (Section 6.1).
+	Ce time.Duration
+	// Ch is one hash evaluation.
+	Ch time.Duration
+	// CK is one payload encryption/decryption by K.
+	CK time.Duration
+	// Cs is the per-comparison sorting constant (cost of sorting n
+	// encryptions is n·log n·Cs).
+	Cs time.Duration
+	// Cr is one pseudorandom-function evaluation (circuit evaluation,
+	// Appendix A).
+	Cr time.Duration
+	// Cmul is one modular multiplication (Appendix A.1.1 assumes
+	// Ce = 1000·Cmul when optimizing the oblivious-transfer batching).
+	Cmul time.Duration
+}
+
+// PaperCosts is the constant set the paper uses: "For the cost of C_e
+// (i.e., cost of x^y mod p), we use the times from [36]: 0.02s for
+// 1024-bit numbers on a Pentium III (in 2001)."  The remaining constants
+// are derived from the paper's stated assumptions: Ce = 1000·Cmul, and
+// Ch, CK, Cs, Cr small relative to Ce (they only appear via those
+// assumptions in the analysis).
+var PaperCosts = Costs{
+	Ce:   20 * time.Millisecond,
+	Ch:   2 * time.Microsecond,
+	CK:   40 * time.Microsecond, // one k-bit multiplication, ≈ Ce/1000 ≈ 20µs, doubled for encode
+	Cs:   100 * time.Nanosecond,
+	Cr:   2 * time.Microsecond,
+	Cmul: 20 * time.Microsecond, // Ce / 1000
+}
+
+// Parallel default of the paper: "we will use a default value of P = 10".
+const PaperParallelism = 10
+
+// ---------------------------------------------------------------------
+// Section 6.1 — protocol cost formulas
+// ---------------------------------------------------------------------
+
+// OpCounts is the operation census of one protocol run.
+type OpCounts struct {
+	Ce        int64 // commutative encryptions/decryptions
+	Ch        int64 // hash evaluations
+	CK        int64 // K encryptions/decryptions
+	SortElems int64 // total elements passed through sorts (n log n · Cs applies)
+}
+
+// IntersectionOps returns the exact Section 6.1 census for the
+// intersection protocol: (Ch + 2Ce)(|V_S|+|V_R|) plus the sorting terms
+// 2·Cs|V_S|log|V_S| + 3·Cs|V_R|log|V_R|.
+func IntersectionOps(nS, nR int) OpCounts {
+	return OpCounts{
+		Ce:        int64(2 * (nS + nR)),
+		Ch:        int64(nS + nR),
+		SortElems: int64(2*nS + 3*nR),
+	}
+}
+
+// JoinOps returns the exact Section 6.1 census for the equijoin:
+// Ch(|V_S|+|V_R|) + 2Ce|V_S| + 5Ce|V_R| + CK(|V_S|+|V_S∩V_R|) plus
+// sorting terms.
+func JoinOps(nS, nR, nIntersection int) OpCounts {
+	return OpCounts{
+		Ce:        int64(2*nS + 5*nR),
+		Ch:        int64(nS + nR),
+		CK:        int64(nS + nIntersection),
+		SortElems: int64(2*nS + 3*nR),
+	}
+}
+
+// IntersectionSizeOps equals IntersectionOps: "Both the intersection
+// size and join size protocols have the same computation and
+// communication complexity as the intersection protocol."
+func IntersectionSizeOps(nS, nR int) OpCounts { return IntersectionOps(nS, nR) }
+
+// Time converts a census into a duration under the given constants,
+// dividing the parallelizable encryption work by p processors.
+func (o OpCounts) Time(c Costs, p int) time.Duration {
+	if p < 1 {
+		p = 1
+	}
+	d := time.Duration(o.Ce) * c.Ce / time.Duration(p)
+	d += time.Duration(o.Ch) * c.Ch
+	d += time.Duration(o.CK) * c.CK
+	if o.SortElems > 1 {
+		logN := math.Log2(float64(o.SortElems))
+		d += time.Duration(float64(o.SortElems) * logN * float64(c.Cs))
+	}
+	return d
+}
+
+// IntersectionCommBits returns (|V_S| + 2|V_R|)·k, the Section 6.1
+// communication cost of the intersection (and both size) protocols.
+func IntersectionCommBits(nS, nR, k int) float64 {
+	return float64(nS+2*nR) * float64(k)
+}
+
+// JoinCommBits returns (|V_S| + 3|V_R|)·k + |V_S|·k', the Section 6.1
+// communication cost of the equijoin, where k' is the encrypted ext(v)
+// size in bits.
+func JoinCommBits(nS, nR, k, kPrime int) float64 {
+	return float64(nS+3*nR)*float64(k) + float64(nS)*float64(kPrime)
+}
+
+// ---------------------------------------------------------------------
+// Section 6.2 — application estimates
+// ---------------------------------------------------------------------
+
+// Estimate is a computation/communication projection for one workload.
+type Estimate struct {
+	// Exponentiations is the total C_e count.
+	Exponentiations float64
+	// CompTime is Exponentiations·Ce/P.
+	CompTime time.Duration
+	// Bits is the total communication volume.
+	Bits float64
+	// CommTime is Bits over the link bandwidth.
+	CommTime time.Duration
+}
+
+// DocShareEstimate reproduces the Section 6.2.1 analysis for selective
+// document sharing: |D_R|·|D_S| intersection-size runs over word sets of
+// sizes |d_R| and |d_S|.
+//
+//	Computation:   |D_R|·|D_S|·(|d_R|+|d_S|)·2·Ce
+//	Communication: |D_R|·|D_S|·(|d_R|+2|d_S|)·k bits
+//
+// With the paper's parameters (10×100 documents of 1000 words, k = 1024,
+// P = 10) this yields 4×10^6 exponentiations ≈ 2 hours and 3×10^6·k ≈ 3
+// Gbits ≈ 35 minutes on a T1.
+func DocShareEstimate(nDR, nDS, dR, dS, k int, c Costs, p int, bitsPerSecond float64) Estimate {
+	exps := float64(nDR) * float64(nDS) * float64(dR+dS) * 2
+	bits := float64(nDR) * float64(nDS) * float64(dR+2*dS) * float64(k)
+	return finishEstimate(exps, bits, c, p, bitsPerSecond)
+}
+
+// MedicalEstimate reproduces the Section 6.2.2 analysis for the medical
+// research query: four intersection sizes whose combined cost is
+// 2(|V_R|+|V_S|)·2·Ce and 2(|V_R|+|V_S|)·2k bits.  With |V_R| = |V_S| =
+// 1 million, 8×10^6 exponentiations ≈ 4 hours (P = 10) and 8×10^6·k ≈ 8
+// Gbits ≈ 1.5 hours on a T1.
+func MedicalEstimate(nR, nS, k int, c Costs, p int, bitsPerSecond float64) Estimate {
+	exps := 2 * float64(nR+nS) * 2
+	bits := 2 * float64(nR+nS) * 2 * float64(k)
+	return finishEstimate(exps, bits, c, p, bitsPerSecond)
+}
+
+func finishEstimate(exps, bits float64, c Costs, p int, bitsPerSecond float64) Estimate {
+	if p < 1 {
+		p = 1
+	}
+	e := Estimate{Exponentiations: exps, Bits: bits}
+	e.CompTime = time.Duration(exps * float64(c.Ce) / float64(p))
+	if bitsPerSecond > 0 {
+		e.CommTime = time.Duration(bits / bitsPerSecond * float64(time.Second))
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------
+// Appendix A — circuit-protocol cost model
+// ---------------------------------------------------------------------
+
+// Appendix A constants: w-bit inputs, k0-bit circuit keys, k1-bit OT keys.
+const (
+	PaperW  = 32
+	PaperK0 = 64
+	PaperK1 = 100
+	// PaperK is the codeword width of the main protocols.
+	PaperK = 1024
+)
+
+// GatesEqual is G_e, the equality-comparator gate count: 2w−1.
+func GatesEqual(w int) float64 { return float64(2*w - 1) }
+
+// GatesLess is G_l, the less-than comparator gate count: 5w−3.
+func GatesLess(w int) float64 { return float64(5*w - 3) }
+
+// OTComputeFactor returns C_ot/C_e for the Naor-Pinkas amortized
+// oblivious transfer with batching parameter l:
+//
+//	C_ot = (1/l)·C_e + (2^l/l)·C_×
+//
+// expressed in units of C_e under the appendix's assumption
+// C_e = 1000·C_×.  At the optimal l = 8 this is 1/8 + 256/8/1000 =
+// 0.157 (the appendix's constant).
+func OTComputeFactor(l int) float64 {
+	return 1/float64(l) + math.Exp2(float64(l))/float64(l)/1000
+}
+
+// OptimalOTBatch returns the l minimizing OTComputeFactor — 8 under the
+// paper's assumptions.
+func OptimalOTBatch() int {
+	best, bestV := 1, OTComputeFactor(1)
+	for l := 2; l <= 16; l++ {
+		if v := OTComputeFactor(l); v < bestV {
+			best, bestV = l, v
+		}
+	}
+	return best
+}
+
+// OTCommBitsPerTransfer returns the communication lower bound per
+// oblivious transfer, (2^l/l)·k1 bits — 32·k1 at l = 8.
+func OTCommBitsPerTransfer(l, k1 int) float64 {
+	return math.Exp2(float64(l)) / float64(l) * float64(k1)
+}
+
+// CircuitInputExponentiations returns the C_e-equivalents of coding R's
+// input: w·n oblivious transfers at OTComputeFactor(l) each — ≈ 5n·Ce
+// for w = 32, l = 8.
+func CircuitInputExponentiations(n float64, w, l int) float64 {
+	return float64(w) * n * OTComputeFactor(l)
+}
+
+// CircuitInputCommBits returns w·n·(2^l/l)·k1 — ≈ 10^5·n bits for the
+// paper's constants.
+func CircuitInputCommBits(n float64, w, l, k1 int) float64 {
+	return float64(w) * n * OTCommBitsPerTransfer(l, k1)
+}
+
+// BruteForceGates lower-bounds the brute-force intersection circuit:
+// |V_R|·|V_S|·G_e.
+func BruteForceGates(n float64, w int) float64 {
+	return n * n * GatesEqual(w)
+}
+
+// PartitionGates returns the Appendix A.1.2 lower bound for the
+// partitioning circuit with branching factor m:
+//
+//	f(n) ≥ (m²/(m−1)·G_l + G_e) · (n^{log_m(2m−1)} − 1)
+func PartitionGates(n float64, m, w int) float64 {
+	if m < 2 {
+		return math.Inf(1)
+	}
+	exp := math.Log(float64(2*m-1)) / math.Log(float64(m))
+	lead := float64(m*m)/float64(m-1)*GatesLess(w) + GatesEqual(w)
+	return lead * (math.Pow(n, exp) - 1)
+}
+
+// OptimalPartitionM returns the branching factor minimizing
+// PartitionGates for the given n — the appendix finds m = 11, 19, 32 for
+// n = 10^4, 10^6, 10^8.
+func OptimalPartitionM(n float64, w int) int {
+	best, bestV := 2, PartitionGates(n, 2, w)
+	for m := 3; m <= 4096; m++ {
+		if v := PartitionGates(n, m, w); v < bestV {
+			best, bestV = m, v
+		}
+	}
+	return best
+}
+
+// CircuitEvalPRFs returns the number of pseudorandom-function
+// evaluations for evaluating a circuit of f gates: 2 per gate.
+func CircuitEvalPRFs(gates float64) float64 { return 2 * gates }
+
+// CircuitTablesBits returns the table traffic: 4·k0 bits per gate.
+func CircuitTablesBits(gates float64, k0 int) float64 { return 4 * float64(k0) * gates }
+
+// OurIntersectionExponentiations returns the main protocol's C_e count
+// at |V_S| = |V_R| = n: 4n (the 2(|V_S|+|V_R|) of Section 6.1).
+func OurIntersectionExponentiations(n float64) float64 { return 4 * n }
+
+// OurIntersectionCommBits returns the main protocol's traffic at equal
+// set sizes: 3n·k bits.
+func OurIntersectionCommBits(n float64, k int) float64 { return 3 * n * float64(k) }
+
+// ---------------------------------------------------------------------
+// Appendix A tables
+// ---------------------------------------------------------------------
+
+// PartitionRow is one row of the A.1.2 circuit-size table.
+type PartitionRow struct {
+	N          float64
+	OptimalM   int
+	Partition  float64 // f(n) with the optimal m
+	BruteForce float64 // n²·G_e
+}
+
+// PartitionTable reproduces the A.1.2 table for the given n values
+// (the paper prints n = 10^4, 10^6, 10^8 at w = 32).
+func PartitionTable(w int, ns ...float64) []PartitionRow {
+	rows := make([]PartitionRow, len(ns))
+	for i, n := range ns {
+		m := OptimalPartitionM(n, w)
+		rows[i] = PartitionRow{
+			N:          n,
+			OptimalM:   m,
+			Partition:  PartitionGates(n, m, w),
+			BruteForce: BruteForceGates(n, w),
+		}
+	}
+	return rows
+}
+
+// ComparisonRow is one row of the A.2 computation/communication tables.
+type ComparisonRow struct {
+	N float64
+	// Computation, in operation counts.
+	CircuitInputCe float64 // OT cost in C_e units
+	CircuitEvalCr  float64 // PRF evaluations
+	OursCe         float64
+	// Communication, in bits.
+	CircuitInputBits float64
+	CircuitTableBits float64
+	OursBits         float64
+}
+
+// ComparisonTable reproduces both A.2 tables for the given n values
+// (the paper prints n = 10^4, 10^6, 10^8).
+func ComparisonTable(w, l, k0, k1, k int, ns ...float64) []ComparisonRow {
+	rows := make([]ComparisonRow, len(ns))
+	for i, n := range ns {
+		m := OptimalPartitionM(n, w)
+		f := PartitionGates(n, m, w)
+		rows[i] = ComparisonRow{
+			N:                n,
+			CircuitInputCe:   CircuitInputExponentiations(n, w, l),
+			CircuitEvalCr:    CircuitEvalPRFs(f),
+			OursCe:           OurIntersectionExponentiations(n),
+			CircuitInputBits: CircuitInputCommBits(n, w, l, k1),
+			CircuitTableBits: CircuitTablesBits(f, k0),
+			OursBits:         OurIntersectionCommBits(n, k),
+		}
+	}
+	return rows
+}
+
+// FormatApprox renders a magnitude the way the paper's tables do
+// (mantissa × 10^exponent).
+func FormatApprox(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	exp := math.Floor(math.Log10(v))
+	mant := v / math.Pow(10, exp)
+	return fmt.Sprintf("%.1f×10^%d", mant, int(exp))
+}

@@ -1,0 +1,285 @@
+// Package docshare implements Application 1 of the paper (Sections 1.1
+// and 6.2.1): selective document sharing.
+//
+// Two enterprises R and S each hold a set of documents.  Documents are
+// preprocessed to their most significant words using term frequency ×
+// inverse document frequency (the paper cites Salton & McGill [41]), and
+// the parties wish to find all pairs (d_R, d_S) with
+//
+//	f(|d_R ∩ d_S|, |d_R|, |d_S|) > τ
+//
+// for a similarity function f — e.g. f = |d_R ∩ d_S| / (|d_R| + |d_S|) —
+// without revealing the non-matching documents.  Following Section 6.2.1,
+// R and S execute the intersection-size protocol for each pair of
+// documents; R then evaluates f and keeps the pairs above threshold.
+//
+// As the paper notes, beyond |D_S| this reveals to R, for each document
+// pair, the intersection size |d_R ∩ d_S| and |d_S| — that is the
+// price of this construction, stated explicitly in Section 6.2.1.
+package docshare
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"minshare/internal/core"
+	"minshare/internal/transport"
+)
+
+// Document is a preprocessed document: an identifier plus its significant
+// word set.
+type Document struct {
+	ID    string
+	Words []string
+}
+
+// WordSet returns the document's words as protocol values, deduplicated.
+func (d Document) WordSet() [][]byte {
+	seen := make(map[string]struct{}, len(d.Words))
+	var out [][]byte
+	for _, w := range d.Words {
+		if _, dup := seen[w]; dup {
+			continue
+		}
+		seen[w] = struct{}{}
+		out = append(out, []byte(w))
+	}
+	return out
+}
+
+// Tokenize lower-cases text and splits it into letter/digit runs.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// TFIDF computes, for each document in the corpus, the tf·idf score of
+// each of its distinct terms.  Term frequency is the raw in-document
+// count normalized by document length; inverse document frequency is
+// log(N / df) with N the corpus size.
+func TFIDF(corpus [][]string) []map[string]float64 {
+	n := len(corpus)
+	df := make(map[string]int)
+	for _, doc := range corpus {
+		seen := make(map[string]struct{}, len(doc))
+		for _, w := range doc {
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			df[w]++
+		}
+	}
+	out := make([]map[string]float64, n)
+	for i, doc := range corpus {
+		tf := make(map[string]int, len(doc))
+		for _, w := range doc {
+			tf[w]++
+		}
+		scores := make(map[string]float64, len(tf))
+		for w, c := range tf {
+			idf := math.Log(float64(n) / float64(df[w]))
+			scores[w] = float64(c) / float64(len(doc)) * idf
+		}
+		out[i] = scores
+	}
+	return out
+}
+
+// SignificantWords reduces each raw document to its k highest-tf·idf
+// terms — the preprocessing step of Application 1 ("documents have been
+// preprocessed to only include the most significant words").  Ties break
+// alphabetically for determinism.
+func SignificantWords(corpus [][]string, k int) [][]string {
+	scores := TFIDF(corpus)
+	out := make([][]string, len(corpus))
+	for i, sc := range scores {
+		words := make([]string, 0, len(sc))
+		for w := range sc {
+			words = append(words, w)
+		}
+		sort.Slice(words, func(a, b int) bool {
+			if sc[words[a]] != sc[words[b]] {
+				return sc[words[a]] > sc[words[b]]
+			}
+			return words[a] < words[b]
+		})
+		if len(words) > k {
+			words = words[:k]
+		}
+		sort.Strings(words)
+		out[i] = words
+	}
+	return out
+}
+
+// Similarity scores a document pair from the three quantities the
+// intersection-size protocol yields.
+type Similarity func(intersection, sizeR, sizeS int) float64
+
+// DiceLike is the paper's example similarity,
+// f = |d_R ∩ d_S| / (|d_R| + |d_S|).
+func DiceLike(intersection, sizeR, sizeS int) float64 {
+	if sizeR+sizeS == 0 {
+		return 0
+	}
+	return float64(intersection) / float64(sizeR+sizeS)
+}
+
+// Jaccard is |d_R ∩ d_S| / |d_R ∪ d_S|, an alternative f.
+func Jaccard(intersection, sizeR, sizeS int) float64 {
+	union := sizeR + sizeS - intersection
+	if union == 0 {
+		return 0
+	}
+	return float64(intersection) / float64(union)
+}
+
+// Match is one above-threshold document pair as learned by R.
+type Match struct {
+	// RIndex and SIndex identify the documents by position in each
+	// party's corpus; R knows its own IDs, S's documents stay pseudonymous
+	// until the parties choose to exchange the matched ones.
+	RIndex, SIndex int
+	// RID is the receiver-side document identifier.
+	RID string
+	// Intersection is |d_R ∩ d_S|.
+	Intersection int
+	// SizeR and SizeS are |d_R| and |d_S|.
+	SizeR, SizeS int
+	// Score is f applied to the three sizes.
+	Score float64
+}
+
+// MatchReceiver runs enterprise R's side of selective document sharing:
+// one intersection-size protocol per document pair (Section 6.2.1), then
+// the similarity filter.  It returns every pair with Score > threshold.
+func MatchReceiver(ctx context.Context, cfg core.Config, conn transport.Conn, docs []Document, sim Similarity, threshold float64) ([]Match, error) {
+	if sim == nil {
+		sim = DiceLike
+	}
+	nS, err := exchangeCounts(ctx, conn, len(docs), true)
+	if err != nil {
+		return nil, fmt.Errorf("docshare: exchanging corpus sizes: %w", err)
+	}
+	var matches []Match
+	for r, doc := range docs {
+		words := doc.WordSet()
+		for s := 0; s < nS; s++ {
+			res, err := core.IntersectionSizeReceiver(ctx, cfg, conn, words)
+			if err != nil {
+				return nil, fmt.Errorf("docshare: pair (%d,%d): %w", r, s, err)
+			}
+			score := sim(res.IntersectionSize, len(words), res.SenderSetSize)
+			if score > threshold {
+				matches = append(matches, Match{
+					RIndex:       r,
+					SIndex:       s,
+					RID:          doc.ID,
+					Intersection: res.IntersectionSize,
+					SizeR:        len(words),
+					SizeS:        res.SenderSetSize,
+					Score:        score,
+				})
+			}
+		}
+	}
+	return matches, nil
+}
+
+// MatchSender runs enterprise S's side: it answers one intersection-size
+// run per document pair.  It learns only |D_R| and each |d_R|.
+func MatchSender(ctx context.Context, cfg core.Config, conn transport.Conn, docs []Document) error {
+	nR, err := exchangeCounts(ctx, conn, len(docs), false)
+	if err != nil {
+		return fmt.Errorf("docshare: exchanging corpus sizes: %w", err)
+	}
+	for r := 0; r < nR; r++ {
+		for s, doc := range docs {
+			if _, err := core.IntersectionSizeSender(ctx, cfg, conn, doc.WordSet()); err != nil {
+				return fmt.Errorf("docshare: pair (%d,%d): %w", r, s, err)
+			}
+		}
+	}
+	return nil
+}
+
+// exchangeCounts swaps corpus sizes (|D_R| and |D_S| are mutually
+// revealed, as in the paper's cost analysis).  sendFirst breaks the
+// deadlock: the receiver sends first.
+func exchangeCounts(ctx context.Context, conn transport.Conn, mine int, sendFirst bool) (theirs int, err error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(mine))
+	recv := func() error {
+		frame, err := conn.Recv(ctx)
+		if err != nil {
+			return err
+		}
+		if len(frame) != 8 {
+			return fmt.Errorf("docshare: bad count frame of %d bytes", len(frame))
+		}
+		n := binary.BigEndian.Uint64(frame)
+		const maxCorpus = 1 << 20
+		if n > maxCorpus {
+			return fmt.Errorf("docshare: peer announced %d documents (max %d)", n, maxCorpus)
+		}
+		theirs = int(n)
+		return nil
+	}
+	if sendFirst {
+		if err := conn.Send(ctx, buf[:]); err != nil {
+			return 0, err
+		}
+		if err := recv(); err != nil {
+			return 0, err
+		}
+	} else {
+		if err := recv(); err != nil {
+			return 0, err
+		}
+		if err := conn.Send(ctx, buf[:]); err != nil {
+			return 0, err
+		}
+	}
+	return theirs, nil
+}
+
+// PlaintextMatches is the reference computation: the same similarity
+// filter evaluated with full knowledge of both corpora.
+func PlaintextMatches(docsR, docsS []Document, sim Similarity, threshold float64) []Match {
+	if sim == nil {
+		sim = DiceLike
+	}
+	var out []Match
+	for r, dR := range docsR {
+		wordsR := dR.WordSet()
+		setR := make(map[string]struct{}, len(wordsR))
+		for _, w := range wordsR {
+			setR[string(w)] = struct{}{}
+		}
+		for s, dS := range docsS {
+			wordsS := dS.WordSet()
+			inter := 0
+			for _, w := range wordsS {
+				if _, ok := setR[string(w)]; ok {
+					inter++
+				}
+			}
+			score := sim(inter, len(wordsR), len(wordsS))
+			if score > threshold {
+				out = append(out, Match{
+					RIndex: r, SIndex: s, RID: dR.ID,
+					Intersection: inter, SizeR: len(wordsR), SizeS: len(wordsS),
+					Score: score,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package docshare
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/transport"
+)
+
+func testCfg(seed int64) core.Config {
+	return core.Config{
+		Group:       group.TestGroup(),
+		Rand:        rand.New(rand.NewSource(seed)),
+		Parallelism: 1,
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! foo-bar BAZ_42  ")
+	want := []string{"hello", "world", "foo", "bar", "baz", "42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if len(Tokenize("")) != 0 {
+		t.Error("Tokenize(\"\") not empty")
+	}
+}
+
+func TestTFIDFCommonWordsScoreZero(t *testing.T) {
+	corpus := [][]string{
+		{"the", "cat", "sat"},
+		{"the", "dog", "ran"},
+		{"the", "cow", "ate"},
+	}
+	scores := TFIDF(corpus)
+	for i, sc := range scores {
+		if sc["the"] != 0 {
+			t.Errorf("doc %d: idf(\"the\") should zero its score, got %f", i, sc["the"])
+		}
+		for w, s := range sc {
+			if w != "the" && s <= 0 {
+				t.Errorf("doc %d: rare word %q scored %f", i, w, s)
+			}
+		}
+	}
+}
+
+func TestTFIDFFrequencyWeighting(t *testing.T) {
+	corpus := [][]string{
+		{"alpha", "alpha", "alpha", "beta"},
+		{"gamma", "delta"},
+	}
+	scores := TFIDF(corpus)
+	if scores[0]["alpha"] <= scores[0]["beta"] {
+		t.Error("more frequent in-document term did not score higher")
+	}
+}
+
+func TestSignificantWords(t *testing.T) {
+	corpus := [][]string{
+		{"shared", "shared", "unique1", "unique2", "unique3"},
+		{"shared", "other1", "other2"},
+	}
+	sig := SignificantWords(corpus, 2)
+	if len(sig) != 2 {
+		t.Fatalf("got %d docs", len(sig))
+	}
+	for i, words := range sig {
+		if len(words) > 2 {
+			t.Errorf("doc %d kept %d words, want ≤ 2", i, len(words))
+		}
+		if !sort.StringsAreSorted(words) {
+			t.Errorf("doc %d words not sorted: %v", i, words)
+		}
+		for _, w := range words {
+			if w == "shared" {
+				t.Errorf("doc %d kept the common word over rare ones", i)
+			}
+		}
+	}
+}
+
+func TestSimilarityFunctions(t *testing.T) {
+	if got := DiceLike(5, 10, 10); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("DiceLike(5,10,10) = %f, want 0.25", got)
+	}
+	if DiceLike(0, 0, 0) != 0 {
+		t.Error("DiceLike degenerate case")
+	}
+	if got := Jaccard(5, 10, 10); math.Abs(got-5.0/15.0) > 1e-9 {
+		t.Errorf("Jaccard(5,10,10) = %f", got)
+	}
+	if Jaccard(0, 0, 0) != 0 {
+		t.Error("Jaccard degenerate case")
+	}
+}
+
+func TestWordSetDedupes(t *testing.T) {
+	d := Document{ID: "x", Words: []string{"a", "b", "a"}}
+	if len(d.WordSet()) != 2 {
+		t.Error("WordSet kept duplicates")
+	}
+}
+
+// runMatching executes the full two-party document matching over a pipe.
+func runMatching(t *testing.T, docsR, docsS []Document, sim Similarity, threshold float64) []Match {
+	t.Helper()
+	ctx := context.Background()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- MatchSender(ctx, testCfg(2), connS, docsS)
+	}()
+	matches, err := MatchReceiver(ctx, testCfg(1), connR, docsR, sim, threshold)
+	if err != nil {
+		t.Fatalf("receiver: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	return matches
+}
+
+func TestMatchingAgainstPlaintext(t *testing.T) {
+	docsR := []Document{
+		{ID: "r-patents", Words: strings.Fields("encryption protocol database privacy join")},
+		{ID: "r-shopping", Words: strings.Fields("turbine blade cooling alloy")},
+		{ID: "r-unrelated", Words: strings.Fields("cooking pasta tomato basil")},
+	}
+	docsS := []Document{
+		{ID: "s-crypto", Words: strings.Fields("encryption privacy protocol key exchange")},
+		{ID: "s-engine", Words: strings.Fields("turbine cooling duct alloy fatigue")},
+		{ID: "s-noise", Words: strings.Fields("volleyball sand beach")},
+	}
+	const threshold = 0.2
+
+	got := runMatching(t, docsR, docsS, DiceLike, threshold)
+	want := PlaintextMatches(docsR, docsS, DiceLike, threshold)
+
+	if len(got) != len(want) {
+		t.Fatalf("private matching found %d pairs, plaintext %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].RIndex != want[i].RIndex || got[i].SIndex != want[i].SIndex {
+			t.Errorf("pair %d: got (%d,%d), want (%d,%d)",
+				i, got[i].RIndex, got[i].SIndex, want[i].RIndex, want[i].SIndex)
+		}
+		if got[i].Intersection != want[i].Intersection {
+			t.Errorf("pair %d: intersection %d, want %d", i, got[i].Intersection, want[i].Intersection)
+		}
+		if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+			t.Errorf("pair %d: score %f, want %f", i, got[i].Score, want[i].Score)
+		}
+	}
+	// The crypto pair and the engine pair should match; cooking/volleyball
+	// should not.
+	if len(got) != 2 {
+		t.Errorf("expected exactly 2 matching pairs, got %d: %+v", len(got), got)
+	}
+}
+
+func TestMatchingThresholdOne(t *testing.T) {
+	// Threshold 1 is unreachable for DiceLike (max 0.5): no matches.
+	docs := []Document{{ID: "d", Words: []string{"a", "b"}}}
+	got := runMatching(t, docs, docs, DiceLike, 1.0)
+	if len(got) != 0 {
+		t.Errorf("threshold 1 matched %d pairs", len(got))
+	}
+}
+
+func TestMatchingIdenticalDocs(t *testing.T) {
+	docs := []Document{{ID: "d", Words: []string{"a", "b", "c"}}}
+	got := runMatching(t, docs, docs, DiceLike, 0.49)
+	if len(got) != 1 {
+		t.Fatalf("identical docs did not match: %d", len(got))
+	}
+	if got[0].Intersection != 3 || got[0].Score != 0.5 {
+		t.Errorf("match = %+v", got[0])
+	}
+}
+
+func TestMatchingEmptyCorpora(t *testing.T) {
+	if got := runMatching(t, nil, nil, DiceLike, 0.1); len(got) != 0 {
+		t.Error("empty corpora matched")
+	}
+	docs := []Document{{ID: "d", Words: []string{"a"}}}
+	if got := runMatching(t, docs, nil, DiceLike, 0.1); len(got) != 0 {
+		t.Error("empty S corpus matched")
+	}
+	if got := runMatching(t, nil, docs, DiceLike, 0.1); len(got) != 0 {
+		t.Error("empty R corpus matched")
+	}
+}
+
+func TestMatchingDefaultSimilarity(t *testing.T) {
+	docs := []Document{{ID: "d", Words: []string{"a", "b", "c"}}}
+	got := runMatching(t, docs, docs, nil, 0.4) // nil selects DiceLike
+	if len(got) != 1 {
+		t.Errorf("default similarity failed: %d matches", len(got))
+	}
+}
+
+func TestPlaintextMatchesNilSim(t *testing.T) {
+	docs := []Document{{ID: "d", Words: []string{"a"}}}
+	if got := PlaintextMatches(docs, docs, nil, 0.3); len(got) != 1 {
+		t.Errorf("PlaintextMatches nil sim: %d", len(got))
+	}
+}

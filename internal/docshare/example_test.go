@@ -1,0 +1,22 @@
+package docshare_test
+
+import (
+	"fmt"
+
+	"minshare/internal/docshare"
+)
+
+// TF·IDF preprocessing reduces each document to its most significant
+// words — the abstraction step of Application 1.
+func ExampleSignificantWords() {
+	corpus := [][]string{
+		docshare.Tokenize("the turbine blade cooling duct, the thermal coating"),
+		docshare.Tokenize("the privacy preserving database join, the encryption"),
+	}
+	for i, words := range docshare.SignificantWords(corpus, 3) {
+		fmt.Printf("doc %d: %v\n", i, words)
+	}
+	// Output:
+	// doc 0: [blade coating cooling]
+	// doc 1: [database encryption join]
+}

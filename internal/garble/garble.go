@@ -1,0 +1,365 @@
+// Package garble implements Yao-style garbled circuits with
+// point-and-permute, the "computing the circuit" half of the Appendix A
+// baseline.
+//
+// The garbler assigns each wire two random 128-bit labels (one per truth
+// value) and a random permute bit.  Each gate becomes a table of four
+// rows: row (p_a, p_b) holds the output label (plus its permute bit)
+// encrypted under the two input labels with that permutation, where the
+// encryption is a SHA-256-based key-derivation XOR — the "pseudorandom
+// function" whose per-gate double evaluation is the cost C_r of the
+// paper's analysis ("for each gate ... evaluates 2 pseudorandom
+// functions": we apply the PRF once per input label; two inputs → two
+// evaluations, matching the paper's accounting).
+//
+// The evaluator walks the gates holding exactly one label per wire and
+// decrypts exactly one row per gate; output decoding maps final labels
+// to cleartext bits.
+package garble
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"minshare/internal/circuit"
+)
+
+// LabelLen is the wire-label length in bytes (the paper's k0 = 64 bits
+// refers to 2001-era keys; we use the modern 128 bits and the cost model
+// keeps k0 symbolic).
+const LabelLen = 16
+
+// Label is one wire label.
+type Label [LabelLen]byte
+
+// WirePair is the two labels of a wire plus its permute bit.
+type WirePair struct {
+	False, True Label
+	// Permute is the permute (color) bit assigned to the FALSE label;
+	// the TRUE label carries the complement.
+	Permute bool
+}
+
+// labelFor returns the label and color for a truth value.
+func (w WirePair) labelFor(v bool) (Label, bool) {
+	if v {
+		return w.True, !w.Permute
+	}
+	return w.False, w.Permute
+}
+
+// Row is one encrypted gate-table row: an output label plus a flag byte,
+// XOR-masked.
+type Row [LabelLen + 1]byte
+
+// Table is a garbled gate: four rows indexed by the input colors
+// (2*colorA + colorB); INV gates use only two rows (indexed by colorA).
+type Table struct {
+	Rows [4]Row
+}
+
+// Garbled is a garbled circuit ready for evaluation: the circuit shape,
+// per-gate tables, and the output decoding (the permute bit of each
+// output wire's FALSE label).
+type Garbled struct {
+	Circuit *circuit.Circuit
+	Tables  []Table
+	// OutputPermutes holds, for each output wire, the color carried by
+	// its FALSE label, letting the evaluator decode colors to bits.
+	OutputPermutes []bool
+
+	// wires is the garbler's secret: every wire's label pair.  It stays
+	// on the garbler side; Evaluate never touches it.
+	wires []WirePair
+}
+
+// InputLabels selects the labels encoding the garbler's own input bits —
+// what S "hardwires" into the circuit and ships alongside the tables.
+func (g *Garbled) InputLabels(bits []bool) ([]Label, error) {
+	if len(bits) != len(g.Circuit.GarblerInputs) {
+		return nil, fmt.Errorf("garble: %d garbler bits, want %d", len(bits), len(g.Circuit.GarblerInputs))
+	}
+	out := make([]Label, len(bits))
+	for i, w := range g.Circuit.GarblerInputs {
+		l, _ := g.wires[w].labelFor(bits[i])
+		out[i] = l
+	}
+	return out, nil
+}
+
+// EvaluatorLabelPair returns both labels of the i-th evaluator input
+// wire — the two messages of the oblivious transfer for that bit.
+func (g *Garbled) EvaluatorLabelPair(i int) (falseLabel, trueLabel Label, err error) {
+	if i < 0 || i >= len(g.Circuit.EvaluatorInputs) {
+		return Label{}, Label{}, fmt.Errorf("garble: evaluator input %d out of range", i)
+	}
+	w := g.Circuit.EvaluatorInputs[i]
+	return g.wires[w].False, g.wires[w].True, nil
+}
+
+// prf derives a one-time pad for a gate row from the input labels.  Two
+// SHA-256 evaluations per gate evaluation (one per input label) is the
+// C_r accounting of Appendix A.
+func prf(gateID int, a, b *Label) [LabelLen + 1]byte {
+	h := sha256.New()
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], uint64(gateID))
+	h.Write(id[:])
+	if a != nil {
+		h.Write(a[:])
+	}
+	if b != nil {
+		// Second PRF evaluation, domain-separated.
+		h.Write([]byte{0xB})
+		h.Write(b[:])
+	}
+	sum := h.Sum(nil)
+	var out [LabelLen + 1]byte
+	copy(out[:], sum[:LabelLen+1])
+	return out
+}
+
+func xorRow(dst *Row, pad [LabelLen + 1]byte) {
+	for i := range dst {
+		dst[i] ^= pad[i]
+	}
+}
+
+// Garble garbles a circuit.  The randomness source defaults to
+// crypto/rand.Reader when nil.
+func Garble(c *circuit.Circuit, r io.Reader) (*Garbled, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("garble: %w", err)
+	}
+	if r == nil {
+		r = rand.Reader
+	}
+	wires := make([]WirePair, c.NumWires)
+	randWire := func() (WirePair, error) {
+		var wp WirePair
+		var buf [2*LabelLen + 1]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return wp, fmt.Errorf("garble: sampling labels: %w", err)
+		}
+		copy(wp.False[:], buf[:LabelLen])
+		copy(wp.True[:], buf[LabelLen:2*LabelLen])
+		wp.Permute = buf[2*LabelLen]&1 == 1
+		return wp, nil
+	}
+	// Input wires.
+	for _, w := range c.GarblerInputs {
+		wp, err := randWire()
+		if err != nil {
+			return nil, err
+		}
+		wires[w] = wp
+	}
+	for _, w := range c.EvaluatorInputs {
+		wp, err := randWire()
+		if err != nil {
+			return nil, err
+		}
+		wires[w] = wp
+	}
+
+	truth := func(t circuit.GateType, a, b bool) bool {
+		switch t {
+		case circuit.XOR:
+			return a != b
+		case circuit.AND:
+			return a && b
+		case circuit.OR:
+			return a || b
+		case circuit.INV:
+			return !a
+		}
+		panic("garble: unknown gate type")
+	}
+
+	tables := make([]Table, len(c.Gates))
+	for gi, g := range c.Gates {
+		wp, err := randWire()
+		if err != nil {
+			return nil, err
+		}
+		wires[g.Out] = wp
+
+		if g.Type == circuit.INV {
+			in := wires[g.In0]
+			for _, av := range []bool{false, true} {
+				aLab, aCol := in.labelFor(av)
+				outLab, outCol := wp.labelFor(truth(g.Type, av, false))
+				var row Row
+				copy(row[:LabelLen], outLab[:])
+				if outCol {
+					row[LabelLen] = 1
+				}
+				xorRow(&row, prf(gi, &aLab, nil))
+				idx := 0
+				if aCol {
+					idx = 1
+				}
+				tables[gi].Rows[idx] = row
+			}
+			continue
+		}
+
+		inA := wires[g.In0]
+		inB := wires[g.In1]
+		for _, av := range []bool{false, true} {
+			for _, bv := range []bool{false, true} {
+				aLab, aCol := inA.labelFor(av)
+				bLab, bCol := inB.labelFor(bv)
+				outLab, outCol := wp.labelFor(truth(g.Type, av, bv))
+				var row Row
+				copy(row[:LabelLen], outLab[:])
+				if outCol {
+					row[LabelLen] = 1
+				}
+				xorRow(&row, prf(gi, &aLab, &bLab))
+				idx := 0
+				if aCol {
+					idx |= 2
+				}
+				if bCol {
+					idx |= 1
+				}
+				tables[gi].Rows[idx] = row
+			}
+		}
+	}
+
+	outPerms := make([]bool, len(c.Outputs))
+	for i, w := range c.Outputs {
+		outPerms[i] = wires[w].Permute
+	}
+	return &Garbled{
+		Circuit:        c,
+		Tables:         tables,
+		OutputPermutes: outPerms,
+		wires:          wires,
+	}, nil
+}
+
+// evalLabel is a wire label plus its color as seen by the evaluator.
+type evalLabel struct {
+	lab Label
+	col bool
+}
+
+// Evaluate runs the garbled circuit given one label per input wire (the
+// garbler's labels arrive in garbler-input order, the evaluator's own —
+// obtained via OT — in evaluator-input order) and returns the cleartext
+// output bits.  The garbler's secret label pairs are NOT used: only the
+// public tables and decoding information.
+func Evaluate(c *circuit.Circuit, tables []Table, outputPermutes []bool,
+	garblerLabels, evaluatorLabels []LabeledInput) ([]bool, error) {
+	if len(tables) != len(c.Gates) {
+		return nil, fmt.Errorf("garble: %d tables for %d gates", len(tables), len(c.Gates))
+	}
+	if len(garblerLabels) != len(c.GarblerInputs) {
+		return nil, fmt.Errorf("garble: %d garbler labels, want %d", len(garblerLabels), len(c.GarblerInputs))
+	}
+	if len(evaluatorLabels) != len(c.EvaluatorInputs) {
+		return nil, fmt.Errorf("garble: %d evaluator labels, want %d", len(evaluatorLabels), len(c.EvaluatorInputs))
+	}
+	if len(outputPermutes) != len(c.Outputs) {
+		return nil, errors.New("garble: output decoding length mismatch")
+	}
+
+	wires := make([]evalLabel, c.NumWires)
+	set := make([]bool, c.NumWires)
+	for i, w := range c.GarblerInputs {
+		wires[w] = evalLabel{garblerLabels[i].Label, garblerLabels[i].Color}
+		set[w] = true
+	}
+	for i, w := range c.EvaluatorInputs {
+		wires[w] = evalLabel{evaluatorLabels[i].Label, evaluatorLabels[i].Color}
+		set[w] = true
+	}
+	for gi, g := range c.Gates {
+		if !set[g.In0] || (g.Type != circuit.INV && !set[g.In1]) {
+			return nil, fmt.Errorf("garble: gate %d input not ready", gi)
+		}
+		a := wires[g.In0]
+		var row Row
+		var pad [LabelLen + 1]byte
+		if g.Type == circuit.INV {
+			idx := 0
+			if a.col {
+				idx = 1
+			}
+			row = tables[gi].Rows[idx]
+			pad = prf(gi, &a.lab, nil)
+		} else {
+			b := wires[g.In1]
+			idx := 0
+			if a.col {
+				idx |= 2
+			}
+			if b.col {
+				idx |= 1
+			}
+			row = tables[gi].Rows[idx]
+			pad = prf(gi, &a.lab, &b.lab)
+		}
+		xorRow(&row, pad)
+		var out evalLabel
+		copy(out.lab[:], row[:LabelLen])
+		out.col = row[LabelLen] == 1
+		wires[g.Out] = out
+		set[g.Out] = true
+	}
+
+	bits := make([]bool, len(c.Outputs))
+	for i, w := range c.Outputs {
+		// The FALSE label carries color outputPermutes[i]; seeing the
+		// complement means TRUE.
+		bits[i] = wires[w].col != outputPermutes[i]
+	}
+	return bits, nil
+}
+
+// LabeledInput is a label with its point-and-permute color — the unit
+// the evaluator actually receives for each input wire.
+type LabeledInput struct {
+	Label Label
+	Color bool
+}
+
+// GarblerInputLabeled packages the garbler's input bits as LabeledInputs
+// for transmission.
+func (g *Garbled) GarblerInputLabeled(bits []bool) ([]LabeledInput, error) {
+	if len(bits) != len(g.Circuit.GarblerInputs) {
+		return nil, fmt.Errorf("garble: %d garbler bits, want %d", len(bits), len(g.Circuit.GarblerInputs))
+	}
+	out := make([]LabeledInput, len(bits))
+	for i, w := range g.Circuit.GarblerInputs {
+		lab, col := g.wires[w].labelFor(bits[i])
+		out[i] = LabeledInput{Label: lab, Color: col}
+	}
+	return out, nil
+}
+
+// EvaluatorInputLabeled returns the two LabeledInputs (false, true) for
+// the i-th evaluator input — the OT message pair.
+func (g *Garbled) EvaluatorInputLabeled(i int) (f, tr LabeledInput, err error) {
+	if i < 0 || i >= len(g.Circuit.EvaluatorInputs) {
+		return f, tr, fmt.Errorf("garble: evaluator input %d out of range", i)
+	}
+	w := g.Circuit.EvaluatorInputs[i]
+	fl, fc := g.wires[w].labelFor(false)
+	tl, tc := g.wires[w].labelFor(true)
+	return LabeledInput{fl, fc}, LabeledInput{tl, tc}, nil
+}
+
+// TableBytes returns the size in bytes of the garbled tables — the
+// "4k0 per gate" communication term of Appendix A (our rows carry an
+// extra color byte; the cost model stays symbolic in k0).
+func (g *Garbled) TableBytes() int {
+	return len(g.Tables) * 4 * (LabelLen + 1)
+}

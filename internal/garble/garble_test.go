@@ -1,0 +1,256 @@
+package garble
+
+import (
+	"math/rand"
+	"testing"
+
+	"minshare/internal/circuit"
+)
+
+// runGarbled garbles c and evaluates it on the given plaintext inputs,
+// simulating the label handoff (garbler labels direct, evaluator labels
+// as if via OT).
+func runGarbled(t *testing.T, c *circuit.Circuit, gBits, eBits []bool, seed int64) []bool {
+	t.Helper()
+	g, err := Garble(c, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, err := g.GarblerInputLabeled(gBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := make([]LabeledInput, len(eBits))
+	for i, b := range eBits {
+		f, tr, err := g.EvaluatorInputLabeled(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b {
+			el[i] = tr
+		} else {
+			el[i] = f
+		}
+	}
+	out, err := Evaluate(c.Copy(), g.Tables, g.OutputPermutes, gl, el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestGarbledGatesExhaustive(t *testing.T) {
+	b := circuit.NewBuilder()
+	g := b.GarblerInputs(1)
+	e := b.EvaluatorInputs(1)
+	b.Output(
+		b.XOR(g[0], e[0]),
+		b.AND(g[0], e[0]),
+		b.OR(g[0], e[0]),
+		b.NOT(g[0]),
+	)
+	c := b.MustBuild()
+
+	for seed := int64(0); seed < 3; seed++ {
+		for _, gv := range []bool{false, true} {
+			for _, ev := range []bool{false, true} {
+				got := runGarbled(t, c, []bool{gv}, []bool{ev}, seed)
+				want, _ := c.Eval([]bool{gv}, []bool{ev})
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d g=%v e=%v: out[%d]=%v want %v",
+							seed, gv, ev, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGarbledEqualityCircuit(t *testing.T) {
+	const w = 5
+	b := circuit.NewBuilder()
+	x := b.GarblerInputs(w)
+	y := b.EvaluatorInputs(w)
+	b.Output(b.Equal(x, y))
+	c := b.MustBuild()
+
+	for _, tc := range []struct{ x, y uint64 }{
+		{0, 0}, {31, 31}, {5, 5}, {5, 6}, {0, 31}, {16, 8},
+	} {
+		got := runGarbled(t, c, circuit.UintToBits(tc.x, w), circuit.UintToBits(tc.y, w), 1)
+		if got[0] != (tc.x == tc.y) {
+			t.Errorf("Equal(%d,%d) garbled = %v", tc.x, tc.y, got[0])
+		}
+	}
+}
+
+func TestGarbledBruteForceIntersection(t *testing.T) {
+	const w, nS, nR = 4, 3, 3
+	c := circuit.BruteForceIntersection(w, nS, nR)
+	sVals := []uint64{3, 9, 14}
+	rVals := []uint64{9, 2, 3}
+	got := runGarbled(t, c,
+		circuit.FlattenValues(sVals, w),
+		circuit.FlattenValues(rVals, w), 7)
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("membership[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGarbledMatchesPlaintextProperty(t *testing.T) {
+	// Random small circuits via the brute-force builder with random
+	// inputs: garbled evaluation must equal plaintext evaluation.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		w := 2 + rng.Intn(4)
+		nS := 1 + rng.Intn(3)
+		nR := 1 + rng.Intn(3)
+		c := circuit.BruteForceIntersection(w, nS, nR)
+		sVals := make([]uint64, nS)
+		rVals := make([]uint64, nR)
+		for i := range sVals {
+			sVals[i] = uint64(rng.Intn(1 << w))
+		}
+		for i := range rVals {
+			rVals[i] = uint64(rng.Intn(1 << w))
+		}
+		gBits := circuit.FlattenValues(sVals, w)
+		eBits := circuit.FlattenValues(rVals, w)
+		got := runGarbled(t, c, gBits, eBits, int64(trial))
+		want, err := c.Eval(gBits, eBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: output %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestEvaluateRejectsBadShapes(t *testing.T) {
+	b := circuit.NewBuilder()
+	g := b.GarblerInputs(1)
+	e := b.EvaluatorInputs(1)
+	b.Output(b.AND(g[0], e[0]))
+	c := b.MustBuild()
+	gc, err := Garble(c, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, _ := gc.GarblerInputLabeled([]bool{true})
+	f, _, _ := gc.EvaluatorInputLabeled(0)
+
+	if _, err := Evaluate(c, gc.Tables[:0], gc.OutputPermutes, gl, []LabeledInput{f}); err == nil {
+		t.Error("missing tables accepted")
+	}
+	if _, err := Evaluate(c, gc.Tables, gc.OutputPermutes, nil, []LabeledInput{f}); err == nil {
+		t.Error("missing garbler labels accepted")
+	}
+	if _, err := Evaluate(c, gc.Tables, gc.OutputPermutes, gl, nil); err == nil {
+		t.Error("missing evaluator labels accepted")
+	}
+	if _, err := Evaluate(c, gc.Tables, nil, gl, []LabeledInput{f}); err == nil {
+		t.Error("missing decoding accepted")
+	}
+}
+
+func TestGarbleValidatesCircuit(t *testing.T) {
+	bad := &circuit.Circuit{}
+	if _, err := Garble(bad, nil); err == nil {
+		t.Error("invalid circuit garbled")
+	}
+}
+
+func TestInputLabelArity(t *testing.T) {
+	b := circuit.NewBuilder()
+	g := b.GarblerInputs(2)
+	b.Output(b.AND(g[0], g[1]))
+	c := b.MustBuild()
+	gc, err := Garble(c, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gc.InputLabels([]bool{true}); err == nil {
+		t.Error("wrong arity accepted by InputLabels")
+	}
+	if _, err := gc.GarblerInputLabeled([]bool{true}); err == nil {
+		t.Error("wrong arity accepted by GarblerInputLabeled")
+	}
+	if _, _, err := gc.EvaluatorLabelPair(0); err == nil {
+		t.Error("label pair for nonexistent evaluator input")
+	}
+	if _, _, err := gc.EvaluatorInputLabeled(5); err == nil {
+		t.Error("out-of-range evaluator input accepted")
+	}
+}
+
+func TestWrongLabelProducesGarbageNotPanic(t *testing.T) {
+	// Feeding a random label must not panic; the output is garbage (or
+	// an error), never a crash.
+	b := circuit.NewBuilder()
+	g := b.GarblerInputs(1)
+	e := b.EvaluatorInputs(1)
+	b.Output(b.AND(g[0], e[0]))
+	c := b.MustBuild()
+	gc, err := Garble(c, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, _ := gc.GarblerInputLabeled([]bool{true})
+	var junk LabeledInput
+	for i := range junk.Label {
+		junk.Label[i] = 0xAA
+	}
+	if _, err := Evaluate(c, gc.Tables, gc.OutputPermutes, gl, []LabeledInput{junk}); err != nil {
+		t.Logf("evaluation with junk label errored cleanly: %v", err)
+	}
+}
+
+func TestTableBytes(t *testing.T) {
+	b := circuit.NewBuilder()
+	g := b.GarblerInputs(2)
+	b.Output(b.AND(g[0], g[1]))
+	c := b.MustBuild()
+	gc, err := Garble(c, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.TableBytes() != 1*4*(LabelLen+1) {
+		t.Errorf("TableBytes = %d", gc.TableBytes())
+	}
+}
+
+// TestGarbledSortedIntersectionSize runs the sort-based counting circuit
+// (Appendix A's "ordered array" construction, built for real in package
+// circuit) through garbled evaluation end to end.
+func TestGarbledSortedIntersectionSize(t *testing.T) {
+	const w = 5
+	sVals := []uint64{3, 9, 14, 20}
+	rVals := []uint64{9, 20, 7}
+	c := circuit.SortedIntersectionSize(w, len(sVals), len(rVals))
+	gBits, err := circuit.SortedInputBits(sVals, w, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBits, err := circuit.SortedInputBits(rVals, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runGarbled(t, c, gBits, eBits, 11)
+	var count uint64
+	for i := len(out) - 1; i >= 0; i-- {
+		count <<= 1
+		if out[i] {
+			count |= 1
+		}
+	}
+	if count != 2 { // 9 and 20 are shared
+		t.Errorf("garbled sorted intersection size = %d, want 2", count)
+	}
+}

@@ -1,0 +1,52 @@
+package group
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// GenerateSafePrime produces a fresh safe prime of the requested bit
+// length using rejection sampling: draw a (bits-1)-bit prime q and test
+// whether p = 2q + 1 is prime.  The density of safe primes makes this
+// expensive for large sizes (minutes for 2048 bits on one core); use the
+// pre-generated Builtin groups unless fresh parameters are required.
+//
+// The context allows cancellation of long-running generation.  The
+// randomness source r defaults to crypto/rand.Reader when nil.
+func GenerateSafePrime(ctx context.Context, bits int, r io.Reader) (*big.Int, error) {
+	if bits < 16 {
+		return nil, fmt.Errorf("group: safe prime size %d too small (min 16 bits)", bits)
+	}
+	if r == nil {
+		r = rand.Reader
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("group: safe prime generation cancelled: %w", ctx.Err())
+		default:
+		}
+		q, err := rand.Prime(r, bits-1)
+		if err != nil {
+			return nil, fmt.Errorf("group: generating candidate prime: %w", err)
+		}
+		p := new(big.Int).Lsh(q, 1)
+		p.Add(p, one)
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+}
+
+// Generate produces a fresh Group with a newly generated safe prime of
+// the requested bit length.  See GenerateSafePrime for cost caveats.
+func Generate(ctx context.Context, bits int, r io.Reader) (*Group, error) {
+	p, err := GenerateSafePrime(ctx, bits, r)
+	if err != nil {
+		return nil, err
+	}
+	return New(p)
+}

@@ -1,0 +1,325 @@
+package group
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinGroupsValidate(t *testing.T) {
+	for _, size := range BuiltinSizes() {
+		size := size
+		t.Run(size.label(), func(t *testing.T) {
+			g, err := Builtin(size)
+			if err != nil {
+				t.Fatalf("Builtin(%d): %v", size, err)
+			}
+			if g.Bits() != int(size) {
+				t.Errorf("Bits() = %d, want %d", g.Bits(), size)
+			}
+			p := g.P()
+			q := g.Q()
+			// p = 2q + 1
+			want := new(big.Int).Lsh(q, 1)
+			want.Add(want, big.NewInt(1))
+			if p.Cmp(want) != 0 {
+				t.Errorf("p != 2q+1")
+			}
+			// p ≡ 3 (mod 4)
+			if new(big.Int).Mod(p, big.NewInt(4)).Int64() != 3 {
+				t.Errorf("p mod 4 != 3")
+			}
+		})
+	}
+}
+
+func (s Size) label() string {
+	return big.NewInt(int64(s)).String() + "bit"
+}
+
+func TestNewRejectsNonSafePrimes(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *big.Int
+	}{
+		{"nil", nil},
+		{"zero", big.NewInt(0)},
+		{"negative", big.NewInt(-7)},
+		{"even", big.NewInt(100)},
+		{"prime but not safe (13)", big.NewInt(13)}, // (13-1)/2 = 6 composite
+		{"composite (15)", big.NewInt(15)},
+		{"1 mod 4 prime (17)", big.NewInt(17)},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.p); err == nil {
+			t.Errorf("New(%s) accepted %v, want error", tc.name, tc.p)
+		}
+	}
+}
+
+func TestNewAcceptsSmallSafePrimes(t *testing.T) {
+	// 7 = 2*3+1, 11 = 2*5+1, 23 = 2*11+1, 47, 59, 83, 107, 167, 179
+	for _, p := range []int64{7, 11, 23, 47, 59, 83, 107, 167, 179} {
+		if _, err := New(big.NewInt(p)); err != nil {
+			t.Errorf("New(%d): %v", p, err)
+		}
+	}
+}
+
+func TestNewFromHexInvalid(t *testing.T) {
+	if _, err := NewFromHex("not hex"); err == nil {
+		t.Error("NewFromHex accepted garbage")
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := MustNew(big.NewInt(23)) // QR(23) = {1,2,3,4,6,8,9,12,13,16,18}
+	residues := map[int64]bool{1: true, 2: true, 3: true, 4: true, 6: true,
+		8: true, 9: true, 12: true, 13: true, 16: true, 18: true}
+	for x := int64(-1); x < 25; x++ {
+		got := g.Contains(big.NewInt(x))
+		want := residues[x]
+		if got != want {
+			t.Errorf("Contains(%d) = %v, want %v", x, got, want)
+		}
+	}
+	if g.Contains(nil) {
+		t.Error("Contains(nil) = true")
+	}
+}
+
+func TestGroupClosureExhaustive(t *testing.T) {
+	// On QR(23), multiplication and exponentiation stay in the group.
+	g := MustNew(big.NewInt(23))
+	var elems []*big.Int
+	for x := int64(1); x < 23; x++ {
+		if v := big.NewInt(x); g.Contains(v) {
+			elems = append(elems, v)
+		}
+	}
+	if len(elems) != 11 {
+		t.Fatalf("|QR(23)| = %d, want 11", len(elems))
+	}
+	for _, a := range elems {
+		for _, b := range elems {
+			if p := g.Mul(a, b); !g.Contains(p) {
+				t.Errorf("Mul(%v,%v) = %v not in group", a, b, p)
+			}
+		}
+		if inv := g.Inv(a); !g.Contains(inv) || g.Mul(a, inv).Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("Inv(%v) wrong", a)
+		}
+		for e := int64(1); e < 11; e++ {
+			if p := g.Exp(a, big.NewInt(e)); !g.Contains(p) {
+				t.Errorf("Exp(%v,%d) not in group", a, e)
+			}
+		}
+	}
+}
+
+func TestExpCommutesProperty(t *testing.T) {
+	g := TestGroup()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x, err := g.RandomElement(rng)
+		if err != nil {
+			return false
+		}
+		d, _ := g.RandomExponent(rng)
+		e, _ := g.RandomExponent(rng)
+		lhs := g.Exp(g.Exp(x, d), e)
+		rhs := g.Exp(g.Exp(x, e), d)
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvExponentInvertsExp(t *testing.T) {
+	g := TestGroup()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		x, _ := g.RandomElement(rng)
+		e, _ := g.RandomExponent(rng)
+		eInv, err := g.InvExponent(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := g.Exp(g.Exp(x, e), eInv)
+		if back.Cmp(x) != 0 {
+			t.Fatalf("x^(e*e^-1) != x")
+		}
+	}
+}
+
+func TestInvExponentRejectsZero(t *testing.T) {
+	g := TestGroup()
+	if _, err := g.InvExponent(big.NewInt(0)); err == nil {
+		t.Error("InvExponent(0) succeeded")
+	}
+	if _, err := g.InvExponent(g.Q()); err == nil {
+		t.Error("InvExponent(q) succeeded")
+	}
+}
+
+func TestRandomElementInGroup(t *testing.T) {
+	g := TestGroup()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		x, err := g.RandomElement(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Contains(x) {
+			t.Fatalf("RandomElement returned non-member %v", x)
+		}
+	}
+}
+
+func TestRandomExponentRange(t *testing.T) {
+	g := TestGroup()
+	rng := rand.New(rand.NewSource(3))
+	q := g.Q()
+	for i := 0; i < 50; i++ {
+		e, err := g.RandomExponent(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Sign() <= 0 || e.Cmp(q) >= 0 {
+			t.Fatalf("RandomExponent %v outside [1, q-1]", e)
+		}
+	}
+}
+
+func TestEncodeDecodeMessageRoundTrip(t *testing.T) {
+	g := MustNew(big.NewInt(23)) // q = 11
+	for m := int64(1); m <= 11; m++ {
+		enc, err := g.EncodeMessage(big.NewInt(m))
+		if err != nil {
+			t.Fatalf("EncodeMessage(%d): %v", m, err)
+		}
+		if !g.Contains(enc) {
+			t.Fatalf("EncodeMessage(%d) = %v not a residue", m, enc)
+		}
+		dec, err := g.DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("DecodeMessage: %v", err)
+		}
+		if dec.Int64() != m {
+			t.Fatalf("round trip %d -> %v -> %v", m, enc, dec)
+		}
+	}
+}
+
+func TestEncodeMessageRange(t *testing.T) {
+	g := MustNew(big.NewInt(23))
+	for _, m := range []int64{0, -1, 12, 23, 100} {
+		if _, err := g.EncodeMessage(big.NewInt(m)); err == nil {
+			t.Errorf("EncodeMessage(%d) accepted out-of-range message", m)
+		}
+	}
+	if _, err := g.EncodeMessage(nil); err == nil {
+		t.Error("EncodeMessage(nil) accepted")
+	}
+}
+
+func TestDecodeMessageRejectsNonMembers(t *testing.T) {
+	g := MustNew(big.NewInt(23))
+	if _, err := g.DecodeMessage(big.NewInt(5)); err == nil { // 5 is a non-residue mod 23
+		t.Error("DecodeMessage accepted non-residue")
+	}
+}
+
+func TestEncodeDecodeMessagePropertyBigGroup(t *testing.T) {
+	g := TestGroup()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := new(big.Int).Rand(rng, g.Q())
+		if m.Sign() == 0 {
+			m.SetInt64(1)
+		}
+		enc, err := g.EncodeMessage(m)
+		if err != nil {
+			return false
+		}
+		dec, err := g.DecodeMessage(enc)
+		return err == nil && dec.Cmp(m) == 0 && g.Contains(enc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorGeneratesGroup(t *testing.T) {
+	g := MustNew(big.NewInt(23))
+	gen := g.Generator()
+	seen := map[int64]bool{}
+	x := big.NewInt(1)
+	for i := 0; i < 11; i++ {
+		x = g.Mul(x, gen)
+		seen[x.Int64()] = true
+	}
+	if len(seen) != 11 {
+		t.Errorf("generator 4 produced %d distinct elements of QR(23), want 11", len(seen))
+	}
+}
+
+func TestGenerateSmallSafePrime(t *testing.T) {
+	g, err := Generate(context.Background(), 64, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != 64 {
+		t.Errorf("generated %d-bit group, want 64", g.Bits())
+	}
+}
+
+func TestGenerateCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateSafePrime(ctx, 512, nil); err == nil {
+		t.Error("GenerateSafePrime ignored cancelled context")
+	}
+}
+
+func TestGenerateTooSmall(t *testing.T) {
+	if _, err := GenerateSafePrime(context.Background(), 8, nil); err == nil {
+		t.Error("accepted 8-bit request")
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := TestGroup()
+	b := MustBuiltin(Bits256)
+	c := MustBuiltin(Bits512)
+	if !a.Equal(b) {
+		t.Error("same builtin groups not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different groups Equal")
+	}
+	if a.Equal(nil) {
+		t.Error("Equal(nil) = true")
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestElementLen(t *testing.T) {
+	if got := TestGroup().ElementLen(); got != 32 {
+		t.Errorf("ElementLen() = %d, want 32", got)
+	}
+	if got := MustNew(big.NewInt(23)).ElementLen(); got != 1 {
+		t.Errorf("ElementLen() = %d, want 1", got)
+	}
+}
+
+func TestBuiltinUnknownSize(t *testing.T) {
+	if _, err := Builtin(Size(999)); err == nil {
+		t.Error("Builtin(999) succeeded")
+	}
+}

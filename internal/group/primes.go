@@ -1,0 +1,116 @@
+package group
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Pre-generated safe primes.  Each constant is the hexadecimal
+// representation of a prime p such that (p-1)/2 is also prime; all were
+// produced by the generator in this package (GenerateSafePrime) using
+// crypto/rand and verified with 20 Miller-Rabin rounds plus Baillie-PSW.
+//
+// The small sizes (64-512 bits) exist for fast tests and exhaustive
+// property checks; they are NOT cryptographically secure.  The paper's
+// cost analysis uses 1024-bit moduli ("With 1024-bit hash values ...",
+// Section 3.2.2; C_e timed on 1024-bit numbers, Section 6.2), so Bits1024
+// is the default group for benchmarks and for the experiment harness.
+const (
+	safePrime64Hex   = "f010f8f7a6a1b857"
+	safePrime128Hex  = "e2dc24805cda9946aadbe1c942f3e763"
+	safePrime160Hex  = "dba98b6db2bbf6836491ed3db23edd639b54c73b"
+	safePrime224Hex  = "d75e5f9350abb077c2b0e258450a58c6edb088c334d7b5f83a132c93"
+	safePrime256Hex  = "c82d9104af1162ee8cdbab22c195fc071336b1804cabcde70b2804662b89855f"
+	safePrime384Hex  = "f076fd7f23eeb2888fb5d018c163322f523da9775cbf9a85c00e9541218022e690c38feb11cb60b9ae97972e4aacf24b"
+	safePrime512Hex  = "c153c24afd6d489e8d1f39bae0f7d8fe77d808cb2ad8e2f3c12b76405b21432616aa9744945b88c7b2135bc4611d7d3abda7b3d64b5ad68036511017f11c373b"
+	safePrime768Hex  = "f1606aa3035ed36b84da3e5ebf76e997e62df726efa5da458ea9b4c9de32fbf1d7d0409669a32707603c233ae3d61424a4031adea44d5f07275f9e559d985172b2c008be6d572d24cb10db40cc2e13e7da7a1cb0d7bc4e6b57a0bc93bb6ea52b"
+	safePrime1024Hex = "cc9d73bd4327952f2d1a902c4e5eb165a68be6660b72f2ee5950746c894e16e349903418f80eb5577631f4846df366a8dd4016c9d16293601ceadec632b0c5d4e301f71794eb3d2ba7c3ffc72de5cc157cb858c938cc0b58798bcad800462c59bfb5346e2dc50d48b206fc0537c7da51163b92a68db3af4c0c4f7cf14f246687"
+	safePrime1536Hex = "f4163357395c2c1cbc3ea99aac46562ba7fc938b2e2d1a59514eec6e602be2c2577ecd6c163af965bc99ab4cab3786db6f62822ac9fc9de80ef32c91eb566f985d3904ea1872fe53956bf010b89fc0bc0f57d80d1c41c84e34d2e655b36ba1d3704a210cc19bb5be409a24b64574d02972f4f9aea17c87559d3a845f78f07b6045a73a29b006a8745086492f2000157165043047486f354fa3d867f34596533996f6f38f0e7f72fbdd1da95905bad49475bb1f5160a22ce2ff581782a05ce64f"
+	safePrime2048Hex = "c030b91f9e75892df79e73efa2b81fb4d2de1e203141bd94527d9de516a204a06643a069238855cc7e404812fcc8a1699b0d7a3b39c4e1c6b42fe9b0c31959e744ab55428eb180a718ea6bd79204a9aee6783a50d3fcd14b33a6c5e57e1ee7398f27cb4abaf0daee324e1ab84595dcea9d9383e0da5fd0b3baddd8624343dbc4fb0477752d0fec80a3b0ccf2b9e7b25b6bb0de6449f295067b88cd91372ba34471669481f131b9f1df8435d5e4602b295cc66f2038ce10ac5e34c30c97922364a76c48009e096029c5a834ba21923b4f7d401193157076b7f862e7bf204e1bf4cb93082009cdc90cb06d0ffc468f321fbd23cb12011a605acca910d39ed43e93"
+)
+
+// Size names a pre-generated group by modulus bit length.
+type Size int
+
+// Supported pre-generated sizes.
+const (
+	Bits64   Size = 64
+	Bits128  Size = 128
+	Bits160  Size = 160
+	Bits224  Size = 224
+	Bits256  Size = 256
+	Bits384  Size = 384
+	Bits512  Size = 512
+	Bits768  Size = 768
+	Bits1024 Size = 1024
+	Bits1536 Size = 1536
+	Bits2048 Size = 2048
+)
+
+var builtinHex = map[Size]string{
+	Bits64:   safePrime64Hex,
+	Bits128:  safePrime128Hex,
+	Bits160:  safePrime160Hex,
+	Bits224:  safePrime224Hex,
+	Bits256:  safePrime256Hex,
+	Bits384:  safePrime384Hex,
+	Bits512:  safePrime512Hex,
+	Bits768:  safePrime768Hex,
+	Bits1024: safePrime1024Hex,
+	Bits1536: safePrime1536Hex,
+	Bits2048: safePrime2048Hex,
+}
+
+var (
+	builtinMu    sync.Mutex
+	builtinCache = map[Size]*Group{}
+)
+
+// Builtin returns the pre-generated group of the given size.  Groups are
+// validated once and cached; the returned *Group is shared and immutable.
+func Builtin(size Size) (*Group, error) {
+	builtinMu.Lock()
+	defer builtinMu.Unlock()
+	if g, ok := builtinCache[size]; ok {
+		return g, nil
+	}
+	hex, ok := builtinHex[size]
+	if !ok {
+		return nil, fmt.Errorf("group: no builtin group of %d bits (have %v)", size, BuiltinSizes())
+	}
+	g, err := NewFromHex(hex)
+	if err != nil {
+		return nil, fmt.Errorf("group: builtin %d-bit group failed validation: %w", size, err)
+	}
+	builtinCache[size] = g
+	return g, nil
+}
+
+// MustBuiltin is like Builtin but panics on error; the builtin constants
+// are known-good, so this only fails on programmer error (bad size).
+func MustBuiltin(size Size) *Group {
+	g, err := Builtin(size)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Default returns the 1024-bit group used throughout the paper's cost
+// analysis.
+func Default() *Group { return MustBuiltin(Bits1024) }
+
+// TestGroup returns a small (256-bit) group appropriate for fast unit
+// tests.  It must not be used for real deployments.
+func TestGroup() *Group { return MustBuiltin(Bits256) }
+
+// BuiltinSizes lists the available pre-generated sizes in ascending order.
+func BuiltinSizes() []Size {
+	sizes := make([]Size, 0, len(builtinHex))
+	for s := range builtinHex {
+		sizes = append(sizes, s)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	return sizes
+}

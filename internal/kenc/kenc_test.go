@@ -1,0 +1,253 @@
+package kenc
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minshare/internal/group"
+)
+
+func randomKey(t testing.TB, g *group.Group, seed int64) *big.Int {
+	t.Helper()
+	k, err := g.RandomElement(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func ciphers(g *group.Group) []Cipher {
+	return []Cipher{NewMultiplicative(g), NewHybrid(g)}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := group.TestGroup()
+	for _, c := range ciphers(g) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			kappa := randomKey(t, g, 1)
+			for _, pt := range [][]byte{
+				nil,
+				{},
+				[]byte("x"),
+				[]byte("personid=42, drug=true"), // 22 bytes, fits both
+				bytes.Repeat([]byte{0}, 10),      // leading zeros must survive
+				{0xFF, 0x00, 0xFF},
+			} {
+				ct, err := c.Encrypt(kappa, pt)
+				if err != nil {
+					t.Fatalf("Encrypt(%x): %v", pt, err)
+				}
+				got, err := c.Decrypt(kappa, ct)
+				if err != nil {
+					t.Fatalf("Decrypt: %v", err)
+				}
+				if !bytes.Equal(got, pt) && !(len(got) == 0 && len(pt) == 0) {
+					t.Fatalf("round trip %x -> %x", pt, got)
+				}
+			}
+		})
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	g := group.TestGroup()
+	mult := NewMultiplicative(g)
+	hyb := NewHybrid(g)
+	f := func(pt []byte, seed int64) bool {
+		kappa := randomKey(t, g, seed)
+		if len(pt) <= mult.MaxPayload() {
+			ct, err := mult.Encrypt(kappa, pt)
+			if err != nil {
+				return false
+			}
+			back, err := mult.Decrypt(kappa, ct)
+			if err != nil || !bytes.Equal(back, pt) {
+				return false
+			}
+		}
+		ct, err := hyb.Encrypt(kappa, pt)
+		if err != nil {
+			return false
+		}
+		back, err := hyb.Decrypt(kappa, ct)
+		return err == nil && bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMultiplicativePerfectSecrecyExhaustive verifies Property 2 of
+// Section 4.2 exactly on QR(23): for every fixed plaintext, the map
+// κ ↦ K_κ(x) is a bijection of the group, so a uniform key yields a
+// uniform ciphertext regardless of the plaintext.
+func TestMultiplicativePerfectSecrecyExhaustive(t *testing.T) {
+	g := group.MustNew(big.NewInt(23))
+	c := NewMultiplicative(g)
+	var keys []*big.Int
+	for x := int64(1); x < 23; x++ {
+		if v := big.NewInt(x); g.Contains(v) {
+			keys = append(keys, v)
+		}
+	}
+	if c.MaxPayload() != 0 {
+		// With a 5-bit modulus the framed payload must be empty; the
+		// frame byte alone is the message.
+		t.Logf("MaxPayload = %d", c.MaxPayload())
+	}
+	// Use the raw group API to test with several messages despite the
+	// tiny modulus: encrypting the framed empty payload under all keys
+	// must hit every group element exactly once.
+	seen := map[int64]int{}
+	for _, k := range keys {
+		ct, err := c.Encrypt(k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[new(big.Int).SetBytes(ct).Int64()]++
+	}
+	if len(seen) != len(keys) {
+		t.Fatalf("ciphertexts hit %d of %d group elements: not uniform", len(seen), len(keys))
+	}
+	for ctVal, n := range seen {
+		if n != 1 {
+			t.Fatalf("ciphertext %d produced by %d keys, want 1", ctVal, n)
+		}
+	}
+}
+
+func TestMultiplicativePayloadBound(t *testing.T) {
+	g := group.TestGroup()
+	c := NewMultiplicative(g)
+	max := c.MaxPayload()
+	if max <= 0 {
+		t.Fatalf("MaxPayload = %d", max)
+	}
+	kappa := randomKey(t, g, 2)
+	ok := bytes.Repeat([]byte{0xAB}, max)
+	if _, err := c.Encrypt(kappa, ok); err != nil {
+		t.Fatalf("payload of MaxPayload bytes rejected: %v", err)
+	}
+	tooBig := bytes.Repeat([]byte{0xAB}, max+1)
+	if _, err := c.Encrypt(kappa, tooBig); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversized payload: err = %v, want ErrPayloadTooLarge", err)
+	}
+	if c.CiphertextLen(max) != g.ElementLen() {
+		t.Errorf("CiphertextLen(max) = %d, want %d", c.CiphertextLen(max), g.ElementLen())
+	}
+	if c.CiphertextLen(max+1) != -1 {
+		t.Error("CiphertextLen above max should be -1")
+	}
+}
+
+func TestHybridCiphertextLen(t *testing.T) {
+	c := NewHybrid(group.TestGroup())
+	if got := c.CiphertextLen(100); got != 116 {
+		t.Errorf("CiphertextLen(100) = %d, want 116", got)
+	}
+	if got := c.CiphertextLen(-1); got != -1 {
+		t.Errorf("CiphertextLen(-1) = %d, want -1", got)
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	g := group.TestGroup()
+	k1 := randomKey(t, g, 3)
+	k2 := randomKey(t, g, 4)
+	if k1.Cmp(k2) == 0 {
+		t.Fatal("test keys equal")
+	}
+
+	// Hybrid mode detects the wrong key via the tag.
+	hyb := NewHybrid(g)
+	ct, err := hyb.Encrypt(k1, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hyb.Decrypt(k2, ct); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("hybrid wrong-key error = %v, want ErrAuthFailed", err)
+	}
+
+	// Multiplicative mode cannot authenticate (the paper's K is
+	// malleable); decrypting with a wrong key either errors on framing
+	// or yields different bytes, but must never return the plaintext.
+	mult := NewMultiplicative(g)
+	ct2, err := mult.Encrypt(k1, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := mult.Decrypt(k2, ct2)
+	if err == nil && bytes.Equal(pt, []byte("secret")) {
+		t.Error("multiplicative decryption under wrong key returned the plaintext")
+	}
+}
+
+func TestCorruptedCiphertext(t *testing.T) {
+	g := group.TestGroup()
+	kappa := randomKey(t, g, 5)
+	hyb := NewHybrid(g)
+	ct, err := hyb.Encrypt(kappa, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct[0] ^= 0x80
+	if _, err := hyb.Decrypt(kappa, ct); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("corrupted hybrid ciphertext: err = %v, want ErrAuthFailed", err)
+	}
+	if _, err := hyb.Decrypt(kappa, []byte("short")); !errors.Is(err, ErrBadCiphertext) {
+		t.Errorf("short hybrid ciphertext: err = %v, want ErrBadCiphertext", err)
+	}
+
+	mult := NewMultiplicative(g)
+	if _, err := mult.Decrypt(kappa, []byte{1, 2, 3}); !errors.Is(err, ErrBadCiphertext) {
+		t.Errorf("short multiplicative ciphertext: err = %v, want ErrBadCiphertext", err)
+	}
+}
+
+func TestBadKeys(t *testing.T) {
+	g := group.TestGroup()
+	for _, c := range ciphers(g) {
+		for _, k := range []*big.Int{nil, big.NewInt(0), g.P()} {
+			if _, err := c.Encrypt(k, []byte("x")); !errors.Is(err, ErrBadKey) {
+				t.Errorf("%s.Encrypt(bad key %v): err = %v, want ErrBadKey", c.Name(), k, err)
+			}
+			if _, err := c.Decrypt(k, make([]byte, g.ElementLen()+tagLen)); !errors.Is(err, ErrBadKey) {
+				t.Errorf("%s.Decrypt(bad key %v): err = %v, want ErrBadKey", c.Name(), k, err)
+			}
+		}
+	}
+}
+
+func TestHybridKeyStreamDiffersPerKey(t *testing.T) {
+	g := group.TestGroup()
+	hyb := NewHybrid(g)
+	pt := bytes.Repeat([]byte{0}, 64) // ciphertext body == keystream
+	k1 := randomKey(t, g, 6)
+	k2 := randomKey(t, g, 7)
+	ct1, _ := hyb.Encrypt(k1, pt)
+	ct2, _ := hyb.Encrypt(k2, pt)
+	if Equal(ct1[:64], ct2[:64]) {
+		t.Error("keystreams for distinct keys coincide")
+	}
+}
+
+func TestStreamLongPayload(t *testing.T) {
+	// Exercise multiple keystream blocks.
+	g := group.TestGroup()
+	hyb := NewHybrid(g)
+	kappa := randomKey(t, g, 8)
+	pt := bytes.Repeat([]byte("0123456789abcdef"), 100) // 1600 bytes
+	ct, err := hyb.Encrypt(kappa, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := hyb.Decrypt(kappa, ct)
+	if err != nil || !bytes.Equal(back, pt) {
+		t.Fatal("long payload round trip failed")
+	}
+}

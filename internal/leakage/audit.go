@@ -1,0 +1,153 @@
+package leakage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Query restriction and auditing — the Section 2.3 "first line of
+// defence" against what parties might learn by combining the results of
+// multiple queries.  The paper points to three technique families from
+// the statistical-database literature: restricting the size of query
+// results [17, 23], controlling the overlap among successive queries
+// [19], and keeping audit trails of all answered queries to detect
+// possible compromises [13].  Auditor implements all three for set-input
+// protocols.
+
+// Common audit errors.
+var (
+	// ErrResultTooSmall blocks queries whose input set is below the
+	// minimum (tiny sets enable tracker-style isolation of individuals).
+	ErrResultTooSmall = errors.New("leakage: query set below minimum size")
+	// ErrResultTooLarge blocks queries whose input set is above the maximum.
+	ErrResultTooLarge = errors.New("leakage: query set above maximum size")
+	// ErrOverlapTooHigh blocks a query overlapping a previous one too much.
+	ErrOverlapTooHigh = errors.New("leakage: query overlaps a previous query beyond the allowed fraction")
+	// ErrQueryBudget blocks queries beyond the per-peer budget.
+	ErrQueryBudget = errors.New("leakage: query budget exhausted")
+)
+
+// AuditPolicy configures the restriction rules.
+type AuditPolicy struct {
+	// MinSetSize and MaxSetSize bound the input set cardinality
+	// (result-size restriction à la Fellegi / Denning).  Zero disables a
+	// bound.
+	MinSetSize, MaxSetSize int
+	// MaxOverlapFraction ∈ [0,1] bounds |Q_new ∩ Q_old| / |Q_new| against
+	// every previously answered query (Dobkin-Jones-Lipton overlap
+	// control).  1 disables the check; 0 forbids any overlap.
+	MaxOverlapFraction float64
+	// MaxQueries bounds the number of answered queries per peer.  Zero
+	// disables the bound.
+	MaxQueries int
+}
+
+// DefaultPolicy mirrors common statistical-database practice: sets of at
+// least 5 values, at most 50% overlap with any earlier query, at most
+// 1000 queries per peer.
+var DefaultPolicy = AuditPolicy{
+	MinSetSize:         5,
+	MaxOverlapFraction: 0.5,
+	MaxQueries:         1000,
+}
+
+// AuditEntry records one answered query.
+type AuditEntry struct {
+	Peer     string
+	Protocol string
+	SetSize  int
+	Time     time.Time
+}
+
+// Auditor enforces an AuditPolicy and keeps the audit trail.  It is safe
+// for concurrent use.
+type Auditor struct {
+	policy AuditPolicy
+
+	mu      sync.Mutex
+	trail   []AuditEntry
+	history map[string][]map[string]struct{} // peer → answered query sets
+	now     func() time.Time
+}
+
+// NewAuditor builds an auditor with the given policy.
+func NewAuditor(policy AuditPolicy) *Auditor {
+	return &Auditor{
+		policy:  policy,
+		history: make(map[string][]map[string]struct{}),
+		now:     time.Now,
+	}
+}
+
+// Check validates a proposed query set against the policy WITHOUT
+// recording it.  A nil error means the query may run.
+func (a *Auditor) Check(peer, protocol string, values [][]byte) error {
+	set := toSet(values)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.checkLocked(peer, set)
+}
+
+func (a *Auditor) checkLocked(peer string, set map[string]struct{}) error {
+	if a.policy.MinSetSize > 0 && len(set) < a.policy.MinSetSize {
+		return fmt.Errorf("%w: %d < %d", ErrResultTooSmall, len(set), a.policy.MinSetSize)
+	}
+	if a.policy.MaxSetSize > 0 && len(set) > a.policy.MaxSetSize {
+		return fmt.Errorf("%w: %d > %d", ErrResultTooLarge, len(set), a.policy.MaxSetSize)
+	}
+	if a.policy.MaxQueries > 0 && len(a.history[peer]) >= a.policy.MaxQueries {
+		return fmt.Errorf("%w: %d queries answered for %q", ErrQueryBudget, len(a.history[peer]), peer)
+	}
+	if a.policy.MaxOverlapFraction < 1 && len(set) > 0 {
+		for _, old := range a.history[peer] {
+			overlap := 0
+			for v := range set {
+				if _, ok := old[v]; ok {
+					overlap++
+				}
+			}
+			frac := float64(overlap) / float64(len(set))
+			if frac > a.policy.MaxOverlapFraction {
+				return fmt.Errorf("%w: %.0f%% > %.0f%%", ErrOverlapTooHigh,
+					frac*100, a.policy.MaxOverlapFraction*100)
+			}
+		}
+	}
+	return nil
+}
+
+// Approve atomically checks a query and, if allowed, records it in the
+// audit trail.  Protocol code calls this before answering a peer.
+func (a *Auditor) Approve(peer, protocol string, values [][]byte) error {
+	set := toSet(values)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.checkLocked(peer, set); err != nil {
+		return err
+	}
+	a.history[peer] = append(a.history[peer], set)
+	a.trail = append(a.trail, AuditEntry{
+		Peer:     peer,
+		Protocol: protocol,
+		SetSize:  len(set),
+		Time:     a.now(),
+	})
+	return nil
+}
+
+// Trail returns a copy of the audit trail.
+func (a *Auditor) Trail() []AuditEntry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]AuditEntry(nil), a.trail...)
+}
+
+func toSet(values [][]byte) map[string]struct{} {
+	set := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		set[string(v)] = struct{}{}
+	}
+	return set
+}

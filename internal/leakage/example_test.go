@@ -1,0 +1,34 @@
+package leakage_test
+
+import (
+	"fmt"
+
+	"minshare/internal/leakage"
+)
+
+// The paper's second extreme for the equijoin-size protocol: when no two
+// values share a duplicate count, the leakage matrix pins down the whole
+// intersection.
+func ExampleInferMembers() {
+	vR := [][]byte{
+		[]byte("a"),
+		[]byte("b"), []byte("b"),
+		[]byte("c"), []byte("c"), []byte("c"),
+	}
+	vS := [][]byte{
+		[]byte("a"), []byte("a"), []byte("a"), []byte("a"),
+		[]byte("c"),
+	}
+	m := leakage.PartitionOverlapMatrix(vR, vS)
+	for _, inf := range leakage.InferMembers(vR, m) {
+		if inf.InSender {
+			fmt.Printf("%s is in V_S (with %d duplicates)\n", inf.Value, inf.SenderDuplicates)
+		} else {
+			fmt.Printf("%s is NOT in V_S\n", inf.Value)
+		}
+	}
+	// Output:
+	// a is in V_S (with 4 duplicates)
+	// b is NOT in V_S
+	// c is in V_S (with 1 duplicates)
+}

@@ -1,0 +1,206 @@
+// Package leakage quantifies what the paper's protocols reveal beyond
+// their nominal answers, and implements the first-line defences of
+// Section 2.3 against multi-query composition attacks.
+//
+// The headline object is the Section 5.2 characterization of the
+// equijoin-size protocol: partition each side's values by duplicate
+// count — V_R(d) holds the values occurring d times in T_R.A — and then
+// R learns |V_R(d) ∩ V_S(d')| for every partition pair.  At one extreme
+// (all duplicate counts equal) that collapses to the intersection size;
+// at the other (all counts distinct) it reveals the full intersection.
+// PartitionOverlapMatrix computes the matrix, and InferMembers derives
+// the value-level facts R can deduce from it.
+package leakage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is the Section 5.2 leakage object: Matrix[d][d'] =
+// |V_R(d) ∩ V_S(d')|, the number of values occurring exactly d times on
+// R's side and d' times on S's side.
+type Matrix map[int]map[int]int
+
+// PartitionOverlapMatrix computes the leakage matrix from the two
+// plaintext multisets.  This is the *reference*: tests verify that what
+// the receiver can actually reconstruct from an equijoin-size transcript
+// (see FromCounts) equals it.
+func PartitionOverlapMatrix(vR, vS [][]byte) Matrix {
+	cR := counts(vR)
+	cS := counts(vS)
+	m := Matrix{}
+	for v, d := range cR {
+		dPrime, shared := cS[v]
+		if !shared {
+			continue
+		}
+		row := m[d]
+		if row == nil {
+			row = map[int]int{}
+			m[d] = row
+		}
+		row[dPrime]++
+	}
+	return m
+}
+
+// FromCounts reconstructs the same matrix the way the receiver actually
+// can: from the multiplicity tallies of the doubly-encrypted multisets
+// Z_R and Z_S (keyed by opaque ciphertext strings).  R never sees values,
+// only repeated ciphertexts — yet that suffices.
+func FromCounts(zR, zS map[string]int) Matrix {
+	m := Matrix{}
+	for z, d := range zR {
+		dPrime, shared := zS[z]
+		if !shared {
+			continue
+		}
+		row := m[d]
+		if row == nil {
+			row = map[int]int{}
+			m[d] = row
+		}
+		row[dPrime]++
+	}
+	return m
+}
+
+// Equal reports whether two matrices are identical.
+func (m Matrix) Equal(o Matrix) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for d, row := range m {
+		oRow, ok := o[d]
+		if !ok || len(row) != len(oRow) {
+			return false
+		}
+		for dp, n := range row {
+			if oRow[dp] != n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// JoinSize returns Σ d·d'·Matrix[d][d'], the join cardinality implied by
+// the matrix — a consistency check against the protocol's answer.
+func (m Matrix) JoinSize() int {
+	n := 0
+	for d, row := range m {
+		for dPrime, cnt := range row {
+			n += d * dPrime * cnt
+		}
+	}
+	return n
+}
+
+// IntersectionSize returns Σ Matrix[d][d'], the number of shared
+// distinct values.
+func (m Matrix) IntersectionSize() int {
+	n := 0
+	for _, row := range m {
+		for _, cnt := range row {
+			n += cnt
+		}
+	}
+	return n
+}
+
+// String renders the matrix with sorted keys for stable test output.
+func (m Matrix) String() string {
+	var ds []int
+	for d := range m {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	out := ""
+	for _, d := range ds {
+		var dps []int
+		for dp := range m[d] {
+			dps = append(dps, dp)
+		}
+		sort.Ints(dps)
+		for _, dp := range dps {
+			out += fmt.Sprintf("|V_R(%d) ∩ V_S(%d)| = %d\n", d, dp, m[d][dp])
+		}
+	}
+	return out
+}
+
+// Inference is a value-level fact the receiver can deduce from the
+// leakage matrix combined with knowledge of its own multiset.
+type Inference struct {
+	// Value is one of R's own values.
+	Value []byte
+	// InSender is true when R can prove v ∈ V_S, false when R can prove
+	// v ∉ V_S.  (Values about which nothing definite follows are not
+	// reported.)
+	InSender bool
+	// SenderDuplicates is v's duplicate count in T_S.A when InSender
+	// and the count is determined (0 if ambiguous).
+	SenderDuplicates int
+}
+
+// InferMembers derives all definite membership facts: for each duplicate
+// count d, if every value of V_R(d) matched (row sums to |V_R(d)|) then
+// all of them are in V_S; if none matched, none are.  When additionally
+// the matched values of V_R(d) all fall in a single V_S(d'), their
+// sender-side duplicate count is determined too.  This realizes the
+// paper's observation that with all-distinct duplicate counts R learns
+// V_R ∩ V_S exactly.
+func InferMembers(vR [][]byte, m Matrix) []Inference {
+	cR := counts(vR)
+	// Group R's distinct values by their duplicate count.
+	byCount := map[int][]string{}
+	for v, d := range cR {
+		byCount[d] = append(byCount[d], v)
+	}
+	var out []Inference
+	var ds []int
+	for d := range byCount {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	for _, d := range ds {
+		vsOfD := byCount[d]
+		sort.Strings(vsOfD)
+		matched := 0
+		uniqueDPrime := -1
+		for dPrime, cnt := range m[d] {
+			matched += cnt
+			if cnt > 0 {
+				if uniqueDPrime == -1 {
+					uniqueDPrime = dPrime
+				} else {
+					uniqueDPrime = -2 // more than one d' present
+				}
+			}
+		}
+		switch matched {
+		case 0:
+			for _, v := range vsOfD {
+				out = append(out, Inference{Value: []byte(v), InSender: false})
+			}
+		case len(vsOfD):
+			for _, v := range vsOfD {
+				inf := Inference{Value: []byte(v), InSender: true}
+				if uniqueDPrime >= 0 {
+					inf.SenderDuplicates = uniqueDPrime
+				}
+				out = append(out, inf)
+			}
+		}
+	}
+	return out
+}
+
+func counts(vs [][]byte) map[string]int {
+	out := make(map[string]int, len(vs))
+	for _, v := range vs {
+		out[string(v)]++
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package leakage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func multiset(spec map[string]int) [][]byte {
+	var out [][]byte
+	for v, n := range spec {
+		for i := 0; i < n; i++ {
+			out = append(out, []byte(v))
+		}
+	}
+	return out
+}
+
+func TestPartitionOverlapMatrixBasic(t *testing.T) {
+	vR := multiset(map[string]int{"a": 3, "b": 1, "c": 2, "r": 1})
+	vS := multiset(map[string]int{"a": 2, "b": 3, "s": 1})
+
+	m := PartitionOverlapMatrix(vR, vS)
+	// a: d=3,d'=2; b: d=1,d'=3.
+	if m[3][2] != 1 || m[1][3] != 1 {
+		t.Errorf("matrix = %v", m)
+	}
+	if m.IntersectionSize() != 2 {
+		t.Errorf("IntersectionSize = %d, want 2", m.IntersectionSize())
+	}
+	if want := 3*2 + 1*3; m.JoinSize() != want {
+		t.Errorf("JoinSize = %d, want %d", m.JoinSize(), want)
+	}
+}
+
+// TestFromCountsEqualsPlaintextMatrix is the key claim of Section 5.2:
+// the receiver, seeing only the doubly-encrypted multisets, reconstructs
+// exactly the partition-level overlap matrix.
+func TestFromCountsEqualsPlaintextMatrix(t *testing.T) {
+	vR := multiset(map[string]int{"a": 3, "b": 1, "c": 2, "r": 1})
+	vS := multiset(map[string]int{"a": 2, "b": 3, "s": 4})
+
+	// Simulate the protocol's view: replace each value with an opaque
+	// "ciphertext" (any injective relabelling models the double
+	// encryption — it preserves exactly multiplicity structure).
+	enc := func(v string) string { return "enc(" + v + ")" }
+	zR := map[string]int{}
+	for _, v := range vR {
+		zR[enc(string(v))]++
+	}
+	zS := map[string]int{}
+	for _, v := range vS {
+		zS[enc(string(v))]++
+	}
+
+	fromView := FromCounts(zR, zS)
+	fromPlain := PartitionOverlapMatrix(vR, vS)
+	if !fromView.Equal(fromPlain) {
+		t.Errorf("view matrix %v != plaintext matrix %v", fromView, fromPlain)
+	}
+}
+
+func TestMatrixEqual(t *testing.T) {
+	a := Matrix{1: {2: 3}}
+	b := Matrix{1: {2: 3}}
+	c := Matrix{1: {2: 4}}
+	d := Matrix{1: {2: 3}, 2: {1: 1}}
+	e := Matrix{1: {2: 3, 4: 1}}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) || a.Equal(e) {
+		t.Error("Matrix.Equal wrong")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := Matrix{2: {3: 1}, 1: {1: 5}}
+	s := m.String()
+	if !strings.Contains(s, "|V_R(1) ∩ V_S(1)| = 5") || !strings.Contains(s, "|V_R(2) ∩ V_S(3)| = 1") {
+		t.Errorf("String() = %q", s)
+	}
+	// Sorted: d=1 line first.
+	if strings.Index(s, "V_R(1)") > strings.Index(s, "V_R(2)") {
+		t.Error("String() not sorted")
+	}
+}
+
+// TestInferUniformDuplicatesRevealOnlySize reproduces the paper's first
+// extreme: "if all values have the same number of duplicates ..., R only
+// learns |V_R ∩ V_S|" — membership of individual values stays ambiguous
+// unless all or none matched.
+func TestInferUniformDuplicatesRevealOnlySize(t *testing.T) {
+	vR := multiset(map[string]int{"a": 1, "b": 1, "c": 1, "d": 1})
+	vS := multiset(map[string]int{"a": 1, "b": 1, "x": 1})
+
+	m := PartitionOverlapMatrix(vR, vS)
+	inf := InferMembers(vR, m)
+	// 2 of the 4 values in V_R(1) matched: no definite fact about any
+	// individual value.
+	if len(inf) != 0 {
+		t.Errorf("uniform duplicates leaked value-level facts: %+v", inf)
+	}
+}
+
+// TestInferDistinctDuplicatesRevealEverything reproduces the paper's
+// second extreme: "if no two values have the same number of duplicates,
+// R will learn V_R ∩ V_S."
+func TestInferDistinctDuplicatesRevealEverything(t *testing.T) {
+	vR := multiset(map[string]int{"a": 1, "b": 2, "c": 3, "d": 4})
+	vS := multiset(map[string]int{"a": 5, "c": 6, "z": 1})
+
+	m := PartitionOverlapMatrix(vR, vS)
+	inf := InferMembers(vR, m)
+	got := map[string]Inference{}
+	for _, i := range inf {
+		got[string(i.Value)] = i
+	}
+	// All four values are decided.
+	if len(got) != 4 {
+		t.Fatalf("decided %d values, want 4: %+v", len(got), inf)
+	}
+	for v, wantIn := range map[string]bool{"a": true, "b": false, "c": true, "d": false} {
+		i, ok := got[v]
+		if !ok {
+			t.Errorf("no inference for %q", v)
+			continue
+		}
+		if i.InSender != wantIn {
+			t.Errorf("%q: InSender = %v, want %v", v, i.InSender, wantIn)
+		}
+	}
+	// Sender-side duplicate counts are pinned for the matched values.
+	if got["a"].SenderDuplicates != 5 || got["c"].SenderDuplicates != 6 {
+		t.Errorf("sender duplicate counts: a=%d c=%d, want 5, 6",
+			got["a"].SenderDuplicates, got["c"].SenderDuplicates)
+	}
+}
+
+func TestInferAllMatchedPartition(t *testing.T) {
+	// Both values with d=2 matched, but into different d' buckets: their
+	// membership is certain, their sender counts are not.
+	vR := multiset(map[string]int{"a": 2, "b": 2})
+	vS := multiset(map[string]int{"a": 1, "b": 3})
+	m := PartitionOverlapMatrix(vR, vS)
+	inf := InferMembers(vR, m)
+	if len(inf) != 2 {
+		t.Fatalf("decided %d values, want 2", len(inf))
+	}
+	for _, i := range inf {
+		if !i.InSender {
+			t.Errorf("%q should be in sender", i.Value)
+		}
+		if i.SenderDuplicates != 0 {
+			t.Errorf("%q: sender count should be ambiguous, got %d", i.Value, i.SenderDuplicates)
+		}
+	}
+}
+
+func TestMatrixConsistencyProperty(t *testing.T) {
+	f := func(dupsR, dupsS []uint8) bool {
+		specR := map[string]int{}
+		for i, d := range dupsR {
+			if i >= 6 {
+				break
+			}
+			if n := int(d % 5); n > 0 {
+				specR[string(rune('a'+i))] = n
+			}
+		}
+		specS := map[string]int{}
+		for i, d := range dupsS {
+			if i >= 6 {
+				break
+			}
+			if n := int(d % 5); n > 0 {
+				specS[string(rune('a'+i))] = n
+			}
+		}
+		vR := multiset(specR)
+		vS := multiset(specS)
+		m := PartitionOverlapMatrix(vR, vS)
+
+		// JoinSize from the matrix equals the direct computation.
+		direct := 0
+		for v, nR := range specR {
+			direct += nR * specS[v]
+		}
+		if m.JoinSize() != direct {
+			return false
+		}
+		// Intersection size equals the shared distinct count.
+		shared := 0
+		for v := range specR {
+			if specS[v] > 0 {
+				shared++
+			}
+		}
+		return m.IntersectionSize() == shared
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- auditor ----
+
+func values(n int, prefix string) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(prefix + string(rune('0'+i%10)) + string(rune('a'+i/10)))
+	}
+	return out
+}
+
+func TestAuditorSizeBounds(t *testing.T) {
+	a := NewAuditor(AuditPolicy{MinSetSize: 5, MaxSetSize: 10, MaxOverlapFraction: 1})
+	if err := a.Approve("peer", "intersection", values(3, "q")); !errors.Is(err, ErrResultTooSmall) {
+		t.Errorf("small set: %v", err)
+	}
+	if err := a.Approve("peer", "intersection", values(11, "q")); !errors.Is(err, ErrResultTooLarge) {
+		t.Errorf("large set: %v", err)
+	}
+	if err := a.Approve("peer", "intersection", values(7, "q")); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestAuditorOverlapControl(t *testing.T) {
+	a := NewAuditor(AuditPolicy{MaxOverlapFraction: 0.5})
+	q1 := values(10, "x")
+	if err := a.Approve("peer", "intersection", q1); err != nil {
+		t.Fatal(err)
+	}
+	// 6 of 10 values repeat: 60% overlap > 50%.
+	q2 := append(append([][]byte{}, q1[:6]...), values(4, "y")...)
+	if err := a.Approve("peer", "intersection", q2); !errors.Is(err, ErrOverlapTooHigh) {
+		t.Errorf("overlapping query: %v", err)
+	}
+	// 4 of 10: 40% ≤ 50%, allowed.
+	q3 := append(append([][]byte{}, q1[:4]...), values(6, "z")...)
+	if err := a.Approve("peer", "intersection", q3); err != nil {
+		t.Errorf("acceptable overlap rejected: %v", err)
+	}
+	// Different peer: independent history.
+	if err := a.Approve("other", "intersection", q2); err != nil {
+		t.Errorf("other peer blocked: %v", err)
+	}
+}
+
+func TestAuditorQueryBudget(t *testing.T) {
+	a := NewAuditor(AuditPolicy{MaxQueries: 2, MaxOverlapFraction: 1})
+	for i := 0; i < 2; i++ {
+		if err := a.Approve("peer", "p", values(3, string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Approve("peer", "p", values(3, "c")); !errors.Is(err, ErrQueryBudget) {
+		t.Errorf("budget not enforced: %v", err)
+	}
+}
+
+func TestAuditorCheckDoesNotRecord(t *testing.T) {
+	a := NewAuditor(AuditPolicy{MaxQueries: 1, MaxOverlapFraction: 1})
+	q := values(3, "q")
+	for i := 0; i < 5; i++ {
+		if err := a.Check("peer", "p", q); err != nil {
+			t.Fatalf("Check %d: %v", i, err)
+		}
+	}
+	if err := a.Approve("peer", "p", q); err != nil {
+		t.Fatalf("Approve after Checks: %v", err)
+	}
+}
+
+func TestAuditorTrail(t *testing.T) {
+	a := NewAuditor(AuditPolicy{MaxOverlapFraction: 1})
+	_ = a.Approve("alice", "intersection", values(4, "a"))
+	_ = a.Approve("bob", "equijoin", values(6, "b"))
+	trail := a.Trail()
+	if len(trail) != 2 {
+		t.Fatalf("trail has %d entries", len(trail))
+	}
+	if trail[0].Peer != "alice" || trail[0].Protocol != "intersection" || trail[0].SetSize != 4 {
+		t.Errorf("entry 0 = %+v", trail[0])
+	}
+	if trail[1].Peer != "bob" || trail[1].SetSize != 6 {
+		t.Errorf("entry 1 = %+v", trail[1])
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	a := NewAuditor(DefaultPolicy)
+	if err := a.Approve("p", "x", values(4, "q")); !errors.Is(err, ErrResultTooSmall) {
+		t.Errorf("default min size: %v", err)
+	}
+	if err := a.Approve("p", "x", values(20, "q")); err != nil {
+		t.Errorf("default policy rejected sane query: %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package medical implements Application 2 of the paper (Sections 1.1
+// and 6.2.2): privacy-preserving medical research.
+//
+// A researcher T wants the answer to
+//
+//	select pattern, reaction, count(*)
+//	from T_R, T_S
+//	where T_R.personid = T_S.personid and T_S.drug = true
+//	group by T_R.pattern, T_S.reaction
+//
+// where T_R(personid, pattern) and T_S(personid, drug, reaction) live in
+// two different enterprises.  Following Figure 2 of the paper, the
+// enterprises partition their person-id sets —
+//
+//	V_R  = ids in T_R            V'_R = ids whose DNA matches the pattern
+//	V_S  = ids that took drug G  V'_S = ids with an adverse reaction
+//
+// — and run FOUR third-party intersection-size protocols, sending the
+// doubly-encrypted sets to T instead of to each other.  T learns the
+// four counts (the 2×2 contingency table) and nothing about any
+// individual; the enterprises learn only each other's partition sizes.
+package medical
+
+import (
+	"context"
+	"fmt"
+
+	"minshare/internal/core"
+	"minshare/internal/reldb"
+	"minshare/internal/transport"
+)
+
+// Counts is the researcher's 2×2 contingency table over people who took
+// the drug.
+type Counts struct {
+	PatternReaction     int // DNA pattern present, adverse reaction
+	PatternNoReaction   int // pattern present, no reaction
+	NoPatternReaction   int // no pattern, adverse reaction
+	NoPatternNoReaction int // no pattern, no reaction
+}
+
+// Total returns the number of drug takers covered by the table.
+func (c Counts) Total() int {
+	return c.PatternReaction + c.PatternNoReaction + c.NoPatternReaction + c.NoPatternNoReaction
+}
+
+// PartitionR splits enterprise R's table into (V'_R, V_R − V'_R): the
+// encoded person ids with and without the DNA pattern.  Column names
+// follow the paper: "personid" and "pattern".
+func PartitionR(tR *reldb.Table) (withPattern, withoutPattern [][]byte, err error) {
+	return partitionByBool(tR, "personid", "pattern")
+}
+
+// PartitionS splits enterprise S's drug takers into (V'_S, V_S − V'_S):
+// the encoded ids of drug takers with and without an adverse reaction.
+// People who did not take the drug are excluded entirely, matching the
+// query's "T_S.drug = true" predicate.
+func PartitionS(tS *reldb.Table) (withReaction, withoutReaction [][]byte, err error) {
+	drugIdx, err := tS.Schema().ColumnIndex("drug")
+	if err != nil {
+		return nil, nil, err
+	}
+	takers := tS.Select(func(r reldb.Row) bool { return r[drugIdx].AsBool() })
+	return partitionByBool(takers, "personid", "reaction")
+}
+
+// partitionByBool splits a table's id column by a boolean column.
+func partitionByBool(t *reldb.Table, idCol, boolCol string) (trueIDs, falseIDs [][]byte, err error) {
+	idIdx, err := t.Schema().ColumnIndex(idCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	boolIdx, err := t.Schema().ColumnIndex(boolCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range t.Rows() {
+		id := r[idIdx].Encode()
+		if r[boolIdx].AsBool() {
+			trueIDs = append(trueIDs, id)
+		} else {
+			falseIDs = append(falseIDs, id)
+		}
+	}
+	return trueIDs, falseIDs, nil
+}
+
+// RunStudy executes the Figure 2 algorithm end to end with all three
+// parties in-process (each over its own pipe triple): four third-party
+// intersection-size runs yield the contingency table.  cfgR, cfgS and
+// cfgT may share a group but should use independent randomness.
+func RunStudy(ctx context.Context, cfgR, cfgS, cfgT core.Config, tR, tS *reldb.Table) (*Counts, error) {
+	vPrimeR, vRestR, err := PartitionR(tR)
+	if err != nil {
+		return nil, fmt.Errorf("medical: partitioning T_R: %w", err)
+	}
+	vPrimeS, vRestS, err := PartitionS(tS)
+	if err != nil {
+		return nil, fmt.Errorf("medical: partitioning T_S: %w", err)
+	}
+
+	// Figure 2: four IntersectionSize(V_a, V_b) calls.
+	cells := [4]struct{ a, b [][]byte }{
+		{vPrimeR, vPrimeS}, // pattern ∧ reaction
+		{vPrimeR, vRestS},  // pattern ∧ ¬reaction
+		{vRestR, vPrimeS},  // ¬pattern ∧ reaction
+		{vRestR, vRestS},   // ¬pattern ∧ ¬reaction
+	}
+	var counts [4]int
+	for i, cell := range cells {
+		n, err := runThirdPartySize(ctx, cfgR, cfgS, cfgT, cell.a, cell.b)
+		if err != nil {
+			return nil, fmt.Errorf("medical: intersection size %d: %w", i+1, err)
+		}
+		counts[i] = n
+	}
+	return &Counts{
+		PatternReaction:     counts[0],
+		PatternNoReaction:   counts[1],
+		NoPatternReaction:   counts[2],
+		NoPatternNoReaction: counts[3],
+	}, nil
+}
+
+// runThirdPartySize wires one Figure 2 intersection-size instance: A and
+// B exchange encrypted sets, T counts.
+func runThirdPartySize(ctx context.Context, cfgA, cfgB, cfgT core.Config, vA, vB [][]byte) (int, error) {
+	abA, abB := transport.Pipe()
+	atA, atT := transport.Pipe()
+	btB, btT := transport.Pipe()
+	defer abA.Close()
+	defer atA.Close()
+	defer btB.Close()
+
+	errA := make(chan error, 1)
+	errB := make(chan error, 1)
+	go func() {
+		_, err := core.ThirdPartyPartyA(ctx, cfgA, abA, atA, vA)
+		errA <- err
+	}()
+	go func() {
+		_, err := core.ThirdPartyPartyB(ctx, cfgB, abB, btB, vB)
+		errB <- err
+	}()
+	res, err := core.ThirdPartyAnalyst(ctx, cfgT, atT, btT)
+	if err != nil {
+		return 0, fmt.Errorf("analyst: %w", err)
+	}
+	if err := <-errA; err != nil {
+		return 0, fmt.Errorf("party A: %w", err)
+	}
+	if err := <-errB; err != nil {
+		return 0, fmt.Errorf("party B: %w", err)
+	}
+	return res.IntersectionSize, nil
+}
+
+// PlaintextCounts evaluates the researcher's query directly on the two
+// tables — the reference the private computation is verified against.
+// It computes T_R ⋈ T_S on personid, filters drug = true, and groups by
+// (pattern, reaction).
+func PlaintextCounts(tR, tS *reldb.Table) (*Counts, error) {
+	joined, err := tR.Join(tS, "personid", "personid")
+	if err != nil {
+		return nil, err
+	}
+	schema := joined.Schema()
+	patIdx, err := schema.ColumnIndex("pattern")
+	if err != nil {
+		return nil, err
+	}
+	drugIdx, err := schema.ColumnIndex(tS.Name() + ".drug")
+	if err != nil {
+		return nil, err
+	}
+	reactIdx, err := schema.ColumnIndex(tS.Name() + ".reaction")
+	if err != nil {
+		return nil, err
+	}
+	var c Counts
+	for _, r := range joined.Rows() {
+		if !r[drugIdx].AsBool() {
+			continue
+		}
+		switch {
+		case r[patIdx].AsBool() && r[reactIdx].AsBool():
+			c.PatternReaction++
+		case r[patIdx].AsBool():
+			c.PatternNoReaction++
+		case r[reactIdx].AsBool():
+			c.NoPatternReaction++
+		default:
+			c.NoPatternNoReaction++
+		}
+	}
+	return &c, nil
+}

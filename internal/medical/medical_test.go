@@ -1,0 +1,178 @@
+package medical
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/reldb"
+)
+
+func testCfg(seed int64) core.Config {
+	return core.Config{
+		Group:       group.TestGroup(),
+		Rand:        rand.New(rand.NewSource(seed)),
+		Parallelism: 1,
+	}
+}
+
+func TestPartitionR(t *testing.T) {
+	tR, _ := reldb.GenPeopleTables(50, 0.4, 0.5, 0.3, 1)
+	with, without, err := PartitionR(tR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with)+len(without) != 50 {
+		t.Errorf("partitions cover %d ids, want 50", len(with)+len(without))
+	}
+}
+
+func TestPartitionSExcludesNonTakers(t *testing.T) {
+	tS := reldb.NewTable("T_S", reldb.MustSchema(
+		reldb.Column{Name: "personid", Type: reldb.TypeInt},
+		reldb.Column{Name: "drug", Type: reldb.TypeBool},
+		reldb.Column{Name: "reaction", Type: reldb.TypeBool},
+	))
+	tS.MustInsert(reldb.Int(1), reldb.Bool(true), reldb.Bool(true))
+	tS.MustInsert(reldb.Int(2), reldb.Bool(true), reldb.Bool(false))
+	tS.MustInsert(reldb.Int(3), reldb.Bool(false), reldb.Bool(false)) // not a taker
+
+	with, without, err := PartitionS(tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with) != 1 || len(without) != 1 {
+		t.Errorf("partitions = %d/%d, want 1/1 (non-taker excluded)", len(with), len(without))
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	bad := reldb.NewTable("bad", reldb.MustSchema(reldb.Column{Name: "x", Type: reldb.TypeInt}))
+	if _, _, err := PartitionR(bad); err == nil {
+		t.Error("PartitionR accepted wrong schema")
+	}
+	if _, _, err := PartitionS(bad); err == nil {
+		t.Error("PartitionS accepted wrong schema")
+	}
+}
+
+func TestRunStudyMatchesPlaintext(t *testing.T) {
+	tR, tS := reldb.GenPeopleTables(60, 0.35, 0.6, 0.25, 7)
+
+	want, err := PlaintextCounts(tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunStudy(context.Background(), testCfg(1), testCfg(2), testCfg(3), tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("private counts %+v != plaintext %+v", *got, *want)
+	}
+	// The four cells must cover exactly the drug takers.
+	takers := 0
+	drugIdx, _ := tS.Schema().ColumnIndex("drug")
+	for _, r := range tS.Rows() {
+		if r[drugIdx].AsBool() {
+			takers++
+		}
+	}
+	if got.Total() != takers {
+		t.Errorf("cells total %d, drug takers %d", got.Total(), takers)
+	}
+}
+
+func TestRunStudyAllZeroCells(t *testing.T) {
+	// Nobody took the drug: every cell must be zero.
+	tR, tS := reldb.GenPeopleTables(20, 0.5, 0.0, 0.5, 3)
+	got, err := RunStudy(context.Background(), testCfg(1), testCfg(2), testCfg(3), tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != 0 {
+		t.Errorf("counts %+v, want all zero", *got)
+	}
+}
+
+func TestRunStudyDisjointEnterprises(t *testing.T) {
+	// The enterprises know entirely different people: the join is empty.
+	tR := reldb.NewTable("T_R", reldb.MustSchema(
+		reldb.Column{Name: "personid", Type: reldb.TypeInt},
+		reldb.Column{Name: "pattern", Type: reldb.TypeBool},
+	))
+	tS := reldb.NewTable("T_S", reldb.MustSchema(
+		reldb.Column{Name: "personid", Type: reldb.TypeInt},
+		reldb.Column{Name: "drug", Type: reldb.TypeBool},
+		reldb.Column{Name: "reaction", Type: reldb.TypeBool},
+	))
+	for i := 0; i < 10; i++ {
+		tR.MustInsert(reldb.Int(int64(i)), reldb.Bool(i%2 == 0))
+		tS.MustInsert(reldb.Int(int64(1000+i)), reldb.Bool(true), reldb.Bool(i%3 == 0))
+	}
+	got, err := RunStudy(context.Background(), testCfg(1), testCfg(2), testCfg(3), tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != 0 {
+		t.Errorf("disjoint enterprises produced counts %+v", *got)
+	}
+}
+
+func TestPlaintextCountsDirect(t *testing.T) {
+	tR := reldb.NewTable("T_R", reldb.MustSchema(
+		reldb.Column{Name: "personid", Type: reldb.TypeInt},
+		reldb.Column{Name: "pattern", Type: reldb.TypeBool},
+	))
+	tS := reldb.NewTable("T_S", reldb.MustSchema(
+		reldb.Column{Name: "personid", Type: reldb.TypeInt},
+		reldb.Column{Name: "drug", Type: reldb.TypeBool},
+		reldb.Column{Name: "reaction", Type: reldb.TypeBool},
+	))
+	// id 1: pattern, drug, reaction      -> PatternReaction
+	// id 2: pattern, drug, no reaction   -> PatternNoReaction
+	// id 3: no pattern, drug, reaction   -> NoPatternReaction
+	// id 4: no pattern, drug, no reaction-> NoPatternNoReaction
+	// id 5: pattern, NO drug             -> excluded
+	// id 6: only in T_R                  -> excluded (no join partner)
+	// id 7: only in T_S                  -> excluded
+	tR.MustInsert(reldb.Int(1), reldb.Bool(true))
+	tR.MustInsert(reldb.Int(2), reldb.Bool(true))
+	tR.MustInsert(reldb.Int(3), reldb.Bool(false))
+	tR.MustInsert(reldb.Int(4), reldb.Bool(false))
+	tR.MustInsert(reldb.Int(5), reldb.Bool(true))
+	tR.MustInsert(reldb.Int(6), reldb.Bool(true))
+	tS.MustInsert(reldb.Int(1), reldb.Bool(true), reldb.Bool(true))
+	tS.MustInsert(reldb.Int(2), reldb.Bool(true), reldb.Bool(false))
+	tS.MustInsert(reldb.Int(3), reldb.Bool(true), reldb.Bool(true))
+	tS.MustInsert(reldb.Int(4), reldb.Bool(true), reldb.Bool(false))
+	tS.MustInsert(reldb.Int(5), reldb.Bool(false), reldb.Bool(false))
+	tS.MustInsert(reldb.Int(7), reldb.Bool(true), reldb.Bool(true))
+
+	want := Counts{1, 1, 1, 1}
+	got, err := PlaintextCounts(tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != want {
+		t.Errorf("PlaintextCounts = %+v, want %+v", *got, want)
+	}
+
+	// And the private study agrees.
+	priv, err := RunStudy(context.Background(), testCfg(1), testCfg(2), testCfg(3), tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *priv != want {
+		t.Errorf("RunStudy = %+v, want %+v", *priv, want)
+	}
+}
+
+func TestCountsTotal(t *testing.T) {
+	c := Counts{1, 2, 3, 4}
+	if c.Total() != 10 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}

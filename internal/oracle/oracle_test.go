@@ -1,0 +1,228 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"minshare/internal/group"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	o := New(group.TestGroup())
+	a := o.HashString("hello")
+	b := o.HashString("hello")
+	if a.Cmp(b) != 0 {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestHashDistinctInputsDistinctOutputs(t *testing.T) {
+	o := New(group.TestGroup())
+	seen := map[string]string{}
+	for i := 0; i < 500; i++ {
+		v := fmt.Sprintf("value-%d", i)
+		h := o.HashString(v).String()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision between %q and %q", prev, v)
+		}
+		seen[h] = v
+	}
+}
+
+func TestHashLandsInGroup(t *testing.T) {
+	g := group.TestGroup()
+	o := New(g)
+	f := func(v []byte) bool {
+		return g.Contains(o.Hash(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashLandsInSmallGroup(t *testing.T) {
+	// Exercise the counter-mode expansion and reduction on a tiny modulus
+	// where every arithmetic edge case is reachable.
+	g := group.MustNew(big.NewInt(23))
+	o := New(g)
+	for i := 0; i < 200; i++ {
+		h := o.Hash([]byte{byte(i)})
+		if !g.Contains(h) {
+			t.Fatalf("Hash landed outside QR(23): %v", h)
+		}
+	}
+}
+
+func TestHashCoversSmallGroup(t *testing.T) {
+	// Over many inputs, the hash should reach every element of QR(23)
+	// (a smoke test of near-uniformity).
+	g := group.MustNew(big.NewInt(23))
+	o := New(g)
+	seen := map[int64]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[o.HashString(fmt.Sprintf("%d", i)).Int64()] = true
+	}
+	if len(seen) != 11 {
+		t.Errorf("hash reached %d of 11 elements", len(seen))
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	g := group.TestGroup()
+	a := NewWithDomain(g, "alpha")
+	b := NewWithDomain(g, "beta")
+	if a.HashString("x").Cmp(b.HashString("x")) == 0 {
+		t.Error("different domains produced equal hashes")
+	}
+}
+
+func TestHashUint64MatchesBytes(t *testing.T) {
+	o := New(group.TestGroup())
+	h1 := o.HashUint64(0xDEADBEEF)
+	h2 := o.Hash([]byte{0, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF})
+	if h1.Cmp(h2) != 0 {
+		t.Error("HashUint64 disagrees with Hash on big-endian bytes")
+	}
+}
+
+func TestHashAllOrder(t *testing.T) {
+	o := New(group.TestGroup())
+	vs := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	hs := o.HashAll(vs)
+	if len(hs) != 3 {
+		t.Fatalf("len = %d", len(hs))
+	}
+	for i, v := range vs {
+		if hs[i].Cmp(o.Hash(v)) != 0 {
+			t.Errorf("element %d out of order", i)
+		}
+	}
+}
+
+func TestDetectCollisionsNoneOnDistinctValues(t *testing.T) {
+	o := New(group.TestGroup())
+	var vs [][]byte
+	for i := 0; i < 100; i++ {
+		vs = append(vs, []byte(fmt.Sprintf("v%d", i)))
+	}
+	if cols := DetectCollisions(o, vs); len(cols) != 0 {
+		t.Errorf("unexpected collisions: %v", cols)
+	}
+}
+
+func TestDetectCollisionsIgnoresDuplicateValues(t *testing.T) {
+	o := New(group.TestGroup())
+	vs := [][]byte{[]byte("same"), []byte("other"), []byte("same")}
+	if cols := DetectCollisions(o, vs); len(cols) != 0 {
+		t.Errorf("duplicates flagged as collisions: %v", cols)
+	}
+}
+
+func TestDetectCollisionsFindsRealCollision(t *testing.T) {
+	// On QR(23) there are only 11 possible hash values, so 40 distinct
+	// inputs are guaranteed (pigeonhole) to collide.
+	g := group.MustNew(big.NewInt(23))
+	o := New(g)
+	var vs [][]byte
+	for i := 0; i < 40; i++ {
+		vs = append(vs, []byte(fmt.Sprintf("x%d", i)))
+	}
+	cols := DetectCollisions(o, vs)
+	if len(cols) == 0 {
+		t.Fatal("no collisions found in tiny domain")
+	}
+	for _, c := range cols {
+		if c.I >= c.J {
+			t.Errorf("collision indices not ordered: %+v", c)
+		}
+		if o.Hash(vs[c.I]).Cmp(o.Hash(vs[c.J])) != 0 {
+			t.Errorf("reported collision %+v does not collide", c)
+		}
+	}
+}
+
+// TestCollisionProbabilityPaperExample reproduces the Section 3.2.2
+// computation: 1024-bit hash values (half quadratic residues), n = 1
+// million, Pr[collision] ≈ 10^-295.
+func TestCollisionProbabilityPaperExample(t *testing.T) {
+	_, l10 := CollisionProbability(1_000_000, 1024)
+	// The paper rounds n(n-1)/2 ≈ 10^12 and N ≈ 10^307 to get 10^-295;
+	// the unrounded value is 10^-296.3.  Accept the paper's order of
+	// magnitude within its own rounding slack.
+	if l10 < -297.5 || l10 > -293.5 {
+		t.Errorf("log10 Pr[collision] = %.1f, want ≈ -295..-296 (paper §3.2.2)", l10)
+	}
+}
+
+func TestCollisionProbabilityDegenerate(t *testing.T) {
+	if p, _ := CollisionProbability(0, 1024); p != 0 {
+		t.Errorf("n=0: p = %v, want 0", p)
+	}
+	if p, _ := CollisionProbability(1, 1024); p != 0 {
+		t.Errorf("n=1: p = %v, want 0", p)
+	}
+}
+
+func TestCollisionProbabilityMatchesExactSmallDomain(t *testing.T) {
+	// For a domain of size 2^15 (bits=16) and moderate n, the closed-form
+	// 1-exp bound must approximate the exact product.
+	for _, n := range []uint64{10, 50, 100} {
+		approx, _ := CollisionProbability(n, 16)
+		exact, err := ExactCollisionProbability(n, 1<<15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(approx-exact) > 0.01*math.Max(exact, 1e-6)+1e-6 {
+			t.Errorf("n=%d: approx %.6g vs exact %.6g", n, approx, exact)
+		}
+	}
+}
+
+func TestExactCollisionProbabilityPigeonhole(t *testing.T) {
+	p, err := ExactCollisionProbability(20, 10)
+	if err != nil || p != 1 {
+		t.Errorf("pigeonhole: p=%v err=%v, want 1, nil", p, err)
+	}
+	if _, err := ExactCollisionProbability(5, 0); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+// TestHashEmpiricalCollisionRate checks the birthday estimate empirically
+// on QR of the 64-bit builtin group: with n = 2^20 the predicted collision
+// probability is ~2^40/2^64 ≈ 6e-8, so none should occur in one draw of
+// n = 4096 values (prob ≈ 2^24/2^64, utterly negligible).
+func TestHashEmpiricalCollisionRate(t *testing.T) {
+	g := group.MustBuiltin(group.Bits64)
+	o := New(g)
+	seen := map[uint64]bool{}
+	for i := 0; i < 4096; i++ {
+		h := o.HashString(fmt.Sprintf("k%d", i)).Uint64()
+		if seen[h] {
+			t.Fatalf("collision at i=%d (probability ~1e-13, investigate bias)", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHashRejectionLandsInGroupAndIsDeterministic(t *testing.T) {
+	g := group.TestGroup()
+	o := New(g)
+	for i := 0; i < 50; i++ {
+		v := []byte(fmt.Sprintf("rej-%d", i))
+		h1 := o.HashRejection(v)
+		if !g.Contains(h1) {
+			t.Fatalf("HashRejection escaped the group")
+		}
+		if h1.Cmp(o.HashRejection(v)) != 0 {
+			t.Fatal("HashRejection not deterministic")
+		}
+	}
+	// Independent of the squaring construction.
+	if o.Hash([]byte("x")).Cmp(o.HashRejection([]byte("x"))) == 0 {
+		t.Error("rejection and squaring hashes coincide (domain separation broken)")
+	}
+}

@@ -1,0 +1,186 @@
+package ot
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"minshare/internal/group"
+)
+
+func setup(t *testing.T, seedS, seedR int64) (*Sender, *Receiver) {
+	t.Helper()
+	g := group.TestGroup()
+	s, err := NewSender(g, rand.New(rand.NewSource(seedS)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiver(g, s.PublicC(), rand.New(rand.NewSource(seedR)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func TestTransferBothChoices(t *testing.T) {
+	m0 := []byte("message zero....")
+	m1 := []byte("message one!!!!!")
+	for _, bit := range []bool{false, true} {
+		s, r := setup(t, 1, 2)
+		ch, err := r.Choose(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := s.Transfer(ch.PK0, m0, m1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Open(ch, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m0
+		if bit {
+			want = m1
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("bit=%v: got %q, want %q", bit, got, want)
+		}
+	}
+}
+
+func TestReceiverCannotOpenOther(t *testing.T) {
+	// Open with the WRONG bit's ciphertext half must not yield the other
+	// message (the receiver lacks the discrete log of the other key).
+	m0 := []byte("secret-zero-....")
+	m1 := []byte("secret-one-.....")
+	s, r := setup(t, 3, 4)
+	ch, err := r.Choose(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := s.Transfer(ch.PK0, m0, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the stored bit (simulating a curious receiver trying to read
+	// the other message with its k).
+	ch.bit = true
+	got, err := r.Open(ch, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, m1) {
+		t.Fatal("receiver opened the unchosen message")
+	}
+}
+
+func TestTransferManyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, r := setup(t, 6, 7)
+	for i := 0; i < 20; i++ {
+		m0 := make([]byte, 16)
+		m1 := make([]byte, 16)
+		rng.Read(m0)
+		rng.Read(m1)
+		bit := rng.Intn(2) == 1
+		ch, err := r.Choose(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := s.Transfer(ch.PK0, m0, m1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Open(ch, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m0
+		if bit {
+			want = m1
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("transfer %d failed", i)
+		}
+	}
+}
+
+func TestLengthMismatchRejected(t *testing.T) {
+	s, r := setup(t, 8, 9)
+	ch, _ := r.Choose(false)
+	if _, err := s.Transfer(ch.PK0, []byte("short"), []byte("longer message")); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestBadPublicValuesRejected(t *testing.T) {
+	g := group.TestGroup()
+	s, err := NewSender(g, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReceiver(g, big.NewInt(0), nil); err == nil {
+		t.Error("bad C accepted")
+	}
+	if _, err := s.Transfer(big.NewInt(0), []byte("a"), []byte("b")); err == nil {
+		t.Error("bad PK0 accepted")
+	}
+	r, _ := NewReceiver(g, s.PublicC(), rand.New(rand.NewSource(11)))
+	ch, _ := r.Choose(true)
+	ct, _ := s.Transfer(ch.PK0, []byte("aa"), []byte("bb"))
+	ct.G1 = big.NewInt(0)
+	if _, err := r.Open(ch, ct); err == nil {
+		t.Error("bad ciphertext commitment accepted")
+	}
+	if _, err := r.Open(nil, ct); err == nil {
+		t.Error("nil choice accepted")
+	}
+}
+
+func TestPK0HidesChoiceBit(t *testing.T) {
+	// Structural zero-knowledge check: PK0 must be a valid group element
+	// for both choice bits; nothing in the first message distinguishes
+	// them (both are uniform group elements).
+	g := group.TestGroup()
+	s, _ := NewSender(g, rand.New(rand.NewSource(12)))
+	r, _ := NewReceiver(g, s.PublicC(), rand.New(rand.NewSource(13)))
+	for _, bit := range []bool{false, true} {
+		ch, err := r.Choose(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Contains(ch.PK0) {
+			t.Errorf("bit=%v: PK0 not a group element", bit)
+		}
+	}
+}
+
+func TestEmptyMessages(t *testing.T) {
+	s, r := setup(t, 14, 15)
+	ch, _ := r.Choose(true)
+	ct, err := s.Transfer(ch.PK0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Open(ch, ct)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty transfer: %q, %v", got, err)
+	}
+}
+
+func TestLongMessages(t *testing.T) {
+	s, r := setup(t, 16, 17)
+	m0 := bytes.Repeat([]byte{0x11}, 1000)
+	m1 := bytes.Repeat([]byte{0x22}, 1000)
+	ch, _ := r.Choose(false)
+	ct, err := s.Transfer(ch.PK0, m0, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Open(ch, ct)
+	if err != nil || !bytes.Equal(got, m0) {
+		t.Error("long message transfer failed")
+	}
+}

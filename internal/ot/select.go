@@ -1,0 +1,154 @@
+package ot
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// 1-out-of-n oblivious transfer from log₂(n) 1-out-of-2 transfers
+// (Naor-Pinkas composition).  The sender holds n equal-length messages;
+// the receiver learns exactly message i and the sender learns nothing
+// about i.  Section 2.4 of the paper points at exactly this primitive
+// family ("private information retrieval ... with the additional
+// restriction that R should only learn the value of one record, the
+// problem becomes that of symmetric private information retrieval.  This
+// literature will be useful for developing protocols for the selection
+// operation in our setting"); package selection builds that operation on
+// top of this.
+//
+// Construction: for each index bit j the sender draws a key pair
+// (K_j^0, K_j^1) and the receiver obtains K_j^{i_j} via a 1-of-2 OT.
+// Every message m_t is then masked with a PRF keyed by the keys matching
+// t's bit decomposition; the receiver can unmask only m_i.
+
+// keyLen is the per-bit key length.
+const keyLen = 16
+
+// SelectSetup is the sender's prepared state for one 1-of-n transfer.
+type SelectSetup struct {
+	bits int
+	keys [][2][]byte // per bit: key for 0 and for 1
+}
+
+// NumBits returns the number of index bits (= 1-of-2 OTs needed).
+func (s *SelectSetup) NumBits() int { return s.bits }
+
+// KeyPair returns the two key messages for the j-th index bit — the
+// inputs to the j-th 1-of-2 transfer.
+func (s *SelectSetup) KeyPair(j int) (k0, k1 []byte, err error) {
+	if j < 0 || j >= s.bits {
+		return nil, nil, fmt.Errorf("ot: bit %d out of range", j)
+	}
+	return s.keys[j][0], s.keys[j][1], nil
+}
+
+// NewSelectSetup prepares sender keys for n messages (n ≥ 1).  The
+// randomness source defaults to crypto/rand.Reader when nil.
+func NewSelectSetup(n int, r io.Reader) (*SelectSetup, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ot: need at least one message, got %d", n)
+	}
+	if r == nil {
+		r = rand.Reader
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1 // n == 1 still runs one (degenerate) OT to hide nothing
+	}
+	setup := &SelectSetup{bits: bits, keys: make([][2][]byte, bits)}
+	for j := 0; j < bits; j++ {
+		for b := 0; b < 2; b++ {
+			k := make([]byte, keyLen)
+			if _, err := io.ReadFull(r, k); err != nil {
+				return nil, fmt.Errorf("ot: sampling select keys: %w", err)
+			}
+			setup.keys[j][b] = k
+		}
+	}
+	return setup, nil
+}
+
+// maskFor derives the mask for message index t of length l from the keys
+// matching t's bits.
+func maskFor(keys [][]byte, t, l int) []byte {
+	h := sha256.New()
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(t))
+	h.Write(idx[:])
+	for _, k := range keys {
+		h.Write(k)
+	}
+	seed := h.Sum(nil)
+	out := make([]byte, l)
+	var ctr uint32
+	for off := 0; off < l; off += sha256.Size {
+		hh := sha256.New()
+		hh.Write(seed)
+		var c [4]byte
+		binary.BigEndian.PutUint32(c[:], ctr)
+		hh.Write(c[:])
+		ks := hh.Sum(nil)
+		for i := 0; i < sha256.Size && off+i < l; i++ {
+			out[off+i] = ks[i]
+		}
+		ctr++
+	}
+	return out
+}
+
+// MaskMessages produces the n ciphertexts the sender ships: message t is
+// XOR-masked under the keys selected by t's bit decomposition.  All
+// messages must have equal length.
+func (s *SelectSetup) MaskMessages(messages [][]byte) ([][]byte, error) {
+	if len(messages) == 0 {
+		return nil, fmt.Errorf("ot: no messages")
+	}
+	l := len(messages[0])
+	out := make([][]byte, len(messages))
+	for t, m := range messages {
+		if len(m) != l {
+			return nil, fmt.Errorf("%w: message %d has %d bytes, want %d", ErrLengthMismatch, t, len(m), l)
+		}
+		keys := make([][]byte, s.bits)
+		for j := 0; j < s.bits; j++ {
+			keys[j] = s.keys[j][(t>>j)&1]
+		}
+		mask := maskFor(keys, t, l)
+		ct := make([]byte, l)
+		for i := range m {
+			ct[i] = m[i] ^ mask[i]
+		}
+		out[t] = ct
+	}
+	return out, nil
+}
+
+// UnmaskMessage recovers message index with the per-bit keys the
+// receiver obtained through the 1-of-2 transfers.
+func UnmaskMessage(index int, bitKeys [][]byte, ciphertexts [][]byte) ([]byte, error) {
+	if index < 0 || index >= len(ciphertexts) {
+		return nil, fmt.Errorf("ot: index %d out of range [0,%d)", index, len(ciphertexts))
+	}
+	ct := ciphertexts[index]
+	mask := maskFor(bitKeys, index, len(ct))
+	out := make([]byte, len(ct))
+	for i := range ct {
+		out[i] = ct[i] ^ mask[i]
+	}
+	return out, nil
+}
+
+// IndexBits decomposes an index into its OT choice bits (LSB first).
+func IndexBits(index, bits int) []bool {
+	out := make([]bool, bits)
+	for j := 0; j < bits; j++ {
+		out[j] = (index>>j)&1 == 1
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package ot
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestSelectSetupBits(t *testing.T) {
+	cases := []struct{ n, bits int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, tc := range cases {
+		s, err := NewSelectSetup(tc.n, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if s.NumBits() != tc.bits {
+			t.Errorf("n=%d: bits = %d, want %d", tc.n, s.NumBits(), tc.bits)
+		}
+	}
+	if _, err := NewSelectSetup(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSelectMaskUnmaskAllIndices(t *testing.T) {
+	const n = 11
+	msgs := make([][]byte, n)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("record-%02d-pad", i))
+	}
+	s, err := NewSelectSetup(n, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts, err := s.MaskMessages(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < n; idx++ {
+		// Gather the keys the receiver would get for this index.
+		keys := make([][]byte, s.NumBits())
+		for j := 0; j < s.NumBits(); j++ {
+			k0, k1, err := s.KeyPair(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (idx>>j)&1 == 1 {
+				keys[j] = k1
+			} else {
+				keys[j] = k0
+			}
+		}
+		got, err := UnmaskMessage(idx, keys, cts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msgs[idx]) {
+			t.Errorf("index %d: got %q, want %q", idx, got, msgs[idx])
+		}
+	}
+}
+
+func TestSelectWrongKeysYieldGarbage(t *testing.T) {
+	const n = 4
+	msgs := [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cccc"), []byte("dddd")}
+	s, err := NewSelectSetup(n, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts, err := s.MaskMessages(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys for index 0 must not unmask index 3.
+	keys := make([][]byte, s.NumBits())
+	for j := 0; j < s.NumBits(); j++ {
+		k0, _, _ := s.KeyPair(j)
+		keys[j] = k0
+	}
+	got, err := UnmaskMessage(3, keys, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msgs[3]) {
+		t.Error("index-0 keys opened record 3")
+	}
+}
+
+func TestSelectLengthMismatch(t *testing.T) {
+	s, _ := NewSelectSetup(2, rand.New(rand.NewSource(4)))
+	if _, err := s.MaskMessages([][]byte{[]byte("long record"), []byte("x")}); err == nil {
+		t.Error("unequal message lengths accepted")
+	}
+	if _, err := s.MaskMessages(nil); err == nil {
+		t.Error("empty message set accepted")
+	}
+}
+
+func TestSelectKeyPairRange(t *testing.T) {
+	s, _ := NewSelectSetup(4, rand.New(rand.NewSource(5)))
+	if _, _, err := s.KeyPair(-1); err == nil {
+		t.Error("negative bit accepted")
+	}
+	if _, _, err := s.KeyPair(99); err == nil {
+		t.Error("out-of-range bit accepted")
+	}
+}
+
+func TestUnmaskIndexRange(t *testing.T) {
+	if _, err := UnmaskMessage(5, nil, [][]byte{{1}}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := UnmaskMessage(-1, nil, [][]byte{{1}}); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestIndexBits(t *testing.T) {
+	got := IndexBits(5, 4) // 0b0101 LSB-first = true,false,true,false
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bit %d = %v", i, got[i])
+		}
+	}
+}

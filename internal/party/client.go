@@ -1,0 +1,87 @@
+package party
+
+import (
+	"context"
+	"fmt"
+
+	"minshare/internal/core"
+	"minshare/internal/transport"
+)
+
+// Client runs receiver-side protocols against a Server.  Each call opens
+// a fresh connection (a server connection carries exactly one session).
+type Client struct {
+	addr string
+	cfg  core.Config
+	// dial is swappable for tests; defaults to TCP.
+	dial func(ctx context.Context) (transport.Conn, error)
+}
+
+// NewClient returns a client for the server at addr.
+func NewClient(addr string, cfg core.Config) *Client {
+	c := &Client{addr: addr, cfg: cfg}
+	c.dial = func(ctx context.Context) (transport.Conn, error) {
+		return transport.Dial(ctx, "tcp", addr)
+	}
+	return c
+}
+
+// NewClientConnFunc returns a client using a custom connection factory
+// (in-process pipes in tests, TLS dialers in deployments).
+func NewClientConnFunc(cfg core.Config, dial func(ctx context.Context) (transport.Conn, error)) *Client {
+	return &Client{cfg: cfg, dial: dial}
+}
+
+func (c *Client) withConn(ctx context.Context, f func(conn transport.Conn) error) error {
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return fmt.Errorf("party: dialing %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	return f(conn)
+}
+
+// Intersect runs the intersection protocol against the server.
+func (c *Client) Intersect(ctx context.Context, values [][]byte) (*core.IntersectionResult, error) {
+	var res *core.IntersectionResult
+	err := c.withConn(ctx, func(conn transport.Conn) error {
+		var err error
+		res, err = core.IntersectionReceiver(ctx, c.cfg, conn, values)
+		return err
+	})
+	return res, err
+}
+
+// IntersectSize runs the intersection-size protocol against the server.
+func (c *Client) IntersectSize(ctx context.Context, values [][]byte) (*core.SizeResult, error) {
+	var res *core.SizeResult
+	err := c.withConn(ctx, func(conn transport.Conn) error {
+		var err error
+		res, err = core.IntersectionSizeReceiver(ctx, c.cfg, conn, values)
+		return err
+	})
+	return res, err
+}
+
+// Join runs the equijoin protocol against the server.
+func (c *Client) Join(ctx context.Context, values [][]byte) (*core.JoinResult, error) {
+	var res *core.JoinResult
+	err := c.withConn(ctx, func(conn transport.Conn) error {
+		var err error
+		res, err = core.EquijoinReceiver(ctx, c.cfg, conn, values)
+		return err
+	})
+	return res, err
+}
+
+// JoinSize runs the equijoin-size protocol against the server; values is
+// a multiset.
+func (c *Client) JoinSize(ctx context.Context, values [][]byte) (*core.JoinSizeResult, error) {
+	var res *core.JoinSizeResult
+	err := c.withConn(ctx, func(conn transport.Conn) error {
+		var err error
+		res, err = core.EquijoinSizeReceiver(ctx, c.cfg, conn, values)
+		return err
+	})
+	return res, err
+}

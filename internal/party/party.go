@@ -1,0 +1,245 @@
+// Package party turns the role functions of internal/core into a
+// long-running service: an enterprise runs a Server fronting one table
+// attribute, and remote receivers connect to run any of the paper's
+// protocols against it.  This is the deployment shape the paper's
+// motivating applications assume — autonomous enterprises answering
+// minimal-sharing queries — plus the Section 2.3 first line of defence:
+// every incoming query passes a policy gate (allowed protocols, peer set
+// size bounds, per-peer budgets) and lands in an audit trail.
+package party
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/leakage"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// Policy gates incoming sessions (Section 2.3's query scrutiny).
+type Policy struct {
+	// AllowedProtocols lists the protocols this server answers; empty
+	// means all.
+	AllowedProtocols []wire.Protocol
+	// MaxPeerSetSize rejects sessions whose peer announces a larger set
+	// (0 = unlimited).  Huge announced sets are a resource-exhaustion
+	// vector as well as a privacy one.
+	MaxPeerSetSize int
+	// MinPeerSetSize rejects tiny peer sets (tracker-style isolation of
+	// individuals; 0 = no minimum).
+	MinPeerSetSize int
+	// MaxQueriesPerPeer bounds answered sessions per remote address
+	// (0 = unlimited).
+	MaxQueriesPerPeer int
+}
+
+// ErrPolicy reports a session rejected by policy.
+var ErrPolicy = errors.New("party: session rejected by policy")
+
+func (p Policy) allows(proto wire.Protocol) bool {
+	if len(p.AllowedProtocols) == 0 {
+		return true
+	}
+	for _, a := range p.AllowedProtocols {
+		if a == proto {
+			return true
+		}
+	}
+	return false
+}
+
+// Server answers protocol sessions as party S over a fixed dataset.
+type Server struct {
+	// Config is the shared cryptographic setup.
+	Config core.Config
+	// Values backs the set protocols (intersection, intersection size);
+	// duplicates are removed by the protocols themselves.
+	Values [][]byte
+	// Records backs the equijoin; nil disables it.
+	Records []core.JoinRecord
+	// Multiset backs the equijoin-size protocol (values with
+	// duplicates); nil falls back to Values.
+	Multiset [][]byte
+	// Policy gates sessions; the zero value allows everything.
+	Policy Policy
+	// Auditor, when non-nil, records every answered session and can veto
+	// on its own criteria (budget, overlap of the served set).
+	Auditor *leakage.Auditor
+	// Logf, when non-nil, receives one line per session.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	perPeer map[string]int
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts sessions until the listener closes or ctx is cancelled.
+// Each connection carries exactly one protocol session and is handled on
+// its own goroutine.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("party: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			peer := nc.RemoteAddr().String()
+			conn := transport.NewTCP(nc)
+			defer conn.Close()
+			if err := s.handle(ctx, peer, conn); err != nil {
+				s.logf("party: session with %s failed: %v", peer, err)
+			}
+		}()
+	}
+}
+
+// HandleConn answers a single session on an established transport (used
+// by tests and by in-process deployments over pipes).  peer names the
+// remote for policy accounting.
+func (s *Server) HandleConn(ctx context.Context, peer string, conn transport.Conn) error {
+	return s.handle(ctx, peer, conn)
+}
+
+func (s *Server) handle(ctx context.Context, peer string, conn transport.Conn) error {
+	// The receiver speaks first: read its header to learn which protocol
+	// it wants, then hand the role function a transport that replays the
+	// frame.
+	first, err := conn.Recv(ctx)
+	if err != nil {
+		return fmt.Errorf("party: reading session header: %w", err)
+	}
+	cfg := s.Config
+	g := cfg.Group
+	if g == nil {
+		g = group.Default()
+	}
+	codec := wire.NewCodec(g)
+	msg, err := codec.Decode(first)
+	if err != nil {
+		return fmt.Errorf("party: decoding session header: %w", err)
+	}
+	hdr, ok := msg.(wire.Header)
+	if !ok {
+		return fmt.Errorf("party: first frame is %v, want header", msg.Kind())
+	}
+
+	if err := s.checkPolicy(peer, hdr); err != nil {
+		// Tell the peer why before hanging up.
+		if data, encErr := codec.Encode(wire.ErrorMsg{Text: err.Error()}); encErr == nil {
+			_ = conn.Send(ctx, data)
+		}
+		return err
+	}
+
+	replay := &replayConn{Conn: conn, pending: first}
+	s.logf("party: %s running %v (peer set size %d)", peer, hdr.Protocol, hdr.SetSize)
+
+	switch hdr.Protocol {
+	case wire.ProtoIntersection:
+		_, err = core.IntersectionSender(ctx, cfg, replay, s.Values)
+	case wire.ProtoIntersectionSize:
+		_, err = core.IntersectionSizeSender(ctx, cfg, replay, s.Values)
+	case wire.ProtoEquijoin:
+		if s.Records == nil {
+			return s.refuse(ctx, conn, codec, "server does not serve equijoin")
+		}
+		_, err = core.EquijoinSender(ctx, cfg, replay, s.Records)
+	case wire.ProtoEquijoinSize:
+		values := s.Multiset
+		if values == nil {
+			values = s.Values
+		}
+		_, err = core.EquijoinSizeSender(ctx, cfg, replay, values)
+	default:
+		return s.refuse(ctx, conn, codec, fmt.Sprintf("unsupported protocol %v", hdr.Protocol))
+	}
+	if err != nil {
+		return err
+	}
+
+	s.record(peer, hdr)
+	return nil
+}
+
+func (s *Server) refuse(ctx context.Context, conn transport.Conn, codec *wire.Codec, why string) error {
+	if data, err := codec.Encode(wire.ErrorMsg{Text: why}); err == nil {
+		_ = conn.Send(ctx, data)
+	}
+	return fmt.Errorf("%w: %s", ErrPolicy, why)
+}
+
+func (s *Server) checkPolicy(peer string, hdr wire.Header) error {
+	if !s.Policy.allows(hdr.Protocol) {
+		return fmt.Errorf("%w: protocol %v not allowed", ErrPolicy, hdr.Protocol)
+	}
+	if s.Policy.MaxPeerSetSize > 0 && hdr.SetSize > uint64(s.Policy.MaxPeerSetSize) {
+		return fmt.Errorf("%w: peer set size %d above limit %d", ErrPolicy, hdr.SetSize, s.Policy.MaxPeerSetSize)
+	}
+	if s.Policy.MinPeerSetSize > 0 && hdr.SetSize < uint64(s.Policy.MinPeerSetSize) {
+		return fmt.Errorf("%w: peer set size %d below minimum %d", ErrPolicy, hdr.SetSize, s.Policy.MinPeerSetSize)
+	}
+	s.mu.Lock()
+	count := s.perPeer[peer]
+	s.mu.Unlock()
+	if s.Policy.MaxQueriesPerPeer > 0 && count >= s.Policy.MaxQueriesPerPeer {
+		return fmt.Errorf("%w: peer %s exhausted its %d-query budget", ErrPolicy, peer, s.Policy.MaxQueriesPerPeer)
+	}
+	if s.Auditor != nil {
+		if err := s.Auditor.Check(peer, hdr.Protocol.String(), s.Values); err != nil {
+			return fmt.Errorf("%w: %v", ErrPolicy, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) record(peer string, hdr wire.Header) {
+	s.mu.Lock()
+	if s.perPeer == nil {
+		s.perPeer = make(map[string]int)
+	}
+	s.perPeer[peer]++
+	s.mu.Unlock()
+	if s.Auditor != nil {
+		_ = s.Auditor.Approve(peer, hdr.Protocol.String(), s.Values)
+	}
+}
+
+// replayConn hands back an already-consumed frame on the first Recv.
+type replayConn struct {
+	transport.Conn
+	mu      sync.Mutex
+	pending []byte
+}
+
+func (r *replayConn) Recv(ctx context.Context) ([]byte, error) {
+	r.mu.Lock()
+	if p := r.pending; p != nil {
+		r.pending = nil
+		r.mu.Unlock()
+		return p, nil
+	}
+	r.mu.Unlock()
+	return r.Conn.Recv(ctx)
+}

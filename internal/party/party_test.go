@@ -1,0 +1,250 @@
+package party
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/leakage"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+func testServer(policy Policy) *Server {
+	values := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
+	recs := make([]core.JoinRecord, len(values))
+	for i, v := range values {
+		recs[i] = core.JoinRecord{Value: v, Ext: append([]byte("ext-"), v...)}
+	}
+	return &Server{
+		Config:   core.Config{Group: group.TestGroup()},
+		Values:   values,
+		Records:  recs,
+		Multiset: [][]byte{[]byte("a"), []byte("a"), []byte("b")},
+		Policy:   policy,
+	}
+}
+
+// pipeClient builds a client whose every dial spawns a fresh pipe served
+// by srv on the other end.
+func pipeClient(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	cfg := core.Config{Group: group.TestGroup()}
+	return NewClientConnFunc(cfg, func(ctx context.Context) (transport.Conn, error) {
+		cConn, sConn := transport.Pipe()
+		go func() {
+			defer sConn.Close()
+			if err := srv.HandleConn(ctx, "test-peer", sConn); err != nil {
+				t.Logf("server: %v", err)
+			}
+		}()
+		return cConn, nil
+	})
+}
+
+func TestServerAnswersAllProtocols(t *testing.T) {
+	srv := testServer(Policy{})
+	client := pipeClient(t, srv)
+	ctx := context.Background()
+	query := [][]byte{[]byte("b"), []byte("x"), []byte("d")}
+
+	res, err := client.Intersect(ctx, query)
+	if err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	if len(res.Values) != 2 {
+		t.Errorf("intersection = %d values", len(res.Values))
+	}
+
+	size, err := client.IntersectSize(ctx, query)
+	if err != nil {
+		t.Fatalf("IntersectSize: %v", err)
+	}
+	if size.IntersectionSize != 2 {
+		t.Errorf("size = %d", size.IntersectionSize)
+	}
+
+	join, err := client.Join(ctx, query)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if len(join.Matches) != 2 {
+		t.Errorf("join matches = %d", len(join.Matches))
+	}
+	for _, m := range join.Matches {
+		if want := "ext-" + string(m.Value); string(m.Ext) != want {
+			t.Errorf("ext = %q, want %q", m.Ext, want)
+		}
+	}
+
+	js, err := client.JoinSize(ctx, [][]byte{[]byte("a"), []byte("b"), []byte("b")})
+	if err != nil {
+		t.Fatalf("JoinSize: %v", err)
+	}
+	if js.JoinSize != 1*2+2*1 { // a: 1×2, b: 2×1
+		t.Errorf("join size = %d, want 4", js.JoinSize)
+	}
+}
+
+func TestServerOverTCP(t *testing.T) {
+	srv := testServer(Policy{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ctx, ln)
+	}()
+
+	client := NewClient(ln.Addr().String(), core.Config{Group: group.TestGroup()})
+	res, err := client.Intersect(ctx, [][]byte{[]byte("a"), []byte("zz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || string(res.Values[0]) != "a" {
+		t.Errorf("result %v", res.Values)
+	}
+	// A second session on a fresh connection also works.
+	size, err := client.IntersectSize(ctx, [][]byte{[]byte("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size.IntersectionSize != 1 {
+		t.Errorf("size = %d", size.IntersectionSize)
+	}
+	cancel()
+	<-done
+}
+
+func TestPolicyProtocolRestriction(t *testing.T) {
+	srv := testServer(Policy{AllowedProtocols: []wire.Protocol{wire.ProtoIntersectionSize}})
+	client := pipeClient(t, srv)
+	ctx := context.Background()
+
+	if _, err := client.IntersectSize(ctx, [][]byte{[]byte("a")}); err != nil {
+		t.Fatalf("allowed protocol rejected: %v", err)
+	}
+	_, err := client.Intersect(ctx, [][]byte{[]byte("a")})
+	if err == nil {
+		t.Fatal("disallowed protocol accepted")
+	}
+	if !errors.Is(err, core.ErrPeerFailure) {
+		t.Errorf("client error = %v, want peer failure carrying policy text", err)
+	}
+	if !strings.Contains(err.Error(), "not allowed") {
+		t.Errorf("error text %q lacks reason", err)
+	}
+}
+
+func TestPolicySizeBounds(t *testing.T) {
+	srv := testServer(Policy{MinPeerSetSize: 2, MaxPeerSetSize: 3})
+	client := pipeClient(t, srv)
+	ctx := context.Background()
+
+	if _, err := client.Intersect(ctx, [][]byte{[]byte("a")}); err == nil {
+		t.Error("tiny peer set accepted")
+	}
+	if _, err := client.Intersect(ctx, [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}); err == nil {
+		t.Error("huge peer set accepted")
+	}
+	if _, err := client.Intersect(ctx, [][]byte{[]byte("a"), []byte("b")}); err != nil {
+		t.Errorf("in-bounds set rejected: %v", err)
+	}
+}
+
+func TestPolicyQueryBudget(t *testing.T) {
+	srv := testServer(Policy{MaxQueriesPerPeer: 2})
+	client := pipeClient(t, srv)
+	ctx := context.Background()
+	q := [][]byte{[]byte("a")}
+
+	for i := 0; i < 2; i++ {
+		if _, err := client.IntersectSize(ctx, q); err != nil {
+			t.Fatalf("query %d rejected: %v", i, err)
+		}
+	}
+	if _, err := client.IntersectSize(ctx, q); err == nil {
+		t.Fatal("budget not enforced")
+	}
+}
+
+func TestServerWithoutJoinRecords(t *testing.T) {
+	srv := testServer(Policy{})
+	srv.Records = nil
+	client := pipeClient(t, srv)
+	_, err := client.Join(context.Background(), [][]byte{[]byte("a")})
+	if err == nil {
+		t.Fatal("join answered without records")
+	}
+}
+
+func TestAuditorIntegration(t *testing.T) {
+	srv := testServer(Policy{})
+	srv.Auditor = leakage.NewAuditor(leakage.AuditPolicy{MaxQueries: 1, MaxOverlapFraction: 1})
+	client := pipeClient(t, srv)
+	ctx := context.Background()
+
+	if _, err := client.IntersectSize(ctx, [][]byte{[]byte("a")}); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if _, err := client.IntersectSize(ctx, [][]byte{[]byte("b")}); err == nil {
+		t.Fatal("auditor budget not enforced")
+	}
+	trail := srv.Auditor.Trail()
+	if len(trail) != 1 || trail[0].Protocol != "intersection-size" {
+		t.Errorf("audit trail = %+v", trail)
+	}
+}
+
+func TestServerRejectsGarbageFirstFrame(t *testing.T) {
+	srv := testServer(Policy{})
+	cConn, sConn := transport.Pipe()
+	defer cConn.Close()
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() { done <- srv.HandleConn(ctx, "p", sConn) }()
+	if err := cConn.Send(ctx, []byte{0xFF, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("garbage first frame accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := testServer(Policy{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx, ln)
+
+	const n = 4
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			client := NewClient(ln.Addr().String(), core.Config{Group: group.TestGroup()})
+			res, err := client.Intersect(ctx, [][]byte{[]byte("a"), []byte(fmt.Sprintf("nope-%d", i))})
+			if err == nil && len(res.Values) != 1 {
+				err = fmt.Errorf("client %d got %d values", i, len(res.Values))
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}

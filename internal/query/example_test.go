@@ -1,0 +1,27 @@
+package query_test
+
+import (
+	"fmt"
+
+	"minshare/internal/query"
+)
+
+// The paper's Section 1.1 medical-research query parses verbatim and
+// plans onto the third-party group-count protocol.
+func ExampleParse() {
+	q, err := query.Parse(`select t_r.pattern, t_s.reaction, count(*)
+		from t_r, t_s
+		where t_r.personid = t_s.personid and t_s.drug = true
+		group by t_r.pattern, t_s.reaction`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("join:", q.JoinLeft, "=", q.JoinRight)
+	fmt.Println("filter:", q.Filters[0].Col, "=", q.Filters[0].Want)
+	fmt.Println("plan:", query.PlanFor(q))
+	// Output:
+	// join: t_r.personid = t_s.personid
+	// filter: t_s.drug = true
+	// plan: third-party-group-counts
+}

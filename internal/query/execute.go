@@ -1,0 +1,360 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"minshare/internal/aggregate"
+	"minshare/internal/core"
+	"minshare/internal/reldb"
+	"minshare/internal/transport"
+)
+
+// PlanKind names the protocol a query compiles to.
+type PlanKind int
+
+// Plan kinds.
+const (
+	PlanInvalid PlanKind = iota
+	// PlanJoin answers SELECT * via the private equijoin: the receiver
+	// reconstructs the joined rows.
+	PlanJoin
+	// PlanJoinSize answers SELECT COUNT(*) via the equijoin-size
+	// protocol on the (filtered) join columns.
+	PlanJoinSize
+	// PlanGroupCounts answers SELECT cols, COUNT(*) ... GROUP BY via
+	// third-party intersection sizes (the generalized Figure 2 study).
+	PlanGroupCounts
+)
+
+// String implements fmt.Stringer.
+func (k PlanKind) String() string {
+	switch k {
+	case PlanJoin:
+		return "private-equijoin"
+	case PlanJoinSize:
+		return "private-equijoin-size"
+	case PlanGroupCounts:
+		return "third-party-group-counts"
+	default:
+		return "invalid"
+	}
+}
+
+// GroupRow is one bucket of a group-by result.
+type GroupRow struct {
+	// Values holds the boolean group-by values in GroupBy column order.
+	Values []bool
+	Count  int
+}
+
+// Result is a private query's answer (held by the receiver; for group-by
+// plans, by the third-party analyst).
+type Result struct {
+	Plan PlanKind
+	// Rows is the joined relation for PlanJoin.
+	Rows *reldb.Table
+	// Count is the answer for PlanJoinSize.
+	Count int
+	// Groups holds PlanGroupCounts buckets sorted by Values; GroupCols
+	// names the columns.
+	Groups    []GroupRow
+	GroupCols []ColumnRef
+}
+
+// PlanFor returns the plan a parsed query compiles to, without running
+// anything — both parties can inspect it (the query is public).
+func PlanFor(q *Query) PlanKind {
+	switch {
+	case q.SelectStar:
+		return PlanJoin
+	case q.CountStar && len(q.GroupBy) == 0:
+		return PlanJoinSize
+	case q.CountStar:
+		return PlanGroupCounts
+	default:
+		return PlanInvalid
+	}
+}
+
+// Execute runs the query privately, with tR held by the receiver
+// enterprise and tS by the sender enterprise (and, for group-by plans, a
+// third-party analyst using cfgT).  The parties communicate over
+// in-process pipes; networked deployments compose the same plan steps
+// over party.Client connections.
+func Execute(ctx context.Context, cfgR, cfgS, cfgT core.Config, q *Query, tR, tS *reldb.Table) (*Result, error) {
+	bindR, bindS, err := bindTables(q, tR, tS)
+	if err != nil {
+		return nil, err
+	}
+
+	// Apply boolean filters locally at each owner.
+	fR, fS, err := applyFilters(q, bindR, bindS)
+	if err != nil {
+		return nil, err
+	}
+
+	switch PlanFor(q) {
+	case PlanJoin:
+		return executeJoin(ctx, cfgR, cfgS, q, fR, fS)
+	case PlanJoinSize:
+		return executeJoinSize(ctx, cfgR, cfgS, q, fR, fS)
+	case PlanGroupCounts:
+		return executeGroupCounts(ctx, cfgR, cfgS, cfgT, q, fR, fS)
+	default:
+		return nil, fmt.Errorf("query: unsupported query shape")
+	}
+}
+
+// binding couples a table with the query-side name it answers to and its
+// join column.
+type binding struct {
+	table   *reldb.Table
+	name    string
+	joinCol string
+}
+
+func bindTables(q *Query, tR, tS *reldb.Table) (r, s binding, err error) {
+	nameR := strings.ToLower(tR.Name())
+	nameS := strings.ToLower(tS.Name())
+	if q.Tables[0] != nameR && q.Tables[1] != nameR {
+		return r, s, fmt.Errorf("query: receiver table %q not in FROM clause %v", nameR, q.Tables)
+	}
+	if q.Tables[0] != nameS && q.Tables[1] != nameS {
+		return r, s, fmt.Errorf("query: sender table %q not in FROM clause %v", nameS, q.Tables)
+	}
+	if nameR == nameS {
+		return r, s, fmt.Errorf("query: tables must have distinct names")
+	}
+	r = binding{table: tR, name: nameR}
+	s = binding{table: tS, name: nameS}
+	switch {
+	case q.JoinLeft.Table == nameR && q.JoinRight.Table == nameS:
+		r.joinCol, s.joinCol = q.JoinLeft.Column, q.JoinRight.Column
+	case q.JoinLeft.Table == nameS && q.JoinRight.Table == nameR:
+		s.joinCol, r.joinCol = q.JoinLeft.Column, q.JoinRight.Column
+	default:
+		return r, s, fmt.Errorf("query: join predicate %v = %v does not span %q and %q",
+			q.JoinLeft, q.JoinRight, nameR, nameS)
+	}
+	if _, err := r.table.Schema().ColumnIndex(r.joinCol); err != nil {
+		return r, s, err
+	}
+	if _, err := s.table.Schema().ColumnIndex(s.joinCol); err != nil {
+		return r, s, err
+	}
+	return r, s, nil
+}
+
+func applyFilters(q *Query, r, s binding) (binding, binding, error) {
+	for _, f := range q.Filters {
+		var b *binding
+		switch f.Col.Table {
+		case r.name:
+			b = &r
+		case s.name:
+			b = &s
+		default:
+			return r, s, fmt.Errorf("query: filter references unknown table %q", f.Col.Table)
+		}
+		idx, err := b.table.Schema().ColumnIndex(f.Col.Column)
+		if err != nil {
+			return r, s, err
+		}
+		if b.table.Schema().Columns()[idx].Type != reldb.TypeBool {
+			return r, s, fmt.Errorf("query: filter column %v is not boolean", f.Col)
+		}
+		want := f.Want
+		b.table = b.table.Select(func(row reldb.Row) bool { return row[idx].AsBool() == want })
+	}
+	return r, s, nil
+}
+
+func executeJoin(ctx context.Context, cfgR, cfgS core.Config, q *Query, r, s binding) (*Result, error) {
+	values, exts, err := s.table.ExtPayloads(s.joinCol)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]core.JoinRecord, len(values))
+	for i := range values {
+		recs[i] = core.JoinRecord{Value: values[i], Ext: exts[i]}
+	}
+	rValues, err := r.table.DistinctValues(r.joinCol)
+	if err != nil {
+		return nil, err
+	}
+
+	var join *core.JoinResult
+	err = runPipe(ctx,
+		func(ctx context.Context, conn transport.Conn) error {
+			var err error
+			join, err = core.EquijoinReceiver(ctx, cfgR, conn, rValues)
+			return err
+		},
+		func(ctx context.Context, conn transport.Conn) error {
+			_, err := core.EquijoinSender(ctx, cfgS, conn, recs)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out, err := reconstructJoin(q, r, s, join)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: PlanJoin, Rows: out}, nil
+}
+
+// reconstructJoin builds the joined relation from R's rows and the
+// decrypted ext payloads, mirroring reldb.Join's schema (R columns then
+// S columns minus the join column).
+func reconstructJoin(q *Query, r, s binding, join *core.JoinResult) (*reldb.Table, error) {
+	rIdx, err := r.table.Schema().ColumnIndex(r.joinCol)
+	if err != nil {
+		return nil, err
+	}
+	sIdx, err := s.table.Schema().ColumnIndex(s.joinCol)
+	if err != nil {
+		return nil, err
+	}
+	var cols []reldb.Column
+	cols = append(cols, r.table.Schema().Columns()...)
+	for j, c := range s.table.Schema().Columns() {
+		if j == sIdx {
+			continue
+		}
+		cols = append(cols, reldb.Column{Name: s.name + "." + c.Name, Type: c.Type})
+	}
+	schema, err := reldb.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := reldb.NewTable("result", schema)
+
+	// Group R's rows by join value.
+	rRows := make(map[string][]reldb.Row)
+	for _, row := range r.table.Rows() {
+		rRows[string(row[rIdx].Encode())] = append(rRows[string(row[rIdx].Encode())], row)
+	}
+	for _, m := range join.Matches {
+		sRows, err := reldb.DecodeRows(m.Ext, s.table.Schema().NumColumns())
+		if err != nil {
+			return nil, fmt.Errorf("query: decoding ext rows: %w", err)
+		}
+		for _, rRow := range rRows[string(m.Value)] {
+			for _, sRow := range sRows {
+				nr := append(reldb.Row(nil), rRow...)
+				for j, v := range sRow {
+					if j == sIdx {
+						continue
+					}
+					nr = append(nr, v)
+				}
+				if err := out.Insert(nr); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func executeJoinSize(ctx context.Context, cfgR, cfgS core.Config, q *Query, r, s binding) (*Result, error) {
+	rValues, err := r.table.ColumnValues(r.joinCol)
+	if err != nil {
+		return nil, err
+	}
+	sValues, err := s.table.ColumnValues(s.joinCol)
+	if err != nil {
+		return nil, err
+	}
+	var size *core.JoinSizeResult
+	err = runPipe(ctx,
+		func(ctx context.Context, conn transport.Conn) error {
+			var err error
+			size, err = core.EquijoinSizeReceiver(ctx, cfgR, conn, rValues)
+			return err
+		},
+		func(ctx context.Context, conn transport.Conn) error {
+			_, err := core.EquijoinSizeSender(ctx, cfgS, conn, sValues)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: PlanJoinSize, Count: size.JoinSize}, nil
+}
+
+func executeGroupCounts(ctx context.Context, cfgR, cfgS, cfgT core.Config, q *Query, r, s binding) (*Result, error) {
+	var groupR, groupS []string
+	for _, g := range q.GroupBy {
+		switch g.Table {
+		case r.name:
+			groupR = append(groupR, g.Column)
+		case s.name:
+			groupS = append(groupS, g.Column)
+		default:
+			return nil, fmt.Errorf("query: GROUP BY references unknown table %q", g.Table)
+		}
+	}
+	// Group-by counting over joined ids assumes the join keys are unique
+	// per row on each side (ids); the intersection-size protocol counts
+	// distinct matches, matching COUNT(*) for key joins.
+	spec := aggregate.StudySpec{
+		TableR: r.table, IDColR: r.joinCol, GroupByR: groupR,
+		TableS: s.table, IDColS: s.joinCol, GroupByS: groupS,
+	}
+	table, err := aggregate.GroupByCounts(ctx, cfgR, cfgS, cfgT, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten cells into rows ordered by the query's GROUP BY columns.
+	res := &Result{Plan: PlanGroupCounts, GroupCols: q.GroupBy}
+	for _, cell := range table.Cells() {
+		vals := make([]bool, 0, len(q.GroupBy))
+		ri, si := 0, 0
+		for _, g := range q.GroupBy {
+			if g.Table == r.name {
+				vals = append(vals, cell.R[ri] == '1')
+				ri++
+			} else {
+				vals = append(vals, cell.S[si] == '1')
+				si++
+			}
+		}
+		res.Groups = append(res.Groups, GroupRow{Values: vals, Count: table[cell]})
+	}
+	sort.Slice(res.Groups, func(i, j int) bool {
+		a, b := res.Groups[i].Values, res.Groups[j].Values
+		for k := range a {
+			if a[k] != b[k] {
+				return !a[k] // false before true
+			}
+		}
+		return false
+	})
+	return res, nil
+}
+
+func runPipe(ctx context.Context, recvFn, sendFn func(ctx context.Context, conn transport.Conn) error) error {
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	ch := make(chan error, 1)
+	go func() {
+		err := sendFn(ctx, connS)
+		if err != nil {
+			connS.Close()
+		}
+		ch <- err
+	}()
+	if err := recvFn(ctx, connR); err != nil {
+		connR.Close()
+		<-ch
+		return err
+	}
+	return <-ch
+}

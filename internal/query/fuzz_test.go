@@ -1,0 +1,47 @@
+package query
+
+import "testing"
+
+// FuzzParse: the SQL parser must never panic, and every accepted query
+// must satisfy the parser's own invariants.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"select * from a, b where a.k = b.k",
+		"select count(*) from a, b where a.k = b.k and a.f = true",
+		"select t_r.pattern, t_s.reaction, count(*) from t_r, t_s where t_r.personid = t_s.personid and t_s.drug = true group by t_r.pattern, t_s.reaction",
+		"select",
+		"SELECT * FROM",
+		"select * from a, b where",
+		"select count(*) from a, b where a.k = b.k group by a.",
+		"",
+		"garbage $#!",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		// Accepted queries obey the invariants Execute depends on.
+		if q.Tables[0] == "" || q.Tables[1] == "" {
+			t.Fatal("accepted query without two tables")
+		}
+		if q.JoinLeft.Table == q.JoinRight.Table {
+			t.Fatal("accepted same-table join")
+		}
+		if !q.SelectStar && !q.CountStar {
+			t.Fatal("accepted query with empty select semantics")
+		}
+		if q.SelectStar && (q.CountStar || len(q.SelectCols) > 0) {
+			t.Fatal("accepted SELECT * mixed with other items")
+		}
+		if len(q.GroupBy) > 0 && !q.CountStar {
+			t.Fatal("accepted GROUP BY without COUNT(*)")
+		}
+		if PlanFor(q) == PlanInvalid {
+			t.Fatal("accepted query with no plan")
+		}
+	})
+}

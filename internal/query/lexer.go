@@ -1,0 +1,92 @@
+// Package query executes a small SQL subset privately across two
+// enterprises' tables.
+//
+// The paper states its problem as "given a database query Q spanning the
+// tables in D_R and D_S, compute the answer to Q ... without revealing
+// any additional information" (Section 2.2) — and presents the medical
+// application as literal SQL:
+//
+//	select pattern, reaction, count(*)
+//	from T_R, T_S
+//	where T_R.personid = T_S.personid and T_S.drug = true
+//	group by T_R.pattern, T_S.reaction
+//
+// This package parses queries of exactly that shape and plans them onto
+// the minimal-sharing protocols:
+//
+//	SELECT *            FROM R, S WHERE R.a = S.b [AND bool filters]   → private equijoin
+//	SELECT COUNT(*)     FROM R, S WHERE R.a = S.b [AND bool filters]   → private equijoin size
+//	SELECT cols, COUNT(*) FROM ... GROUP BY bool-cols                  → third-party group-by counts
+//
+// Boolean equality filters (t.col = true/false) are applied locally by
+// the table's owner before the protocol — the query text itself is
+// public between the parties, per Section 2.2 ("we assume that the query
+// Q is revealed to both parties").
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexer token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokStar
+	tokComma
+	tokDot
+	tokEquals
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string // lower-cased for identifiers/keywords
+	pos  int
+}
+
+// lex tokenizes a query string.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEquals, "=", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(input[start:i]), start})
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}

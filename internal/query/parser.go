@@ -1,0 +1,237 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ColumnRef is a table-qualified column, e.g. t_s.drug.
+type ColumnRef struct {
+	Table, Column string
+}
+
+// String implements fmt.Stringer.
+func (c ColumnRef) String() string { return c.Table + "." + c.Column }
+
+// BoolFilter is a `table.col = true|false` predicate.
+type BoolFilter struct {
+	Col  ColumnRef
+	Want bool
+}
+
+// Query is the parsed form of a supported statement.
+type Query struct {
+	// SelectStar is SELECT *.
+	SelectStar bool
+	// CountStar is true when COUNT(*) appears in the select list.
+	CountStar bool
+	// SelectCols lists the non-aggregate select columns (must equal the
+	// GROUP BY columns).
+	SelectCols []ColumnRef
+	// Tables are the two FROM tables, in order.
+	Tables [2]string
+	// JoinLeft = JoinRight is the equijoin predicate.
+	JoinLeft, JoinRight ColumnRef
+	// Filters are the boolean equality predicates.
+	Filters []BoolFilter
+	// GroupBy lists the grouping columns.
+	GroupBy []ColumnRef
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expectIdent(word string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != word {
+		return fmt.Errorf("query: expected %q at position %d, got %q", word, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectKind(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("query: expected %s at position %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+// parseColumnRef parses table.column.
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	tbl, err := p.expectKind(tokIdent, "table name")
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if _, err := p.expectKind(tokDot, "'.'"); err != nil {
+		return ColumnRef{}, err
+	}
+	col, err := p.expectKind(tokIdent, "column name")
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	return ColumnRef{Table: tbl.text, Column: col.text}, nil
+}
+
+// Parse parses one supported SELECT statement.
+func Parse(sql string) (*Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{}
+
+	if err := p.expectIdent("select"); err != nil {
+		return nil, err
+	}
+
+	// Select list.
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokStar:
+			p.next()
+			q.SelectStar = true
+		case t.kind == tokIdent && t.text == "count":
+			p.next()
+			if _, err := p.expectKind(tokLParen, "'('"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectKind(tokStar, "'*'"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			q.CountStar = true
+		case t.kind == tokIdent:
+			// Could be a bare column (group-by select) — require
+			// table-qualified for unambiguity.
+			ref, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.SelectCols = append(q.SelectCols, ref)
+		default:
+			return nil, fmt.Errorf("query: unexpected %q in select list at position %d", t.text, t.pos)
+		}
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if q.SelectStar && (q.CountStar || len(q.SelectCols) > 0) {
+		return nil, errors.New("query: SELECT * cannot be combined with other select items")
+	}
+	if !q.SelectStar && !q.CountStar && len(q.SelectCols) > 0 {
+		return nil, errors.New("query: bare column select without COUNT(*) is not supported")
+	}
+
+	// FROM t1, t2.
+	if err := p.expectIdent("from"); err != nil {
+		return nil, err
+	}
+	t1, err := p.expectKind(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKind(tokComma, "','"); err != nil {
+		return nil, err
+	}
+	t2, err := p.expectKind(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	q.Tables = [2]string{t1.text, t2.text}
+
+	// WHERE join [AND filters...].
+	if err := p.expectIdent("where"); err != nil {
+		return nil, err
+	}
+	foundJoin := false
+	for {
+		left, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKind(tokEquals, "'='"); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind == tokIdent && (t.text == "true" || t.text == "false") {
+			p.next()
+			q.Filters = append(q.Filters, BoolFilter{Col: left, Want: t.text == "true"})
+		} else {
+			right, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			if foundJoin {
+				return nil, errors.New("query: only one join predicate is supported")
+			}
+			q.JoinLeft, q.JoinRight = left, right
+			foundJoin = true
+		}
+		if t := p.peek(); t.kind == tokIdent && t.text == "and" {
+			p.next()
+			continue
+		}
+		break
+	}
+	if !foundJoin {
+		return nil, errors.New("query: a join predicate t1.a = t2.b is required")
+	}
+
+	// Optional GROUP BY.
+	if t := p.peek(); t.kind == tokIdent && t.text == "group" {
+		p.next()
+		if err := p.expectIdent("by"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, ref)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if !p.atEOF() {
+		t := p.peek()
+		return nil, fmt.Errorf("query: trailing input %q at position %d", t.text, t.pos)
+	}
+
+	// Semantic checks.
+	if len(q.GroupBy) > 0 && !q.CountStar {
+		return nil, errors.New("query: GROUP BY requires COUNT(*)")
+	}
+	if len(q.SelectCols) > 0 {
+		if len(q.SelectCols) != len(q.GroupBy) {
+			return nil, errors.New("query: selected columns must equal the GROUP BY columns")
+		}
+		for i := range q.SelectCols {
+			if q.SelectCols[i] != q.GroupBy[i] {
+				return nil, fmt.Errorf("query: select column %v does not match GROUP BY column %v",
+					q.SelectCols[i], q.GroupBy[i])
+			}
+		}
+	}
+	if q.JoinLeft.Table == q.JoinRight.Table {
+		return nil, errors.New("query: join predicate must span both tables")
+	}
+	return q, nil
+}

@@ -1,0 +1,265 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/medical"
+	"minshare/internal/reldb"
+)
+
+func testCfg(seed int64) core.Config {
+	return core.Config{Group: group.TestGroup(), Rand: rand.New(rand.NewSource(seed)), Parallelism: 1}
+}
+
+// ---- parser ----
+
+func TestParsePaperQuery(t *testing.T) {
+	// The exact query from Section 1.1 / 6.2.2 of the paper.
+	q, err := Parse(`select t_r.pattern, t_s.reaction, count(*)
+		from t_r, t_s
+		where t_r.personid = t_s.personid and t_s.drug = true
+		group by t_r.pattern, t_s.reaction`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.CountStar || q.SelectStar {
+		t.Error("select list misparsed")
+	}
+	if q.Tables != [2]string{"t_r", "t_s"} {
+		t.Errorf("tables = %v", q.Tables)
+	}
+	if q.JoinLeft.String() != "t_r.personid" || q.JoinRight.String() != "t_s.personid" {
+		t.Errorf("join = %v = %v", q.JoinLeft, q.JoinRight)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Col.String() != "t_s.drug" || !q.Filters[0].Want {
+		t.Errorf("filters = %v", q.Filters)
+	}
+	if len(q.GroupBy) != 2 {
+		t.Errorf("group by = %v", q.GroupBy)
+	}
+	if PlanFor(q) != PlanGroupCounts {
+		t.Errorf("plan = %v", PlanFor(q))
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q, err := Parse("SELECT * FROM customers, orders WHERE customers.name = orders.cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.SelectStar || PlanFor(q) != PlanJoin {
+		t.Errorf("q = %+v plan = %v", q, PlanFor(q))
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q, err := Parse("select count(*) from a, b where a.k = b.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PlanFor(q) != PlanJoinSize {
+		t.Errorf("plan = %v", PlanFor(q))
+	}
+}
+
+func TestParseFalseFilter(t *testing.T) {
+	q, err := Parse("select count(*) from a, b where a.k = b.k and a.flag = false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Want {
+		t.Errorf("filters = %v", q.Filters)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"insert into x values (1)",
+		"select * from a where a.k = b.k",              // one table
+		"select * from a, b where a.k = a.j",           // join within one table
+		"select * from a, b where a.flag = true",       // no join predicate
+		"select *, count(*) from a, b where a.k = b.k", // mixed star
+		"select a.c from a, b where a.k = b.k",         // bare column without count
+		"select a.c, count(*) from a, b where a.k = b.k group by b.d", // select != group by
+		"select count(*) from a, b where a.k = b.k group by",          // dangling group by
+		"select count(*) from a, b where a.k = b.k and a.j = b.i",     // two join predicates
+		"select count(*) from a, b where a.k = b.k trailing",          // trailing tokens
+		"select count * from a, b where a.k = b.k",                    // malformed count
+		"select * from a, b where a.k = b.k; drop table a",            // stray characters
+		"select a.c, count(*) from a, b where a.k = b.k",              // bare column, no group by
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := lex("select $"); err == nil {
+		t.Error("accepted '$'")
+	}
+}
+
+// ---- execution ----
+
+func ordersAndCustomers() (tR, tS *reldb.Table) {
+	tR = reldb.NewTable("customers", reldb.MustSchema(
+		reldb.Column{Name: "name", Type: reldb.TypeString},
+		reldb.Column{Name: "vip", Type: reldb.TypeBool},
+	))
+	tR.MustInsert(reldb.String("ann"), reldb.Bool(true))
+	tR.MustInsert(reldb.String("bob"), reldb.Bool(false))
+	tR.MustInsert(reldb.String("carol"), reldb.Bool(true))
+
+	tS = reldb.NewTable("orders", reldb.MustSchema(
+		reldb.Column{Name: "cust", Type: reldb.TypeString},
+		reldb.Column{Name: "amount", Type: reldb.TypeInt},
+	))
+	tS.MustInsert(reldb.String("ann"), reldb.Int(10))
+	tS.MustInsert(reldb.String("ann"), reldb.Int(20))
+	tS.MustInsert(reldb.String("bob"), reldb.Int(30))
+	tS.MustInsert(reldb.String("eve"), reldb.Int(40))
+	return
+}
+
+func TestExecuteSelectStar(t *testing.T) {
+	tR, tS := ordersAndCustomers()
+	q, err := Parse("select * from customers, orders where customers.name = orders.cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(context.Background(), testCfg(1), testCfg(2), testCfg(3), q, tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != PlanJoin {
+		t.Fatalf("plan = %v", res.Plan)
+	}
+	// Reference: plaintext join has ann×2 + bob×1 = 3 rows.
+	ref, err := tR.Join(tS, "name", "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.NumRows() != ref.NumRows() {
+		t.Errorf("private join has %d rows, plaintext %d", res.Rows.NumRows(), ref.NumRows())
+	}
+	// Schema: customers cols + orders cols minus join col.
+	if res.Rows.Schema().NumColumns() != 3 {
+		t.Errorf("result schema has %d columns", res.Rows.Schema().NumColumns())
+	}
+	for _, row := range res.Rows.Rows() {
+		if row[0].AsString() == "eve" || row[0].AsString() == "carol" {
+			t.Errorf("unjoined customer %q in result", row[0])
+		}
+	}
+}
+
+func TestExecuteSelectStarWithFilter(t *testing.T) {
+	tR, tS := ordersAndCustomers()
+	q, err := Parse("select * from customers, orders where customers.name = orders.cust and customers.vip = true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(context.Background(), testCfg(1), testCfg(2), testCfg(3), q, tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only ann is vip with orders: 2 rows.
+	if res.Rows.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", res.Rows.NumRows())
+	}
+}
+
+func TestExecuteCountStar(t *testing.T) {
+	tR, tS := ordersAndCustomers()
+	q, err := Parse("select count(*) from customers, orders where customers.name = orders.cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(context.Background(), testCfg(1), testCfg(2), testCfg(3), q, tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 { // ann×2 + bob×1
+		t.Errorf("count = %d, want 3", res.Count)
+	}
+}
+
+// TestExecutePaperMedicalQuery runs the paper's own SQL end to end and
+// compares against both the plaintext evaluation and the dedicated
+// medical package.
+func TestExecutePaperMedicalQuery(t *testing.T) {
+	tR, tS := reldb.GenPeopleTables(50, 0.4, 0.6, 0.3, 21)
+	q, err := Parse(`select t_r.pattern, t_s.reaction, count(*)
+		from t_r, t_s
+		where t_r.personid = t_s.personid and t_s.drug = true
+		group by t_r.pattern, t_s.reaction`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(context.Background(), testCfg(1), testCfg(2), testCfg(3), q, tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != PlanGroupCounts || len(res.Groups) != 4 {
+		t.Fatalf("plan %v, %d groups", res.Plan, len(res.Groups))
+	}
+
+	want, err := medical.PlaintextCounts(tR, tS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]bool]int{}
+	for _, g := range res.Groups {
+		got[[2]bool{g.Values[0], g.Values[1]}] = g.Count
+	}
+	expect := map[[2]bool]int{
+		{true, true}:   want.PatternReaction,
+		{true, false}:  want.PatternNoReaction,
+		{false, true}:  want.NoPatternReaction,
+		{false, false}: want.NoPatternNoReaction,
+	}
+	if !reflect.DeepEqual(got, expect) {
+		t.Errorf("SQL counts %v != plaintext %v", got, expect)
+	}
+}
+
+func TestExecuteBindingErrors(t *testing.T) {
+	tR, tS := ordersAndCustomers()
+	ctx := context.Background()
+
+	q, _ := Parse("select * from customers, shipments where customers.name = shipments.cust")
+	if _, err := Execute(ctx, testCfg(1), testCfg(2), testCfg(3), q, tR, tS); err == nil {
+		t.Error("unknown table accepted")
+	}
+
+	q, _ = Parse("select * from customers, orders where customers.nope = orders.cust")
+	if _, err := Execute(ctx, testCfg(1), testCfg(2), testCfg(3), q, tR, tS); err == nil {
+		t.Error("unknown join column accepted")
+	}
+
+	q, _ = Parse("select * from customers, orders where customers.name = orders.cust and orders.amount = true")
+	if _, err := Execute(ctx, testCfg(1), testCfg(2), testCfg(3), q, tR, tS); err == nil {
+		t.Error("non-boolean filter accepted")
+	}
+
+	q, _ = Parse("select * from customers, orders where customers.name = orders.cust and shipments.x = true")
+	if _, err := Execute(ctx, testCfg(1), testCfg(2), testCfg(3), q, tR, tS); err == nil {
+		t.Error("filter on unknown table accepted")
+	}
+}
+
+func TestPlanKindStrings(t *testing.T) {
+	for _, k := range []PlanKind{PlanJoin, PlanJoinSize, PlanGroupCounts, PlanInvalid} {
+		if k.String() == "" {
+			t.Errorf("PlanKind(%d).String() empty", k)
+		}
+	}
+}

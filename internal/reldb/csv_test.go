@@ -1,0 +1,87 @@
+package reldb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const medicalCSV = `personid:int,drug:bool,reaction:bool
+1,true,false
+2,false,false
+3,true,true
+`
+
+func TestReadCSV(t *testing.T) {
+	tb, err := ReadCSV("T_S", strings.NewReader(medicalCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.Schema().NumColumns() != 3 {
+		t.Fatalf("cols = %d", tb.Schema().NumColumns())
+	}
+	rows := tb.Rows()
+	if rows[2][0].AsInt() != 3 || !rows[2][1].AsBool() || !rows[2][2].AsBool() {
+		t.Errorf("row 3 = %v", rows[2])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := NewTable("t", MustSchema(
+		Column{Name: "name", Type: TypeString},
+		Column{Name: "age", Type: TypeInt},
+		Column{Name: "member", Type: TypeBool},
+	))
+	tb.MustInsert(String("ann"), Int(33), Bool(true))
+	tb.MustInsert(String("bob"), Int(-4), Bool(false))
+
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+	r := back.Rows()
+	if r[0][0].AsString() != "ann" || r[0][1].AsInt() != 33 || !r[0][2].AsBool() {
+		t.Errorf("row 0 = %v", r[0])
+	}
+	if r[1][1].AsInt() != -4 {
+		t.Errorf("negative int lost: %v", r[1])
+	}
+}
+
+func TestReadCSVDefaultsToString(t *testing.T) {
+	tb, err := ReadCSV("t", strings.NewReader("word\nhello\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema().Columns()[0].Type != TypeString {
+		t.Error("bare header did not default to string")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"unknown type", "a:float\n1.5\n"},
+		{"bad int", "a:int\nnotanumber\n"},
+		{"bad bool", "a:bool\nmaybe\n"},
+		{"duplicate column", "a:int,a:int\n1,2\n"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		if _, err := ReadCSV("t", strings.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

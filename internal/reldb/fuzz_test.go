@@ -1,0 +1,74 @@
+package reldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeValue: arbitrary bytes must never panic, and accepted values
+// must round-trip.
+func FuzzDecodeValue(f *testing.F) {
+	for _, v := range []Value{String("hello"), Int(-42), Bool(true)} {
+		f.Add(v.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TypeInt), 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeValue(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeValue(v.Encode())
+		if err != nil || !back.Equal(v) {
+			t.Fatalf("accepted value failed round trip: %v / %v (%v)", v, back, err)
+		}
+	})
+}
+
+// FuzzDecodeRows: arbitrary bytes with arbitrary arity must never panic.
+func FuzzDecodeRows(f *testing.F) {
+	rows := []Row{{Int(1), String("a")}, {Int(2), String("b")}}
+	f.Add(EncodeRows(rows), 2)
+	f.Add([]byte{0, 0, 0, 200}, 1)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, arity int) {
+		if arity < 0 || arity > 64 {
+			return
+		}
+		decoded, err := DecodeRows(data, arity)
+		if err != nil {
+			return
+		}
+		// Accepted row groups re-encode and decode to the same shape.
+		back, err := DecodeRows(EncodeRows(decoded), arity)
+		if err != nil || len(back) != len(decoded) {
+			t.Fatalf("accepted rows failed round trip: %v", err)
+		}
+	})
+}
+
+// FuzzReadCSV: arbitrary CSV input must never panic, and accepted tables
+// must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a:int,b:string\n1,x\n2,y\n")
+	f.Add("a:bool\ntrue\n")
+	f.Add("broken")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		tb, err := ReadCSV("t", strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := tb.WriteCSV(&sb); err != nil {
+			t.Fatalf("accepted table failed to write: %v", err)
+		}
+		back, err := ReadCSV("t", strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("written CSV failed to re-read: %v", err)
+		}
+		if back.NumRows() != tb.NumRows() {
+			t.Fatalf("round trip changed row count %d -> %d", tb.NumRows(), back.NumRows())
+		}
+	})
+}

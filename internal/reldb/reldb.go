@@ -1,0 +1,528 @@
+// Package reldb is a miniature in-memory relational engine: the
+// "Database" box of the paper's Figure 1.
+//
+// The paper's setting is two autonomous enterprises, each holding
+// relational tables (T_R, T_S) with a shared join attribute A.  The
+// protocols themselves only ever see opaque value bytes and serialized
+// ext(v) payloads; this package supplies everything around them — typed
+// schemas, tables, selection/projection, group-by counts for verifying
+// the medical application, plaintext reference joins for testing, and
+// the deterministic serialization that carries ext(v) (the set of rows
+// of T_S matching a value) through the equijoin protocol.
+package reldb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Type enumerates column types.
+type Type uint8
+
+// Column types.
+const (
+	TypeInvalid Type = iota
+	TypeString
+	TypeInt
+	TypeBool
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeString:
+		return "string"
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Value is a dynamically typed cell value.
+type Value struct {
+	typ Type
+	s   string
+	i   int64
+	b   bool
+}
+
+// String builds a string Value.
+func String(s string) Value { return Value{typ: TypeString, s: s} }
+
+// Int builds an integer Value.
+func Int(i int64) Value { return Value{typ: TypeInt, i: i} }
+
+// Bool builds a boolean Value.
+func Bool(b bool) Value { return Value{typ: TypeBool, b: b} }
+
+// Type returns the value's type.
+func (v Value) Type() Type { return v.typ }
+
+// AsString returns the string payload; it panics on type mismatch, like
+// an invalid interface assertion would.
+func (v Value) AsString() string {
+	v.mustBe(TypeString)
+	return v.s
+}
+
+// AsInt returns the integer payload.
+func (v Value) AsInt() int64 {
+	v.mustBe(TypeInt)
+	return v.i
+}
+
+// AsBool returns the boolean payload.
+func (v Value) AsBool() bool {
+	v.mustBe(TypeBool)
+	return v.b
+}
+
+func (v Value) mustBe(t Type) {
+	if v.typ != t {
+		panic(fmt.Sprintf("reldb: value is %v, not %v", v.typ, t))
+	}
+}
+
+// Equal reports deep equality.
+func (v Value) Equal(o Value) bool { return v == o }
+
+// GoString renders the value for debugging and test output.
+func (v Value) GoString() string { return v.String() }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.typ {
+	case TypeString:
+		return v.s
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Encode serializes the value deterministically: a type byte followed by
+// the payload.  Used both as protocol value bytes (the attribute A) and
+// inside serialized rows.
+func (v Value) Encode() []byte {
+	switch v.typ {
+	case TypeString:
+		return append([]byte{byte(TypeString)}, v.s...)
+	case TypeInt:
+		var buf [9]byte
+		buf[0] = byte(TypeInt)
+		binary.BigEndian.PutUint64(buf[1:], uint64(v.i))
+		return buf[:]
+	case TypeBool:
+		b := byte(0)
+		if v.b {
+			b = 1
+		}
+		return []byte{byte(TypeBool), b}
+	default:
+		return []byte{byte(TypeInvalid)}
+	}
+}
+
+// DecodeValue inverts Value.Encode.
+func DecodeValue(data []byte) (Value, error) {
+	if len(data) == 0 {
+		return Value{}, errors.New("reldb: empty value encoding")
+	}
+	switch Type(data[0]) {
+	case TypeString:
+		return String(string(data[1:])), nil
+	case TypeInt:
+		if len(data) != 9 {
+			return Value{}, fmt.Errorf("reldb: int value of %d bytes", len(data))
+		}
+		return Int(int64(binary.BigEndian.Uint64(data[1:]))), nil
+	case TypeBool:
+		if len(data) != 2 || data[1] > 1 {
+			return Value{}, errors.New("reldb: malformed bool value")
+		}
+		return Bool(data[1] == 1), nil
+	default:
+		return Value{}, fmt.Errorf("reldb: unknown value type %d", data[0])
+	}
+}
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema, rejecting duplicate or empty column names.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, errors.New("reldb: empty column name")
+		}
+		if c.Type != TypeString && c.Type != TypeInt && c.Type != TypeBool {
+			return nil, fmt.Errorf("reldb: column %q has invalid type", c.Name)
+		}
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("reldb: duplicate column %q", c.Name)
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema panicking on error, for literals in tests and
+// examples.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// NumColumns returns the arity.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// ColumnIndex returns the position of the named column, or an error.
+func (s *Schema) ColumnIndex(name string) (int, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("reldb: no column %q", name)
+	}
+	return i, nil
+}
+
+// Row is one tuple; its arity and types must match the table schema.
+type Row []Value
+
+// Encode serializes a row as length-prefixed encoded values.
+func (r Row) Encode() []byte {
+	var out []byte
+	for _, v := range r {
+		enc := v.Encode()
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(enc)))
+		out = append(out, l[:]...)
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// DecodeRow inverts Row.Encode given the expected arity.
+func DecodeRow(data []byte, arity int) (Row, error) {
+	row := make(Row, 0, arity)
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, errors.New("reldb: truncated row")
+		}
+		l := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, errors.New("reldb: truncated row value")
+		}
+		v, err := DecodeValue(data[:l])
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		data = data[l:]
+	}
+	if len(row) != arity {
+		return nil, fmt.Errorf("reldb: row has %d values, want %d", len(row), arity)
+	}
+	return row, nil
+}
+
+// Table is an in-memory relation.
+type Table struct {
+	name   string
+	schema *Schema
+	rows   []Row
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{name: name, schema: schema}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Insert appends a row after arity and type checking.
+func (t *Table) Insert(row Row) error {
+	if len(row) != t.schema.NumColumns() {
+		return fmt.Errorf("reldb: row arity %d, schema arity %d", len(row), t.schema.NumColumns())
+	}
+	for i, v := range row {
+		if v.Type() != t.schema.cols[i].Type {
+			return fmt.Errorf("reldb: column %q expects %v, got %v",
+				t.schema.cols[i].Name, t.schema.cols[i].Type, v.Type())
+		}
+	}
+	t.rows = append(t.rows, append(Row(nil), row...))
+	return nil
+}
+
+// MustInsert is Insert panicking on error, for test and example fixtures.
+func (t *Table) MustInsert(values ...Value) {
+	if err := t.Insert(Row(values)); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns a deep copy of all rows.
+func (t *Table) Rows() []Row {
+	out := make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append(Row(nil), r...)
+	}
+	return out
+}
+
+// Select returns a new table holding the rows satisfying pred.
+func (t *Table) Select(pred func(Row) bool) *Table {
+	out := NewTable(t.name+"_sel", t.schema)
+	for _, r := range t.rows {
+		if pred(r) {
+			out.rows = append(out.rows, append(Row(nil), r...))
+		}
+	}
+	return out
+}
+
+// Project returns a new table with only the named columns, in the given
+// order.
+func (t *Table) Project(cols ...string) (*Table, error) {
+	idx := make([]int, len(cols))
+	newCols := make([]Column, len(cols))
+	for i, name := range cols {
+		j, err := t.schema.ColumnIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+		newCols[i] = t.schema.cols[j]
+	}
+	schema, err := NewSchema(newCols...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(t.name+"_proj", schema)
+	for _, r := range t.rows {
+		nr := make(Row, len(idx))
+		for i, j := range idx {
+			nr[i] = r[j]
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out, nil
+}
+
+// ColumnValues returns the encoded values of the named column, one per
+// row (a multiset: duplicates preserved).  This is the T.A input to the
+// equijoin-size protocol.
+func (t *Table) ColumnValues(col string) ([][]byte, error) {
+	i, err := t.schema.ColumnIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(t.rows))
+	for j, r := range t.rows {
+		out[j] = r[i].Encode()
+	}
+	return out, nil
+}
+
+// DistinctValues returns the encoded distinct values of the named column
+// — the paper's V (values "without duplicates" occurring in T.A) — in
+// first-seen order.
+func (t *Table) DistinctValues(col string) ([][]byte, error) {
+	all, err := t.ColumnValues(col)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, len(all))
+	var out [][]byte
+	for _, v := range all {
+		if _, dup := seen[string(v)]; dup {
+			continue
+		}
+		seen[string(v)] = struct{}{}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ExtPayloads groups the table's rows by the named column and serializes
+// each group: ext(v) = "all records in T_S where T_S.A = v" as one byte
+// payload per distinct v, ready for the equijoin protocol.
+func (t *Table) ExtPayloads(col string) (values [][]byte, exts [][]byte, err error) {
+	i, err := t.schema.ColumnIndex(col)
+	if err != nil {
+		return nil, nil, err
+	}
+	order := make([]string, 0)
+	groups := make(map[string][]Row)
+	for _, r := range t.rows {
+		k := string(r[i].Encode())
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	for _, k := range order {
+		values = append(values, []byte(k))
+		exts = append(exts, EncodeRows(groups[k]))
+	}
+	return values, exts, nil
+}
+
+// EncodeRows serializes a row group with per-row length prefixes.
+func EncodeRows(rows []Row) []byte {
+	var out []byte
+	for _, r := range rows {
+		enc := r.Encode()
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(enc)))
+		out = append(out, l[:]...)
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// DecodeRows inverts EncodeRows given the row arity.
+func DecodeRows(data []byte, arity int) ([]Row, error) {
+	var out []Row
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, errors.New("reldb: truncated row group")
+		}
+		l := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, errors.New("reldb: truncated row in group")
+		}
+		r, err := DecodeRow(data[:l], arity)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		data = data[l:]
+	}
+	return out, nil
+}
+
+// Join computes the plaintext equijoin of two tables on the given
+// columns — the reference result the private protocols are tested
+// against.  The output schema is t's columns followed by o's columns
+// (with the join column deduplicated on o's side).
+func (t *Table) Join(o *Table, tCol, oCol string) (*Table, error) {
+	ti, err := t.schema.ColumnIndex(tCol)
+	if err != nil {
+		return nil, err
+	}
+	oi, err := o.schema.ColumnIndex(oCol)
+	if err != nil {
+		return nil, err
+	}
+	var cols []Column
+	cols = append(cols, t.schema.cols...)
+	for j, c := range o.schema.cols {
+		if j == oi {
+			continue
+		}
+		cols = append(cols, Column{Name: o.name + "." + c.Name, Type: c.Type})
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(t.name+"_join_"+o.name, schema)
+
+	byVal := make(map[string][]Row)
+	for _, r := range o.rows {
+		k := string(r[oi].Encode())
+		byVal[k] = append(byVal[k], r)
+	}
+	for _, r := range t.rows {
+		for _, or := range byVal[string(r[ti].Encode())] {
+			nr := append(Row(nil), r...)
+			for j, v := range or {
+				if j == oi {
+					continue
+				}
+				nr = append(nr, v)
+			}
+			out.rows = append(out.rows, nr)
+		}
+	}
+	return out, nil
+}
+
+// GroupCount is one group-by bucket.
+type GroupCount struct {
+	Key   []Value
+	Count int
+}
+
+// GroupByCount evaluates SELECT cols..., COUNT(*) GROUP BY cols...,
+// returning buckets sorted by key for deterministic comparison.
+func (t *Table) GroupByCount(cols ...string) ([]GroupCount, error) {
+	idx := make([]int, len(cols))
+	for i, name := range cols {
+		j, err := t.schema.ColumnIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	counts := make(map[string]*GroupCount)
+	for _, r := range t.rows {
+		var key []byte
+		kv := make([]Value, len(idx))
+		for i, j := range idx {
+			kv[i] = r[j]
+			key = append(key, r[j].Encode()...)
+			key = append(key, 0)
+		}
+		if g, ok := counts[string(key)]; ok {
+			g.Count++
+		} else {
+			counts[string(key)] = &GroupCount{Key: kv, Count: 1}
+		}
+	}
+	out := make([]GroupCount, 0, len(counts))
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, *counts[k])
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+// Package selection implements the database SELECTION operation in the
+// paper's minimal-sharing setting: party R retrieves the i-th record
+// from party S's n records such that S learns nothing about i and R
+// learns nothing beyond record i (and n).
+//
+// Section 2.4 of the paper identifies this as symmetric private
+// information retrieval and notes that "this literature will be useful
+// for developing protocols for the selection operation in our setting";
+// Section 7 lists protocols for further database operations as future
+// work.  This package supplies that operation, built from the 1-out-of-n
+// oblivious transfer of package ot (log₂ n Bellare-Micali 1-of-2
+// transfers plus n masked records) over the same transports the main
+// protocols use.
+//
+// Wire format (all frames little, lengths explicit):
+//
+//	R → S  [8]byte         requested record length cap (0 = accept sender's)
+//	S → R  params          n, record length, OT bits, public C
+//	R → S  PK0 batch       one per index bit
+//	S → R  ciphertexts     per-bit OT ciphertext pairs + n masked records
+package selection
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"minshare/internal/group"
+	"minshare/internal/ot"
+	"minshare/internal/transport"
+)
+
+// Config parameterizes a selection session.
+type Config struct {
+	// Group hosts the oblivious transfers; defaults to the small builtin
+	// 256-bit group (OT needs far less than the PSI protocols' modulus).
+	Group *group.Group
+	// Rand is the randomness source (nil = crypto/rand).
+	Rand io.Reader
+}
+
+func (c Config) normalized() Config {
+	if c.Group == nil {
+		c.Group = group.MustBuiltin(group.Bits256)
+	}
+	return c
+}
+
+// ErrBadFrame reports a malformed peer message.
+var ErrBadFrame = errors.New("selection: malformed frame")
+
+// maxRecords bounds n against resource exhaustion.
+const maxRecords = 1 << 20
+
+// Result is what the receiver learns.
+type Result struct {
+	// Record is the retrieved record.
+	Record []byte
+	// NumRecords is n (announced by the sender; permitted information,
+	// mirroring the |V_S| disclosure of the main protocols).
+	NumRecords int
+}
+
+// Sender serves one selection session over its records.  All records are
+// padded to the longest record's length before masking, so the receiver
+// learns no per-record length information either.
+func Sender(ctx context.Context, cfg Config, conn transport.Conn, records [][]byte) error {
+	cfg = cfg.normalized()
+	if len(records) == 0 {
+		return errors.New("selection: no records to serve")
+	}
+	if len(records) > maxRecords {
+		return fmt.Errorf("selection: %d records exceed the %d cap", len(records), maxRecords)
+	}
+
+	// Frame 1: receiver hello (ignored content, reserves protocol room).
+	if _, err := conn.Recv(ctx); err != nil {
+		return fmt.Errorf("selection: receiving hello: %w", err)
+	}
+
+	recLen := 0
+	for _, r := range records {
+		if len(r) > recLen {
+			recLen = len(r)
+		}
+	}
+	// Pad: 4-byte true length prefix + payload.
+	padded := make([][]byte, len(records))
+	for i, r := range records {
+		p := make([]byte, 4+recLen)
+		binary.BigEndian.PutUint32(p, uint32(len(r)))
+		copy(p[4:], r)
+		padded[i] = p
+	}
+
+	setup, err := ot.NewSelectSetup(len(records), cfg.Rand)
+	if err != nil {
+		return err
+	}
+	sender, err := ot.NewSender(cfg.Group, cfg.Rand)
+	if err != nil {
+		return err
+	}
+	elemLen := cfg.Group.ElementLen()
+
+	// Frame 2: params = n, padded record len, bits, C.
+	params := make([]byte, 8+8+8, 8+8+8+elemLen)
+	binary.BigEndian.PutUint64(params[0:8], uint64(len(records)))
+	binary.BigEndian.PutUint64(params[8:16], uint64(4+recLen))
+	binary.BigEndian.PutUint64(params[16:24], uint64(setup.NumBits()))
+	params = append(params, fixed(sender.PublicC(), elemLen)...)
+	if err := conn.Send(ctx, params); err != nil {
+		return fmt.Errorf("selection: sending params: %w", err)
+	}
+
+	// Frame 3: receiver's PK0 batch, one per index bit.
+	frame, err := conn.Recv(ctx)
+	if err != nil {
+		return fmt.Errorf("selection: receiving PK0 batch: %w", err)
+	}
+	if len(frame) != setup.NumBits()*elemLen {
+		return fmt.Errorf("%w: PK0 batch of %d bytes, want %d", ErrBadFrame, len(frame), setup.NumBits()*elemLen)
+	}
+
+	// Frame 4: per-bit OT ciphertexts + the n masked records.
+	reply := make([]byte, 0)
+	for j := 0; j < setup.NumBits(); j++ {
+		pk0 := new(big.Int).SetBytes(frame[j*elemLen : (j+1)*elemLen])
+		k0, k1, err := setup.KeyPair(j)
+		if err != nil {
+			return err
+		}
+		ct, err := sender.Transfer(pk0, k0, k1)
+		if err != nil {
+			return fmt.Errorf("selection: OT bit %d: %w", j, err)
+		}
+		reply = append(reply, fixed(ct.G0, elemLen)...)
+		reply = append(reply, ct.E0...)
+		reply = append(reply, fixed(ct.G1, elemLen)...)
+		reply = append(reply, ct.E1...)
+	}
+	masked, err := setup.MaskMessages(padded)
+	if err != nil {
+		return err
+	}
+	for _, m := range masked {
+		reply = append(reply, m...)
+	}
+	if err := conn.Send(ctx, reply); err != nil {
+		return fmt.Errorf("selection: sending ciphertexts: %w", err)
+	}
+	return nil
+}
+
+// Receiver retrieves record `index` from the sender's records.
+func Receiver(ctx context.Context, cfg Config, conn transport.Conn, index int) (*Result, error) {
+	cfg = cfg.normalized()
+	if index < 0 {
+		return nil, fmt.Errorf("selection: negative index %d", index)
+	}
+
+	// Frame 1: hello.
+	if err := conn.Send(ctx, []byte{0}); err != nil {
+		return nil, fmt.Errorf("selection: sending hello: %w", err)
+	}
+
+	// Frame 2: params.
+	elemLen := cfg.Group.ElementLen()
+	frame, err := conn.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("selection: receiving params: %w", err)
+	}
+	if len(frame) != 24+elemLen {
+		return nil, fmt.Errorf("%w: params of %d bytes", ErrBadFrame, len(frame))
+	}
+	n := int(binary.BigEndian.Uint64(frame[0:8]))
+	paddedLen := int(binary.BigEndian.Uint64(frame[8:16]))
+	bits := int(binary.BigEndian.Uint64(frame[16:24]))
+	if n <= 0 || n > maxRecords || bits <= 0 || bits > 32 || paddedLen < 4 {
+		return nil, fmt.Errorf("%w: params n=%d bits=%d len=%d", ErrBadFrame, n, bits, paddedLen)
+	}
+	if index >= n {
+		return nil, fmt.Errorf("selection: index %d out of range [0,%d)", index, n)
+	}
+	receiver, err := ot.NewReceiver(cfg.Group, new(big.Int).SetBytes(frame[24:]), cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+
+	// Frame 3: PK0s for the index bits.
+	choiceBits := ot.IndexBits(index, bits)
+	choices := make([]*ot.Choice, bits)
+	pk0s := make([]byte, 0, bits*elemLen)
+	for j, bit := range choiceBits {
+		ch, err := receiver.Choose(bit)
+		if err != nil {
+			return nil, fmt.Errorf("selection: OT choose %d: %w", j, err)
+		}
+		choices[j] = ch
+		pk0s = append(pk0s, fixed(ch.PK0, elemLen)...)
+	}
+	if err := conn.Send(ctx, pk0s); err != nil {
+		return nil, fmt.Errorf("selection: sending PK0 batch: %w", err)
+	}
+
+	// Frame 4: OT ciphertexts + masked records.
+	frame, err = conn.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("selection: receiving ciphertexts: %w", err)
+	}
+	const keyMsgLen = 16 // ot.keyLen
+	perBit := 2*elemLen + 2*keyMsgLen
+	want := bits*perBit + n*paddedLen
+	if len(frame) != want {
+		return nil, fmt.Errorf("%w: ciphertext frame of %d bytes, want %d", ErrBadFrame, len(frame), want)
+	}
+	bitKeys := make([][]byte, bits)
+	for j := 0; j < bits; j++ {
+		chunk := frame[j*perBit : (j+1)*perBit]
+		ct := &ot.Ciphertexts{
+			G0: new(big.Int).SetBytes(chunk[:elemLen]),
+			E0: chunk[elemLen : elemLen+keyMsgLen],
+			G1: new(big.Int).SetBytes(chunk[elemLen+keyMsgLen : 2*elemLen+keyMsgLen]),
+			E1: chunk[2*elemLen+keyMsgLen:],
+		}
+		key, err := receiver.Open(choices[j], ct)
+		if err != nil {
+			return nil, fmt.Errorf("selection: OT open %d: %w", j, err)
+		}
+		bitKeys[j] = key
+	}
+	maskedAll := frame[bits*perBit:]
+	ciphertexts := make([][]byte, n)
+	for t := 0; t < n; t++ {
+		ciphertexts[t] = maskedAll[t*paddedLen : (t+1)*paddedLen]
+	}
+	padded, err := ot.UnmaskMessage(index, bitKeys, ciphertexts)
+	if err != nil {
+		return nil, err
+	}
+	trueLen := int(binary.BigEndian.Uint32(padded[:4]))
+	if trueLen > paddedLen-4 {
+		return nil, fmt.Errorf("%w: record length %d exceeds padding", ErrBadFrame, trueLen)
+	}
+	return &Result{Record: padded[4 : 4+trueLen], NumRecords: n}, nil
+}
+
+func fixed(x *big.Int, n int) []byte {
+	b := x.Bytes()
+	out := make([]byte, n)
+	copy(out[n-len(b):], b)
+	return out
+}

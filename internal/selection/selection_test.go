@@ -1,0 +1,184 @@
+package selection
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"minshare/internal/group"
+	"minshare/internal/transport"
+)
+
+func testCfg(seed int64) Config {
+	return Config{Group: group.TestGroup(), Rand: rand.New(rand.NewSource(seed))}
+}
+
+func runSelection(t *testing.T, records [][]byte, index int) (*Result, error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+
+	ch := make(chan error, 1)
+	go func() {
+		err := Sender(ctx, testCfg(1), connS, records)
+		if err != nil {
+			connS.Close()
+		}
+		ch <- err
+	}()
+	res, err := Receiver(ctx, testCfg(2), connR, index)
+	if err != nil {
+		connR.Close()
+		<-ch
+		return nil, err
+	}
+	if sErr := <-ch; sErr != nil {
+		return nil, fmt.Errorf("sender: %w", sErr)
+	}
+	return res, nil
+}
+
+func TestSelectionEveryIndex(t *testing.T) {
+	records := [][]byte{
+		[]byte("row 0: ann, oslo"),
+		[]byte("row 1: bob"),
+		[]byte("row 2: a rather longer record about carol and her many orders"),
+		[]byte(""),
+		[]byte("row 4: final"),
+	}
+	for i := range records {
+		res, err := runSelection(t, records, i)
+		if err != nil {
+			t.Fatalf("index %d: %v", i, err)
+		}
+		if !bytes.Equal(res.Record, records[i]) {
+			t.Errorf("index %d: got %q, want %q", i, res.Record, records[i])
+		}
+		if res.NumRecords != len(records) {
+			t.Errorf("NumRecords = %d", res.NumRecords)
+		}
+	}
+}
+
+func TestSelectionSingleRecord(t *testing.T) {
+	res, err := runSelection(t, [][]byte{[]byte("only")}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Record) != "only" {
+		t.Errorf("got %q", res.Record)
+	}
+}
+
+func TestSelectionPowerOfTwoAndOdd(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8, 9, 16} {
+		records := make([][]byte, n)
+		for i := range records {
+			records[i] = []byte(fmt.Sprintf("rec-%d", i))
+		}
+		idx := n / 2
+		res, err := runSelection(t, records, idx)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(res.Record, records[idx]) {
+			t.Errorf("n=%d: got %q", n, res.Record)
+		}
+	}
+}
+
+func TestSelectionIndexOutOfRange(t *testing.T) {
+	records := [][]byte{[]byte("a"), []byte("b")}
+	if _, err := runSelection(t, records, 7); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	ctx := context.Background()
+	if _, err := Receiver(ctx, testCfg(1), nil, -1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestSelectionNoRecords(t *testing.T) {
+	if err := Sender(context.Background(), testCfg(1), nil, nil); err == nil {
+		t.Error("empty record set accepted")
+	}
+}
+
+// TestSelectionSenderViewHidesIndex is the structural privacy check for
+// S: everything S receives is the hello frame plus uniformly random
+// group elements (the PK0s), identical in distribution for every index.
+func TestSelectionSenderViewHidesIndex(t *testing.T) {
+	records := [][]byte{[]byte("r0"), []byte("r1"), []byte("r2"), []byte("r3")}
+	g := group.TestGroup()
+	for _, index := range []int{0, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		connR, connS := transport.Pipe()
+		tap := transport.NewTap(connS)
+
+		ch := make(chan error, 1)
+		go func() { ch <- Sender(ctx, testCfg(1), tap, records) }()
+		if _, err := Receiver(ctx, testCfg(2), connR, index); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+		frames := tap.Received()
+		if len(frames) != 2 {
+			t.Fatalf("S received %d frames, want 2 (hello + PK0s)", len(frames))
+		}
+		pk0s := frames[1]
+		elemLen := g.ElementLen()
+		if len(pk0s)%elemLen != 0 {
+			t.Fatalf("PK0 frame of %d bytes", len(pk0s))
+		}
+		// Every PK0 is a valid group element; nothing else is present.
+		for off := 0; off < len(pk0s); off += elemLen {
+			x := bytesToInt(pk0s[off : off+elemLen])
+			if !g.Contains(x) {
+				t.Errorf("index %d: PK0 at offset %d not a group element", index, off)
+			}
+		}
+		cancel()
+		connR.Close()
+	}
+}
+
+// TestSelectionReceiverGetsPaddedLengthsOnly: all records are padded to
+// the longest, so the byte volume R receives is independent of which
+// record it asked for and of the other records' lengths.
+func TestSelectionReceiverTrafficIndexIndependent(t *testing.T) {
+	records := [][]byte{
+		[]byte("short"),
+		bytes.Repeat([]byte("x"), 500),
+		[]byte("mid-length record"),
+	}
+	var sizes []int64
+	for index := range records {
+		ctx := context.Background()
+		connR, connS := transport.Pipe()
+		meter := transport.NewMeter(connR)
+		ch := make(chan error, 1)
+		go func() { ch <- Sender(ctx, testCfg(1), connS, records) }()
+		if _, err := Receiver(ctx, testCfg(2), meter, index); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, meter.BytesRecv())
+		connR.Close()
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != sizes[0] {
+			t.Errorf("received bytes differ across indices: %v", sizes)
+		}
+	}
+}
+
+func bytesToInt(b []byte) *big.Int { return new(big.Int).SetBytes(b) }

@@ -1,0 +1,278 @@
+package simulate
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"minshare/internal/commutative"
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/oracle"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+func bs(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestSimulateSenderViewShape(t *testing.T) {
+	g := group.TestGroup()
+	rng := rand.New(rand.NewSource(1))
+	v, err := SimulateSenderView(g, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.YR) != 12 {
+		t.Fatalf("|Y_R| = %d", len(v.YR))
+	}
+	for i, e := range v.YR {
+		if !g.Contains(e) {
+			t.Errorf("element %d not in group", i)
+		}
+		if i > 0 && v.YR[i-1].Cmp(e) > 0 {
+			t.Error("simulated Y_R not sorted")
+		}
+	}
+}
+
+// TestSenderViewRealVsSimulatedStatistics compares the REAL S view
+// (captured from genuine protocol runs) against the simulator's output
+// on a small group: element byte histograms must agree within a generous
+// chi-square bound.  Both are points in the same distribution family —
+// (encrypted hashes of unknown values) vs (uniform residues) — and under
+// DDH no statistic separates them; this test catches gross
+// implementation biases (e.g. unsorted output, structured elements).
+func TestSenderViewRealVsSimulatedStatistics(t *testing.T) {
+	g := group.MustBuiltin(group.Bits64)
+	const runs = 150
+	const nR = 8
+
+	var realBytes, simBytes []byte
+	for i := 0; i < runs; i++ {
+		cfgR := core.Config{Group: g, Rand: rand.New(rand.NewSource(int64(1000 + i))), Parallelism: 1}
+		cfgS := core.Config{Group: g, Rand: rand.New(rand.NewSource(int64(5000 + i))), Parallelism: 1}
+		vR := bs("a", "b", "c", "d", "e", "f", "g", "h")
+		vS := bs("a", "b", "zz")
+
+		ctx := context.Background()
+		connR, connS := transport.Pipe()
+		tapS := transport.NewTap(connS)
+		ch := make(chan error, 1)
+		go func() {
+			_, err := core.IntersectionSender(ctx, cfgS, tapS, vS)
+			ch <- err
+		}()
+		if _, err := core.IntersectionReceiver(ctx, cfgR, connR, vR); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+		codec := wire.NewCodec(g)
+		for _, f := range tapS.Received() {
+			m, err := codec.Decode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if el, ok := m.(wire.Elements); ok {
+				for _, e := range el.Elems {
+					b := make([]byte, g.ElementLen())
+					copy(b[g.ElementLen()-len(e.Bytes()):], e.Bytes())
+					realBytes = append(realBytes, b...)
+				}
+			}
+		}
+		connR.Close()
+
+		sim, err := SimulateSenderView(g, nR, rand.New(rand.NewSource(int64(9000+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range sim.YR {
+			b := make([]byte, g.ElementLen())
+			copy(b[g.ElementLen()-len(e.Bytes()):], e.Bytes())
+			simBytes = append(simBytes, b...)
+		}
+	}
+
+	if len(realBytes) != len(simBytes) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(realBytes), len(simBytes))
+	}
+	// Chi-square over 16 buckets of the byte values.
+	const buckets = 16
+	var hr, hs [buckets]float64
+	for i := range realBytes {
+		hr[realBytes[i]>>4]++
+		hs[simBytes[i]>>4]++
+	}
+	chi := 0.0
+	for i := 0; i < buckets; i++ {
+		if hr[i]+hs[i] == 0 {
+			continue
+		}
+		d := hr[i] - hs[i]
+		chi += d * d / (hr[i] + hs[i])
+	}
+	// 15 degrees of freedom; the 99.9% quantile is ≈ 37.7.  Use a
+	// generous bound — the point is catching gross structure, not
+	// borderline drift.
+	if chi > 60 {
+		t.Errorf("chi-square = %.1f: real and simulated S views differ grossly", chi)
+	}
+	t.Logf("chi-square(real vs simulated S view) = %.2f over %d samples", chi, len(realBytes))
+}
+
+// TestReceiverSimulatorFunctionalConsistency: running R's own output
+// algorithm on the SIMULATED view must return exactly the intersection
+// the simulator was given — the minimum bar for indistinguishability.
+func TestReceiverSimulatorFunctionalConsistency(t *testing.T) {
+	g := group.TestGroup()
+	o := oracle.New(g)
+	scheme := commutative.NewPowerFn(g)
+	rng := rand.New(rand.NewSource(7))
+	eR, err := scheme.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vR := bs("a", "b", "c", "d", "e")
+	intersection := bs("b", "d")
+	const senderSetSize = 6
+
+	view, err := SimulateReceiverView(g, o, scheme, eR, vR, intersection, senderSetSize, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.YS) != senderSetSize {
+		t.Fatalf("|Y_S| = %d, want %d", len(view.YS), senderSetSize)
+	}
+	if len(view.Doubles) != len(vR) {
+		t.Fatalf("|doubles| = %d, want %d", len(view.Doubles), len(vR))
+	}
+	for i := 1; i < len(view.YS); i++ {
+		if view.YS[i-1].Cmp(view.YS[i]) > 0 {
+			t.Fatal("simulated Y_S not sorted")
+		}
+	}
+
+	got, err := RecoverIntersection(scheme, o, eR, vR, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedStrings(got), sortedStrings(intersection)) {
+		t.Errorf("recovered %v from simulated view, want %v", sortedStrings(got), sortedStrings(intersection))
+	}
+}
+
+// TestReceiverSimulatorMatchesRealOutputs: the real view and the
+// simulated view, fed through the same output computation, agree for a
+// sweep of intersection patterns.
+func TestReceiverSimulatorMatchesRealOutputs(t *testing.T) {
+	g := group.TestGroup()
+	for _, tc := range []struct {
+		vR, vS []string
+	}{
+		{[]string{"a", "b"}, []string{"a", "b"}},
+		{[]string{"a", "b", "c"}, []string{"x", "y"}},
+		{[]string{"a", "b", "c", "d"}, []string{"b", "d", "q", "r", "s"}},
+	} {
+		cfgR := core.Config{Group: g, Rand: rand.New(rand.NewSource(1)), Parallelism: 1}
+		cfgS := core.Config{Group: g, Rand: rand.New(rand.NewSource(2)), Parallelism: 1}
+		ctx := context.Background()
+		connR, connS := transport.Pipe()
+		ch := make(chan error, 1)
+		go func() {
+			_, err := core.IntersectionSender(ctx, cfgS, connS, bs(tc.vS...))
+			ch <- err
+		}()
+		res, err := core.IntersectionReceiver(ctx, cfgR, connR, bs(tc.vR...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+		connR.Close()
+
+		// Simulate with ONLY R's entitled knowledge and compare outputs.
+		o := oracle.New(g)
+		scheme := commutative.NewPowerFn(g)
+		rng := rand.New(rand.NewSource(3))
+		eR, _ := scheme.GenerateKey(rng)
+		view, err := SimulateReceiverView(g, o, scheme, eR, bs(tc.vR...), res.Values, res.SenderSetSize, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simOut, err := RecoverIntersection(scheme, o, eR, bs(tc.vR...), view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sortedStrings(simOut), sortedStrings(res.Values)) {
+			t.Errorf("vR=%v vS=%v: simulated output %v != real output %v",
+				tc.vR, tc.vS, sortedStrings(simOut), sortedStrings(res.Values))
+		}
+	}
+}
+
+func TestSizeSimulatorFunctionalConsistency(t *testing.T) {
+	g := group.TestGroup()
+	scheme := commutative.NewPowerFn(g)
+	rng := rand.New(rand.NewSource(11))
+	eR, _ := scheme.GenerateKey(rng)
+
+	for _, tc := range []struct{ nR, nS, inter int }{
+		{5, 7, 3}, {4, 4, 0}, {6, 6, 6}, {1, 9, 1},
+	} {
+		view, err := SimulateSizeReceiverView(g, scheme, eR, tc.nR, tc.nS, tc.inter, rng)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if len(view.YS) != tc.nS || len(view.ZR) != tc.nR {
+			t.Fatalf("%+v: shapes %d/%d", tc, len(view.YS), len(view.ZR))
+		}
+		got, err := RecoverIntersectionSize(scheme, eR, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.inter {
+			t.Errorf("%+v: recovered size %d", tc, got)
+		}
+	}
+}
+
+func TestSimulatorInputValidation(t *testing.T) {
+	g := group.TestGroup()
+	o := oracle.New(g)
+	scheme := commutative.NewPowerFn(g)
+	rng := rand.New(rand.NewSource(13))
+	eR, _ := scheme.GenerateKey(rng)
+
+	if _, err := SimulateReceiverView(g, o, scheme, eR, bs("a"), bs("a", "b"), 1, rng); err == nil {
+		t.Error("intersection larger than |V_S| accepted")
+	}
+	if _, err := SimulateSizeReceiverView(g, scheme, eR, 2, 2, 5, rng); err == nil {
+		t.Error("impossible sizes accepted")
+	}
+}
+
+func sortedStrings(bs [][]byte) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = string(b)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error produced by fault-injection wrappers.
+var ErrInjected = errors.New("transport: injected fault")
+
+// Fault wraps a Conn and injects failures for testing: it can fail the
+// i-th Send or Recv, or corrupt the payload of the i-th received frame.
+// Counters are 1-based; zero disables that fault.
+type Fault struct {
+	inner Conn
+
+	// FailSendAt fails the n-th Send (1-based) with ErrInjected.
+	FailSendAt int64
+	// FailRecvAt fails the n-th Recv (1-based) with ErrInjected.
+	FailRecvAt int64
+	// CorruptRecvAt flips bits in the payload of the n-th received frame.
+	CorruptRecvAt int64
+	// TruncateRecvAt halves the payload of the n-th received frame.
+	TruncateRecvAt int64
+
+	sends atomic.Int64
+	recvs atomic.Int64
+}
+
+// NewFault wraps inner; configure the Fail*/Corrupt* fields before use.
+func NewFault(inner Conn) *Fault {
+	return &Fault{inner: inner}
+}
+
+// Send implements Conn.
+func (f *Fault) Send(ctx context.Context, frame []byte) error {
+	n := f.sends.Add(1)
+	if f.FailSendAt > 0 && n == f.FailSendAt {
+		return ErrInjected
+	}
+	return f.inner.Send(ctx, frame)
+}
+
+// Recv implements Conn.
+func (f *Fault) Recv(ctx context.Context) ([]byte, error) {
+	n := f.recvs.Add(1)
+	if f.FailRecvAt > 0 && n == f.FailRecvAt {
+		return nil, ErrInjected
+	}
+	frame, err := f.inner.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if f.CorruptRecvAt > 0 && n == f.CorruptRecvAt && len(frame) > 0 {
+		frame = append([]byte(nil), frame...)
+		frame[len(frame)/2] ^= 0xFF
+	}
+	if f.TruncateRecvAt > 0 && n == f.TruncateRecvAt {
+		frame = frame[:len(frame)/2]
+	}
+	return frame, nil
+}
+
+// Close implements Conn.
+func (f *Fault) Close() error { return f.inner.Close() }

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Meter wraps a Conn and counts frames and payload bytes in each
+// direction.  The experiment harness uses it to check the paper's exact
+// communication formulas (Section 6.1: intersection (|V_S|+2|V_R|)·k
+// bits, join (|V_S|+3|V_R|)·k + |V_S|·k' bits) against what actually
+// crosses the wire, and to convert byte counts into T1-line transfer
+// times via LinkModel.
+type Meter struct {
+	inner Conn
+
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+}
+
+// NewMeter wraps inner with counters.
+func NewMeter(inner Conn) *Meter {
+	return &Meter{inner: inner}
+}
+
+// Send implements Conn.
+func (m *Meter) Send(ctx context.Context, frame []byte) error {
+	if err := m.inner.Send(ctx, frame); err != nil {
+		return err
+	}
+	m.framesSent.Add(1)
+	m.bytesSent.Add(int64(len(frame)))
+	return nil
+}
+
+// Recv implements Conn.
+func (m *Meter) Recv(ctx context.Context) ([]byte, error) {
+	frame, err := m.inner.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	m.framesRecv.Add(1)
+	m.bytesRecv.Add(int64(len(frame)))
+	return frame, nil
+}
+
+// Close implements Conn.
+func (m *Meter) Close() error { return m.inner.Close() }
+
+// FramesSent returns the number of frames sent.
+func (m *Meter) FramesSent() int64 { return m.framesSent.Load() }
+
+// FramesRecv returns the number of frames received.
+func (m *Meter) FramesRecv() int64 { return m.framesRecv.Load() }
+
+// BytesSent returns the payload bytes sent.
+func (m *Meter) BytesSent() int64 { return m.bytesSent.Load() }
+
+// BytesRecv returns the payload bytes received.
+func (m *Meter) BytesRecv() int64 { return m.bytesRecv.Load() }
+
+// TotalBytes returns bytes sent plus bytes received: the session's total
+// traffic as one party sees it.
+func (m *Meter) TotalBytes() int64 { return m.BytesSent() + m.BytesRecv() }
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.framesSent.Store(0)
+	m.framesRecv.Store(0)
+	m.bytesSent.Store(0)
+	m.bytesRecv.Store(0)
+}
+
+// LinkModel converts byte counts into transfer times for a modelled
+// link, reproducing the paper's time estimates without needing the
+// actual WAN.
+type LinkModel struct {
+	// BitsPerSecond is the modelled bandwidth.
+	BitsPerSecond float64
+	// Name describes the link in reports.
+	Name string
+}
+
+// T1 is the paper's reference link: "communication is via a T1 line,
+// with bandwidth of 1.544 Mbits/second" (Section 6.2).
+var T1 = LinkModel{BitsPerSecond: 1.544e6, Name: "T1"}
+
+// TransferTime returns how long the given payload takes on the link.
+func (l LinkModel) TransferTime(bytes int64) time.Duration {
+	if l.BitsPerSecond <= 0 {
+		return 0
+	}
+	seconds := float64(bytes) * 8 / l.BitsPerSecond
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// TransferTimeBits is TransferTime for a bit count, for formulas that
+// are naturally expressed in bits (the paper reports "3 Gbits ≈ 35
+// minutes").
+func (l LinkModel) TransferTimeBits(bits float64) time.Duration {
+	if l.BitsPerSecond <= 0 {
+		return 0
+	}
+	return time.Duration(bits / l.BitsPerSecond * float64(time.Second))
+}

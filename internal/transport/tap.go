@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"context"
+	"sync"
+)
+
+// Tap wraps a Conn and records a copy of every frame in each direction.
+// The security tests use it to capture a party's *view* of a protocol run
+// — exactly the information the paper's simulation proofs reason about —
+// and then assert that the view contains nothing beyond what Statements
+// 2, 4 and 6 permit.
+type Tap struct {
+	inner Conn
+
+	mu   sync.Mutex
+	sent [][]byte
+	recv [][]byte
+}
+
+// NewTap wraps inner with frame recording.
+func NewTap(inner Conn) *Tap {
+	return &Tap{inner: inner}
+}
+
+// Send implements Conn.
+func (t *Tap) Send(ctx context.Context, frame []byte) error {
+	if err := t.inner.Send(ctx, frame); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.sent = append(t.sent, append([]byte(nil), frame...))
+	t.mu.Unlock()
+	return nil
+}
+
+// Recv implements Conn.
+func (t *Tap) Recv(ctx context.Context) ([]byte, error) {
+	frame, err := t.inner.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.recv = append(t.recv, append([]byte(nil), frame...))
+	t.mu.Unlock()
+	return frame, nil
+}
+
+// Close implements Conn.
+func (t *Tap) Close() error { return t.inner.Close() }
+
+// Sent returns copies of all frames sent so far, in order.
+func (t *Tap) Sent() [][]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyFrames(t.sent)
+}
+
+// Received returns copies of all frames received so far, in order.  This
+// is the party's incoming view of the protocol.
+func (t *Tap) Received() [][]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyFrames(t.recv)
+}
+
+func copyFrames(in [][]byte) [][]byte {
+	out := make([][]byte, len(in))
+	for i, f := range in {
+		out[i] = append([]byte(nil), f...)
+	}
+	return out
+}

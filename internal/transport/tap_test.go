@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestTapRecordsBothDirections(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	tap := NewTap(a)
+	ctx := context.Background()
+
+	if err := tap.Send(ctx, []byte("out-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tap.Send(ctx, []byte("out-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(ctx, []byte("in-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tap.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	sent := tap.Sent()
+	if len(sent) != 2 || string(sent[0]) != "out-1" || string(sent[1]) != "out-2" {
+		t.Errorf("Sent() = %q", sent)
+	}
+	recv := tap.Received()
+	if len(recv) != 1 || string(recv[0]) != "in-1" {
+		t.Errorf("Received() = %q", recv)
+	}
+}
+
+func TestTapReturnsCopies(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	tap := NewTap(a)
+	ctx := context.Background()
+	_ = tap.Send(ctx, []byte("frame"))
+	_ = b // receiving side untouched
+
+	s1 := tap.Sent()
+	s1[0][0] = 'X'
+	s2 := tap.Sent()
+	if !bytes.Equal(s2[0], []byte("frame")) {
+		t.Error("Sent() exposed internal storage")
+	}
+}
+
+func TestTapDoesNotRecordFailures(t *testing.T) {
+	a, _ := Pipe()
+	a.Close()
+	tap := NewTap(a)
+	ctx := context.Background()
+	if err := tap.Send(ctx, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send: %v", err)
+	}
+	if _, err := tap.Recv(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv: %v", err)
+	}
+	if len(tap.Sent()) != 0 || len(tap.Received()) != 0 {
+		t.Error("failed operations were recorded")
+	}
+}
+
+func TestTapClose(t *testing.T) {
+	a, b := Pipe()
+	tap := NewTap(a)
+	if err := tap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(context.Background(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("pipe not closed through tap: %v", err)
+	}
+}
+
+func TestMeterClose(t *testing.T) {
+	a, b := Pipe()
+	m := NewMeter(a)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(context.Background(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("pipe not closed through meter: %v", err)
+	}
+}
+
+func TestTCPDoubleCloseAndClosedOps(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	conn, err := Dial(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	ctx := context.Background()
+	if err := conn.Send(ctx, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+	if _, err := conn.Recv(ctx); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after close: %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	// A port that is almost certainly closed.
+	if _, err := Dial(context.Background(), "tcp", "127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestTCPSendWithDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := Dial(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := conn.Send(ctx, []byte("with deadline")); err != nil {
+		t.Fatalf("send with deadline: %v", err)
+	}
+	server := NewTCP(<-accepted)
+	defer server.Close()
+	got, err := server.Recv(ctx)
+	if err != nil || string(got) != "with deadline" {
+		t.Fatalf("recv: %q, %v", got, err)
+	}
+}

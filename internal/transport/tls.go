@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// TLS support — the "Secure Communication" box of the paper's Figure 1.
+//
+// The cryptographic protocols assume an authenticated, confidential,
+// integrity-protected channel between the enterprises ("We assume the
+// use of standard libraries or packages for secure communication",
+// Section 2.1).  These helpers provide that channel over TLS: a
+// self-signed certificate generator for closed two-party deployments
+// (each side pins the other's certificate), a listener wrapper for the
+// server side and a dialer for the client side, both yielding the same
+// frame Conn the protocols run over.
+
+// GenerateSelfSignedCert creates an ECDSA P-256 certificate for the
+// given hosts (DNS names or IP addresses), valid for the given duration.
+// The peer pins it via CertPool (see NewTLSConfigs).
+func GenerateSelfSignedCert(hosts []string, validFor time.Duration) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("transport: generating key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("transport: generating serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{Organization: []string{"minshare enterprise"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(validFor),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("transport: creating certificate: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("transport: parsing certificate: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf}, nil
+}
+
+// PinnedPool builds a certificate pool containing exactly the given
+// certificates — the two-enterprise trust model: each side trusts the
+// other's self-signed certificate and nothing else.
+func PinnedPool(certs ...tls.Certificate) (*x509.CertPool, error) {
+	pool := x509.NewCertPool()
+	for i, c := range certs {
+		leaf := c.Leaf
+		if leaf == nil {
+			if len(c.Certificate) == 0 {
+				return nil, fmt.Errorf("transport: certificate %d has no data", i)
+			}
+			var err error
+			leaf, err = x509.ParseCertificate(c.Certificate[0])
+			if err != nil {
+				return nil, fmt.Errorf("transport: parsing certificate %d: %w", i, err)
+			}
+		}
+		pool.AddCert(leaf)
+	}
+	return pool, nil
+}
+
+// NewTLSListener wraps a plain listener with TLS using the server's
+// certificate; the optional clientPool enforces mutual TLS against
+// pinned client certificates.
+func NewTLSListener(ln net.Listener, cert tls.Certificate, clientPool *x509.CertPool) net.Listener {
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS13,
+	}
+	if clientPool != nil {
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+		cfg.ClientCAs = clientPool
+	}
+	return tls.NewListener(ln, cfg)
+}
+
+// DialTLS connects to a TLS-wrapped peer, verifying its certificate
+// against serverPool (which pins the peer's self-signed certificate).
+// clientCert, when non-zero, is presented for mutual TLS.
+func DialTLS(ctx context.Context, addr, serverName string, serverPool *x509.CertPool, clientCert *tls.Certificate) (Conn, error) {
+	cfg := &tls.Config{
+		RootCAs:    serverPool,
+		ServerName: serverName,
+		MinVersion: tls.VersionTLS13,
+	}
+	if clientCert != nil {
+		cfg.Certificates = []tls.Certificate{*clientCert}
+	}
+	d := &tls.Dialer{Config: cfg}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: TLS dial %s: %w", addr, err)
+	}
+	return NewTCP(nc), nil
+}

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"context"
+	"crypto/tls"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestTLSRoundTrip(t *testing.T) {
+	serverCert, err := GenerateSelfSignedCert([]string{"127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := PinnedPool(serverCert)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewTLSListener(raw, serverCert, nil)
+	defer ln.Close()
+
+	type srvOut struct {
+		got []byte
+		err error
+	}
+	ch := make(chan srvOut, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			ch <- srvOut{nil, err}
+			return
+		}
+		conn := NewTCP(nc)
+		defer conn.Close()
+		got, err := conn.Recv(context.Background())
+		if err == nil {
+			err = conn.Send(context.Background(), []byte("pong"))
+		}
+		ch <- srvOut{got, err}
+	}()
+
+	conn, err := DialTLS(context.Background(), ln.Addr().String(), "127.0.0.1", pool, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(context.Background(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := conn.Recv(context.Background())
+	if err != nil || string(reply) != "pong" {
+		t.Fatalf("reply %q, err %v", reply, err)
+	}
+	out := <-ch
+	if out.err != nil || string(out.got) != "ping" {
+		t.Fatalf("server got %q, err %v", out.got, out.err)
+	}
+}
+
+func TestTLSMutualAuth(t *testing.T) {
+	serverCert, err := GenerateSelfSignedCert([]string{"127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCert, err := GenerateSelfSignedCert([]string{"client"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverPool, _ := PinnedPool(serverCert)
+	clientPool, _ := PinnedPool(clientCert)
+
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewTLSListener(raw, serverCert, clientPool)
+	defer ln.Close()
+
+	srvErr := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		conn := NewTCP(nc)
+		defer conn.Close()
+		_, err = conn.Recv(context.Background())
+		srvErr <- err
+	}()
+
+	// Without a client certificate the handshake must fail.
+	conn, err := DialTLS(context.Background(), ln.Addr().String(), "127.0.0.1", serverPool, nil)
+	if err == nil {
+		// TLS 1.3 may defer the failure to the first IO.
+		err = conn.Send(context.Background(), []byte("x"))
+		if err == nil {
+			_, err = conn.Recv(context.Background())
+		}
+		conn.Close()
+	}
+	if err == nil {
+		t.Fatal("handshake without client certificate succeeded")
+	}
+	<-srvErr
+
+	// With the pinned client certificate it works.
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		conn := NewTCP(nc)
+		defer conn.Close()
+		_, err = conn.Recv(context.Background())
+		srvErr <- err
+	}()
+	conn, err = DialTLS(context.Background(), ln.Addr().String(), "127.0.0.1", serverPool, &clientCert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(context.Background(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("server with mutual auth: %v", err)
+	}
+}
+
+func TestTLSRejectsUnpinnedServer(t *testing.T) {
+	serverCert, _ := GenerateSelfSignedCert([]string{"127.0.0.1"}, time.Hour)
+	otherCert, _ := GenerateSelfSignedCert([]string{"127.0.0.1"}, time.Hour)
+	wrongPool, _ := PinnedPool(otherCert) // pins the WRONG certificate
+
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewTLSListener(raw, serverCert, nil)
+	defer ln.Close()
+	go func() {
+		if nc, err := ln.Accept(); err == nil {
+			nc.Close()
+		}
+	}()
+
+	if _, err := DialTLS(context.Background(), ln.Addr().String(), "127.0.0.1", wrongPool, nil); err == nil {
+		t.Fatal("connected to a server whose certificate is not pinned")
+	}
+}
+
+func TestPinnedPoolErrors(t *testing.T) {
+	if _, err := PinnedPool(tls.Certificate{}); err == nil {
+		t.Error("empty certificate accepted")
+	}
+	// A certificate without a parsed Leaf is re-parsed from DER.
+	c, err := GenerateSelfSignedCert([]string{"x"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Leaf = nil
+	if _, err := PinnedPool(c); err != nil {
+		t.Errorf("leafless certificate rejected: %v", err)
+	}
+}

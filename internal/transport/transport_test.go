@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testPairs(t *testing.T) map[string]func(t *testing.T) (Conn, Conn) {
+	t.Helper()
+	return map[string]func(t *testing.T) (Conn, Conn){
+		"pipe": func(t *testing.T) (Conn, Conn) {
+			return Pipe()
+		},
+		"tcp": func(t *testing.T) (Conn, Conn) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			type res struct {
+				c   net.Conn
+				err error
+			}
+			ch := make(chan res, 1)
+			go func() {
+				c, err := ln.Accept()
+				ch <- res{c, err}
+			}()
+			client, err := Dial(context.Background(), "tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := <-ch
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			return client, NewTCP(r.c)
+		},
+	}
+}
+
+func TestSendRecvAllTransports(t *testing.T) {
+	for name, mk := range testPairs(t) {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer a.Close()
+			defer b.Close()
+			ctx := context.Background()
+
+			frames := [][]byte{
+				[]byte("hello"),
+				{},
+				bytes.Repeat([]byte{0xAB}, 100_000),
+			}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, f := range frames {
+					if err := a.Send(ctx, f); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}()
+			for i, want := range frames {
+				got, err := b.Recv(ctx)
+				if err != nil {
+					t.Fatalf("recv %d: %v", i, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+				}
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	for name, mk := range testPairs(t) {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer a.Close()
+			defer b.Close()
+			ctx := context.Background()
+			if err := a.Send(ctx, []byte("ping")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Recv(ctx)
+			if err != nil || string(got) != "ping" {
+				t.Fatalf("got %q err %v", got, err)
+			}
+			if err := b.Send(ctx, []byte("pong")); err != nil {
+				t.Fatal(err)
+			}
+			got, err = a.Recv(ctx)
+			if err != nil || string(got) != "pong" {
+				t.Fatalf("got %q err %v", got, err)
+			}
+		})
+	}
+}
+
+func TestSenderBufferReuse(t *testing.T) {
+	// The pipe must copy: mutating the sent buffer afterwards must not
+	// affect the received frame.
+	a, b := Pipe()
+	defer a.Close()
+	ctx := context.Background()
+	buf := []byte("original")
+	if err := a.Send(ctx, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXXXXX")
+	got, err := b.Recv(ctx)
+	if err != nil || string(got) != "original" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestClosedPipe(t *testing.T) {
+	a, b := Pipe()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := b.Send(ctx, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send on closed pipe: %v", err)
+	}
+	if _, err := b.Recv(ctx); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv on closed pipe: %v", err)
+	}
+}
+
+func TestPipeDrainsQueuedAfterClose(t *testing.T) {
+	a, b := Pipe()
+	ctx := context.Background()
+	if err := a.Send(ctx, []byte("queued")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := b.Recv(ctx)
+	if err != nil || string(got) != "queued" {
+		t.Fatalf("queued frame lost after close: %q, %v", got, err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	a, _ := Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Recv(ctx); err == nil {
+		t.Error("recv ignored cancelled context")
+	}
+}
+
+func TestRecvTimeoutTCP(t *testing.T) {
+	pairs := testPairs(t)
+	a, b := pairs["tcp"](t)
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := a.Recv(ctx); err == nil {
+		t.Error("recv with no sender returned nil error")
+	}
+}
+
+func TestTCPRejectsHugeFrame(t *testing.T) {
+	// Write a corrupt length prefix directly to the socket; Recv must
+	// refuse to allocate.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB declared
+		time.Sleep(100 * time.Millisecond)
+	}()
+	conn, err := Dial(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Recv(context.Background()); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestSendRejectsHugeFrame(t *testing.T) {
+	// Can't allocate >1GiB in tests; validate via a fake oversized length
+	// by checking the guard directly with a length just over the limit is
+	// not feasible either, so assert the constant is wired by sending on
+	// a closed conn first (cheap path) and trusting MaxFrameLen coverage
+	// from the Recv side.
+	a, b := Pipe()
+	defer b.Close()
+	a.Close()
+	if err := a.Send(context.Background(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMeterCounts(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	ma := NewMeter(a)
+	mb := NewMeter(b)
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte{1}, 1000)
+	for i := 0; i < 3; i++ {
+		if err := ma.Send(ctx, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mb.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ma.FramesSent() != 3 || ma.BytesSent() != 3000 {
+		t.Errorf("sender counters: %d frames, %d bytes", ma.FramesSent(), ma.BytesSent())
+	}
+	if mb.FramesRecv() != 3 || mb.BytesRecv() != 3000 {
+		t.Errorf("receiver counters: %d frames, %d bytes", mb.FramesRecv(), mb.BytesRecv())
+	}
+	if mb.TotalBytes() != 3000 {
+		t.Errorf("TotalBytes = %d", mb.TotalBytes())
+	}
+	ma.Reset()
+	if ma.FramesSent() != 0 || ma.BytesSent() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestMeterDoesNotCountFailedSend(t *testing.T) {
+	a, _ := Pipe()
+	a.Close()
+	m := NewMeter(a)
+	_ = m.Send(context.Background(), []byte("x"))
+	if m.FramesSent() != 0 {
+		t.Error("failed send was counted")
+	}
+}
+
+func TestLinkModelT1(t *testing.T) {
+	// Paper §6.2: 3 Gbit on a T1 ≈ 35 minutes ("≈ 5 Gbits/hour").
+	d := T1.TransferTimeBits(3e9)
+	if d < 30*time.Minute || d > 36*time.Minute {
+		t.Errorf("3 Gbit over T1 = %v, want ≈ 32-33 min (paper rounds to 35)", d)
+	}
+	// 8 Gbit ≈ 1.5 hours.
+	d = T1.TransferTimeBits(8e9)
+	if d < 80*time.Minute || d > 100*time.Minute {
+		t.Errorf("8 Gbit over T1 = %v, want ≈ 1.5 h", d)
+	}
+	// Byte-count form agrees with bit form.
+	if T1.TransferTime(1000) != T1.TransferTimeBits(8000) {
+		t.Error("TransferTime and TransferTimeBits disagree")
+	}
+	var dead LinkModel
+	if dead.TransferTime(100) != 0 || dead.TransferTimeBits(100) != 0 {
+		t.Error("zero-bandwidth link should yield 0")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("fail send", func(t *testing.T) {
+		a, _ := Pipe()
+		f := NewFault(a)
+		f.FailSendAt = 2
+		if err := f.Send(ctx, []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Send(ctx, []byte("2")); !errors.Is(err, ErrInjected) {
+			t.Errorf("second send: %v", err)
+		}
+	})
+
+	t.Run("fail recv", func(t *testing.T) {
+		a, b := Pipe()
+		f := NewFault(b)
+		f.FailRecvAt = 1
+		_ = a.Send(ctx, []byte("x"))
+		if _, err := f.Recv(ctx); !errors.Is(err, ErrInjected) {
+			t.Errorf("recv: %v", err)
+		}
+	})
+
+	t.Run("corrupt recv", func(t *testing.T) {
+		a, b := Pipe()
+		f := NewFault(b)
+		f.CorruptRecvAt = 1
+		_ = a.Send(ctx, []byte("hello world"))
+		got, err := f.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, []byte("hello world")) {
+			t.Error("frame was not corrupted")
+		}
+	})
+
+	t.Run("truncate recv", func(t *testing.T) {
+		a, b := Pipe()
+		f := NewFault(b)
+		f.TruncateRecvAt = 1
+		_ = a.Send(ctx, []byte("hello world"))
+		got, err := f.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len("hello world")/2 {
+			t.Errorf("got %d bytes", len(got))
+		}
+	})
+
+	t.Run("close passthrough", func(t *testing.T) {
+		a, _ := Pipe()
+		f := NewFault(a)
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

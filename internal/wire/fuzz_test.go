@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"math/big"
+	"testing"
+
+	"minshare/internal/group"
+)
+
+// FuzzDecode hammers the codec with arbitrary bytes: it must never
+// panic, and everything it accepts must re-encode to an equivalent
+// message.  Run with `go test -fuzz FuzzDecode ./internal/wire` for a
+// real campaign; seeds alone run in normal `go test`.
+func FuzzDecode(f *testing.F) {
+	g := group.TestGroup()
+	codec := NewCodec(g)
+
+	// Seeds: one valid message of each kind plus corrupted variants.
+	x, _ := g.RandomElement(nil)
+	y, _ := g.RandomElement(nil)
+	for _, m := range []Message{
+		Header{Protocol: ProtoIntersection, GroupBits: 256, GroupDigest: GroupDigest(g), SetSize: 7},
+		Elements{Elems: []*big.Int{x, y}},
+		Pairs{A: []*big.Int{x}, B: []*big.Int{y}},
+		Triples{A: []*big.Int{x}, B: []*big.Int{y}, C: []*big.Int{x}},
+		ExtPairs{Elem: []*big.Int{x}, Ext: [][]byte{[]byte("payload")}},
+		ErrorMsg{Text: "boom"},
+	} {
+		data, err := codec.Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		if len(data) > 2 {
+			corrupt := append([]byte(nil), data...)
+			corrupt[len(corrupt)/2] ^= 0xFF
+			f.Add(corrupt)
+			f.Add(corrupt[:len(corrupt)-1])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := codec.Decode(data)
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted messages must re-encode without error.
+		out, err := codec.Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		back, err := codec.Decode(out)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if back.Kind() != m.Kind() {
+			t.Fatalf("kind drifted: %v -> %v", m.Kind(), back.Kind())
+		}
+	})
+}

@@ -1,0 +1,402 @@
+// Package wire defines the message vocabulary and binary codec for the
+// paper's protocols.
+//
+// Every protocol in Sections 3-5 exchanges only a handful of message
+// shapes: vectors of group elements (encrypted sets, reordered
+// lexicographically), vectors of element pairs ⟨y, f_eS(y)⟩, vectors of
+// element triples ⟨y, f_eS(y), f_e'S(y)⟩, and vectors of
+// ⟨element, opaque-ciphertext⟩ pairs carrying the encrypted ext(v)
+// payloads of the equijoin.  A session-opening header pins down the
+// protocol, the group, and the announced set size (the paper's permitted
+// additional information I = {|V_S|, |V_R|}).
+//
+// The encoding is deterministic and fixed-width: each group element
+// occupies exactly ElementLen bytes big-endian, so a message's byte count
+// is an exact function of the counts the paper's Section 6.1
+// communication analysis predicts.  Tests rely on this to verify the
+// k-bit-per-codeword accounting literally.
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"minshare/internal/group"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindInvalid  Kind = iota
+	KindHeader        // session header: protocol, group digest, set size
+	KindElements      // vector of group elements
+	KindPairs         // vector of ⟨a, b⟩ element pairs
+	KindTriples       // vector of ⟨a, b, c⟩ element triples
+	KindExtPairs      // vector of ⟨element, ciphertext⟩ pairs
+	KindError         // fatal peer error
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHeader:
+		return "header"
+	case KindElements:
+		return "elements"
+	case KindPairs:
+		return "pairs"
+	case KindTriples:
+		return "triples"
+	case KindExtPairs:
+		return "extpairs"
+	case KindError:
+		return "error"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Protocol identifies which of the paper's protocols a session runs.
+type Protocol uint8
+
+// Protocols, in paper order.
+const (
+	ProtoInvalid          Protocol = iota
+	ProtoIntersection              // Section 3.3
+	ProtoEquijoin                  // Section 4.3
+	ProtoIntersectionSize          // Section 5.1.1
+	ProtoEquijoinSize              // Section 5.2
+	ProtoNaiveHash                 // Section 3.1 (insecure baseline)
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoIntersection:
+		return "intersection"
+	case ProtoEquijoin:
+		return "equijoin"
+	case ProtoIntersectionSize:
+		return "intersection-size"
+	case ProtoEquijoinSize:
+		return "equijoin-size"
+	case ProtoNaiveHash:
+		return "naive-hash"
+	default:
+		return fmt.Sprintf("protocol(%d)", uint8(p))
+	}
+}
+
+// Codec limits and errors.
+var (
+	// ErrTruncated reports a message shorter than its declared contents.
+	ErrTruncated = errors.New("wire: truncated message")
+	// ErrTrailing reports unexpected bytes after a complete message.
+	ErrTrailing = errors.New("wire: trailing garbage")
+	// ErrBadKind reports an unknown message kind byte.
+	ErrBadKind = errors.New("wire: unknown message kind")
+	// ErrTooLarge reports a declared count above MaxVectorLen.
+	ErrTooLarge = errors.New("wire: vector too large")
+	// ErrKindMismatch reports receiving a different kind than expected.
+	ErrKindMismatch = errors.New("wire: unexpected message kind")
+)
+
+// MaxVectorLen bounds declared element counts so that a corrupt or
+// malicious length prefix cannot trigger a huge allocation.
+const MaxVectorLen = 1 << 24
+
+// Message is any protocol message.
+type Message interface {
+	Kind() Kind
+}
+
+// Header opens a session in both directions.
+type Header struct {
+	Protocol    Protocol
+	GroupBits   uint32
+	GroupDigest [32]byte // SHA-256 of the modulus bytes
+	SetSize     uint64   // announced |V| — part of the revealed info I
+}
+
+// Kind implements Message.
+func (Header) Kind() Kind { return KindHeader }
+
+// Elements is a vector of group elements.
+type Elements struct {
+	Elems []*big.Int
+}
+
+// Kind implements Message.
+func (Elements) Kind() Kind { return KindElements }
+
+// Pairs is a vector of element pairs ⟨A[i], B[i]⟩.
+type Pairs struct {
+	A, B []*big.Int
+}
+
+// Kind implements Message.
+func (Pairs) Kind() Kind { return KindPairs }
+
+// Triples is a vector of element triples ⟨A[i], B[i], C[i]⟩.
+type Triples struct {
+	A, B, C []*big.Int
+}
+
+// Kind implements Message.
+func (Triples) Kind() Kind { return KindTriples }
+
+// ExtPairs is a vector of ⟨element, ciphertext⟩ pairs: the equijoin's
+// ⟨f_eS(h(v)), K(κ(v), ext(v))⟩ messages.
+type ExtPairs struct {
+	Elem []*big.Int
+	Ext  [][]byte
+}
+
+// Kind implements Message.
+func (ExtPairs) Kind() Kind { return KindExtPairs }
+
+// ErrorMsg carries a fatal error to the peer before closing.
+type ErrorMsg struct {
+	Text string
+}
+
+// Kind implements Message.
+func (ErrorMsg) Kind() Kind { return KindError }
+
+// GroupDigest derives the header digest identifying a group's modulus.
+func GroupDigest(g *group.Group) [32]byte {
+	return sha256.Sum256(g.P().Bytes())
+}
+
+// Codec encodes and decodes messages for a fixed group.  The element
+// width is pinned at construction so both peers agree byte-for-byte.
+type Codec struct {
+	elemLen int
+}
+
+// NewCodec returns a codec whose group elements occupy g.ElementLen()
+// bytes each.
+func NewCodec(g *group.Group) *Codec {
+	return &Codec{elemLen: g.ElementLen()}
+}
+
+// ElemLen returns the fixed element width in bytes (k/8 in the paper's
+// communication formulas).
+func (c *Codec) ElemLen() int { return c.elemLen }
+
+func (c *Codec) putElem(buf []byte, x *big.Int) []byte {
+	b := x.Bytes()
+	pad := c.elemLen - len(b)
+	if pad < 0 {
+		// Element wider than the group modulus: caller bug.
+		panic(fmt.Sprintf("wire: element of %d bytes exceeds width %d", len(b), c.elemLen))
+	}
+	buf = append(buf, make([]byte, pad)...)
+	return append(buf, b...)
+}
+
+func (c *Codec) getElem(buf []byte) (*big.Int, []byte, error) {
+	if len(buf) < c.elemLen {
+		return nil, nil, ErrTruncated
+	}
+	return new(big.Int).SetBytes(buf[:c.elemLen]), buf[c.elemLen:], nil
+}
+
+func putCount(buf []byte, n int) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(n))
+	return append(buf, b[:]...)
+}
+
+func getCount(buf []byte) (int, []byte, error) {
+	if len(buf) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if n > MaxVectorLen {
+		return 0, nil, fmt.Errorf("%w: %d elements", ErrTooLarge, n)
+	}
+	return int(n), buf[4:], nil
+}
+
+// Encode serializes a message as kind byte + body.
+func (c *Codec) Encode(m Message) ([]byte, error) {
+	buf := []byte{byte(m.Kind())}
+	switch v := m.(type) {
+	case Header:
+		buf = append(buf, byte(v.Protocol))
+		var b4 [4]byte
+		binary.BigEndian.PutUint32(b4[:], v.GroupBits)
+		buf = append(buf, b4[:]...)
+		buf = append(buf, v.GroupDigest[:]...)
+		var b8 [8]byte
+		binary.BigEndian.PutUint64(b8[:], v.SetSize)
+		buf = append(buf, b8[:]...)
+	case Elements:
+		buf = putCount(buf, len(v.Elems))
+		for _, e := range v.Elems {
+			buf = c.putElem(buf, e)
+		}
+	case Pairs:
+		if len(v.A) != len(v.B) {
+			return nil, fmt.Errorf("wire: pair vector length mismatch %d != %d", len(v.A), len(v.B))
+		}
+		buf = putCount(buf, len(v.A))
+		for i := range v.A {
+			buf = c.putElem(buf, v.A[i])
+			buf = c.putElem(buf, v.B[i])
+		}
+	case Triples:
+		if len(v.A) != len(v.B) || len(v.B) != len(v.C) {
+			return nil, fmt.Errorf("wire: triple vector length mismatch %d/%d/%d", len(v.A), len(v.B), len(v.C))
+		}
+		buf = putCount(buf, len(v.A))
+		for i := range v.A {
+			buf = c.putElem(buf, v.A[i])
+			buf = c.putElem(buf, v.B[i])
+			buf = c.putElem(buf, v.C[i])
+		}
+	case ExtPairs:
+		if len(v.Elem) != len(v.Ext) {
+			return nil, fmt.Errorf("wire: extpair vector length mismatch %d != %d", len(v.Elem), len(v.Ext))
+		}
+		buf = putCount(buf, len(v.Elem))
+		for i := range v.Elem {
+			buf = c.putElem(buf, v.Elem[i])
+			buf = putCount(buf, len(v.Ext[i]))
+			buf = append(buf, v.Ext[i]...)
+		}
+	case ErrorMsg:
+		buf = putCount(buf, len(v.Text))
+		buf = append(buf, v.Text...)
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T", m)
+	}
+	return buf, nil
+}
+
+// Decode parses a serialized message, rejecting truncation, trailing
+// bytes, and oversized counts.
+func (c *Codec) Decode(data []byte) (Message, error) {
+	if len(data) == 0 {
+		return nil, ErrTruncated
+	}
+	kind := Kind(data[0])
+	buf := data[1:]
+	switch kind {
+	case KindHeader:
+		if len(buf) != 1+4+32+8 {
+			return nil, fmt.Errorf("%w: header of %d bytes", ErrTruncated, len(buf))
+		}
+		var h Header
+		h.Protocol = Protocol(buf[0])
+		h.GroupBits = binary.BigEndian.Uint32(buf[1:5])
+		copy(h.GroupDigest[:], buf[5:37])
+		h.SetSize = binary.BigEndian.Uint64(buf[37:45])
+		return h, nil
+	case KindElements:
+		n, buf, err := getCount(buf)
+		if err != nil {
+			return nil, err
+		}
+		v := Elements{Elems: make([]*big.Int, n)}
+		for i := 0; i < n; i++ {
+			if v.Elems[i], buf, err = c.getElem(buf); err != nil {
+				return nil, err
+			}
+		}
+		if err := trailing(buf); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case KindPairs:
+		n, buf, err := getCount(buf)
+		if err != nil {
+			return nil, err
+		}
+		v := Pairs{A: make([]*big.Int, n), B: make([]*big.Int, n)}
+		for i := 0; i < n; i++ {
+			if v.A[i], buf, err = c.getElem(buf); err != nil {
+				return nil, err
+			}
+			if v.B[i], buf, err = c.getElem(buf); err != nil {
+				return nil, err
+			}
+		}
+		if err := trailing(buf); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case KindTriples:
+		n, buf, err := getCount(buf)
+		if err != nil {
+			return nil, err
+		}
+		v := Triples{A: make([]*big.Int, n), B: make([]*big.Int, n), C: make([]*big.Int, n)}
+		for i := 0; i < n; i++ {
+			if v.A[i], buf, err = c.getElem(buf); err != nil {
+				return nil, err
+			}
+			if v.B[i], buf, err = c.getElem(buf); err != nil {
+				return nil, err
+			}
+			if v.C[i], buf, err = c.getElem(buf); err != nil {
+				return nil, err
+			}
+		}
+		if err := trailing(buf); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case KindExtPairs:
+		n, buf, err := getCount(buf)
+		if err != nil {
+			return nil, err
+		}
+		v := ExtPairs{Elem: make([]*big.Int, n), Ext: make([][]byte, n)}
+		for i := 0; i < n; i++ {
+			if v.Elem[i], buf, err = c.getElem(buf); err != nil {
+				return nil, err
+			}
+			var l int
+			if l, buf, err = getCount(buf); err != nil {
+				return nil, err
+			}
+			if len(buf) < l {
+				return nil, ErrTruncated
+			}
+			v.Ext[i] = append([]byte(nil), buf[:l]...)
+			buf = buf[l:]
+		}
+		if err := trailing(buf); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case KindError:
+		l, buf, err := getCount(buf)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) < l {
+			return nil, ErrTruncated
+		}
+		if err := trailing(buf[l:]); err != nil {
+			return nil, err
+		}
+		return ErrorMsg{Text: string(buf[:l])}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+}
+
+func trailing(buf []byte) error {
+	if len(buf) != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(buf))
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minshare/internal/group"
+)
+
+func testCodec() (*Codec, *group.Group) {
+	g := group.TestGroup()
+	return NewCodec(g), g
+}
+
+func randElems(t testing.TB, g *group.Group, n int, seed int64) []*big.Int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*big.Int, n)
+	for i := range out {
+		var err error
+		out[i], err = g.RandomElement(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, c *Codec, m Message) Message {
+	t.Helper()
+	data, err := c.Encode(m)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", m.Kind(), err)
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", m.Kind(), err)
+	}
+	if got.Kind() != m.Kind() {
+		t.Fatalf("kind changed: %v -> %v", m.Kind(), got.Kind())
+	}
+	return got
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	c, g := testCodec()
+	h := Header{
+		Protocol:    ProtoEquijoin,
+		GroupBits:   uint32(g.Bits()),
+		GroupDigest: GroupDigest(g),
+		SetSize:     123456789,
+	}
+	got := roundTrip(t, c, h).(Header)
+	if got != h {
+		t.Errorf("header round trip: got %+v, want %+v", got, h)
+	}
+}
+
+func TestElementsRoundTrip(t *testing.T) {
+	c, g := testCodec()
+	for _, n := range []int{0, 1, 7, 100} {
+		want := randElems(t, g, n, int64(n))
+		got := roundTrip(t, c, Elements{Elems: want}).(Elements)
+		if len(got.Elems) != n {
+			t.Fatalf("n=%d: got %d elements", n, len(got.Elems))
+		}
+		for i := range want {
+			if got.Elems[i].Cmp(want[i]) != 0 {
+				t.Fatalf("n=%d: element %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestElementsFixedWidth(t *testing.T) {
+	// Small elements must be zero-padded: a vector of n elements is
+	// exactly 1 + 4 + n*ElemLen bytes, the paper's n·k bits.
+	c, _ := testCodec()
+	small := []*big.Int{big.NewInt(4), big.NewInt(9)}
+	data, err := c.Encode(Elements{Elems: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 4 + 2*c.ElemLen(); len(data) != want {
+		t.Errorf("encoded %d bytes, want %d", len(data), want)
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Elements).Elems[0].Int64() != 4 || got.(Elements).Elems[1].Int64() != 9 {
+		t.Error("small elements corrupted by padding")
+	}
+}
+
+func TestPairsRoundTrip(t *testing.T) {
+	c, g := testCodec()
+	a := randElems(t, g, 5, 10)
+	b := randElems(t, g, 5, 11)
+	got := roundTrip(t, c, Pairs{A: a, B: b}).(Pairs)
+	for i := range a {
+		if got.A[i].Cmp(a[i]) != 0 || got.B[i].Cmp(b[i]) != 0 {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}
+
+func TestTriplesRoundTrip(t *testing.T) {
+	c, g := testCodec()
+	a := randElems(t, g, 4, 20)
+	b := randElems(t, g, 4, 21)
+	cc := randElems(t, g, 4, 22)
+	got := roundTrip(t, c, Triples{A: a, B: b, C: cc}).(Triples)
+	for i := range a {
+		if got.A[i].Cmp(a[i]) != 0 || got.B[i].Cmp(b[i]) != 0 || got.C[i].Cmp(cc[i]) != 0 {
+			t.Fatalf("triple %d mismatch", i)
+		}
+	}
+}
+
+func TestExtPairsRoundTrip(t *testing.T) {
+	c, g := testCodec()
+	elems := randElems(t, g, 3, 30)
+	exts := [][]byte{[]byte("alpha"), {}, []byte("a longer ext(v) record payload")}
+	got := roundTrip(t, c, ExtPairs{Elem: elems, Ext: exts}).(ExtPairs)
+	for i := range elems {
+		if got.Elem[i].Cmp(elems[i]) != 0 {
+			t.Fatalf("extpair elem %d mismatch", i)
+		}
+		if string(got.Ext[i]) != string(exts[i]) {
+			t.Fatalf("extpair ext %d mismatch", i)
+		}
+	}
+}
+
+func TestErrorMsgRoundTrip(t *testing.T) {
+	c, _ := testCodec()
+	got := roundTrip(t, c, ErrorMsg{Text: "peer failure: group mismatch"}).(ErrorMsg)
+	if got.Text != "peer failure: group mismatch" {
+		t.Errorf("text = %q", got.Text)
+	}
+}
+
+func TestLengthMismatches(t *testing.T) {
+	c, g := testCodec()
+	a := randElems(t, g, 2, 40)
+	b := randElems(t, g, 3, 41)
+	if _, err := c.Encode(Pairs{A: a, B: b}); err == nil {
+		t.Error("mismatched Pairs accepted")
+	}
+	if _, err := c.Encode(Triples{A: a, B: a, C: b}); err == nil {
+		t.Error("mismatched Triples accepted")
+	}
+	if _, err := c.Encode(ExtPairs{Elem: a, Ext: [][]byte{{1}}}); err == nil {
+		t.Error("mismatched ExtPairs accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	c, g := testCodec()
+	valid, err := c.Encode(Elements{Elems: randElems(t, g, 3, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad kind", []byte{0xEE, 0, 0, 0, 0}, ErrBadKind},
+		{"truncated body", valid[:len(valid)-5], ErrTruncated},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0x00), ErrTrailing},
+		{"short header", []byte{byte(KindHeader), 1, 2}, ErrTruncated},
+		{"truncated count", []byte{byte(KindElements), 0, 0}, ErrTruncated},
+	}
+	for _, tc := range cases {
+		if _, err := c.Decode(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeCount(t *testing.T) {
+	c, _ := testCodec()
+	data := []byte{byte(KindElements), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := c.Decode(data); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeExtPairTruncatedExt(t *testing.T) {
+	c, g := testCodec()
+	data, err := c.Encode(ExtPairs{Elem: randElems(t, g, 1, 60), Ext: [][]byte{[]byte("hello")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(data[:len(data)-2]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	c, _ := testCodec()
+	f := func(data []byte) bool {
+		_, _ = c.Decode(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindAndProtocolStrings(t *testing.T) {
+	kinds := []Kind{KindHeader, KindElements, KindPairs, KindTriples, KindExtPairs, KindError, Kind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("Kind(%d).String() empty", k)
+		}
+	}
+	protos := []Protocol{ProtoIntersection, ProtoEquijoin, ProtoIntersectionSize, ProtoEquijoinSize, ProtoNaiveHash, Protocol(99)}
+	for _, p := range protos {
+		if p.String() == "" {
+			t.Errorf("Protocol(%d).String() empty", p)
+		}
+	}
+}
+
+func TestGroupDigestDistinguishesGroups(t *testing.T) {
+	a := GroupDigest(group.MustBuiltin(group.Bits256))
+	b := GroupDigest(group.MustBuiltin(group.Bits512))
+	if a == b {
+		t.Error("distinct groups share a digest")
+	}
+}

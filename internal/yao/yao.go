@@ -1,0 +1,382 @@
+// Package yao runs the complete Appendix A baseline end to end: a
+// two-party private set intersection built from the boolean circuit
+// (package circuit), garbling (package garble) and oblivious transfer
+// (package ot), over the same transport the main protocols use.
+//
+// The protocol is the semi-honest variant the appendix describes:
+//
+//	Coding R's input:  for each bit of R's values, R engages with S in
+//	                   a 1-out-of-2 oblivious transfer and receives the
+//	                   wire label for that bit.
+//	Computing the circuit: S garbles the brute-force intersection
+//	                   circuit with its own input labels fixed
+//	                   ("hardwired"), ships the tables, and R evaluates
+//	                   gate by gate.
+//
+// The output — one bit per R value, telling whether it appears in S's
+// set — goes to R, mirroring the receiver role of the main protocols.
+// Running this for small n and metering it validates the appendix's
+// claim empirically: the circuit approach's communication (tables +
+// OTs) dwarfs the commutative-encryption protocol's.
+package yao
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"minshare/internal/circuit"
+	"minshare/internal/garble"
+	"minshare/internal/group"
+	"minshare/internal/ot"
+	"minshare/internal/transport"
+)
+
+// Config parameterizes a Yao PSI session.
+type Config struct {
+	// Group hosts the oblivious transfers; defaults to group.TestGroup()
+	// — OT security needs far fewer bits than the PSI protocols' C_e
+	// costs, and Appendix A's k1 = 100-bit keys point at a small group.
+	Group *group.Group
+	// Width is the bit width w of the set values (the paper uses w=32).
+	Width int
+	// Rand is the randomness source (nil = crypto/rand).
+	Rand io.Reader
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.Group == nil {
+		c.Group = group.TestGroup()
+	}
+	if c.Width <= 0 || c.Width > 64 {
+		return c, fmt.Errorf("yao: width %d out of range [1,64]", c.Width)
+	}
+	return c, nil
+}
+
+// Result is what the evaluator (party R) learns.
+type Result struct {
+	// Members[i] tells whether values[i] occurs in the garbler's set.
+	Members []bool
+	// Gates and TableBytes report the circuit size actually shipped —
+	// the quantities Appendix A's tables bound.
+	Gates      int
+	TableBytes int
+}
+
+// ErrBadFrame reports a malformed peer message.
+var ErrBadFrame = errors.New("yao: malformed frame")
+
+// RunGarbler executes party S: build the brute-force intersection
+// circuit over both set sizes, garble it, ship tables + own labels, and
+// answer one batched OT round for R's input labels.
+func RunGarbler(ctx context.Context, cfg Config, conn transport.Conn, values []uint64) error {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return err
+	}
+	w := cfg.Width
+	if err := checkValues(values, w); err != nil {
+		return err
+	}
+
+	// Parameter exchange: R announces nR, S answers (nS, w).
+	frame, err := conn.Recv(ctx)
+	if err != nil {
+		return fmt.Errorf("yao: receiving params: %w", err)
+	}
+	if len(frame) != 8 {
+		return fmt.Errorf("%w: params frame of %d bytes", ErrBadFrame, len(frame))
+	}
+	nR := int(binary.BigEndian.Uint64(frame))
+	const maxSet = 1 << 16
+	if nR < 0 || nR > maxSet {
+		return fmt.Errorf("%w: nR = %d", ErrBadFrame, nR)
+	}
+	var params [16]byte
+	binary.BigEndian.PutUint64(params[:8], uint64(len(values)))
+	binary.BigEndian.PutUint64(params[8:], uint64(w))
+	if err := conn.Send(ctx, params[:]); err != nil {
+		return fmt.Errorf("yao: sending params: %w", err)
+	}
+
+	// Build and garble the circuit; hardwire S's input bits.
+	c := circuit.BruteForceIntersection(w, len(values), nR)
+	gc, err := garble.Garble(c, cfg.Rand)
+	if err != nil {
+		return err
+	}
+	gBits := circuit.FlattenValues(values, w)
+	gLabels, err := gc.GarblerInputLabeled(gBits)
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(ctx, encodeGarbled(gc, gLabels)); err != nil {
+		return fmt.Errorf("yao: sending garbled circuit: %w", err)
+	}
+
+	// OT setup: publish C.
+	sender, err := ot.NewSender(cfg.Group, cfg.Rand)
+	if err != nil {
+		return err
+	}
+	elemLen := cfg.Group.ElementLen()
+	if err := conn.Send(ctx, fixed(sender.PublicC(), elemLen)); err != nil {
+		return fmt.Errorf("yao: sending OT setup: %w", err)
+	}
+
+	// Batched OT round: receive all PK0s, answer all ciphertext pairs.
+	frame, err = conn.Recv(ctx)
+	if err != nil {
+		return fmt.Errorf("yao: receiving PK0 batch: %w", err)
+	}
+	wantBits := nR * w
+	if len(frame) != wantBits*elemLen {
+		return fmt.Errorf("%w: PK0 batch of %d bytes, want %d", ErrBadFrame, len(frame), wantBits*elemLen)
+	}
+	reply := make([]byte, 0, wantBits*(2*elemLen+2*(garble.LabelLen+1)))
+	for i := 0; i < wantBits; i++ {
+		pk0 := new(big.Int).SetBytes(frame[i*elemLen : (i+1)*elemLen])
+		fLab, tLab, err := gc.EvaluatorInputLabeled(i)
+		if err != nil {
+			return err
+		}
+		ct, err := sender.Transfer(pk0, labeledBytes(fLab), labeledBytes(tLab))
+		if err != nil {
+			return fmt.Errorf("yao: OT %d: %w", i, err)
+		}
+		reply = append(reply, fixed(ct.G0, elemLen)...)
+		reply = append(reply, ct.E0...)
+		reply = append(reply, fixed(ct.G1, elemLen)...)
+		reply = append(reply, ct.E1...)
+	}
+	if err := conn.Send(ctx, reply); err != nil {
+		return fmt.Errorf("yao: sending OT ciphertexts: %w", err)
+	}
+	return nil
+}
+
+// RunEvaluator executes party R: announce nR, receive the garbled
+// circuit, fetch own input labels via batched OT, evaluate, decode.
+func RunEvaluator(ctx context.Context, cfg Config, conn transport.Conn, values []uint64) (*Result, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.Width
+	if err := checkValues(values, w); err != nil {
+		return nil, err
+	}
+
+	var nrFrame [8]byte
+	binary.BigEndian.PutUint64(nrFrame[:], uint64(len(values)))
+	if err := conn.Send(ctx, nrFrame[:]); err != nil {
+		return nil, fmt.Errorf("yao: sending params: %w", err)
+	}
+	frame, err := conn.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("yao: receiving params: %w", err)
+	}
+	if len(frame) != 16 {
+		return nil, fmt.Errorf("%w: params frame of %d bytes", ErrBadFrame, len(frame))
+	}
+	nS := int(binary.BigEndian.Uint64(frame[:8]))
+	peerW := int(binary.BigEndian.Uint64(frame[8:]))
+	if peerW != w {
+		return nil, fmt.Errorf("yao: width mismatch: peer %d, local %d", peerW, w)
+	}
+	const maxSet = 1 << 16
+	if nS < 0 || nS > maxSet {
+		return nil, fmt.Errorf("%w: nS = %d", ErrBadFrame, nS)
+	}
+
+	// Rebuild the (public) circuit shape and receive tables + S labels.
+	c := circuit.BruteForceIntersection(w, nS, len(values))
+	frame, err = conn.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("yao: receiving garbled circuit: %w", err)
+	}
+	tables, outPerms, gLabels, err := decodeGarbled(frame, c)
+	if err != nil {
+		return nil, err
+	}
+
+	// OT setup.
+	elemLen := cfg.Group.ElementLen()
+	frame, err = conn.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("yao: receiving OT setup: %w", err)
+	}
+	if len(frame) != elemLen {
+		return nil, fmt.Errorf("%w: OT setup of %d bytes", ErrBadFrame, len(frame))
+	}
+	receiver, err := ot.NewReceiver(cfg.Group, new(big.Int).SetBytes(frame), cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+
+	// Batched OT: one choice per input bit.
+	eBits := circuit.FlattenValues(values, w)
+	choices := make([]*ot.Choice, len(eBits))
+	pk0s := make([]byte, 0, len(eBits)*elemLen)
+	for i, bit := range eBits {
+		ch, err := receiver.Choose(bit)
+		if err != nil {
+			return nil, fmt.Errorf("yao: OT choose %d: %w", i, err)
+		}
+		choices[i] = ch
+		pk0s = append(pk0s, fixed(ch.PK0, elemLen)...)
+	}
+	if err := conn.Send(ctx, pk0s); err != nil {
+		return nil, fmt.Errorf("yao: sending PK0 batch: %w", err)
+	}
+	frame, err = conn.Recv(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("yao: receiving OT ciphertexts: %w", err)
+	}
+	const msgLen = garble.LabelLen + 1
+	per := 2*elemLen + 2*msgLen
+	if len(frame) != len(eBits)*per {
+		return nil, fmt.Errorf("%w: OT ciphertext batch of %d bytes, want %d", ErrBadFrame, len(frame), len(eBits)*per)
+	}
+	eLabels := make([]garble.LabeledInput, len(eBits))
+	for i := range eBits {
+		chunk := frame[i*per : (i+1)*per]
+		ct := &ot.Ciphertexts{
+			G0: new(big.Int).SetBytes(chunk[:elemLen]),
+			E0: chunk[elemLen : elemLen+msgLen],
+			G1: new(big.Int).SetBytes(chunk[elemLen+msgLen : 2*elemLen+msgLen]),
+			E1: chunk[2*elemLen+msgLen:],
+		}
+		opened, err := receiver.Open(choices[i], ct)
+		if err != nil {
+			return nil, fmt.Errorf("yao: OT open %d: %w", i, err)
+		}
+		eLabels[i], err = bytesLabeled(opened)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	members, err := garble.Evaluate(c, tables, outPerms, gLabels, eLabels)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Members:    members,
+		Gates:      c.NumGates(),
+		TableBytes: len(tables) * 4 * msgLen,
+	}, nil
+}
+
+func checkValues(values []uint64, w int) error {
+	if w < 64 {
+		limit := uint64(1) << w
+		for i, v := range values {
+			if v >= limit {
+				return fmt.Errorf("yao: value %d (%d) exceeds %d bits", i, v, w)
+			}
+		}
+	}
+	return nil
+}
+
+func fixed(x *big.Int, n int) []byte {
+	b := x.Bytes()
+	out := make([]byte, n)
+	copy(out[n-len(b):], b)
+	return out
+}
+
+func labeledBytes(l garble.LabeledInput) []byte {
+	out := make([]byte, garble.LabelLen+1)
+	copy(out, l.Label[:])
+	if l.Color {
+		out[garble.LabelLen] = 1
+	}
+	return out
+}
+
+func bytesLabeled(b []byte) (garble.LabeledInput, error) {
+	var l garble.LabeledInput
+	if len(b) != garble.LabelLen+1 {
+		return l, fmt.Errorf("%w: label of %d bytes", ErrBadFrame, len(b))
+	}
+	copy(l.Label[:], b[:garble.LabelLen])
+	l.Color = b[garble.LabelLen] == 1
+	return l, nil
+}
+
+// encodeGarbled flattens tables, output permutes and the garbler's
+// labeled inputs into one frame.
+func encodeGarbled(gc *garble.Garbled, gLabels []garble.LabeledInput) []byte {
+	const msgLen = garble.LabelLen + 1
+	out := make([]byte, 0, len(gc.Tables)*4*msgLen+len(gc.OutputPermutes)+len(gLabels)*msgLen+12)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(gc.Tables)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(gc.OutputPermutes)))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(gLabels)))
+	out = append(out, hdr[:]...)
+	for _, tb := range gc.Tables {
+		for _, row := range tb.Rows {
+			out = append(out, row[:]...)
+		}
+	}
+	for _, p := range gc.OutputPermutes {
+		if p {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	for _, l := range gLabels {
+		out = append(out, labeledBytes(l)...)
+	}
+	return out
+}
+
+// decodeGarbled parses encodeGarbled's frame against the expected
+// circuit shape.
+func decodeGarbled(frame []byte, c *circuit.Circuit) ([]garble.Table, []bool, []garble.LabeledInput, error) {
+	const msgLen = garble.LabelLen + 1
+	if len(frame) < 12 {
+		return nil, nil, nil, fmt.Errorf("%w: garbled frame too short", ErrBadFrame)
+	}
+	nTables := int(binary.BigEndian.Uint32(frame[0:4]))
+	nOut := int(binary.BigEndian.Uint32(frame[4:8]))
+	nGLab := int(binary.BigEndian.Uint32(frame[8:12]))
+	if nTables != c.NumGates() || nOut != len(c.Outputs) || nGLab != len(c.GarblerInputs) {
+		return nil, nil, nil, fmt.Errorf("%w: garbled frame shape (%d,%d,%d) vs circuit (%d,%d,%d)",
+			ErrBadFrame, nTables, nOut, nGLab, c.NumGates(), len(c.Outputs), len(c.GarblerInputs))
+	}
+	want := 12 + nTables*4*msgLen + nOut + nGLab*msgLen
+	if len(frame) != want {
+		return nil, nil, nil, fmt.Errorf("%w: garbled frame of %d bytes, want %d", ErrBadFrame, len(frame), want)
+	}
+	off := 12
+	tables := make([]garble.Table, nTables)
+	for i := range tables {
+		for r := 0; r < 4; r++ {
+			copy(tables[i].Rows[r][:], frame[off:off+msgLen])
+			off += msgLen
+		}
+	}
+	outPerms := make([]bool, nOut)
+	for i := range outPerms {
+		outPerms[i] = frame[off] == 1
+		off++
+	}
+	gLabels := make([]garble.LabeledInput, nGLab)
+	for i := range gLabels {
+		l, err := bytesLabeled(frame[off : off+msgLen])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		gLabels[i] = l
+		off += msgLen
+	}
+	return tables, outPerms, gLabels, nil
+}

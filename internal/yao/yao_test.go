@@ -1,0 +1,165 @@
+package yao
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"minshare/internal/transport"
+)
+
+func runYao(t *testing.T, w int, sVals, rVals []uint64) *Result {
+	t.Helper()
+	ctx := context.Background()
+	connG, connE := transport.Pipe()
+	defer connG.Close()
+
+	cfgG := Config{Width: w, Rand: rand.New(rand.NewSource(1))}
+	cfgE := Config{Width: w, Rand: rand.New(rand.NewSource(2))}
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- RunGarbler(ctx, cfgG, connG, sVals)
+	}()
+	res, err := RunEvaluator(ctx, cfgE, connE, rVals)
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("garbler: %v", err)
+	}
+	return res
+}
+
+func TestYaoPSIBasic(t *testing.T) {
+	res := runYao(t, 8, []uint64{3, 77, 150}, []uint64{77, 4, 150, 9})
+	want := []bool{true, false, true, false}
+	if len(res.Members) != len(want) {
+		t.Fatalf("members = %d", len(res.Members))
+	}
+	for i := range want {
+		if res.Members[i] != want[i] {
+			t.Errorf("member[%d] = %v, want %v", i, res.Members[i], want[i])
+		}
+	}
+	if res.Gates <= 0 || res.TableBytes <= 0 {
+		t.Errorf("metrics: gates=%d tableBytes=%d", res.Gates, res.TableBytes)
+	}
+}
+
+func TestYaoPSIDisjointAndIdentical(t *testing.T) {
+	res := runYao(t, 8, []uint64{1, 2, 3}, []uint64{4, 5, 6})
+	for i, m := range res.Members {
+		if m {
+			t.Errorf("disjoint: member[%d] = true", i)
+		}
+	}
+	res = runYao(t, 8, []uint64{7, 8}, []uint64{7, 8})
+	for i, m := range res.Members {
+		if !m {
+			t.Errorf("identical: member[%d] = false", i)
+		}
+	}
+}
+
+func TestYaoPSIMatchesPlaintextRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		w := 4 + rng.Intn(5)
+		nS := 1 + rng.Intn(4)
+		nR := 1 + rng.Intn(4)
+		sVals := make([]uint64, nS)
+		rVals := make([]uint64, nR)
+		for i := range sVals {
+			sVals[i] = uint64(rng.Intn(1 << w))
+		}
+		for i := range rVals {
+			rVals[i] = uint64(rng.Intn(1 << w))
+		}
+		res := runYao(t, w, sVals, rVals)
+		inS := map[uint64]bool{}
+		for _, v := range sVals {
+			inS[v] = true
+		}
+		for i, v := range rVals {
+			if res.Members[i] != inS[v] {
+				t.Errorf("trial %d: member[%d] (value %d) = %v, want %v",
+					trial, i, v, res.Members[i], inS[v])
+			}
+		}
+	}
+}
+
+func TestYaoWidthMismatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connG, connE := transport.Pipe()
+	defer connG.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		err := RunGarbler(ctx, Config{Width: 16, Rand: rand.New(rand.NewSource(1))}, connG, []uint64{1})
+		errCh <- err
+	}()
+	_, err := RunEvaluator(ctx, Config{Width: 8, Rand: rand.New(rand.NewSource(2))}, connE, []uint64{1})
+	if err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	cancel()
+	<-errCh
+}
+
+func TestYaoValueRangeChecked(t *testing.T) {
+	cfg := Config{Width: 4}
+	if err := RunGarbler(context.Background(), cfg, nil, []uint64{16}); err == nil {
+		t.Error("out-of-range garbler value accepted")
+	}
+	if _, err := RunEvaluator(context.Background(), cfg, nil, []uint64{99}); err == nil {
+		t.Error("out-of-range evaluator value accepted")
+	}
+}
+
+func TestYaoConfigValidation(t *testing.T) {
+	if err := RunGarbler(context.Background(), Config{Width: 0}, nil, nil); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := RunEvaluator(context.Background(), Config{Width: 65}, nil, nil); err == nil {
+		t.Error("width 65 accepted")
+	}
+}
+
+func TestYaoEmptyReceiverSet(t *testing.T) {
+	res := runYao(t, 8, []uint64{1, 2}, nil)
+	if len(res.Members) != 0 {
+		t.Errorf("empty R set produced %d members", len(res.Members))
+	}
+}
+
+func TestYaoCommunicationDominatedByTables(t *testing.T) {
+	// Meter the evaluator's traffic: the garbled tables must dominate —
+	// the structural fact behind Appendix A.2's conclusion.
+	ctx := context.Background()
+	connG, connE := transport.Pipe()
+	defer connG.Close()
+	meter := transport.NewMeter(connE)
+
+	sVals := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	rVals := []uint64{2, 4, 9, 11}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- RunGarbler(ctx, Config{Width: 16, Rand: rand.New(rand.NewSource(3))}, connG, sVals)
+	}()
+	res, err := RunEvaluator(ctx, Config{Width: 16, Rand: rand.New(rand.NewSource(4))}, meter, rVals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.TableBytes) < meter.BytesRecv()/2 {
+		t.Errorf("tables (%d bytes) are not the dominant share of received traffic (%d bytes)",
+			res.TableBytes, meter.BytesRecv())
+	}
+	t.Logf("yao PSI n_S=%d n_R=%d w=16: %d gates, %d table bytes, %d total received",
+		len(sVals), len(rVals), res.Gates, res.TableBytes, meter.BytesRecv())
+}

@@ -1,0 +1,212 @@
+// Package minshare implements minimal-information sharing across private
+// databases, reproducing Agrawal, Evfimievski & Srikant, "Information
+// Sharing Across Private Databases" (SIGMOD 2003).
+//
+// Two parties — S (sender) and R (receiver) — hold private value sets.
+// Built on commutative encryption over quadratic residues modulo a safe
+// prime, the library computes, with semi-honest security:
+//
+//   - Intersection:      R learns V_S ∩ V_R and |V_S|; S learns |V_R|.
+//   - Equijoin:          R additionally learns ext(v) — S's records for
+//     each joined value.
+//   - Intersection size: R learns only |V_S ∩ V_R| and |V_S|.
+//   - Equijoin size:     multiset join cardinality (leaks duplicate
+//     distributions, as characterized in the paper's Section 5.2).
+//
+// This package is the convenience facade.  Each protocol is exposed two
+// ways: role functions (re-exported from internal/core) that drive one
+// endpoint of a transport for real two-machine deployments, and local
+// two-goroutine runners (Intersect, Join, IntersectSize, JoinSize) for
+// in-process use, tests and experiments.
+//
+// The repository also contains the paper's two motivating applications
+// (internal/docshare, internal/medical), the Appendix A garbled-circuit
+// baseline (internal/yao and friends), and an experiment harness
+// (cmd/experiments) regenerating every quantitative result in the paper.
+package minshare
+
+import (
+	"context"
+	"fmt"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/transport"
+)
+
+// Config carries the cryptographic setup shared by both parties of a
+// protocol run.  The zero value selects the 1024-bit builtin group, the
+// Pohlig-Hellman power function, SHA-256-based hashing, the hybrid
+// payload cipher and crypto/rand.
+type Config = core.Config
+
+// Re-exported result types.
+type (
+	// IntersectionResult is what R learns from Intersection.
+	IntersectionResult = core.IntersectionResult
+	// JoinResult is what R learns from Equijoin.
+	JoinResult = core.JoinResult
+	// JoinRecord is S's per-value input to Equijoin.
+	JoinRecord = core.JoinRecord
+	// JoinMatch is one joined value with its ext payload.
+	JoinMatch = core.JoinMatch
+	// SizeResult is what R learns from IntersectionSize.
+	SizeResult = core.SizeResult
+	// JoinSizeResult is what R learns from EquijoinSize.
+	JoinSizeResult = core.JoinSizeResult
+	// SenderInfo is what S learns from a set protocol.
+	SenderInfo = core.SenderInfo
+	// JoinSizeSenderInfo is what S learns from EquijoinSize.
+	JoinSizeSenderInfo = core.JoinSizeSenderInfo
+	// Conn is the frame transport both role endpoints drive.
+	Conn = transport.Conn
+)
+
+// Role functions for networked deployments (see transport.Dial and
+// transport.NewTCP for connecting two machines).
+var (
+	// IntersectionReceiver runs party R of the Section 3.3 protocol.
+	IntersectionReceiver = core.IntersectionReceiver
+	// IntersectionSender runs party S of the Section 3.3 protocol.
+	IntersectionSender = core.IntersectionSender
+	// EquijoinReceiver runs party R of the Section 4.3 protocol.
+	EquijoinReceiver = core.EquijoinReceiver
+	// EquijoinSender runs party S of the Section 4.3 protocol.
+	EquijoinSender = core.EquijoinSender
+	// IntersectionSizeReceiver runs party R of the Section 5.1 protocol.
+	IntersectionSizeReceiver = core.IntersectionSizeReceiver
+	// IntersectionSizeSender runs party S of the Section 5.1 protocol.
+	IntersectionSizeSender = core.IntersectionSizeSender
+	// EquijoinSizeReceiver runs party R of the Section 5.2 protocol.
+	EquijoinSizeReceiver = core.EquijoinSizeReceiver
+	// EquijoinSizeSender runs party S of the Section 5.2 protocol.
+	EquijoinSizeSender = core.EquijoinSizeSender
+)
+
+// Dial connects to a listening peer over TCP and returns a Conn usable
+// with the role functions.
+func Dial(ctx context.Context, addr string) (Conn, error) {
+	return transport.Dial(ctx, "tcp", addr)
+}
+
+// Pipe returns two connected in-memory endpoints for in-process runs.
+func Pipe() (Conn, Conn) { return transport.Pipe() }
+
+// GroupBits selects a builtin safe-prime group by modulus size for
+// Config.Group.  Supported sizes include 256, 512, 768, 1024 (the
+// paper's default), 1536 and 2048 bits.
+func GroupBits(bits int) (*group.Group, error) {
+	return group.Builtin(group.Size(bits))
+}
+
+// Intersect runs the full intersection protocol in-process: the receiver
+// side over receiverSet and the sender side over senderSet, connected by
+// a pipe.  It returns R's result and S's info.
+func Intersect(ctx context.Context, cfg Config, receiverSet, senderSet [][]byte) (*IntersectionResult, *SenderInfo, error) {
+	var res *IntersectionResult
+	info, err := runLocal(ctx,
+		func(ctx context.Context, conn Conn) error {
+			var err error
+			res, err = core.IntersectionReceiver(ctx, cfg, conn, receiverSet)
+			return err
+		},
+		func(ctx context.Context, conn Conn) (*SenderInfo, error) {
+			return core.IntersectionSender(ctx, cfg, conn, senderSet)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, info, nil
+}
+
+// Join runs the full equijoin protocol in-process.
+func Join(ctx context.Context, cfg Config, receiverSet [][]byte, senderRecords []JoinRecord) (*JoinResult, *SenderInfo, error) {
+	var res *JoinResult
+	info, err := runLocal(ctx,
+		func(ctx context.Context, conn Conn) error {
+			var err error
+			res, err = core.EquijoinReceiver(ctx, cfg, conn, receiverSet)
+			return err
+		},
+		func(ctx context.Context, conn Conn) (*SenderInfo, error) {
+			return core.EquijoinSender(ctx, cfg, conn, senderRecords)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, info, nil
+}
+
+// IntersectSize runs the full intersection-size protocol in-process.
+func IntersectSize(ctx context.Context, cfg Config, receiverSet, senderSet [][]byte) (*SizeResult, *SenderInfo, error) {
+	var res *SizeResult
+	info, err := runLocal(ctx,
+		func(ctx context.Context, conn Conn) error {
+			var err error
+			res, err = core.IntersectionSizeReceiver(ctx, cfg, conn, receiverSet)
+			return err
+		},
+		func(ctx context.Context, conn Conn) (*SenderInfo, error) {
+			return core.IntersectionSizeSender(ctx, cfg, conn, senderSet)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, info, nil
+}
+
+// JoinSize runs the full equijoin-size protocol in-process on multisets.
+func JoinSize(ctx context.Context, cfg Config, receiverValues, senderValues [][]byte) (*JoinSizeResult, *JoinSizeSenderInfo, error) {
+	var res *JoinSizeResult
+	info, err := runLocal(ctx,
+		func(ctx context.Context, conn Conn) error {
+			var err error
+			res, err = core.EquijoinSizeReceiver(ctx, cfg, conn, receiverValues)
+			return err
+		},
+		func(ctx context.Context, conn Conn) (*JoinSizeSenderInfo, error) {
+			return core.EquijoinSizeSender(ctx, cfg, conn, senderValues)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, info, nil
+}
+
+// runLocal wires a receiver closure and a sender closure over a fresh
+// pipe, running the sender on its own goroutine.  Note: both closures
+// share cfg; when cfg.Rand is a deterministic source it must be safe for
+// concurrent use or nil (crypto/rand is).
+func runLocal[S any](ctx context.Context,
+	recvFn func(ctx context.Context, conn Conn) error,
+	sendFn func(ctx context.Context, conn Conn) (S, error),
+) (S, error) {
+	var zero S
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+
+	type out struct {
+		info S
+		err  error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		info, err := sendFn(ctx, connS)
+		if err != nil {
+			connS.Close() // unblock the receiver
+		}
+		ch <- out{info, err}
+	}()
+	rErr := recvFn(ctx, connR)
+	if rErr != nil {
+		connR.Close()
+	}
+	sOut := <-ch
+	if rErr != nil {
+		return zero, fmt.Errorf("minshare: receiver: %w", rErr)
+	}
+	if sOut.err != nil {
+		return zero, fmt.Errorf("minshare: sender: %w", sOut.err)
+	}
+	return sOut.info, nil
+}

@@ -1,0 +1,168 @@
+package minshare
+
+import (
+	"context"
+	"testing"
+
+	"minshare/internal/group"
+	"minshare/internal/reldb"
+)
+
+func smallCfg() Config {
+	return Config{Group: group.TestGroup()}
+}
+
+func bs(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestIntersectFacade(t *testing.T) {
+	res, info, err := Intersect(context.Background(), smallCfg(),
+		bs("a", "b", "c"), bs("b", "c", "d", "e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 2 || res.SenderSetSize != 4 || info.ReceiverSetSize != 3 {
+		t.Errorf("res=%+v info=%+v", res, info)
+	}
+}
+
+func TestJoinFacade(t *testing.T) {
+	recs := []JoinRecord{
+		{Value: []byte("b"), Ext: []byte("ext-b")},
+		{Value: []byte("z"), Ext: []byte("ext-z")},
+	}
+	res, _, err := Join(context.Background(), smallCfg(), bs("a", "b"), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || string(res.Matches[0].Ext) != "ext-b" {
+		t.Errorf("res=%+v", res)
+	}
+}
+
+func TestIntersectSizeFacade(t *testing.T) {
+	res, _, err := IntersectSize(context.Background(), smallCfg(),
+		bs("a", "b", "c"), bs("c", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntersectionSize != 1 {
+		t.Errorf("size = %d", res.IntersectionSize)
+	}
+}
+
+func TestJoinSizeFacade(t *testing.T) {
+	res, _, err := JoinSize(context.Background(), smallCfg(),
+		bs("a", "a", "b"), bs("a", "b", "b", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JoinSize != 2*1+1*3 {
+		t.Errorf("join size = %d, want 5", res.JoinSize)
+	}
+}
+
+func TestGroupBits(t *testing.T) {
+	g, err := GroupBits(512)
+	if err != nil || g.Bits() != 512 {
+		t.Errorf("GroupBits(512): %v, %v", g, err)
+	}
+	if _, err := GroupBits(123); err == nil {
+		t.Error("GroupBits(123) succeeded")
+	}
+}
+
+func TestFacadeErrorPropagation(t *testing.T) {
+	// Conflicting join records must surface as an error, not a hang.
+	recs := []JoinRecord{
+		{Value: []byte("v"), Ext: []byte("1")},
+		{Value: []byte("v"), Ext: []byte("2")},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, _, err := Join(ctx, smallCfg(), bs("v"), recs); err == nil {
+		t.Fatal("conflicting records accepted")
+	}
+}
+
+// TestEndToEndRelationalJoin is the integration test tying the stack
+// together: two reldb tables, ext(v) payloads built by the relational
+// layer, the private equijoin protocol in the middle, and the joined
+// rows reconstructed and compared against the plaintext reldb join.
+func TestEndToEndRelationalJoin(t *testing.T) {
+	// Enterprise S: orders keyed by customer.
+	orders := reldb.NewTable("orders", reldb.MustSchema(
+		reldb.Column{Name: "customer", Type: reldb.TypeString},
+		reldb.Column{Name: "amount", Type: reldb.TypeInt},
+	))
+	orders.MustInsert(reldb.String("ann"), reldb.Int(10))
+	orders.MustInsert(reldb.String("ann"), reldb.Int(25))
+	orders.MustInsert(reldb.String("bob"), reldb.Int(40))
+	orders.MustInsert(reldb.String("eve"), reldb.Int(99))
+
+	// Enterprise R: its customer list.
+	customers := reldb.NewTable("customers", reldb.MustSchema(
+		reldb.Column{Name: "name", Type: reldb.TypeString},
+	))
+	customers.MustInsert(reldb.String("ann"))
+	customers.MustInsert(reldb.String("bob"))
+	customers.MustInsert(reldb.String("carol"))
+
+	values, exts, err := orders.ExtPayloads("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]JoinRecord, len(values))
+	for i := range values {
+		recs[i] = JoinRecord{Value: values[i], Ext: exts[i]}
+	}
+	rValues, err := customers.DistinctValues("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, _, err := Join(context.Background(), smallCfg(), rValues, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode the ext payloads back into rows and count them.
+	joinedRows := 0
+	for _, m := range res.Matches {
+		rows, err := reldb.DecodeRows(m.Ext, orders.Schema().NumColumns())
+		if err != nil {
+			t.Fatalf("decoding ext for %q: %v", m.Value, err)
+		}
+		joinedRows += len(rows)
+		v, err := reldb.DecodeValue(m.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows {
+			if row[0].AsString() != v.AsString() {
+				t.Errorf("ext row for %q carries customer %q", v, row[0])
+			}
+		}
+	}
+
+	// Reference: plaintext join row count (ann×2 + bob×1 = 3).
+	ref, err := customers.Join(orders, "name", "customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joinedRows != ref.NumRows() {
+		t.Errorf("private join reconstructed %d rows, plaintext join has %d", joinedRows, ref.NumRows())
+	}
+	// eve (S-only) and carol (R-only) must not appear.
+	for _, m := range res.Matches {
+		v, _ := reldb.DecodeValue(m.Value)
+		if v.AsString() == "eve" || v.AsString() == "carol" {
+			t.Errorf("non-shared customer %q leaked", v)
+		}
+	}
+}
