@@ -1,0 +1,30 @@
+# Developer entry points.  `make check` is what CI should run: a full
+# build, the whole test suite, go vet, and the race detector over the
+# concurrency-heavy packages (the protocol core, the observability
+# counters, and the transport decorators).
+
+GO ?= go
+
+.PHONY: all build test vet race check bench experiments
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/obs ./internal/transport
+
+check: build vet test race
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all -quick -group 256

@@ -23,6 +23,7 @@ import (
 	"minshare/internal/group"
 	"minshare/internal/kenc"
 	"minshare/internal/medical"
+	"minshare/internal/obs"
 	"minshare/internal/oracle"
 	"minshare/internal/ot"
 	"minshare/internal/query"
@@ -52,21 +53,34 @@ func benchSets(n int) (vR, vS [][]byte) {
 	return
 }
 
-func runPairBench(b *testing.B, recvFn, sendFn func(ctx context.Context, conn transport.Conn) error) *transport.Meter {
+// runPairBench runs one protocol pair over a pipe with a byte meter on
+// the receiver endpoint and both endpoints attributed to obs sessions;
+// it returns the meter and the combined (R+S) counter snapshot so
+// benchmarks can report observed crypto-op counts next to wall time.
+func runPairBench(b *testing.B, recvFn, sendFn func(ctx context.Context, conn transport.Conn) error) (*transport.Meter, obs.CounterSnapshot) {
 	b.Helper()
 	ctx := context.Background()
 	connR, connS := transport.Pipe()
 	defer connR.Close()
 	meter := transport.NewMeter(connR)
+	reg := obs.NewRegistry()
+	sessR := reg.StartSession(obs.SessionInfo{Role: "receiver"})
+	sessS := reg.StartSession(obs.SessionInfo{Role: "sender"})
 	ch := make(chan error, 1)
-	go func() { ch <- sendFn(ctx, connS) }()
-	if err := recvFn(ctx, meter); err != nil {
-		b.Fatal(err)
+	go func() {
+		err := sendFn(obs.WithSession(ctx, sessS), connS)
+		sessS.End(err)
+		ch <- err
+	}()
+	rErr := recvFn(obs.WithSession(ctx, sessR), meter)
+	sessR.End(rErr)
+	if rErr != nil {
+		b.Fatal(rErr)
 	}
 	if err := <-ch; err != nil {
 		b.Fatal(err)
 	}
-	return meter
+	return meter, reg.Global().Snapshot()
 }
 
 // --- E1: §6.1 computation (full protocol wall time per set size) ---
@@ -75,9 +89,10 @@ func benchmarkIntersection(b *testing.B, n int) {
 	vR, vS := benchSets(n)
 	cfg := core.Config{Group: benchGroup}
 	b.ReportMetric(float64(costmodel.IntersectionOps(n, n).Ce), "Ce-ops")
+	var snap obs.CounterSnapshot
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runPairBench(b,
+		_, snap = runPairBench(b,
 			func(ctx context.Context, conn transport.Conn) error {
 				_, err := core.IntersectionReceiver(ctx, cfg, conn, vR)
 				return err
@@ -87,6 +102,7 @@ func benchmarkIntersection(b *testing.B, n int) {
 				return err
 			})
 	}
+	b.ReportMetric(float64(snap.ModExps()), "modexp-ops")
 }
 
 func BenchmarkE1_Intersection_n32(b *testing.B)  { benchmarkIntersection(b, 32) }
@@ -100,9 +116,10 @@ func benchmarkEquijoin(b *testing.B, n int) {
 	}
 	cfg := core.Config{Group: benchGroup}
 	b.ReportMetric(float64(costmodel.JoinOps(n, n, n/2).Ce), "Ce-ops")
+	var snap obs.CounterSnapshot
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runPairBench(b,
+		_, snap = runPairBench(b,
 			func(ctx context.Context, conn transport.Conn) error {
 				_, err := core.EquijoinReceiver(ctx, cfg, conn, vR)
 				return err
@@ -112,6 +129,7 @@ func benchmarkEquijoin(b *testing.B, n int) {
 				return err
 			})
 	}
+	b.ReportMetric(float64(snap.ModExps()), "modexp-ops")
 }
 
 func BenchmarkE1_Equijoin_n32(b *testing.B)  { benchmarkEquijoin(b, 32) }
@@ -160,7 +178,7 @@ func BenchmarkE2_IntersectionBytes_n64(b *testing.B) {
 	cfg := core.Config{Group: benchGroup}
 	var bytes int64
 	for i := 0; i < b.N; i++ {
-		m := runPairBench(b,
+		m, _ := runPairBench(b,
 			func(ctx context.Context, conn transport.Conn) error {
 				_, err := core.IntersectionReceiver(ctx, cfg, conn, vR)
 				return err

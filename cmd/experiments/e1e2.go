@@ -8,7 +8,9 @@ import (
 	"minshare/internal/commutative"
 	"minshare/internal/core"
 	"minshare/internal/costmodel"
+	"minshare/internal/kenc"
 	"minshare/internal/transport"
+	"minshare/internal/wire"
 )
 
 func sweepSizes(quick bool) []int {
@@ -87,8 +89,8 @@ func runE1(env *environment) error {
 func runE2(env *environment) error {
 	k := env.group.Bits()
 	elem := int64(env.group.ElementLen())
-	const headerLen = 1 + 1 + 4 + 32 + 8
-	const vecOverhead = 1 + 4
+	const headerLen = wire.EncodedHeaderLen
+	const vecOverhead = wire.VectorOverhead
 
 	fmt.Printf("k = %d bits per codeword\n", k)
 	fmt.Println("protocol      |V_S|  |V_R|  bits(formula)  bits(measured)  match")
@@ -123,7 +125,7 @@ func runE2(env *environment) error {
 			recs[i] = core.JoinRecord{Value: v, Ext: ext}
 		}
 		cfgN := cfg
-		kPrime := 8 * (32 + 16) // hybrid cipher: payload + tag
+		kPrime := 8 * kenc.NewHybrid(env.group).CiphertextLen(32)
 		meter, err = runMeteredReceiver(
 			func(ctx context.Context, conn transport.Conn) error {
 				_, err := core.EquijoinReceiver(ctx, cfgN, conn, vR)
@@ -137,7 +139,7 @@ func runE2(env *environment) error {
 			return err
 		}
 		formulaBits = int64(costmodel.JoinCommBits(nS, nR, k, kPrime))
-		measuredBits = (meter.TotalBytes() - 2*headerLen - 3*vecOverhead - int64(nS)*4) * 8
+		measuredBits = (meter.TotalBytes() - 2*headerLen - 3*vecOverhead - int64(nS)*wire.ExtLenOverhead) * 8
 		fmt.Printf("equijoin      %5d  %5d  %13d  %14d  %5v\n",
 			nS, nR, formulaBits, measuredBits, formulaBits == measuredBits)
 		_ = elem

@@ -11,6 +11,7 @@
 //	E8  §3.2.2 hash collision probability
 //	E9  ext.   real garbled-circuit PSI vs our protocol, measured at small n
 //	E10 §5.2   equijoin-size leakage characterization
+//	E11 §6.1   observability cross-check: live obs counters vs cost model
 //
 // Usage:
 //
@@ -46,7 +47,7 @@ type environment struct {
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (E1..E10) or 'all'")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (E1..E11) or 'all'")
 		groupBits = flag.Int("group", 1024, "builtin group size for measured runs")
 		quick     = flag.Bool("quick", false, "smaller measured sweeps")
 		par       = flag.Int("p", 0, "parallelism for measured runs (0 = all cores)")
@@ -70,6 +71,7 @@ func main() {
 		{"E8", "§3.2.2 hash collision probability", runE8},
 		{"E9", "garbled-circuit PSI vs our protocol (measured)", runE9},
 		{"E10", "§5.2 equijoin-size leakage", runE10},
+		{"E11", "§6.1 observability cross-check: obs counters vs cost model", runE11},
 	}
 
 	want := map[string]bool{}

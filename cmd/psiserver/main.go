@@ -8,6 +8,14 @@
 // intersection, intersection-size, equijoin (ext(v) = the full rows
 // matching each attribute value) and equijoin-size sessions against it.
 //
+// With -debug-addr the server additionally exposes a live introspection
+// endpoint: /metrics serves per-session and process-global counters
+// (modular exponentiations, oracle hashes, frames, bytes) and phase
+// timings in text or JSON, /debug/vars the same snapshot as an expvar,
+// and /debug/pprof/* the runtime profiles.  Every session is summarised
+// on the structured log, and the process-global counter totals are
+// dumped on shutdown.
+//
 // The CSV header types columns as name:type (string|int|bool); see
 // internal/reldb.ReadCSV.
 package main
@@ -16,8 +24,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,6 +35,7 @@ import (
 	"minshare/internal/core"
 	"minshare/internal/group"
 	"minshare/internal/leakage"
+	"minshare/internal/obs"
 	"minshare/internal/party"
 	"minshare/internal/reldb"
 	"minshare/internal/wire"
@@ -41,6 +51,7 @@ func main() {
 func run() error {
 	var (
 		listen     = flag.String("listen", ":9000", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "optional address for the introspection endpoint (/metrics, /debug/vars, /debug/pprof)")
 		tableFile  = flag.String("table", "", "CSV file with the table (typed header; see reldb.ReadCSV)")
 		attr       = flag.String("attr", "", "join attribute column")
 		groupBits  = flag.Int("group", 1024, "builtin safe-prime group size in bits")
@@ -53,6 +64,8 @@ func run() error {
 	if *tableFile == "" || *attr == "" {
 		return fmt.Errorf("-table and -attr are required")
 	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	f, err := os.Open(*tableFile)
 	if err != nil {
@@ -107,6 +120,7 @@ func run() error {
 		}
 	}
 
+	reg := obs.Default()
 	srv := &party.Server{
 		Config:   core.Config{Group: g},
 		Values:   values,
@@ -114,21 +128,54 @@ func run() error {
 		Multiset: multiset,
 		Policy:   policy,
 		Auditor:  leakage.NewAuditor(leakage.AuditPolicy{MaxOverlapFraction: 1, MaxQueries: *maxQueries}),
-		Logf:     log.Printf,
+		Obs:      reg,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *debugAddr != "" {
+		reg.PublishExpvar("minshare")
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dsrv := &http.Server{Handler: reg.DebugMux()}
+		go func() {
+			<-ctx.Done()
+			dsrv.Close()
+		}()
+		go func() {
+			if err := dsrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug endpoint failed", "err", err)
+			}
+		}()
+		logger.Info("debug endpoint up", "addr", dln.Addr().String())
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	log.Printf("psiserver: serving %d distinct %q values (%d rows) on %s",
-		len(values), *attr, table.NumRows(), ln.Addr())
+	logger.Info("serving",
+		"distinct_values", len(values), "attr", *attr,
+		"rows", table.NumRows(), "addr", ln.Addr().String())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	err = srv.Serve(ctx, ln)
 	if ctx.Err() != nil {
-		log.Printf("psiserver: shutting down")
+		// Final census: everything this process computed and shipped.
+		snap := reg.Snapshot()
+		logger.Info("shutting down",
+			"sessions_finished", snap.SessionsFinished,
+			"sessions_failed", snap.SessionsFailed,
+			"modexp_total", snap.Global.ModExps(),
+			"oracle_hashes", snap.Global.OracleHashes,
+			"wire_bytes_sent", snap.Global.WireBytesSent,
+			"wire_bytes_recv", snap.Global.WireBytesRecv)
+		obs.WriteText(os.Stderr, snap)
 		return nil
 	}
 	return err

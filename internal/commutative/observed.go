@@ -1,0 +1,50 @@
+package commutative
+
+import (
+	"io"
+	"math/big"
+
+	"minshare/internal/group"
+	"minshare/internal/obs"
+)
+
+// observed wraps a Scheme so every key generation, encryption and
+// decryption is recorded in an obs.Counters chain.  Because EncryptAll
+// and DecryptAll drive the wrapped Scheme per element, worker-pool
+// operations are counted with no extra plumbing.
+type observed struct {
+	inner Scheme
+	c     *obs.Counters
+}
+
+// Observed returns inner with its operations counted into c.  A nil c
+// returns inner unchanged, so callers can wrap unconditionally.
+func Observed(inner Scheme, c *obs.Counters) Scheme {
+	if c == nil {
+		return inner
+	}
+	return &observed{inner: inner, c: c}
+}
+
+// Group implements Scheme.
+func (o *observed) Group() *group.Group { return o.inner.Group() }
+
+// GenerateKey implements Scheme.
+func (o *observed) GenerateKey(r io.Reader) (*Key, error) {
+	o.c.AddKeyGens(1)
+	return o.inner.GenerateKey(r)
+}
+
+// Encrypt implements Scheme: one C_e exponentiation.
+func (o *observed) Encrypt(k *Key, x *big.Int) (*big.Int, error) {
+	o.c.AddModExpEncrypts(1)
+	return o.inner.Encrypt(k, x)
+}
+
+// Decrypt implements Scheme: one C_e exponentiation (the exponent
+// inversion is modular arithmetic, not an exponentiation, so it is not
+// counted).
+func (o *observed) Decrypt(k *Key, y *big.Int) (*big.Int, error) {
+	o.c.AddModExpDecrypts(1)
+	return o.inner.Decrypt(k, y)
+}

@@ -50,7 +50,7 @@ func TestHashCollisionDetectedBeforeSending(t *testing.T) {
 	// Crucially, no element vector left the machine — only the header
 	// and the abort notice.
 	for _, frame := range tap.Sent() {
-		codec := newSession(cfg, nil).codec
+		codec := newSession(ctx, cfg, nil).codec
 		m, decErr := codec.Decode(frame)
 		if decErr != nil {
 			continue

@@ -47,6 +47,7 @@ import (
 	"minshare/internal/commutative"
 	"minshare/internal/group"
 	"minshare/internal/kenc"
+	"minshare/internal/obs"
 	"minshare/internal/oracle"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
@@ -114,16 +115,27 @@ func (c Config) normalized() Config {
 }
 
 // session couples a transport connection with the codec and config for
-// one protocol run.
+// one protocol run.  When the context carries an obs.Session, the
+// config's scheme and oracle are wrapped so every costed primitive —
+// modular exponentiation, oracle hash, frame, byte — is counted against
+// that session (and, through the counter chain, the process globals);
+// without one, counters stays nil and the instrumentation is inert.
 type session struct {
-	cfg   Config
-	conn  transport.Conn
-	codec *wire.Codec
+	cfg      Config
+	conn     transport.Conn
+	codec    *wire.Codec
+	counters *obs.Counters
 }
 
-func newSession(cfg Config, conn transport.Conn) *session {
+func newSession(ctx context.Context, cfg Config, conn transport.Conn) *session {
 	cfg = cfg.normalized()
-	return &session{cfg: cfg, conn: conn, codec: wire.NewCodec(cfg.Group)}
+	s := &session{cfg: cfg, conn: conn, codec: wire.NewCodec(cfg.Group)}
+	if o := obs.SessionFrom(ctx); o != nil {
+		s.counters = o.Counters()
+		s.cfg.Scheme = commutative.Observed(s.cfg.Scheme, s.counters)
+		s.cfg.Oracle = s.cfg.Oracle.Observed(s.counters)
+	}
+	return s
 }
 
 // send encodes and transmits one message.
@@ -135,6 +147,9 @@ func (s *session) send(ctx context.Context, m wire.Message) error {
 	if err := s.conn.Send(ctx, data); err != nil {
 		return fmt.Errorf("core: sending %v: %w", m.Kind(), err)
 	}
+	if s.counters != nil {
+		s.counters.AddFrameSent(int64(len(data)), int64(len(data))+transport.FrameOverhead)
+	}
 	return nil
 }
 
@@ -144,6 +159,9 @@ func (s *session) recv(ctx context.Context, want wire.Kind) (wire.Message, error
 	data, err := s.conn.Recv(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: receiving %v: %w", want, err)
+	}
+	if s.counters != nil {
+		s.counters.AddFrameRecv(int64(len(data)), int64(len(data))+transport.FrameOverhead)
 	}
 	m, err := s.codec.Decode(data)
 	if err != nil {

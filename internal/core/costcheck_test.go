@@ -1,0 +1,302 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"minshare/internal/costmodel"
+	"minshare/internal/group"
+	"minshare/internal/kenc"
+	"minshare/internal/obs"
+	"minshare/internal/transport"
+)
+
+// These tests are the observability tentpole's headline check: they run
+// each protocol over an in-memory pipe with both endpoints instrumented
+// through obs sessions, and assert that the *observed* counters — modular
+// exponentiations, frames, payload and on-wire bytes — equal the paper's
+// Section 6.1 closed forms as encoded in internal/costmodel.  Exact
+// equality, not approximation: the fixed-width codec makes every byte
+// accountable.
+
+// runObservedPair runs a receiver/sender pair over a pipe with each
+// endpoint attached to its own obs session in reg, and returns the two
+// session snapshots.
+func runObservedPair[R, S any](
+	t *testing.T,
+	reg *obs.Registry,
+	protocol string,
+	recvFn func(ctx context.Context, conn transport.Conn) (R, error),
+	sendFn func(ctx context.Context, conn transport.Conn) (S, error),
+) (recvSnap, sendSnap obs.SessionSnapshot) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+
+	sessR := reg.StartSession(obs.SessionInfo{Protocol: protocol, Role: "receiver"})
+	sessS := reg.StartSession(obs.SessionInfo{Protocol: protocol, Role: "sender"})
+
+	type sendOut struct {
+		snap obs.SessionSnapshot
+		err  error
+	}
+	ch := make(chan sendOut, 1)
+	go func() {
+		_, err := sendFn(obs.WithSession(ctx, sessS), connS)
+		ch <- sendOut{sessS.End(err), err}
+	}()
+	_, rErr := recvFn(obs.WithSession(ctx, sessR), connR)
+	recvSnap = sessR.End(rErr)
+	sOut := <-ch
+	if rErr != nil {
+		t.Fatalf("receiver: %v", rErr)
+	}
+	if sOut.err != nil {
+		t.Fatalf("sender: %v", sOut.err)
+	}
+	return recvSnap, sOut.snap
+}
+
+// checkWireCost asserts that R's observed frame/byte counters equal the
+// census and that S's are the mirror image.
+func checkWireCost(t *testing.T, want costmodel.WireCost, r, s obs.CounterSnapshot) {
+	t.Helper()
+	if r.FramesSent != want.FramesSent || r.FramesRecv != want.FramesRecv {
+		t.Errorf("R frames = %d sent / %d recv, want %d / %d",
+			r.FramesSent, r.FramesRecv, want.FramesSent, want.FramesRecv)
+	}
+	if r.PayloadBytesSent != want.PayloadBytesSent {
+		t.Errorf("R payload sent = %d, want %d", r.PayloadBytesSent, want.PayloadBytesSent)
+	}
+	if r.PayloadBytesRecv != want.PayloadBytesRecv {
+		t.Errorf("R payload recv = %d, want %d", r.PayloadBytesRecv, want.PayloadBytesRecv)
+	}
+	if r.WireBytesSent != want.WireBytesSent() {
+		t.Errorf("R wire sent = %d, want %d", r.WireBytesSent, want.WireBytesSent())
+	}
+	if r.WireBytesRecv != want.WireBytesRecv() {
+		t.Errorf("R wire recv = %d, want %d", r.WireBytesRecv, want.WireBytesRecv())
+	}
+	// The sender's counters are the same exchange seen from the other
+	// endpoint.
+	if s.FramesSent != want.FramesRecv || s.FramesRecv != want.FramesSent {
+		t.Errorf("S frames = %d sent / %d recv, want mirror %d / %d",
+			s.FramesSent, s.FramesRecv, want.FramesRecv, want.FramesSent)
+	}
+	if s.PayloadBytesSent != want.PayloadBytesRecv || s.PayloadBytesRecv != want.PayloadBytesSent {
+		t.Errorf("S payload = %d sent / %d recv, want mirror %d / %d",
+			s.PayloadBytesSent, s.PayloadBytesRecv, want.PayloadBytesRecv, want.PayloadBytesSent)
+	}
+	if s.WireBytesSent != want.WireBytesRecv() || s.WireBytesRecv != want.WireBytesSent() {
+		t.Errorf("S wire = %d sent / %d recv, want mirror %d / %d",
+			s.WireBytesSent, s.WireBytesRecv, want.WireBytesRecv(), want.WireBytesSent())
+	}
+}
+
+func TestCostModelCrossCheckIntersection(t *testing.T) {
+	const nR, nS, shared = 7, 5, 3
+	vR, vS := overlapping(nR, nS, shared)
+	reg := obs.NewRegistry()
+
+	r, s := runObservedPair(t, reg, "intersection",
+		func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+			return IntersectionReceiver(ctx, testConfig(1), conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSender(ctx, testConfig(2), conn, vS)
+		})
+
+	// Computation: 2(|V_S|+|V_R|) modular exponentiations across both
+	// parties (Section 6.1).
+	ops := costmodel.IntersectionOps(nS, nR)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed modexps = %d, want Ce = %d", got, ops.Ce)
+	}
+
+	// Communication: exact byte census, both payload and on-wire.
+	elemLen := group.TestGroup().ElementLen()
+	want := costmodel.IntersectionWireCost(nS, nR, elemLen)
+	checkWireCost(t, want, r.Counters, s.Counters)
+
+	// Stripping the fixed envelope from the observed payload recovers the
+	// paper's (|V_S|+2|V_R|)·k bit formula exactly.  Three element vectors
+	// cross the wire: Y_R, Y_S, and the re-encryptions of Y_R.
+	observed := costmodel.WireCost{
+		FramesSent: r.Counters.FramesSent, FramesRecv: r.Counters.FramesRecv,
+		PayloadBytesSent: r.Counters.PayloadBytesSent, PayloadBytesRecv: r.Counters.PayloadBytesRecv,
+	}
+	k := 8 * elemLen
+	if gotBits := 8 * observed.ElementPayloadBytes(3, 0); float64(gotBits) != costmodel.IntersectionCommBits(nS, nR, k) {
+		t.Errorf("observed codeword bits = %d, want %v", gotBits, costmodel.IntersectionCommBits(nS, nR, k))
+	}
+
+	// Each party draws exactly one commutative key.
+	if r.Counters.KeyGens != 1 || s.Counters.KeyGens != 1 {
+		t.Errorf("keygens = %d/%d, want 1/1", r.Counters.KeyGens, s.Counters.KeyGens)
+	}
+}
+
+func TestCostModelCrossCheckIntersectionSize(t *testing.T) {
+	const nR, nS, shared = 6, 4, 2
+	vR, vS := overlapping(nR, nS, shared)
+	reg := obs.NewRegistry()
+
+	r, s := runObservedPair(t, reg, "intersection-size",
+		func(ctx context.Context, conn transport.Conn) (*SizeResult, error) {
+			return IntersectionSizeReceiver(ctx, testConfig(1), conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSizeSender(ctx, testConfig(2), conn, vS)
+		})
+
+	ops := costmodel.IntersectionSizeOps(nS, nR)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed modexps = %d, want Ce = %d", got, ops.Ce)
+	}
+	elemLen := group.TestGroup().ElementLen()
+	checkWireCost(t, costmodel.IntersectionSizeWireCost(nS, nR, elemLen), r.Counters, s.Counters)
+}
+
+func TestCostModelCrossCheckJoinSize(t *testing.T) {
+	// Multisets: mR rows over nR distinct values, likewise for S.  The
+	// census runs on row counts, not distinct counts (Section 5.2).
+	vR := [][]byte{[]byte("a"), []byte("a"), []byte("b"), []byte("c"), []byte("c")}
+	vS := [][]byte{[]byte("a"), []byte("c"), []byte("c"), []byte("d")}
+	mR, mS := len(vR), len(vS)
+	reg := obs.NewRegistry()
+
+	r, s := runObservedPair(t, reg, "equijoin-size",
+		func(ctx context.Context, conn transport.Conn) (*JoinSizeResult, error) {
+			return EquijoinSizeReceiver(ctx, testConfig(1), conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*JoinSizeSenderInfo, error) {
+			return EquijoinSizeSender(ctx, testConfig(2), conn, vS)
+		})
+
+	// Same complexity as the intersection protocol, on multiset sizes.
+	ops := costmodel.IntersectionSizeOps(mS, mR)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed modexps = %d, want Ce = %d", got, ops.Ce)
+	}
+	elemLen := group.TestGroup().ElementLen()
+	checkWireCost(t, costmodel.JoinSizeWireCost(mS, mR, elemLen), r.Counters, s.Counters)
+}
+
+func TestCostModelCrossCheckEquijoin(t *testing.T) {
+	const nR, nS, shared = 6, 4, 2
+	const extPlainLen = 24 // uniform ext(v) length so k' is a single constant
+	vR, vS := overlapping(nR, nS, shared)
+	records := make([]JoinRecord, len(vS))
+	for i, v := range vS {
+		ext := make([]byte, extPlainLen)
+		copy(ext, "ext for ")
+		copy(ext[8:], v)
+		records[i] = JoinRecord{Value: v, Ext: ext}
+	}
+	reg := obs.NewRegistry()
+
+	r, s := runObservedPair(t, reg, "equijoin",
+		func(ctx context.Context, conn transport.Conn) (*JoinResult, error) {
+			return EquijoinReceiver(ctx, testConfig(1), conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return EquijoinSender(ctx, testConfig(2), conn, records)
+		})
+
+	// Computation: 2|V_S| + 5|V_R| modular exponentiations (Section 6.1).
+	ops := costmodel.JoinOps(nS, nR, shared)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed modexps = %d, want Ce = %d", got, ops.Ce)
+	}
+	// Payload-cipher operations: S encrypts |V_S| ext payloads, R decrypts
+	// one per intersection member — the CK(|V_S| + |V_S∩V_R|) term.
+	if got := int64(s.Counters.PayloadEncrypts + r.Counters.PayloadDecrypts); got != ops.CK {
+		t.Errorf("observed K operations = %d, want CK = %d", got, ops.CK)
+	}
+
+	// Communication: the ext ciphertext width k' is a property of the
+	// configured cipher; measure it rather than hard-coding.
+	g := group.TestGroup()
+	elemLen := g.ElementLen()
+	extLen := kenc.NewHybrid(g).CiphertextLen(extPlainLen)
+	if extLen < 0 {
+		t.Fatalf("cipher rejects %d-byte payloads", extPlainLen)
+	}
+	want := costmodel.JoinWireCost(nS, nR, elemLen, extLen)
+	checkWireCost(t, want, r.Counters, s.Counters)
+
+	// Codeword bits: (|V_S|+3|V_R|)·k + |V_S|·k'.  Three counted vectors
+	// (Y_R, the pairs, the ext pairs) and |V_S| ext length prefixes.
+	observed := costmodel.WireCost{
+		FramesSent: r.Counters.FramesSent, FramesRecv: r.Counters.FramesRecv,
+		PayloadBytesSent: r.Counters.PayloadBytesSent, PayloadBytesRecv: r.Counters.PayloadBytesRecv,
+	}
+	k, kPrime := 8*elemLen, 8*extLen
+	if gotBits := 8 * observed.ElementPayloadBytes(3, nS); float64(gotBits) != costmodel.JoinCommBits(nS, nR, k, kPrime) {
+		t.Errorf("observed codeword bits = %d, want %v", gotBits, costmodel.JoinCommBits(nS, nR, k, kPrime))
+	}
+
+	// R draws one key, S draws two (e_S and e'_S).
+	if r.Counters.KeyGens != 1 || s.Counters.KeyGens != 2 {
+		t.Errorf("keygens = %d/%d, want 1/2", r.Counters.KeyGens, s.Counters.KeyGens)
+	}
+}
+
+// TestObservedCountersConcurrent runs several instrumented protocol pairs
+// in parallel against one registry and checks that the per-session and
+// process-global aggregates stay exact under contention.  Run with -race
+// this also exercises every counter and span path for data races.
+func TestObservedCountersConcurrent(t *testing.T) {
+	const runs = 4
+	const nR, nS, shared = 5, 4, 2
+	reg := obs.NewRegistry()
+	perRun := costmodel.IntersectionOps(nS, nR).Ce
+
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vR, vS := overlapping(nR, nS, shared)
+			cfg := Config{Group: group.TestGroup(), Parallelism: 4} // crypto/rand, real worker pool
+			ctx := context.Background()
+			connR, connS := transport.Pipe()
+			defer connR.Close()
+			sessR := reg.StartSession(obs.SessionInfo{Protocol: "intersection", Role: "receiver"})
+			sessS := reg.StartSession(obs.SessionInfo{Protocol: "intersection", Role: "sender"})
+			type sendOut struct {
+				snap obs.SessionSnapshot
+				err  error
+			}
+			ch := make(chan sendOut, 1)
+			go func() {
+				_, err := IntersectionSender(obs.WithSession(ctx, sessS), cfg, connS, vS)
+				ch <- sendOut{sessS.End(err), err}
+			}()
+			_, rErr := IntersectionReceiver(obs.WithSession(ctx, sessR), cfg, connR, vR)
+			r := sessR.End(rErr)
+			s := <-ch
+			if rErr != nil || s.err != nil {
+				t.Errorf("run %d: receiver err %v, sender err %v", i, rErr, s.err)
+				return
+			}
+			if got := r.Counters.ModExps() + s.snap.Counters.ModExps(); got != perRun {
+				t.Errorf("run %d: modexps = %d, want %d", i, got, perRun)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	global := reg.Global().Snapshot()
+	if got := global.ModExps(); got != runs*perRun {
+		t.Errorf("global modexps = %d, want %d", got, runs*perRun)
+	}
+	snap := reg.Snapshot()
+	if snap.SessionsFinished != 2*runs || snap.SessionsActive != 0 || snap.SessionsFailed != 0 {
+		t.Errorf("registry sessions = %d finished / %d active / %d failed, want %d/0/0",
+			snap.SessionsFinished, snap.SessionsActive, snap.SessionsFailed, 2*runs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"minshare/internal/obs"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
 )
@@ -46,7 +47,7 @@ type JoinResult struct {
 //	     entry and decrypt ext(v) with κ(v) = f_e'S(h(v))
 //	8.   return the matches (the caller computes T_S ⋈ T_R from them)
 func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*JoinResult, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 	vR := dedup(values)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoEquijoin, len(vR), true)
@@ -55,7 +56,9 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 	}
 
 	// Steps 1-2.
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	xR, err := s.hashSet(vR)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
@@ -63,12 +66,15 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 	if err != nil {
 		return nil, s.abort(ctx, fmt.Errorf("core: generating e_R: %w", err))
 	}
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
 	yR, err := s.encryptSet(ctx, eR, xR)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
 
 	// Step 3: send Y_R sorted, remembering the permutation.
+	sp = obs.StartSpan(ctx, "exchange")
 	order := sortIndicesByElem(yR)
 	sortedYR := make([]*big.Int, len(yR))
 	for pos, idx := range order {
@@ -96,6 +102,7 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 	// Step 5 (peer): receive the ⟨f_eS(h(v)), c(v)⟩ pairs, sorted by the
 	// first entry.
 	m, err = s.recv(ctx, wire.KindExtPairs)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -109,16 +116,21 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 
 	// Step 6: strip R's own layer from both components,
 	// f_eR^{-1}(f_eS(f_eR(h(v)))) = f_eS(h(v)) and likewise for e'_S.
+	sp = obs.StartSpan(ctx, "re-encrypt")
 	singleS, err := s.decryptSet(ctx, eR, pairs.A)
 	if err != nil {
+		sp.End()
 		return nil, s.abort(ctx, err)
 	}
 	kappas, err := s.decryptSet(ctx, eR, pairs.B)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
 
 	// Step 7: index S's pairs by first entry and match.
+	sp = obs.StartSpan(ctx, "match-join")
+	defer sp.End()
 	extByElem := make(map[string][]byte, len(extPairs.Elem))
 	for i, e := range extPairs.Elem {
 		extByElem[elemKey(e)] = extPairs.Ext[i]
@@ -134,6 +146,9 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 		if err != nil {
 			return nil, s.abort(ctx, fmt.Errorf("core: decrypting ext(v): %w", err))
 		}
+		if s.counters != nil {
+			s.counters.AddPayloadDecrypts(1)
+		}
 		matched[idx] = &JoinMatch{Value: vR[idx], Ext: ext}
 	}
 	for _, jm := range matched {
@@ -148,7 +163,7 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 // records may repeat a value only with an identical Ext; conflicting
 // duplicates are rejected, since ext(v) is defined per distinct value.
 func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, records []JoinRecord) (*SenderInfo, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 	vS, exts, err := dedupRecords(records)
 	if err != nil {
 		return nil, err
@@ -160,7 +175,9 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 	}
 
 	// Step 1: hash V_S; draw the two secret keys e_S and e'_S.
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	xS, err := s.hashSet(vS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
@@ -174,7 +191,9 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 	}
 
 	// Step 3 (peer): receive Y_R.
+	sp = obs.StartSpan(ctx, "exchange")
 	m, err := s.recv(ctx, wire.KindElements)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -187,32 +206,45 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 	}
 
 	// Step 4: encrypt each y ∈ Y_R with e_S and with e'_S; reply aligned.
+	sp = obs.StartSpan(ctx, "re-encrypt")
 	withES, err := s.encryptSet(ctx, eS, yR)
 	if err != nil {
+		sp.End()
 		return nil, s.abort(ctx, err)
 	}
 	withEPrimeS, err := s.encryptSet(ctx, ePrimeS, yR)
 	if err != nil {
+		sp.End()
 		return nil, s.abort(ctx, err)
 	}
-	if err := s.send(ctx, wire.Pairs{A: withES, B: withEPrimeS}); err != nil {
+	err = s.send(ctx, wire.Pairs{A: withES, B: withEPrimeS})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 
 	// Step 5: for each v ∈ V_S, form ⟨f_eS(h(v)), K(f_e'S(h(v)), ext(v))⟩.
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
 	firsts, err := s.encryptSet(ctx, eS, xS)
 	if err != nil {
+		sp.End()
 		return nil, s.abort(ctx, err)
 	}
 	kappas, err := s.encryptSet(ctx, ePrimeS, xS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
+	sp = obs.StartSpan(ctx, "payload-encrypt")
 	ciphertexts := make([][]byte, len(vS))
 	for i := range vS {
 		ciphertexts[i], err = s.cfg.Cipher.Encrypt(kappas[i], exts[i])
 		if err != nil {
+			sp.End()
 			return nil, s.abort(ctx, fmt.Errorf("core: encrypting ext(v): %w", err))
+		}
+		if s.counters != nil {
+			s.counters.AddPayloadEncrypts(1)
 		}
 	}
 	// Ship in lexicographic order of the first entry.
@@ -225,7 +257,9 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 		msg.Elem[pos] = firsts[idx]
 		msg.Ext[pos] = ciphertexts[idx]
 	}
-	if err := s.send(ctx, msg); err != nil {
+	err = s.send(ctx, msg)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return &SenderInfo{ReceiverSetSize: peerSize}, nil

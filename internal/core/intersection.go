@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"minshare/internal/obs"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
 )
@@ -37,7 +38,7 @@ type SenderInfo struct {
 //	     replies ⟨f_eR(h(v)), f_eS(f_eR(h(v)))⟩ back with their v
 //	6.   select all v ∈ V_R whose double encryption lands in Z_S
 func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*IntersectionResult, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 	vR := dedup(values)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoIntersection, len(vR), true)
@@ -46,7 +47,9 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	}
 
 	// Step 1: hash the set (with the §3.2.2 collision check) and draw e_R.
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	xR, err := s.hashSet(vR)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
@@ -56,13 +59,16 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	}
 
 	// Step 2: Y_R = f_eR(h(V_R)).
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
 	yR, err := s.encryptSet(ctx, eR, xR)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
 
 	// Step 3: ship Y_R sorted.  Remember which value sits at each sorted
 	// position so the aligned reply of step 4(b) can be matched back.
+	sp = obs.StartSpan(ctx, "exchange")
 	order := sortIndicesByElem(yR)
 	sortedYR := make([]*big.Int, len(yR))
 	for pos, idx := range order {
@@ -89,6 +95,7 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	// sorted order of step 3 (S "does not retransmit the y's back but
 	// just preserves the original order" — the Section 6.1 optimization).
 	m, err = s.recv(ctx, wire.KindElements)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -98,10 +105,14 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	}
 
 	// Step 5: Z_S = f_eR(Y_S).
+	sp = obs.StartSpan(ctx, "re-encrypt")
 	zS, err := s.encryptSet(ctx, eR, yS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
+	sp = obs.StartSpan(ctx, "match")
+	defer sp.End()
 	zSet := make(map[string]struct{}, len(zS))
 	for _, z := range zS {
 		zSet[elemKey(z)] = struct{}{}
@@ -126,7 +137,7 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 // IntersectionSender runs party S of the intersection protocol of
 // Section 3.3 over conn.  S learns only |V_R|.
 func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SenderInfo, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 	vS := dedup(values)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoIntersection, len(vS), false)
@@ -135,7 +146,9 @@ func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, va
 	}
 
 	// Step 1-2: hash V_S, draw e_S, compute Y_S.
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	xS, err := s.hashSet(vS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
@@ -143,12 +156,15 @@ func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, va
 	if err != nil {
 		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
 	}
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
 	yS, err := s.encryptSet(ctx, eS, xS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
 
 	// Step 3 (peer): receive Y_R.
+	sp = obs.StartSpan(ctx, "exchange")
 	m, err := s.recv(ctx, wire.KindElements)
 	if err != nil {
 		return nil, err
@@ -162,17 +178,23 @@ func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, va
 	}
 
 	// Step 4(a): ship Y_S reordered lexicographically.
-	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yS)}); err != nil {
+	err = s.send(ctx, wire.Elements{Elems: sortedCopy(yS)})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 
 	// Step 4(b): encrypt each y ∈ Y_R with e_S and send back, preserving
 	// the received order so R can match without the y's being repeated.
+	sp = obs.StartSpan(ctx, "re-encrypt")
 	zR, err := s.encryptSet(ctx, eS, yR)
 	if err != nil {
+		sp.End()
 		return nil, s.abort(ctx, err)
 	}
-	if err := s.send(ctx, wire.Elements{Elems: zR}); err != nil {
+	err = s.send(ctx, wire.Elements{Elems: zR})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return &SenderInfo{ReceiverSetSize: peerSize}, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"minshare/internal/obs"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
 )
@@ -24,7 +25,7 @@ type SizeResult struct {
 // R cannot match them back to its own values and learns only the overlap
 // cardinality.
 func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SizeResult, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 	vR := dedup(values)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoIntersectionSize, len(vR), true)
@@ -33,7 +34,9 @@ func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Co
 	}
 
 	// Steps 1-2: hash, draw e_R, encrypt.
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	xR, err := s.hashSet(vR)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
@@ -41,13 +44,16 @@ func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Co
 	if err != nil {
 		return nil, s.abort(ctx, fmt.Errorf("core: generating e_R: %w", err))
 	}
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
 	yR, err := s.encryptSet(ctx, eR, xR)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
 
 	// Step 3: send Y_R sorted.  No permutation bookkeeping is needed —
 	// nothing that comes back can be aligned, by design.
+	sp = obs.StartSpan(ctx, "exchange")
 	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yR)}); err != nil {
 		return nil, err
 	}
@@ -68,6 +74,7 @@ func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Co
 	// Step 4(b): receive Z_R = f_eS(f_eR(h(V_R))), reordered
 	// lexicographically — the detachment from the y's is the whole point.
 	m, err = s.recv(ctx, wire.KindElements)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -80,12 +87,16 @@ func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Co
 	}
 
 	// Step 5: Z_S = f_eR(Y_S).
+	sp = obs.StartSpan(ctx, "re-encrypt")
 	zS, err := s.encryptSet(ctx, eR, yS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
 
 	// Step 6: |Z_S ∩ Z_R| = |V_S ∩ V_R|.
+	sp = obs.StartSpan(ctx, "match")
+	defer sp.End()
 	zSet := make(map[string]struct{}, len(zS))
 	for _, z := range zS {
 		zSet[elemKey(z)] = struct{}{}
@@ -102,7 +113,7 @@ func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Co
 // IntersectionSizeSender runs party S of the intersection-size protocol
 // of Section 5.1.1.
 func IntersectionSizeSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SenderInfo, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 	vS := dedup(values)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoIntersectionSize, len(vS), false)
@@ -111,7 +122,9 @@ func IntersectionSizeSender(ctx context.Context, cfg Config, conn transport.Conn
 	}
 
 	// Steps 1-2.
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	xS, err := s.hashSet(vS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
@@ -119,12 +132,15 @@ func IntersectionSizeSender(ctx context.Context, cfg Config, conn transport.Conn
 	if err != nil {
 		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
 	}
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
 	yS, err := s.encryptSet(ctx, eS, xS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
 
 	// Step 3 (peer): receive Y_R.
+	sp = obs.StartSpan(ctx, "exchange")
 	m, err := s.recv(ctx, wire.KindElements)
 	if err != nil {
 		return nil, err
@@ -138,17 +154,23 @@ func IntersectionSizeSender(ctx context.Context, cfg Config, conn transport.Conn
 	}
 
 	// Step 4(a): ship Y_S sorted.
-	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yS)}); err != nil {
+	err = s.send(ctx, wire.Elements{Elems: sortedCopy(yS)})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 
 	// Step 4(b): ship Z_R = f_eS(Y_R), *reordered lexicographically* so R
 	// cannot match encryptions back to its values.
+	sp = obs.StartSpan(ctx, "re-encrypt")
 	zR, err := s.encryptSet(ctx, eS, yR)
 	if err != nil {
+		sp.End()
 		return nil, s.abort(ctx, err)
 	}
-	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(zR)}); err != nil {
+	err = s.send(ctx, wire.Elements{Elems: sortedCopy(zR)})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return &SenderInfo{ReceiverSetSize: peerSize}, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"minshare/internal/obs"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
 )
@@ -41,7 +42,7 @@ type JoinSizeSenderInfo struct {
 // join size computed in the final step.  values is T_R.A *with*
 // duplicates.
 func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*JoinSizeResult, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoEquijoinSize, len(values), true)
 	if err != nil {
@@ -51,7 +52,9 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	// Steps 1-2 on the multiset: equal values hash (and encrypt) to equal
 	// elements, so S will see T_R.A's duplicate structure — the leak the
 	// paper accepts for this protocol.
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	xR, err := s.hashSet(values)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
@@ -59,12 +62,15 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	if err != nil {
 		return nil, s.abort(ctx, fmt.Errorf("core: generating e_R: %w", err))
 	}
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
 	yR, err := s.encryptSet(ctx, eR, xR)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
 
 	// Step 3: send Y_R sorted.
+	sp = obs.StartSpan(ctx, "exchange")
 	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yR)}); err != nil {
 		return nil, err
 	}
@@ -84,6 +90,7 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 
 	// Step 4(b): receive Z_R sorted.
 	m, err = s.recv(ctx, wire.KindElements)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +103,9 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	}
 
 	// Step 5: Z_S = f_eR(Y_S).
+	sp = obs.StartSpan(ctx, "re-encrypt")
 	zS, err := s.encryptSet(ctx, eR, yS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
@@ -104,6 +113,8 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	// Step 6 (modified per Section 5.2): join size instead of
 	// intersection size — Σ over distinct doubly-encrypted values of
 	// count_R · count_S.
+	sp = obs.StartSpan(ctx, "match")
+	defer sp.End()
 	countR := multisetCounts(zR)
 	countS := multisetCounts(zS)
 	join := 0
@@ -121,7 +132,7 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 // EquijoinSizeSender runs party S of the equijoin-size protocol of
 // Section 5.2.  values is T_S.A *with* duplicates.
 func EquijoinSizeSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*JoinSizeSenderInfo, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoEquijoinSize, len(values), false)
 	if err != nil {
@@ -129,7 +140,9 @@ func EquijoinSizeSender(ctx context.Context, cfg Config, conn transport.Conn, va
 	}
 
 	// Steps 1-2 on the multiset.
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	xS, err := s.hashSet(values)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
@@ -137,12 +150,15 @@ func EquijoinSizeSender(ctx context.Context, cfg Config, conn transport.Conn, va
 	if err != nil {
 		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
 	}
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
 	yS, err := s.encryptSet(ctx, eS, xS)
+	sp.End()
 	if err != nil {
 		return nil, s.abort(ctx, err)
 	}
 
 	// Step 3 (peer): receive Y_R (multiset).
+	sp = obs.StartSpan(ctx, "exchange")
 	m, err := s.recv(ctx, wire.KindElements)
 	if err != nil {
 		return nil, err
@@ -156,16 +172,22 @@ func EquijoinSizeSender(ctx context.Context, cfg Config, conn transport.Conn, va
 	}
 
 	// Step 4(a): ship Y_S sorted.
-	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yS)}); err != nil {
+	err = s.send(ctx, wire.Elements{Elems: sortedCopy(yS)})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 
 	// Step 4(b): ship Z_R sorted.
+	sp = obs.StartSpan(ctx, "re-encrypt")
 	zR, err := s.encryptSet(ctx, eS, yR)
 	if err != nil {
+		sp.End()
 		return nil, s.abort(ctx, err)
 	}
-	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(zR)}); err != nil {
+	err = s.send(ctx, wire.Elements{Elems: sortedCopy(zR)})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 

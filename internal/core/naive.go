@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/big"
 
+	"minshare/internal/obs"
 	"minshare/internal/oracle"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
@@ -29,7 +30,7 @@ type NaiveResult struct {
 // NaiveHashReceiver runs party R of the Section 3.1 protocol: it hashes
 // its own set, receives X_S, and intersects.
 func NaiveHashReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*NaiveResult, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 	vR := dedup(values)
 
 	if _, err := s.handshake(ctx, wire.ProtoNaiveHash, len(vR), true); err != nil {
@@ -37,13 +38,17 @@ func NaiveHashReceiver(ctx context.Context, cfg Config, conn transport.Conn, val
 	}
 
 	// Step 2 (peer): S sends its hashed set X_S.
+	sp := obs.StartSpan(ctx, "exchange")
 	m, err := s.recv(ctx, wire.KindElements)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	xS := m.(wire.Elements).Elems
 
 	// Step 3: set aside all v ∈ V_R with h(v) ∈ X_S.
+	sp = obs.StartSpan(ctx, "match")
+	defer sp.End()
 	inXS := make(map[string]struct{}, len(xS))
 	for _, x := range xS {
 		inXS[elemKey(x)] = struct{}{}
@@ -60,15 +65,20 @@ func NaiveHashReceiver(ctx context.Context, cfg Config, conn transport.Conn, val
 // NaiveHashSender runs party S of the Section 3.1 protocol: it ships
 // h(V_S) and learns |V_R| from the handshake.
 func NaiveHashSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SenderInfo, error) {
-	s := newSession(cfg, conn)
+	s := newSession(ctx, cfg, conn)
 	vS := dedup(values)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoNaiveHash, len(vS), false)
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	xS := s.cfg.Oracle.HashAll(vS)
-	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(xS)}); err != nil {
+	sp.End()
+	sp = obs.StartSpan(ctx, "exchange")
+	err = s.send(ctx, wire.Elements{Elems: sortedCopy(xS)})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return &SenderInfo{ReceiverSetSize: peerSize}, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"minshare/internal/obs"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
 )
@@ -48,8 +49,8 @@ func ThirdPartyPartyB(ctx context.Context, cfg Config, peer, analyst transport.C
 }
 
 func thirdPartyParty(ctx context.Context, cfg Config, peer, analyst transport.Conn, values [][]byte, first bool) (*ThirdPartyPeerInfo, error) {
-	ps := newSession(cfg, peer)
-	as := newSession(cfg, analyst)
+	ps := newSession(ctx, cfg, peer)
+	as := newSession(ctx, cfg, analyst)
 	vals := dedup(values)
 
 	peerSize, err := ps.handshake(ctx, wire.ProtoIntersectionSize, len(vals), first)
@@ -58,7 +59,9 @@ func thirdPartyParty(ctx context.Context, cfg Config, peer, analyst transport.Co
 	}
 
 	// Steps 1-2: hash own set, draw key, encrypt.
+	sp := obs.StartSpan(ctx, "hash-to-group")
 	x, err := ps.hashSet(vals)
+	sp.End()
 	if err != nil {
 		return nil, ps.abort(ctx, err)
 	}
@@ -66,13 +69,16 @@ func thirdPartyParty(ctx context.Context, cfg Config, peer, analyst transport.Co
 	if err != nil {
 		return nil, ps.abort(ctx, fmt.Errorf("core: generating key: %w", err))
 	}
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
 	y, err := ps.encryptSet(ctx, key, x)
+	sp.End()
 	if err != nil {
 		return nil, ps.abort(ctx, err)
 	}
 
 	// Step 3: exchange singly-encrypted sets with the peer, sorted.
 	// Party A sends first to avoid a lockstep deadlock.
+	sp = obs.StartSpan(ctx, "exchange")
 	if first {
 		if err := ps.send(ctx, wire.Elements{Elems: sortedCopy(y)}); err != nil {
 			return nil, err
@@ -94,18 +100,24 @@ func thirdPartyParty(ctx context.Context, cfg Config, peer, analyst transport.Co
 			return nil, err
 		}
 	}
+	sp.End()
 
 	// Step 4: double-encrypt the peer's set and ship it — sorted, so the
 	// analyst (and no one else) can only count — to T, together with a
 	// header announcing our own set size.
+	sp = obs.StartSpan(ctx, "re-encrypt")
 	z, err := ps.encryptSet(ctx, key, theirY)
 	if err != nil {
+		sp.End()
 		return nil, ps.abort(ctx, err)
 	}
 	if _, err := as.handshake(ctx, wire.ProtoIntersectionSize, len(vals), true); err != nil {
+		sp.End()
 		return nil, err
 	}
-	if err := as.send(ctx, wire.Elements{Elems: sortedCopy(z)}); err != nil {
+	err = as.send(ctx, wire.Elements{Elems: sortedCopy(z)})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return &ThirdPartyPeerInfo{PeerSetSize: peerSize}, nil
@@ -115,11 +127,12 @@ func thirdPartyParty(ctx context.Context, cfg Config, peer, analyst transport.Co
 // set of party B's values from party A and vice versa, and counts the
 // overlap.  connA and connB are T's connections to the two data parties.
 func ThirdPartyAnalyst(ctx context.Context, cfg Config, connA, connB transport.Conn) (*ThirdPartySizeResult, error) {
-	sa := newSession(cfg, connA)
-	sb := newSession(cfg, connB)
+	sa := newSession(ctx, cfg, connA)
+	sb := newSession(ctx, cfg, connB)
 
 	// Each data party announces its own size, then ships the *other*
 	// party's doubly-encrypted set.
+	sp := obs.StartSpan(ctx, "exchange")
 	sizeA, err := sa.handshake(ctx, wire.ProtoIntersectionSize, 0, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: analyst handshake with A: %w", err)
@@ -135,11 +148,14 @@ func ThirdPartyAnalyst(ctx context.Context, cfg Config, connA, connB transport.C
 		return nil, fmt.Errorf("core: analyst handshake with B: %w", err)
 	}
 	mb, err := sb.recv(ctx, wire.KindElements)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: analyst receiving from B: %w", err)
 	}
 	zFromB := mb.(wire.Elements).Elems // = Z_A: A's values, doubly encrypted
 
+	sp = obs.StartSpan(ctx, "analyst-count")
+	defer sp.End()
 	if err := sa.checkVector(zFromA, sizeB, "Z from A"); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,105 @@
+package costmodel
+
+import (
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// Byte-exact wire censuses.
+//
+// The Section 6.1 communication formulas count only the k-bit codewords:
+// (|V_S|+2|V_R|)·k bits for intersection (and both size protocols),
+// (|V_S|+3|V_R|)·k + |V_S|·k' bits for the equijoin.  A real run also
+// carries a fixed envelope — two session headers, one count prefix per
+// vector, one length prefix per ext ciphertext, and a frame header per
+// message.  Because the codec is deterministic and fixed-width (see the
+// wire package's encoded-size constants), that envelope is an exact
+// affine function of the message counts, so the observed byte counters
+// can be asserted equal to these functions, not merely close.
+
+// WireCost is the exact frame/byte census of one protocol run as
+// observed from the *receiver* endpoint R.  The sender's view is the
+// mirror image: S sends PayloadBytesRecv and receives PayloadBytesSent.
+type WireCost struct {
+	// FramesSent and FramesRecv count messages (handshake included).
+	FramesSent, FramesRecv int64
+	// PayloadBytesSent/Recv are codec payload bytes (codewords + codec
+	// envelope, no frame headers).
+	PayloadBytesSent, PayloadBytesRecv int64
+}
+
+// WireBytesSent returns the on-wire bytes R sends: payload plus one
+// transport frame header per frame.
+func (w WireCost) WireBytesSent() int64 {
+	return w.PayloadBytesSent + w.FramesSent*transport.FrameOverhead
+}
+
+// WireBytesRecv returns the on-wire bytes R receives.
+func (w WireCost) WireBytesRecv() int64 {
+	return w.PayloadBytesRecv + w.FramesRecv*transport.FrameOverhead
+}
+
+// TotalPayloadBytes returns payload traffic in both directions.
+func (w WireCost) TotalPayloadBytes() int64 {
+	return w.PayloadBytesSent + w.PayloadBytesRecv
+}
+
+// TotalWireBytes returns on-wire traffic in both directions.
+func (w WireCost) TotalWireBytes() int64 {
+	return w.WireBytesSent() + w.WireBytesRecv()
+}
+
+// ElementPayloadBytes returns the codeword-only byte count — the Section
+// 6.1 bit formula divided by 8 — by stripping the fixed envelope from
+// the payload totals: headers, per-vector count prefixes, and extra
+// ext-length prefixes.
+func (w WireCost) ElementPayloadBytes(vectors, extEntries int) int64 {
+	return w.TotalPayloadBytes() -
+		2*wire.EncodedHeaderLen -
+		int64(vectors)*wire.VectorOverhead -
+		int64(extEntries)*wire.ExtLenOverhead
+}
+
+// IntersectionWireCost returns the exact census of the Section 3.3
+// intersection protocol from R's endpoint: R sends its header and the
+// sorted Y_R (|V_R| elements); it receives S's header, the sorted Y_S
+// (|V_S| elements), and the aligned re-encryptions of Y_R (|V_R|
+// elements).  Codewords total (|V_S|+2|V_R|)·k bits — the Section 6.1
+// formula.
+func IntersectionWireCost(nS, nR, elemLen int) WireCost {
+	return WireCost{
+		FramesSent:       2,
+		FramesRecv:       3,
+		PayloadBytesSent: wire.EncodedHeaderLen + wire.VectorOverhead + int64(nR*elemLen),
+		PayloadBytesRecv: wire.EncodedHeaderLen + 2*wire.VectorOverhead + int64((nS+nR)*elemLen),
+	}
+}
+
+// IntersectionSizeWireCost equals IntersectionWireCost: the Section
+// 5.1.1 protocol exchanges the same vectors, merely reordered.
+func IntersectionSizeWireCost(nS, nR, elemLen int) WireCost {
+	return IntersectionWireCost(nS, nR, elemLen)
+}
+
+// JoinSizeWireCost is IntersectionWireCost on the multiset sizes (rows
+// with duplicates), per Section 5.2.
+func JoinSizeWireCost(mS, mR, elemLen int) WireCost {
+	return IntersectionWireCost(mS, mR, elemLen)
+}
+
+// JoinWireCost returns the exact census of the Section 4.3 equijoin from
+// R's endpoint: R sends its header and Y_R (|V_R| elements); it receives
+// S's header, |V_R| aligned ⟨f_eS(y), f_e'S(y)⟩ pairs (2|V_R| elements),
+// and |V_S| ⟨f_eS(h(v)), c(v)⟩ pairs where each ciphertext c(v) occupies
+// extLen bytes.  Codewords total (|V_S|+3|V_R|)·k + |V_S|·k' bits with
+// k' = 8·extLen — the Section 6.1 formula.
+func JoinWireCost(nS, nR, elemLen, extLen int) WireCost {
+	return WireCost{
+		FramesSent:       2,
+		FramesRecv:       3,
+		PayloadBytesSent: wire.EncodedHeaderLen + wire.VectorOverhead + int64(nR*elemLen),
+		PayloadBytesRecv: wire.EncodedHeaderLen + 2*wire.VectorOverhead +
+			int64(2*nR*elemLen) +
+			int64(nS)*int64(elemLen+wire.ExtLenOverhead+extLen),
+	}
+}

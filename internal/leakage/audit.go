@@ -53,12 +53,30 @@ var DefaultPolicy = AuditPolicy{
 	MaxQueries:         1000,
 }
 
+// SessionStats carries observed facts about an answered session into the
+// audit trail: how much left the machine, how long the run took, and the
+// per-phase timing breakdown (a rendered span line).  The auditor treats
+// them as opaque annotations — they never influence a policy decision —
+// so this package stays independent of the observability layer.
+type SessionStats struct {
+	// Bytes is the total on-wire traffic of the session, both directions.
+	Bytes int64
+	// Duration is the wall-clock length of the session.
+	Duration time.Duration
+	// Spans is a rendered per-phase timing line, e.g.
+	// "hash-to-group=1.2ms bulk-encrypt=10ms exchange=0.3ms".
+	Spans string
+}
+
 // AuditEntry records one answered query.
 type AuditEntry struct {
 	Peer     string
 	Protocol string
 	SetSize  int
 	Time     time.Time
+	// Stats holds observed session measurements when the caller collected
+	// them (zero otherwise).
+	Stats SessionStats
 }
 
 // Auditor enforces an AuditPolicy and keeps the audit trail.  It is safe
@@ -121,6 +139,12 @@ func (a *Auditor) checkLocked(peer string, set map[string]struct{}) error {
 // Approve atomically checks a query and, if allowed, records it in the
 // audit trail.  Protocol code calls this before answering a peer.
 func (a *Auditor) Approve(peer, protocol string, values [][]byte) error {
+	return a.ApproveSession(peer, protocol, values, SessionStats{})
+}
+
+// ApproveSession is Approve with observed session measurements attached
+// to the trail entry.
+func (a *Auditor) ApproveSession(peer, protocol string, values [][]byte, stats SessionStats) error {
 	set := toSet(values)
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -133,6 +157,7 @@ func (a *Auditor) Approve(peer, protocol string, values [][]byte) error {
 		Protocol: protocol,
 		SetSize:  len(set),
 		Time:     a.now(),
+		Stats:    stats,
 	})
 	return nil
 }

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WriteText renders a registry snapshot in a flat key-value text form,
+// one metric per line, followed by one line per live/recent session.
+func WriteText(w io.Writer, snap RegistrySnapshot) {
+	fmt.Fprintf(w, "# minshare observability snapshot\n")
+	fmt.Fprintf(w, "uptime_seconds %.1f\n", snap.UptimeSeconds)
+	fmt.Fprintf(w, "sessions_active %d\n", snap.SessionsActive)
+	fmt.Fprintf(w, "sessions_finished %d\n", snap.SessionsFinished)
+	fmt.Fprintf(w, "sessions_failed %d\n", snap.SessionsFailed)
+	writeCountersText(w, "", snap.Global)
+	if len(snap.Active) > 0 {
+		fmt.Fprintf(w, "# active sessions\n")
+		ordered := append([]SessionSnapshot(nil), snap.Active...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+		for _, s := range ordered {
+			writeSessionText(w, s)
+		}
+	}
+	if len(snap.Recent) > 0 {
+		fmt.Fprintf(w, "# recent sessions\n")
+		for _, s := range snap.Recent {
+			writeSessionText(w, s)
+		}
+	}
+}
+
+func writeCountersText(w io.Writer, prefix string, c CounterSnapshot) {
+	fmt.Fprintf(w, "%smodexp_encrypts %d\n", prefix, c.ModExpEncrypts)
+	fmt.Fprintf(w, "%smodexp_decrypts %d\n", prefix, c.ModExpDecrypts)
+	fmt.Fprintf(w, "%smodexp_total %d\n", prefix, c.ModExps())
+	fmt.Fprintf(w, "%skeygens %d\n", prefix, c.KeyGens)
+	fmt.Fprintf(w, "%soracle_hashes %d\n", prefix, c.OracleHashes)
+	fmt.Fprintf(w, "%spayload_encrypts %d\n", prefix, c.PayloadEncrypts)
+	fmt.Fprintf(w, "%spayload_decrypts %d\n", prefix, c.PayloadDecrypts)
+	fmt.Fprintf(w, "%sframes_sent %d\n", prefix, c.FramesSent)
+	fmt.Fprintf(w, "%sframes_recv %d\n", prefix, c.FramesRecv)
+	fmt.Fprintf(w, "%spayload_bytes_sent %d\n", prefix, c.PayloadBytesSent)
+	fmt.Fprintf(w, "%spayload_bytes_recv %d\n", prefix, c.PayloadBytesRecv)
+	fmt.Fprintf(w, "%swire_bytes_sent %d\n", prefix, c.WireBytesSent)
+	fmt.Fprintf(w, "%swire_bytes_recv %d\n", prefix, c.WireBytesRecv)
+}
+
+func writeSessionText(w io.Writer, s SessionSnapshot) {
+	outcome := s.Outcome
+	if outcome == "" {
+		outcome = "running"
+	}
+	fmt.Fprintf(w, "session id=%d protocol=%s peer=%q role=%s local_set=%d peer_set=%d duration=%s modexp=%d oracle_hashes=%d wire_bytes=%d outcome=%q",
+		s.ID, s.Info.Protocol, s.Info.Peer, s.Info.Role,
+		s.Info.LocalSetSize, s.Info.PeerSetSize,
+		s.Duration.Round(time.Microsecond),
+		s.Counters.ModExps(), s.Counters.OracleHashes,
+		s.Counters.TotalWireBytes(), outcome)
+	if len(s.Spans) > 0 {
+		fmt.Fprintf(w, " spans=%q", RenderSpans(s.Spans))
+	}
+	fmt.Fprintln(w)
+}
+
+// Handler serves the registry snapshot: text by default, JSON when the
+// request asks for it (?format=json or an Accept header preferring
+// application/json).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if wantJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteText(w, snap)
+	})
+}
+
+func wantJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}
+
+// DebugMux returns the opt-in introspection mux served by psiserver's
+// -debug-addr: /metrics (this registry), /debug/vars (expvar) and
+// /debug/pprof/* (runtime profiling).
+func (r *Registry) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// publishMu serializes expvar publication checks (expvar.Publish panics
+// on duplicate names, and expvar offers no unpublish for tests).
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the registry snapshot as an expvar under name.
+// Safe to call more than once; later calls for an existing name are
+// no-ops.
+func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,196 @@
+// Package obs is the observability layer for the protocol stack: atomic
+// counters for the primitives the paper's Section 6 cost model prices
+// (modular exponentiations C_e, random-oracle hashes C_h, payload
+// encryptions C_K, frames and bytes on the wire), lightweight spans with
+// monotonic timings for each protocol phase, and pluggable sinks (text
+// and JSON snapshots, expvar publication, an HTTP debug mux).
+//
+// The design goal is that the paper's closed-form cost analysis —
+// 2·C_e·(|V_S|+|V_R|) exponentiations and (|V_S|+2|V_R|)·k bits for the
+// intersection protocol — becomes a continuously *observed* quantity: a
+// protocol run attributed to a Session produces counters that tests and
+// the experiment harness compare against internal/costmodel exactly.
+//
+// # Cost of instrumentation
+//
+// Counting is attribution-driven: nothing is recorded unless a *Session
+// is attached to the context a protocol runs under (obs.WithSession).
+// Without a session, span constructors return a nil *Span whose methods
+// are no-ops and no counter is touched, so the hot path pays only a
+// pointer-typed context lookup.  With a session, each counted event is
+// one atomic add per level of the counter chain (session → process
+// global) — noise compared to a 1024-bit modular exponentiation.
+//
+// The package is intentionally a leaf: it imports only the standard
+// library, so every layer of the repository (crypto substrate, protocol
+// drivers, transport, server) can feed it without import cycles.
+package obs
+
+import "sync/atomic"
+
+// Counters is one level of the operation census.  Counters form a chain:
+// an Add on a session-level Counters also increments its parent (the
+// process-global level), giving per-session and process-global
+// aggregation from a single call.  All methods are safe for concurrent
+// use; a nil *Counters is inert.
+type Counters struct {
+	parent *Counters
+
+	// Costed crypto primitives (Section 6.1's C_e, C_h, C_K).
+	modExpEncrypts  atomic.Int64
+	modExpDecrypts  atomic.Int64
+	keyGens         atomic.Int64
+	oracleHashes    atomic.Int64
+	payloadEncrypts atomic.Int64
+	payloadDecrypts atomic.Int64
+
+	// Communication, split into payload (what the Section 6.1 formulas
+	// count, plus codec overhead) and on-wire (payload + frame headers).
+	framesSent       atomic.Int64
+	framesRecv       atomic.Int64
+	payloadBytesSent atomic.Int64
+	payloadBytesRecv atomic.Int64
+	wireBytesSent    atomic.Int64
+	wireBytesRecv    atomic.Int64
+}
+
+// NewCounters returns a Counters level chained to parent (nil for a
+// root).
+func NewCounters(parent *Counters) *Counters {
+	return &Counters{parent: parent}
+}
+
+// AddModExpEncrypts records n encryption exponentiations (C_e each).
+func (c *Counters) AddModExpEncrypts(n int64) {
+	for x := c; x != nil; x = x.parent {
+		x.modExpEncrypts.Add(n)
+	}
+}
+
+// AddModExpDecrypts records n decryption exponentiations (C_e each).
+func (c *Counters) AddModExpDecrypts(n int64) {
+	for x := c; x != nil; x = x.parent {
+		x.modExpDecrypts.Add(n)
+	}
+}
+
+// AddKeyGens records n key generations.
+func (c *Counters) AddKeyGens(n int64) {
+	for x := c; x != nil; x = x.parent {
+		x.keyGens.Add(n)
+	}
+}
+
+// AddOracleHashes records n random-oracle evaluations (C_h each).
+func (c *Counters) AddOracleHashes(n int64) {
+	for x := c; x != nil; x = x.parent {
+		x.oracleHashes.Add(n)
+	}
+}
+
+// AddPayloadEncrypts records n ext(v)-payload encryptions (C_K each).
+func (c *Counters) AddPayloadEncrypts(n int64) {
+	for x := c; x != nil; x = x.parent {
+		x.payloadEncrypts.Add(n)
+	}
+}
+
+// AddPayloadDecrypts records n ext(v)-payload decryptions (C_K each).
+func (c *Counters) AddPayloadDecrypts(n int64) {
+	for x := c; x != nil; x = x.parent {
+		x.payloadDecrypts.Add(n)
+	}
+}
+
+// AddFrameSent records one outbound frame carrying payloadBytes of codec
+// payload and wireBytes on the wire (payload + frame header).
+func (c *Counters) AddFrameSent(payloadBytes, wireBytes int64) {
+	for x := c; x != nil; x = x.parent {
+		x.framesSent.Add(1)
+		x.payloadBytesSent.Add(payloadBytes)
+		x.wireBytesSent.Add(wireBytes)
+	}
+}
+
+// AddFrameRecv records one inbound frame.
+func (c *Counters) AddFrameRecv(payloadBytes, wireBytes int64) {
+	for x := c; x != nil; x = x.parent {
+		x.framesRecv.Add(1)
+		x.payloadBytesRecv.Add(payloadBytes)
+		x.wireBytesRecv.Add(wireBytes)
+	}
+}
+
+// Snapshot returns a consistent-enough copy of this level (each field is
+// read atomically; cross-field skew is possible under concurrent load,
+// which is fine for reporting).  A nil receiver yields a zero snapshot.
+func (c *Counters) Snapshot() CounterSnapshot {
+	if c == nil {
+		return CounterSnapshot{}
+	}
+	return CounterSnapshot{
+		ModExpEncrypts:   c.modExpEncrypts.Load(),
+		ModExpDecrypts:   c.modExpDecrypts.Load(),
+		KeyGens:          c.keyGens.Load(),
+		OracleHashes:     c.oracleHashes.Load(),
+		PayloadEncrypts:  c.payloadEncrypts.Load(),
+		PayloadDecrypts:  c.payloadDecrypts.Load(),
+		FramesSent:       c.framesSent.Load(),
+		FramesRecv:       c.framesRecv.Load(),
+		PayloadBytesSent: c.payloadBytesSent.Load(),
+		PayloadBytesRecv: c.payloadBytesRecv.Load(),
+		WireBytesSent:    c.wireBytesSent.Load(),
+		WireBytesRecv:    c.wireBytesRecv.Load(),
+	}
+}
+
+// CounterSnapshot is a point-in-time copy of one Counters level.
+type CounterSnapshot struct {
+	ModExpEncrypts   int64 `json:"modexp_encrypts"`
+	ModExpDecrypts   int64 `json:"modexp_decrypts"`
+	KeyGens          int64 `json:"keygens"`
+	OracleHashes     int64 `json:"oracle_hashes"`
+	PayloadEncrypts  int64 `json:"payload_encrypts"`
+	PayloadDecrypts  int64 `json:"payload_decrypts"`
+	FramesSent       int64 `json:"frames_sent"`
+	FramesRecv       int64 `json:"frames_recv"`
+	PayloadBytesSent int64 `json:"payload_bytes_sent"`
+	PayloadBytesRecv int64 `json:"payload_bytes_recv"`
+	WireBytesSent    int64 `json:"wire_bytes_sent"`
+	WireBytesRecv    int64 `json:"wire_bytes_recv"`
+}
+
+// ModExps returns the total C_e census: encrypts + decrypts, the
+// quantity the Section 6.1 formulas price.
+func (s CounterSnapshot) ModExps() int64 {
+	return s.ModExpEncrypts + s.ModExpDecrypts
+}
+
+// TotalPayloadBytes returns payload traffic in both directions.
+func (s CounterSnapshot) TotalPayloadBytes() int64 {
+	return s.PayloadBytesSent + s.PayloadBytesRecv
+}
+
+// TotalWireBytes returns on-wire traffic in both directions.
+func (s CounterSnapshot) TotalWireBytes() int64 {
+	return s.WireBytesSent + s.WireBytesRecv
+}
+
+// Add returns the field-wise sum of two snapshots (used to combine both
+// endpoints of a protocol run).
+func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		ModExpEncrypts:   s.ModExpEncrypts + o.ModExpEncrypts,
+		ModExpDecrypts:   s.ModExpDecrypts + o.ModExpDecrypts,
+		KeyGens:          s.KeyGens + o.KeyGens,
+		OracleHashes:     s.OracleHashes + o.OracleHashes,
+		PayloadEncrypts:  s.PayloadEncrypts + o.PayloadEncrypts,
+		PayloadDecrypts:  s.PayloadDecrypts + o.PayloadDecrypts,
+		FramesSent:       s.FramesSent + o.FramesSent,
+		FramesRecv:       s.FramesRecv + o.FramesRecv,
+		PayloadBytesSent: s.PayloadBytesSent + o.PayloadBytesSent,
+		PayloadBytesRecv: s.PayloadBytesRecv + o.PayloadBytesRecv,
+		WireBytesSent:    s.WireBytesSent + o.WireBytesSent,
+		WireBytesRecv:    s.WireBytesRecv + o.WireBytesRecv,
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SessionInfo identifies one protocol run for reporting.
+type SessionInfo struct {
+	Protocol     string `json:"protocol"`
+	Peer         string `json:"peer,omitempty"`
+	Role         string `json:"role"` // "receiver" (party R) or "sender" (party S)
+	LocalSetSize int    `json:"local_set_size"`
+	PeerSetSize  int    `json:"peer_set_size"`
+}
+
+// Session is the attribution unit: one protocol run at one endpoint.
+// Attach it to a context with WithSession before invoking a role
+// function; the instrumented stack below records counters (chained to
+// the registry's process-global level) and a span tree against it.
+type Session struct {
+	reg      *Registry
+	id       uint64
+	info     SessionInfo
+	start    time.Time
+	counters Counters
+	root     *Span
+
+	mu      sync.Mutex
+	ended   bool
+	d       time.Duration
+	outcome string
+}
+
+// ID returns the registry-unique session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Info returns the identifying metadata.
+func (s *Session) Info() SessionInfo { return s.info }
+
+// Counters returns the session-level counter sink (parented to the
+// registry's global level).
+func (s *Session) Counters() *Counters { return &s.counters }
+
+// SetInfo replaces the session metadata (e.g. once the peer's set size
+// is learned from its header).
+func (s *Session) SetInfo(info SessionInfo) {
+	s.mu.Lock()
+	s.info = info
+	s.mu.Unlock()
+}
+
+// End closes the session with the run's outcome (nil error = "ok"),
+// moves it from the registry's active set into the recent ring, and
+// returns the final snapshot.  Calling End again returns a fresh
+// snapshot without touching the registry.
+func (s *Session) End(err error) SessionSnapshot {
+	s.root.End()
+	s.mu.Lock()
+	already := s.ended
+	if !already {
+		s.ended = true
+		s.d = time.Since(s.start)
+		if err != nil {
+			s.outcome = err.Error()
+		} else {
+			s.outcome = "ok"
+		}
+	}
+	s.mu.Unlock()
+	snap := s.Snapshot()
+	if !already && s.reg != nil {
+		r := s.reg
+		r.mu.Lock()
+		delete(r.active, s.id)
+		r.finished++
+		if err != nil {
+			r.failed++
+		}
+		r.recent = append(r.recent, snap)
+		if len(r.recent) > recentKeep {
+			r.recent = r.recent[len(r.recent)-recentKeep:]
+		}
+		r.mu.Unlock()
+	}
+	return snap
+}
+
+// Snapshot copies the session's current state; safe while the run is
+// still in flight (duration and spans report running values).
+func (s *Session) Snapshot() SessionSnapshot {
+	s.mu.Lock()
+	snap := SessionSnapshot{
+		ID:       s.id,
+		Info:     s.info,
+		Start:    s.start,
+		Duration: s.d,
+		Outcome:  s.outcome,
+	}
+	ended := s.ended
+	s.mu.Unlock()
+	if !ended {
+		snap.Duration = time.Since(s.start)
+	}
+	snap.Counters = s.counters.Snapshot()
+	root := s.root.snapshot(s.start)
+	snap.Spans = root.Children
+	return snap
+}
+
+// SessionSnapshot is an immutable copy of one session.
+type SessionSnapshot struct {
+	ID       uint64          `json:"id"`
+	Info     SessionInfo     `json:"info"`
+	Start    time.Time       `json:"start"`
+	Duration time.Duration   `json:"duration_ns"`
+	Outcome  string          `json:"outcome,omitempty"` // "" while running, "ok", or the error text
+	Counters CounterSnapshot `json:"counters"`
+	Spans    []SpanSnapshot  `json:"spans,omitempty"`
+}
+
+// recentKeep bounds the finished-session ring kept for /metrics.
+const recentKeep = 8
+
+// Registry owns the process-global counter level and the set of live and
+// recently finished sessions.  A zero Registry is not usable; call
+// NewRegistry (or use Default).
+type Registry struct {
+	start  time.Time
+	global Counters
+
+	mu       sync.Mutex
+	seq      uint64
+	active   map[uint64]*Session
+	finished int64
+	failed   int64
+	recent   []SessionSnapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now(), active: make(map[uint64]*Session)}
+}
+
+// Global returns the process-global counter level.  Counting directly
+// against it (outside any session) is allowed.
+func (r *Registry) Global() *Counters { return &r.global }
+
+// StartSession registers a new live session whose counters chain into
+// the registry's global level.
+func (r *Registry) StartSession(info SessionInfo) *Session {
+	now := time.Now()
+	s := &Session{
+		reg:      r,
+		info:     info,
+		start:    now,
+		counters: Counters{parent: &r.global},
+		root:     &Span{name: "session", start: now},
+	}
+	r.mu.Lock()
+	r.seq++
+	s.id = r.seq
+	r.active[s.id] = s
+	r.mu.Unlock()
+	return s
+}
+
+// RegistrySnapshot is a point-in-time copy of the whole registry.
+type RegistrySnapshot struct {
+	UptimeSeconds    float64           `json:"uptime_seconds"`
+	Global           CounterSnapshot   `json:"global"`
+	SessionsActive   int               `json:"sessions_active"`
+	SessionsFinished int64             `json:"sessions_finished"`
+	SessionsFailed   int64             `json:"sessions_failed"`
+	Active           []SessionSnapshot `json:"active,omitempty"`
+	Recent           []SessionSnapshot `json:"recent,omitempty"`
+}
+
+// Snapshot copies the registry: global counters, live sessions, and the
+// recent-finished ring.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	live := make([]*Session, 0, len(r.active))
+	for _, s := range r.active {
+		live = append(live, s)
+	}
+	snap := RegistrySnapshot{
+		UptimeSeconds:    time.Since(r.start).Seconds(),
+		SessionsActive:   len(live),
+		SessionsFinished: r.finished,
+		SessionsFailed:   r.failed,
+		Recent:           append([]SessionSnapshot(nil), r.recent...),
+	}
+	r.mu.Unlock()
+	snap.Global = r.global.Snapshot()
+	for _, s := range live {
+		snap.Active = append(snap.Active, s.Snapshot())
+	}
+	return snap
+}
+
+// std is the process-default registry used by cmd/psiserver.
+var std = NewRegistry()
+
+// Default returns the process-default registry.
+func Default() *Registry { return std }

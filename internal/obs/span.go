@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a protocol run (hash-to-group, bulk-encrypt,
+// exchange, re-encrypt, match, …).  Spans form a tree under a Session's
+// root.  A nil *Span is a valid no-op span: every method is nil-safe, so
+// instrumented code can call StartSpan/End unconditionally and pay
+// nothing when no session is attached.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	d        time.Duration
+	ended    bool
+	children []*Span
+}
+
+// StartChild opens a sub-span under s.  Returns nil if s is nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, freezing its duration, and closes any still-open
+// children (so a phase abandoned on an error path freezes when its
+// parent — ultimately the session root — ends).  Idempotent and
+// nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.d = time.Since(s.start)
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.End()
+	}
+}
+
+// snapshot copies the span tree; offsets are relative to base.  Open
+// spans report their running duration.
+func (s *Span) snapshot(base time.Time) SpanSnapshot {
+	s.mu.Lock()
+	snap := SpanSnapshot{Name: s.name, Offset: s.start.Sub(base), Duration: s.d}
+	if !s.ended {
+		snap.Duration = time.Since(s.start)
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		snap.Children = append(snap.Children, c.snapshot(base))
+	}
+	return snap
+}
+
+// SpanSnapshot is an immutable copy of one span.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	Offset   time.Duration  `json:"offset_ns"`
+	Duration time.Duration  `json:"duration_ns"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// RenderSpans flattens a span forest into a compact one-line form like
+// "hash-to-group=1.2ms bulk-encrypt=10ms exchange=0.3ms", suitable for a
+// log line or an audit-trail annotation.  Nested spans are rendered as
+// parent/child.  Order follows start offsets.
+func RenderSpans(spans []SpanSnapshot) string {
+	var parts []string
+	var walk func(prefix string, ss []SpanSnapshot)
+	walk = func(prefix string, ss []SpanSnapshot) {
+		ordered := append([]SpanSnapshot(nil), ss...)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Offset < ordered[j].Offset })
+		for _, sp := range ordered {
+			name := sp.Name
+			if prefix != "" {
+				name = prefix + "/" + name
+			}
+			parts = append(parts, fmt.Sprintf("%s=%s", name, sp.Duration.Round(time.Microsecond)))
+			walk(name, sp.Children)
+		}
+	}
+	walk("", spans)
+	return strings.Join(parts, " ")
+}
+
+// sessionKey is the context key under which a *Session travels.
+type sessionKey struct{}
+
+// WithSession attaches a Session to ctx; protocol code running under the
+// returned context attributes its counters and spans to that session.
+func WithSession(ctx context.Context, s *Session) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, sessionKey{}, s)
+}
+
+// SessionFrom returns the Session attached to ctx, or nil.
+func SessionFrom(ctx context.Context) *Session {
+	s, _ := ctx.Value(sessionKey{}).(*Session)
+	return s
+}
+
+// StartSpan opens a named phase span under the session attached to ctx.
+// Without a session it returns nil — a no-op span — so this is free on
+// uninstrumented runs.
+func StartSpan(ctx context.Context, name string) *Span {
+	if s := SessionFrom(ctx); s != nil {
+		return s.root.StartChild(name)
+	}
+	return nil
+}

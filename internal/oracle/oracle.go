@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"minshare/internal/group"
+	"minshare/internal/obs"
 )
 
 // Oracle hashes application values into a fixed group.  It is stateless
@@ -37,6 +38,9 @@ type Oracle struct {
 	// deployments (or test fixtures) can use independent oracles over the
 	// same group.
 	domainSep []byte
+	// counters, when non-nil, receives one C_h tick per oracle
+	// evaluation (see Observed).
+	counters *obs.Counters
 }
 
 // New returns an Oracle into g with an empty domain-separation tag.
@@ -53,10 +57,26 @@ func NewWithDomain(g *group.Group, tag string) *Oracle {
 // Group returns the target group.
 func (o *Oracle) Group() *group.Group { return o.g }
 
+// Observed returns a copy of the oracle whose evaluations are counted
+// into c (one C_h per Hash, one per rejection-sampling attempt in
+// HashRejection).  A nil c returns o unchanged.  The copy shares the
+// group and domain tag, so outputs are identical to the original's.
+func (o *Oracle) Observed(c *obs.Counters) *Oracle {
+	if c == nil {
+		return o
+	}
+	cp := *o
+	cp.counters = c
+	return &cp
+}
+
 // Hash maps an arbitrary byte string to a quadratic residue modulo p.
 // Equal inputs map to equal outputs; the distribution over random inputs
 // is statistically close to uniform on QR(p).
 func (o *Oracle) Hash(v []byte) *big.Int {
+	if o.counters != nil {
+		o.counters.AddOracleHashes(1)
+	}
 	// Expand to 2*len(p) bytes so the bias of the final reduction mod p
 	// is at most 2^-|p|.
 	outLen := 2 * o.g.ElementLen()
@@ -89,6 +109,9 @@ func (o *Oracle) HashRejection(v []byte) *big.Int {
 	outLen := 2 * o.g.ElementLen()
 	pMinus1 := new(big.Int).Sub(o.g.P(), big.NewInt(1))
 	for attempt := uint32(0); ; attempt++ {
+		if o.counters != nil {
+			o.counters.AddOracleHashes(1)
+		}
 		buf := make([]byte, 0, outLen+sha256.Size)
 		var ctr uint32
 		for len(buf) < outLen {

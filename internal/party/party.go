@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"minshare/internal/core"
 	"minshare/internal/group"
 	"minshare/internal/leakage"
+	"minshare/internal/obs"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
 )
@@ -71,6 +73,11 @@ type Server struct {
 	// Auditor, when non-nil, records every answered session and can veto
 	// on its own criteria (budget, overlap of the served set).
 	Auditor *leakage.Auditor
+	// Obs, when non-nil, attributes each answered session to an
+	// observability session in this registry: crypto-op and byte counters,
+	// per-phase spans, and a summary line per session.  Nil keeps the
+	// protocol hot path uninstrumented.
+	Obs *obs.Registry
 	// Logf, when non-nil, receives one line per session.
 	Logf func(format string, args ...any)
 
@@ -156,6 +163,22 @@ func (s *Server) handle(ctx context.Context, peer string, conn transport.Conn) e
 	replay := &replayConn{Conn: conn, pending: first}
 	s.logf("party: %s running %v (peer set size %d)", peer, hdr.Protocol, hdr.SetSize)
 
+	// Attribute the run to an observability session.  The header frame
+	// already consumed above is re-counted when replayConn hands it back
+	// through the instrumented core session, so the byte census stays
+	// complete.
+	var osess *obs.Session
+	if s.Obs != nil {
+		osess = s.Obs.StartSession(obs.SessionInfo{
+			Protocol:     hdr.Protocol.String(),
+			Peer:         peer,
+			Role:         "sender",
+			LocalSetSize: s.localSetSize(hdr.Protocol),
+			PeerSetSize:  int(hdr.SetSize),
+		})
+		ctx = obs.WithSession(ctx, osess)
+	}
+
 	switch hdr.Protocol {
 	case wire.ProtoIntersection:
 		_, err = core.IntersectionSender(ctx, cfg, replay, s.Values)
@@ -163,9 +186,10 @@ func (s *Server) handle(ctx context.Context, peer string, conn transport.Conn) e
 		_, err = core.IntersectionSizeSender(ctx, cfg, replay, s.Values)
 	case wire.ProtoEquijoin:
 		if s.Records == nil {
-			return s.refuse(ctx, conn, codec, "server does not serve equijoin")
+			err = s.refuse(ctx, conn, codec, "server does not serve equijoin")
+		} else {
+			_, err = core.EquijoinSender(ctx, cfg, replay, s.Records)
 		}
-		_, err = core.EquijoinSender(ctx, cfg, replay, s.Records)
 	case wire.ProtoEquijoinSize:
 		values := s.Multiset
 		if values == nil {
@@ -173,14 +197,43 @@ func (s *Server) handle(ctx context.Context, peer string, conn transport.Conn) e
 		}
 		_, err = core.EquijoinSizeSender(ctx, cfg, replay, values)
 	default:
-		return s.refuse(ctx, conn, codec, fmt.Sprintf("unsupported protocol %v", hdr.Protocol))
+		err = s.refuse(ctx, conn, codec, fmt.Sprintf("unsupported protocol %v", hdr.Protocol))
+	}
+
+	var stats leakage.SessionStats
+	if osess != nil {
+		snap := osess.End(err)
+		stats = leakage.SessionStats{
+			Bytes:    snap.Counters.TotalWireBytes(),
+			Duration: snap.Duration,
+			Spans:    obs.RenderSpans(snap.Spans),
+		}
+		s.logf("party: session %d with %s: protocol=%v outcome=%q duration=%s modexp=%d oracle_hashes=%d wire_bytes=%d spans=%q",
+			snap.ID, peer, hdr.Protocol, snap.Outcome,
+			snap.Duration.Round(time.Microsecond),
+			snap.Counters.ModExps(), snap.Counters.OracleHashes,
+			snap.Counters.TotalWireBytes(), stats.Spans)
 	}
 	if err != nil {
 		return err
 	}
 
-	s.record(peer, hdr)
+	s.record(peer, hdr, stats)
 	return nil
+}
+
+// localSetSize reports how many values this server commits to a run of
+// the given protocol, for session metadata.
+func (s *Server) localSetSize(proto wire.Protocol) int {
+	switch proto {
+	case wire.ProtoEquijoin:
+		return len(s.Records)
+	case wire.ProtoEquijoinSize:
+		if s.Multiset != nil {
+			return len(s.Multiset)
+		}
+	}
+	return len(s.Values)
 }
 
 func (s *Server) refuse(ctx context.Context, conn transport.Conn, codec *wire.Codec, why string) error {
@@ -214,7 +267,7 @@ func (s *Server) checkPolicy(peer string, hdr wire.Header) error {
 	return nil
 }
 
-func (s *Server) record(peer string, hdr wire.Header) {
+func (s *Server) record(peer string, hdr wire.Header, stats leakage.SessionStats) {
 	s.mu.Lock()
 	if s.perPeer == nil {
 		s.perPeer = make(map[string]int)
@@ -222,7 +275,7 @@ func (s *Server) record(peer string, hdr wire.Header) {
 	s.perPeer[peer]++
 	s.mu.Unlock()
 	if s.Auditor != nil {
-		_ = s.Auditor.Approve(peer, hdr.Protocol.String(), s.Values)
+		_ = s.Auditor.ApproveSession(peer, hdr.Protocol.String(), s.Values, stats)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"minshare/internal/core"
 	"minshare/internal/group"
 	"minshare/internal/leakage"
+	"minshare/internal/obs"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
 )
@@ -246,5 +247,93 @@ func TestConcurrentClients(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Error(err)
 		}
+	}
+}
+
+// TestServerObservability: with an obs registry attached, every answered
+// session lands in the registry with full counters, the summary line is
+// logged, and the audit trail carries the observed stats.
+func TestServerObservability(t *testing.T) {
+	srv := testServer(Policy{})
+	srv.Obs = obs.NewRegistry()
+	srv.Auditor = leakage.NewAuditor(leakage.AuditPolicy{MaxOverlapFraction: 1})
+	var logLines []string
+	srv.Logf = func(format string, args ...any) {
+		logLines = append(logLines, fmt.Sprintf(format, args...))
+	}
+	client := pipeClient(t, srv)
+	ctx := context.Background()
+
+	if _, err := client.Intersect(ctx, [][]byte{[]byte("b"), []byte("x")}); err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	if _, err := client.IntersectSize(ctx, [][]byte{[]byte("a")}); err != nil {
+		t.Fatalf("IntersectSize: %v", err)
+	}
+
+	snap := srv.Obs.Snapshot()
+	if snap.SessionsFinished != 2 || snap.SessionsFailed != 0 || snap.SessionsActive != 0 {
+		t.Fatalf("sessions = %d finished / %d failed / %d active, want 2/0/0",
+			snap.SessionsFinished, snap.SessionsFailed, snap.SessionsActive)
+	}
+	// 2 intersection-family runs against a 4-value server set with peer
+	// sets of 2 and 1: the server performs (nS + nR) exponentiations per
+	// run = (4+2) + (4+1).
+	if got := snap.Global.ModExps(); got != 11 {
+		t.Errorf("global modexps = %d, want 11", got)
+	}
+	first := snap.Recent[0]
+	if first.Info.Protocol != "intersection" || first.Info.Role != "sender" ||
+		first.Info.Peer != "test-peer" || first.Info.LocalSetSize != 4 || first.Info.PeerSetSize != 2 {
+		t.Errorf("session info = %+v", first.Info)
+	}
+	if first.Counters.FramesSent != 3 || first.Counters.FramesRecv != 2 {
+		t.Errorf("sender frames = %d sent / %d recv, want 3/2",
+			first.Counters.FramesSent, first.Counters.FramesRecv)
+	}
+	if len(first.Spans) == 0 {
+		t.Error("session has no phase spans")
+	}
+
+	var summary string
+	for _, l := range logLines {
+		if strings.Contains(l, "outcome=\"ok\"") {
+			summary = l
+			break
+		}
+	}
+	if summary == "" || !strings.Contains(summary, "modexp=") || !strings.Contains(summary, "spans=") {
+		t.Errorf("no per-session summary in log: %q", logLines)
+	}
+
+	trail := srv.Auditor.Trail()
+	if len(trail) != 2 {
+		t.Fatalf("audit trail has %d entries, want 2", len(trail))
+	}
+	if trail[0].Stats.Bytes != first.Counters.TotalWireBytes() || trail[0].Stats.Bytes == 0 {
+		t.Errorf("audit stats bytes = %d, want %d", trail[0].Stats.Bytes, first.Counters.TotalWireBytes())
+	}
+	if trail[0].Stats.Duration <= 0 || trail[0].Stats.Spans == "" {
+		t.Errorf("audit stats incomplete: %+v", trail[0].Stats)
+	}
+}
+
+// TestServerObservabilityRecordsFailures: a refused protocol still ends
+// its obs session with the failure outcome.
+func TestServerObservabilityRecordsFailures(t *testing.T) {
+	srv := testServer(Policy{})
+	srv.Records = nil // disable equijoin
+	srv.Obs = obs.NewRegistry()
+	client := pipeClient(t, srv)
+
+	if _, err := client.Join(context.Background(), [][]byte{[]byte("a")}); err == nil {
+		t.Fatal("Join succeeded against a server without records")
+	}
+	snap := srv.Obs.Snapshot()
+	if snap.SessionsFinished != 1 || snap.SessionsFailed != 1 {
+		t.Errorf("sessions = %d finished / %d failed, want 1/1", snap.SessionsFinished, snap.SessionsFailed)
+	}
+	if len(snap.Recent) != 1 || snap.Recent[0].Outcome == "ok" || snap.Recent[0].Outcome == "" {
+		t.Errorf("recent = %+v", snap.Recent)
 	}
 }

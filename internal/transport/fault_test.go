@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// The fault decorator composes with the meter: experiments that measure
+// traffic while injecting failures stack them as Meter(Fault(conn)), so
+// the meter must see exactly what the fault layer delivered — an
+// injected failure must not inflate the byte census, and a corrupted or
+// truncated frame must be counted at its delivered length.
+
+func TestMeterOverFaultFailedSendNotCounted(t *testing.T) {
+	ctx := context.Background()
+	a, b := Pipe()
+	defer b.Close()
+	f := NewFault(a)
+	f.FailSendAt = 2
+	m := NewMeter(f)
+
+	payload := bytes.Repeat([]byte{7}, 100)
+	if err := m.Send(ctx, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(ctx, payload); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second send: err = %v, want ErrInjected", err)
+	}
+	if err := m.Send(ctx, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two frames actually crossed; the injected failure is invisible to
+	// the census.
+	if got := m.FramesSent(); got != 2 {
+		t.Errorf("FramesSent = %d, want 2", got)
+	}
+	if got := m.BytesSent(); got != 200 {
+		t.Errorf("BytesSent = %d, want 200", got)
+	}
+	if got := m.WireBytesSent(); got != 200+2*FrameOverhead {
+		t.Errorf("WireBytesSent = %d, want %d", got, 200+2*FrameOverhead)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("recv %d: frame mangled", i)
+		}
+	}
+}
+
+func TestMeterOverFaultFailedRecvNotCounted(t *testing.T) {
+	ctx := context.Background()
+	a, b := Pipe()
+	defer a.Close()
+	f := NewFault(b)
+	f.FailRecvAt = 1
+	m := NewMeter(f)
+
+	if err := a.Send(ctx, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recv(ctx); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first recv: err = %v, want ErrInjected", err)
+	}
+	if got := m.FramesRecv(); got != 0 {
+		t.Errorf("FramesRecv after injected failure = %d, want 0", got)
+	}
+	// The fault consumed its counter but not the frame: the next Recv
+	// still yields the first queued frame, and only that is counted.
+	got, err := m.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Errorf("recv after failure = %q, want %q", got, "first")
+	}
+	if m.FramesRecv() != 1 || m.BytesRecv() != int64(len("first")) {
+		t.Errorf("counters: %d frames, %d bytes", m.FramesRecv(), m.BytesRecv())
+	}
+	if got := m.WireBytesRecv(); got != int64(len("first"))+FrameOverhead {
+		t.Errorf("WireBytesRecv = %d", got)
+	}
+}
+
+func TestMeterOverFaultCountsDeliveredLengths(t *testing.T) {
+	ctx := context.Background()
+	a, b := Pipe()
+	defer a.Close()
+	f := NewFault(b)
+	f.CorruptRecvAt = 1
+	f.TruncateRecvAt = 2
+	m := NewMeter(f)
+
+	orig := bytes.Repeat([]byte{0x5A}, 64)
+	for i := 0; i < 3; i++ {
+		if err := a.Send(ctx, orig); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Frame 1: corrupted, same length.
+	got, err := m.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Error("frame 1 was not corrupted")
+	}
+	if len(got) != len(orig) {
+		t.Errorf("corrupted frame length %d, want %d", len(got), len(orig))
+	}
+
+	// Frame 2: truncated to half; the meter charges the delivered half.
+	got, err = m.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig)/2 {
+		t.Errorf("truncated frame length %d, want %d", len(got), len(orig)/2)
+	}
+
+	// Frame 3: clean.
+	got, err = m.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig) {
+		t.Error("frame 3 was altered with no fault armed")
+	}
+
+	wantBytes := int64(len(orig) + len(orig)/2 + len(orig))
+	if m.FramesRecv() != 3 || m.BytesRecv() != wantBytes {
+		t.Errorf("counters: %d frames, %d bytes; want 3 frames, %d bytes",
+			m.FramesRecv(), m.BytesRecv(), wantBytes)
+	}
+	if got := m.WireBytesRecv(); got != wantBytes+3*FrameOverhead {
+		t.Errorf("WireBytesRecv = %d, want %d", got, wantBytes+3*FrameOverhead)
+	}
+	if got := m.TotalWireBytes(); got != wantBytes+3*FrameOverhead {
+		t.Errorf("TotalWireBytes = %d (nothing was sent)", got)
+	}
+}
+
+func TestFaultOverMeterLeavesSenderCensusIntact(t *testing.T) {
+	// The reverse stacking — Fault(Meter(conn)) — models a fault injected
+	// above the measured wire: a send the fault eats never reaches the
+	// meter, so both stackings agree that only delivered traffic counts.
+	ctx := context.Background()
+	a, b := Pipe()
+	defer b.Close()
+	m := NewMeter(a)
+	f := NewFault(m)
+	f.FailSendAt = 1
+
+	if err := f.Send(ctx, []byte("dropped")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if m.FramesSent() != 0 || m.BytesSent() != 0 || m.WireBytesSent() != 0 {
+		t.Errorf("meter saw the dropped frame: %d frames, %d bytes",
+			m.FramesSent(), m.BytesSent())
+	}
+	if err := f.Send(ctx, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if m.FramesSent() != 1 || m.BytesSent() != int64(len("kept")) {
+		t.Errorf("counters after clean send: %d frames, %d bytes",
+			m.FramesSent(), m.BytesSent())
+	}
+}
+
+func TestFaultMeterStackClose(t *testing.T) {
+	// Close propagates through the whole decorator stack and the
+	// underlying pipe rejects further use from either end.
+	a, b := Pipe()
+	m := NewMeter(NewFault(a))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := b.Send(ctx, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after stacked close: %v", err)
+	}
+	if err := m.Send(ctx, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send on closed stack: %v", err)
+	}
+	if m.FramesSent() != 0 {
+		t.Error("failed send on closed stack was counted")
+	}
+}

@@ -6,12 +6,13 @@ import (
 	"time"
 )
 
-// Meter wraps a Conn and counts frames and payload bytes in each
-// direction.  The experiment harness uses it to check the paper's exact
-// communication formulas (Section 6.1: intersection (|V_S|+2|V_R|)·k
-// bits, join (|V_S|+3|V_R|)·k + |V_S|·k' bits) against what actually
-// crosses the wire, and to convert byte counts into T1-line transfer
-// times via LinkModel.
+// Meter wraps a Conn and counts frames and bytes in each direction,
+// keeping payload and on-wire (payload + FrameOverhead per frame)
+// totals separately.  The experiment harness uses the payload counters
+// to check the paper's exact communication formulas (Section 6.1:
+// intersection (|V_S|+2|V_R|)·k bits, join (|V_S|+3|V_R|)·k + |V_S|·k'
+// bits) and the wire counters for what actually crosses a framed
+// transport; LinkModel converts either into T1-line transfer times.
 type Meter struct {
 	inner Conn
 
@@ -19,6 +20,8 @@ type Meter struct {
 	framesRecv atomic.Int64
 	bytesSent  atomic.Int64
 	bytesRecv  atomic.Int64
+	wireSent   atomic.Int64
+	wireRecv   atomic.Int64
 }
 
 // NewMeter wraps inner with counters.
@@ -33,6 +36,7 @@ func (m *Meter) Send(ctx context.Context, frame []byte) error {
 	}
 	m.framesSent.Add(1)
 	m.bytesSent.Add(int64(len(frame)))
+	m.wireSent.Add(int64(len(frame)) + FrameOverhead)
 	return nil
 }
 
@@ -44,6 +48,7 @@ func (m *Meter) Recv(ctx context.Context) ([]byte, error) {
 	}
 	m.framesRecv.Add(1)
 	m.bytesRecv.Add(int64(len(frame)))
+	m.wireRecv.Add(int64(len(frame)) + FrameOverhead)
 	return frame, nil
 }
 
@@ -62,9 +67,19 @@ func (m *Meter) BytesSent() int64 { return m.bytesSent.Load() }
 // BytesRecv returns the payload bytes received.
 func (m *Meter) BytesRecv() int64 { return m.bytesRecv.Load() }
 
-// TotalBytes returns bytes sent plus bytes received: the session's total
-// traffic as one party sees it.
+// TotalBytes returns payload bytes sent plus received: the session's
+// total traffic as one party sees it, excluding framing.
 func (m *Meter) TotalBytes() int64 { return m.BytesSent() + m.BytesRecv() }
+
+// WireBytesSent returns the on-wire bytes sent: payload plus
+// FrameOverhead per frame.
+func (m *Meter) WireBytesSent() int64 { return m.wireSent.Load() }
+
+// WireBytesRecv returns the on-wire bytes received.
+func (m *Meter) WireBytesRecv() int64 { return m.wireRecv.Load() }
+
+// TotalWireBytes returns on-wire bytes in both directions.
+func (m *Meter) TotalWireBytes() int64 { return m.WireBytesSent() + m.WireBytesRecv() }
 
 // Reset zeroes all counters.
 func (m *Meter) Reset() {
@@ -72,6 +87,8 @@ func (m *Meter) Reset() {
 	m.framesRecv.Store(0)
 	m.bytesSent.Store(0)
 	m.bytesRecv.Store(0)
+	m.wireSent.Store(0)
+	m.wireRecv.Store(0)
 }
 
 // LinkModel converts byte counts into transfer times for a modelled

@@ -37,6 +37,12 @@ var (
 // reject corrupted length prefixes before allocating.
 const MaxFrameLen = 1 << 30
 
+// FrameOverhead is the per-frame on-wire cost beyond the payload: the
+// 4-byte big-endian length prefix the TCP transport writes.  The
+// in-memory pipe carries no prefix, but meters and the cost model charge
+// it uniformly so in-process measurements predict on-wire traffic.
+const FrameOverhead = 4
+
 // Conn is a bidirectional, ordered, reliable frame transport between two
 // protocol parties.  Send and Recv honour context cancellation.  A Conn
 // is safe for one concurrent sender and one concurrent receiver.

@@ -110,6 +110,24 @@ var (
 // malicious length prefix cannot trigger a huge allocation.
 const MaxVectorLen = 1 << 24
 
+// Encoded-size constants.  The codec is deterministic and fixed-width,
+// so a message's payload size is an exact affine function of its element
+// count; the cost model (internal/costmodel) and the experiment harness
+// use these to translate the paper's Section 6.1 bit formulas — which
+// count only the k-bit codewords — into exact frame payload sizes.
+const (
+	// EncodedHeaderLen is the full encoded size of a Header message:
+	// kind(1) + protocol(1) + group bits(4) + group digest(32) +
+	// set size(8).
+	EncodedHeaderLen = 1 + 1 + 4 + 32 + 8
+	// VectorOverhead is the fixed cost of any vector message beyond its
+	// elements: kind byte(1) + element count(4).
+	VectorOverhead = 1 + 4
+	// ExtLenOverhead is the per-entry length prefix of an ExtPairs
+	// ciphertext.
+	ExtLenOverhead = 4
+)
+
 // Message is any protocol message.
 type Message interface {
 	Kind() Kind
