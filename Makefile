@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments
+.PHONY: all build test vet race check bench bench-pipeline experiments
 
 all: check
 
@@ -19,12 +19,18 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/obs ./internal/transport
+	$(GO) test -race ./internal/core ./internal/obs ./internal/transport ./internal/commutative
 
 check: build vet test race
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Streaming-pipeline benchmark only (the BENCH_PR2.json numbers):
+# legacy vs ChunkSize>0 intersection over a modelled T1 link at several
+# RTTs.
+bench-pipeline:
+	$(GO) test -run xxx -bench IntersectionPipelined -benchtime 1x .
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all -quick -group 256

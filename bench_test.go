@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"minshare/internal/aggregate"
 	"minshare/internal/circuit"
@@ -551,6 +552,61 @@ func BenchmarkExt_SQLMedicalQuery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := query.Execute(context.Background(), cfg, cfg, cfg, q, tR, tS); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- S25: streaming pipelined execution vs legacy lock-step ---
+
+// runLatencyPair runs one intersection over a pipe whose two directions
+// are modelled as the paper's T1 link (Section 6.2) with the given RTT:
+// each endpoint's sends pass through a store-and-forward Latency
+// decorator, so transfer time and propagation delay are both real wall
+// time for the protocol.
+func runLatencyPair(b *testing.B, cfg core.Config, rtt time.Duration, vR, vS [][]byte) {
+	b.Helper()
+	ctx := context.Background()
+	connR, connS := transport.Pipe()
+	latR := transport.NewLatency(connR, rtt).WithBandwidth(transport.T1.BitsPerSecond)
+	latS := transport.NewLatency(connS, rtt).WithBandwidth(transport.T1.BitsPerSecond)
+	defer latR.Close()
+	defer latS.Close()
+	ch := make(chan error, 1)
+	go func() {
+		_, err := core.IntersectionSender(ctx, cfg, latS, vS)
+		ch <- err
+	}()
+	if _, err := core.IntersectionReceiver(ctx, cfg, latR, vR); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-ch; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkIntersectionPipelined measures the S25 tentpole: the same
+// |V| = 5000 intersection on a modelled T1 WAN, legacy one-shot frames
+// (ChunkSize 0) against the streaming pipeline (ChunkSize 256).  Legacy
+// serializes three vector transfers end to end; streaming overlaps the
+// two exchange directions and ships the aligned reply chunk by chunk
+// right behind Y_S, so roughly one whole vector transfer disappears
+// from the critical path at every RTT.
+func BenchmarkIntersectionPipelined(b *testing.B) {
+	const n = 5000
+	const chunk = 256
+	vR, vS := benchSets(n)
+	g := group.MustBuiltin(group.Bits256) // link-bound regime: Ce ≪ transfer time
+	for _, rtt := range []time.Duration{2 * time.Millisecond, 10 * time.Millisecond, 40 * time.Millisecond} {
+		for _, mode := range []struct {
+			name  string
+			chunk int
+		}{{"legacy", 0}, {"pipelined", chunk}} {
+			b.Run(fmt.Sprintf("rtt=%s/%s", rtt, mode.name), func(b *testing.B) {
+				cfg := core.Config{Group: g, ChunkSize: mode.chunk}
+				for i := 0; i < b.N; i++ {
+					runLatencyPair(b, cfg, rtt, vR, vS)
+				}
+			})
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"io"
 	"math/big"
+	"sync"
 	"sync/atomic"
 
 	"minshare/internal/group"
@@ -34,6 +35,22 @@ var ErrNilKey = errors.New("commutative: nil key")
 // different moduli.
 type Key struct {
 	e *big.Int
+
+	// Decryption inverse e⁻¹ mod q, computed once on first Decrypt.  A
+	// bulk decryptSet of n elements would otherwise pay n modular
+	// inversions for the same exponent.
+	invOnce sync.Once
+	inv     *big.Int
+	invErr  error
+}
+
+// inverse returns e⁻¹ mod q for the group g, caching it after the first
+// call.  Safe for concurrent use.
+func (k *Key) inverse(g *group.Group) (*big.Int, error) {
+	k.invOnce.Do(func() {
+		k.inv, k.invErr = g.InvExponent(k.e)
+	})
+	return k.inv, k.invErr
 }
 
 // Exponent returns a copy of the key's secret exponent.  It is exposed
@@ -105,7 +122,7 @@ func (s *PowerFn) Decrypt(k *Key, y *big.Int) (*big.Int, error) {
 	if !s.g.Contains(y) {
 		return nil, group.ErrNotInGroup
 	}
-	inv, err := s.g.InvExponent(k.e)
+	inv, err := k.inverse(s.g)
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,9 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"runtime"
 	"sort"
+	"sync"
 
 	"minshare/internal/commutative"
 	"minshare/internal/group"
@@ -92,6 +94,13 @@ type Config struct {
 	// Parallelism bounds the worker pool for bulk exponentiation (the
 	// paper's parameter P, Section 6.2).  Zero selects GOMAXPROCS.
 	Parallelism int
+	// ChunkSize, when positive, streams bulk vectors in chunks of that
+	// many entries so exponentiation, transfer, and the peer's
+	// re-encryption overlap as a pipeline.  Zero sends each vector as a
+	// single legacy frame, reproducing the pre-streaming wire
+	// transcript byte-for-byte.  Receivers accept either encoding
+	// regardless of this setting, so the two modes interoperate.
+	ChunkSize int
 }
 
 // normalized returns a copy of c with every nil field defaulted.
@@ -156,9 +165,16 @@ func (s *session) send(ctx context.Context, m wire.Message) error {
 // recv receives one message and checks its kind.  A wire.ErrorMsg from
 // the peer is converted into ErrPeerFailure.
 func (s *session) recv(ctx context.Context, want wire.Kind) (wire.Message, error) {
+	return s.recvAny(ctx, want)
+}
+
+// recvAny receives one message whose kind must be among want.  The
+// streamed receive paths use it to accept either a legacy one-shot
+// vector or the opening of a stream.
+func (s *session) recvAny(ctx context.Context, want ...wire.Kind) (wire.Message, error) {
 	data, err := s.conn.Recv(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("core: receiving %v: %w", want, err)
+		return nil, fmt.Errorf("core: receiving %v: %w", want[0], err)
 	}
 	if s.counters != nil {
 		s.counters.AddFrameRecv(int64(len(data)), int64(len(data))+transport.FrameOverhead)
@@ -170,10 +186,15 @@ func (s *session) recv(ctx context.Context, want wire.Kind) (wire.Message, error
 	if em, ok := m.(wire.ErrorMsg); ok {
 		return nil, fmt.Errorf("%w: %s", ErrPeerFailure, em.Text)
 	}
-	if m.Kind() != want {
-		return nil, fmt.Errorf("%w: got %v, want %v", wire.ErrKindMismatch, m.Kind(), want)
+	for _, k := range want {
+		if m.Kind() == k {
+			return m, nil
+		}
 	}
-	return m, nil
+	if len(want) == 1 {
+		return nil, fmt.Errorf("%w: got %v, want %v", wire.ErrKindMismatch, m.Kind(), want[0])
+	}
+	return nil, fmt.Errorf("%w: got %v, want one of %v", wire.ErrKindMismatch, m.Kind(), want)
 }
 
 // abort best-effort notifies the peer of a fatal local error and returns
@@ -223,28 +244,98 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 	return int(peer.SetSize), nil
 }
 
-// checkVector validates that a received element vector has the expected
-// cardinality and that every entry is a group member.
-func (s *session) checkVector(elems []*big.Int, wantLen int, what string) error {
+// checkElems validates a complete received element vector: expected
+// cardinality, group membership of every entry, and — when
+// requireSorted — the lexicographic order the protocols mandate
+// (footnote 3 of the paper: unsorted replies leak alignment
+// information).
+func (s *session) checkElems(elems []*big.Int, wantLen int, what string, requireSorted bool) error {
 	if wantLen >= 0 && len(elems) != wantLen {
 		return fmt.Errorf("%w: %s has %d elements, want %d", ErrMalformedReply, what, len(elems), wantLen)
 	}
-	for i, e := range elems {
-		if !s.cfg.Group.Contains(e) {
-			return fmt.Errorf("%w: %s element %d is not a group member", ErrMalformedReply, what, i)
-		}
-	}
-	return nil
+	return s.checkChunk(elems, nil, 0, what, requireSorted)
 }
 
-// checkSorted validates that a vector arrived in the lexicographic order
-// the protocols mandate (footnote 3 of the paper: unsorted replies leak
-// alignment information).
-func (s *session) checkSorted(elems []*big.Int, what string) error {
-	for i := 1; i < len(elems); i++ {
-		if elems[i-1].Cmp(elems[i]) > 0 {
-			return fmt.Errorf("%w: %s is not sorted at index %d", ErrMalformedReply, what, i)
+// parallelCheckMin is the vector length below which checkChunk stays
+// serial: a Jacobi symbol costs ~µs, so goroutine fan-out only pays for
+// itself on larger runs.
+const parallelCheckMin = 32
+
+// checkChunk validates one contiguous run of a received vector — group
+// membership (a Jacobi-symbol test per entry) and, when requireSorted,
+// ascending order including across the boundary from prev, the last
+// element of the preceding run (nil at the start of a vector).  The
+// membership tests shard across Config.Parallelism workers with the
+// order check fused into the same pass; off is the run's offset within
+// the full vector, used for error indices.  On concurrent failures the
+// smallest index wins, keeping errors deterministic.
+func (s *session) checkChunk(elems []*big.Int, prev *big.Int, off int, what string, requireSorted bool) error {
+	check := func(i int) error {
+		if requireSorted {
+			p := prev
+			if i > 0 {
+				p = elems[i-1]
+			}
+			if p != nil && p.Cmp(elems[i]) > 0 {
+				return fmt.Errorf("%w: %s is not sorted at index %d", ErrMalformedReply, what, off+i)
+			}
 		}
+		if !s.cfg.Group.Contains(elems[i]) {
+			return fmt.Errorf("%w: %s element %d is not a group member", ErrMalformedReply, what, off+i)
+		}
+		return nil
+	}
+	p := s.cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(elems) {
+		p = len(elems)
+	}
+	if p <= 1 || len(elems) < parallelCheckMin {
+		for i := range elems {
+			if err := check(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type failure struct {
+		idx int
+		err error
+	}
+	fails := make([]failure, p)
+	per := (len(elems) + p - 1) / p
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(elems) {
+			hi = len(elems)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := check(i); err != nil {
+					fails[w] = failure{idx: i, err: err}
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var first *failure
+	for w := range fails {
+		if f := &fails[w]; f.err != nil && (first == nil || f.idx < first.idx) {
+			first = f
+		}
+	}
+	if first != nil {
+		return first.err
 	}
 	return nil
 }
@@ -294,6 +385,31 @@ func sortedCopy(elems []*big.Int) []*big.Int {
 
 // elemKey returns a map key for a group element.
 func elemKey(x *big.Int) string { return string(x.Bytes()) }
+
+// keyer builds fixed-width map keys for group elements by FillBytes
+// into a reused buffer of the codec's element width, so the match-phase
+// maps hash constant-size strings instead of reallocating a
+// variable-length Bytes() slice per element.  Not safe for concurrent
+// use; the match phases are single-goroutine.
+type keyer struct{ buf []byte }
+
+func (s *session) newKeyer() *keyer {
+	return &keyer{buf: make([]byte, s.codec.ElemLen())}
+}
+
+func (k *keyer) key(x *big.Int) string {
+	x.FillBytes(k.buf)
+	return string(k.buf)
+}
+
+// multisetCountsKeyed is multisetCounts with fixed-width keys.
+func multisetCountsKeyed(elems []*big.Int, k *keyer) map[string]int {
+	out := make(map[string]int, len(elems))
+	for _, e := range elems {
+		out[k.key(e)]++
+	}
+	return out
+}
 
 // sortSlice sorts xs with the provided less function; a tiny wrapper that
 // keeps call sites terse.

@@ -245,6 +245,171 @@ func TestCostModelCrossCheckEquijoin(t *testing.T) {
 	}
 }
 
+// Chunked cross-checks: the same closed-form certification with both
+// parties streaming (ChunkSize > 0).  The Section 6.1 codeword bits must
+// be byte-for-byte unchanged — streaming only re-frames the envelope —
+// and the frame counts must equal 1 header + (⌈n/c⌉ + 2) frames per
+// streamed vector, exactly.
+
+func TestCostModelCrossCheckIntersectionChunked(t *testing.T) {
+	const nR, nS, shared, chunk = 7, 5, 3, 3
+	vR, vS := overlapping(nR, nS, shared)
+	reg := obs.NewRegistry()
+
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	cfgR.ChunkSize, cfgS.ChunkSize = chunk, chunk
+	r, s := runObservedPair(t, reg, "intersection",
+		func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+			return IntersectionReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSender(ctx, cfgS, conn, vS)
+		})
+
+	// Computation is untouched by streaming: same Ce.
+	ops := costmodel.IntersectionOps(nS, nR)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed modexps = %d, want Ce = %d", got, ops.Ce)
+	}
+
+	elemLen := group.TestGroup().ElementLen()
+	want := costmodel.IntersectionWireCostChunked(nS, nR, elemLen, chunk)
+	checkWireCost(t, want, r.Counters, s.Counters)
+
+	// The envelope is exactly ⌈n/c⌉ chunk frames per vector: R ships Y_R
+	// in ⌈7/3⌉ = 3 chunks, and receives Y_S in ⌈5/3⌉ = 2 plus the aligned
+	// reply in 3.
+	qR, qS := costmodel.StreamChunks(nR, chunk), costmodel.StreamChunks(nS, chunk)
+	if qR != 3 || qS != 2 {
+		t.Fatalf("StreamChunks = %d/%d, want 3/2", qR, qS)
+	}
+	if r.Counters.FramesSent != 1+(qR+2) || r.Counters.FramesRecv != 1+(qS+2)+(qR+2) {
+		t.Errorf("R frames = %d sent / %d recv, want %d / %d",
+			r.Counters.FramesSent, r.Counters.FramesRecv, 1+(qR+2), 1+(qS+2)+(qR+2))
+	}
+
+	// Stripping the streamed envelope recovers the identical
+	// (|V_S|+2|V_R|)·k codeword bits: streaming moves no extra element
+	// bytes.  Three streamed vectors, qS + 2·qR chunk frames.
+	observed := costmodel.WireCost{
+		FramesSent: r.Counters.FramesSent, FramesRecv: r.Counters.FramesRecv,
+		PayloadBytesSent: r.Counters.PayloadBytesSent, PayloadBytesRecv: r.Counters.PayloadBytesRecv,
+	}
+	k := 8 * elemLen
+	if gotBits := 8 * observed.StreamedElementPayloadBytes(3, qS+2*qR, 0); float64(gotBits) != costmodel.IntersectionCommBits(nS, nR, k) {
+		t.Errorf("observed codeword bits = %d, want %v", gotBits, costmodel.IntersectionCommBits(nS, nR, k))
+	}
+	legacy := costmodel.IntersectionWireCost(nS, nR, elemLen)
+	if got, lg := observed.StreamedElementPayloadBytes(3, qS+2*qR, 0), legacy.ElementPayloadBytes(3, 0); got != lg {
+		t.Errorf("streamed codeword bytes = %d, legacy = %d; must be identical", got, lg)
+	}
+}
+
+func TestCostModelCrossCheckIntersectionSizeChunked(t *testing.T) {
+	const nR, nS, shared, chunk = 6, 4, 2, 3
+	vR, vS := overlapping(nR, nS, shared)
+	reg := obs.NewRegistry()
+
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	cfgR.ChunkSize, cfgS.ChunkSize = chunk, chunk
+	r, s := runObservedPair(t, reg, "intersection-size",
+		func(ctx context.Context, conn transport.Conn) (*SizeResult, error) {
+			return IntersectionSizeReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSizeSender(ctx, cfgS, conn, vS)
+		})
+
+	ops := costmodel.IntersectionSizeOps(nS, nR)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed modexps = %d, want Ce = %d", got, ops.Ce)
+	}
+	elemLen := group.TestGroup().ElementLen()
+	checkWireCost(t, costmodel.IntersectionSizeWireCostChunked(nS, nR, elemLen, chunk), r.Counters, s.Counters)
+}
+
+func TestCostModelCrossCheckJoinSizeChunked(t *testing.T) {
+	const chunk = 3
+	vR := [][]byte{[]byte("a"), []byte("a"), []byte("b"), []byte("c"), []byte("c")}
+	vS := [][]byte{[]byte("a"), []byte("c"), []byte("c"), []byte("d")}
+	mR, mS := len(vR), len(vS)
+	reg := obs.NewRegistry()
+
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	cfgR.ChunkSize, cfgS.ChunkSize = chunk, chunk
+	r, s := runObservedPair(t, reg, "equijoin-size",
+		func(ctx context.Context, conn transport.Conn) (*JoinSizeResult, error) {
+			return EquijoinSizeReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*JoinSizeSenderInfo, error) {
+			return EquijoinSizeSender(ctx, cfgS, conn, vS)
+		})
+
+	ops := costmodel.IntersectionSizeOps(mS, mR)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed modexps = %d, want Ce = %d", got, ops.Ce)
+	}
+	elemLen := group.TestGroup().ElementLen()
+	checkWireCost(t, costmodel.JoinSizeWireCostChunked(mS, mR, elemLen, chunk), r.Counters, s.Counters)
+}
+
+func TestCostModelCrossCheckEquijoinChunked(t *testing.T) {
+	const nR, nS, shared, chunk = 6, 4, 2, 3
+	const extPlainLen = 24
+	vR, vS := overlapping(nR, nS, shared)
+	records := make([]JoinRecord, len(vS))
+	for i, v := range vS {
+		ext := make([]byte, extPlainLen)
+		copy(ext, "ext for ")
+		copy(ext[8:], v)
+		records[i] = JoinRecord{Value: v, Ext: ext}
+	}
+	reg := obs.NewRegistry()
+
+	cfgR, cfgS := testConfig(1), testConfig(2)
+	cfgR.ChunkSize, cfgS.ChunkSize = chunk, chunk
+	r, s := runObservedPair(t, reg, "equijoin",
+		func(ctx context.Context, conn transport.Conn) (*JoinResult, error) {
+			return EquijoinReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return EquijoinSender(ctx, cfgS, conn, records)
+		})
+
+	ops := costmodel.JoinOps(nS, nR, shared)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed modexps = %d, want Ce = %d", got, ops.Ce)
+	}
+	if got := int64(s.Counters.PayloadEncrypts + r.Counters.PayloadDecrypts); got != ops.CK {
+		t.Errorf("observed K operations = %d, want CK = %d", got, ops.CK)
+	}
+
+	g := group.TestGroup()
+	elemLen := g.ElementLen()
+	extLen := kenc.NewHybrid(g).CiphertextLen(extPlainLen)
+	if extLen < 0 {
+		t.Fatalf("cipher rejects %d-byte payloads", extPlainLen)
+	}
+	want := costmodel.JoinWireCostChunked(nS, nR, elemLen, extLen, chunk)
+	checkWireCost(t, want, r.Counters, s.Counters)
+
+	// Codeword bits unchanged: (|V_S|+3|V_R|)·k + |V_S|·k'.  Three
+	// streamed vectors (Y_R in qR chunks, the pair reply mirroring those
+	// qR boundaries, the ext pairs in qS chunks), |V_S| length prefixes.
+	qR, qS := costmodel.StreamChunks(nR, chunk), costmodel.StreamChunks(nS, chunk)
+	if r.Counters.FramesRecv != 1+(qR+2)+(qS+2) {
+		t.Errorf("R frames recv = %d, want %d", r.Counters.FramesRecv, 1+(qR+2)+(qS+2))
+	}
+	observed := costmodel.WireCost{
+		FramesSent: r.Counters.FramesSent, FramesRecv: r.Counters.FramesRecv,
+		PayloadBytesSent: r.Counters.PayloadBytesSent, PayloadBytesRecv: r.Counters.PayloadBytesRecv,
+	}
+	k, kPrime := 8*elemLen, 8*extLen
+	if gotBits := 8 * observed.StreamedElementPayloadBytes(3, 2*qR+qS, nS); float64(gotBits) != costmodel.JoinCommBits(nS, nR, k, kPrime) {
+		t.Errorf("observed codeword bits = %d, want %v", gotBits, costmodel.JoinCommBits(nS, nR, k, kPrime))
+	}
+}
+
 // TestObservedCountersConcurrent runs several instrumented protocol pairs
 // in parallel against one registry and checks that the per-session and
 // process-global aggregates stay exact under contention.  Run with -race

@@ -80,65 +80,42 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 	for pos, idx := range order {
 		sortedYR[pos] = yR[idx]
 	}
-	if err := s.send(ctx, wire.Elements{Elems: sortedYR}); err != nil {
+	if err := s.sendElems(ctx, sortedYR); err != nil {
+		sp.End()
 		return nil, err
 	}
 
-	// Step 4 (peer): receive ⟨f_eS(y), f_e'S(y)⟩ aligned with sortedYR.
-	// (S preserves order instead of echoing y — the Section 6.1
-	// optimization applied to the 3-tuples.)
-	m, err := s.recv(ctx, wire.KindPairs)
+	// Steps 4+6 pipelined: receive ⟨f_eS(y), f_e'S(y)⟩ aligned with
+	// sortedYR (S preserves order instead of echoing y — the Section 6.1
+	// optimization applied to the 3-tuples) and strip R's own layer from
+	// both components chunk by chunk:
+	// f_eR^{-1}(f_eS(f_eR(h(v)))) = f_eS(h(v)) and likewise for e'_S.
+	singleS, kappas, err := s.recvPairsDecrypt(ctx, eR, len(vR), "f_eS(Y_R)", "f_e'S(Y_R)")
 	if err != nil {
+		sp.End()
 		return nil, err
-	}
-	pairs := m.(wire.Pairs)
-	if err := s.checkVector(pairs.A, len(vR), "f_eS(Y_R)"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkVector(pairs.B, len(vR), "f_e'S(Y_R)"); err != nil {
-		return nil, s.abort(ctx, err)
 	}
 
 	// Step 5 (peer): receive the ⟨f_eS(h(v)), c(v)⟩ pairs, sorted by the
 	// first entry.
-	m, err = s.recv(ctx, wire.KindExtPairs)
+	extElems, extCts, err := s.recvExtPairs(ctx, peerSize, "f_eS(h(V_S))")
 	sp.End()
 	if err != nil {
 		return nil, err
-	}
-	extPairs := m.(wire.ExtPairs)
-	if err := s.checkVector(extPairs.Elem, peerSize, "f_eS(h(V_S))"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(extPairs.Elem, "f_eS(h(V_S))"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-
-	// Step 6: strip R's own layer from both components,
-	// f_eR^{-1}(f_eS(f_eR(h(v)))) = f_eS(h(v)) and likewise for e'_S.
-	sp = obs.StartSpan(ctx, "re-encrypt")
-	singleS, err := s.decryptSet(ctx, eR, pairs.A)
-	if err != nil {
-		sp.End()
-		return nil, s.abort(ctx, err)
-	}
-	kappas, err := s.decryptSet(ctx, eR, pairs.B)
-	sp.End()
-	if err != nil {
-		return nil, s.abort(ctx, err)
 	}
 
 	// Step 7: index S's pairs by first entry and match.
 	sp = obs.StartSpan(ctx, "match-join")
 	defer sp.End()
-	extByElem := make(map[string][]byte, len(extPairs.Elem))
-	for i, e := range extPairs.Elem {
-		extByElem[elemKey(e)] = extPairs.Ext[i]
+	ky := s.newKeyer()
+	extByElem := make(map[string][]byte, len(extElems))
+	for i, e := range extElems {
+		extByElem[ky.key(e)] = extCts[i]
 	}
 	res := &JoinResult{SenderSetSize: peerSize}
 	matched := make([]*JoinMatch, len(vR))
 	for pos, idx := range order {
-		ct, hit := extByElem[elemKey(singleS[pos])]
+		ct, hit := extByElem[ky.key(singleS[pos])]
 		if !hit {
 			continue
 		}
@@ -190,34 +167,12 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 		return nil, s.abort(ctx, fmt.Errorf("core: generating e'_S: %w", err))
 	}
 
-	// Step 3 (peer): receive Y_R.
+	// Steps 3-4 pipelined: receive Y_R and reply with the aligned
+	// ⟨f_eS(y), f_e'S(y)⟩ pairs — in streaming mode each chunk of Y_R is
+	// double-encrypted and its pair chunk shipped while the next chunk
+	// is still in flight.
 	sp = obs.StartSpan(ctx, "exchange")
-	m, err := s.recv(ctx, wire.KindElements)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	yR := m.(wire.Elements).Elems
-	if err := s.checkVector(yR, peerSize, "Y_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(yR, "Y_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-
-	// Step 4: encrypt each y ∈ Y_R with e_S and with e'_S; reply aligned.
-	sp = obs.StartSpan(ctx, "re-encrypt")
-	withES, err := s.encryptSet(ctx, eS, yR)
-	if err != nil {
-		sp.End()
-		return nil, s.abort(ctx, err)
-	}
-	withEPrimeS, err := s.encryptSet(ctx, ePrimeS, yR)
-	if err != nil {
-		sp.End()
-		return nil, s.abort(ctx, err)
-	}
-	err = s.send(ctx, wire.Pairs{A: withES, B: withEPrimeS})
+	_, err = s.recvEncryptPairsSend(ctx, eS, ePrimeS, peerSize, "Y_R")
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -249,15 +204,13 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 	}
 	// Ship in lexicographic order of the first entry.
 	perm := sortIndicesByElem(firsts)
-	msg := wire.ExtPairs{
-		Elem: make([]*big.Int, len(vS)),
-		Ext:  make([][]byte, len(vS)),
-	}
+	outElems := make([]*big.Int, len(vS))
+	outExts := make([][]byte, len(vS))
 	for pos, idx := range perm {
-		msg.Elem[pos] = firsts[idx]
-		msg.Ext[pos] = ciphertexts[idx]
+		outElems[pos] = firsts[idx]
+		outExts[pos] = ciphertexts[idx]
 	}
-	err = s.send(ctx, msg)
+	err = s.sendExtPairs(ctx, outElems, outExts)
 	sp.End()
 	if err != nil {
 		return nil, err

@@ -74,54 +74,41 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	for pos, idx := range order {
 		sortedYR[pos] = yR[idx]
 	}
-	if err := s.send(ctx, wire.Elements{Elems: sortedYR}); err != nil {
+	if err := s.sendElems(ctx, sortedYR); err != nil {
+		sp.End()
 		return nil, err
 	}
 
-	// Step 4(a): receive Y_S (sorted, |V_S| elements).
-	m, err := s.recv(ctx, wire.KindElements)
+	// Steps 4(a)+5 pipelined: receive Y_S (sorted, |V_S| elements) and
+	// compute Z_S = f_eR(Y_S), each chunk re-encrypted while the next is
+	// in flight.
+	_, zS, err := s.recvReencryptStream(ctx, eR, peerSize, "Y_S", true)
 	if err != nil {
+		sp.End()
 		return nil, err
-	}
-	yS := m.(wire.Elements).Elems
-	if err := s.checkVector(yS, peerSize, "Y_S"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(yS, "Y_S"); err != nil {
-		return nil, s.abort(ctx, err)
 	}
 
 	// Step 4(b): receive f_eS(y) for each y ∈ Y_R, aligned with the
 	// sorted order of step 3 (S "does not retransmit the y's back but
 	// just preserves the original order" — the Section 6.1 optimization).
-	m, err = s.recv(ctx, wire.KindElements)
+	doubles, err := s.recvElems(ctx, len(vR), "f_eS(Y_R)", false)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	doubles := m.(wire.Elements).Elems
-	if err := s.checkVector(doubles, len(vR), "f_eS(Y_R)"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
 
-	// Step 5: Z_S = f_eR(Y_S).
-	sp = obs.StartSpan(ctx, "re-encrypt")
-	zS, err := s.encryptSet(ctx, eR, yS)
-	sp.End()
-	if err != nil {
-		return nil, s.abort(ctx, err)
-	}
 	sp = obs.StartSpan(ctx, "match")
 	defer sp.End()
+	ky := s.newKeyer()
 	zSet := make(map[string]struct{}, len(zS))
 	for _, z := range zS {
-		zSet[elemKey(z)] = struct{}{}
+		zSet[ky.key(z)] = struct{}{}
 	}
 
 	// Step 6: v ∈ V_S ∩ V_R iff f_eS(f_eR(h(v))) ∈ Z_S.
 	inIntersection := make([]bool, len(vR))
 	for pos, idx := range order {
-		if _, hit := zSet[elemKey(doubles[pos])]; hit {
+		if _, hit := zSet[ky.key(doubles[pos])]; hit {
 			inIntersection[idx] = true
 		}
 	}
@@ -163,38 +150,28 @@ func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, va
 		return nil, s.abort(ctx, err)
 	}
 
-	// Step 3 (peer): receive Y_R.
+	// Step 3 (peer) + step 4(a): receive Y_R and ship Y_S reordered
+	// lexicographically.  The two vectors are independent, so streaming
+	// mode runs the halves full-duplex; legacy mode keeps the lock-step
+	// recv-then-send order.
 	sp = obs.StartSpan(ctx, "exchange")
-	m, err := s.recv(ctx, wire.KindElements)
-	if err != nil {
-		return nil, err
-	}
-	yR := m.(wire.Elements).Elems
-	if err := s.checkVector(yR, peerSize, "Y_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(yR, "Y_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-
-	// Step 4(a): ship Y_S reordered lexicographically.
-	err = s.send(ctx, wire.Elements{Elems: sortedCopy(yS)})
+	var yR []*big.Int
+	err = s.duplex(ctx, true,
+		func(ctx context.Context) error { return s.sendElems(ctx, sortedCopy(yS)) },
+		func(ctx context.Context) error {
+			var rerr error
+			yR, rerr = s.recvElems(ctx, peerSize, "Y_R", true)
+			return rerr
+		})
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 4(b): encrypt each y ∈ Y_R with e_S and send back, preserving
-	// the received order so R can match without the y's being repeated.
-	sp = obs.StartSpan(ctx, "re-encrypt")
-	zR, err := s.encryptSet(ctx, eS, yR)
-	if err != nil {
-		sp.End()
-		return nil, s.abort(ctx, err)
-	}
-	err = s.send(ctx, wire.Elements{Elems: zR})
-	sp.End()
-	if err != nil {
+	// the received order so R can match without the y's being repeated —
+	// chunk i on the wire while chunk i+1 is still exponentiating.
+	if _, err := s.streamEncryptSend(ctx, eS, yR); err != nil {
 		return nil, err
 	}
 	return &SenderInfo{ReceiverSetSize: peerSize}, nil

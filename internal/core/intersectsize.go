@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/big"
 
 	"minshare/internal/obs"
 	"minshare/internal/transport"
@@ -54,56 +55,38 @@ func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Co
 	// Step 3: send Y_R sorted.  No permutation bookkeeping is needed —
 	// nothing that comes back can be aligned, by design.
 	sp = obs.StartSpan(ctx, "exchange")
-	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yR)}); err != nil {
+	if err := s.sendElems(ctx, sortedCopy(yR)); err != nil {
+		sp.End()
 		return nil, err
 	}
 
-	// Step 4(a): receive Y_S sorted.
-	m, err := s.recv(ctx, wire.KindElements)
+	// Steps 4(a)+5 pipelined: receive Y_S sorted, re-encrypting each
+	// chunk into Z_S = f_eR(Y_S) while the next is in flight.
+	_, zS, err := s.recvReencryptStream(ctx, eR, peerSize, "Y_S", true)
 	if err != nil {
+		sp.End()
 		return nil, err
-	}
-	yS := m.(wire.Elements).Elems
-	if err := s.checkVector(yS, peerSize, "Y_S"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(yS, "Y_S"); err != nil {
-		return nil, s.abort(ctx, err)
 	}
 
 	// Step 4(b): receive Z_R = f_eS(f_eR(h(V_R))), reordered
 	// lexicographically — the detachment from the y's is the whole point.
-	m, err = s.recv(ctx, wire.KindElements)
+	zR, err := s.recvElems(ctx, len(vR), "Z_R", true)
 	sp.End()
 	if err != nil {
 		return nil, err
-	}
-	zR := m.(wire.Elements).Elems
-	if err := s.checkVector(zR, len(vR), "Z_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(zR, "Z_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-
-	// Step 5: Z_S = f_eR(Y_S).
-	sp = obs.StartSpan(ctx, "re-encrypt")
-	zS, err := s.encryptSet(ctx, eR, yS)
-	sp.End()
-	if err != nil {
-		return nil, s.abort(ctx, err)
 	}
 
 	// Step 6: |Z_S ∩ Z_R| = |V_S ∩ V_R|.
 	sp = obs.StartSpan(ctx, "match")
 	defer sp.End()
+	ky := s.newKeyer()
 	zSet := make(map[string]struct{}, len(zS))
 	for _, z := range zS {
-		zSet[elemKey(z)] = struct{}{}
+		zSet[ky.key(z)] = struct{}{}
 	}
 	size := 0
 	for _, z := range zR {
-		if _, hit := zSet[elemKey(z)]; hit {
+		if _, hit := zSet[ky.key(z)]; hit {
 			size++
 		}
 	}
@@ -139,36 +122,33 @@ func IntersectionSizeSender(ctx context.Context, cfg Config, conn transport.Conn
 		return nil, s.abort(ctx, err)
 	}
 
-	// Step 3 (peer): receive Y_R.
+	// Step 3 (peer) + step 4(a): receive Y_R and ship Y_S sorted,
+	// full-duplex in streaming mode.
 	sp = obs.StartSpan(ctx, "exchange")
-	m, err := s.recv(ctx, wire.KindElements)
-	if err != nil {
-		return nil, err
-	}
-	yR := m.(wire.Elements).Elems
-	if err := s.checkVector(yR, peerSize, "Y_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(yR, "Y_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-
-	// Step 4(a): ship Y_S sorted.
-	err = s.send(ctx, wire.Elements{Elems: sortedCopy(yS)})
+	var yR []*big.Int
+	err = s.duplex(ctx, true,
+		func(ctx context.Context) error { return s.sendElems(ctx, sortedCopy(yS)) },
+		func(ctx context.Context) error {
+			var rerr error
+			yR, rerr = s.recvElems(ctx, peerSize, "Y_R", true)
+			return rerr
+		})
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 4(b): ship Z_R = f_eS(Y_R), *reordered lexicographically* so R
-	// cannot match encryptions back to its values.
+	// cannot match encryptions back to its values.  Sorting needs the
+	// complete vector, so the encryption cannot overlap this send; the
+	// sorted result still streams out chunked.
 	sp = obs.StartSpan(ctx, "re-encrypt")
 	zR, err := s.encryptSet(ctx, eS, yR)
 	if err != nil {
 		sp.End()
 		return nil, s.abort(ctx, err)
 	}
-	err = s.send(ctx, wire.Elements{Elems: sortedCopy(zR)})
+	err = s.sendElems(ctx, sortedCopy(zR))
 	sp.End()
 	if err != nil {
 		return nil, err

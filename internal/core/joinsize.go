@@ -71,43 +71,24 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 
 	// Step 3: send Y_R sorted.
 	sp = obs.StartSpan(ctx, "exchange")
-	if err := s.send(ctx, wire.Elements{Elems: sortedCopy(yR)}); err != nil {
+	if err := s.sendElems(ctx, sortedCopy(yR)); err != nil {
+		sp.End()
 		return nil, err
 	}
 
-	// Step 4(a): receive Y_S (multiset) sorted.
-	m, err := s.recv(ctx, wire.KindElements)
+	// Steps 4(a)+5 pipelined: receive Y_S (multiset) sorted and compute
+	// Z_S = f_eR(Y_S) chunk by chunk.
+	yS, zS, err := s.recvReencryptStream(ctx, eR, peerSize, "Y_S", true)
 	if err != nil {
+		sp.End()
 		return nil, err
-	}
-	yS := m.(wire.Elements).Elems
-	if err := s.checkVector(yS, peerSize, "Y_S"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(yS, "Y_S"); err != nil {
-		return nil, s.abort(ctx, err)
 	}
 
 	// Step 4(b): receive Z_R sorted.
-	m, err = s.recv(ctx, wire.KindElements)
+	zR, err := s.recvElems(ctx, len(values), "Z_R", true)
 	sp.End()
 	if err != nil {
 		return nil, err
-	}
-	zR := m.(wire.Elements).Elems
-	if err := s.checkVector(zR, len(values), "Z_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(zR, "Z_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-
-	// Step 5: Z_S = f_eR(Y_S).
-	sp = obs.StartSpan(ctx, "re-encrypt")
-	zS, err := s.encryptSet(ctx, eR, yS)
-	sp.End()
-	if err != nil {
-		return nil, s.abort(ctx, err)
 	}
 
 	// Step 6 (modified per Section 5.2): join size instead of
@@ -115,8 +96,9 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 	// count_R · count_S.
 	sp = obs.StartSpan(ctx, "match")
 	defer sp.End()
-	countR := multisetCounts(zR)
-	countS := multisetCounts(zS)
+	ky := s.newKeyer()
+	countR := multisetCountsKeyed(zR, ky)
+	countS := multisetCountsKeyed(zS, ky)
 	join := 0
 	for k, cR := range countR {
 		join += cR * countS[k]
@@ -157,35 +139,31 @@ func EquijoinSizeSender(ctx context.Context, cfg Config, conn transport.Conn, va
 		return nil, s.abort(ctx, err)
 	}
 
-	// Step 3 (peer): receive Y_R (multiset).
+	// Step 3 (peer) + step 4(a): receive Y_R (multiset) and ship Y_S
+	// sorted, full-duplex in streaming mode.
 	sp = obs.StartSpan(ctx, "exchange")
-	m, err := s.recv(ctx, wire.KindElements)
-	if err != nil {
-		return nil, err
-	}
-	yR := m.(wire.Elements).Elems
-	if err := s.checkVector(yR, peerSize, "Y_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	if err := s.checkSorted(yR, "Y_R"); err != nil {
-		return nil, s.abort(ctx, err)
-	}
-
-	// Step 4(a): ship Y_S sorted.
-	err = s.send(ctx, wire.Elements{Elems: sortedCopy(yS)})
+	var yR []*big.Int
+	err = s.duplex(ctx, true,
+		func(ctx context.Context) error { return s.sendElems(ctx, sortedCopy(yS)) },
+		func(ctx context.Context) error {
+			var rerr error
+			yR, rerr = s.recvElems(ctx, peerSize, "Y_R", true)
+			return rerr
+		})
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
-	// Step 4(b): ship Z_R sorted.
+	// Step 4(b): ship Z_R sorted.  Sorting needs the complete vector,
+	// so only the send itself streams.
 	sp = obs.StartSpan(ctx, "re-encrypt")
 	zR, err := s.encryptSet(ctx, eS, yR)
 	if err != nil {
 		sp.End()
 		return nil, s.abort(ctx, err)
 	}
-	err = s.send(ctx, wire.Elements{Elems: sortedCopy(zR)})
+	err = s.sendElems(ctx, sortedCopy(zR))
 	sp.End()
 	if err != nil {
 		return nil, err

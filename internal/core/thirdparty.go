@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/big"
 
 	"minshare/internal/obs"
 	"minshare/internal/transport"
@@ -76,46 +77,33 @@ func thirdPartyParty(ctx context.Context, cfg Config, peer, analyst transport.Co
 		return nil, ps.abort(ctx, err)
 	}
 
-	// Step 3: exchange singly-encrypted sets with the peer, sorted.
-	// Party A sends first to avoid a lockstep deadlock.
+	// Steps 3-4 pipelined: exchange singly-encrypted sets with the peer,
+	// sorted (party A sends first to avoid a lockstep deadlock in legacy
+	// mode; streaming mode runs the halves full-duplex), double-
+	// encrypting each received chunk while the next is in flight.
 	sp = obs.StartSpan(ctx, "exchange")
-	if first {
-		if err := ps.send(ctx, wire.Elements{Elems: sortedCopy(y)}); err != nil {
-			return nil, err
-		}
-	}
-	m, err := ps.recv(ctx, wire.KindElements)
+	var z []*big.Int
+	err = ps.duplex(ctx, !first,
+		func(ctx context.Context) error { return ps.sendElems(ctx, sortedCopy(y)) },
+		func(ctx context.Context) error {
+			var rerr error
+			_, z, rerr = ps.recvReencryptStream(ctx, key, peerSize, "peer Y", true)
+			return rerr
+		})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	theirY := m.(wire.Elements).Elems
-	if err := ps.checkVector(theirY, peerSize, "peer Y"); err != nil {
-		return nil, ps.abort(ctx, err)
-	}
-	if err := ps.checkSorted(theirY, "peer Y"); err != nil {
-		return nil, ps.abort(ctx, err)
-	}
-	if !first {
-		if err := ps.send(ctx, wire.Elements{Elems: sortedCopy(y)}); err != nil {
-			return nil, err
-		}
-	}
-	sp.End()
 
-	// Step 4: double-encrypt the peer's set and ship it — sorted, so the
-	// analyst (and no one else) can only count — to T, together with a
-	// header announcing our own set size.
-	sp = obs.StartSpan(ctx, "re-encrypt")
-	z, err := ps.encryptSet(ctx, key, theirY)
-	if err != nil {
-		sp.End()
-		return nil, ps.abort(ctx, err)
-	}
+	// Ship the doubly-encrypted set — sorted, so the analyst (and no one
+	// else) can only count — to T, together with a header announcing our
+	// own set size.
+	sp = obs.StartSpan(ctx, "ship-to-analyst")
 	if _, err := as.handshake(ctx, wire.ProtoIntersectionSize, len(vals), true); err != nil {
 		sp.End()
 		return nil, err
 	}
-	err = as.send(ctx, wire.Elements{Elems: sortedCopy(z)})
+	err = as.sendElems(ctx, sortedCopy(z))
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -137,34 +125,35 @@ func ThirdPartyAnalyst(ctx context.Context, cfg Config, connA, connB transport.C
 	if err != nil {
 		return nil, fmt.Errorf("core: analyst handshake with A: %w", err)
 	}
-	ma, err := sa.recv(ctx, wire.KindElements)
+	// Cardinality is checked after both handshakes: each party ships the
+	// *other* party's set, so the expected length is known only then.
+	zFromA, err := sa.recvElems(ctx, -1, "Z from A", false) // = Z_B: B's values, doubly encrypted
 	if err != nil {
 		return nil, fmt.Errorf("core: analyst receiving from A: %w", err)
 	}
-	zFromA := ma.(wire.Elements).Elems // = Z_B: B's values, doubly encrypted
 
 	sizeB, err := sb.handshake(ctx, wire.ProtoIntersectionSize, 0, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: analyst handshake with B: %w", err)
 	}
-	mb, err := sb.recv(ctx, wire.KindElements)
+	zFromB, err := sb.recvElems(ctx, -1, "Z from B", false) // = Z_A: A's values, doubly encrypted
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: analyst receiving from B: %w", err)
 	}
-	zFromB := mb.(wire.Elements).Elems // = Z_A: A's values, doubly encrypted
 
 	sp = obs.StartSpan(ctx, "analyst-count")
 	defer sp.End()
-	if err := sa.checkVector(zFromA, sizeB, "Z from A"); err != nil {
-		return nil, err
+	if len(zFromA) != sizeB {
+		return nil, fmt.Errorf("%w: Z from A has %d elements, want %d", ErrMalformedReply, len(zFromA), sizeB)
 	}
-	if err := sb.checkVector(zFromB, sizeA, "Z from B"); err != nil {
-		return nil, err
+	if len(zFromB) != sizeA {
+		return nil, fmt.Errorf("%w: Z from B has %d elements, want %d", ErrMalformedReply, len(zFromB), sizeA)
 	}
 
-	countA := multisetCounts(zFromB)
-	countB := multisetCounts(zFromA)
+	ky := sa.newKeyer()
+	countA := multisetCountsKeyed(zFromB, ky)
+	countB := multisetCountsKeyed(zFromA, ky)
 	size := 0
 	for k, ca := range countA {
 		size += ca * countB[k]

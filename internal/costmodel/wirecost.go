@@ -60,6 +60,38 @@ func (w WireCost) ElementPayloadBytes(vectors, extEntries int) int64 {
 		int64(extEntries)*wire.ExtLenOverhead
 }
 
+// StreamedElementPayloadBytes is ElementPayloadBytes for a run in which
+// every bulk vector was streamed: it strips two session headers, a
+// Begin/End envelope per streamed vector, a count prefix per chunk
+// frame, and the ext-length prefixes, leaving exactly the Section 6.1
+// codeword bytes.  Streaming never re-encodes an element, so this must
+// equal the legacy ElementPayloadBytes for the same inputs.
+func (w WireCost) StreamedElementPayloadBytes(vectors int, chunkFrames int64, extEntries int) int64 {
+	return w.TotalPayloadBytes() -
+		2*wire.EncodedHeaderLen -
+		int64(vectors)*(wire.EncodedStreamBeginLen+wire.EncodedStreamEndLen) -
+		chunkFrames*wire.VectorOverhead -
+		int64(extEntries)*wire.ExtLenOverhead
+}
+
+// StreamChunks returns ⌈n/chunkSize⌉, the number of StreamChunk frames a
+// streamed vector of n entries occupies (an empty vector is framed by
+// Begin and End alone).  chunkSize must be positive.
+func StreamChunks(n, chunkSize int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64((n + chunkSize - 1) / chunkSize)
+}
+
+// streamedVector is the codec payload of one streamed vector: the
+// Begin/End envelope, one count prefix per chunk frame, and n entries of
+// entryBytes each.
+func streamedVector(n int, chunks int64, entryBytes int) int64 {
+	return wire.EncodedStreamBeginLen + wire.EncodedStreamEndLen +
+		chunks*wire.VectorOverhead + int64(n)*int64(entryBytes)
+}
+
 // IntersectionWireCost returns the exact census of the Section 3.3
 // intersection protocol from R's endpoint: R sends its header and the
 // sorted Y_R (|V_R| elements); it receives S's header, the sorted Y_S
@@ -101,5 +133,54 @@ func JoinWireCost(nS, nR, elemLen, extLen int) WireCost {
 		PayloadBytesRecv: wire.EncodedHeaderLen + 2*wire.VectorOverhead +
 			int64(2*nR*elemLen) +
 			int64(nS)*int64(elemLen+wire.ExtLenOverhead+extLen),
+	}
+}
+
+// IntersectionWireCostChunked is IntersectionWireCost for a run in which
+// both parties stream with the given chunk size: every vector becomes
+// Begin + ⌈n/chunk⌉ StreamChunk frames + End.  Only the envelope
+// changes; the codeword bytes are identical to the legacy census.
+// chunk <= 0 falls back to the legacy (one-shot) census.
+func IntersectionWireCostChunked(nS, nR, elemLen, chunk int) WireCost {
+	if chunk <= 0 {
+		return IntersectionWireCost(nS, nR, elemLen)
+	}
+	qS, qR := StreamChunks(nS, chunk), StreamChunks(nR, chunk)
+	return WireCost{
+		FramesSent:       1 + (qR + 2),
+		FramesRecv:       1 + (qS + 2) + (qR + 2),
+		PayloadBytesSent: wire.EncodedHeaderLen + streamedVector(nR, qR, elemLen),
+		PayloadBytesRecv: wire.EncodedHeaderLen + streamedVector(nS, qS, elemLen) + streamedVector(nR, qR, elemLen),
+	}
+}
+
+// IntersectionSizeWireCostChunked equals IntersectionWireCostChunked,
+// mirroring the legacy equivalence.
+func IntersectionSizeWireCostChunked(nS, nR, elemLen, chunk int) WireCost {
+	return IntersectionWireCostChunked(nS, nR, elemLen, chunk)
+}
+
+// JoinSizeWireCostChunked is IntersectionWireCostChunked on the multiset
+// sizes, per Section 5.2.
+func JoinSizeWireCostChunked(mS, mR, elemLen, chunk int) WireCost {
+	return IntersectionWireCostChunked(mS, mR, elemLen, chunk)
+}
+
+// JoinWireCostChunked is JoinWireCost with both parties streaming: the
+// pair reply mirrors the incoming Y_R chunk boundaries (⌈|V_R|/chunk⌉
+// frames, each pair one entry of 2k bits), and the ext-pair vector
+// streams in ⌈|V_S|/chunk⌉ StreamExtChunk frames.
+func JoinWireCostChunked(nS, nR, elemLen, extLen, chunk int) WireCost {
+	if chunk <= 0 {
+		return JoinWireCost(nS, nR, elemLen, extLen)
+	}
+	qS, qR := StreamChunks(nS, chunk), StreamChunks(nR, chunk)
+	return WireCost{
+		FramesSent:       1 + (qR + 2),
+		FramesRecv:       1 + (qR + 2) + (qS + 2),
+		PayloadBytesSent: wire.EncodedHeaderLen + streamedVector(nR, qR, elemLen),
+		PayloadBytesRecv: wire.EncodedHeaderLen +
+			streamedVector(nR, qR, 2*elemLen) +
+			streamedVector(nS, qS, elemLen+wire.ExtLenOverhead+extLen),
 	}
 }

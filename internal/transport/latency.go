@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Latency delays outgoing frames to model a real link: each frame is
+// delivered to the inner connection one-way-delay (rtt/2) after it was
+// sent, and — when a bandwidth is set — only after its bytes have
+// serialized onto the link, frames queueing behind one another exactly
+// as on a store-and-forward line.
+//
+// Crucially the model is *pipelined*: Send returns as soon as the frame
+// is queued, and a burst of frames propagates concurrently, each
+// arriving one delay after its own serialization finished.  A naive
+// sleep-per-frame model would serialize propagation delays and so
+// overcharge exactly the chunked streams this wrapper exists to
+// benchmark.  Only the send direction is shaped; wrap both endpoints to
+// shape both directions of a pipe.
+//
+// Like Fault and Meter, Latency decorates any Conn.
+type Latency struct {
+	inner Conn
+	delay time.Duration // one-way propagation delay (rtt/2)
+	bps   float64       // link bandwidth; 0 = infinite
+
+	mu       sync.Mutex
+	linkFree time.Time // when the link finishes serializing queued frames
+	sendErr  error     // sticky forwarding error
+	closed   bool
+
+	queue chan timedFrame
+	done  chan struct{}
+}
+
+type timedFrame struct {
+	due   time.Time
+	frame []byte
+}
+
+// NewLatency wraps inner so frames sent through it arrive rtt/2 later.
+// Call WithBandwidth before first use to add serialization delay.
+func NewLatency(inner Conn, rtt time.Duration) *Latency {
+	l := &Latency{
+		inner: inner,
+		delay: rtt / 2,
+		queue: make(chan timedFrame, 4096),
+		done:  make(chan struct{}),
+	}
+	go l.forward()
+	return l
+}
+
+// WithBandwidth sets the link's serialization rate in bits per second
+// (e.g. transport.T1.BitsPerSecond) and returns l for chaining.  Zero
+// means an infinitely fast link (propagation delay only).  Must be
+// called before the first Send.
+func (l *Latency) WithBandwidth(bitsPerSecond float64) *Latency {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bps = bitsPerSecond
+	return l
+}
+
+// Send implements Conn.  It computes the frame's arrival time from the
+// link state and queues it for delayed forwarding, returning
+// immediately.
+func (l *Latency) Send(ctx context.Context, frame []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.sendErr; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	now := time.Now()
+	start := l.linkFree
+	if start.Before(now) {
+		start = now
+	}
+	if l.bps > 0 {
+		// Store-and-forward: the frame (with its wire framing) must fully
+		// serialize before it propagates.
+		bits := float64(8 * (len(frame) + FrameOverhead))
+		start = start.Add(time.Duration(bits / l.bps * float64(time.Second)))
+	}
+	l.linkFree = start
+	due := start.Add(l.delay)
+	l.mu.Unlock()
+
+	tf := timedFrame{due: due, frame: append([]byte(nil), frame...)}
+	select {
+	case l.queue <- tf:
+		return nil
+	case <-l.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return fmt.Errorf("transport: send: %w", ctx.Err())
+	}
+}
+
+// forward delivers queued frames to the inner connection at their due
+// times, in order.
+func (l *Latency) forward() {
+	for {
+		select {
+		case tf := <-l.queue:
+			if wait := time.Until(tf.due); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-t.C:
+				case <-l.done:
+					t.Stop()
+					return
+				}
+			}
+			if err := l.inner.Send(context.Background(), tf.frame); err != nil {
+				l.mu.Lock()
+				if l.sendErr == nil {
+					l.sendErr = err
+				}
+				l.mu.Unlock()
+				return
+			}
+		case <-l.done:
+			return
+		}
+	}
+}
+
+// Recv implements Conn: the receive direction passes through unshaped.
+func (l *Latency) Recv(ctx context.Context) ([]byte, error) {
+	return l.inner.Recv(ctx)
+}
+
+// Close implements Conn.  Frames still queued are dropped.
+func (l *Latency) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.done)
+	return l.inner.Close()
+}

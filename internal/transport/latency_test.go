@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	a, b := Pipe()
+	la := NewLatency(a, 40*time.Millisecond) // one-way 20ms
+	defer la.Close()
+
+	start := time.Now()
+	if err := la.Send(context.Background(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	sendDur := time.Since(start)
+	if sendDur > 10*time.Millisecond {
+		t.Errorf("Send blocked %v; must return immediately", sendDur)
+	}
+	if _, err := b.Recv(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 15*time.Millisecond {
+		t.Errorf("frame arrived after %v, want ≥ ~20ms one-way delay", elapsed)
+	}
+}
+
+func TestLatencyPipelinesBursts(t *testing.T) {
+	// A burst of n frames on an infinite-bandwidth link must arrive
+	// ~one propagation delay after the burst, not n delays: propagation
+	// of distinct frames overlaps.
+	a, b := Pipe()
+	const oneWay = 30 * time.Millisecond
+	la := NewLatency(a, 2*oneWay)
+	defer la.Close()
+
+	const n = 8
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := la.Send(context.Background(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, err := b.Recv(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f[0] != byte(i) {
+			t.Fatalf("frame %d out of order: got %d", i, f[0])
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed >= time.Duration(n)*oneWay {
+		t.Errorf("burst of %d frames took %v: propagation is serialized, not pipelined", n, elapsed)
+	}
+}
+
+func TestLatencyBandwidthSerializes(t *testing.T) {
+	// At 1 Mbit/s a 5000-byte frame serializes for ~40ms; three frames
+	// queue behind one another for ~120ms before the last arrives.
+	a, b := Pipe()
+	la := NewLatency(a, 0).WithBandwidth(1e6)
+	defer la.Close()
+
+	frame := make([]byte, 5000-FrameOverhead)
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := la.Send(context.Background(), frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Recv(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("3×5000B at 1Mbit/s done in %v, want ≥ ~120ms of serialization", elapsed)
+	}
+}
+
+func TestLatencyRecvPassthrough(t *testing.T) {
+	a, b := Pipe()
+	la := NewLatency(a, 50*time.Millisecond)
+	defer la.Close()
+
+	if err := b.Send(context.Background(), []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	f, err := la.Recv(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f) != "reply" {
+		t.Errorf("got %q", f)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("Recv took %v; receive direction must be unshaped", d)
+	}
+}
+
+func TestLatencyClose(t *testing.T) {
+	a, _ := Pipe()
+	la := NewLatency(a, time.Millisecond)
+	if err := la.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := la.Send(context.Background(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v, want ErrClosed", err)
+	}
+}

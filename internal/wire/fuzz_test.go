@@ -25,6 +25,11 @@ func FuzzDecode(f *testing.F) {
 		Triples{A: []*big.Int{x}, B: []*big.Int{y}, C: []*big.Int{x}},
 		ExtPairs{Elem: []*big.Int{x}, Ext: [][]byte{[]byte("payload")}},
 		ErrorMsg{Text: "boom"},
+		StreamBegin{Inner: KindElements, Count: 7},
+		StreamBegin{Inner: KindPairs, Count: 4},
+		StreamChunk{Elems: []*big.Int{x, y}},
+		StreamExtChunk{Elem: []*big.Int{x}, Ext: [][]byte{[]byte("payload")}},
+		StreamEnd{Chunks: 3},
 	} {
 		data, err := codec.Encode(m)
 		if err != nil {

@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStreamBeginRoundTrip(t *testing.T) {
+	c, _ := testCodec()
+	for _, inner := range []Kind{KindElements, KindPairs, KindExtPairs} {
+		b := StreamBegin{Inner: inner, Count: 12345}
+		got := roundTrip(t, c, b).(StreamBegin)
+		if got != b {
+			t.Errorf("stream begin round trip: got %+v, want %+v", got, b)
+		}
+	}
+}
+
+func TestStreamBeginRejectsBadInner(t *testing.T) {
+	c, _ := testCodec()
+	for _, inner := range []Kind{KindInvalid, KindHeader, KindError, KindStreamChunk, Kind(99)} {
+		if _, err := c.Encode(StreamBegin{Inner: inner, Count: 1}); err == nil {
+			t.Errorf("encoding stream of %v accepted", inner)
+		}
+	}
+	// A decoded begin with a non-vector inner kind must be rejected too.
+	data := []byte{byte(KindStreamBegin), byte(KindHeader), 0, 0, 0, 1}
+	if _, err := c.Decode(data); !errors.Is(err, ErrBadKind) {
+		t.Errorf("decode bad inner: err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestStreamBeginEncodedLen(t *testing.T) {
+	c, _ := testCodec()
+	data, err := c.Encode(StreamBegin{Inner: KindElements, Count: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != EncodedStreamBeginLen {
+		t.Errorf("encoded %d bytes, want EncodedStreamBeginLen = %d", len(data), EncodedStreamBeginLen)
+	}
+	end, err := c.Encode(StreamEnd{Chunks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(end) != EncodedStreamEndLen {
+		t.Errorf("encoded end %d bytes, want EncodedStreamEndLen = %d", len(end), EncodedStreamEndLen)
+	}
+}
+
+func TestStreamChunkRoundTrip(t *testing.T) {
+	c, g := testCodec()
+	for _, n := range []int{0, 1, 5, 64} {
+		want := randElems(t, g, n, int64(100+n))
+		got := roundTrip(t, c, StreamChunk{Elems: want}).(StreamChunk)
+		if len(got.Elems) != n {
+			t.Fatalf("n=%d: got %d elements", n, len(got.Elems))
+		}
+		for i := range want {
+			if got.Elems[i].Cmp(want[i]) != 0 {
+				t.Fatalf("n=%d: element %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestStreamChunkMatchesElementsLayout(t *testing.T) {
+	// A chunk carries exactly the same codeword bytes as the one-shot
+	// Elements message — only the kind byte differs.  The cost model's
+	// "payload bits unchanged" invariant rests on this.
+	c, g := testCodec()
+	elems := randElems(t, g, 4, 7)
+	asChunk, err := c.Encode(StreamChunk{Elems: elems})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asVector, err := c.Encode(Elements{Elems: elems})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asChunk) != len(asVector) {
+		t.Fatalf("chunk is %d bytes, one-shot vector %d", len(asChunk), len(asVector))
+	}
+	if string(asChunk[1:]) != string(asVector[1:]) {
+		t.Error("chunk body differs from one-shot vector body")
+	}
+}
+
+func TestStreamExtChunkRoundTrip(t *testing.T) {
+	c, g := testCodec()
+	elems := randElems(t, g, 3, 70)
+	exts := [][]byte{[]byte("alpha"), {}, []byte("a longer ext(v) record payload")}
+	got := roundTrip(t, c, StreamExtChunk{Elem: elems, Ext: exts}).(StreamExtChunk)
+	for i := range elems {
+		if got.Elem[i].Cmp(elems[i]) != 0 {
+			t.Fatalf("ext chunk elem %d mismatch", i)
+		}
+		if string(got.Ext[i]) != string(exts[i]) {
+			t.Fatalf("ext chunk ext %d mismatch", i)
+		}
+	}
+	if _, err := c.Encode(StreamExtChunk{Elem: elems, Ext: exts[:2]}); err == nil {
+		t.Error("mismatched StreamExtChunk accepted")
+	}
+}
+
+func TestStreamEndRoundTrip(t *testing.T) {
+	c, _ := testCodec()
+	got := roundTrip(t, c, StreamEnd{Chunks: 42}).(StreamEnd)
+	if got.Chunks != 42 {
+		t.Errorf("chunks = %d, want 42", got.Chunks)
+	}
+}
+
+func TestStreamDecodeRejectsGarbage(t *testing.T) {
+	c, g := testCodec()
+	validChunk, err := c.Encode(StreamChunk{Elems: randElems(t, g, 2, 80)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validExt, err := c.Encode(StreamExtChunk{Elem: randElems(t, g, 1, 81), Ext: [][]byte{[]byte("hello")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"begin empty body", []byte{byte(KindStreamBegin)}, ErrTruncated},
+		{"begin truncated count", []byte{byte(KindStreamBegin), byte(KindElements), 0, 0}, ErrTruncated},
+		{"begin trailing", []byte{byte(KindStreamBegin), byte(KindElements), 0, 0, 0, 1, 0xAA}, ErrTrailing},
+		{"begin huge count", []byte{byte(KindStreamBegin), byte(KindElements), 0xFF, 0xFF, 0xFF, 0xFF}, ErrTooLarge},
+		{"chunk truncated body", validChunk[:len(validChunk)-3], ErrTruncated},
+		{"chunk trailing", append(append([]byte(nil), validChunk...), 0x00), ErrTrailing},
+		{"chunk huge count", []byte{byte(KindStreamChunk), 0xFF, 0xFF, 0xFF, 0xFF}, ErrTooLarge},
+		{"ext chunk truncated ext", validExt[:len(validExt)-2], ErrTruncated},
+		{"end truncated", []byte{byte(KindStreamEnd), 0, 0}, ErrTruncated},
+		{"end trailing", []byte{byte(KindStreamEnd), 0, 0, 0, 1, 0xBB}, ErrTrailing},
+	}
+	for _, tc := range cases {
+		if _, err := c.Decode(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestStreamKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindStreamBegin, KindStreamChunk, KindStreamExtChunk, KindStreamEnd} {
+		if s := k.String(); s == "" || s[0] == 'k' {
+			t.Errorf("Kind(%d).String() = %q, want a named stream kind", k, s)
+		}
+	}
+}
+
+func TestStreamKindsDoNotCollide(t *testing.T) {
+	// The stream family continues the legacy enumeration; a collision
+	// would corrupt every mixed-version session.
+	legacy := []Kind{KindInvalid, KindHeader, KindElements, KindPairs, KindTriples, KindExtPairs, KindError}
+	for _, s := range []Kind{KindStreamBegin, KindStreamChunk, KindStreamExtChunk, KindStreamEnd} {
+		for _, l := range legacy {
+			if s == l {
+				t.Fatalf("stream kind %d collides with legacy kind %v", uint8(s), l)
+			}
+		}
+	}
+	if KindStreamBegin != 7 {
+		t.Errorf("KindStreamBegin = %d, want 7 (wire compatibility pin)", KindStreamBegin)
+	}
+}
+
+func TestStreamedVectorByteAccounting(t *testing.T) {
+	// A streamed n-element vector costs Begin + ⌈n/c⌉ chunk frames +
+	// End, with exactly the same n·k codeword bytes as the one-shot
+	// form plus VectorOverhead per chunk frame.
+	c, g := testCodec()
+	elems := randElems(t, g, 7, 90)
+	const chunk = 3
+	total := 0
+	frames := 0
+	for off := 0; off < len(elems); off += chunk {
+		end := off + chunk
+		if end > len(elems) {
+			end = len(elems)
+		}
+		data, err := c.Encode(StreamChunk{Elems: elems[off:end]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(data)
+		frames++
+	}
+	if frames != 3 { // ⌈7/3⌉
+		t.Fatalf("frames = %d, want 3", frames)
+	}
+	wantPayload := frames*VectorOverhead + len(elems)*c.ElemLen()
+	if total != wantPayload {
+		t.Errorf("chunk payload bytes = %d, want %d", total, wantPayload)
+	}
+}

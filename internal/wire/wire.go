@@ -56,6 +56,14 @@ func (k Kind) String() string {
 		return "extpairs"
 	case KindError:
 		return "error"
+	case KindStreamBegin:
+		return "stream-begin"
+	case KindStreamChunk:
+		return "stream-chunk"
+	case KindStreamExtChunk:
+		return "stream-ext-chunk"
+	case KindStreamEnd:
+		return "stream-end"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -292,6 +300,14 @@ func (c *Codec) Encode(m Message) ([]byte, error) {
 	case ErrorMsg:
 		buf = putCount(buf, len(v.Text))
 		buf = append(buf, v.Text...)
+	case StreamBegin:
+		return c.encodeStreamBegin(buf, v)
+	case StreamChunk:
+		buf = c.encodeStreamChunk(buf, v)
+	case StreamExtChunk:
+		return c.encodeStreamExtChunk(buf, v)
+	case StreamEnd:
+		buf = c.encodeStreamEnd(buf, v)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", m)
 	}
@@ -407,6 +423,14 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 			return nil, err
 		}
 		return ErrorMsg{Text: string(buf[:l])}, nil
+	case KindStreamBegin:
+		return c.decodeStreamBegin(buf)
+	case KindStreamChunk:
+		return c.decodeStreamChunk(buf)
+	case KindStreamExtChunk:
+		return c.decodeStreamExtChunk(buf)
+	case KindStreamEnd:
+		return c.decodeStreamEnd(buf)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
 	}
