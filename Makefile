@@ -1,11 +1,11 @@
 # Developer entry points.  `make check` is what CI should run: a full
 # build, the whole test suite, go vet, and the race detector over the
 # concurrency-heavy packages (the protocol core, the observability
-# counters, and the transport decorators).
+# counters, the transport decorators, and the party server).
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-pipeline experiments
+.PHONY: all build test vet race race-faults check bench bench-pipeline experiments
 
 all: check
 
@@ -15,13 +15,26 @@ build:
 test:
 	$(GO) test ./...
 
+# structtag and copylocks are called out explicitly (though both are in
+# vet's default set) because the lifecycle configs (party.Timeouts,
+# party.Retry, obs.Lifecycle) lean on struct tags and must never be
+# copied once their atomics are live.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -structtag -copylocks ./internal/party ./internal/transport ./internal/obs
 
 race:
-	$(GO) test -race ./internal/core ./internal/obs ./internal/transport ./internal/commutative
+	$(GO) test -race ./internal/core ./internal/obs ./internal/transport ./internal/commutative ./internal/party
 
-check: build vet test race
+# The session-lifecycle fault suite (stalled peers, accept-error storms,
+# drain under load, client retry) under the race detector, time-bounded
+# so a reintroduced leak or deadlock fails fast instead of hanging CI.
+race-faults:
+	$(GO) test -race -timeout 120s \
+		-run 'Stalled|Staller|AcceptError|Drain|Saturation|Timeout|Retry|Retries|Cancellation' \
+		./internal/party ./internal/transport ./internal/core ./internal/commutative
+
+check: build vet test race race-faults
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

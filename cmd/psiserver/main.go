@@ -16,6 +16,13 @@
 // on the structured log, and the process-global counter totals are
 // dumped on shutdown.
 //
+// The server is hardened for unattended deployment: -timeout-handshake,
+// -timeout-idle and -timeout-session evict stalled peers, -max-sessions
+// caps concurrency (excess arrivals are refused immediately with a wire
+// error), transient accept failures are retried with backoff, and on
+// SIGINT/SIGTERM the server drains — stops accepting, lets in-flight
+// sessions finish for up to -drain, then force-cancels the stragglers.
+//
 // The CSV header types columns as name:type (string|int|bool); see
 // internal/reldb.ReadCSV.
 package main
@@ -31,6 +38,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"minshare/internal/core"
 	"minshare/internal/group"
@@ -59,6 +67,12 @@ func run() error {
 		maxPeerSet = flag.Int("max-peer-set", 1<<20, "reject sessions announcing a larger peer set")
 		minPeerSet = flag.Int("min-peer-set", 0, "reject sessions announcing a smaller peer set")
 		maxQueries = flag.Int("max-queries", 1000, "per-peer session budget (0 = unlimited)")
+
+		maxSessions      = flag.Int("max-sessions", 64, "concurrent session cap; arrivals beyond it are refused immediately (0 = unlimited)")
+		handshakeTimeout = flag.Duration("timeout-handshake", 10*time.Second, "eviction deadline for a connection that never sends its header (0 = none)")
+		idleTimeout      = flag.Duration("timeout-idle", 30*time.Second, "per-frame idle allowance; a peer stalling mid-stream is evicted (0 = none)")
+		sessionTimeout   = flag.Duration("timeout-session", 10*time.Minute, "whole-session wall-clock cap (0 = none)")
+		drainTimeout     = flag.Duration("drain", 30*time.Second, "graceful-shutdown allowance for in-flight sessions before they are force-cancelled (0 = cancel immediately)")
 	)
 	flag.Parse()
 	if *tableFile == "" || *attr == "" {
@@ -127,7 +141,14 @@ func run() error {
 		Records:  records,
 		Multiset: multiset,
 		Policy:   policy,
-		Auditor:  leakage.NewAuditor(leakage.AuditPolicy{MaxOverlapFraction: 1, MaxQueries: *maxQueries}),
+		Timeouts: party.Timeouts{
+			Handshake: *handshakeTimeout,
+			Idle:      *idleTimeout,
+			Session:   *sessionTimeout,
+		},
+		MaxSessions:  *maxSessions,
+		DrainTimeout: *drainTimeout,
+		Auditor:      leakage.NewAuditor(leakage.AuditPolicy{MaxOverlapFraction: 1, MaxQueries: *maxQueries}),
 		Obs:      reg,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
@@ -171,6 +192,9 @@ func run() error {
 		logger.Info("shutting down",
 			"sessions_finished", snap.SessionsFinished,
 			"sessions_failed", snap.SessionsFailed,
+			"timeout_evictions", snap.Lifecycle.HandshakeTimeouts+snap.Lifecycle.IdleTimeouts+snap.Lifecycle.SessionTimeouts,
+			"saturation_rejects", snap.Lifecycle.SaturationRejects,
+			"drain_forced", snap.Lifecycle.DrainForced,
 			"modexp_total", snap.Global.ModExps(),
 			"oracle_hashes", snap.Global.OracleHashes,
 			"wire_bytes_sent", snap.Global.WireBytesSent,

@@ -72,6 +72,14 @@ func mapAll(ctx context.Context, xs []*big.Int, parallelism int, f func(*big.Int
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				// Observe cancellation between elements, exactly like the
+				// serial path: a cancelled bulk operation must stop after
+				// at most one in-flight exponentiation per worker, not
+				// grind through whatever the feeder already queued.
+				if err := ctx.Err(); err != nil {
+					fail(fmt.Errorf("commutative: bulk operation cancelled: %w", err))
+					return
+				}
 				y, err := f(xs[i])
 				if err != nil {
 					fail(fmt.Errorf("commutative: element %d: %w", i, err))
@@ -84,6 +92,19 @@ func mapAll(ctx context.Context, xs []*big.Int, parallelism int, f func(*big.Int
 
 feed:
 	for i := range xs {
+		// Cancellation and failure take priority over handing out more
+		// work: the three-way select below picks randomly among ready
+		// cases, so without this check a cancelled feed could keep
+		// dispatching elements as long as workers keep up.
+		if err := ctx.Err(); err != nil {
+			fail(fmt.Errorf("commutative: bulk operation cancelled: %w", err))
+			break
+		}
+		select {
+		case <-quit:
+			break feed
+		default:
+		}
 		select {
 		case next <- i:
 		case <-quit:

@@ -1,0 +1,108 @@
+package commutative
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapAllParallelObservesCancellation: cancelling a bulk operation
+// mid-flight must stop the parallel workers after at most one in-flight
+// call each — not grind through the rest of the vector.  The probe f
+// blocks every worker, the test cancels, releases them, and counts how
+// many elements were actually processed.
+func TestMapAllParallelObservesCancellation(t *testing.T) {
+	const parallelism, n = 4, 64
+	xs := make([]*big.Int, n)
+	for i := range xs {
+		xs[i] = big.NewInt(int64(i))
+	}
+
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	f := func(x *big.Int) (*big.Int, error) {
+		calls.Add(1)
+		<-gate
+		return x, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := mapAll(ctx, xs, parallelism, f)
+		done <- err
+	}()
+
+	// Wait until every worker is parked inside f.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() < parallelism {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers entered f", calls.Load(), parallelism)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	close(gate) // release the blocked workers
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mapAll still running 5s after cancellation")
+	}
+	if got := calls.Load(); got > parallelism {
+		t.Errorf("workers processed %d elements after cancellation, want at most %d (one in-flight each)", got, parallelism)
+	}
+}
+
+// TestMapAllSerialObservesCancellation: the serial path (parallelism 1)
+// keeps its per-element check.
+func TestMapAllSerialObservesCancellation(t *testing.T) {
+	xs := make([]*big.Int, 8)
+	for i := range xs {
+		xs[i] = big.NewInt(int64(i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	_, err := mapAll(ctx, xs, 1, func(x *big.Int) (*big.Int, error) {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return x, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 2 {
+		t.Errorf("f ran %d times after mid-run cancel, want 2", calls)
+	}
+}
+
+// TestMapAllCompletesWithoutCancellation guards the happy path after the
+// cancellation checks were added: all elements map, in order.
+func TestMapAllCompletesWithoutCancellation(t *testing.T) {
+	const n = 100
+	xs := make([]*big.Int, n)
+	for i := range xs {
+		xs[i] = big.NewInt(int64(i))
+	}
+	out, err := mapAll(context.Background(), xs, 4, func(x *big.Int) (*big.Int, error) {
+		return new(big.Int).Add(x, big.NewInt(1000)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range out {
+		if y.Int64() != int64(i+1000) {
+			t.Fatalf("out[%d] = %v", i, y)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/big"
 	"testing"
+	"time"
 
 	"minshare/internal/transport"
 	"minshare/internal/wire"
@@ -351,4 +352,38 @@ func TestContextCancellationMidProtocol(t *testing.T) {
 	if _, err := IntersectionReceiver(ctx, testConfig(1), connR, vR); err == nil {
 		t.Fatal("cancelled run returned nil error")
 	}
+}
+
+// TestReceiverAbortsOnStalledSender: a receiver talking through the idle
+// -timeout decorator abandons a sender that answers the handshake and
+// then goes silent — within one idle interval, without leaking the run's
+// goroutines or waiting on the whole-session context.
+func TestReceiverAbortsOnStalledSender(t *testing.T) {
+	vR := vals("r", 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m := newMalicious(testConfig(2), connS)
+		if m.recv(ctx, t) == nil { // R's header
+			return
+		}
+		m.send(ctx, t, m.header(4))
+		// ... and stall: never send Y_S.
+	}()
+
+	start := time.Now()
+	_, err := IntersectionReceiver(ctx, testConfig(1), transport.WithIdleTimeout(connR, 100*time.Millisecond), vR)
+	if !errors.Is(err, transport.ErrIdleTimeout) {
+		t.Fatalf("err = %v, want ErrIdleTimeout", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("receiver took %v to abandon the stalled sender", d)
+	}
+	cancel()
+	<-done
 }

@@ -22,6 +22,7 @@ func WriteText(w io.Writer, snap RegistrySnapshot) {
 	fmt.Fprintf(w, "sessions_finished %d\n", snap.SessionsFinished)
 	fmt.Fprintf(w, "sessions_failed %d\n", snap.SessionsFailed)
 	writeCountersText(w, "", snap.Global)
+	writeLifecycleText(w, snap.Lifecycle)
 	if len(snap.Active) > 0 {
 		fmt.Fprintf(w, "# active sessions\n")
 		ordered := append([]SessionSnapshot(nil), snap.Active...)
@@ -52,6 +53,18 @@ func writeCountersText(w io.Writer, prefix string, c CounterSnapshot) {
 	fmt.Fprintf(w, "%spayload_bytes_recv %d\n", prefix, c.PayloadBytesRecv)
 	fmt.Fprintf(w, "%swire_bytes_sent %d\n", prefix, c.WireBytesSent)
 	fmt.Fprintf(w, "%swire_bytes_recv %d\n", prefix, c.WireBytesRecv)
+}
+
+func writeLifecycleText(w io.Writer, l LifecycleSnapshot) {
+	fmt.Fprintf(w, "accept_retries %d\n", l.AcceptRetries)
+	fmt.Fprintf(w, "saturation_rejects %d\n", l.SaturationRejects)
+	fmt.Fprintf(w, "handshake_timeouts %d\n", l.HandshakeTimeouts)
+	fmt.Fprintf(w, "idle_timeouts %d\n", l.IdleTimeouts)
+	fmt.Fprintf(w, "session_timeouts %d\n", l.SessionTimeouts)
+	fmt.Fprintf(w, "drains %d\n", l.Drains)
+	fmt.Fprintf(w, "drain_forced %d\n", l.DrainForced)
+	fmt.Fprintf(w, "drain_cancelled_sessions %d\n", l.DrainCancelled)
+	fmt.Fprintf(w, "client_retries %d\n", l.ClientRetries)
 }
 
 func writeSessionText(w io.Writer, s SessionSnapshot) {

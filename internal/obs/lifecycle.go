@@ -1,0 +1,120 @@
+package obs
+
+import "sync/atomic"
+
+// Lifecycle is the census of session-lifecycle events: the robustness
+// layer's timeouts, rejections, retries, and drain outcomes.  Where the
+// Counters chain prices what a *successful* run computes and ships, the
+// Lifecycle block records how the service survived everything else — the
+// stalled peers, accept storms, saturation rejects, and shutdown drains
+// a long-lived deployment sees under load.
+//
+// All methods are safe for concurrent use and inert on a nil receiver,
+// so callers without an observability registry attached pay nothing.
+// A Lifecycle contains atomics and must not be copied.
+type Lifecycle struct {
+	acceptRetries     atomic.Int64
+	saturationRejects atomic.Int64
+	handshakeTimeouts atomic.Int64
+	idleTimeouts      atomic.Int64
+	sessionTimeouts   atomic.Int64
+	drains            atomic.Int64
+	drainForced       atomic.Int64
+	drainCancelled    atomic.Int64
+	clientRetries     atomic.Int64
+}
+
+// AddAcceptRetry records one transient accept-loop failure that was
+// retried after backoff instead of killing the server.
+func (l *Lifecycle) AddAcceptRetry() {
+	if l != nil {
+		l.acceptRetries.Add(1)
+	}
+}
+
+// AddSaturationReject records one connection refused because the
+// concurrent-session limit was reached.
+func (l *Lifecycle) AddSaturationReject() {
+	if l != nil {
+		l.saturationRejects.Add(1)
+	}
+}
+
+// AddHandshakeTimeout records one session evicted because its first
+// frame never arrived within the handshake allowance.
+func (l *Lifecycle) AddHandshakeTimeout() {
+	if l != nil {
+		l.handshakeTimeouts.Add(1)
+	}
+}
+
+// AddIdleTimeout records one session evicted mid-protocol by the
+// per-frame idle allowance.
+func (l *Lifecycle) AddIdleTimeout() {
+	if l != nil {
+		l.idleTimeouts.Add(1)
+	}
+}
+
+// AddSessionTimeout records one session evicted by the whole-session
+// deadline.
+func (l *Lifecycle) AddSessionTimeout() {
+	if l != nil {
+		l.sessionTimeouts.Add(1)
+	}
+}
+
+// AddDrain records one graceful drain begun at shutdown.
+func (l *Lifecycle) AddDrain() {
+	if l != nil {
+		l.drains.Add(1)
+	}
+}
+
+// AddDrainForced records a drain that hit its deadline and had to
+// force-cancel n still-running sessions.
+func (l *Lifecycle) AddDrainForced(n int64) {
+	if l != nil {
+		l.drainForced.Add(1)
+		l.drainCancelled.Add(n)
+	}
+}
+
+// AddClientRetry records one client-side re-dial after a transient
+// connection-establishment failure.
+func (l *Lifecycle) AddClientRetry() {
+	if l != nil {
+		l.clientRetries.Add(1)
+	}
+}
+
+// Snapshot returns a point-in-time copy; nil yields a zero snapshot.
+func (l *Lifecycle) Snapshot() LifecycleSnapshot {
+	if l == nil {
+		return LifecycleSnapshot{}
+	}
+	return LifecycleSnapshot{
+		AcceptRetries:     l.acceptRetries.Load(),
+		SaturationRejects: l.saturationRejects.Load(),
+		HandshakeTimeouts: l.handshakeTimeouts.Load(),
+		IdleTimeouts:      l.idleTimeouts.Load(),
+		SessionTimeouts:   l.sessionTimeouts.Load(),
+		Drains:            l.drains.Load(),
+		DrainForced:       l.drainForced.Load(),
+		DrainCancelled:    l.drainCancelled.Load(),
+		ClientRetries:     l.clientRetries.Load(),
+	}
+}
+
+// LifecycleSnapshot is a point-in-time copy of a Lifecycle census.
+type LifecycleSnapshot struct {
+	AcceptRetries     int64 `json:"accept_retries"`
+	SaturationRejects int64 `json:"saturation_rejects"`
+	HandshakeTimeouts int64 `json:"handshake_timeouts"`
+	IdleTimeouts      int64 `json:"idle_timeouts"`
+	SessionTimeouts   int64 `json:"session_timeouts"`
+	Drains            int64 `json:"drains"`
+	DrainForced       int64 `json:"drain_forced"`
+	DrainCancelled    int64 `json:"drain_cancelled_sessions"`
+	ClientRetries     int64 `json:"client_retries"`
+}

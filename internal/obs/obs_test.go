@@ -240,3 +240,79 @@ func TestCountersConcurrent(t *testing.T) {
 		t.Errorf("wire_bytes_sent = %d, want %d", snap.WireBytesSent, 3*workers*perWorker)
 	}
 }
+
+// TestLifecycleCensus: lifecycle events land in the registry snapshot,
+// render on /metrics in both encodings, and a nil receiver is inert.
+func TestLifecycleCensus(t *testing.T) {
+	reg := NewRegistry()
+	lc := reg.Lifecycle()
+	lc.AddAcceptRetry()
+	lc.AddAcceptRetry()
+	lc.AddSaturationReject()
+	lc.AddHandshakeTimeout()
+	lc.AddIdleTimeout()
+	lc.AddSessionTimeout()
+	lc.AddDrain()
+	lc.AddDrainForced(3)
+	lc.AddClientRetry()
+
+	snap := reg.Snapshot().Lifecycle
+	want := LifecycleSnapshot{
+		AcceptRetries: 2, SaturationRejects: 1,
+		HandshakeTimeouts: 1, IdleTimeouts: 1, SessionTimeouts: 1,
+		Drains: 1, DrainForced: 1, DrainCancelled: 3, ClientRetries: 1,
+	}
+	if snap != want {
+		t.Errorf("lifecycle snapshot = %+v, want %+v", snap, want)
+	}
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, line := range []string{"accept_retries 2", "saturation_rejects 1", "idle_timeouts 1", "drain_cancelled_sessions 3", "client_retries 1"} {
+		if !strings.Contains(body, line) {
+			t.Errorf("text body missing %q:\n%s", line, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var decoded RegistrySnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Lifecycle != want {
+		t.Errorf("JSON lifecycle = %+v, want %+v", decoded.Lifecycle, want)
+	}
+
+	// Nil registry / nil lifecycle: every probe is a no-op.
+	var nilReg *Registry
+	nilReg.Lifecycle().AddIdleTimeout()
+	nilReg.Lifecycle().AddDrainForced(5)
+	if got := nilReg.Lifecycle().Snapshot(); got != (LifecycleSnapshot{}) {
+		t.Errorf("nil lifecycle snapshot = %+v", got)
+	}
+}
+
+// TestLifecycleConcurrent exercises the census under parallel writers so
+// the race target covers it.
+func TestLifecycleConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, each = 8, 500
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				reg.Lifecycle().AddIdleTimeout()
+				reg.Lifecycle().AddClientRetry()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Lifecycle().Snapshot()
+	if snap.IdleTimeouts != workers*each || snap.ClientRetries != workers*each {
+		t.Errorf("lifecycle = %+v, want %d each", snap, workers*each)
+	}
+}

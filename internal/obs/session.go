@@ -126,8 +126,9 @@ const recentKeep = 8
 // recently finished sessions.  A zero Registry is not usable; call
 // NewRegistry (or use Default).
 type Registry struct {
-	start  time.Time
-	global Counters
+	start     time.Time
+	global    Counters
+	lifecycle Lifecycle
 
 	mu       sync.Mutex
 	seq      uint64
@@ -145,6 +146,17 @@ func NewRegistry() *Registry {
 // Global returns the process-global counter level.  Counting directly
 // against it (outside any session) is allowed.
 func (r *Registry) Global() *Counters { return &r.global }
+
+// Lifecycle returns the registry's session-lifecycle census (timeouts,
+// rejects, retries, drains).  A nil registry yields a nil — and therefore
+// inert — Lifecycle, so callers may write r.Lifecycle().AddIdleTimeout()
+// unconditionally.
+func (r *Registry) Lifecycle() *Lifecycle {
+	if r == nil {
+		return nil
+	}
+	return &r.lifecycle
+}
 
 // StartSession registers a new live session whose counters chain into
 // the registry's global level.
@@ -169,6 +181,7 @@ func (r *Registry) StartSession(info SessionInfo) *Session {
 type RegistrySnapshot struct {
 	UptimeSeconds    float64           `json:"uptime_seconds"`
 	Global           CounterSnapshot   `json:"global"`
+	Lifecycle        LifecycleSnapshot `json:"lifecycle"`
 	SessionsActive   int               `json:"sessions_active"`
 	SessionsFinished int64             `json:"sessions_finished"`
 	SessionsFailed   int64             `json:"sessions_failed"`
@@ -193,6 +206,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	}
 	r.mu.Unlock()
 	snap.Global = r.global.Snapshot()
+	snap.Lifecycle = r.lifecycle.Snapshot()
 	for _, s := range live {
 		snap.Active = append(snap.Active, s.Snapshot())
 	}

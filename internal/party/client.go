@@ -3,10 +3,61 @@ package party
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
 
 	"minshare/internal/core"
+	"minshare/internal/obs"
 	"minshare/internal/transport"
 )
+
+// Retry configures client-side backoff for transient connection
+// -establishment failures: refused or timed-out dials, TLS handshakes
+// that never complete, a listener mid-restart.
+//
+// What is — deliberately — never retried is a session whose first frame
+// already reached the peer.  A protocol run is not idempotent once the
+// server has read the opening header: it has learned |V_R| (the paper's
+// permitted additional information I), charged the per-host query
+// budget, and written the audit trail.  Re-running silently would turn
+// one logical query into several observed ones, so any failure after
+// the first delivered frame — including a policy rejection or a
+// saturated-server refusal, which the peer only reports after reading
+// the header — surfaces to the caller, who alone can decide to query
+// again.
+type Retry struct {
+	// Attempts is the total number of tries, including the first
+	// (0 or 1 = no retry).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt.  Defaults to 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.  Defaults to 2s.
+	MaxDelay time.Duration
+}
+
+// backoff returns the jittered pause before retry n (0-based): the
+// exponential delay min(MaxDelay, BaseDelay·2ⁿ) with its upper half
+// randomized so synchronized clients reconnecting to a restarted server
+// spread out instead of stampeding.
+func (r Retry) backoff(n int) time.Duration {
+	base, max := r.BaseDelay, r.MaxDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + rand.N(d/2+1)
+}
 
 // Client runs receiver-side protocols against a Server.  Each call opens
 // a fresh connection (a server connection carries exactly one session).
@@ -15,6 +66,14 @@ type Client struct {
 	cfg  core.Config
 	// dial is swappable for tests; defaults to TCP.
 	dial func(ctx context.Context) (transport.Conn, error)
+
+	// Retry, when Attempts > 1, re-dials after transient
+	// connection-establishment failures; see the Retry doc for what is
+	// never retried.  Settable until the first call.
+	Retry Retry
+	// Obs, when non-nil, counts retries in the registry's lifecycle
+	// census.
+	Obs *obs.Registry
 }
 
 // NewClient returns a client for the server at addr.
@@ -32,13 +91,56 @@ func NewClientConnFunc(cfg core.Config, dial func(ctx context.Context) (transpor
 	return &Client{cfg: cfg, dial: dial}
 }
 
+// sendProbe marks the moment a session stops being safely retryable: it
+// records that a Send was attempted, whether or not it succeeded — a
+// failed write may still have delivered bytes the peer acted on.
+type sendProbe struct {
+	transport.Conn
+	attempted atomic.Bool
+}
+
+func (p *sendProbe) Send(ctx context.Context, frame []byte) error {
+	p.attempted.Store(true)
+	return p.Conn.Send(ctx, frame)
+}
+
 func (c *Client) withConn(ctx context.Context, f func(conn transport.Conn) error) error {
-	conn, err := c.dial(ctx)
-	if err != nil {
-		return fmt.Errorf("party: dialing %s: %w", c.addr, err)
+	attempts := c.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	defer conn.Close()
-	return f(conn)
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			pause := c.Retry.backoff(attempt - 1)
+			t := time.NewTimer(pause)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return err
+			}
+			c.Obs.Lifecycle().AddClientRetry()
+		}
+		var conn transport.Conn
+		conn, err = c.dial(ctx)
+		if err != nil {
+			err = fmt.Errorf("party: dialing %s: %w", c.addr, err)
+			if ctx.Err() != nil {
+				return err
+			}
+			continue // nothing reached the peer: safe to retry
+		}
+		probe := &sendProbe{Conn: conn}
+		err = f(probe)
+		conn.Close()
+		if err == nil || probe.attempted.Load() || ctx.Err() != nil {
+			// Success, or the peer may have seen our header — either way
+			// this attempt is the last.
+			return err
+		}
+	}
+	return err
 }
 
 // Intersect runs the intersection protocol against the server.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minshare/internal/core"
@@ -36,13 +37,36 @@ type Policy struct {
 	// MinPeerSetSize rejects tiny peer sets (tracker-style isolation of
 	// individuals; 0 = no minimum).
 	MinPeerSetSize int
-	// MaxQueriesPerPeer bounds answered sessions per remote address
-	// (0 = unlimited).
+	// MaxQueriesPerPeer bounds answered sessions per remote *host*
+	// (0 = unlimited).  Accounting is keyed by the host part of the
+	// remote address — net.SplitHostPort — so the budget spans TCP
+	// connections: a peer cannot reset it by reconnecting from a fresh
+	// ephemeral port.
 	MaxQueriesPerPeer int
 }
 
 // ErrPolicy reports a session rejected by policy.
 var ErrPolicy = errors.New("party: session rejected by policy")
+
+// ErrSaturated reports a session refused because the server already runs
+// MaxSessions concurrent sessions.  Unlike ErrPolicy it is a transient
+// condition: the same query may succeed once load subsides.
+var ErrSaturated = errors.New("party: server saturated")
+
+// Timeouts bounds the phases of a served session.  Zero fields disable
+// the corresponding limit.  The three deadlines map onto the protocol
+// timeline: Handshake covers the wait for the peer's opening header (a
+// connection that never speaks), Idle covers every subsequent frame gap
+// (a peer that stalls mid-stream), and Session caps the whole run (a
+// peer that trickles frames forever, each inside the idle allowance).
+type Timeouts struct {
+	// Handshake bounds the wait for the session-opening header frame.
+	Handshake time.Duration
+	// Idle bounds every single Send/Recv after the handshake.
+	Idle time.Duration
+	// Session bounds the whole session wall-clock.
+	Session time.Duration
+}
 
 func (p Policy) allows(proto wire.Protocol) bool {
 	if len(p.AllowedProtocols) == 0 {
@@ -70,6 +94,18 @@ type Server struct {
 	Multiset [][]byte
 	// Policy gates sessions; the zero value allows everything.
 	Policy Policy
+	// Timeouts bounds session phases; the zero value imposes none.
+	Timeouts Timeouts
+	// MaxSessions caps concurrent in-flight sessions (0 = unlimited).
+	// Arrivals beyond the cap are refused immediately with a wire error
+	// (the peer sees ErrPeerFailure carrying the saturation text) instead
+	// of queueing — under overload, fast rejection beats silent latency.
+	MaxSessions int
+	// DrainTimeout bounds graceful shutdown: once Serve's context is
+	// cancelled the server stops accepting and lets in-flight sessions
+	// finish for up to this long before force-cancelling them.  Zero
+	// cancels in-flight sessions immediately on shutdown.
+	DrainTimeout time.Duration
 	// Auditor, when non-nil, records every answered session and can veto
 	// on its own criteria (budget, overlap of the served set).
 	Auditor *leakage.Auditor
@@ -83,6 +119,10 @@ type Server struct {
 
 	mu      sync.Mutex
 	perPeer map[string]int
+
+	limitOnce sync.Once
+	sem       chan struct{}
+	inFlight  atomic.Int64
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -91,35 +131,140 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// lifecycle returns the obs lifecycle census (nil-safe: inert without a
+// registry).
+func (s *Server) lifecycle() *obs.Lifecycle { return s.Obs.Lifecycle() }
+
+// group returns the configured group, defaulted.
+func (s *Server) group() *group.Group {
+	if g := s.Config.Group; g != nil {
+		return g
+	}
+	return group.Default()
+}
+
+// peerHost reduces a remote address to its policy-accounting key: the
+// host part of host:port.  Keying by the full address would hand every
+// TCP connection a fresh budget (each dial arrives from a new ephemeral
+// port), turning MaxQueriesPerPeer into a per-connection no-op.
+func peerHost(peer string) string {
+	if host, _, err := net.SplitHostPort(peer); err == nil {
+		return host
+	}
+	return peer
+}
+
+// acquireSlot claims a concurrent-session slot; the release function is
+// non-nil iff a slot was claimed.  ok is false when the server is
+// saturated.
+func (s *Server) acquireSlot() (release func(), ok bool) {
+	s.limitOnce.Do(func() {
+		if s.MaxSessions > 0 {
+			s.sem = make(chan struct{}, s.MaxSessions)
+		}
+	})
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		return nil, false
+	}
+}
+
 // Serve accepts sessions until the listener closes or ctx is cancelled.
 // Each connection carries exactly one protocol session and is handled on
 // its own goroutine.
+//
+// Transient accept failures — EMFILE under an accept storm, aborted
+// connections — are retried with exponential backoff (5ms doubling to
+// 1s, the net/http pattern) instead of killing the server; only a
+// non-transient listener error or cancellation ends the loop.
+//
+// Shutdown drains gracefully: cancelling ctx stops the accept loop, then
+// in-flight sessions may finish for up to DrainTimeout before being
+// force-cancelled.  Serve returns ctx.Err() after the drain completes.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// Sessions run under their own cancellation root so that shutdown can
+	// stop accepting without instantly killing work in flight.
+	sctx, cancelSessions := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancelSessions()
 	go func() {
 		<-ctx.Done()
 		ln.Close()
 	}()
 	var wg sync.WaitGroup
-	defer wg.Wait()
+	var tempDelay time.Duration
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			if ctx.Err() != nil {
-				return ctx.Err()
+				return s.drainSessions(ctx.Err(), &wg, cancelSessions)
 			}
-			return fmt.Errorf("party: accept: %w", err)
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if tempDelay == 0 {
+					tempDelay = 5 * time.Millisecond
+				} else {
+					tempDelay *= 2
+				}
+				if tempDelay > time.Second {
+					tempDelay = time.Second
+				}
+				s.lifecycle().AddAcceptRetry()
+				s.logf("party: accept error: %v; retrying in %v", err, tempDelay)
+				select {
+				case <-time.After(tempDelay):
+					continue
+				case <-ctx.Done():
+					return s.drainSessions(ctx.Err(), &wg, cancelSessions)
+				}
+			}
+			return s.drainSessions(fmt.Errorf("party: accept: %w", err), &wg, cancelSessions)
 		}
+		tempDelay = 0
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			peer := nc.RemoteAddr().String()
 			conn := transport.NewTCP(nc)
 			defer conn.Close()
-			if err := s.handle(ctx, peer, conn); err != nil {
+			if err := s.handle(sctx, peer, conn); err != nil {
 				s.logf("party: session with %s failed: %v", peer, err)
 			}
 		}()
 	}
+}
+
+// drainSessions finishes a Serve run: it waits for in-flight sessions up
+// to DrainTimeout, force-cancels the stragglers, and returns cause.
+func (s *Server) drainSessions(cause error, wg *sync.WaitGroup, cancel context.CancelFunc) error {
+	idle := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(idle)
+	}()
+	if d := s.DrainTimeout; d > 0 {
+		if n := s.inFlight.Load(); n > 0 {
+			s.lifecycle().AddDrain()
+			s.logf("party: draining %d in-flight sessions (up to %v)", n, d)
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-idle:
+			return cause
+		case <-t.C:
+			n := s.inFlight.Load()
+			s.lifecycle().AddDrainForced(n)
+			s.logf("party: drain deadline hit; force-cancelling %d sessions", n)
+		}
+	}
+	cancel()
+	<-idle
+	return cause
 }
 
 // HandleConn answers a single session on an established transport (used
@@ -129,19 +274,82 @@ func (s *Server) HandleConn(ctx context.Context, peer string, conn transport.Con
 	return s.handle(ctx, peer, conn)
 }
 
+// handle runs the session lifecycle around runSession: the saturation
+// gate, the in-flight census, and the classification of timeout
+// evictions into the obs lifecycle counters.
 func (s *Server) handle(ctx context.Context, peer string, conn transport.Conn) error {
+	release, ok := s.acquireSlot()
+	if !ok {
+		s.lifecycle().AddSaturationReject()
+		err := fmt.Errorf("%w: %d concurrent sessions", ErrSaturated, s.MaxSessions)
+		// Tell the peer before hanging up, briefly: a saturated server
+		// must not spend long on a slow rejectee either.
+		sendCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		codec := wire.NewCodec(s.group())
+		if data, encErr := codec.Encode(wire.ErrorMsg{Text: err.Error()}); encErr == nil {
+			_ = conn.Send(sendCtx, data)
+		}
+		return err
+	}
+	defer release()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	if d := s.Timeouts.Session; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if d := s.Timeouts.Idle; d > 0 {
+		conn = transport.WithIdleTimeout(conn, d)
+	}
+	err := s.runSession(ctx, peer, conn)
+	switch {
+	case errors.Is(err, errHandshakeTimeout):
+		s.lifecycle().AddHandshakeTimeout()
+	case errors.Is(err, transport.ErrIdleTimeout):
+		s.lifecycle().AddIdleTimeout()
+	case errors.Is(err, context.DeadlineExceeded) && s.Timeouts.Session > 0:
+		s.lifecycle().AddSessionTimeout()
+	}
+	return err
+}
+
+// errHandshakeTimeout marks a session whose opening header never arrived
+// within Timeouts.Handshake.
+var errHandshakeTimeout = errors.New("party: handshake timeout")
+
+// recvHeader reads the session-opening frame under the handshake
+// allowance.
+func (s *Server) recvHeader(ctx context.Context, conn transport.Conn) ([]byte, error) {
+	hctx := ctx
+	if d := s.Timeouts.Handshake; d > 0 {
+		var cancel context.CancelFunc
+		hctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	first, err := conn.Recv(hctx)
+	if err != nil && ctx.Err() == nil &&
+		(hctx.Err() == context.DeadlineExceeded || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, transport.ErrIdleTimeout)) {
+		// Any per-operation timeout while waiting for the opening header
+		// is a handshake failure: the peer connected and never spoke.
+		return nil, fmt.Errorf("%w: %v", errHandshakeTimeout, err)
+	}
+	return first, err
+}
+
+func (s *Server) runSession(ctx context.Context, peer string, conn transport.Conn) error {
 	// The receiver speaks first: read its header to learn which protocol
 	// it wants, then hand the role function a transport that replays the
 	// frame.
-	first, err := conn.Recv(ctx)
+	first, err := s.recvHeader(ctx, conn)
 	if err != nil {
 		return fmt.Errorf("party: reading session header: %w", err)
 	}
 	cfg := s.Config
-	g := cfg.Group
-	if g == nil {
-		g = group.Default()
-	}
+	g := s.group()
+	cfg.Group = g
 	codec := wire.NewCodec(g)
 	msg, err := codec.Decode(first)
 	if err != nil {
@@ -253,11 +461,12 @@ func (s *Server) checkPolicy(peer string, hdr wire.Header) error {
 	if s.Policy.MinPeerSetSize > 0 && hdr.SetSize < uint64(s.Policy.MinPeerSetSize) {
 		return fmt.Errorf("%w: peer set size %d below minimum %d", ErrPolicy, hdr.SetSize, s.Policy.MinPeerSetSize)
 	}
+	host := peerHost(peer)
 	s.mu.Lock()
-	count := s.perPeer[peer]
+	count := s.perPeer[host]
 	s.mu.Unlock()
 	if s.Policy.MaxQueriesPerPeer > 0 && count >= s.Policy.MaxQueriesPerPeer {
-		return fmt.Errorf("%w: peer %s exhausted its %d-query budget", ErrPolicy, peer, s.Policy.MaxQueriesPerPeer)
+		return fmt.Errorf("%w: peer %s exhausted its %d-query budget", ErrPolicy, host, s.Policy.MaxQueriesPerPeer)
 	}
 	if s.Auditor != nil {
 		if err := s.Auditor.Check(peer, hdr.Protocol.String(), s.Values); err != nil {
@@ -272,7 +481,7 @@ func (s *Server) record(peer string, hdr wire.Header, stats leakage.SessionStats
 	if s.perPeer == nil {
 		s.perPeer = make(map[string]int)
 	}
-	s.perPeer[peer]++
+	s.perPeer[peerHost(peer)]++
 	s.mu.Unlock()
 	if s.Auditor != nil {
 		_ = s.Auditor.ApproveSession(peer, hdr.Protocol.String(), s.Values, stats)

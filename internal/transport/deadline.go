@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrIdleTimeout reports a Send or Recv aborted because the peer made no
+// progress within the decorator's per-operation allowance.  It wraps
+// context.DeadlineExceeded, so errors.Is works against either sentinel.
+var ErrIdleTimeout = errors.New("transport: idle timeout")
+
+// idleConn applies a fresh deadline to every individual Send and Recv: a
+// stalled peer is detected after at most one idle interval, however long
+// the whole session is allowed to run.
+//
+// The decorator is transport-agnostic — it only derives a child context
+// per operation — so it composes with any Conn that honours context
+// deadlines and cancellation: the TCP transport (and therefore the TLS
+// one, which shares it), the in-memory pipe, and the other decorators in
+// this package.  A caller deadline tighter than the idle allowance still
+// wins; a looser one is tightened for the single operation only.
+type idleConn struct {
+	Conn
+	idle time.Duration
+}
+
+// WithIdleTimeout wraps inner so each Send and Recv must complete within
+// idle.  A non-positive idle returns inner unchanged.
+func WithIdleTimeout(inner Conn, idle time.Duration) Conn {
+	if idle <= 0 {
+		return inner
+	}
+	return &idleConn{Conn: inner, idle: idle}
+}
+
+// Send implements Conn.
+func (d *idleConn) Send(ctx context.Context, frame []byte) error {
+	opCtx, cancel := context.WithTimeout(ctx, d.idle)
+	defer cancel()
+	return d.classify(ctx, opCtx, d.Conn.Send(opCtx, frame))
+}
+
+// Recv implements Conn.
+func (d *idleConn) Recv(ctx context.Context) ([]byte, error) {
+	opCtx, cancel := context.WithTimeout(ctx, d.idle)
+	defer cancel()
+	frame, err := d.Conn.Recv(opCtx)
+	return frame, d.classify(ctx, opCtx, err)
+}
+
+// classify rewrites an operation failure caused by the idle allowance as
+// ErrIdleTimeout; failures the caller caused, or unrelated transport
+// errors, pass through untouched.  Attribution compares the two
+// deadlines rather than polling ctx.Err(): the idle timer fired iff the
+// op deadline is strictly earlier than any the caller set, which stays
+// correct even when the I/O layer reports its timeout a beat before the
+// context timers flip.
+func (d *idleConn) classify(parent, op context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if op.Err() != context.DeadlineExceeded && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if pdl, ok := parent.Deadline(); ok {
+		if odl, _ := op.Deadline(); !odl.Before(pdl) {
+			return err // the caller's own deadline, not the idle timer
+		}
+	}
+	if parent.Err() != nil {
+		return err // the caller cancelled outright
+	}
+	return fmt.Errorf("%w after %v: %w", ErrIdleTimeout, d.idle, context.DeadlineExceeded)
+}

@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two connected TCP frame transports over loopback.
+func tcpPair(t *testing.T) (Conn, Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		nc  net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		nc, err := ln.Accept()
+		ch <- res{nc, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		client.Close()
+		t.Fatal(r.err)
+	}
+	a, b := NewTCP(client), NewTCP(r.nc)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// TestIdleTimeoutPipe: a Recv with no sender must fail with ErrIdleTimeout
+// within roughly the idle allowance, on the in-memory pipe.
+func TestIdleTimeoutPipe(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	idle := WithIdleTimeout(a, 50*time.Millisecond)
+
+	start := time.Now()
+	_, err := idle.Recv(context.Background())
+	if !errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("err = %v, want ErrIdleTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v does not wrap context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("timeout took %v", d)
+	}
+}
+
+// TestIdleTimeoutTCP: same over a real TCP connection with a silent peer.
+func TestIdleTimeoutTCP(t *testing.T) {
+	a, _ := tcpPair(t)
+	idle := WithIdleTimeout(a, 50*time.Millisecond)
+	if _, err := idle.Recv(context.Background()); !errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("err = %v, want ErrIdleTimeout", err)
+	}
+}
+
+// TestIdleTimeoutDoesNotFireOnProgress: frames arriving within the idle
+// allowance reset it; a session longer than the allowance still runs.
+func TestIdleTimeoutDoesNotFireOnProgress(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	idle := WithIdleTimeout(a, 100*time.Millisecond)
+	ctx := context.Background()
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 5; i++ {
+			time.Sleep(30 * time.Millisecond)
+			if err := b.Send(ctx, []byte{byte(i)}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 5; i++ {
+		frame, err := idle.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(frame) != 1 || frame[0] != byte(i) {
+			t.Fatalf("frame %d = %v", i, frame)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdleTimeoutCallerDeadlineWins: a caller deadline tighter than the
+// idle allowance surfaces as the caller's own DeadlineExceeded, not as
+// ErrIdleTimeout.
+func TestIdleTimeoutCallerDeadlineWins(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	idle := WithIdleTimeout(a, time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := idle.Recv(ctx)
+	if err == nil {
+		t.Fatal("recv succeeded with no sender")
+	}
+	if errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("err = %v misclassified as idle timeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want caller DeadlineExceeded", err)
+	}
+}
+
+// TestTCPRecvUnblocksOnCancel: cancelling the context must unblock a TCP
+// Recv that is already parked in the read syscall — the property the
+// server's drain deadline relies on to evict stalled sessions.
+func TestTCPRecvUnblocksOnCancel(t *testing.T) {
+	a, _ := tcpPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv(ctx)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let Recv block in the syscall
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked 5s after cancellation")
+	}
+}
+
+// TestTCPSendUnblocksOnCancel: same for a Send stalled on a full TCP
+// window (the peer never reads).
+func TestTCPSendUnblocksOnCancel(t *testing.T) {
+	a, _ := tcpPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		frame := make([]byte, 1<<20)
+		var err error
+		for err == nil { // fill the socket buffers until the write parks
+			err = a.Send(ctx, frame)
+		}
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still blocked 5s after cancellation")
+	}
+}
+
+// TestIdleTimeoutTLS: the decorator composes with the TLS transport (the
+// deadline plumbing must survive the tls.Conn wrapper).
+func TestIdleTimeoutTLS(t *testing.T) {
+	cert, err := GenerateSelfSignedCert([]string{"127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := PinnedPool(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tln := NewTLSListener(ln, cert, nil)
+	defer tln.Close()
+	go func() {
+		nc, err := tln.Accept()
+		if err != nil {
+			return
+		}
+		// Silent server: complete the handshake implicitly on first read,
+		// then never send a frame.
+		buf := make([]byte, 1)
+		_, _ = nc.Read(buf)
+	}()
+
+	conn, err := DialTLS(context.Background(), ln.Addr().String(), "127.0.0.1", pool, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	idle := WithIdleTimeout(conn, 100*time.Millisecond)
+	if _, err := idle.Recv(context.Background()); !errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("err = %v, want ErrIdleTimeout", err)
+	}
+}

@@ -128,6 +128,47 @@ type tcpConn struct {
 	closed atomic.Bool
 }
 
+// watchCancel interrupts a blocked read or write when ctx is cancelled by
+// moving the relevant I/O deadline into the past (the net-package idiom
+// for unblocking a stuck syscall).  The returned stop function must be
+// called once the operation completes; a stale poked deadline is harmless
+// because every operation re-arms its own deadline on entry.
+func watchCancel(ctx context.Context, setDeadline func(time.Time) error) (stop func()) {
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	finished := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			_ = setDeadline(time.Unix(1, 0)) // far past: unblock now
+		case <-finished:
+		}
+	}()
+	return func() { close(finished) }
+}
+
+// opErr folds a context failure into an I/O error: when the context was
+// cancelled (or timed out) the poked deadline surfaces as a generic
+// timeout from the net layer, so report the context's error instead.
+// The I/O deadline and the context timer run on separate clocks, so a
+// read can report its timeout a moment before ctx.Err() flips; when the
+// context carries the deadline that just fired, still report
+// context.DeadlineExceeded so callers classify the two cases the same.
+func opErr(ctx context.Context, what string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("transport: %s: %w", what, ctxErr)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+			return fmt.Errorf("transport: %s: %w", what, context.DeadlineExceeded)
+		}
+	}
+	return fmt.Errorf("transport: %s: %w", what, err)
+}
+
 // NewTCP wraps an established net.Conn (TCP or unix socket) as a frame
 // transport.
 func NewTCP(nc net.Conn) Conn {
@@ -154,20 +195,19 @@ func (t *tcpConn) Send(ctx context.Context, frame []byte) error {
 	}
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
-	if dl, ok := ctx.Deadline(); ok {
-		if err := t.nc.SetWriteDeadline(dl); err != nil {
-			return fmt.Errorf("transport: set write deadline: %w", err)
-		}
-	} else if err := t.nc.SetWriteDeadline(time.Time{}); err != nil {
-		return fmt.Errorf("transport: clear write deadline: %w", err)
+	dl, _ := ctx.Deadline() // zero time clears any previous deadline
+	if err := t.nc.SetWriteDeadline(dl); err != nil {
+		return fmt.Errorf("transport: set write deadline: %w", err)
 	}
+	stop := watchCancel(ctx, t.nc.SetWriteDeadline)
+	defer stop()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
 	if _, err := t.nc.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: write frame header: %w", err)
+		return opErr(ctx, "write frame header", err)
 	}
 	if _, err := t.nc.Write(frame); err != nil {
-		return fmt.Errorf("transport: write frame body: %w", err)
+		return opErr(ctx, "write frame body", err)
 	}
 	return nil
 }
@@ -179,16 +219,15 @@ func (t *tcpConn) Recv(ctx context.Context) ([]byte, error) {
 	}
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
-	if dl, ok := ctx.Deadline(); ok {
-		if err := t.nc.SetReadDeadline(dl); err != nil {
-			return nil, fmt.Errorf("transport: set read deadline: %w", err)
-		}
-	} else if err := t.nc.SetReadDeadline(time.Time{}); err != nil {
-		return nil, fmt.Errorf("transport: clear read deadline: %w", err)
+	dl, _ := ctx.Deadline() // zero time clears any previous deadline
+	if err := t.nc.SetReadDeadline(dl); err != nil {
+		return nil, fmt.Errorf("transport: set read deadline: %w", err)
 	}
+	stop := watchCancel(ctx, t.nc.SetReadDeadline)
+	defer stop()
 	var hdr [4]byte
 	if _, err := io.ReadFull(t.nc, hdr[:]); err != nil {
-		return nil, fmt.Errorf("transport: read frame header: %w", err)
+		return nil, opErr(ctx, "read frame header", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameLen {
@@ -196,7 +235,7 @@ func (t *tcpConn) Recv(ctx context.Context) ([]byte, error) {
 	}
 	frame := make([]byte, n)
 	if _, err := io.ReadFull(t.nc, frame); err != nil {
-		return nil, fmt.Errorf("transport: read frame body: %w", err)
+		return nil, opErr(ctx, "read frame body", err)
 	}
 	return frame, nil
 }
