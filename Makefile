@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-faults check bench bench-pipeline experiments
+.PHONY: all build test vet race race-faults docs-check check bench bench-pipeline bench-cache experiments
 
 all: check
 
@@ -34,7 +34,12 @@ race-faults:
 		-run 'Stalled|Staller|AcceptError|Drain|Saturation|Timeout|Retry|Retries|Cancellation' \
 		./internal/party ./internal/transport ./internal/core ./internal/commutative
 
-check: build vet test race race-faults
+# Documentation lint: every exported identifier in internal/* must have
+# a doc comment, every intra-repo link in the *.md files must resolve.
+docs-check:
+	$(GO) run ./cmd/docscheck
+
+check: build vet test race race-faults docs-check
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -44,6 +49,12 @@ bench:
 # RTTs.
 bench-pipeline:
 	$(GO) test -run xxx -bench IntersectionPipelined -benchtime 1x .
+
+# Encrypted-set cache benchmark only (the BENCH_PR4.json numbers):
+# the same equijoin with the sender recomputing its encrypted table
+# every run (cold) vs replaying it from the cache (warm).
+bench-cache:
+	$(GO) test -run xxx -bench EquijoinCache -benchtime 1x .
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all -quick -group 256

@@ -31,6 +31,7 @@ import (
 	"minshare/internal/reldb"
 	"minshare/internal/selection"
 	"minshare/internal/transport"
+	"minshare/internal/wire"
 	"minshare/internal/yao"
 )
 
@@ -610,6 +611,82 @@ func BenchmarkIntersectionPipelined(b *testing.B) {
 		}
 	}
 }
+
+// --- PR4: encrypted-set cache, cold vs warm sender (BENCH_PR4.json) ---
+
+// cacheBenchSets builds an asymmetric workload: a large server-side set
+// (the cached table) queried by a small client set — the repeated-query
+// regime the cache targets.  Half the client values are shared.
+func cacheBenchSets(nS, nR int) (vR [][]byte, recs []core.JoinRecord) {
+	recs = make([]core.JoinRecord, nS)
+	for i := range recs {
+		v := []byte(fmt.Sprintf("s-%06d", i))
+		recs[i] = core.JoinRecord{Value: v, Ext: []byte("payload for " + string(v))}
+	}
+	vR = make([][]byte, nR)
+	for i := range vR {
+		if i < nR/2 {
+			vR[i] = []byte(fmt.Sprintf("s-%06d", i)) // shared with S
+		} else {
+			vR[i] = []byte(fmt.Sprintf("r-%06d", i))
+		}
+	}
+	return vR, recs
+}
+
+// benchmarkEquijoinCache measures one equijoin session end to end, with
+// the sender either recomputing its encrypted table every run (cold:
+// the cache is rotated before each iteration) or replaying it (warm:
+// populated once before the timer starts).  The asymmetry nS ≫ nR makes
+// the sender's 2|V_S| bulk modexps dominate a cold run; a warm run pays
+// only the 5|V_R| per-session work (costmodel.JoinOpsWarm).
+func benchmarkEquijoinCache(b *testing.B, warm bool) {
+	const nS, nR = 5000, 200
+	vR, recs := cacheBenchSets(nS, nR)
+	g := group.MustBuiltin(group.Bits256)
+	cache := core.NewSenderSetCache(0, nil)
+	cfgS := core.Config{Group: g, SetCache: cache, CacheKey: core.SetCacheKey{
+		PeerHost: "bench-peer", Table: "t", Version: 1, Protocol: wire.ProtoEquijoin,
+	}}
+	cfgR := core.Config{Group: g}
+
+	runOnce := func() {
+		ctx := context.Background()
+		connR, connS := transport.Pipe()
+		defer connR.Close()
+		ch := make(chan error, 1)
+		go func() {
+			_, err := core.EquijoinSender(ctx, cfgS, connS, recs)
+			ch <- err
+		}()
+		res, err := core.EquijoinReceiver(ctx, cfgR, connR, vR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-ch; err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Matches) != nR/2 {
+			b.Fatalf("matches = %d, want %d", len(res.Matches), nR/2)
+		}
+	}
+
+	b.ReportMetric(float64(costmodel.JoinOps(nS, nR, nR/2).Ce), "Ce-cold")
+	b.ReportMetric(float64(costmodel.JoinOpsWarm(nS, nR, nR/2).Ce), "Ce-warm")
+	if warm {
+		runOnce() // populate the cache, untimed
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			cache.Rotate()
+		}
+		runOnce()
+	}
+}
+
+func BenchmarkEquijoinCacheCold(b *testing.B) { benchmarkEquijoinCache(b, false) }
+func BenchmarkEquijoinCacheWarm(b *testing.B) { benchmarkEquijoinCache(b, true) }
 
 // BenchmarkE5_SortedCircuit builds the real sort-based intersection-size
 // circuit (the appendix's ordered-array construction) at n=64.

@@ -68,6 +68,9 @@ func run() error {
 		minPeerSet = flag.Int("min-peer-set", 0, "reject sessions announcing a smaller peer set")
 		maxQueries = flag.Int("max-queries", 1000, "per-peer session budget (0 = unlimited)")
 
+		cacheSets   = flag.Int64("cache-sets", 0, "encrypted-set cache budget in bytes; warm peers skip the bulk exponentiation over the table (0 = disabled)")
+		cacheRotate = flag.Duration("cache-rotate", 0, "rotate (flush) the encrypted-set cache at this interval, retiring the pinned exponents (0 = never)")
+
 		maxSessions      = flag.Int("max-sessions", 64, "concurrent session cap; arrivals beyond it are refused immediately (0 = unlimited)")
 		handshakeTimeout = flag.Duration("timeout-handshake", 10*time.Second, "eviction deadline for a connection that never sends its header (0 = none)")
 		idleTimeout      = flag.Duration("timeout-idle", 30*time.Second, "per-frame idle allowance; a peer stalling mid-stream is evicted (0 = none)")
@@ -135,6 +138,10 @@ func run() error {
 	}
 
 	reg := obs.Default()
+	var setCache *core.SenderSetCache
+	if *cacheSets > 0 {
+		setCache = core.NewSenderSetCache(*cacheSets, reg.Cache())
+	}
 	srv := &party.Server{
 		Config:   core.Config{Group: g},
 		Values:   values,
@@ -148,8 +155,11 @@ func run() error {
 		},
 		MaxSessions:  *maxSessions,
 		DrainTimeout: *drainTimeout,
+		SetCache:     setCache,
+		TableName:    "table",
+		DataVersion:  table.Version,
 		Auditor:      leakage.NewAuditor(leakage.AuditPolicy{MaxOverlapFraction: 1, MaxQueries: *maxQueries}),
-		Obs:      reg,
+		Obs:          reg,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
@@ -157,6 +167,22 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if setCache != nil && *cacheRotate > 0 {
+		go func() {
+			tick := time.NewTicker(*cacheRotate)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					setCache.Rotate()
+					logger.Info("encrypted-set cache rotated")
+				}
+			}
+		}()
+	}
 
 	if *debugAddr != "" {
 		reg.PublishExpvar("minshare")
@@ -195,6 +221,8 @@ func run() error {
 			"timeout_evictions", snap.Lifecycle.HandshakeTimeouts+snap.Lifecycle.IdleTimeouts+snap.Lifecycle.SessionTimeouts,
 			"saturation_rejects", snap.Lifecycle.SaturationRejects,
 			"drain_forced", snap.Lifecycle.DrainForced,
+			"cache_hits", snap.Cache.Hits,
+			"cache_misses", snap.Cache.Misses,
 			"modexp_total", snap.Global.ModExps(),
 			"oracle_hashes", snap.Global.OracleHashes,
 			"wire_bytes_sent", snap.Global.WireBytesSent,

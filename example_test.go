@@ -32,6 +32,65 @@ func ExampleIntersect() {
 	// receiver learned |V_S| = 2; sender learned |V_R| = 3
 }
 
+// Equijoin: the receiver learns, for each shared value, the sender's
+// ext(v) payload — and nothing about values outside the intersection.
+func ExampleJoin() {
+	cfg := minshare.Config{}
+	g, _ := minshare.GroupBits(512)
+	cfg.Group = g
+
+	mine := [][]byte{[]byte("ann"), []byte("bob")}
+	records := []minshare.JoinRecord{
+		{Value: []byte("bob"), Ext: []byte("bob's row")},
+		{Value: []byte("dave"), Ext: []byte("dave's row")},
+	}
+
+	res, _, err := minshare.Join(context.Background(), cfg, mine, records)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, m := range res.Matches {
+		fmt.Printf("%s -> %s\n", m.Value, m.Ext)
+	}
+	// Output:
+	// bob -> bob's row
+}
+
+// The role-level API for networked deployments: each party drives its
+// half of the protocol over its own Conn.  Here the two roles run in
+// one process over a Pipe; swap in Dial on one side and a listener on
+// the other for a real deployment (or use party.Server/party.Client,
+// which add policy enforcement and retry on top of these functions).
+func ExampleIntersectionReceiver() {
+	cfg := minshare.Config{}
+	g, _ := minshare.GroupBits(512)
+	cfg.Group = g
+
+	connR, connS := minshare.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := minshare.IntersectionSender(context.Background(), cfg, connS,
+			[][]byte{[]byte("bob"), []byte("dave")}); err != nil {
+			fmt.Println("sender error:", err)
+		}
+	}()
+
+	res, err := minshare.IntersectionReceiver(context.Background(), cfg, connR,
+		[][]byte{[]byte("ann"), []byte("bob"), []byte("carol")})
+	<-done
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, v := range res.Values {
+		fmt.Printf("shared: %s\n", v)
+	}
+	// Output:
+	// shared: bob
+}
+
 // Multiset join cardinality: the receiver learns the join size and the
 // duplicate distribution, exactly as Section 5.2 characterizes.
 func ExampleJoinSize() {

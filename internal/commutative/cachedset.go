@@ -1,0 +1,102 @@
+package commutative
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// CachedSet is a value set encrypted under a pinned key and reordered
+// lexicographically — the precomputed output of the bulk-exponentiation
+// phase every sender-side protocol run begins with.  The paper's cost
+// analysis (Section 6.1) shows that phase dominates a run, yet a party
+// serving a series of queries over an unchanged database recomputes it
+// from the same inputs every session; a CachedSet built once can be
+// replayed instead, in both the legacy one-shot and the chunked
+// streaming wire modes (a stream chunk is a subslice of the sorted
+// vector, so the chunking is precomputed along with the permutation).
+//
+// The pinned key is part of the cached state on purpose: replaying the
+// set is only sound under the exponent it was encrypted with.  Callers
+// are responsible for never sharing one CachedSet — and hence one
+// exponent — across peers; see core.SenderSetCache for the keying
+// discipline that enforces this.
+//
+// The slices returned by Elems and Payload are shared with the cache,
+// not copied: treat them as read-only.
+type CachedSet struct {
+	key     *Key
+	elems   []*big.Int
+	payload [][]byte
+	memory  int64
+}
+
+// NewCachedSet encrypts every element of xs under k (with up to
+// parallelism workers, as EncryptAll) and stores the results sorted.
+// This is the miss path of a set cache: one full bulk-exponentiation
+// phase, amortized over every later replay.
+func NewCachedSet(ctx context.Context, s Scheme, k *Key, xs []*big.Int, parallelism int) (*CachedSet, error) {
+	ys, err := EncryptAll(ctx, s, k, xs, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i].Cmp(ys[j]) < 0 })
+	return CachedSetFromSorted(k, ys, nil)
+}
+
+// CachedSetFromSorted wraps an already-encrypted, already-sorted vector
+// (and an optional payload vector aligned with it, the equijoin's
+// per-value ciphertexts) without re-encrypting.  It is the constructor
+// for callers whose precomputation involves more than one key — the
+// equijoin sender derives its payload ciphertexts from a second
+// exponent — and therefore cannot delegate the whole phase to
+// NewCachedSet.
+func CachedSetFromSorted(k *Key, elems []*big.Int, payload [][]byte) (*CachedSet, error) {
+	if payload != nil && len(payload) != len(elems) {
+		return nil, fmt.Errorf("commutative: cached set has %d elements but %d payloads", len(elems), len(payload))
+	}
+	c := &CachedSet{key: k, elems: elems, payload: payload}
+	c.memory = c.estimateMemory()
+	return c, nil
+}
+
+// Key returns the pinned key the set was encrypted under.
+func (c *CachedSet) Key() *Key { return c.key }
+
+// Elems returns the encrypted elements in sorted (permuted) order.
+func (c *CachedSet) Elems() []*big.Int { return c.elems }
+
+// Payload returns the aligned payload vector, or nil if none was cached.
+func (c *CachedSet) Payload() [][]byte { return c.payload }
+
+// Len returns the number of cached elements.
+func (c *CachedSet) Len() int { return len(c.elems) }
+
+// MemoryBytes estimates the heap footprint of the cached state.  It is
+// an accounting figure for bounded-memory caches, not an exact
+// measurement: each element is charged its big-endian byte length plus
+// fixed big.Int overhead, each payload its length plus slice-header
+// overhead.
+func (c *CachedSet) MemoryBytes() int64 { return c.memory }
+
+const (
+	// Approximate per-value heap overheads on a 64-bit platform: a
+	// big.Int header plus its word slice, and a byte-slice header.
+	bigIntOverhead = 48
+	sliceOverhead  = 24
+)
+
+func (c *CachedSet) estimateMemory() int64 {
+	total := int64(bigIntOverhead) // the key's exponent
+	if c.key != nil {
+		total += int64(c.key.e.BitLen()+7) / 8
+	}
+	for _, e := range c.elems {
+		total += int64(e.BitLen()+7)/8 + bigIntOverhead
+	}
+	for _, p := range c.payload {
+		total += int64(len(p)) + sliceOverhead
+	}
+	return total
+}

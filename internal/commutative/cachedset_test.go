@@ -1,0 +1,71 @@
+package commutative
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"minshare/internal/group"
+)
+
+func TestNewCachedSetMatchesBulkEncryption(t *testing.T) {
+	g := group.TestGroup()
+	s := NewPowerFn(g)
+	k, err := s.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []*big.Int{big.NewInt(9), big.NewInt(4), big.NewInt(25)}
+
+	cs, err := NewCachedSet(context.Background(), s, k, xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Key() != k || cs.Len() != len(xs) || cs.Payload() != nil {
+		t.Fatalf("cached set shape: key %v, len %d, payload %v", cs.Key() == k, cs.Len(), cs.Payload())
+	}
+
+	// Same ciphertext set as direct encryption, in sorted order.
+	want := map[string]bool{}
+	for _, x := range xs {
+		y, err := s.Encrypt(k, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[y.String()] = true
+	}
+	prev := big.NewInt(-1)
+	for _, e := range cs.Elems() {
+		if !want[e.String()] {
+			t.Errorf("element %v not a ciphertext of the input set", e)
+		}
+		if e.Cmp(prev) < 0 {
+			t.Error("elements not sorted")
+		}
+		prev = e
+	}
+}
+
+func TestCachedSetFromSortedValidatesPayload(t *testing.T) {
+	g := group.TestGroup()
+	s := NewPowerFn(g)
+	k, err := s.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := []*big.Int{big.NewInt(3), big.NewInt(5)}
+	if _, err := CachedSetFromSorted(k, elems, [][]byte{{1}}); err == nil {
+		t.Error("mismatched payload length accepted, want error")
+	}
+	cs, err := CachedSetFromSorted(k, elems, [][]byte{{1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := CachedSetFromSorted(k, elems, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MemoryBytes() <= bare.MemoryBytes() {
+		t.Errorf("payload not charged: %d <= %d", cs.MemoryBytes(), bare.MemoryBytes())
+	}
+}

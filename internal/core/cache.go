@@ -1,0 +1,251 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"minshare/internal/commutative"
+	"minshare/internal/obs"
+	"minshare/internal/wire"
+)
+
+// SetCacheKey identifies one slot of a SenderSetCache.  Every field
+// participates in the identity on purpose:
+//
+//   - PeerHost: the cached state pins a secret exponent, and reusing an
+//     exponent across peers would let colluding receivers correlate
+//     f_e(h(v)) values they were shown separately.  Keying by peer is
+//     what makes the no-reuse guarantee structural (see SenderSetCache).
+//   - Table: a server may serve several tables or attributes.
+//   - Version: the table's monotonic data version (reldb.Table.Version);
+//     any mutation of the private database changes it, so stale
+//     precomputation can never be replayed.
+//   - Protocol: the protocols precompute different state from the same
+//     table (the intersection family dedups, equijoin-size keeps the
+//     multiset, the equijoin adds payload ciphertexts), so slots must
+//     not alias across protocol roles.
+type SetCacheKey struct {
+	PeerHost string
+	Table    string
+	Version  uint64
+	Protocol wire.Protocol
+}
+
+// CacheEntry is the sender-side state a protocol run can replay: the
+// own set encrypted under a pinned key, sorted (with, for the equijoin,
+// the aligned payload ciphertexts), plus the equijoin's second key.
+type CacheEntry struct {
+	// Set is the encrypted, sorted own set; for the equijoin its
+	// payload carries the K(κ(v), ext(v)) ciphertexts in the same
+	// permuted order.
+	Set *commutative.CachedSet
+	// ExtKey is the equijoin sender's second exponent e'_S, still
+	// needed on a warm run to answer the pair-encryption phase; nil for
+	// the other protocols.
+	ExtKey *commutative.Key
+}
+
+// memoryBytes is the entry's accounting size for the cache bound.
+func (e *CacheEntry) memoryBytes() int64 {
+	if e == nil || e.Set == nil {
+		return 0
+	}
+	m := e.Set.MemoryBytes()
+	if e.ExtKey != nil {
+		m += 64 // exponent plus header, same order as the set's key
+	}
+	return m
+}
+
+// SenderSetCache amortizes the bulk-exponentiation phase of sender-side
+// protocol runs across a series of queries: each slot holds one
+// CacheEntry under a SetCacheKey, bounded in memory with
+// least-recently-used eviction, and Rotate flushes everything at once
+// for explicit key rotation.
+//
+// Exponent-reuse guarantee: a cached exponent is only ever replayed for
+// the exact SetCacheKey it was created under, and the key names the
+// peer host.  Two different peers therefore never see values encrypted
+// under the same exponent — the cache narrows each exponent's lifetime
+// from "one session" to "one (peer, table, version, protocol) series",
+// it never widens it.  Rotation (Rotate, or cmd/psiserver's
+// -cache-rotate interval) bounds that lifetime in time as well.
+//
+// The zero value is not usable; call NewSenderSetCache.  All methods
+// are safe for concurrent use.
+type SenderSetCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	slots    map[SetCacheKey]*list.Element
+	stats    *obs.CacheStats
+}
+
+// lruItem is what the LRU list elements hold.
+type lruItem struct {
+	key   SetCacheKey
+	entry *CacheEntry
+}
+
+// NewSenderSetCache returns a cache bounded to roughly maxBytes of
+// precomputed state (maxBytes <= 0 means unbounded).  stats, when
+// non-nil, receives the hit/miss/eviction/rotation census — psiserver
+// passes its obs registry's Cache() so the counters surface on
+// /metrics.
+func NewSenderSetCache(maxBytes int64, stats *obs.CacheStats) *SenderSetCache {
+	return &SenderSetCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		slots:    make(map[SetCacheKey]*list.Element),
+		stats:    stats,
+	}
+}
+
+// Lookup returns the entry cached under k, marking it most recently
+// used, or (nil, false) on a miss.  Hit/miss counters are recorded.
+func (c *SenderSetCache) Lookup(k SetCacheKey) (*CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.slots[k]
+	if !ok {
+		c.stats.AddMiss()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.AddHit()
+	return el.Value.(*lruItem).entry, true
+}
+
+// Put stores entry under k, displacing any previous entry for the same
+// key and — because a version bump makes the old state permanently
+// unreachable — any entry for the same (peer, table, protocol) at a
+// different version.  It then evicts least-recently-used entries until
+// the cache fits its memory bound.  An entry larger than the whole
+// bound is not cached at all.
+func (c *SenderSetCache) Put(k SetCacheKey, entry *CacheEntry) {
+	size := entry.memoryBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.slots[k]; ok {
+		c.removeLocked(el, true)
+	}
+	// Drop superseded versions of the same slot: they can never be
+	// looked up again, so letting them age out of the LRU would only
+	// waste the memory budget.
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ik := el.Value.(*lruItem).key
+		if ik.PeerHost == k.PeerHost && ik.Table == k.Table && ik.Protocol == k.Protocol && ik.Version != k.Version {
+			c.removeLocked(el, true)
+		}
+		el = next
+	}
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return
+	}
+	el := c.ll.PushFront(&lruItem{key: k, entry: entry})
+	c.slots[k] = el
+	c.bytes += size
+	for c.maxBytes > 0 && c.bytes > c.maxBytes {
+		c.removeLocked(c.ll.Back(), true)
+	}
+}
+
+// Rotate invalidates every entry at once: the explicit key-rotation
+// path.  Every pinned exponent is discarded; the next session per slot
+// will draw a fresh key and repopulate.
+func (c *SenderSetCache) Rotate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := int64(c.ll.Len())
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		c.removeLocked(el, false)
+		el = next
+	}
+	c.stats.AddRotation(n)
+}
+
+// Len reports the number of cached entries.
+func (c *SenderSetCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// MemoryBytes reports the current accounting size of the cached state.
+func (c *SenderSetCache) MemoryBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// removeLocked unlinks one element; countEviction selects whether it
+// shows up in the eviction census (rotation accounts for its removals
+// itself).
+func (c *SenderSetCache) removeLocked(el *list.Element, countEviction bool) {
+	item := el.Value.(*lruItem)
+	c.ll.Remove(el)
+	delete(c.slots, item.key)
+	c.bytes -= item.entry.memoryBytes()
+	if countEviction {
+		c.stats.AddEviction()
+	}
+}
+
+// cacheLookup consults the configured cache for this run's slot.
+func (s *session) cacheLookup() (*CacheEntry, bool) {
+	if s.cfg.SetCache == nil {
+		return nil, false
+	}
+	return s.cfg.SetCache.Lookup(s.cfg.CacheKey)
+}
+
+// cachePut populates this run's slot after a miss.
+func (s *session) cachePut(entry *CacheEntry) {
+	if s.cfg.SetCache != nil {
+		s.cfg.SetCache.Put(s.cfg.CacheKey, entry)
+	}
+}
+
+// ownEncryptedSet is the sender-side precomputation phase shared by the
+// intersection, intersection-size and equijoin-size protocols: hash the
+// own values, draw a fresh key, bulk-encrypt, and reorder
+// lexicographically — or, on a cache hit, replay all of it (key
+// included) from an earlier run against the same peer.  A miss
+// populates the slot, so the work is paid once per
+// (peer, table, version, protocol) series rather than once per session.
+// The returned vector is shared with the cache on the hit path; callers
+// must not mutate it.
+func (s *session) ownEncryptedSet(ctx context.Context, vs [][]byte) (*commutative.Key, []*big.Int, error) {
+	if ent, ok := s.cacheLookup(); ok {
+		return ent.Set.Key(), ent.Set.Elems(), nil
+	}
+	sp := obs.StartSpan(ctx, "hash-to-group")
+	xs, err := s.hashSet(vs)
+	sp.End()
+	if err != nil {
+		return nil, nil, s.abort(ctx, err)
+	}
+	k, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+	if err != nil {
+		return nil, nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
+	}
+	sp = obs.StartSpan(ctx, "bulk-encrypt")
+	ys, err := s.encryptSet(ctx, k, xs)
+	sp.End()
+	if err != nil {
+		return nil, nil, s.abort(ctx, err)
+	}
+	sorted := sortedCopy(ys)
+	if s.cfg.SetCache != nil {
+		if cs, err := commutative.CachedSetFromSorted(k, sorted, nil); err == nil {
+			s.cachePut(&CacheEntry{Set: cs})
+		}
+	}
+	return k, sorted, nil
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/big"
+
+	"sync"
+	"testing"
+
+	"minshare/internal/commutative"
+	"minshare/internal/costmodel"
+	"minshare/internal/group"
+	"minshare/internal/obs"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// These tests certify the encrypted-set cache against the Section 6.1
+// closed forms: a warm sender must save *exactly* the modular
+// exponentiations, oracle hashes, key draws and payload encryptions the
+// costmodel warm-delta functions predict — in both the legacy one-shot
+// and the chunked streaming wire modes — while producing bit-identical
+// protocol results.
+
+// cacheKey is the slot used by the single-peer tests.
+func cacheKey(p wire.Protocol) SetCacheKey {
+	return SetCacheKey{PeerHost: "peer-1", Table: "t", Version: 1, Protocol: p}
+}
+
+// senderConfig returns a seeded sender config wired to cache.
+func senderConfig(seed int64, cache *SenderSetCache, key SetCacheKey, chunk int) Config {
+	cfg := testConfig(seed)
+	cfg.SetCache = cache
+	cfg.CacheKey = key
+	cfg.ChunkSize = chunk
+	return cfg
+}
+
+func TestCacheWarmIntersectionExactDelta(t *testing.T) {
+	const nR, nS, shared = 7, 5, 3
+	for _, mode := range []struct {
+		name  string
+		chunk int
+	}{{"legacy", 0}, {"chunked", 3}} {
+		t.Run(mode.name, func(t *testing.T) {
+			vR, vS := overlapping(nR, nS, shared)
+			cache := NewSenderSetCache(0, nil)
+			cfgS := senderConfig(2, cache, cacheKey(wire.ProtoIntersection), mode.chunk)
+
+			run := func(seedR int64) (*IntersectionResult, obs.SessionSnapshot, obs.SessionSnapshot) {
+				reg := obs.NewRegistry()
+				cfgR := testConfig(seedR)
+				cfgR.ChunkSize = mode.chunk
+				var res *IntersectionResult
+				r, s := runObservedPair(t, reg, "intersection",
+					func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+						var err error
+						res, err = IntersectionReceiver(ctx, cfgR, conn, vR)
+						return res, err
+					},
+					func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+						return IntersectionSender(ctx, cfgS, conn, vS)
+					})
+				return res, r, s
+			}
+
+			cold := costmodel.IntersectionOps(nS, nR)
+			warm := costmodel.IntersectionOpsWarm(nS, nR)
+			delta := costmodel.IntersectionWarmDelta(nS)
+			if warm.Ce != cold.Ce-delta.Ce || warm.Ce != int64(nS+2*nR) {
+				t.Fatalf("closed forms disagree: warm Ce = %d", warm.Ce)
+			}
+
+			resCold, r1, s1 := run(1)
+			if got := r1.Counters.ModExps() + s1.Counters.ModExps(); got != cold.Ce {
+				t.Errorf("cold modexps = %d, want Ce = %d", got, cold.Ce)
+			}
+			if s1.Counters.KeyGens != 1 || s1.Counters.OracleHashes == 0 {
+				t.Errorf("cold sender keygens/hashes = %d/%d, want 1 keygen and nonzero hashing",
+					s1.Counters.KeyGens, s1.Counters.OracleHashes)
+			}
+
+			resWarm, r2, s2 := run(3)
+			if got := r2.Counters.ModExps() + s2.Counters.ModExps(); got != warm.Ce {
+				t.Errorf("warm modexps = %d, want warm Ce = %d", got, warm.Ce)
+			}
+			// The saving sits entirely on the sender: exactly |V_S| fewer
+			// modexps, |V_S| fewer oracle hashes, one fewer key draw.
+			if got := s1.Counters.ModExps() - s2.Counters.ModExps(); got != delta.Ce {
+				t.Errorf("sender modexp delta = %d, want %d", got, delta.Ce)
+			}
+			if s2.Counters.KeyGens != 0 || s2.Counters.OracleHashes != 0 {
+				t.Errorf("warm sender keygens/hashes = %d/%d, want 0/0",
+					s2.Counters.KeyGens, s2.Counters.OracleHashes)
+			}
+			// The receiver's hashing is untouched by the sender's cache.
+			if r2.Counters.OracleHashes != r1.Counters.OracleHashes {
+				t.Errorf("receiver hashes changed %d -> %d across warm run",
+					r1.Counters.OracleHashes, r2.Counters.OracleHashes)
+			}
+
+			// Warm and cold runs compute the identical intersection.
+			if w, c := sortedStrings(resWarm.Values), sortedStrings(resCold.Values); len(w) != shared || len(c) != shared {
+				t.Errorf("intersections = %v / %v, want %d values", w, c, shared)
+			} else {
+				for i := range w {
+					if w[i] != c[i] {
+						t.Errorf("warm/cold results diverge: %v vs %v", w, c)
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCacheWarmIntersectionSizeExactDelta(t *testing.T) {
+	const nR, nS, shared = 6, 4, 2
+	vR, vS := overlapping(nR, nS, shared)
+	cache := NewSenderSetCache(0, nil)
+	cfgS := senderConfig(2, cache, cacheKey(wire.ProtoIntersectionSize), 0)
+
+	run := func(seedR int64) (*SizeResult, obs.SessionSnapshot, obs.SessionSnapshot) {
+		reg := obs.NewRegistry()
+		var res *SizeResult
+		r, s := runObservedPair(t, reg, "intersection-size",
+			func(ctx context.Context, conn transport.Conn) (*SizeResult, error) {
+				var err error
+				res, err = IntersectionSizeReceiver(ctx, testConfig(seedR), conn, vR)
+				return res, err
+			},
+			func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+				return IntersectionSizeSender(ctx, cfgS, conn, vS)
+			})
+		return res, r, s
+	}
+
+	resCold, r1, s1 := run(1)
+	resWarm, r2, s2 := run(3)
+	if got, want := r1.Counters.ModExps()+s1.Counters.ModExps(), costmodel.IntersectionSizeOps(nS, nR).Ce; got != want {
+		t.Errorf("cold modexps = %d, want %d", got, want)
+	}
+	if got, want := r2.Counters.ModExps()+s2.Counters.ModExps(), costmodel.IntersectionSizeOpsWarm(nS, nR).Ce; got != want {
+		t.Errorf("warm modexps = %d, want %d", got, want)
+	}
+	if s2.Counters.KeyGens != 0 {
+		t.Errorf("warm sender keygens = %d, want 0", s2.Counters.KeyGens)
+	}
+	if resWarm.IntersectionSize != shared || resCold.IntersectionSize != shared {
+		t.Errorf("sizes = %d/%d, want %d", resWarm.IntersectionSize, resCold.IntersectionSize, shared)
+	}
+}
+
+func TestCacheWarmJoinSizeExactDelta(t *testing.T) {
+	vR := [][]byte{[]byte("a"), []byte("a"), []byte("b"), []byte("c"), []byte("c")}
+	vS := [][]byte{[]byte("a"), []byte("c"), []byte("c"), []byte("d")}
+	mR, mS := len(vR), len(vS)
+	cache := NewSenderSetCache(0, nil)
+	cfgS := senderConfig(2, cache, cacheKey(wire.ProtoEquijoinSize), 0)
+
+	run := func(seedR int64) (*JoinSizeResult, obs.SessionSnapshot, obs.SessionSnapshot) {
+		reg := obs.NewRegistry()
+		var res *JoinSizeResult
+		r, s := runObservedPair(t, reg, "equijoin-size",
+			func(ctx context.Context, conn transport.Conn) (*JoinSizeResult, error) {
+				var err error
+				res, err = EquijoinSizeReceiver(ctx, testConfig(seedR), conn, vR)
+				return res, err
+			},
+			func(ctx context.Context, conn transport.Conn) (*JoinSizeSenderInfo, error) {
+				return EquijoinSizeSender(ctx, cfgS, conn, vS)
+			})
+		return res, r, s
+	}
+
+	resCold, r1, s1 := run(1)
+	resWarm, r2, s2 := run(3)
+	if got, want := r1.Counters.ModExps()+s1.Counters.ModExps(), costmodel.IntersectionSizeOps(mS, mR).Ce; got != want {
+		t.Errorf("cold modexps = %d, want %d", got, want)
+	}
+	if got, want := r2.Counters.ModExps()+s2.Counters.ModExps(), costmodel.IntersectionSizeOpsWarm(mS, mR).Ce; got != want {
+		t.Errorf("warm modexps = %d, want %d", got, want)
+	}
+	if resWarm.JoinSize != resCold.JoinSize {
+		t.Errorf("warm join size = %d, cold = %d", resWarm.JoinSize, resCold.JoinSize)
+	}
+	if resCold.JoinSize != 2*1+2*2 { // a: dup_R 2 × dup_S 1, c: 2 × 2
+		t.Errorf("join size = %d, want 6", resCold.JoinSize)
+	}
+}
+
+func TestCacheWarmEquijoinExactDelta(t *testing.T) {
+	const nR, nS, shared = 6, 4, 2
+	const extPlainLen = 24
+	for _, mode := range []struct {
+		name  string
+		chunk int
+	}{{"legacy", 0}, {"chunked", 3}} {
+		t.Run(mode.name, func(t *testing.T) {
+			vR, vS := overlapping(nR, nS, shared)
+			records := make([]JoinRecord, len(vS))
+			for i, v := range vS {
+				ext := make([]byte, extPlainLen)
+				copy(ext, "ext for ")
+				copy(ext[8:], v)
+				records[i] = JoinRecord{Value: v, Ext: ext}
+			}
+			cache := NewSenderSetCache(0, nil)
+			cfgS := senderConfig(2, cache, cacheKey(wire.ProtoEquijoin), mode.chunk)
+
+			run := func(seedR int64) (*JoinResult, obs.SessionSnapshot, obs.SessionSnapshot) {
+				reg := obs.NewRegistry()
+				cfgR := testConfig(seedR)
+				cfgR.ChunkSize = mode.chunk
+				var res *JoinResult
+				r, s := runObservedPair(t, reg, "equijoin",
+					func(ctx context.Context, conn transport.Conn) (*JoinResult, error) {
+						var err error
+						res, err = EquijoinReceiver(ctx, cfgR, conn, vR)
+						return res, err
+					},
+					func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+						return EquijoinSender(ctx, cfgS, conn, records)
+					})
+				return res, r, s
+			}
+
+			cold := costmodel.JoinOps(nS, nR, shared)
+			warm := costmodel.JoinOpsWarm(nS, nR, shared)
+			delta := costmodel.JoinWarmDelta(nS)
+			if warm.Ce != int64(5*nR) || warm.Ce != cold.Ce-delta.Ce {
+				t.Fatalf("closed forms disagree: warm Ce = %d", warm.Ce)
+			}
+
+			resCold, r1, s1 := run(1)
+			if got := r1.Counters.ModExps() + s1.Counters.ModExps(); got != cold.Ce {
+				t.Errorf("cold modexps = %d, want Ce = %d", got, cold.Ce)
+			}
+			if s1.Counters.KeyGens != 2 || int64(s1.Counters.PayloadEncrypts) != int64(nS) {
+				t.Errorf("cold sender keygens/encrypts = %d/%d, want 2/%d",
+					s1.Counters.KeyGens, s1.Counters.PayloadEncrypts, nS)
+			}
+
+			resWarm, r2, s2 := run(3)
+			if got := r2.Counters.ModExps() + s2.Counters.ModExps(); got != warm.Ce {
+				t.Errorf("warm modexps = %d, want warm Ce = %d", got, warm.Ce)
+			}
+			// Exactly 2|V_S| fewer modexps, both key draws and all |V_S|
+			// payload encryptions gone; R still decrypts one ext per match.
+			if got := s1.Counters.ModExps() - s2.Counters.ModExps(); got != delta.Ce {
+				t.Errorf("sender modexp delta = %d, want %d", got, delta.Ce)
+			}
+			if s2.Counters.KeyGens != 0 || s2.Counters.OracleHashes != 0 || s2.Counters.PayloadEncrypts != 0 {
+				t.Errorf("warm sender keygens/hashes/encrypts = %d/%d/%d, want 0/0/0",
+					s2.Counters.KeyGens, s2.Counters.OracleHashes, s2.Counters.PayloadEncrypts)
+			}
+			if got := int64(s2.Counters.PayloadEncrypts + r2.Counters.PayloadDecrypts); got != warm.CK {
+				t.Errorf("warm K operations = %d, want CK = %d", got, warm.CK)
+			}
+
+			// Same matches, same decrypted ext payloads, warm or cold.
+			if len(resWarm.Matches) != shared || len(resCold.Matches) != shared {
+				t.Fatalf("matches = %d/%d, want %d", len(resWarm.Matches), len(resCold.Matches), shared)
+			}
+			for i := range resWarm.Matches {
+				if !bytes.Equal(resWarm.Matches[i].Value, resCold.Matches[i].Value) ||
+					!bytes.Equal(resWarm.Matches[i].Ext, resCold.Matches[i].Ext) {
+					t.Errorf("match %d diverges warm vs cold", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheStaleVersionMisses drives the version half of the cache key:
+// a bumped data version must force a full recomputation, and the
+// superseded entry must be pruned rather than squatting in the LRU.
+func TestCacheStaleVersionMisses(t *testing.T) {
+	const nR, nS, shared = 5, 4, 2
+	vR, vS := overlapping(nR, nS, shared)
+	var stats obs.CacheStats
+	cache := NewSenderSetCache(0, &stats)
+
+	run := func(seedR int64, version uint64) obs.SessionSnapshot {
+		reg := obs.NewRegistry()
+		key := cacheKey(wire.ProtoIntersection)
+		key.Version = version
+		cfgS := senderConfig(int64(version)*10, cache, key, 0)
+		_, s := runObservedPair(t, reg, "intersection",
+			func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+				return IntersectionReceiver(ctx, testConfig(seedR), conn, vR)
+			},
+			func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+				return IntersectionSender(ctx, cfgS, conn, vS)
+			})
+		return s
+	}
+
+	if s := run(1, 1); s.Counters.KeyGens != 1 {
+		t.Errorf("first run keygens = %d, want 1 (miss)", s.Counters.KeyGens)
+	}
+	if s := run(2, 1); s.Counters.KeyGens != 0 {
+		t.Errorf("repeat run keygens = %d, want 0 (hit)", s.Counters.KeyGens)
+	}
+	// The table changed: same peer, same protocol, new version.
+	if s := run(3, 2); s.Counters.KeyGens != 1 {
+		t.Errorf("post-update keygens = %d, want 1 (stale version must miss)", s.Counters.KeyGens)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1 (superseded version pruned)", cache.Len())
+	}
+	snap := stats.Snapshot()
+	if snap.Hits != 1 || snap.Misses != 2 || snap.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses / 1 eviction", snap)
+	}
+}
+
+// TestCacheLRUEvictionUnderMemoryBound exercises the bounded-memory
+// path directly: the least-recently-used slot goes first, the bound is
+// never exceeded, and an entry larger than the whole budget is refused.
+func TestCacheLRUEvictionUnderMemoryBound(t *testing.T) {
+	g := group.TestGroup()
+	scheme := commutative.NewPowerFn(g)
+	key, err := scheme.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := func(n int) *CacheEntry {
+		elems := make([]*big.Int, n)
+		for i := range elems {
+			elems[i] = big.NewInt(int64(1000 + i))
+		}
+		cs, err := commutative.CachedSetFromSorted(key, elems, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &CacheEntry{Set: cs}
+	}
+	slot := func(peer string) SetCacheKey {
+		return SetCacheKey{PeerHost: peer, Table: "t", Version: 1, Protocol: wire.ProtoIntersection}
+	}
+
+	one := entry(4).memoryBytes()
+	var stats obs.CacheStats
+	cache := NewSenderSetCache(2*one, &stats)
+
+	cache.Put(slot("a"), entry(4))
+	cache.Put(slot("b"), entry(4))
+	if cache.Len() != 2 {
+		t.Fatalf("len = %d, want 2", cache.Len())
+	}
+	// Touch a so that b is the LRU victim.
+	if _, ok := cache.Lookup(slot("a")); !ok {
+		t.Fatal("expected hit for a")
+	}
+	cache.Put(slot("c"), entry(4))
+	if cache.Len() != 2 {
+		t.Errorf("len = %d, want 2 after eviction", cache.Len())
+	}
+	if _, ok := cache.Lookup(slot("b")); ok {
+		t.Error("b survived, want LRU eviction")
+	}
+	if _, ok := cache.Lookup(slot("a")); !ok {
+		t.Error("a evicted, want it retained (recently used)")
+	}
+	if cache.MemoryBytes() > 2*one {
+		t.Errorf("memory = %d, over bound %d", cache.MemoryBytes(), 2*one)
+	}
+	if snap := stats.Snapshot(); snap.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", snap.Evictions)
+	}
+
+	// An entry that alone exceeds the budget is not cached at all.
+	cache.Put(slot("huge"), entry(64))
+	if _, ok := cache.Lookup(slot("huge")); ok {
+		t.Error("oversized entry cached, want refusal")
+	}
+}
+
+// TestCacheRotateMidSeries flushes the cache between warm runs: the
+// next session must draw a fresh key, and the census must show one
+// rotation covering every retired entry.
+func TestCacheRotateMidSeries(t *testing.T) {
+	const nR, nS, shared = 5, 4, 2
+	vR, vS := overlapping(nR, nS, shared)
+	var stats obs.CacheStats
+	cache := NewSenderSetCache(0, &stats)
+	cfgS := senderConfig(2, cache, cacheKey(wire.ProtoIntersection), 0)
+
+	run := func(seedR int64) obs.SessionSnapshot {
+		reg := obs.NewRegistry()
+		_, s := runObservedPair(t, reg, "intersection",
+			func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+				return IntersectionReceiver(ctx, testConfig(seedR), conn, vR)
+			},
+			func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+				return IntersectionSender(ctx, cfgS, conn, vS)
+			})
+		return s
+	}
+
+	if s := run(1); s.Counters.KeyGens != 1 {
+		t.Errorf("cold keygens = %d, want 1", s.Counters.KeyGens)
+	}
+	if s := run(3); s.Counters.KeyGens != 0 {
+		t.Errorf("warm keygens = %d, want 0", s.Counters.KeyGens)
+	}
+	cache.Rotate()
+	if cache.Len() != 0 {
+		t.Errorf("post-rotation len = %d, want 0", cache.Len())
+	}
+	if s := run(5); s.Counters.KeyGens != 1 {
+		t.Errorf("post-rotation keygens = %d, want 1 (fresh exponent)", s.Counters.KeyGens)
+	}
+	snap := stats.Snapshot()
+	if snap.Rotations != 1 {
+		t.Errorf("rotations = %d, want 1", snap.Rotations)
+	}
+}
+
+// TestCacheConcurrentChurn races warm sessions, a table update (version
+// bump) and key rotations against one shared cache.  Run under -race
+// via the Makefile's race target; every session must still compute the
+// exact intersection.
+func TestCacheConcurrentChurn(t *testing.T) {
+	const runs = 8
+	const nR, nS, shared = 5, 4, 2
+	var stats obs.CacheStats
+	cache := NewSenderSetCache(1<<20, &stats)
+
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vR, vS := overlapping(nR, nS, shared)
+			// Half the sessions see the table before the racing update,
+			// half after; each version is its own slot.
+			key := cacheKey(wire.ProtoIntersection)
+			key.Version = uint64(1 + i%2)
+			cfgS := Config{Group: group.TestGroup(), Parallelism: 2, SetCache: cache, CacheKey: key}
+			cfgR := Config{Group: group.TestGroup(), Parallelism: 2}
+			ctx := context.Background()
+			connR, connS := transport.Pipe()
+			defer connR.Close()
+			done := make(chan error, 1)
+			go func() {
+				_, err := IntersectionSender(ctx, cfgS, connS, vS)
+				done <- err
+			}()
+			res, rErr := IntersectionReceiver(ctx, cfgR, connR, vR)
+			if sErr := <-done; rErr != nil || sErr != nil {
+				t.Errorf("run %d: receiver err %v, sender err %v", i, rErr, sErr)
+				return
+			}
+			if len(res.Values) != shared {
+				t.Errorf("run %d: intersection = %d values, want %d", i, len(res.Values), shared)
+			}
+		}(i)
+		if i == runs/2 {
+			cache.Rotate()
+		}
+	}
+	wg.Wait()
+	snap := stats.Snapshot()
+	if snap.Hits+snap.Misses != runs {
+		t.Errorf("hits+misses = %d, want %d", snap.Hits+snap.Misses, runs)
+	}
+}

@@ -101,6 +101,27 @@ type Config struct {
 	// transcript byte-for-byte.  Receivers accept either encoding
 	// regardless of this setting, so the two modes interoperate.
 	ChunkSize int
+	// SetCache, when non-nil, lets the sender-side protocols reuse the
+	// encrypted own-set state from an earlier run with the same
+	// CacheKey: a hit skips the key generation, oracle hashing, and
+	// bulk-exponentiation phase entirely (both legacy and chunked wire
+	// modes) and jumps straight to the send/re-encrypt phases; a miss
+	// runs the full phase and populates the cache.  Receiver-side
+	// protocols ignore it.
+	SetCache *SenderSetCache
+	// CacheKey identifies this run's slot in SetCache.  It must name the
+	// peer (SetCache never reuses an exponent across different
+	// CacheKey.PeerHost values — see the SenderSetCache doc for why) and
+	// carry the current DataVersion; a zero key with a non-nil SetCache
+	// is allowed but shares one slot, so only single-peer callers should
+	// use it.
+	CacheKey SetCacheKey
+	// DataVersion is this party's monotonic data version
+	// (reldb.Table.Version for a served table), announced in the
+	// handshake header so the peer can detect a stale counterpart, and
+	// compared against CacheKey.Version by convention.  Zero means
+	// unversioned.
+	DataVersion uint64
 }
 
 // normalized returns a copy of c with every nil field defaulted.
@@ -134,6 +155,9 @@ type session struct {
 	conn     transport.Conn
 	codec    *wire.Codec
 	counters *obs.Counters
+	// peerVersion is the peer's announced DataVersion, recorded by
+	// handshake and surfaced on receiver results.
+	peerVersion uint64
 }
 
 func newSession(ctx context.Context, cfg Config, conn transport.Conn) *session {
@@ -214,6 +238,7 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 		GroupBits:   uint32(s.cfg.Group.Bits()),
 		GroupDigest: wire.GroupDigest(s.cfg.Group),
 		SetSize:     uint64(mySize),
+		SetVersion:  s.cfg.DataVersion,
 	}
 	var peer wire.Header
 	if sendFirst {
@@ -241,6 +266,7 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 	if peer.GroupBits != my.GroupBits || peer.GroupDigest != my.GroupDigest {
 		return 0, s.abort(ctx, ErrGroupMismatch)
 	}
+	s.peerVersion = peer.SetVersion
 	return int(peer.SetSize), nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"minshare/internal/commutative"
 	"minshare/internal/obs"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
@@ -33,6 +34,9 @@ type JoinResult struct {
 	Matches []JoinMatch
 	// SenderSetSize is |V_S|.
 	SenderSetSize int
+	// SenderDataVersion is the data version S announced in its
+	// handshake header (0 if S is unversioned).
+	SenderDataVersion uint64
 }
 
 // EquijoinReceiver runs party R of the equijoin protocol of Section 4.3.
@@ -112,7 +116,7 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 	for i, e := range extElems {
 		extByElem[ky.key(e)] = extCts[i]
 	}
-	res := &JoinResult{SenderSetSize: peerSize}
+	res := &JoinResult{SenderSetSize: peerSize, SenderDataVersion: s.peerVersion}
 	matched := make([]*JoinMatch, len(vR))
 	for pos, idx := range order {
 		ct, hit := extByElem[ky.key(singleS[pos])]
@@ -151,65 +155,91 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 		return nil, err
 	}
 
-	// Step 1: hash V_S; draw the two secret keys e_S and e'_S.
-	sp := obs.StartSpan(ctx, "hash-to-group")
-	xS, err := s.hashSet(vS)
-	sp.End()
-	if err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	eS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
-	if err != nil {
-		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
-	}
-	ePrimeS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
-	if err != nil {
-		return nil, s.abort(ctx, fmt.Errorf("core: generating e'_S: %w", err))
+	// Step 1: hash V_S; draw the two secret keys e_S and e'_S — or, on a
+	// cache hit, replay the pinned keys together with the precomputed
+	// step-5 pairs from an earlier run against this peer.  Both keys are
+	// still needed live: the steps 3-4 pair exchange below encrypts R's
+	// fresh Y_R under them on every run, warm or cold.
+	var (
+		xS          []*big.Int
+		eS, ePrimeS *commutative.Key
+		outElems    []*big.Int
+		outExts     [][]byte
+	)
+	ent, warm := s.cacheLookup()
+	if warm {
+		eS, ePrimeS = ent.Set.Key(), ent.ExtKey
+		outElems, outExts = ent.Set.Elems(), ent.Set.Payload()
+	} else {
+		sp := obs.StartSpan(ctx, "hash-to-group")
+		xS, err = s.hashSet(vS)
+		sp.End()
+		if err != nil {
+			return nil, s.abort(ctx, err)
+		}
+		eS, err = s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+		if err != nil {
+			return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
+		}
+		ePrimeS, err = s.cfg.Scheme.GenerateKey(s.cfg.Rand)
+		if err != nil {
+			return nil, s.abort(ctx, fmt.Errorf("core: generating e'_S: %w", err))
+		}
 	}
 
 	// Steps 3-4 pipelined: receive Y_R and reply with the aligned
 	// ⟨f_eS(y), f_e'S(y)⟩ pairs — in streaming mode each chunk of Y_R is
 	// double-encrypted and its pair chunk shipped while the next chunk
 	// is still in flight.
-	sp = obs.StartSpan(ctx, "exchange")
+	sp := obs.StartSpan(ctx, "exchange")
 	_, err = s.recvEncryptPairsSend(ctx, eS, ePrimeS, peerSize, "Y_R")
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
-	// Step 5: for each v ∈ V_S, form ⟨f_eS(h(v)), K(f_e'S(h(v)), ext(v))⟩.
-	sp = obs.StartSpan(ctx, "bulk-encrypt")
-	firsts, err := s.encryptSet(ctx, eS, xS)
-	if err != nil {
-		sp.End()
-		return nil, s.abort(ctx, err)
-	}
-	kappas, err := s.encryptSet(ctx, ePrimeS, xS)
-	sp.End()
-	if err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	sp = obs.StartSpan(ctx, "payload-encrypt")
-	ciphertexts := make([][]byte, len(vS))
-	for i := range vS {
-		ciphertexts[i], err = s.cfg.Cipher.Encrypt(kappas[i], exts[i])
+	// Step 5: for each v ∈ V_S, form ⟨f_eS(h(v)), K(f_e'S(h(v)), ext(v))⟩
+	// — skipped wholesale on a warm run, which ships the cached pairs.
+	if !warm {
+		sp = obs.StartSpan(ctx, "bulk-encrypt")
+		firsts, err := s.encryptSet(ctx, eS, xS)
 		if err != nil {
 			sp.End()
-			return nil, s.abort(ctx, fmt.Errorf("core: encrypting ext(v): %w", err))
+			return nil, s.abort(ctx, err)
 		}
-		if s.counters != nil {
-			s.counters.AddPayloadEncrypts(1)
+		kappas, err := s.encryptSet(ctx, ePrimeS, xS)
+		sp.End()
+		if err != nil {
+			return nil, s.abort(ctx, err)
+		}
+		sp = obs.StartSpan(ctx, "payload-encrypt")
+		ciphertexts := make([][]byte, len(vS))
+		for i := range vS {
+			ciphertexts[i], err = s.cfg.Cipher.Encrypt(kappas[i], exts[i])
+			if err != nil {
+				sp.End()
+				return nil, s.abort(ctx, fmt.Errorf("core: encrypting ext(v): %w", err))
+			}
+			if s.counters != nil {
+				s.counters.AddPayloadEncrypts(1)
+			}
+		}
+		sp.End()
+		// Ship in lexicographic order of the first entry.
+		perm := sortIndicesByElem(firsts)
+		outElems = make([]*big.Int, len(vS))
+		outExts = make([][]byte, len(vS))
+		for pos, idx := range perm {
+			outElems[pos] = firsts[idx]
+			outExts[pos] = ciphertexts[idx]
+		}
+		if s.cfg.SetCache != nil {
+			if cs, cerr := commutative.CachedSetFromSorted(eS, outElems, outExts); cerr == nil {
+				s.cachePut(&CacheEntry{Set: cs, ExtKey: ePrimeS})
+			}
 		}
 	}
-	// Ship in lexicographic order of the first entry.
-	perm := sortIndicesByElem(firsts)
-	outElems := make([]*big.Int, len(vS))
-	outExts := make([][]byte, len(vS))
-	for pos, idx := range perm {
-		outElems[pos] = firsts[idx]
-		outExts[pos] = ciphertexts[idx]
-	}
+	sp = obs.StartSpan(ctx, "send-pairs")
 	err = s.sendExtPairs(ctx, outElems, outExts)
 	sp.End()
 	if err != nil {

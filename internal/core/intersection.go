@@ -18,6 +18,10 @@ type IntersectionResult struct {
 	Values [][]byte
 	// SenderSetSize is |V_S| (part of the permitted information I).
 	SenderSetSize int
+	// SenderDataVersion is the data version S announced in its
+	// handshake header (0 if S is unversioned).  A receiver that caches
+	// results can compare it across runs to detect a stale counterpart.
+	SenderDataVersion uint64
 }
 
 // SenderInfo is what party S learns from a protocol run: only |V_R|.
@@ -112,7 +116,7 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 			inIntersection[idx] = true
 		}
 	}
-	res := &IntersectionResult{SenderSetSize: peerSize}
+	res := &IntersectionResult{SenderSetSize: peerSize, SenderDataVersion: s.peerVersion}
 	for i, v := range vR {
 		if inIntersection[i] {
 			res.Values = append(res.Values, v)
@@ -132,32 +136,22 @@ func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, va
 		return nil, err
 	}
 
-	// Step 1-2: hash V_S, draw e_S, compute Y_S.
-	sp := obs.StartSpan(ctx, "hash-to-group")
-	xS, err := s.hashSet(vS)
-	sp.End()
+	// Step 1-2: hash V_S, draw e_S, compute Y_S — or, on a cache hit,
+	// replay the whole phase (hashing, key draw, bulk exponentiation,
+	// lexicographic reordering) from an earlier run against this peer.
+	eS, sortedYS, err := s.ownEncryptedSet(ctx, vS)
 	if err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	eS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
-	if err != nil {
-		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
-	}
-	sp = obs.StartSpan(ctx, "bulk-encrypt")
-	yS, err := s.encryptSet(ctx, eS, xS)
-	sp.End()
-	if err != nil {
-		return nil, s.abort(ctx, err)
+		return nil, err
 	}
 
 	// Step 3 (peer) + step 4(a): receive Y_R and ship Y_S reordered
 	// lexicographically.  The two vectors are independent, so streaming
 	// mode runs the halves full-duplex; legacy mode keeps the lock-step
 	// recv-then-send order.
-	sp = obs.StartSpan(ctx, "exchange")
+	sp := obs.StartSpan(ctx, "exchange")
 	var yR []*big.Int
 	err = s.duplex(ctx, true,
-		func(ctx context.Context) error { return s.sendElems(ctx, sortedCopy(yS)) },
+		func(ctx context.Context) error { return s.sendElems(ctx, sortedYS) },
 		func(ctx context.Context) error {
 			var rerr error
 			yR, rerr = s.recvElems(ctx, peerSize, "Y_R", true)

@@ -17,6 +17,9 @@ type SizeResult struct {
 	IntersectionSize int
 	// SenderSetSize is |V_S|.
 	SenderSetSize int
+	// SenderDataVersion is the data version S announced in its
+	// handshake header (0 if S is unversioned).
+	SenderDataVersion uint64
 }
 
 // IntersectionSizeReceiver runs party R of the intersection-size
@@ -90,7 +93,7 @@ func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Co
 			size++
 		}
 	}
-	return &SizeResult{IntersectionSize: size, SenderSetSize: peerSize}, nil
+	return &SizeResult{IntersectionSize: size, SenderSetSize: peerSize, SenderDataVersion: s.peerVersion}, nil
 }
 
 // IntersectionSizeSender runs party S of the intersection-size protocol
@@ -104,30 +107,19 @@ func IntersectionSizeSender(ctx context.Context, cfg Config, conn transport.Conn
 		return nil, err
 	}
 
-	// Steps 1-2.
-	sp := obs.StartSpan(ctx, "hash-to-group")
-	xS, err := s.hashSet(vS)
-	sp.End()
+	// Steps 1-2 — replayed from the encrypted-set cache when this peer
+	// has queried this table version before.
+	eS, sortedYS, err := s.ownEncryptedSet(ctx, vS)
 	if err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	eS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
-	if err != nil {
-		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
-	}
-	sp = obs.StartSpan(ctx, "bulk-encrypt")
-	yS, err := s.encryptSet(ctx, eS, xS)
-	sp.End()
-	if err != nil {
-		return nil, s.abort(ctx, err)
+		return nil, err
 	}
 
 	// Step 3 (peer) + step 4(a): receive Y_R and ship Y_S sorted,
 	// full-duplex in streaming mode.
-	sp = obs.StartSpan(ctx, "exchange")
+	sp := obs.StartSpan(ctx, "exchange")
 	var yR []*big.Int
 	err = s.duplex(ctx, true,
-		func(ctx context.Context) error { return s.sendElems(ctx, sortedCopy(yS)) },
+		func(ctx context.Context) error { return s.sendElems(ctx, sortedYS) },
 		func(ctx context.Context) error {
 			var rerr error
 			yR, rerr = s.recvElems(ctx, peerSize, "Y_R", true)

@@ -25,6 +25,9 @@ type JoinSizeResult struct {
 	// of distinct values in V_S having exactly d duplicates: the
 	// distribution R inevitably observes from the repeated encryptions.
 	SenderDuplicateDistribution map[int]int
+	// SenderDataVersion is the data version S announced in its
+	// handshake header (0 if S is unversioned).
+	SenderDataVersion uint64
 }
 
 // JoinSizeSenderInfo is what party S learns: |T_R.A| as a multiset and
@@ -108,6 +111,7 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 		JoinSize:                    join,
 		SenderMultisetSize:          peerSize,
 		SenderDuplicateDistribution: DuplicateDistributionElems(yS),
+		SenderDataVersion:           s.peerVersion,
 	}, nil
 }
 
@@ -121,30 +125,21 @@ func EquijoinSizeSender(ctx context.Context, cfg Config, conn transport.Conn, va
 		return nil, err
 	}
 
-	// Steps 1-2 on the multiset.
-	sp := obs.StartSpan(ctx, "hash-to-group")
-	xS, err := s.hashSet(values)
-	sp.End()
+	// Steps 1-2 on the multiset — replayed from the encrypted-set cache
+	// when this peer has queried this table version before.  The cache
+	// slot is per-protocol, so the multiset state never aliases the
+	// deduplicated state of the set protocols.
+	eS, sortedYS, err := s.ownEncryptedSet(ctx, values)
 	if err != nil {
-		return nil, s.abort(ctx, err)
-	}
-	eS, err := s.cfg.Scheme.GenerateKey(s.cfg.Rand)
-	if err != nil {
-		return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
-	}
-	sp = obs.StartSpan(ctx, "bulk-encrypt")
-	yS, err := s.encryptSet(ctx, eS, xS)
-	sp.End()
-	if err != nil {
-		return nil, s.abort(ctx, err)
+		return nil, err
 	}
 
 	// Step 3 (peer) + step 4(a): receive Y_R (multiset) and ship Y_S
 	// sorted, full-duplex in streaming mode.
-	sp = obs.StartSpan(ctx, "exchange")
+	sp := obs.StartSpan(ctx, "exchange")
 	var yR []*big.Int
 	err = s.duplex(ctx, true,
-		func(ctx context.Context) error { return s.sendElems(ctx, sortedCopy(yS)) },
+		func(ctx context.Context) error { return s.sendElems(ctx, sortedYS) },
 		func(ctx context.Context) error {
 			var rerr error
 			yR, rerr = s.recvElems(ctx, peerSize, "Y_R", true)

@@ -1,0 +1,71 @@
+package obs
+
+import "sync/atomic"
+
+// CacheStats is the census of the encrypted-set cache (see
+// core.SenderSetCache): how often a session could replay a precomputed
+// encrypted set instead of re-running the bulk-exponentiation phase,
+// and how entries left the cache again.  Where Counters price what one
+// run computes, CacheStats measures the amortization the paper's
+// Section 6.1 cost model predicts across a *series* of runs.
+//
+// All methods are safe for concurrent use and inert on a nil receiver.
+// A CacheStats contains atomics and must not be copied.
+type CacheStats struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	rotations atomic.Int64
+}
+
+// AddHit records one session that reused a cached encrypted set.
+func (c *CacheStats) AddHit() {
+	if c != nil {
+		c.hits.Add(1)
+	}
+}
+
+// AddMiss records one session that had to run the full
+// bulk-exponentiation phase (and typically populated the cache).
+func (c *CacheStats) AddMiss() {
+	if c != nil {
+		c.misses.Add(1)
+	}
+}
+
+// AddEviction records one entry discarded to keep the cache inside its
+// memory bound, or displaced by a newer version of the same slot.
+func (c *CacheStats) AddEviction() {
+	if c != nil {
+		c.evictions.Add(1)
+	}
+}
+
+// AddRotation records one wholesale key-rotation flush of n entries.
+func (c *CacheStats) AddRotation(n int64) {
+	if c != nil {
+		c.rotations.Add(1)
+		c.evictions.Add(n)
+	}
+}
+
+// Snapshot returns a point-in-time copy; nil yields a zero snapshot.
+func (c *CacheStats) Snapshot() CacheSnapshot {
+	if c == nil {
+		return CacheSnapshot{}
+	}
+	return CacheSnapshot{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Rotations: c.rotations.Load(),
+	}
+}
+
+// CacheSnapshot is a point-in-time copy of a CacheStats census.
+type CacheSnapshot struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Rotations int64 `json:"rotations"`
+}

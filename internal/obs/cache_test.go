@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheStatsCensus(t *testing.T) {
+	var c CacheStats
+	c.AddHit()
+	c.AddMiss()
+	c.AddMiss()
+	c.AddEviction()
+	c.AddRotation(3) // one rotation retiring three entries
+
+	snap := c.Snapshot()
+	want := CacheSnapshot{Hits: 1, Misses: 2, Evictions: 4, Rotations: 1}
+	if snap != want {
+		t.Errorf("snapshot = %+v, want %+v", snap, want)
+	}
+
+	// Nil receivers are inert, like the rest of the package.
+	var nilStats *CacheStats
+	nilStats.AddHit()
+	nilStats.AddMiss()
+	nilStats.AddEviction()
+	nilStats.AddRotation(5)
+	if got := nilStats.Snapshot(); got != (CacheSnapshot{}) {
+		t.Errorf("nil snapshot = %+v, want zero", got)
+	}
+}
+
+func TestCacheCountersOnMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Cache().AddHit()
+	reg.Cache().AddMiss()
+
+	var sb strings.Builder
+	WriteText(&sb, reg.Snapshot())
+	out := sb.String()
+	for _, line := range []string{"cache_hits 1", "cache_misses 1", "cache_evictions 0", "cache_rotations 0"} {
+		if !strings.Contains(out, line) {
+			t.Errorf("metrics text missing %q:\n%s", line, out)
+		}
+	}
+}

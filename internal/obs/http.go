@@ -23,6 +23,7 @@ func WriteText(w io.Writer, snap RegistrySnapshot) {
 	fmt.Fprintf(w, "sessions_failed %d\n", snap.SessionsFailed)
 	writeCountersText(w, "", snap.Global)
 	writeLifecycleText(w, snap.Lifecycle)
+	writeCacheText(w, snap.Cache)
 	if len(snap.Active) > 0 {
 		fmt.Fprintf(w, "# active sessions\n")
 		ordered := append([]SessionSnapshot(nil), snap.Active...)
@@ -65,6 +66,13 @@ func writeLifecycleText(w io.Writer, l LifecycleSnapshot) {
 	fmt.Fprintf(w, "drain_forced %d\n", l.DrainForced)
 	fmt.Fprintf(w, "drain_cancelled_sessions %d\n", l.DrainCancelled)
 	fmt.Fprintf(w, "client_retries %d\n", l.ClientRetries)
+}
+
+func writeCacheText(w io.Writer, c CacheSnapshot) {
+	fmt.Fprintf(w, "cache_hits %d\n", c.Hits)
+	fmt.Fprintf(w, "cache_misses %d\n", c.Misses)
+	fmt.Fprintf(w, "cache_evictions %d\n", c.Evictions)
+	fmt.Fprintf(w, "cache_rotations %d\n", c.Rotations)
 }
 
 func writeSessionText(w io.Writer, s SessionSnapshot) {

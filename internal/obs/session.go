@@ -129,6 +129,7 @@ type Registry struct {
 	start     time.Time
 	global    Counters
 	lifecycle Lifecycle
+	cache     CacheStats
 
 	mu       sync.Mutex
 	seq      uint64
@@ -158,6 +159,16 @@ func (r *Registry) Lifecycle() *Lifecycle {
 	return &r.lifecycle
 }
 
+// Cache returns the registry's encrypted-set cache census.  A nil
+// registry yields a nil — and therefore inert — CacheStats, so callers
+// may write r.Cache().AddHit() unconditionally.
+func (r *Registry) Cache() *CacheStats {
+	if r == nil {
+		return nil
+	}
+	return &r.cache
+}
+
 // StartSession registers a new live session whose counters chain into
 // the registry's global level.
 func (r *Registry) StartSession(info SessionInfo) *Session {
@@ -182,6 +193,7 @@ type RegistrySnapshot struct {
 	UptimeSeconds    float64           `json:"uptime_seconds"`
 	Global           CounterSnapshot   `json:"global"`
 	Lifecycle        LifecycleSnapshot `json:"lifecycle"`
+	Cache            CacheSnapshot     `json:"cache"`
 	SessionsActive   int               `json:"sessions_active"`
 	SessionsFinished int64             `json:"sessions_finished"`
 	SessionsFailed   int64             `json:"sessions_failed"`
@@ -207,6 +219,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.Unlock()
 	snap.Global = r.global.Snapshot()
 	snap.Lifecycle = r.lifecycle.Snapshot()
+	snap.Cache = r.cache.Snapshot()
 	for _, s := range live {
 		snap.Active = append(snap.Active, s.Snapshot())
 	}

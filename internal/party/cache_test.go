@@ -1,0 +1,63 @@
+package party
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"minshare/internal/core"
+	"minshare/internal/obs"
+)
+
+// TestServerEncryptedSetCache drives the cache through the server path:
+// a repeat query from the same peer must hit, and a data-version bump
+// (the table changed under the server) must miss and re-announce the
+// new version in the handshake.
+func TestServerEncryptedSetCache(t *testing.T) {
+	var version atomic.Uint64
+	version.Store(1)
+	var stats obs.CacheStats
+
+	srv := testServer(Policy{})
+	srv.SetCache = core.NewSenderSetCache(0, &stats)
+	srv.TableName = "t"
+	srv.DataVersion = version.Load
+
+	client := pipeClient(t, srv)
+	ctx := context.Background()
+	query := [][]byte{[]byte("b"), []byte("x"), []byte("d")}
+
+	res1, err := client.Intersect(ctx, query)
+	if err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	if res1.SenderDataVersion != 1 {
+		t.Errorf("announced version = %d, want 1", res1.SenderDataVersion)
+	}
+	res2, err := client.Intersect(ctx, query)
+	if err != nil {
+		t.Fatalf("Intersect (warm): %v", err)
+	}
+	if len(res2.Values) != len(res1.Values) {
+		t.Errorf("warm intersection = %d values, cold = %d", len(res2.Values), len(res1.Values))
+	}
+	if snap := stats.Snapshot(); snap.Hits != 1 || snap.Misses != 1 {
+		t.Errorf("after repeat query: %+v, want 1 hit / 1 miss", snap)
+	}
+
+	// The table changes: the next session must see a fresh slot.
+	version.Store(2)
+	res3, err := client.Intersect(ctx, query)
+	if err != nil {
+		t.Fatalf("Intersect (post-update): %v", err)
+	}
+	if res3.SenderDataVersion != 2 {
+		t.Errorf("announced version = %d, want 2", res3.SenderDataVersion)
+	}
+	if snap := stats.Snapshot(); snap.Hits != 1 || snap.Misses != 2 {
+		t.Errorf("after version bump: %+v, want 1 hit / 2 misses", snap)
+	}
+	if srv.SetCache.Len() != 1 {
+		t.Errorf("cache len = %d, want 1 (stale version pruned)", srv.SetCache.Len())
+	}
+}

@@ -1,0 +1,53 @@
+package party_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/party"
+)
+
+// A complete networked deployment: a Server answering queries over one
+// value set, and a Client with retry enabled for transient connection
+// failures.  Every call dials a fresh connection, runs one protocol
+// session, and hangs up.
+func ExampleClient() {
+	srv := &party.Server{
+		Config: core.Config{Group: group.TestGroup()},
+		Values: [][]byte{[]byte("ann"), []byte("bob"), []byte("carol")},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println("listen:", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ctx, ln)
+	}()
+
+	client := party.NewClient(ln.Addr().String(), core.Config{Group: group.TestGroup()})
+	client.Retry = party.Retry{Attempts: 3, BaseDelay: 50 * time.Millisecond}
+
+	res, err := client.Intersect(ctx, [][]byte{[]byte("bob"), []byte("zoe")})
+	if err != nil {
+		fmt.Println("intersect:", err)
+		return
+	}
+	for _, v := range res.Values {
+		fmt.Printf("shared: %s\n", v)
+	}
+
+	cancel()
+	<-done
+
+	// Output:
+	// shared: bob
+}

@@ -106,6 +106,20 @@ type Server struct {
 	// finish for up to this long before force-cancelling them.  Zero
 	// cancels in-flight sessions immediately on shutdown.
 	DrainTimeout time.Duration
+	// SetCache, when non-nil, caches the server's encrypted own-set
+	// state across sessions so a peer's repeated queries against an
+	// unchanged table skip the bulk-exponentiation phase.  Slots are
+	// keyed per (peer host, TableName, DataVersion, protocol); see
+	// core.SenderSetCache for the exponent-reuse guarantee.
+	SetCache *core.SenderSetCache
+	// TableName names the served table for cache keying; only
+	// meaningful with SetCache.
+	TableName string
+	// DataVersion, when non-nil, reports the served table's current
+	// monotonic version (reldb.Table.Version) for cache keying and the
+	// handshake's version tag.  It is called once per session and must
+	// be safe for concurrent use; nil means version 0.
+	DataVersion func() uint64
 	// Auditor, when non-nil, records every answered session and can veto
 	// on its own criteria (budget, overlap of the served set).
 	Auditor *leakage.Auditor
@@ -370,6 +384,24 @@ func (s *Server) runSession(ctx context.Context, peer string, conn transport.Con
 
 	replay := &replayConn{Conn: conn, pending: first}
 	s.logf("party: %s running %v (peer set size %d)", peer, hdr.Protocol, hdr.SetSize)
+
+	// Stamp the run with the served table's version and, when caching is
+	// enabled, point it at this peer's slot.  The key carries the peer
+	// *host* — not the per-connection address — so a series of queries
+	// from the same enterprise hits the same slot, while two different
+	// peers can never share a pinned exponent.
+	if s.DataVersion != nil {
+		cfg.DataVersion = s.DataVersion()
+	}
+	if s.SetCache != nil {
+		cfg.SetCache = s.SetCache
+		cfg.CacheKey = core.SetCacheKey{
+			PeerHost: peerHost(peer),
+			Table:    s.TableName,
+			Version:  cfg.DataVersion,
+			Protocol: hdr.Protocol,
+		}
+	}
 
 	// Attribute the run to an observability session.  The header frame
 	// already consumed above is re-counted when replayConn hands it back

@@ -253,9 +253,10 @@ func DecodeRow(data []byte, arity int) (Row, error) {
 
 // Table is an in-memory relation.
 type Table struct {
-	name   string
-	schema *Schema
-	rows   []Row
+	name    string
+	schema  *Schema
+	rows    []Row
+	version uint64
 }
 
 // NewTable creates an empty table.
@@ -272,6 +273,13 @@ func (t *Table) Schema() *Schema { return t.schema }
 // NumRows returns the row count.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Version is the table's monotonic data version: it increases on every
+// mutation and never repeats for distinct contents of the same table.
+// Consumers that precompute state derived from the table — notably the
+// encrypted-set cache (core.SenderSetCache) — key it by this version so
+// a change to the underlying private database invalidates them.
+func (t *Table) Version() uint64 { return t.version }
+
 // Insert appends a row after arity and type checking.
 func (t *Table) Insert(row Row) error {
 	if len(row) != t.schema.NumColumns() {
@@ -284,6 +292,7 @@ func (t *Table) Insert(row Row) error {
 		}
 	}
 	t.rows = append(t.rows, append(Row(nil), row...))
+	t.version++
 	return nil
 }
 
@@ -311,6 +320,7 @@ func (t *Table) Select(pred func(Row) bool) *Table {
 			out.rows = append(out.rows, append(Row(nil), r...))
 		}
 	}
+	out.version = uint64(len(out.rows))
 	return out
 }
 
@@ -339,6 +349,7 @@ func (t *Table) Project(cols ...string) (*Table, error) {
 		}
 		out.rows = append(out.rows, nr)
 	}
+	out.version = uint64(len(out.rows))
 	return out, nil
 }
 
@@ -480,6 +491,7 @@ func (t *Table) Join(o *Table, tCol, oCol string) (*Table, error) {
 			out.rows = append(out.rows, nr)
 		}
 	}
+	out.version = uint64(len(out.rows))
 	return out, nil
 }
 

@@ -15,6 +15,12 @@
 // is an exact function of the counts the paper's Section 6.1
 // communication analysis predicts.  Tests rely on this to verify the
 // k-bit-per-codeword accounting literally.
+//
+// The authoritative byte-level layout of every message family —
+// handshake, protocol frames, the streaming StreamBegin/Chunk/ExtChunk/
+// End family, and error/saturation rejects — is written out field by
+// field in DESIGN.md Section 10 ("Wire-format reference"); the codec in
+// this package is its implementation.
 package wire
 
 import (
@@ -126,8 +132,8 @@ const MaxVectorLen = 1 << 24
 const (
 	// EncodedHeaderLen is the full encoded size of a Header message:
 	// kind(1) + protocol(1) + group bits(4) + group digest(32) +
-	// set size(8).
-	EncodedHeaderLen = 1 + 1 + 4 + 32 + 8
+	// set size(8) + set version(8).
+	EncodedHeaderLen = 1 + 1 + 4 + 32 + 8 + 8
 	// VectorOverhead is the fixed cost of any vector message beyond its
 	// elements: kind byte(1) + element count(4).
 	VectorOverhead = 1 + 4
@@ -147,6 +153,11 @@ type Header struct {
 	GroupBits   uint32
 	GroupDigest [32]byte // SHA-256 of the modulus bytes
 	SetSize     uint64   // announced |V| — part of the revealed info I
+	// SetVersion is the announcing party's monotonic data version
+	// (reldb.Table.Version for a served table; 0 when unversioned).  A
+	// peer that cached results or encrypted state from an earlier
+	// session can compare versions to detect a stale counterpart.
+	SetVersion uint64
 }
 
 // Kind implements Message.
@@ -263,6 +274,8 @@ func (c *Codec) Encode(m Message) ([]byte, error) {
 		var b8 [8]byte
 		binary.BigEndian.PutUint64(b8[:], v.SetSize)
 		buf = append(buf, b8[:]...)
+		binary.BigEndian.PutUint64(b8[:], v.SetVersion)
+		buf = append(buf, b8[:]...)
 	case Elements:
 		buf = putCount(buf, len(v.Elems))
 		for _, e := range v.Elems {
@@ -324,7 +337,7 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 	buf := data[1:]
 	switch kind {
 	case KindHeader:
-		if len(buf) != 1+4+32+8 {
+		if len(buf) != 1+4+32+8+8 {
 			return nil, fmt.Errorf("%w: header of %d bytes", ErrTruncated, len(buf))
 		}
 		var h Header
@@ -332,6 +345,7 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 		h.GroupBits = binary.BigEndian.Uint32(buf[1:5])
 		copy(h.GroupDigest[:], buf[5:37])
 		h.SetSize = binary.BigEndian.Uint64(buf[37:45])
+		h.SetVersion = binary.BigEndian.Uint64(buf[45:53])
 		return h, nil
 	case KindElements:
 		n, buf, err := getCount(buf)

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"errors"
 	"math/big"
 	"math/rand"
@@ -52,10 +53,18 @@ func TestHeaderRoundTrip(t *testing.T) {
 		GroupBits:   uint32(g.Bits()),
 		GroupDigest: GroupDigest(g),
 		SetSize:     123456789,
+		SetVersion:  42,
 	}
 	got := roundTrip(t, c, h).(Header)
 	if got != h {
 		t.Errorf("header round trip: got %+v, want %+v", got, h)
+	}
+	data, err := c.Encode(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != EncodedHeaderLen {
+		t.Errorf("encoded header is %d bytes, want EncodedHeaderLen = %d", len(data), EncodedHeaderLen)
 	}
 }
 
@@ -235,5 +244,111 @@ func TestGroupDigestDistinguishesGroups(t *testing.T) {
 	b := GroupDigest(group.MustBuiltin(group.Bits512))
 	if a == b {
 		t.Error("distinct groups share a digest")
+	}
+}
+
+// TestGoldenVectors pins the exact byte layouts documented in
+// DESIGN.md Section 10 ("Wire-format reference").  Any change to an
+// encoding must update both this test and the spec.  The 64-bit
+// builtin group keeps ElementLen at 8 so the vectors stay readable.
+func TestGoldenVectors(t *testing.T) {
+	g := group.MustBuiltin(group.Bits64)
+	c := NewCodec(g)
+	if got := g.ElementLen(); got != 8 {
+		t.Fatalf("ElementLen = %d, want 8", got)
+	}
+	e := func(v int64) *big.Int { return big.NewInt(v) }
+
+	digest := GroupDigest(g)
+	header := Header{
+		Protocol:    ProtoEquijoin,
+		GroupBits:   64,
+		GroupDigest: digest,
+		SetSize:     0x0102030405060708,
+		SetVersion:  0x1122334455667788,
+	}
+	wantHeader := []byte{
+		1,           // kind
+		2,           // protocol: equijoin
+		0, 0, 0, 64, // group bits
+	}
+	wantHeader = append(wantHeader, digest[:]...)                                   // offsets 6-37
+	wantHeader = append(wantHeader, 1, 2, 3, 4, 5, 6, 7, 8)                         // set size, offsets 38-45
+	wantHeader = append(wantHeader, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88) // set version, 46-53
+
+	cases := []struct {
+		name string
+		msg  Message
+		want []byte
+	}{
+		{"header", header, wantHeader},
+		{"elements", Elements{Elems: []*big.Int{e(0x0102), e(3)}}, []byte{
+			2,          // kind
+			0, 0, 0, 2, // entry count
+			0, 0, 0, 0, 0, 0, 1, 2,
+			0, 0, 0, 0, 0, 0, 0, 3,
+		}},
+		{"pairs", Pairs{A: []*big.Int{e(1), e(3)}, B: []*big.Int{e(2), e(4)}}, []byte{
+			3,          // kind
+			0, 0, 0, 2, // entry count (a pair is one entry)
+			0, 0, 0, 0, 0, 0, 0, 1, // a0
+			0, 0, 0, 0, 0, 0, 0, 2, // b0
+			0, 0, 0, 0, 0, 0, 0, 3, // a1
+			0, 0, 0, 0, 0, 0, 0, 4, // b1
+		}},
+		{"triples", Triples{A: []*big.Int{e(1)}, B: []*big.Int{e(2)}, C: []*big.Int{e(3)}}, []byte{
+			4,          // kind
+			0, 0, 0, 1, // entry count
+			0, 0, 0, 0, 0, 0, 0, 1,
+			0, 0, 0, 0, 0, 0, 0, 2,
+			0, 0, 0, 0, 0, 0, 0, 3,
+		}},
+		{"extpairs", ExtPairs{Elem: []*big.Int{e(5)}, Ext: [][]byte{[]byte("hi")}}, []byte{
+			5,          // kind
+			0, 0, 0, 1, // entry count
+			0, 0, 0, 0, 0, 0, 0, 5, // element
+			0, 0, 0, 2, // ext length
+			'h', 'i',
+		}},
+		{"error", ErrorMsg{Text: "no"}, []byte{
+			6,          // kind
+			0, 0, 0, 2, // length
+			'n', 'o',
+		}},
+		{"stream begin", StreamBegin{Inner: KindPairs, Count: 7}, []byte{
+			7,          // kind
+			3,          // inner kind: pairs
+			0, 0, 0, 7, // total entry count
+		}},
+		{"stream chunk", StreamChunk{Elems: []*big.Int{e(1), e(2)}}, []byte{
+			8,          // kind
+			0, 0, 0, 2, // elements in this chunk
+			0, 0, 0, 0, 0, 0, 0, 1,
+			0, 0, 0, 0, 0, 0, 0, 2,
+		}},
+		{"stream ext chunk", StreamExtChunk{Elem: []*big.Int{e(9)}, Ext: [][]byte{{0xAB}}}, []byte{
+			9,          // kind
+			0, 0, 0, 1, // entries in this chunk
+			0, 0, 0, 0, 0, 0, 0, 9,
+			0, 0, 0, 1, // ext length
+			0xAB,
+		}},
+		{"stream end", StreamEnd{Chunks: 3}, []byte{
+			10,         // kind
+			0, 0, 0, 3, // chunk count
+		}},
+	}
+	for _, tc := range cases {
+		data, err := c.Encode(tc.msg)
+		if err != nil {
+			t.Errorf("%s: Encode: %v", tc.name, err)
+			continue
+		}
+		if !bytes.Equal(data, tc.want) {
+			t.Errorf("%s: encoding diverges from DESIGN.md Section 10\n got %x\nwant %x", tc.name, data, tc.want)
+		}
+		if _, err := c.Decode(data); err != nil {
+			t.Errorf("%s: Decode: %v", tc.name, err)
+		}
 	}
 }
