@@ -68,7 +68,7 @@ func run() error {
 		minPeerSet = flag.Int("min-peer-set", 0, "reject sessions announcing a smaller peer set")
 		maxQueries = flag.Int("max-queries", 1000, "per-peer session budget (0 = unlimited)")
 
-		cacheSets   = flag.Int64("cache-sets", 0, "encrypted-set cache budget in bytes; warm peers skip the bulk exponentiation over the table (0 = disabled)")
+		cacheSets   = flag.Int64("cache-sets", 0, "encrypted-set cache budget in bytes; warm peers skip the bulk exponentiation over the table (0 = disabled; slots are keyed by remote IP, so do not enable when distinct peers can share an address via NAT/proxy)")
 		cacheRotate = flag.Duration("cache-rotate", 0, "rotate (flush) the encrypted-set cache at this interval, retiring the pinned exponents (0 = never)")
 
 		maxSessions      = flag.Int("max-sessions", 64, "concurrent session cap; arrivals beyond it are refused immediately (0 = unlimited)")
@@ -157,7 +157,7 @@ func run() error {
 		DrainTimeout: *drainTimeout,
 		SetCache:     setCache,
 		TableName:    "table",
-		DataVersion:  table.Version,
+		DataVersion:  table.Version, // concurrency-safe: Version reads atomically
 		Auditor:      leakage.NewAuditor(leakage.AuditPolicy{MaxOverlapFraction: 1, MaxQueries: *maxQueries}),
 		Obs:          reg,
 		Logf: func(format string, args ...any) {

@@ -19,6 +19,11 @@ import (
 //     exponent across peers would let colluding receivers correlate
 //     f_e(h(v)) values they were shown separately.  Keying by peer is
 //     what makes the no-reuse guarantee structural (see SenderSetCache).
+//     The guarantee is only as strong as the identity filled in here:
+//     party.Server uses its authenticated PeerIdentity hook when
+//     configured and otherwise the remote host, which aliases distinct
+//     parties behind one NAT/proxy (see the party.Server.SetCache
+//     caveat).
 //   - Table: a server may serve several tables or attributes.
 //   - Version: the table's monotonic data version (reldb.Table.Version);
 //     any mutation of the private database changes it, so stale
@@ -68,11 +73,16 @@ func (e *CacheEntry) memoryBytes() int64 {
 //
 // Exponent-reuse guarantee: a cached exponent is only ever replayed for
 // the exact SetCacheKey it was created under, and the key names the
-// peer host.  Two different peers therefore never see values encrypted
-// under the same exponent — the cache narrows each exponent's lifetime
-// from "one session" to "one (peer, table, version, protocol) series",
-// it never widens it.  Rotation (Rotate, or cmd/psiserver's
-// -cache-rotate interval) bounds that lifetime in time as well.
+// peer identity.  Two different peers therefore never see values
+// encrypted under the same exponent — the cache narrows each exponent's
+// lifetime from "one session" to "one (peer, table, version, protocol)
+// series", it never widens it.  Rotation (Rotate, or cmd/psiserver's
+// -cache-rotate interval) bounds that lifetime in time as well.  The
+// guarantee presumes the key's PeerHost really distinguishes peers:
+// with an unauthenticated remote-address identity, parties sharing a
+// NAT or proxy alias into one slot, so such deployments must supply an
+// authenticated identity (party.Server.PeerIdentity) or leave the
+// cache disabled, as it is by default.
 //
 // The zero value is not usable; call NewSenderSetCache.  All methods
 // are safe for concurrent use.

@@ -2,11 +2,13 @@ package party
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"testing"
 
 	"minshare/internal/core"
 	"minshare/internal/obs"
+	"minshare/internal/transport"
 )
 
 // TestServerEncryptedSetCache drives the cache through the server path:
@@ -59,5 +61,68 @@ func TestServerEncryptedSetCache(t *testing.T) {
 	}
 	if srv.SetCache.Len() != 1 {
 		t.Errorf("cache len = %d, want 1 (stale version pruned)", srv.SetCache.Len())
+	}
+}
+
+// TestPeerIdentityKeysCacheSlots simulates two distinct parties arriving
+// from the same transport address (one NAT, one proxy): with a
+// PeerIdentity hook telling them apart, each must get its own slot —
+// and so its own pinned exponent — instead of warming each other's
+// cache.
+func TestPeerIdentityKeysCacheSlots(t *testing.T) {
+	var stats obs.CacheStats
+	var calls atomic.Int64
+
+	srv := testServer(Policy{})
+	srv.SetCache = core.NewSenderSetCache(0, &stats)
+	srv.TableName = "t"
+	srv.PeerIdentity = func(remote string, conn transport.Conn) (string, bool) {
+		// Every session is a different authenticated party behind the
+		// shared address.
+		return fmt.Sprintf("party-%d", calls.Add(1)), true
+	}
+
+	client := pipeClient(t, srv)
+	ctx := context.Background()
+	query := [][]byte{[]byte("b"), []byte("d")}
+	for i := 0; i < 2; i++ {
+		if _, err := client.Intersect(ctx, query); err != nil {
+			t.Fatalf("Intersect %d: %v", i, err)
+		}
+	}
+	if snap := stats.Snapshot(); snap.Hits != 0 || snap.Misses != 2 {
+		t.Errorf("distinct identities shared cache state: %+v, want 0 hits / 2 misses", snap)
+	}
+	if srv.SetCache.Len() != 2 {
+		t.Errorf("cache len = %d, want 2 (one slot per identity)", srv.SetCache.Len())
+	}
+}
+
+// TestPeerIdentityUnresolvedBypassesCache pins the fail-closed choice: a
+// configured hook that cannot authenticate the peer must skip the cache
+// for the session (cold protocol run, no slot) rather than fall back to
+// the spoofable remote address.
+func TestPeerIdentityUnresolvedBypassesCache(t *testing.T) {
+	var stats obs.CacheStats
+
+	srv := testServer(Policy{})
+	srv.SetCache = core.NewSenderSetCache(0, &stats)
+	srv.TableName = "t"
+	srv.PeerIdentity = func(remote string, conn transport.Conn) (string, bool) { return "", false }
+
+	client := pipeClient(t, srv)
+	query := [][]byte{[]byte("b"), []byte("d")}
+	res, err := client.Intersect(context.Background(), query)
+	if err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	if len(res.Values) != 2 {
+		t.Errorf("intersection = %d values, want 2", len(res.Values))
+	}
+	if snap := stats.Snapshot(); snap.Hits != 0 || snap.Misses != 0 {
+		t.Errorf("cache consulted despite unresolved identity: %+v", snap)
+	}
+	if srv.SetCache.Len() != 0 {
+		t.Errorf("cache len = %d, want 0", srv.SetCache.Len())
 	}
 }

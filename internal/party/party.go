@@ -109,9 +109,28 @@ type Server struct {
 	// SetCache, when non-nil, caches the server's encrypted own-set
 	// state across sessions so a peer's repeated queries against an
 	// unchanged table skip the bulk-exponentiation phase.  Slots are
-	// keyed per (peer host, TableName, DataVersion, protocol); see
+	// keyed per (peer identity, TableName, DataVersion, protocol); see
 	// core.SenderSetCache for the exponent-reuse guarantee.
+	//
+	// CAVEAT — peer identity.  Without PeerIdentity, the slot identity
+	// is the remote IP, which is NOT an authenticated peer identity:
+	// distinct parties behind one NAT or proxy share an IP and would
+	// share a slot's pinned exponent, weakening the no-reuse-across-
+	// peers guarantee to "no reuse across source addresses".  Deployments
+	// where that aliasing is possible must either set PeerIdentity to an
+	// authenticated identity or leave the cache off (it is off by
+	// default).
 	SetCache *core.SenderSetCache
+	// PeerIdentity, when non-nil, supplies the authenticated identity
+	// that keys this session's cache slot — e.g. a TLS client-certificate
+	// fingerprint recovered from the connection, or an identity asserted
+	// by a fronting proxy.  remote is the transport-level remote address;
+	// conn is the session's connection for transports that can surface
+	// credentials via type assertion.  Returning ok=false means no
+	// identity could be established and the cache is bypassed for that
+	// session (the protocol still runs, cold).  When nil, the unauthenticated
+	// remote host is used — see the SetCache caveat.
+	PeerIdentity func(remote string, conn transport.Conn) (identity string, ok bool)
 	// TableName names the served table for cache keying; only
 	// meaningful with SetCache.
 	TableName string
@@ -166,6 +185,17 @@ func peerHost(peer string) string {
 		return host
 	}
 	return peer
+}
+
+// cachePeerIdentity resolves the identity that keys this session's
+// encrypted-set cache slot: the authenticated PeerIdentity when the
+// server configures one, the unauthenticated remote host otherwise.
+// ok=false means the session must run without the cache.
+func (s *Server) cachePeerIdentity(peer string, conn transport.Conn) (string, bool) {
+	if s.PeerIdentity != nil {
+		return s.PeerIdentity(peer, conn)
+	}
+	return peerHost(peer), true
 }
 
 // acquireSlot claims a concurrent-session slot; the release function is
@@ -386,20 +416,25 @@ func (s *Server) runSession(ctx context.Context, peer string, conn transport.Con
 	s.logf("party: %s running %v (peer set size %d)", peer, hdr.Protocol, hdr.SetSize)
 
 	// Stamp the run with the served table's version and, when caching is
-	// enabled, point it at this peer's slot.  The key carries the peer
-	// *host* — not the per-connection address — so a series of queries
-	// from the same enterprise hits the same slot, while two different
-	// peers can never share a pinned exponent.
+	// enabled, point it at this peer's slot.  The slot identity is the
+	// authenticated PeerIdentity when configured — the only key that
+	// makes the no-exponent-reuse guarantee hold across NATs/proxies —
+	// and otherwise falls back to the peer *host* (not the per-connection
+	// address, which would defeat cross-session reuse).  A configured
+	// PeerIdentity that cannot identify the peer bypasses the cache for
+	// the session rather than falling back to the spoofable address.
 	if s.DataVersion != nil {
 		cfg.DataVersion = s.DataVersion()
 	}
 	if s.SetCache != nil {
-		cfg.SetCache = s.SetCache
-		cfg.CacheKey = core.SetCacheKey{
-			PeerHost: peerHost(peer),
-			Table:    s.TableName,
-			Version:  cfg.DataVersion,
-			Protocol: hdr.Protocol,
+		if id, ok := s.cachePeerIdentity(peer, conn); ok {
+			cfg.SetCache = s.SetCache
+			cfg.CacheKey = core.SetCacheKey{
+				PeerHost: id,
+				Table:    s.TableName,
+				Version:  cfg.DataVersion,
+				Protocol: hdr.Protocol,
+			}
 		}
 	}
 

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync/atomic"
+	"time"
 )
 
 // Type enumerates column types.
@@ -251,18 +253,39 @@ func DecodeRow(data []byte, arity int) (Row, error) {
 	return row, nil
 }
 
+// versionCounter issues table data versions.  It is process-global — a
+// single sequence shared by every table and every derived table — and
+// seeded from the wall clock, so a version can never repeat for
+// distinct contents: not across two derived tables that happen to share
+// a row count, not across re-derivations of the same query after a
+// mutation, and (best-effort, assuming a sane clock) not across process
+// restarts reloading the same source file.  Consumers that key
+// precomputed state by version (the encrypted-set cache, the wire
+// handshake's SetVersion tag) rely on exactly that invariant.
+var versionCounter atomic.Uint64
+
+func init() { versionCounter.Store(uint64(time.Now().UnixNano())) }
+
+// nextVersion issues a fresh, strictly increasing data version.
+func nextVersion() uint64 { return versionCounter.Add(1) }
+
 // Table is an in-memory relation.
 type Table struct {
 	name    string
 	schema  *Schema
 	rows    []Row
-	version uint64
+	version uint64 // read/written via atomics; see Version
 }
 
 // NewTable creates an empty table.
 func NewTable(name string, schema *Schema) *Table {
-	return &Table{name: name, schema: schema}
+	t := &Table{name: name, schema: schema}
+	t.stampVersion()
+	return t
 }
+
+// stampVersion records a fresh global version on the table.
+func (t *Table) stampVersion() { atomic.StoreUint64(&t.version, nextVersion()) }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
@@ -275,10 +298,15 @@ func (t *Table) NumRows() int { return len(t.rows) }
 
 // Version is the table's monotonic data version: it increases on every
 // mutation and never repeats for distinct contents of the same table.
-// Consumers that precompute state derived from the table — notably the
-// encrypted-set cache (core.SenderSetCache) — key it by this version so
-// a change to the underlying private database invalidates them.
-func (t *Table) Version() uint64 { return t.version }
+// Versions are drawn from a process-global sequence, so derived tables
+// (Select, Project, Join) also carry versions that can never collide
+// with any other table state — the version is an identity for the exact
+// contents, not a row count.  Consumers that precompute state derived
+// from the table — notably the encrypted-set cache
+// (core.SenderSetCache) — key it by this version so a change to the
+// underlying private database invalidates them.  Version is safe for
+// concurrent use with mutations.
+func (t *Table) Version() uint64 { return atomic.LoadUint64(&t.version) }
 
 // Insert appends a row after arity and type checking.
 func (t *Table) Insert(row Row) error {
@@ -292,7 +320,7 @@ func (t *Table) Insert(row Row) error {
 		}
 	}
 	t.rows = append(t.rows, append(Row(nil), row...))
-	t.version++
+	t.stampVersion()
 	return nil
 }
 
@@ -320,7 +348,7 @@ func (t *Table) Select(pred func(Row) bool) *Table {
 			out.rows = append(out.rows, append(Row(nil), r...))
 		}
 	}
-	out.version = uint64(len(out.rows))
+	out.stampVersion()
 	return out
 }
 
@@ -349,7 +377,7 @@ func (t *Table) Project(cols ...string) (*Table, error) {
 		}
 		out.rows = append(out.rows, nr)
 	}
-	out.version = uint64(len(out.rows))
+	out.stampVersion()
 	return out, nil
 }
 
@@ -491,7 +519,7 @@ func (t *Table) Join(o *Table, tCol, oCol string) (*Table, error) {
 			out.rows = append(out.rows, nr)
 		}
 	}
-	out.version = uint64(len(out.rows))
+	out.stampVersion()
 	return out, nil
 }
 

@@ -134,6 +134,12 @@ const (
 	// kind(1) + protocol(1) + group bits(4) + group digest(32) +
 	// set size(8) + set version(8).
 	EncodedHeaderLen = 1 + 1 + 4 + 32 + 8 + 8
+	// LegacyEncodedHeaderLen is the pre-S27 header size, before the
+	// set-version field existed.  Decode still accepts it — the missing
+	// SetVersion reads as 0, which the field already defines as
+	// "unversioned" — so a mixed-version deployment completes the
+	// handshake instead of failing with a truncation error.
+	LegacyEncodedHeaderLen = EncodedHeaderLen - 8
 	// VectorOverhead is the fixed cost of any vector message beyond its
 	// elements: kind byte(1) + element count(4).
 	VectorOverhead = 1 + 4
@@ -337,7 +343,9 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 	buf := data[1:]
 	switch kind {
 	case KindHeader:
-		if len(buf) != 1+4+32+8+8 {
+		// Current (with set version) or legacy pre-S27 (without) layout;
+		// a legacy peer's header decodes with SetVersion 0 (unversioned).
+		if len(buf) != EncodedHeaderLen-1 && len(buf) != LegacyEncodedHeaderLen-1 {
 			return nil, fmt.Errorf("%w: header of %d bytes", ErrTruncated, len(buf))
 		}
 		var h Header
@@ -345,7 +353,9 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 		h.GroupBits = binary.BigEndian.Uint32(buf[1:5])
 		copy(h.GroupDigest[:], buf[5:37])
 		h.SetSize = binary.BigEndian.Uint64(buf[37:45])
-		h.SetVersion = binary.BigEndian.Uint64(buf[45:53])
+		if len(buf) == EncodedHeaderLen-1 {
+			h.SetVersion = binary.BigEndian.Uint64(buf[45:53])
+		}
 		return h, nil
 	case KindElements:
 		n, buf, err := getCount(buf)

@@ -68,6 +68,46 @@ func TestHeaderRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHeaderDecodeLegacy pins mixed-version interop: a pre-S27 peer's
+// 46-byte header (no set-version field) must decode with SetVersion 0
+// ("unversioned") rather than failing the handshake as truncated.
+func TestHeaderDecodeLegacy(t *testing.T) {
+	c, g := testCodec()
+	h := Header{
+		Protocol:    ProtoIntersection,
+		GroupBits:   uint32(g.Bits()),
+		GroupDigest: GroupDigest(g),
+		SetSize:     987654321,
+		SetVersion:  42,
+	}
+	data, err := c.Encode(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := data[:LegacyEncodedHeaderLen]
+	msg, err := c.Decode(legacy)
+	if err != nil {
+		t.Fatalf("Decode(legacy %d-byte header): %v", len(legacy), err)
+	}
+	got, ok := msg.(Header)
+	if !ok {
+		t.Fatalf("decoded %T, want Header", msg)
+	}
+	want := h
+	want.SetVersion = 0
+	if got != want {
+		t.Errorf("legacy header decode: got %+v, want %+v", got, want)
+	}
+
+	// Any other length stays a decode error.
+	if _, err := c.Decode(data[:LegacyEncodedHeaderLen+3]); err == nil {
+		t.Error("header between legacy and current size decoded without error")
+	}
+	if _, err := c.Decode(data[:LegacyEncodedHeaderLen-1]); err == nil {
+		t.Error("short header decoded without error")
+	}
+}
+
 func TestElementsRoundTrip(t *testing.T) {
 	c, g := testCodec()
 	for _, n := range []int{0, 1, 7, 100} {
