@@ -1,11 +1,12 @@
-# Developer entry points.  `make check` is what CI should run: a full
-# build, the whole test suite, go vet, and the race detector over the
+# Developer entry points.  `make check` is what CI runs: a full build,
+# the whole test suite, go vet, the race detector over the
 # concurrency-heavy packages (the protocol core, the observability
-# counters, the transport decorators, and the party server).
+# counters, the transport decorators, and the party server), and the
+# protocol-safety lint suite (which subsumes the documentation checks).
 
 GO ?= go
 
-.PHONY: all build test vet race race-faults docs-check check bench bench-pipeline bench-cache experiments
+.PHONY: all build test vet race race-faults docs-check lint lint-fix-audit check bench bench-pipeline bench-cache experiments
 
 all: check
 
@@ -39,7 +40,18 @@ race-faults:
 docs-check:
 	$(GO) run ./cmd/docscheck
 
-check: build vet test race race-faults docs-check
+# Protocol-safety static analysis (internal/analysis): secretlog,
+# bigintalias, ctxflow, errclose and spanpair over the whole module,
+# with the documentation checks folded into the same exit code.
+lint:
+	$(GO) run ./cmd/psilint ./...
+
+# Inventory of every `lint:ignore` escape hatch in the tree, with the
+# mandatory reasons — review this when auditing suppressions.
+lint-fix-audit:
+	$(GO) run ./cmd/psilint -audit ./...
+
+check: build vet test race race-faults lint
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -1,6 +1,6 @@
-// Command docscheck is the repo's documentation lint, run by
-// `make docs-check` (and hence `make check`).  It enforces two
-// invariants that plain `go vet` does not:
+// Command docscheck is the standalone driver for the repo's
+// documentation lint (internal/analysis/docs), run by `make docs-check`.
+// It enforces two invariants that plain `go vet` does not:
 //
 //   - every exported top-level identifier in the internal/* packages
 //     carries a doc comment, so the wire-format and protocol references
@@ -9,20 +9,17 @@
 //     cross-references between README.md, DESIGN.md, EXPERIMENTS.md and
 //     the benchmark records cannot silently rot.
 //
-// It prints one line per violation and exits non-zero if any were
-// found.
+// Every violation is printed with its file:line before the nonzero
+// exit — a broken file never hides the rest of the findings.  The same
+// checks also run inside cmd/psilint, whose exit code folds doc and
+// lint findings into one `make check` pass.
 package main
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"net/url"
 	"os"
-	"path/filepath"
-	"strings"
+
+	"minshare/internal/analysis/docs"
 )
 
 func main() {
@@ -30,20 +27,11 @@ func main() {
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
-	var problems []string
-	p, err := checkGoDocs(filepath.Join(root, "internal"))
+	problems, err := docs.CheckAll(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "docscheck:", err)
 		os.Exit(2)
 	}
-	problems = append(problems, p...)
-	p, err = checkMarkdownLinks(root)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "docscheck:", err)
-		os.Exit(2)
-	}
-	problems = append(problems, p...)
-
 	for _, msg := range problems {
 		fmt.Println(msg)
 	}
@@ -52,191 +40,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("docscheck: ok")
-}
-
-// checkGoDocs walks every non-test Go file under dir and reports
-// exported top-level declarations without a doc comment.  Grouped
-// declarations (var/const blocks) are satisfied by a comment on either
-// the group or the individual spec, matching godoc's own resolution.
-func checkGoDocs(dir string) ([]string, error) {
-	var problems []string
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return err
-		}
-		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				// Methods count too: an exported method on an exported
-				// type is API surface.
-				if d.Name.IsExported() && d.Doc == nil && exportedReceiver(d) {
-					problems = append(problems, undocumented(fset, d.Pos(), d.Name.Name))
-				}
-			case *ast.GenDecl:
-				for _, spec := range d.Specs {
-					switch sp := spec.(type) {
-					case *ast.TypeSpec:
-						if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
-							problems = append(problems, undocumented(fset, sp.Pos(), sp.Name.Name))
-						}
-					case *ast.ValueSpec:
-						for _, name := range sp.Names {
-							if name.IsExported() && d.Doc == nil && sp.Doc == nil {
-								problems = append(problems, undocumented(fset, name.Pos(), name.Name))
-							}
-						}
-					}
-				}
-			}
-		}
-		return nil
-	})
-	return problems, err
-}
-
-// exportedReceiver reports whether fn is a plain function or a method
-// whose receiver type is itself exported — methods on unexported types
-// are not godoc surface.
-func exportedReceiver(fn *ast.FuncDecl) bool {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 {
-		return true
-	}
-	t := fn.Recv.List[0].Type
-	if star, ok := t.(*ast.StarExpr); ok {
-		t = star.X
-	}
-	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
-		t = idx.X
-	}
-	id, ok := t.(*ast.Ident)
-	return !ok || id.IsExported()
-}
-
-func undocumented(fset *token.FileSet, pos token.Pos, name string) string {
-	p := fset.Position(pos)
-	return fmt.Sprintf("%s:%d: exported %s has no doc comment", p.Filename, p.Line, name)
-}
-
-// checkMarkdownLinks resolves every [text](target) in the repo's
-// markdown files.  External schemes, pure fragments and mailto links
-// are skipped; everything else must name an existing file or directory
-// relative to the markdown file (a #fragment suffix is stripped first).
-func checkMarkdownLinks(root string) ([]string, error) {
-	var problems []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".md") {
-			return nil
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		for _, lk := range markdownLinks(string(data)) {
-			target := lk.target
-			if skipLink(target) {
-				continue
-			}
-			if i := strings.IndexByte(target, '#'); i >= 0 {
-				target = target[:i]
-			}
-			if target == "" {
-				continue
-			}
-			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
-			if _, err := os.Stat(resolved); err != nil {
-				problems = append(problems, fmt.Sprintf("%s:%d: broken link %q", path, lk.line, target))
-			}
-		}
-		return nil
-	})
-	return problems, err
-}
-
-// skipLink reports whether target points outside the repository.
-func skipLink(target string) bool {
-	if strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
-		return true
-	}
-	if u, err := url.Parse(target); err == nil && u.Scheme != "" {
-		return true
-	}
-	return false
-}
-
-// link is one inline markdown link occurrence.
-type link struct {
-	line   int
-	target string
-}
-
-// markdownLinks extracts every inline markdown link, skipping fenced
-// code blocks and inline code spans so shell examples like
-// `tbl[attr](x)` are not misread as links.
-func markdownLinks(text string) []link {
-	var links []link
-	inFence := false
-	for lineNo, line := range strings.Split(text, "\n") {
-		trimmed := strings.TrimSpace(line)
-		if strings.HasPrefix(trimmed, "```") {
-			inFence = !inFence
-			continue
-		}
-		if inFence {
-			continue
-		}
-		line = stripCodeSpans(line)
-		for i := 0; i < len(line); i++ {
-			if line[i] != ']' || i+1 >= len(line) || line[i+1] != '(' {
-				continue
-			}
-			end := strings.IndexByte(line[i+2:], ')')
-			if end < 0 {
-				continue
-			}
-			target := line[i+2 : i+2+end]
-			// Titles: [t](file.md "title")
-			if j := strings.IndexByte(target, ' '); j >= 0 {
-				target = target[:j]
-			}
-			if target != "" {
-				links = append(links, link{line: lineNo + 1, target: target})
-			}
-			i += 2 + end
-		}
-	}
-	return links
-}
-
-// stripCodeSpans blanks out `...` spans within one line.
-func stripCodeSpans(line string) string {
-	out := []byte(line)
-	in := false
-	for i := range out {
-		if out[i] == '`' {
-			in = !in
-			out[i] = ' '
-			continue
-		}
-		if in {
-			out[i] = ' '
-		}
-	}
-	return string(out)
 }

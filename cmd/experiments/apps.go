@@ -54,7 +54,7 @@ func runE3(env *environment) error {
 	cfg := core.Config{Group: env.group, Parallelism: env.usePar}
 	ctx := context.Background()
 	connR, connS := transport.Pipe()
-	defer connR.Close()
+	defer func() { _ = connR.Close() }()
 	meter := transport.NewMeter(connR)
 
 	start := time.Now()

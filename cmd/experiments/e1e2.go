@@ -153,17 +153,17 @@ func runProtocolPair(recvFn, sendFn func(ctx context.Context, conn transport.Con
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	connR, connS := transport.Pipe()
-	defer connR.Close()
+	defer func() { _ = connR.Close() }()
 	ch := make(chan error, 1)
 	go func() {
 		err := sendFn(ctx, connS)
 		if err != nil {
-			connS.Close()
+			connS.Close() // lint:ignore errclose closing is the failure signal to the receiver; the root cause travels on ch
 		}
 		ch <- err
 	}()
 	if err := recvFn(ctx, connR); err != nil {
-		connR.Close()
+		connR.Close() // lint:ignore errclose closing is the failure signal to the sender goroutine; the recv error carries the root cause
 		<-ch
 		return fmt.Errorf("receiver: %w", err)
 	}
@@ -178,18 +178,18 @@ func runMeteredReceiver(recvFn, sendFn func(ctx context.Context, conn transport.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	connR, connS := transport.Pipe()
-	defer connR.Close()
+	defer func() { _ = connR.Close() }()
 	meter := transport.NewMeter(connR)
 	ch := make(chan error, 1)
 	go func() {
 		err := sendFn(ctx, connS)
 		if err != nil {
-			connS.Close()
+			connS.Close() // lint:ignore errclose closing is the failure signal to the receiver; the root cause travels on ch
 		}
 		ch <- err
 	}()
 	if err := recvFn(ctx, meter); err != nil {
-		connR.Close()
+		connR.Close() // lint:ignore errclose closing is the failure signal to the sender goroutine; the recv error carries the root cause
 		<-ch
 		return nil, fmt.Errorf("receiver: %w", err)
 	}

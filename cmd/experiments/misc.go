@@ -89,7 +89,7 @@ func runE9(env *environment) error {
 		}
 		yaoWall := time.Since(start)
 		yaoBytes := meter.TotalBytes()
-		connG.Close()
+		_ = connG.Close()
 
 		members := 0
 		for _, m := range res.Members {

@@ -75,7 +75,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 
 	switch *proto {
 	case "intersection":
@@ -99,7 +99,7 @@ func establish(ctx context.Context, listen, connect string) (transport.Conn, err
 	if err != nil {
 		return nil, err
 	}
-	defer ln.Close()
+	defer func() { _ = ln.Close() }()
 	fmt.Fprintf(os.Stderr, "psi: listening on %s\n", ln.Addr())
 	type res struct {
 		c   net.Conn

@@ -193,7 +193,7 @@ func run() error {
 		dsrv := &http.Server{Handler: reg.DebugMux()}
 		go func() {
 			<-ctx.Done()
-			dsrv.Close()
+			dsrv.Close() // lint:ignore errclose close is the shutdown signal; Serve reports anything beyond ErrServerClosed
 		}()
 		go func() {
 			if err := dsrv.Serve(dln); err != nil && err != http.ErrServerClosed {

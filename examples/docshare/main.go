@@ -51,7 +51,7 @@ func main() {
 	const tau = 0.05
 
 	connR, connS := transport.Pipe()
-	defer connR.Close()
+	defer func() { _ = connR.Close() }()
 	ctx := context.Background()
 
 	errCh := make(chan error, 1)

@@ -53,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ln.Close()
+	defer func() { _ = ln.Close() }()
 	addr := ln.Addr().String()
 	fmt.Printf("sender enterprise listening on %s\n", addr)
 
@@ -66,7 +66,7 @@ func main() {
 			return
 		}
 		conn := transport.NewTCP(nc)
-		defer conn.Close()
+		defer func() { _ = conn.Close() }()
 
 		values, exts, err := orders.ExtPayloads("customer")
 		if err != nil {
@@ -89,7 +89,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	res, err := minshare.EquijoinReceiver(context.Background(), cfg, conn, customers)
 	if err != nil {
 		log.Fatal(err)

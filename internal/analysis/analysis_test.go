@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Each analyzer is exercised against its fixture package through the
+// // want harness: every reported diagnostic must be expected, every
+// expectation must fire.  The fixtures import the real commutative,
+// obs and transport packages, so these tests also prove the loader
+// type-checks the genuine module tree with the stdlib-only importer.
+
+func TestSecretLog(t *testing.T) {
+	runFixture(t, []*Analyzer{SecretLog}, "fixture/secretlog")
+}
+
+func TestBigIntAlias(t *testing.T) {
+	runFixture(t, []*Analyzer{BigIntAlias}, "fixture/bigintalias")
+}
+
+func TestCtxFlow(t *testing.T) {
+	runFixture(t, []*Analyzer{CtxFlow}, "fixture/ctxflow")
+}
+
+func TestCtxFlowGoroutines(t *testing.T) {
+	runFixture(t, []*Analyzer{CtxFlow}, "fixture/ctxflow/internal/core")
+}
+
+func TestErrClose(t *testing.T) {
+	runFixture(t, []*Analyzer{ErrClose}, "fixture/errclose")
+}
+
+func TestSpanPair(t *testing.T) {
+	runFixture(t, []*Analyzer{SpanPair}, "fixture/spanpair")
+}
+
+// TestIgnoreDirectives proves the escape hatch: suppression on the
+// same line and the line above, no suppression for a mismatched
+// analyzer, and malformed directives surfacing as findings.
+func TestIgnoreDirectives(t *testing.T) {
+	runFixture(t, Suite(), "fixture/ignored")
+}
+
+// TestAudit checks the lint-fix-audit inventory: every directive in
+// the fixtures is listed with its position and reason.
+func TestAudit(t *testing.T) {
+	pkg := loadFixture(t, "fixture/ignored")
+	recs := Audit([]*Package{pkg})
+	if len(recs) != 3 {
+		t.Fatalf("Audit returned %d records, want 3:\n%v", len(recs), recs)
+	}
+	for _, rec := range recs {
+		if rec.Reason == "" {
+			t.Errorf("record %v has an empty reason", rec)
+		}
+		if !strings.HasSuffix(rec.Pos.Filename, "ignored.go") || rec.Pos.Line == 0 {
+			t.Errorf("record %v lacks a file:line address", rec)
+		}
+	}
+	if recs[0].Analyzer != "secretlog" {
+		t.Errorf("first record analyzer = %q, want secretlog", recs[0].Analyzer)
+	}
+}
+
+// TestExpand checks the ./... pattern expansion skips testdata and maps
+// directories to import paths.
+func TestExpand(t *testing.T) {
+	l := NewLoader()
+	mod, err := l.AddModuleFromGoMod(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		mod:                        false, // root package
+		mod + "/internal/core":     false,
+		mod + "/internal/analysis": false,
+		mod + "/cmd/psilint":       false,
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("Expand included a testdata package: %s", p)
+		}
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, found := range want {
+		if !found {
+			t.Errorf("Expand missed %s (got %d paths)", p, len(paths))
+		}
+	}
+}
+
+// TestSuiteOnRealTree runs the full suite over the repo's protocol
+// packages and requires zero findings: the tree itself is the largest
+// negative fixture, and any regression (a logged key, a dropped ctx, an
+// unchecked transport Close) fails here with its file:line.
+func TestSuiteOnRealTree(t *testing.T) {
+	l := NewLoader()
+	if _, err := l.AddModuleFromGoMod(filepath.Join("..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.LoadPath(p)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, d := range Run(pkgs, Suite()) {
+		t.Errorf("unexpected finding in the real tree:\n  %s", d)
+	}
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Analyzer is one invariant checker.  Run inspects a single
+// type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in the
+	// suppression directives ("lint:ignore <name> <reason>").
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) execution and collects its
+// findings.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suite returns the repo's protocol-safety analyzers in reporting
+// order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		SecretLog,
+		BigIntAlias,
+		CtxFlow,
+		ErrClose,
+		SpanPair,
+	}
+}
+
+// Run executes every analyzer over every package, applies the
+// "lint:ignore" suppressions, and returns the surviving findings
+// sorted by position.  Malformed directives are returned as findings
+// themselves.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, bad := collectIgnores(pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !suppressed(d, dirs) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// inspect walks every file of the pass's package in source order,
+// calling fn for each node; fn returning false prunes the subtree.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// CtxFlow reports broken context propagation.
+//
+// Every protocol phase must remain cancellable end to end: the PR 3
+// session-lifecycle work (DESIGN §9) depends on ctx reaching every
+// blocking callee, and a single context.Background() in the chain
+// reopens the stalled-peer resource pin the paper's deployment story
+// cannot tolerate.  Two rules:
+//
+//  1. everywhere: a function that receives a context.Context must pass
+//     a context to every callee that accepts one — handing a callee
+//     context.Background() or context.TODO() while a ctx is in scope
+//     drops cancellation.  Intentional detachment must go through
+//     context.WithoutCancel(ctx), which keeps values and stays
+//     auditable;
+//  2. in the protocol packages (internal/party, internal/core,
+//     internal/transport): every `go func` literal must reference a
+//     context or a done channel (chan struct{}), so no protocol
+//     goroutine can outlive its session.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "ctx must flow to every context-accepting callee; protocol " +
+		"goroutines must observe cancellation",
+	Run: runCtxFlow,
+}
+
+// ctxGoroutinePkgs matches the import paths whose goroutines must
+// observe cancellation (rule 2).
+var ctxGoroutinePkgs = regexp.MustCompile(`(^|/)internal/(party|core|transport)($|/)`)
+
+func runCtxFlow(pass *Pass) {
+	restricted := ctxGoroutinePkgs.MatchString(pass.Pkg.Path)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var sig *types.Signature
+			if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				sig, _ = obj.Type().(*types.Signature)
+			}
+			ctxAvail := sig != nil && contextParam(sig) >= 0
+			walkCtxFlow(pass, fd.Body, ctxAvail, restricted)
+		}
+	}
+}
+
+// walkCtxFlow traverses one function body.  ctxAvail records whether
+// the enclosing function (or a lexical ancestor — closures capture)
+// receives a context.
+func walkCtxFlow(pass *Pass, body *ast.BlockStmt, ctxAvail, restricted bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := ctxAvail
+			if sig, ok := types.Unalias(pass.Pkg.Info.TypeOf(n.Type)).(*types.Signature); ok {
+				lit = lit || contextParam(sig) >= 0
+			}
+			walkCtxFlow(pass, n.Body, lit, restricted)
+			return false // handled recursively
+		case *ast.GoStmt:
+			if restricted {
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && !observesCancellation(pass, lit) {
+					pass.Reportf(n.Pos(),
+						"goroutine does not observe cancellation — reference a ctx or a done channel so a stalled peer cannot pin it")
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if ctxAvail {
+				checkCtxArg(pass, n)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// checkCtxArg flags a context-accepting call whose context argument is
+// context.Background() or context.TODO() while the caller has a ctx.
+func checkCtxArg(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.Pkg, call)
+	if f == nil {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	idx := contextParam(sig)
+	if idx < 0 || idx >= len(call.Args) {
+		return
+	}
+	arg, ok := ast.Unparen(call.Args[idx]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	af := calleeFunc(pass.Pkg, arg)
+	if af == nil || funcPkgPath(af) != "context" {
+		return
+	}
+	if name := af.Name(); name == "Background" || name == "TODO" {
+		pass.Reportf(call.Args[idx].Pos(),
+			"context.%s() passed to %s while the caller receives a ctx — pass it on, or detach explicitly with context.WithoutCancel",
+			name, f.Name())
+	}
+}
+
+// observesCancellation reports whether the goroutine body references a
+// context or a struct{}-channel (done channel) — directly or through a
+// field or call result.
+func observesCancellation(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		t := typeOf(pass.Pkg, e)
+		if t == nil {
+			return true
+		}
+		if isContextType(t) {
+			found = true
+			return false
+		}
+		if ch, ok := types.Unalias(t).(*types.Chan); ok {
+			if st, ok := types.Unalias(ch.Elem()).(*types.Struct); ok && st.NumFields() == 0 {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, addressed to a source position.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the analyzer that produced the finding (or the
+	// pseudo-analyzer "ignore" for malformed suppression directives).
+	Analyzer string
+	// Message describes the violated invariant at this site.
+	Message string
+}
+
+// String renders the canonical "file:line: analyzer: message" form the
+// driver prints and the // want harness matches against.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer — the
+// stable order the driver prints and tests assert on.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ignoreDirective is the parsed form of one
+// "// lint:ignore <analyzer> <reason>" comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// IgnoreRecord is one suppression surfaced by Audit — the reviewable
+// inventory behind `make lint-fix-audit`.
+type IgnoreRecord struct {
+	// Pos is where the directive appears.
+	Pos token.Position
+	// Analyzer is the analyzer being suppressed.
+	Analyzer string
+	// Reason is the mandatory justification recorded in the directive.
+	Reason string
+}
+
+// String renders the audit line form: "file:line: analyzer: reason".
+func (r IgnoreRecord) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", r.Pos.Filename, r.Pos.Line, r.Analyzer, r.Reason)
+}
+
+// directivePrefix introduces a suppression comment.  The directive
+// grammar is "lint:ignore <analyzer> <reason...>"; the reason is
+// mandatory, so an unexplained suppression is itself a finding.
+const directivePrefix = "lint:ignore"
+
+// collectIgnores parses every lint:ignore directive in the package.
+// Malformed directives (no analyzer, or no reason) are returned as
+// diagnostics under the pseudo-analyzer "ignore" — they never suppress
+// anything.  A comment followed by another comment of the same group
+// on a later line is a continuation line inside a comment block: it
+// sits above prose, not code, so it can never act as a directive and
+// is not parsed as one.
+func collectIgnores(pkg *Package) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for i, c := range cg.List {
+				if i+1 < len(cg.List) &&
+					pkg.Fset.Position(cg.List[i+1].Pos()).Line > pkg.Fset.Position(c.End()).Line {
+					continue
+				}
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignore",
+						Message:  "malformed lint:ignore directive: want \"lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{
+					pos:      pos,
+					analyzer: fields[0],
+					reason:   strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether d is covered by a directive for its
+// analyzer on the same line or the line directly above, in the same
+// file.
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.analyzer != d.Analyzer && dir.analyzer != "all" {
+			continue
+		}
+		if dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Audit lists every lint:ignore directive in pkgs, in source order —
+// the `psilint -audit` inventory that keeps suppressions reviewable.
+func Audit(pkgs []*Package) []IgnoreRecord {
+	var recs []IgnoreRecord
+	for _, pkg := range pkgs {
+		dirs, _ := collectIgnores(pkg)
+		for _, dir := range dirs {
+			recs = append(recs, IgnoreRecord{Pos: dir.pos, Analyzer: dir.analyzer, Reason: dir.reason})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return recs
+}
+
+// wantPattern matches the "// want `regexp`" and "// want \"regexp\""
+// expectation comments the fixture harness consumes.  It lives here
+// (rather than in the test harness) so fixtures and directives share
+// one comment-scanning pass; see harness_test.go.
+func wantPattern(c *ast.Comment) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return "", false
+	}
+	pat := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	if len(pat) >= 2 && (pat[0] == '`' || pat[0] == '"') && pat[len(pat)-1] == pat[0] {
+		return pat[1 : len(pat)-1], true
+	}
+	return "", false
+}

@@ -1,0 +1,28 @@
+// Package analysis is a from-scratch static-analysis framework that
+// mechanically enforces the repo's protocol-safety invariants — the
+// implementation assumptions behind the paper's security argument (§5,
+// Lemmas 1–3) that Go's type system cannot see.
+//
+// It is deliberately built on nothing but the standard library
+// (go/parser, go/ast, go/types): the repo's stdlib-only rule applies to
+// its tooling too, so there is no golang.org/x/tools dependency.  The
+// pieces:
+//
+//   - a Loader that parses and type-checks the module's packages with a
+//     source-level importer (module-local imports are resolved and
+//     checked recursively; standard-library imports fall back to the
+//     toolchain's export data, then to type-checking GOROOT sources);
+//   - an Analyzer / Pass / Diagnostic model: each analyzer inspects one
+//     type-checked package and reports findings as
+//     "file:line: analyzer: message";
+//   - a "// lint:ignore <analyzer> <reason>" escape hatch, honoured on
+//     the flagged line or the line directly above it, with the reason
+//     mandatory so every suppression stays reviewable (see Audit);
+//   - the domain analyzers themselves: secretlog, bigintalias, ctxflow,
+//     errclose and spanpair (one file each, see their Doc strings).
+//
+// The cmd/psilint driver runs the whole suite over ./... and exits
+// nonzero on any finding; `make lint` (part of `make check`) is the
+// gate.  Fixture packages under testdata/src exercise every analyzer
+// through the // want harness in harness_test.go.
+package analysis

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrClose reports discarded errors from Send, Close and Flush on wire,
+// transport and net-layer types.
+//
+// A swallowed transport error is how a truncated protocol transcript
+// masquerades as success: a Close that fails to flush the final frame,
+// a Send whose peer hung up, a TLS shutdown that never completed.  The
+// wire-format strictness rules (DESIGN §10.6) assume every framing
+// failure surfaces.  The analyzer flags expression, go and defer
+// statements that drop such an error; assigning to the blank
+// identifier (`_ = conn.Close()`) is accepted as an explicit,
+// greppable discard, and genuinely intended drops can carry an
+// ignore directive with the reason.
+var ErrClose = &Analyzer{
+	Name: "errclose",
+	Doc: "errors from Send/Close/Flush on wire/transport/net types must " +
+		"be checked or explicitly discarded",
+	Run: runErrClose,
+}
+
+// errClosePkgs are the packages whose Send/Close/Flush failures carry
+// protocol meaning.
+var errClosePkgs = map[string]bool{
+	"minshare/internal/transport": true,
+	"minshare/internal/wire":      true,
+	"minshare/internal/party":     true,
+	"net":                         true,
+	"net/http":                    true,
+	"crypto/tls":                  true,
+	"bufio":                       true,
+}
+
+// errCloseMethods are the checked method names.
+var errCloseMethods = map[string]bool{"Send": true, "Close": true, "Flush": true}
+
+func runErrClose(pass *Pass) {
+	check := func(call *ast.CallExpr, how string) {
+		f := calleeFunc(pass.Pkg, call)
+		if f == nil || !errCloseMethods[f.Name()] {
+			return
+		}
+		pkgPath, recv, ok := recvNamed(f)
+		if !ok || !errClosePkgs[pkgPath] {
+			return
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			return
+		}
+		last := sig.Results().At(sig.Results().Len() - 1).Type()
+		if !isNamedType(last, "", "error") {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s error from (%s).%s is discarded — check it or discard explicitly with _ =",
+			how, recv, f.Name())
+	}
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				check(call, "unchecked")
+			}
+		case *ast.GoStmt:
+			check(n.Call, "goroutine-discarded")
+		case *ast.DeferStmt:
+			check(n.Call, "deferred")
+		}
+		return true
+	})
+}

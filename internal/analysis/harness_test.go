@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// fixtureModule is the import-path root under which the fixture
+// packages in testdata/src live.
+const fixtureModule = "fixture"
+
+// loadFixture type-checks one fixture package.  The real repo module is
+// registered too, so fixtures can import the actual commutative, obs
+// and transport packages and exercise the analyzers against the genuine
+// types.
+func loadFixture(t *testing.T, pkgPath string) *Package {
+	t.Helper()
+	l := NewLoader()
+	if _, err := l.AddModuleFromGoMod(filepath.Join("..", "..")); err != nil {
+		t.Fatalf("registering repo module: %v", err)
+	}
+	l.AddModule(fixtureModule, filepath.Join("testdata", "src"))
+	pkg, err := l.LoadPath(pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	return pkg
+}
+
+// runFixture runs the analyzers over a fixture package and checks its
+// findings against the package's // want "regexp" comments: every
+// diagnostic must be expected by a want on its line, and every want
+// must be matched by a diagnostic.  Patterns match against
+// "analyzer: message".
+func runFixture(t *testing.T, analyzers []*Analyzer, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, pkgPath)
+	diags := Run([]*Package{pkg}, analyzers)
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pat, ok := wantPattern(c)
+				if !ok {
+					continue
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		text := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(text) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected a diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, the unit every
+// analyzer runs over.
+type Package struct {
+	// Path is the import path (module path + directory suffix).
+	Path string
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Fset is the file set all Files positions resolve through.
+	Fset *token.FileSet
+	// Files are the package's non-test source files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression/object tables.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages using only the standard
+// library.  Module-local import paths (those under a root registered in
+// Modules) are resolved to directories and type-checked recursively;
+// anything else is treated as a standard-library import and resolved
+// through the toolchain's export data, falling back to type-checking
+// the GOROOT sources when no export data is available.
+type Loader struct {
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+	// Modules maps a module path (e.g. "minshare") to its root
+	// directory.  Tests register an extra fixture module here.
+	Modules map[string]string
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	gc      types.Importer
+	src     types.Importer
+}
+
+// NewLoader returns an empty loader.  Register at least one module with
+// AddModule before loading.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Modules: make(map[string]string),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		gc:      importer.ForCompiler(fset, "gc", nil),
+		src:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// AddModule registers a module root: import paths equal to path or
+// starting with path+"/" resolve under dir.
+func (l *Loader) AddModule(path, dir string) {
+	l.Modules[path] = dir
+}
+
+// AddModuleFromGoMod reads the module path from dir/go.mod and
+// registers dir under it, returning the module path.
+func (l *Loader) AddModuleFromGoMod(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			mod := strings.TrimSpace(rest)
+			if mod == "" {
+				break
+			}
+			l.AddModule(mod, dir)
+			return mod, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// moduleFor resolves an import path against the registered modules,
+// returning the source directory.  Longest module path wins, so a
+// fixture module nested inside the repo shadows the repo for its own
+// subtree.
+func (l *Loader) moduleFor(path string) (dir string, ok bool) {
+	best := ""
+	for mod, root := range l.Modules {
+		if path != mod && !strings.HasPrefix(path, mod+"/") {
+			continue
+		}
+		if len(mod) > len(best) {
+			best = mod
+			dir = filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, mod), "/")))
+		}
+	}
+	return dir, best != ""
+}
+
+// Import implements types.Importer: it is handed to the type-checker so
+// the dependencies of a module-local package resolve back through the
+// loader itself.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.moduleFor(path); ok {
+		pkg, err := l.LoadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.gc.Import(path); err == nil {
+		return pkg, nil
+	}
+	// No export data (e.g. a toolchain without precompiled stdlib):
+	// type-check the GOROOT sources instead.
+	return l.src.Import(path)
+}
+
+// LoadPath loads the package with the given module-local import path,
+// parsing and type-checking it (and, transitively, every module-local
+// package it imports).  Results are cached per loader.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.moduleFor(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s is not under a registered module", path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, checkErr := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w (and %d more)", path, typeErrs[0], len(typeErrs)-1)
+	}
+	if checkErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, checkErr)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file in dir, with comments, in
+// deterministic (sorted) order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Expand turns a package pattern into import paths.  Supported forms,
+// matching the go tool's: an import path or "./dir" for one package,
+// and "./..." or "dir/..." for every package under a directory tree.
+// Directories named testdata, hidden directories, and directories
+// without non-test Go files are skipped.
+func (l *Loader) Expand(root, pattern string) ([]string, error) {
+	base := root
+	rest := pattern
+	if strings.HasPrefix(rest, "./") {
+		rest = strings.TrimPrefix(rest, "./")
+	}
+	recursive := false
+	if rest == "..." {
+		recursive, rest = true, ""
+	} else if strings.HasSuffix(rest, "/...") {
+		recursive, rest = true, strings.TrimSuffix(rest, "/...")
+	}
+	dir := filepath.Join(base, filepath.FromSlash(rest))
+	if !recursive {
+		path, err := l.pathForDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return []string{path}, nil
+	}
+	var paths []string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		path, perr := l.pathForDir(filepath.Dir(p))
+		if perr != nil {
+			return perr
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != path {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: expanding %s: %w", pattern, err)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// pathForDir maps an on-disk directory back to its import path via the
+// registered modules.
+func (l *Loader) pathForDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	best, bestPath := -1, ""
+	for mod, root := range l.Modules {
+		rootAbs, err := filepath.Abs(root)
+		if err != nil {
+			continue
+		}
+		rel, err := filepath.Rel(rootAbs, abs)
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			continue
+		}
+		if len(rootAbs) > best {
+			best = len(rootAbs)
+			if rel == "." {
+				bestPath = mod
+			} else {
+				bestPath = mod + "/" + filepath.ToSlash(rel)
+			}
+		}
+	}
+	if best < 0 {
+		return "", fmt.Errorf("analysis: %s is not under a registered module", dir)
+	}
+	return bestPath, nil
+}

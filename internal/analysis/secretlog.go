@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// commutativePath is the package whose types carry key material.
+const commutativePath = "minshare/internal/commutative"
+
+// SecretLog reports key material reaching a formatting or logging sink.
+//
+// The paper's security proofs (§5, Lemmas 1–3) model the commutative
+// key e as known only to its party for the lifetime of the process; a
+// key that leaks into a log line, an error string or a panic message
+// breaks that model outside the protocol transcript entirely.  The
+// analyzer therefore rejects any argument to the fmt print family, the
+// log and log/slog packages, or error formatting whose value is — or
+// contains — a commutative.Key or a commutative.CachedSet (whose pinned
+// key and ciphertext ordering are both sensitive), as well as raw
+// exponents obtained from Key.Exponent or from a Key's fields.
+var SecretLog = &Analyzer{
+	Name: "secretlog",
+	Doc: "no commutative.Key, raw exponent, or CachedSet value may reach " +
+		"fmt/log/slog formatting or error strings",
+	Run: runSecretLog,
+}
+
+func runSecretLog(pass *Pass) {
+	pass.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.Pkg, call)
+		if f == nil || !isFormattingSink(f) {
+			return true
+		}
+		for i, arg := range call.Args {
+			if desc := secretDesc(pass.Pkg, arg); desc != "" {
+				pass.Reportf(arg.Pos(),
+					"argument %d of %s carries %s — secrets must never reach logs or error strings",
+					i+1, sinkName(f), desc)
+			}
+		}
+		return true
+	})
+}
+
+// isFormattingSink reports whether f renders its arguments into text:
+// the fmt print/format family (including Errorf), everything in log,
+// and the log/slog call surface.
+func isFormattingSink(f *types.Func) bool {
+	switch funcPkgPath(f) {
+	case "fmt":
+		name := f.Name()
+		return strings.HasPrefix(name, "Print") ||
+			strings.HasPrefix(name, "Sprint") ||
+			strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Append") ||
+			name == "Errorf"
+	case "log", "log/slog":
+		return true
+	}
+	return false
+}
+
+// sinkName renders the sink for diagnostics: "fmt.Errorf",
+// "slog.Info", "(*log.Logger).Printf", …
+func sinkName(f *types.Func) string {
+	if pkgPath, recv, ok := recvNamed(f); ok {
+		short := pkgPath[strings.LastIndexByte(pkgPath, '/')+1:]
+		return "(*" + short + "." + recv + ")." + f.Name()
+	}
+	path := funcPkgPath(f)
+	return path[strings.LastIndexByte(path, '/')+1:] + "." + f.Name()
+}
+
+// secretDesc classifies an argument expression as secret-bearing,
+// returning a human description, or "" when it is safe.
+func secretDesc(pkg *Package, arg ast.Expr) string {
+	arg = ast.Unparen(arg)
+	// A raw exponent escaping through Key.Exponent().
+	if call, ok := arg.(*ast.CallExpr); ok {
+		if f := calleeFunc(pkg, call); f != nil && f.Name() == "Exponent" {
+			if p, r, ok := recvNamed(f); ok && p == commutativePath && r == "Key" {
+				return "a raw key exponent (commutative.Key.Exponent)"
+			}
+		}
+	}
+	// A field read off a Key or CachedSet (possible inside the
+	// commutative package itself, where the unexported fields are
+	// visible).
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if t := typeOf(pkg, sel.X); t != nil {
+			if isNamedType(t, commutativePath, "Key") {
+				return "a commutative.Key field"
+			}
+			if isNamedType(t, commutativePath, "CachedSet") {
+				return "a commutative.CachedSet field"
+			}
+		}
+	}
+	if t := typeOf(pkg, arg); t != nil {
+		if name := secretType(t, make(map[types.Type]bool)); name != "" {
+			return "a value of (or containing) " + name
+		}
+	}
+	return ""
+}
+
+// secretType walks t's structure and returns the name of the first
+// embedded secret-bearing named type, or "".
+func secretType(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if p, n, ok := namedOf(t); ok && p == commutativePath && (n == "Key" || n == "CachedSet") {
+		return "commutative." + n
+	}
+	switch u := types.Unalias(t).(type) {
+	case *types.Pointer:
+		return secretType(u.Elem(), seen)
+	case *types.Slice:
+		return secretType(u.Elem(), seen)
+	case *types.Array:
+		return secretType(u.Elem(), seen)
+	case *types.Map:
+		if s := secretType(u.Key(), seen); s != "" {
+			return s
+		}
+		return secretType(u.Elem(), seen)
+	case *types.Chan:
+		return secretType(u.Elem(), seen)
+	case *types.Named:
+		return secretType(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := secretType(u.Field(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,330 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanPair reports obs spans that are not ended on every return path.
+//
+// The observability contract (DESIGN §7) is that every phase span
+// begun on a path is ended on all paths leaving it: a span left open
+// keeps reporting a running duration, skews the per-phase census the
+// §6.1 cost cross-checks read, and — for session roots — delays the
+// freeze of every child span.  The analyzer tracks each variable
+// assigned from obs.StartSpan or Span.StartChild through the enclosing
+// function with a structural path walk (if/else, switch, select,
+// loops) and reports returns, reassignments and function exits where
+// the span is still open.  A `defer sp.End()` ends the span on every
+// exit; spans handed to other functions or stored in fields are not
+// tracked.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "every obs span begun on a path must be ended on all return paths",
+	Run:  runSpanPair,
+}
+
+// obsPath is the observability package that owns Span.
+const obsPath = "minshare/internal/obs"
+
+// spanStatus is the per-track state threaded through the path walk.
+// Larger values dominate when branches merge.
+type spanStatus int
+
+const (
+	spanInactive spanStatus = iota // before the start site
+	spanDone                       // tracking resolved (reassigned after End)
+	spanEnded                      // End called (or defer-End armed)
+	spanActive                     // started, not yet ended
+)
+
+// spanTrack is one StartSpan/StartChild site bound to a local variable.
+type spanTrack struct {
+	obj  types.Object
+	name string // variable name, for diagnostics
+	pos  token.Position
+}
+
+// spanState maps every track discovered so far to its status on the
+// current path.
+type spanState map[*spanTrack]spanStatus
+
+func (st spanState) clone() spanState {
+	c := make(spanState, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeInto folds other into st, per track, keeping the dominant
+// status (active > ended > done > inactive).
+func (st spanState) mergeInto(other spanState) {
+	for k, v := range other {
+		if v > st[k] {
+			st[k] = v
+		}
+	}
+}
+
+func runSpanPair(pass *Pass) {
+	pass.funcBodies(func(body *ast.BlockStmt, _ *types.Signature) {
+		w := &spanWalker{pass: pass}
+		st, terminated := w.execList(body.List, spanState{})
+		if !terminated {
+			for tr, status := range st {
+				if status == spanActive {
+					pass.Reportf(body.Rbrace,
+						"span %s (started at %s:%d) is still open when the function returns",
+						tr.name, tr.pos.Filename, tr.pos.Line)
+				}
+			}
+		}
+	})
+}
+
+// spanWalker performs the structural path analysis over one function
+// body.  Nested function literals are skipped: funcBodies hands each
+// literal to its own walker.
+type spanWalker struct {
+	pass *Pass
+}
+
+// execList executes a statement list, returning the fall-through state
+// and whether every path through the list terminated (returned).
+func (w *spanWalker) execList(stmts []ast.Stmt, st spanState) (spanState, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		st, terminated = w.exec(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *spanWalker) exec(stmt ast.Stmt, st spanState) (spanState, bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		return w.execAssign(s, st), false
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if obj := w.endTarget(call); obj != nil {
+				w.setStatus(st, obj, spanActive, spanEnded)
+			} else if w.isStartCall(call) {
+				w.pass.Reportf(s.Pos(), "span result discarded — it can never be ended")
+			}
+		}
+		return st, false
+
+	case *ast.DeferStmt:
+		if obj := w.endTarget(s.Call); obj != nil {
+			w.setStatus(st, obj, spanActive, spanEnded)
+		} else if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// defer func() { ...; sp.End(); ... }()
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if obj := w.endTarget(call); obj != nil {
+						w.setStatus(st, obj, spanActive, spanEnded)
+					}
+				}
+				return true
+			})
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		for tr, status := range st {
+			if status == spanActive {
+				w.pass.Reportf(s.Pos(),
+					"span %s (started at %s:%d) is not ended on this return path",
+					tr.name, tr.pos.Filename, tr.pos.Line)
+				st[tr] = spanDone // one report per path suffices
+			}
+		}
+		return st, true
+
+	case *ast.BlockStmt:
+		return w.execList(s.List, st)
+
+	case *ast.LabeledStmt:
+		return w.exec(s.Stmt, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.exec(s.Init, st)
+		}
+		thenSt, thenTerm := w.execList(s.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.exec(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return thenSt, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			thenSt.mergeInto(elseSt)
+			return thenSt, false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.exec(s.Init, st)
+		}
+		// The body may run zero times: analyze it for violations, then
+		// merge its exit state with the entry state.
+		bodySt, _ := w.execList(s.Body.List, st.clone())
+		st.mergeInto(bodySt)
+		return st, false
+
+	case *ast.RangeStmt:
+		bodySt, _ := w.execList(s.Body.List, st.clone())
+		st.mergeInto(bodySt)
+		return st, false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.execClauses(s, st)
+
+	default:
+		return st, false
+	}
+}
+
+// execClauses handles switch, type-switch and select uniformly.
+func (w *spanWalker) execClauses(stmt ast.Stmt, st spanState) (spanState, bool) {
+	var body *ast.BlockStmt
+	exhaustive := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.exec(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.exec(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		exhaustive = len(s.Body.List) > 0 // some clause always runs
+	}
+	merged := spanState{}
+	allTerm := true
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				exhaustive = true // default clause
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		cSt, cTerm := w.execList(stmts, st.clone())
+		if !cTerm {
+			allTerm = false
+			merged.mergeInto(cSt)
+		}
+	}
+	if exhaustive && allTerm && len(body.List) > 0 {
+		return st, true
+	}
+	if !exhaustive {
+		merged.mergeInto(st) // the no-clause-matched path
+	}
+	return merged, false
+}
+
+// execAssign processes starts, reassignments and discards.
+func (w *spanWalker) execAssign(s *ast.AssignStmt, st spanState) spanState {
+	if len(s.Lhs) != len(s.Rhs) {
+		return st
+	}
+	for i, rhs := range s.Rhs {
+		call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+		start := isCall && w.isStartCall(call)
+		lhs, isIdent := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+
+		if start && (!isIdent || lhs.Name == "_") {
+			w.pass.Reportf(rhs.Pos(), "span result discarded — it can never be ended")
+			continue
+		}
+		if !isIdent {
+			continue
+		}
+		obj := exprObj(w.pass.Pkg, lhs)
+		if obj == nil {
+			continue
+		}
+		// Any assignment to a tracked variable resolves its current
+		// track: an open span is leaked by the overwrite.
+		for tr, status := range st {
+			if tr.obj != obj {
+				continue
+			}
+			if status == spanActive {
+				w.pass.Reportf(s.Pos(),
+					"span %s (started at %s:%d) is overwritten before End — the open span can never be ended",
+					tr.name, tr.pos.Filename, tr.pos.Line)
+			}
+			if status == spanActive || status == spanEnded {
+				st[tr] = spanDone
+			}
+		}
+		if start {
+			tr := &spanTrack{obj: obj, name: lhs.Name, pos: w.pass.Pkg.Fset.Position(rhs.Pos())}
+			st[tr] = spanActive
+		}
+	}
+	return st
+}
+
+// setStatus moves every track of obj currently in from to to.
+func (w *spanWalker) setStatus(st spanState, obj types.Object, from, to spanStatus) {
+	for tr, status := range st {
+		if tr.obj == obj && status == from {
+			st[tr] = to
+		}
+	}
+}
+
+// isStartCall reports whether call is obs.StartSpan or Span.StartChild.
+func (w *spanWalker) isStartCall(call *ast.CallExpr) bool {
+	f := calleeFunc(w.pass.Pkg, call)
+	if f == nil {
+		return false
+	}
+	switch f.Name() {
+	case "StartSpan":
+		return funcPkgPath(f) == obsPath
+	case "StartChild":
+		p, r, ok := recvNamed(f)
+		return ok && p == obsPath && r == "Span"
+	}
+	return false
+}
+
+// endTarget returns the local variable whose End method call this is,
+// or nil (non-End calls, or End on a non-identifier receiver).
+func (w *spanWalker) endTarget(call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	f := calleeFunc(w.pass.Pkg, call)
+	if f == nil {
+		return nil
+	}
+	if p, r, ok := recvNamed(f); !ok || p != obsPath || r != "Span" {
+		return nil
+	}
+	return exprObj(w.pass.Pkg, sel.X)
+}

@@ -1,0 +1,48 @@
+// Package ctxflow is the fixture for the ctxflow context-propagation
+// rule: a function holding a ctx must not hand callees a fresh
+// Background/TODO context.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func callee(ctx context.Context) error { return ctx.Err() }
+
+func drops(ctx context.Context) error {
+	return callee(context.Background()) // want `ctxflow: context\.Background\(\) passed to callee`
+}
+
+func todoDrops(ctx context.Context) error {
+	return callee(context.TODO()) // want `ctxflow: context\.TODO\(\) passed to callee`
+}
+
+func dropsInClosure(ctx context.Context) func() error {
+	// The closure lexically captures ctx, so it counts as receiving one.
+	return func() error {
+		return callee(context.Background()) // want `ctxflow: context\.Background\(\)`
+	}
+}
+
+func passes(ctx context.Context) error {
+	return callee(ctx)
+}
+
+func derived(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return callee(c)
+}
+
+func detachedForDrain(ctx context.Context) error {
+	// Intentional detachment goes through WithoutCancel: values and
+	// auditability are kept, so this must not be flagged.
+	return callee(context.WithoutCancel(ctx))
+}
+
+func noCtxInScope() error {
+	// Without a ctx parameter anywhere in scope, Background is the only
+	// sane root.
+	return callee(context.Background())
+}

@@ -1,0 +1,49 @@
+// Package core is the fixture for the ctxflow goroutine rule: its
+// import path sits under internal/core, so every `go func` literal must
+// observe cancellation.
+package core
+
+import "context"
+
+func spawnBad(work func()) {
+	go func() { // want `ctxflow: goroutine does not observe cancellation`
+		work()
+	}()
+}
+
+func spawnCtx(ctx context.Context, work func()) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		default:
+			work()
+		}
+	}()
+}
+
+func spawnCtxParam(ctx context.Context, work func(context.Context)) {
+	go func(ctx context.Context) {
+		work(ctx)
+	}(ctx)
+}
+
+func spawnDone(done chan struct{}, work func()) {
+	go func() {
+		select {
+		case <-done:
+		default:
+			work()
+		}
+	}()
+}
+
+type server struct {
+	quit chan struct{}
+}
+
+func (s *server) spawnField(work func()) {
+	go func() {
+		<-s.quit
+		work()
+	}()
+}

@@ -1,0 +1,38 @@
+// Package errclose is the fixture for the errclose analyzer: dropped
+// Send/Close/Flush errors on transport/net types must be flagged;
+// checked or explicitly discarded ones, and non-transport closers, must
+// not.
+package errclose
+
+import (
+	"context"
+	"net"
+	"os"
+
+	"minshare/internal/transport"
+)
+
+func unchecked(ctx context.Context, conn transport.Conn, ln net.Listener) {
+	conn.Send(ctx, []byte("x")) // want `errclose: unchecked error from \(Conn\)\.Send`
+	conn.Close()                // want `errclose: unchecked error from \(Conn\)\.Close`
+	defer conn.Close()          // want `errclose: deferred error from \(Conn\)\.Close`
+	ln.Close()                  // want `errclose: unchecked error from \(Listener\)\.Close`
+	go conn.Close()             // want `errclose: goroutine-discarded error from \(Conn\)\.Close`
+}
+
+func checked(ctx context.Context, conn transport.Conn) error {
+	if err := conn.Send(ctx, []byte("x")); err != nil {
+		return err
+	}
+	_ = conn.Close() // explicit discard is visible and greppable: allowed
+	return conn.Close()
+}
+
+func suppressed(conn transport.Conn) {
+	// lint:ignore errclose fixture: racing unblock close, the error is meaningless
+	conn.Close()
+}
+
+func outOfScope(f *os.File) {
+	f.Close() // os.File is not a wire/transport type: out of scope
+}

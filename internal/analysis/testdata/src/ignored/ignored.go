@@ -1,0 +1,36 @@
+// Package ignored is the fixture for the lint:ignore escape hatch:
+// well-formed directives on the flagged line or the line above
+// suppress exactly their analyzer; malformed or mismatched directives
+// suppress nothing.
+package ignored
+
+import (
+	"fmt"
+
+	"minshare/internal/commutative"
+)
+
+func suppressedSameLine(k *commutative.Key) {
+	fmt.Println(k) // lint:ignore secretlog fixture: same-line suppression
+}
+
+func suppressedLineAbove(k *commutative.Key) {
+	// lint:ignore secretlog fixture: line-above suppression
+	fmt.Println(k)
+}
+
+func wrongAnalyzer(k *commutative.Key) {
+	// lint:ignore errclose fixture: names the wrong analyzer, so it must not suppress
+	fmt.Println(k) // want `secretlog: .*commutative\.Key`
+}
+
+func malformed(k *commutative.Key) {
+	/* lint:ignore secretlog */ // want `ignore: malformed lint:ignore directive`
+	fmt.Println(k) // want `secretlog: .*commutative\.Key`
+}
+
+// proseMention has a doc-comment continuation line that begins with
+// lint:ignore secretlog yet is plain prose — it sits above another
+// comment line, not code, so it must parse as neither a directive nor
+// a malformed-directive finding (and must not appear in the audit).
+func proseMention() {}

@@ -1,0 +1,40 @@
+// Package secretlog is the fixture for the secretlog analyzer: key
+// material reaching fmt/log/slog sinks must be flagged; ciphertexts,
+// sizes and wrapped errors must not.
+package secretlog
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"math/big"
+
+	"minshare/internal/commutative"
+)
+
+// session looks like protocol state: logging the whole struct leaks the
+// embedded key.
+type session struct {
+	name string
+	key  *commutative.Key
+}
+
+func positives(k *commutative.Key, cs *commutative.CachedSet, s session) error {
+	fmt.Printf("key: %v\n", k)     // want `secretlog: argument 2 of fmt\.Printf carries a value of \(or containing\) commutative\.Key`
+	slog.Info("cache", "set", cs)  // want `secretlog: .*commutative\.CachedSet`
+	fmt.Println(k.Exponent())      // want `secretlog: .*raw key exponent`
+	log.Printf("session: %+v", s)  // want `secretlog: .*containing.*commutative\.Key`
+	fmt.Println([]*commutative.Key{k}) // want `secretlog: .*commutative\.Key`
+	return fmt.Errorf("bad key %v", k) // want `secretlog: .*commutative\.Key.*error strings`
+}
+
+func negatives(s commutative.Scheme, k *commutative.Key, x *big.Int) error {
+	y, err := s.Encrypt(k, x)
+	if err != nil {
+		return fmt.Errorf("encrypt: %w", err) // a wrapped error carries no key material
+	}
+	fmt.Printf("ciphertext %s has %d bits\n", y.String(), y.BitLen())
+	slog.Info("done", "bits", y.BitLen(), "name", "run")
+	log.Printf("elements: %d", 3)
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package spanpair is the fixture for the spanpair analyzer: spans must
+// be ended on every return path; the repo's sequential End-then-restart
+// idiom and defer-End must pass clean.
+package spanpair
+
+import (
+	"context"
+	"errors"
+
+	"minshare/internal/obs"
+)
+
+func leaksOnReturn(ctx context.Context, fail bool) error {
+	sp := obs.StartSpan(ctx, "phase")
+	if fail {
+		return errors.New("fail") // want `spanpair: span sp .* is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+func discarded(ctx context.Context) {
+	obs.StartSpan(ctx, "phase") // want `spanpair: span result discarded`
+}
+
+func discardedBlank(ctx context.Context) {
+	_ = obs.StartSpan(ctx, "phase") // want `spanpair: span result discarded`
+}
+
+func overwritten(ctx context.Context) {
+	sp := obs.StartSpan(ctx, "a")
+	sp = obs.StartSpan(ctx, "b") // want `spanpair: span sp .* is overwritten before End`
+	sp.End()
+}
+
+func leaksAtFallthrough(ctx context.Context) {
+	sp := obs.StartSpan(ctx, "phase")
+	sp.StartChild("sub").End()
+} // want `spanpair: span sp .* is still open when the function returns`
+
+// sequential is the idiom all four protocol cores use: End, reassign,
+// End again, with error-path Ends inside the branches.
+func sequential(ctx context.Context, fail bool) error {
+	sp := obs.StartSpan(ctx, "hash-to-group")
+	sp.End()
+	if fail {
+		return errors.New("fail")
+	}
+	sp = obs.StartSpan(ctx, "exchange")
+	if fail {
+		sp.End()
+		return errors.New("fail")
+	}
+	sp.End()
+	sp = obs.StartSpan(ctx, "match")
+	defer sp.End()
+	return nil
+}
+
+func deferred(ctx context.Context) {
+	sp := obs.StartSpan(ctx, "phase")
+	defer sp.End()
+}
+
+func deferredClosure(ctx context.Context) {
+	sp := obs.StartSpan(ctx, "phase")
+	defer func() {
+		sp.End()
+	}()
+}
+
+func immediateChain(ctx context.Context) {
+	defer obs.StartSpan(ctx, "whole").End()
+}
+
+func child(parent *obs.Span, fail bool) error {
+	c := parent.StartChild("sub")
+	if fail {
+		c.End()
+		return errors.New("fail")
+	}
+	c.End()
+	return nil
+}
+
+func loops(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		sp := obs.StartSpan(ctx, "iter")
+		sp.End()
+	}
+	for _, name := range []string{"a", "b"} {
+		sp := obs.StartSpan(ctx, name)
+		sp.End()
+	}
+}
+
+func switches(ctx context.Context, mode int) error {
+	sp := obs.StartSpan(ctx, "x")
+	switch mode {
+	case 0:
+		sp.End()
+		return nil
+	default:
+		sp.End()
+	}
+	return nil
+}
+
+func selects(ctx context.Context, ch chan int) {
+	sp := obs.StartSpan(ctx, "wait")
+	select {
+	case <-ch:
+		sp.End()
+	case <-ctx.Done():
+		sp.End()
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call expression
+// statically invokes, or nil for indirect calls through function
+// values, type conversions and builtins.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pkg.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// deref unwraps aliases and one level of pointer.
+func deref(t types.Type) types.Type {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	return t
+}
+
+// namedOf returns the package path and name of t's (possibly
+// pointed-to) named type, or ok=false for unnamed types.
+func namedOf(t types.Type) (pkgPath, name string, ok bool) {
+	n, isNamed := deref(t).(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		// Universe-scoped named types (error).
+		return "", obj.Name(), true
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// isNamedType reports whether t (or its pointee) is the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	p, n, ok := namedOf(t)
+	return ok && p == pkgPath && n == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}
+
+// recvNamed returns the package path and type name of a method's
+// receiver, or ok=false for plain functions.
+func recvNamed(f *types.Func) (pkgPath, name string, ok bool) {
+	sig, sigOK := f.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil {
+		return "", "", false
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// funcPkgPath returns the import path of the package declaring f, or ""
+// for universe-scoped functions.
+func funcPkgPath(f *types.Func) string {
+	if f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// contextParam returns the index of the first context.Context parameter
+// of sig, or -1.
+func contextParam(sig *types.Signature) int {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// exprObj resolves an identifier expression (possibly parenthesised) to
+// its object, or nil.
+func exprObj(pkg *Package, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// typeOf returns the static type of e, or nil.
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	return pkg.Info.TypeOf(e)
+}
+
+// funcDecls yields every function declaration and function literal body
+// in the package, with the enclosing *types.Signature.  fn receives the
+// body (never nil) and the signature (nil if unresolved).
+func (p *Pass) funcBodies(fn func(body *ast.BlockStmt, sig *types.Signature)) {
+	p.inspect(func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body == nil {
+				return true
+			}
+			var sig *types.Signature
+			if obj, ok := p.Pkg.Info.Defs[d.Name].(*types.Func); ok {
+				sig, _ = obj.Type().(*types.Signature)
+			}
+			fn(d.Body, sig)
+		case *ast.FuncLit:
+			sig, _ := types.Unalias(p.Pkg.Info.TypeOf(d.Type)).(*types.Signature)
+			fn(d.Body, sig)
+		}
+		return true
+	})
+}

@@ -275,11 +275,11 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 // requireSorted — the lexicographic order the protocols mandate
 // (footnote 3 of the paper: unsorted replies leak alignment
 // information).
-func (s *session) checkElems(elems []*big.Int, wantLen int, what string, requireSorted bool) error {
+func (s *session) checkElems(ctx context.Context, elems []*big.Int, wantLen int, what string, requireSorted bool) error {
 	if wantLen >= 0 && len(elems) != wantLen {
 		return fmt.Errorf("%w: %s has %d elements, want %d", ErrMalformedReply, what, len(elems), wantLen)
 	}
-	return s.checkChunk(elems, nil, 0, what, requireSorted)
+	return s.checkChunk(ctx, elems, nil, 0, what, requireSorted)
 }
 
 // parallelCheckMin is the vector length below which checkChunk stays
@@ -294,8 +294,9 @@ const parallelCheckMin = 32
 // membership tests shard across Config.Parallelism workers with the
 // order check fused into the same pass; off is the run's offset within
 // the full vector, used for error indices.  On concurrent failures the
-// smallest index wins, keeping errors deterministic.
-func (s *session) checkChunk(elems []*big.Int, prev *big.Int, off int, what string, requireSorted bool) error {
+// smallest index wins, keeping errors deterministic.  Workers observe
+// ctx so a cancelled session stops burning Jacobi symbols mid-vector.
+func (s *session) checkChunk(ctx context.Context, elems []*big.Int, prev *big.Int, off int, what string, requireSorted bool) error {
 	check := func(i int) error {
 		if requireSorted {
 			p := prev
@@ -320,6 +321,9 @@ func (s *session) checkChunk(elems []*big.Int, prev *big.Int, off int, what stri
 	}
 	if p <= 1 || len(elems) < parallelCheckMin {
 		for i := range elems {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := check(i); err != nil {
 				return err
 			}
@@ -346,6 +350,10 @@ func (s *session) checkChunk(elems []*big.Int, prev *big.Int, off int, what stri
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					fails[w] = failure{idx: i, err: err}
+					return
+				}
 				if err := check(i); err != nil {
 					fails[w] = failure{idx: i, err: err}
 					return

@@ -133,7 +133,7 @@ func (s *session) recvElemsFunc(ctx context.Context, wantLen int, what string, r
 		return nil, err
 	}
 	if v, ok := m.(wire.Elements); ok {
-		if err := s.checkElems(v.Elems, wantLen, what, requireSorted); err != nil {
+		if err := s.checkElems(ctx, v.Elems, wantLen, what, requireSorted); err != nil {
 			return nil, s.abort(ctx, err)
 		}
 		if onChunk != nil && len(v.Elems) > 0 {
@@ -173,7 +173,7 @@ func (s *session) recvElemsFunc(ctx context.Context, wantLen int, what string, r
 		if len(elems)+len(chunk) > count {
 			return nil, s.abort(ctx, fmt.Errorf("%w: %s stream overflows its declared %d elements", ErrMalformedReply, what, count))
 		}
-		if err := s.checkChunk(chunk, prev, len(elems), what, requireSorted); err != nil {
+		if err := s.checkChunk(ctx, chunk, prev, len(elems), what, requireSorted); err != nil {
 			return nil, s.abort(ctx, err)
 		}
 		if onChunk != nil {
@@ -339,10 +339,10 @@ func (s *session) recvPairsDecrypt(ctx context.Context, k *commutative.Key, want
 		return nil, nil, err
 	}
 	if v, ok := m.(wire.Pairs); ok {
-		if err := s.checkElems(v.A, wantLen, whatA, false); err != nil {
+		if err := s.checkElems(ctx, v.A, wantLen, whatA, false); err != nil {
 			return nil, nil, s.abort(ctx, err)
 		}
-		if err := s.checkElems(v.B, wantLen, whatB, false); err != nil {
+		if err := s.checkElems(ctx, v.B, wantLen, whatB, false); err != nil {
 			return nil, nil, s.abort(ctx, err)
 		}
 		sp := obs.StartSpan(ctx, "re-encrypt")
@@ -428,11 +428,11 @@ recvLoop:
 		for i := 0; i < n; i++ {
 			ca[i], cb[i] = elems[2*i], elems[2*i+1]
 		}
-		if err := s.checkChunk(ca, nil, got, whatA, false); err != nil {
+		if err := s.checkChunk(ctx, ca, nil, got, whatA, false); err != nil {
 			rerr = s.abort(ctx, err)
 			break
 		}
-		if err := s.checkChunk(cb, nil, got, whatB, false); err != nil {
+		if err := s.checkChunk(ctx, cb, nil, got, whatB, false); err != nil {
 			rerr = s.abort(ctx, err)
 			break
 		}
@@ -464,7 +464,7 @@ func (s *session) recvExtPairs(ctx context.Context, wantLen int, what string) ([
 		return nil, nil, err
 	}
 	if v, ok := m.(wire.ExtPairs); ok {
-		if err := s.checkElems(v.Elem, wantLen, what, true); err != nil {
+		if err := s.checkElems(ctx, v.Elem, wantLen, what, true); err != nil {
 			return nil, nil, s.abort(ctx, err)
 		}
 		return v.Elem, v.Ext, nil
@@ -500,7 +500,7 @@ func (s *session) recvExtPairs(ctx context.Context, wantLen int, what string) ([
 		if len(elems)+len(chunk.Elem) > count {
 			return nil, nil, s.abort(ctx, fmt.Errorf("%w: %s stream overflows its declared %d elements", ErrMalformedReply, what, count))
 		}
-		if err := s.checkChunk(chunk.Elem, prev, len(elems), what, true); err != nil {
+		if err := s.checkChunk(ctx, chunk.Elem, prev, len(elems), what, true); err != nil {
 			return nil, nil, s.abort(ctx, err)
 		}
 		elems = append(elems, chunk.Elem...)

@@ -469,13 +469,13 @@ func TestParallelChunkValidation(t *testing.T) {
 	s := newSession(context.Background(), cfg, nil)
 
 	elems := sortedCopy(s.cfg.Oracle.HashAll(vals("v", 100)))
-	if err := s.checkElems(elems, 100, "vec", true); err != nil {
+	if err := s.checkElems(context.Background(), elems, 100, "vec", true); err != nil {
 		t.Fatalf("valid vector rejected: %v", err)
 	}
 
 	bad := append([]*big.Int(nil), elems...)
 	bad[57] = big.NewInt(0) // never a group member
-	err := s.checkElems(bad, 100, "vec", false)
+	err := s.checkElems(context.Background(), bad, 100, "vec", false)
 	if !errors.Is(err, ErrMalformedReply) || err == nil {
 		t.Fatalf("non-member err = %v, want ErrMalformedReply", err)
 	}
@@ -485,7 +485,7 @@ func TestParallelChunkValidation(t *testing.T) {
 
 	unsorted := append([]*big.Int(nil), elems...)
 	unsorted[80], unsorted[81] = unsorted[81], unsorted[80]
-	err = s.checkElems(unsorted, 100, "vec", true)
+	err = s.checkElems(context.Background(), unsorted, 100, "vec", true)
 	if !errors.Is(err, ErrMalformedReply) {
 		t.Fatalf("unsorted err = %v, want ErrMalformedReply", err)
 	}
@@ -493,7 +493,7 @@ func TestParallelChunkValidation(t *testing.T) {
 	both := append([]*big.Int(nil), elems...)
 	both[90] = big.NewInt(0)
 	both[10], both[11] = both[11], both[10]
-	err = s.checkElems(both, 100, "vec", true)
+	err = s.checkElems(context.Background(), both, 100, "vec", true)
 	if err == nil {
 		t.Fatal("two defects accepted")
 	}
@@ -502,7 +502,7 @@ func TestParallelChunkValidation(t *testing.T) {
 	}
 
 	// Cross-chunk sortedness: prev boundary element out of order.
-	if err := s.checkChunk(elems[50:], elems[60], 50, "vec", true); err == nil {
+	if err := s.checkChunk(context.Background(), elems[50:], elems[60], 50, "vec", true); err == nil {
 		t.Error("chunk accepted despite violating the cross-chunk boundary order")
 	}
 }

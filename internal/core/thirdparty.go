@@ -123,17 +123,20 @@ func ThirdPartyAnalyst(ctx context.Context, cfg Config, connA, connB transport.C
 	sp := obs.StartSpan(ctx, "exchange")
 	sizeA, err := sa.handshake(ctx, wire.ProtoIntersectionSize, 0, false)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: analyst handshake with A: %w", err)
 	}
 	// Cardinality is checked after both handshakes: each party ships the
 	// *other* party's set, so the expected length is known only then.
 	zFromA, err := sa.recvElems(ctx, -1, "Z from A", false) // = Z_B: B's values, doubly encrypted
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: analyst receiving from A: %w", err)
 	}
 
 	sizeB, err := sb.handshake(ctx, wire.ProtoIntersectionSize, 0, false)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: analyst handshake with B: %w", err)
 	}
 	zFromB, err := sb.recvElems(ctx, -1, "Z from B", false) // = Z_A: A's values, doubly encrypted

@@ -128,9 +128,9 @@ func runThirdPartySize(ctx context.Context, cfgA, cfgB, cfgT core.Config, vA, vB
 	abA, abB := transport.Pipe()
 	atA, atT := transport.Pipe()
 	btB, btT := transport.Pipe()
-	defer abA.Close()
-	defer atA.Close()
-	defer btB.Close()
+	defer func() { _ = abA.Close() }()
+	defer func() { _ = atA.Close() }()
+	defer func() { _ = btB.Close() }()
 
 	errA := make(chan error, 1)
 	errB := make(chan error, 1)

@@ -133,7 +133,7 @@ func (c *Client) withConn(ctx context.Context, f func(conn transport.Conn) error
 		}
 		probe := &sendProbe{Conn: conn}
 		err = f(probe)
-		conn.Close()
+		_ = conn.Close()
 		if err == nil || probe.attempted.Load() || ctx.Err() != nil {
 			// Success, or the peer may have seen our header — either way
 			// this attempt is the last.

@@ -237,7 +237,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer cancelSessions()
 	go func() {
 		<-ctx.Done()
-		ln.Close()
+		ln.Close() // lint:ignore errclose listener close is the shutdown signal; Accept surfaces the resulting error
 	}()
 	var wg sync.WaitGroup
 	var tempDelay time.Duration
@@ -274,7 +274,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			defer wg.Done()
 			peer := nc.RemoteAddr().String()
 			conn := transport.NewTCP(nc)
-			defer conn.Close()
+			defer func() { _ = conn.Close() }()
 			if err := s.handle(sctx, peer, conn); err != nil {
 				s.logf("party: session with %s failed: %v", peer, err)
 			}

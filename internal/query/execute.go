@@ -342,17 +342,17 @@ func executeGroupCounts(ctx context.Context, cfgR, cfgS, cfgT core.Config, q *Qu
 
 func runPipe(ctx context.Context, recvFn, sendFn func(ctx context.Context, conn transport.Conn) error) error {
 	connR, connS := transport.Pipe()
-	defer connR.Close()
+	defer func() { _ = connR.Close() }()
 	ch := make(chan error, 1)
 	go func() {
 		err := sendFn(ctx, connS)
 		if err != nil {
-			connS.Close()
+			connS.Close() // lint:ignore errclose closing is the failure signal to the receiver; the root cause travels on ch
 		}
 		ch <- err
 	}()
 	if err := recvFn(ctx, connR); err != nil {
-		connR.Close()
+		connR.Close() // lint:ignore errclose closing is the failure signal to the sender goroutine; the recv error carries the root cause
 		<-ch
 		return err
 	}

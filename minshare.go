@@ -183,7 +183,7 @@ func runLocal[S any](ctx context.Context,
 ) (S, error) {
 	var zero S
 	connR, connS := transport.Pipe()
-	defer connR.Close()
+	defer func() { _ = connR.Close() }()
 
 	type out struct {
 		info S
@@ -193,13 +193,13 @@ func runLocal[S any](ctx context.Context,
 	go func() {
 		info, err := sendFn(ctx, connS)
 		if err != nil {
-			connS.Close() // unblock the receiver
+			connS.Close() // lint:ignore errclose closing is the failure signal to the receiver; the root cause travels on ch
 		}
 		ch <- out{info, err}
 	}()
 	rErr := recvFn(ctx, connR)
 	if rErr != nil {
-		connR.Close()
+		connR.Close() // lint:ignore errclose closing is the failure signal to the sender goroutine; rErr carries the root cause
 	}
 	sOut := <-ch
 	if rErr != nil {
