@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-faults docs-check lint lint-fix-audit check bench bench-pipeline bench-cache experiments
+.PHONY: all build test vet race race-faults docs-check lint lint-fix-audit check bench bench-pipeline bench-cache bench-obs bench-obs-smoke experiments
 
 all: check
 
@@ -51,7 +51,20 @@ lint:
 lint-fix-audit:
 	$(GO) run ./cmd/psilint -audit ./...
 
-check: build vet test race race-faults lint
+# Observability-overhead benchmark (the BENCH_PR6.json numbers): the
+# same intersection with the endpoints detached (no obs session — the
+# instrumentation must collapse to nil checks) vs attached (sessions,
+# spans, latency histograms, flight recorder), plus the operation-level
+# costs of the detached span path and one histogram record.
+bench-obs:
+	$(GO) test -run xxx -bench ObsOverhead -benchtime 3x .
+
+# Short-mode smoke of the same benches (tiny sets, one iteration) so a
+# regression that breaks the instrumented or detached path fails check.
+bench-obs-smoke:
+	$(GO) test -short -run xxx -bench ObsOverhead -benchtime 1x .
+
+check: build vet test race race-faults lint bench-obs-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -688,6 +688,80 @@ func benchmarkEquijoinCache(b *testing.B, warm bool) {
 func BenchmarkEquijoinCacheCold(b *testing.B) { benchmarkEquijoinCache(b, false) }
 func BenchmarkEquijoinCacheWarm(b *testing.B) { benchmarkEquijoinCache(b, true) }
 
+// --- PR6: observability instrumentation overhead (BENCH_PR6.json) ---
+
+// benchmarkObsOverhead measures the same intersection end to end with
+// the endpoints either detached (no obs session on the context — every
+// instrumentation branch must collapse to a nil check, so this is the
+// baseline) or attached (sessions, phase spans, per-frame transport
+// histograms, chunk timers and the flight recorder all live).  The
+// acceptance criterion for the tracing layer is that the two are
+// indistinguishable at protocol scale: the crypto dominates and the
+// instrumentation's atomic adds vanish in the noise.
+func benchmarkObsOverhead(b *testing.B, attached bool) {
+	n := 256
+	if testing.Short() {
+		n = 16
+	}
+	vR, vS := benchSets(n)
+	cfg := core.Config{Group: group.MustBuiltin(group.Bits256)}
+	reg := obs.NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctxR, ctxS := context.Background(), context.Background()
+		var sessR, sessS *obs.Session
+		if attached {
+			sessR = reg.StartSession(obs.SessionInfo{Protocol: "intersection", Role: "receiver"})
+			sessS = reg.StartSession(obs.SessionInfo{Protocol: "intersection", Role: "sender"})
+			ctxR = obs.WithSession(ctxR, sessR)
+			ctxS = obs.WithSession(ctxS, sessS)
+		}
+		connR, connS := transport.Pipe()
+		ch := make(chan error, 1)
+		go func() {
+			_, err := core.IntersectionSender(ctxS, cfg, connS, vS)
+			sessS.End(err)
+			ch <- err
+		}()
+		_, rErr := core.IntersectionReceiver(ctxR, cfg, connR, vR)
+		sessR.End(rErr)
+		if rErr != nil {
+			b.Fatal(rErr)
+		}
+		if err := <-ch; err != nil {
+			b.Fatal(err)
+		}
+		connR.Close()
+	}
+}
+
+func BenchmarkObsOverheadIntersectionDetached(b *testing.B) { benchmarkObsOverhead(b, false) }
+func BenchmarkObsOverheadIntersectionAttached(b *testing.B) { benchmarkObsOverhead(b, true) }
+
+// BenchmarkObsOverheadSpanDetached pins the detached fast path at the
+// operation level: without a session, StartSpan returns nil and End is a
+// nil check — zero allocations, single-digit nanoseconds.
+func BenchmarkObsOverheadSpanDetached(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := obs.StartSpan(ctx, "bench")
+		sp.End()
+	}
+}
+
+// BenchmarkObsOverheadHistogramRecord is the cost each instrumented
+// frame/chunk pays when a session IS attached: one lock-free bucket add.
+func BenchmarkObsOverheadHistogramRecord(b *testing.B) {
+	var lat obs.Latencies
+	h := lat.Hist(obs.LatChunkPipeline)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i))
+	}
+}
+
 // BenchmarkE5_SortedCircuit builds the real sort-based intersection-size
 // circuit (the appendix's ordered-array construction) at n=64.
 func BenchmarkE5_SortedCircuit_w16_n64(b *testing.B) {

@@ -14,14 +14,25 @@
 // matching value's ext printed alongside it.  -proto is one of
 // intersection, join, intersection-size, join-size.  -group selects the
 // builtin safe-prime modulus size (default 1024, the paper's).
+//
+// With -trace-out the run is traced: phase spans, latency histograms and
+// the distributed trace ID (carried to the peer in the handshake) are
+// recorded, and the session's trace is written to the given file as
+// Chrome trace_event JSON, loadable in chrome://tracing or Perfetto.
+// When the peer serves a debug endpoint (psiserver -debug-addr), add
+// -trace-peer http://host:port and the peer's half of the same trace is
+// fetched from its flight recorder and merged into the file, rendering
+// both parties' timelines side by side.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -29,6 +40,7 @@ import (
 
 	"minshare/internal/core"
 	"minshare/internal/group"
+	"minshare/internal/obs"
 	"minshare/internal/transport"
 )
 
@@ -49,6 +61,8 @@ func run() error {
 		groupBits = flag.Int("group", 1024, "builtin safe-prime group size in bits")
 		par       = flag.Int("p", 0, "encryption parallelism (0 = all cores)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "overall protocol deadline")
+		traceOut  = flag.String("trace-out", "", "write the run's trace as Chrome trace_event JSON to this file")
+		tracePeer = flag.String("trace-peer", "", "peer debug endpoint (http://host:port) to fetch and merge the other half of the trace from")
 	)
 	flag.Parse()
 
@@ -77,18 +91,113 @@ func run() error {
 	}
 	defer func() { _ = conn.Close() }()
 
+	var sess *obs.Session
+	if *traceOut != "" {
+		peer := *connect
+		if peer == "" {
+			peer = *listen
+		}
+		sess = obs.NewRegistry().StartSession(obs.SessionInfo{
+			Protocol: protocolName(*proto),
+			Peer:     peer,
+			Role:     *role,
+		})
+		ctx = obs.WithSession(ctx, sess)
+	}
+
 	switch *proto {
 	case "intersection":
-		return runIntersection(ctx, cfg, conn, *role, *valueFile)
+		err = runIntersection(ctx, cfg, conn, *role, *valueFile)
 	case "join":
-		return runJoin(ctx, cfg, conn, *role, *valueFile)
+		err = runJoin(ctx, cfg, conn, *role, *valueFile)
 	case "intersection-size":
-		return runIntersectionSize(ctx, cfg, conn, *role, *valueFile)
+		err = runIntersectionSize(ctx, cfg, conn, *role, *valueFile)
 	case "join-size":
-		return runJoinSize(ctx, cfg, conn, *role, *valueFile)
+		err = runJoinSize(ctx, cfg, conn, *role, *valueFile)
 	default:
 		return fmt.Errorf("unknown -proto %q", *proto)
 	}
+
+	if sess != nil {
+		// Export even a failed run — a trace of what a broken session did
+		// is exactly what the flight recorder exists for.
+		snap := sess.End(err)
+		if terr := writeMergedTrace(ctx, *traceOut, *tracePeer, snap); terr != nil {
+			if err == nil {
+				return terr
+			}
+			fmt.Fprintf(os.Stderr, "psi: writing trace: %v\n", terr)
+		}
+	}
+	return err
+}
+
+// protocolName maps the -proto flag onto the paper's protocol names as
+// the rest of the stack (wire.Protocol, psiserver) reports them.
+func protocolName(proto string) string {
+	switch proto {
+	case "join":
+		return "equijoin"
+	case "join-size":
+		return "equijoin-size"
+	default:
+		return proto
+	}
+}
+
+// writeMergedTrace exports the finished session as Chrome trace_event
+// JSON, merging in the peer's sessions for the same trace ID fetched
+// from its /debug/sessions flight recorder when peerURL is set.  A peer
+// fetch failure degrades to a one-sided trace with a warning: the local
+// half is still worth keeping.
+func writeMergedTrace(ctx context.Context, path, peerURL string, local obs.SessionSnapshot) error {
+	snaps := []obs.SessionSnapshot{local}
+	if peerURL != "" {
+		peers, err := fetchPeerTrace(ctx, peerURL, local.TraceID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psi: fetching peer trace (continuing one-sided): %v\n", err)
+		} else if len(peers) == 0 {
+			fmt.Fprintf(os.Stderr, "psi: peer has no trace %s in its flight recorder (continuing one-sided)\n", local.TraceID)
+		} else {
+			snaps = append(snaps, peers...)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTraceEvents(f, snaps); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "psi: trace %s (%d session(s)) written to %s\n", local.TraceID, len(snaps), path)
+	return nil
+}
+
+// fetchPeerTrace asks the peer's debug endpoint for every session it
+// retained under the given trace identity.
+func fetchPeerTrace(ctx context.Context, base string, tid obs.TraceID) ([]obs.SessionSnapshot, error) {
+	url := strings.TrimSuffix(base, "/") + "/debug/sessions?trace=" + tid.String()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := (&http.Client{Timeout: 10 * time.Second}).Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer returned %s for %s", resp.Status, url)
+	}
+	var snaps []obs.SessionSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		return nil, fmt.Errorf("decoding peer trace: %w", err)
+	}
+	return snaps, nil
 }
 
 func establish(ctx context.Context, listen, connect string) (transport.Conn, error) {

@@ -10,11 +10,16 @@
 //
 // With -debug-addr the server additionally exposes a live introspection
 // endpoint: /metrics serves per-session and process-global counters
-// (modular exponentiations, oracle hashes, frames, bytes) and phase
-// timings in text or JSON, /debug/vars the same snapshot as an expvar,
-// and /debug/pprof/* the runtime profiles.  Every session is summarised
-// on the structured log, and the process-global counter totals are
-// dumped on shutdown.
+// (modular exponentiations, oracle hashes, frames, bytes), phase-latency
+// histograms (p50/p90/p99), and phase timings in text or JSON;
+// /debug/sessions serves the flight recorder — the last completed
+// session traces inside the -trace-buffer byte budget, listable,
+// fetchable per session, and exportable as Chrome trace_event JSON for
+// chrome://tracing / Perfetto; /debug/vars the same snapshot as an
+// expvar; and /debug/pprof/* the runtime profiles.  Every session is
+// summarised on the structured log with its distributed-trace ID (shared
+// with the client via the handshake), and the process-global counter
+// totals are dumped on shutdown.
 //
 // The server is hardened for unattended deployment: -timeout-handshake,
 // -timeout-idle and -timeout-session evict stalled peers, -max-sessions
@@ -67,6 +72,8 @@ func run() error {
 		maxPeerSet = flag.Int("max-peer-set", 1<<20, "reject sessions announcing a larger peer set")
 		minPeerSet = flag.Int("min-peer-set", 0, "reject sessions announcing a smaller peer set")
 		maxQueries = flag.Int("max-queries", 1000, "per-peer session budget (0 = unlimited)")
+
+		traceBuffer = flag.Int64("trace-buffer", obs.DefaultFlightBudget, "flight-recorder byte budget for completed session traces, served at /debug/sessions on the debug endpoint (0 = disabled)")
 
 		cacheSets   = flag.Int64("cache-sets", 0, "encrypted-set cache budget in bytes; warm peers skip the bulk exponentiation over the table (0 = disabled; slots are keyed by remote IP, so do not enable when distinct peers can share an address via NAT/proxy)")
 		cacheRotate = flag.Duration("cache-rotate", 0, "rotate (flush) the encrypted-set cache at this interval, retiring the pinned exponents (0 = never)")
@@ -138,6 +145,7 @@ func run() error {
 	}
 
 	reg := obs.Default()
+	reg.Flight().SetBudget(*traceBuffer)
 	var setCache *core.SenderSetCache
 	if *cacheSets > 0 {
 		setCache = core.NewSenderSetCache(*cacheSets, reg.Cache())

@@ -20,10 +20,17 @@ const commutativePath = "minshare/internal/commutative"
 // contains — a commutative.Key or a commutative.CachedSet (whose pinned
 // key and ciphertext ordering are both sensitive), as well as raw
 // exponents obtained from Key.Exponent or from a Key's fields.
+//
+// The trace-export surface is a sink of the same severity: a span
+// annotation ((*obs.Span).Annotate) is stringified into the span tree,
+// retained by the flight recorder, and published verbatim by
+// /debug/sessions and the Chrome trace export — so key material is
+// rejected there too.
 var SecretLog = &Analyzer{
 	Name: "secretlog",
 	Doc: "no commutative.Key, raw exponent, or CachedSet value may reach " +
-		"fmt/log/slog formatting or error strings",
+		"fmt/log/slog formatting, error strings, or span annotations " +
+		"(the flight-recorder/trace-export path)",
 	Run: runSecretLog,
 }
 
@@ -34,18 +41,37 @@ func runSecretLog(pass *Pass) {
 			return true
 		}
 		f := calleeFunc(pass.Pkg, call)
-		if f == nil || !isFormattingSink(f) {
+		if f == nil {
+			return true
+		}
+		traceSink := isTraceExportSink(f)
+		if !traceSink && !isFormattingSink(f) {
 			return true
 		}
 		for i, arg := range call.Args {
 			if desc := secretDesc(pass.Pkg, arg); desc != "" {
-				pass.Reportf(arg.Pos(),
-					"argument %d of %s carries %s — secrets must never reach logs or error strings",
-					i+1, sinkName(f), desc)
+				if traceSink {
+					pass.Reportf(arg.Pos(),
+						"argument %d of %s carries %s — secrets must never reach the flight recorder or trace export",
+						i+1, sinkName(f), desc)
+				} else {
+					pass.Reportf(arg.Pos(),
+						"argument %d of %s carries %s — secrets must never reach logs or error strings",
+						i+1, sinkName(f), desc)
+				}
 			}
 		}
 		return true
 	})
+}
+
+// isTraceExportSink reports whether f feeds the observability export
+// surface: (*obs.Span).Annotate stringifies its value into the span
+// tree, which the flight recorder retains and /debug/sessions and the
+// Chrome trace_event export publish verbatim.
+func isTraceExportSink(f *types.Func) bool {
+	p, r, ok := recvNamed(f)
+	return ok && p == obsPath && r == "Span" && f.Name() == "Annotate"
 }
 
 // isFormattingSink reports whether f renders its arguments into text:

@@ -1,6 +1,7 @@
 // Package secretlog is the fixture for the secretlog analyzer: key
-// material reaching fmt/log/slog sinks must be flagged; ciphertexts,
-// sizes and wrapped errors must not.
+// material reaching fmt/log/slog sinks — or the span-annotation surface
+// that feeds the flight recorder and trace export — must be flagged;
+// ciphertexts, sizes and wrapped errors must not.
 package secretlog
 
 import (
@@ -10,6 +11,7 @@ import (
 	"math/big"
 
 	"minshare/internal/commutative"
+	"minshare/internal/obs"
 )
 
 // session looks like protocol state: logging the whole struct leaks the
@@ -26,6 +28,22 @@ func positives(k *commutative.Key, cs *commutative.CachedSet, s session) error {
 	log.Printf("session: %+v", s)  // want `secretlog: .*containing.*commutative\.Key`
 	fmt.Println([]*commutative.Key{k}) // want `secretlog: .*commutative\.Key`
 	return fmt.Errorf("bad key %v", k) // want `secretlog: .*commutative\.Key.*error strings`
+}
+
+// annotatePositives: a span annotation is retained by the flight
+// recorder and published by /debug/sessions and the trace export, so it
+// is a sink of the same severity as a log line.
+func annotatePositives(sp *obs.Span, k *commutative.Key, cs *commutative.CachedSet, s session) {
+	sp.Annotate("key", k)            // want `secretlog: argument 2 of \(\*obs\.Span\)\.Annotate carries a value of \(or containing\) commutative\.Key — secrets must never reach the flight recorder or trace export`
+	sp.Annotate("cache", cs)         // want `secretlog: .*commutative\.CachedSet.*flight recorder or trace export`
+	sp.Annotate("exp", k.Exponent()) // want `secretlog: .*raw key exponent.*flight recorder or trace export`
+	sp.Annotate("session", s)        // want `secretlog: .*containing.*commutative\.Key`
+}
+
+func annotateNegatives(sp *obs.Span, y *big.Int) {
+	sp.Annotate("bits", y.BitLen())
+	sp.Annotate("ciphertext", y.String())
+	sp.Annotate("phase", "exchange")
 }
 
 func negatives(s commutative.Scheme, k *commutative.Key, x *big.Int) error {

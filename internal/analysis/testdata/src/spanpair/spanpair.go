@@ -106,6 +106,48 @@ func switches(ctx context.Context, mode int) error {
 	return nil
 }
 
+// annotated: Annotate calls are ordinary span-method uses — they must
+// neither count as an End nor disturb the pairing analysis.
+func annotated(ctx context.Context, fail bool) error {
+	sp := obs.StartSpan(ctx, "phase")
+	sp.Annotate("peer", "addr:9000")
+	if fail {
+		sp.Annotate("outcome", "fail")
+		sp.End()
+		return errors.New("fail")
+	}
+	sp.Annotate("outcome", "ok")
+	sp.End()
+	return nil
+}
+
+// annotatedLeak: an Annotate on an open span does not excuse the
+// missing End on the early return.
+func annotatedLeak(ctx context.Context, fail bool) error {
+	sp := obs.StartSpan(ctx, "phase")
+	sp.Annotate("peer", "addr:9000")
+	if fail {
+		return errors.New("fail") // want `spanpair: span sp .* is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+// annotatedChild: trace-aware child spans annotate, then end.
+func annotatedChild(parent *obs.Span, n int) {
+	c := parent.StartChild("sub")
+	c.Annotate("chunks", n)
+	c.End()
+}
+
+// annotatedDeferred: annotating after a defer-End is the common shape in
+// the protocol cores (outcome recorded late, End already scheduled).
+func annotatedDeferred(ctx context.Context) {
+	sp := obs.StartSpan(ctx, "phase")
+	defer sp.End()
+	sp.Annotate("k", "v")
+}
+
 func selects(ctx context.Context, ch chan int) {
 	sp := obs.StartSpan(ctx, "wait")
 	select {

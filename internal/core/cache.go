@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"minshare/internal/commutative"
 	"minshare/internal/obs"
@@ -232,7 +233,14 @@ func (s *session) cachePut(entry *CacheEntry) {
 // The returned vector is shared with the cache on the hit path; callers
 // must not mutate it.
 func (s *session) ownEncryptedSet(ctx context.Context, vs [][]byte) (*commutative.Key, []*big.Int, error) {
+	var start time.Time
+	if s.lat != nil {
+		start = time.Now()
+	}
 	if ent, ok := s.cacheLookup(); ok {
+		if s.lat != nil {
+			s.lat.Record(obs.LatCacheHit, time.Since(start))
+		}
 		return ent.Set.Key(), ent.Set.Elems(), nil
 	}
 	sp := obs.StartSpan(ctx, "hash-to-group")
@@ -256,6 +264,9 @@ func (s *session) ownEncryptedSet(ctx context.Context, vs [][]byte) (*commutativ
 		if cs, err := commutative.CachedSetFromSorted(k, sorted, nil); err == nil {
 			s.cachePut(&CacheEntry{Set: cs})
 		}
+	}
+	if s.lat != nil {
+		s.lat.Record(obs.LatCacheMiss, time.Since(start))
 	}
 	return k, sorted, nil
 }

@@ -45,6 +45,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"minshare/internal/commutative"
 	"minshare/internal/group"
@@ -148,13 +149,17 @@ func (c Config) normalized() Config {
 // one protocol run.  When the context carries an obs.Session, the
 // config's scheme and oracle are wrapped so every costed primitive —
 // modular exponentiation, oracle hash, frame, byte — is counted against
-// that session (and, through the counter chain, the process globals);
-// without one, counters stays nil and the instrumentation is inert.
+// that session (and, through the counter chain, the process globals),
+// and transport stalls and chunk-pipeline latencies feed the session's
+// histograms; without one, counters and lat stay nil and the
+// instrumentation is inert.
 type session struct {
 	cfg      Config
 	conn     transport.Conn
 	codec    *wire.Codec
 	counters *obs.Counters
+	osess    *obs.Session
+	lat      *obs.Latencies
 	// peerVersion is the peer's announced DataVersion, recorded by
 	// handshake and surfaced on receiver results.
 	peerVersion uint64
@@ -164,6 +169,8 @@ func newSession(ctx context.Context, cfg Config, conn transport.Conn) *session {
 	cfg = cfg.normalized()
 	s := &session{cfg: cfg, conn: conn, codec: wire.NewCodec(cfg.Group)}
 	if o := obs.SessionFrom(ctx); o != nil {
+		s.osess = o
+		s.lat = o.Latencies()
 		s.counters = o.Counters()
 		s.cfg.Scheme = commutative.Observed(s.cfg.Scheme, s.counters)
 		s.cfg.Oracle = s.cfg.Oracle.Observed(s.counters)
@@ -177,8 +184,15 @@ func (s *session) send(ctx context.Context, m wire.Message) error {
 	if err != nil {
 		return fmt.Errorf("core: encoding %v: %w", m.Kind(), err)
 	}
+	var start time.Time
+	if s.lat != nil {
+		start = time.Now()
+	}
 	if err := s.conn.Send(ctx, data); err != nil {
 		return fmt.Errorf("core: sending %v: %w", m.Kind(), err)
+	}
+	if s.lat != nil {
+		s.lat.Record(obs.LatTransportSend, time.Since(start))
 	}
 	if s.counters != nil {
 		s.counters.AddFrameSent(int64(len(data)), int64(len(data))+transport.FrameOverhead)
@@ -196,9 +210,16 @@ func (s *session) recv(ctx context.Context, want wire.Kind) (wire.Message, error
 // streamed receive paths use it to accept either a legacy one-shot
 // vector or the opening of a stream.
 func (s *session) recvAny(ctx context.Context, want ...wire.Kind) (wire.Message, error) {
+	var start time.Time
+	if s.lat != nil {
+		start = time.Now()
+	}
 	data, err := s.conn.Recv(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: receiving %v: %w", want[0], err)
+	}
+	if s.lat != nil {
+		s.lat.Record(obs.LatTransportRecv, time.Since(start))
 	}
 	if s.counters != nil {
 		s.counters.AddFrameRecv(int64(len(data)), int64(len(data))+transport.FrameOverhead)
@@ -232,6 +253,15 @@ func (s *session) abort(ctx context.Context, err error) error {
 // paper's additional information I — and both verify they agree on the
 // protocol and the group.  sendFirst breaks the symmetric deadlock over
 // strictly alternating transports: the receiver R always sends first.
+//
+// The header also carries the trace context.  The initiator (sendFirst)
+// stamps its own session's trace ID and root span; the responder adopts
+// whatever nonzero trace identity arrives — switching its session onto
+// the initiator's trace — and only then stamps its header, so its echo
+// announces the adopted trace ID back.  The initiator's adopt of that
+// echo is a no-op (same ID).  A peer without trace support sends a zero
+// trace ID, which adopt ignores, so mixed deployments run untraced but
+// uninterrupted.
 func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int, sendFirst bool) (peerSize int, err error) {
 	my := wire.Header{
 		Protocol:    proto,
@@ -240,8 +270,20 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 		SetSize:     uint64(mySize),
 		SetVersion:  s.cfg.DataVersion,
 	}
+	stamp := func() {
+		if s.osess != nil {
+			my.TraceID = s.osess.TraceID()
+			my.SpanID = uint64(s.osess.RootSpanID())
+		}
+	}
+	adopt := func(peer wire.Header) {
+		if s.osess != nil {
+			s.osess.AdoptRemoteTrace(obs.TraceID(peer.TraceID), obs.SpanID(peer.SpanID))
+		}
+	}
 	var peer wire.Header
 	if sendFirst {
+		stamp()
 		if err := s.send(ctx, my); err != nil {
 			return 0, err
 		}
@@ -250,12 +292,15 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 			return 0, err
 		}
 		peer = m.(wire.Header)
+		adopt(peer)
 	} else {
 		m, err := s.recv(ctx, wire.KindHeader)
 		if err != nil {
 			return 0, err
 		}
 		peer = m.(wire.Header)
+		adopt(peer)
+		stamp()
 		if err := s.send(ctx, my); err != nil {
 			return 0, err
 		}

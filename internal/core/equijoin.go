@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"time"
 
 	"minshare/internal/commutative"
 	"minshare/internal/obs"
@@ -166,10 +167,21 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 		outElems    []*big.Int
 		outExts     [][]byte
 	)
+	// precompute accumulates the cache-miss-path precomputation time
+	// (step 1 here plus step 5 below); the exchange in between is not the
+	// cache's to answer for, so it stays out of the histogram.
+	var precompute time.Duration
+	var phaseStart time.Time
+	if s.lat != nil {
+		phaseStart = time.Now()
+	}
 	ent, warm := s.cacheLookup()
 	if warm {
 		eS, ePrimeS = ent.Set.Key(), ent.ExtKey
 		outElems, outExts = ent.Set.Elems(), ent.Set.Payload()
+		if s.lat != nil {
+			s.lat.Record(obs.LatCacheHit, time.Since(phaseStart))
+		}
 	} else {
 		sp := obs.StartSpan(ctx, "hash-to-group")
 		xS, err = s.hashSet(vS)
@@ -184,6 +196,9 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 		ePrimeS, err = s.cfg.Scheme.GenerateKey(s.cfg.Rand)
 		if err != nil {
 			return nil, s.abort(ctx, fmt.Errorf("core: generating e'_S: %w", err))
+		}
+		if s.lat != nil {
+			precompute += time.Since(phaseStart)
 		}
 	}
 
@@ -201,6 +216,9 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 	// Step 5: for each v ∈ V_S, form ⟨f_eS(h(v)), K(f_e'S(h(v)), ext(v))⟩
 	// — skipped wholesale on a warm run, which ships the cached pairs.
 	if !warm {
+		if s.lat != nil {
+			phaseStart = time.Now()
+		}
 		sp = obs.StartSpan(ctx, "bulk-encrypt")
 		firsts, err := s.encryptSet(ctx, eS, xS)
 		if err != nil {
@@ -237,6 +255,9 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 			if cs, cerr := commutative.CachedSetFromSorted(eS, outElems, outExts); cerr == nil {
 				s.cachePut(&CacheEntry{Set: cs, ExtKey: ePrimeS})
 			}
+		}
+		if s.lat != nil {
+			s.lat.Record(obs.LatCacheMiss, precompute+time.Since(phaseStart))
 		}
 	}
 	sp = obs.StartSpan(ctx, "send-pairs")

@@ -218,8 +218,9 @@ func TestIntersectionCommunicationBytes(t *testing.T) {
 	}
 
 	elem := int64(cfgR.Group.ElementLen())
-	const headerLen = 1 + 1 + 4 + 32 + 8 + 8 // kind + proto + bits + digest + size + version
-	const vecOverhead = 1 + 4                // kind + count
+	// kind + proto + bits + digest + size + version + trace id + span id
+	const headerLen = 1 + 1 + 4 + 32 + 8 + 8 + 16 + 8
+	const vecOverhead = 1 + 4 // kind + count
 
 	wantSent := int64(headerLen) + vecOverhead + int64(nR)*elem
 	if got := meterR.BytesSent(); got != wantSent {
@@ -271,7 +272,7 @@ func TestEquijoinCommunicationBytes(t *testing.T) {
 
 	elem := int64(cfgR.Group.ElementLen())
 	kPrime := int64(cfgR.normalized().Cipher.CiphertextLen(24))
-	const headerLen = 1 + 1 + 4 + 32 + 8 + 8
+	const headerLen = 1 + 1 + 4 + 32 + 8 + 8 + 16 + 8
 	const vecOverhead = 1 + 4
 	const extLenPrefix = 4 // per-ext length prefix inside ExtPairs
 

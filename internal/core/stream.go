@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"time"
 
 	"minshare/internal/commutative"
 	"minshare/internal/obs"
@@ -33,6 +34,31 @@ import (
 
 // streaming reports whether this session sends bulk vectors chunked.
 func (s *session) streaming() bool { return s.cfg.ChunkSize > 0 }
+
+// chunkTimer feeds the chunk/pipeline latency histogram: each tick
+// records the time one chunk spent in its pipeline stage (exponentiate
+// and ship, or validate and re-encrypt) since the previous tick.  A nil
+// timer — uninstrumented session — is inert and costs no clock reads.
+type chunkTimer struct {
+	lat  *obs.Latencies
+	last time.Time
+}
+
+func (s *session) newChunkTimer() *chunkTimer {
+	if s.lat == nil {
+		return nil
+	}
+	return &chunkTimer{lat: s.lat, last: time.Now()}
+}
+
+func (t *chunkTimer) tick() {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.lat.Record(obs.LatChunkPipeline, now.Sub(t.last))
+	t.last = now
+}
 
 // sendElems ships an element vector that is already fully computed: one
 // legacy frame, or Begin + ⌈n/ChunkSize⌉ chunks + End when streaming.
@@ -100,6 +126,7 @@ func (s *session) streamEncryptSend(ctx context.Context, k *commutative.Key, xs 
 	ch := commutative.EncryptStream(cctx, s.cfg.Scheme, k, xs, s.cfg.ChunkSize, s.cfg.Parallelism)
 	out := make([]*big.Int, 0, len(xs))
 	chunks := uint32(0)
+	ct := s.newChunkTimer()
 	for c := range ch {
 		if c.Err != nil {
 			// An error chunk is terminal; the channel is already closed.
@@ -111,6 +138,7 @@ func (s *session) streamEncryptSend(ctx context.Context, k *commutative.Key, xs 
 			}
 			return nil, err
 		}
+		ct.tick()
 		out = append(out, c.Elems...)
 		chunks++
 	}
@@ -207,6 +235,7 @@ func (s *session) recvReencryptStream(ctx context.Context, k *commutative.Key, w
 		defer close(done)
 		sp := obs.StartSpan(ctx, "re-encrypt")
 		defer sp.End()
+		ct := s.newChunkTimer()
 		for chunk := range jobs {
 			if encErr != nil {
 				continue // drain
@@ -217,6 +246,7 @@ func (s *session) recvReencryptStream(ctx context.Context, k *commutative.Key, w
 				continue
 			}
 			out = append(out, ys...)
+			ct.tick()
 		}
 	}()
 	received, rerr := s.recvElemsFunc(ctx, wantLen, what, requireSorted, func(chunk []*big.Int) error {
@@ -278,6 +308,7 @@ func (s *session) recvEncryptPairsSend(ctx context.Context, kA, kB *commutative.
 		defer close(done)
 		sp := obs.StartSpan(ctx, "re-encrypt")
 		defer sp.End()
+		ct := s.newChunkTimer()
 		for chunk := range jobs {
 			if encErr != nil || sendErr != nil {
 				continue // drain
@@ -301,6 +332,7 @@ func (s *session) recvEncryptPairsSend(ctx context.Context, kA, kB *commutative.
 				sendErr = err
 				continue
 			}
+			ct.tick()
 			chunks++
 		}
 	}()
@@ -378,6 +410,7 @@ func (s *session) recvPairsDecrypt(ctx context.Context, k *commutative.Key, want
 		defer close(done)
 		sp := obs.StartSpan(ctx, "re-encrypt")
 		defer sp.End()
+		ct := s.newChunkTimer()
 		for pc := range jobs {
 			if decErr != nil {
 				continue // drain
@@ -394,6 +427,7 @@ func (s *session) recvPairsDecrypt(ctx context.Context, k *commutative.Key, want
 			}
 			outA = append(outA, a...)
 			outB = append(outB, b...)
+			ct.tick()
 		}
 	}()
 

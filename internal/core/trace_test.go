@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"minshare/internal/obs"
+	"minshare/internal/transport"
+)
+
+// countSpans tallies every span in the tree by name.
+func countSpans(spans []obs.SpanSnapshot, into map[string]int64) {
+	for _, sp := range spans {
+		into[sp.Name]++
+		countSpans(sp.Children, into)
+	}
+}
+
+// TestLatencyHistogramsMatchSpanAndFrameCounts is the tracing layer's
+// self-consistency check: every span End records exactly one phase
+// -histogram observation and every frame send/recv records exactly one
+// transport observation, so the histogram census must equal the span and
+// counter census exactly — same invariant style as the §6.1 cost-model
+// cross-check.
+func TestLatencyHistogramsMatchSpanAndFrameCounts(t *testing.T) {
+	const nR, nS, shared = 7, 5, 3
+	vR, vS := overlapping(nR, nS, shared)
+
+	for _, tc := range []struct {
+		name string
+		run  func(t *testing.T, reg *obs.Registry) (r, s obs.SessionSnapshot)
+	}{
+		{"intersection", func(t *testing.T, reg *obs.Registry) (obs.SessionSnapshot, obs.SessionSnapshot) {
+			return runObservedPair(t, reg, "intersection",
+				func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+					return IntersectionReceiver(ctx, testConfig(1), conn, vR)
+				},
+				func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+					return IntersectionSender(ctx, testConfig(2), conn, vS)
+				})
+		}},
+		{"equijoin", func(t *testing.T, reg *obs.Registry) (obs.SessionSnapshot, obs.SessionSnapshot) {
+			recs := make([]JoinRecord, len(vS))
+			for i, v := range vS {
+				recs[i] = JoinRecord{Value: v, Ext: []byte("ext")}
+			}
+			return runObservedPair(t, reg, "equijoin",
+				func(ctx context.Context, conn transport.Conn) (*JoinResult, error) {
+					return EquijoinReceiver(ctx, testConfig(3), conn, vR)
+				},
+				func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+					return EquijoinSender(ctx, testConfig(4), conn, recs)
+				})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			rSnap, sSnap := tc.run(t, reg)
+			lat := reg.Latencies().Snapshot()
+
+			// Census of spans across both endpoints, roots included.
+			spans := map[string]int64{"session": 2}
+			countSpans(rSnap.Spans, spans)
+			countSpans(sSnap.Spans, spans)
+
+			for name, want := range spans {
+				if got := lat[obs.LatPhasePrefix+name].Count; got != want {
+					t.Errorf("phase/%s histogram count = %d, want %d (= span count)", name, got, want)
+				}
+			}
+			// No phase series without a matching span.
+			for name := range lat {
+				base, ok := strings.CutPrefix(name, obs.LatPhasePrefix)
+				if ok && spans[base] == 0 {
+					t.Errorf("histogram %s has no corresponding span", name)
+				}
+			}
+
+			// Transport histograms: one observation per frame, both sides
+			// recording into the shared registry.
+			sendFrames := rSnap.Counters.FramesSent + sSnap.Counters.FramesSent
+			recvFrames := rSnap.Counters.FramesRecv + sSnap.Counters.FramesRecv
+			if got := lat[obs.LatTransportSend].Count; got != sendFrames {
+				t.Errorf("transport/send count = %d, want %d (= frames sent)", got, sendFrames)
+			}
+			if got := lat[obs.LatTransportRecv].Count; got != recvFrames {
+				t.Errorf("transport/recv count = %d, want %d (= frames recv)", got, recvFrames)
+			}
+		})
+	}
+}
+
+// TestTwoPartyTraceStitched runs a protocol over a latency-injected link
+// with each endpoint on its own registry — two processes in miniature —
+// and checks the handshake stitches both halves into one distributed
+// trace: shared trace ID, the responder's root parented under the
+// initiator's root span, and the injected link delay visible in the
+// transport histograms.
+func TestTwoPartyTraceStitched(t *testing.T) {
+	const rtt = 10 * time.Millisecond
+	vR, vS := overlapping(5, 4, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, ps := transport.Pipe()
+	defer pr.Close()
+	connR, connS := transport.NewLatency(pr, rtt), transport.NewLatency(ps, rtt)
+
+	regR, regS := obs.NewRegistry(), obs.NewRegistry()
+	sessR := regR.StartSession(obs.SessionInfo{Protocol: "intersection", Role: "receiver"})
+	sessS := regS.StartSession(obs.SessionInfo{Protocol: "intersection", Role: "sender"})
+
+	type out struct {
+		snap obs.SessionSnapshot
+		err  error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		_, err := IntersectionSender(obs.WithSession(ctx, sessS), testConfig(2), connS, vS)
+		ch <- out{sessS.End(err), err}
+	}()
+	_, rErr := IntersectionReceiver(obs.WithSession(ctx, sessR), testConfig(1), connR, vR)
+	rSnap := sOutOrFatal(t, rErr, sessR)
+	sOut := <-ch
+	if sOut.err != nil {
+		t.Fatalf("sender: %v", sOut.err)
+	}
+	sSnap := sOut.snap
+
+	// One trace: the receiver (who speaks first) minted it, the sender
+	// adopted it through the wire handshake.
+	if rSnap.TraceID.IsZero() {
+		t.Fatal("receiver trace ID is zero")
+	}
+	if sSnap.TraceID != rSnap.TraceID {
+		t.Errorf("trace ids differ: receiver %s, sender %s", rSnap.TraceID, sSnap.TraceID)
+	}
+	// The spans nest across the party boundary.
+	if rSnap.RootParentID != 0 {
+		t.Errorf("initiator root parent = %s, want 0", rSnap.RootParentID)
+	}
+	if sSnap.RootParentID != rSnap.RootSpanID {
+		t.Errorf("responder root parent = %s, want the initiator's root span %s",
+			sSnap.RootParentID, rSnap.RootSpanID)
+	}
+	// And within each party: every top-level phase span hangs off that
+	// party's root.
+	for _, snap := range []obs.SessionSnapshot{rSnap, sSnap} {
+		if len(snap.Spans) == 0 {
+			t.Fatalf("%s session has no spans", snap.Info.Role)
+		}
+		for _, sp := range snap.Spans {
+			if sp.ParentID != snap.RootSpanID {
+				t.Errorf("%s span %q parent = %s, want root %s",
+					snap.Info.Role, sp.Name, sp.ParentID, snap.RootSpanID)
+			}
+			if sp.SpanID == 0 {
+				t.Errorf("%s span %q has a zero span id", snap.Info.Role, sp.Name)
+			}
+		}
+	}
+	// The injected one-way delay (rtt/2) dominates every frame wait, so
+	// the receive-stall histogram must see it.
+	if p50 := regR.Latencies().Snapshot()[obs.LatTransportRecv].P50; p50 < rtt/4 {
+		t.Errorf("receiver transport/recv p50 = %v over a %v-rtt link, want >= %v", p50, rtt, rtt/4)
+	}
+}
+
+// sOutOrFatal ends the receiver session and fails the test on error.
+func sOutOrFatal(t *testing.T, rErr error, sess *obs.Session) obs.SessionSnapshot {
+	t.Helper()
+	snap := sess.End(rErr)
+	if rErr != nil {
+		t.Fatalf("receiver: %v", rErr)
+	}
+	return snap
+}
+
+// TestDetachedSessionIsInert pins the zero-overhead contract: without an
+// obs session on the context, the protocol session wires up no latency
+// registry, no counters, and no chunk timers — the instrumentation
+// branches all collapse to nil checks.
+func TestDetachedSessionIsInert(t *testing.T) {
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	defer connS.Close()
+
+	s := newSession(context.Background(), testConfig(1), connR)
+	if s.osess != nil || s.lat != nil || s.counters != nil {
+		t.Errorf("detached session carries instrumentation: osess=%v lat=%v counters=%v",
+			s.osess, s.lat, s.counters)
+	}
+	if ct := s.newChunkTimer(); ct != nil {
+		t.Errorf("detached chunk timer = %v, want nil (inert)", ct)
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import "sync"
+
+// DefaultFlightBudget is the flight recorder's default byte budget
+// (an estimate of retained snapshot memory, not serialized size).
+const DefaultFlightBudget = 1 << 20 // 1 MiB
+
+// FlightRecorder retains the last N completed session traces inside a
+// configurable byte budget — a black box for post-hoc analysis of slow
+// or failed runs.  Session.End feeds it automatically; /debug/sessions
+// serves it; WriteTraceEvents exports retained traces for Perfetto.
+// Retention cost is estimated from the span-tree shape (see
+// estimateSnapshotSize), and the oldest entries are evicted first.  All
+// methods are safe for concurrent use and inert on a nil receiver.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries []flightEntry // oldest first
+	evicted int64
+}
+
+type flightEntry struct {
+	snap SessionSnapshot
+	size int64
+}
+
+// estimateSnapshotSize approximates a snapshot's retained bytes: a fixed
+// base for the session record plus a per-span charge covering the struct,
+// name, and annotations.  An estimate keeps Add cheap (no JSON marshal
+// per session end); the budget bounds memory to the right order, which
+// is all a debug buffer needs.
+func estimateSnapshotSize(s SessionSnapshot) int64 {
+	size := int64(256) // session record, info strings, counters
+	var walk func(spans []SpanSnapshot)
+	walk = func(spans []SpanSnapshot) {
+		for _, sp := range spans {
+			size += 128 + int64(len(sp.Name))
+			for _, a := range sp.Attrs {
+				size += int64(len(a.Key) + len(a.Value) + 32)
+			}
+			walk(sp.Children)
+		}
+	}
+	walk(s.Spans)
+	return size
+}
+
+// SetBudget sets the byte budget and evicts down to it.  A budget of 0
+// (or negative) disables the recorder and drops everything retained.
+func (f *FlightRecorder) SetBudget(budget int64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.budget = budget
+	f.evictLocked()
+	f.mu.Unlock()
+}
+
+// Budget returns the configured byte budget (0 = disabled).
+func (f *FlightRecorder) Budget() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.budget
+}
+
+// Add retains one completed session snapshot, evicting the oldest
+// entries if the budget is exceeded.  A snapshot larger than the whole
+// budget is dropped (and counted as evicted) rather than retained over
+// budget.
+func (f *FlightRecorder) Add(snap SessionSnapshot) {
+	if f == nil {
+		return
+	}
+	size := estimateSnapshotSize(snap)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.budget <= 0 || size > f.budget {
+		if f.budget > 0 {
+			f.evicted++
+		}
+		return
+	}
+	f.entries = append(f.entries, flightEntry{snap: snap, size: size})
+	f.used += size
+	f.evictLocked()
+}
+
+// evictLocked drops oldest entries until used ≤ budget.  Caller holds mu.
+func (f *FlightRecorder) evictLocked() {
+	if f.budget <= 0 {
+		f.evicted += int64(len(f.entries))
+		f.entries = nil
+		f.used = 0
+		return
+	}
+	drop := 0
+	for drop < len(f.entries) && f.used > f.budget {
+		f.used -= f.entries[drop].size
+		drop++
+	}
+	if drop > 0 {
+		f.entries = append([]flightEntry(nil), f.entries[drop:]...)
+		f.evicted += int64(drop)
+	}
+}
+
+// Len returns the number of retained session traces.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries)
+}
+
+// Evicted returns how many session traces have been dropped to stay
+// inside the budget since the recorder was created.
+func (f *FlightRecorder) Evicted() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.evicted
+}
+
+// UsedBytes returns the estimated retained size of the buffer.
+func (f *FlightRecorder) UsedBytes() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.used
+}
+
+// Snapshots copies every retained session trace, oldest first.
+func (f *FlightRecorder) Snapshots() []SessionSnapshot {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SessionSnapshot, len(f.entries))
+	for i, e := range f.entries {
+		out[i] = e.snap
+	}
+	return out
+}
+
+// ByID returns the retained trace for one session id.
+func (f *FlightRecorder) ByID(id uint64) (SessionSnapshot, bool) {
+	if f == nil {
+		return SessionSnapshot{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := len(f.entries) - 1; i >= 0; i-- {
+		if f.entries[i].snap.ID == id {
+			return f.entries[i].snap, true
+		}
+	}
+	return SessionSnapshot{}, false
+}
+
+// ByTrace returns every retained session that reported under the given
+// trace identity, oldest first.  (Both endpoints of a run share one
+// trace ID, so against a shared registry — or when merging exports —
+// this collects the full cross-party trace.)
+func (f *FlightRecorder) ByTrace(tid TraceID) []SessionSnapshot {
+	if f == nil || tid.IsZero() {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []SessionSnapshot
+	for _, e := range f.entries {
+		if e.snap.TraceID == tid {
+			out = append(out, e.snap)
+		}
+	}
+	return out
+}

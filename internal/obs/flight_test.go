@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// flightSnap builds a minimal snapshot with a known identity; extra span
+// names pad the estimated size.
+func flightSnap(id uint64, tid TraceID, spanNames ...string) SessionSnapshot {
+	s := SessionSnapshot{ID: id, TraceID: tid, Info: SessionInfo{Protocol: "intersection"}}
+	for _, name := range spanNames {
+		s.Spans = append(s.Spans, SpanSnapshot{Name: name})
+	}
+	return s
+}
+
+func TestFlightRecorderRetainsAndLists(t *testing.T) {
+	var f FlightRecorder
+	f.SetBudget(1 << 16)
+	tid := NewTraceID()
+	f.Add(flightSnap(1, tid))
+	f.Add(flightSnap(2, tid))
+	f.Add(flightSnap(3, NewTraceID()))
+
+	if f.Len() != 3 || f.Evicted() != 0 {
+		t.Fatalf("len/evicted = %d/%d, want 3/0", f.Len(), f.Evicted())
+	}
+	snaps := f.Snapshots()
+	if len(snaps) != 3 || snaps[0].ID != 1 || snaps[2].ID != 3 {
+		t.Errorf("Snapshots order = %v, want oldest first", []uint64{snaps[0].ID, snaps[1].ID, snaps[2].ID})
+	}
+	if got, ok := f.ByID(2); !ok || got.ID != 2 {
+		t.Errorf("ByID(2) = %v/%v", got.ID, ok)
+	}
+	if _, ok := f.ByID(99); ok {
+		t.Error("ByID(99) found a session that was never added")
+	}
+	if got := f.ByTrace(tid); len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("ByTrace = %d sessions, want the 2 sharing the id", len(got))
+	}
+	if got := f.ByTrace(TraceID{}); got != nil {
+		t.Error("ByTrace(zero) must return nil, not scan")
+	}
+	if used := f.UsedBytes(); used <= 0 || used > f.Budget() {
+		t.Errorf("used = %d, want within (0, %d]", used, f.Budget())
+	}
+}
+
+func TestFlightRecorderEvictsOldestFirst(t *testing.T) {
+	var f FlightRecorder
+	one := estimateSnapshotSize(flightSnap(0, TraceID{}))
+	f.SetBudget(3 * one) // room for exactly three span-less snapshots
+
+	for id := uint64(1); id <= 5; id++ {
+		f.Add(flightSnap(id, NewTraceID()))
+	}
+	if f.Len() != 3 || f.Evicted() != 2 {
+		t.Fatalf("len/evicted = %d/%d, want 3/2", f.Len(), f.Evicted())
+	}
+	snaps := f.Snapshots()
+	if snaps[0].ID != 3 || snaps[2].ID != 5 {
+		t.Errorf("retained ids = %d..%d, want 3..5 (oldest evicted)", snaps[0].ID, snaps[2].ID)
+	}
+	// Shrinking the budget evicts down to it immediately.
+	f.SetBudget(one)
+	if f.Len() != 1 || f.Snapshots()[0].ID != 5 {
+		t.Errorf("after shrink: len=%d first=%d, want the newest only", f.Len(), f.Snapshots()[0].ID)
+	}
+}
+
+func TestFlightRecorderOversizedSnapshotDropped(t *testing.T) {
+	var f FlightRecorder
+	f.SetBudget(300) // below one snapshot with a long-named span
+	f.Add(flightSnap(1, NewTraceID(), strings.Repeat("x", 512)))
+	if f.Len() != 0 || f.Evicted() != 1 {
+		t.Errorf("len/evicted = %d/%d, want 0/1 (dropped, counted)", f.Len(), f.Evicted())
+	}
+}
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	var f FlightRecorder
+	f.SetBudget(1 << 16)
+	f.Add(flightSnap(1, NewTraceID()))
+	evictedBefore := f.Evicted()
+
+	// Budget 0 drops everything retained and disables the recorder.
+	f.SetBudget(0)
+	if f.Len() != 0 || f.UsedBytes() != 0 {
+		t.Errorf("after disable: len=%d used=%d, want 0/0", f.Len(), f.UsedBytes())
+	}
+	if f.Evicted() != evictedBefore+1 {
+		t.Errorf("evicted = %d, want %d (the dropped entry counts)", f.Evicted(), evictedBefore+1)
+	}
+	f.Add(flightSnap(2, NewTraceID()))
+	if f.Len() != 0 {
+		t.Error("disabled recorder must not retain")
+	}
+}
+
+func TestFlightRecorderNilInert(t *testing.T) {
+	var f *FlightRecorder
+	f.SetBudget(100)
+	f.Add(SessionSnapshot{})
+	if f.Len() != 0 || f.Evicted() != 0 || f.UsedBytes() != 0 || f.Budget() != 0 {
+		t.Error("nil recorder must report zeros")
+	}
+	if f.Snapshots() != nil {
+		t.Error("nil recorder Snapshots must be nil")
+	}
+	if _, ok := f.ByID(1); ok {
+		t.Error("nil recorder ByID must miss")
+	}
+	if f.ByTrace(NewTraceID()) != nil {
+		t.Error("nil recorder ByTrace must be nil")
+	}
+}
+
+// TestSessionEndFeedsFlight: ending a registry session lands its
+// snapshot in the registry's flight recorder (the default budget is on).
+func TestSessionEndFeedsFlight(t *testing.T) {
+	reg := NewRegistry()
+	if got := reg.Flight().Budget(); got != DefaultFlightBudget {
+		t.Fatalf("default budget = %d, want %d", got, DefaultFlightBudget)
+	}
+	sess := reg.StartSession(SessionInfo{Protocol: "intersection", Role: "receiver"})
+	id, tid := sess.ID(), sess.TraceID()
+	sess.End(nil)
+	sess.End(nil) // double End must not double-record
+
+	if reg.Flight().Len() != 1 {
+		t.Fatalf("flight holds %d traces, want 1", reg.Flight().Len())
+	}
+	got, ok := reg.Flight().ByID(id)
+	if !ok || got.TraceID != tid || got.Outcome != "ok" {
+		t.Errorf("retained = %+v/%v, want session %d under %s", got, ok, id, tid)
+	}
+}

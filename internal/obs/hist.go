@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log-bucketed latency histogram in the HDR
+// style: a fixed array of atomic counters whose bucket boundaries grow
+// geometrically with 16 linear sub-buckets per power of two, giving a
+// worst-case relative quantile error of 1/16 (≈6%) across the whole
+// nanoseconds-to-minutes range.  Record is one atomic add on the bucket
+// plus two on the count/sum totals — no locks, no allocation — so the
+// protocol hot path can feed it per frame and per chunk.
+//
+// All methods are safe for concurrent use and inert on a nil receiver.
+// A Histogram contains atomics and must not be copied after first use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Bucket layout: durations are measured in nanoseconds.  Values 0–15ns
+// land in the 16 linear buckets; above that, each power of two [2^e,
+// 2^(e+1)) splits into 16 linear sub-buckets of width 2^(e-4).  The top
+// octave is capped at 2^histMaxExp ns (≈2.4 hours); anything longer
+// clamps into the final bucket.
+const (
+	histSubBits = 4                     // 2^4 = 16 sub-buckets per octave
+	histSub     = 1 << histSubBits      // sub-buckets per octave
+	histMinExp  = histSubBits           // first full octave: [16, 32) ns
+	histMaxExp  = 43                    // clamp above 2^43 ns ≈ 2.4 h
+	histBuckets = histSub +             // linear region 0–15 ns
+		(histMaxExp-histMinExp)*histSub // one run of 16 per octave
+)
+
+// histIndex maps a duration in nanoseconds to its bucket.
+func histIndex(ns int64) int {
+	if ns < histSub {
+		if ns < 0 {
+			return 0
+		}
+		return int(ns)
+	}
+	exp := bits.Len64(uint64(ns)) - 1 // ns ∈ [2^exp, 2^(exp+1))
+	if exp >= histMaxExp {
+		return histBuckets - 1
+	}
+	sub := int(ns>>(exp-histSubBits)) - histSub
+	return histSub + (exp-histMinExp)*histSub + sub
+}
+
+// histBound returns the exclusive upper bound of bucket idx in
+// nanoseconds — the value quantile estimates report, so an estimate
+// never understates the true latency by more than one sub-bucket.
+func histBound(idx int) int64 {
+	if idx < histSub {
+		return int64(idx) + 1
+	}
+	exp := idx/histSub - 1 + histMinExp
+	sub := int64(idx % histSub)
+	return 1<<exp + (sub+1)<<(exp-histSubBits)
+}
+
+// Record adds one observation.  Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[histIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Snapshot returns a point-in-time copy with precomputed quantiles.
+// Each field is read atomically; cross-field skew under concurrent load
+// is possible and fine for reporting.  Nil yields a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	snap := HistogramSnapshot{Count: h.count.Load(), Sum: time.Duration(h.sum.Load())}
+	if total == 0 {
+		return snap
+	}
+	// Quantiles resolve against the bucket census actually read, not the
+	// (possibly newer) count field, so they are internally consistent.
+	quantile := func(q float64) time.Duration {
+		rank := int64(q * float64(total))
+		if rank >= total {
+			rank = total - 1
+		}
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			if cum > rank {
+				return time.Duration(histBound(i))
+			}
+		}
+		return time.Duration(histBound(histBuckets - 1))
+	}
+	snap.P50 = quantile(0.50)
+	snap.P90 = quantile(0.90)
+	snap.P99 = quantile(0.99)
+	for i := histBuckets - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			snap.Max = time.Duration(histBound(i))
+			break
+		}
+	}
+	if snap.Count > 0 {
+		snap.Mean = snap.Sum / time.Duration(snap.Count)
+	}
+	return snap
+}
+
+// HistogramSnapshot is a point-in-time copy of one Histogram: the
+// observation count, total, mean, and upper-bound quantile estimates
+// (each at most one sub-bucket — ≈6% — above the true value).
+type HistogramSnapshot struct {
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Well-known latency series.  Phase histograms (LatPhasePrefix + span
+// name) are fed automatically when a span ends; the event series are fed
+// directly by the instrumented stack.
+const (
+	// LatPhasePrefix prefixes the per-phase histograms fed by span ends:
+	// "phase/bulk-encrypt", "phase/session", …
+	LatPhasePrefix = "phase/"
+	// LatTransportSend times each frame's Conn.Send — the sender-side
+	// stall census (backpressure, link serialization, peer slowness).
+	LatTransportSend = "transport/send"
+	// LatTransportRecv times each frame's Conn.Recv — the receive-side
+	// stall census (waiting on the peer's compute or the link).
+	LatTransportRecv = "transport/recv"
+	// LatChunkPipeline times one streamed chunk through its pipeline
+	// stage (exponentiate-and-ship, or validate-and-re-encrypt).
+	LatChunkPipeline = "chunk/pipeline"
+	// LatCacheHit times the sender precompute phase when the encrypted
+	// -set cache replayed it.
+	LatCacheHit = "cache/hit-path"
+	// LatCacheMiss times the sender precompute phase when it had to run
+	// in full (and, typically, populate the cache).
+	LatCacheMiss = "cache/miss-path"
+)
+
+// Latencies is a registry of named Histograms.  Histogram creation is a
+// once-per-name sync.Map insert; every Record thereafter is lock-free.
+// All methods are safe for concurrent use and inert on a nil receiver.
+type Latencies struct {
+	m sync.Map // string -> *Histogram
+}
+
+// Hist returns the named histogram, creating it on first use.  Nil
+// receivers return a nil — and therefore inert — Histogram.
+func (l *Latencies) Hist(name string) *Histogram {
+	if l == nil {
+		return nil
+	}
+	if h, ok := l.m.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := l.m.LoadOrStore(name, &Histogram{})
+	return h.(*Histogram)
+}
+
+// Record adds one observation to the named histogram.
+func (l *Latencies) Record(name string, d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.Hist(name).Record(d)
+}
+
+// Snapshot copies every named histogram.  Nil yields an empty map.
+func (l *Latencies) Snapshot() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot)
+	if l == nil {
+		return out
+	}
+	l.m.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}

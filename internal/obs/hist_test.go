@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistBucketLayout pins the log-linear bucket geometry: the linear
+// nanosecond region, the first full octave, and the clamp.
+func TestHistBucketLayout(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		idx  int
+		up   int64 // exclusive upper bound the quantiles report
+	}{
+		{0, 0, 1},
+		{1, 1, 2},
+		{15, 15, 16},
+		{16, 16, 17},   // first sub-bucket of octave [16,32)
+		{31, 31, 32},   // last sub-bucket of octave [16,32)
+		{32, 32, 34},   // octave [32,64): sub-bucket width 2
+		{33, 32, 34},
+		{34, 33, 36},
+		{1000, 111, 1024},
+		{1 << 20, 16 + (20-4)*16, 1<<20 + 1<<16},
+	}
+	for _, c := range cases {
+		if got := histIndex(c.ns); got != c.idx {
+			t.Errorf("histIndex(%d) = %d, want %d", c.ns, got, c.idx)
+		}
+		if got := histBound(c.idx); got != c.up {
+			t.Errorf("histBound(%d) = %d, want %d", c.idx, got, c.up)
+		}
+	}
+	// Clamp: anything at or above 2^histMaxExp lands in the last bucket.
+	if got := histIndex(1 << histMaxExp); got != histBuckets-1 {
+		t.Errorf("histIndex(2^%d) = %d, want %d", histMaxExp, got, histBuckets-1)
+	}
+	if got := histIndex(int64(1)<<62 + 12345); got != histBuckets-1 {
+		t.Errorf("histIndex(huge) = %d, want %d", got, histBuckets-1)
+	}
+}
+
+// TestHistBucketRoundTrip: bounds are strictly increasing and every
+// bucket's half-open range maps back to itself.
+func TestHistBucketRoundTrip(t *testing.T) {
+	prev := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		up := histBound(i)
+		if up <= prev {
+			t.Fatalf("histBound(%d) = %d, not > histBound(%d) = %d", i, up, i-1, prev)
+		}
+		if got := histIndex(up - 1); got != i {
+			t.Fatalf("histIndex(histBound(%d)-1) = histIndex(%d) = %d, want %d", i, up-1, got, i)
+		}
+		if i < histBuckets-1 {
+			if got := histIndex(up); got != i+1 {
+				t.Fatalf("histIndex(histBound(%d)) = %d, want %d", i, got, i+1)
+			}
+		}
+		prev = up
+	}
+}
+
+// TestHistogramQuantiles: identical observations make every quantile the
+// bucket's upper bound — deterministic, so pinned exactly.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(1000 * time.Nanosecond)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 || snap.Sum != 100*1000 {
+		t.Errorf("count/sum = %d/%d, want 100/100000", snap.Count, snap.Sum)
+	}
+	if snap.Mean != 1000 {
+		t.Errorf("mean = %v, want 1µs", snap.Mean)
+	}
+	for _, q := range []struct {
+		name string
+		got  time.Duration
+	}{{"p50", snap.P50}, {"p90", snap.P90}, {"p99", snap.P99}, {"max", snap.Max}} {
+		if q.got != 1024 {
+			t.Errorf("%s = %v, want 1.024µs (bucket upper bound)", q.name, q.got)
+		}
+	}
+}
+
+// TestHistogramQuantileSpread: a bimodal distribution separates p50 from
+// p99.
+func TestHistogramQuantileSpread(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 98; i++ {
+		h.Record(time.Microsecond)
+	}
+	h.Record(time.Millisecond)
+	h.Record(time.Millisecond)
+	snap := h.Snapshot()
+	if snap.P50 != 1024 {
+		t.Errorf("p50 = %v, want 1.024µs", snap.P50)
+	}
+	// The two 1ms outliers are ranks 98 and 99 of 100: p99 must land in
+	// the millisecond bucket, far above p50.
+	if snap.P99 < 500*time.Microsecond {
+		t.Errorf("p99 = %v, want ≈1ms", snap.P99)
+	}
+	if snap.Max != snap.P99 {
+		t.Errorf("max = %v, want = p99 = %v (same bucket)", snap.Max, snap.P99)
+	}
+}
+
+// TestHistogramNegativeClampsToZero: negative durations (clock skew)
+// count into the zero bucket rather than corrupting the array.
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Sum != 0 || snap.Max != 1 {
+		t.Errorf("after negative record: %+v, want count=1 sum=0 max=1ns", snap)
+	}
+}
+
+// TestHistogramNilInert: the nil histogram and nil latency registry are
+// no-ops, matching the rest of the obs API.
+func TestHistogramNilInert(t *testing.T) {
+	var h *Histogram
+	h.Record(time.Second) // must not panic
+	if snap := h.Snapshot(); snap != (HistogramSnapshot{}) {
+		t.Errorf("nil histogram snapshot = %+v, want zero", snap)
+	}
+	var l *Latencies
+	l.Record("x", time.Second)
+	if l.Hist("x") != nil {
+		t.Error("nil Latencies.Hist must return nil")
+	}
+	if m := l.Snapshot(); len(m) != 0 {
+		t.Errorf("nil Latencies snapshot = %v, want empty", m)
+	}
+}
+
+// TestLatenciesNamedSeries: named histograms are independent and the
+// snapshot copies them all.
+func TestLatenciesNamedSeries(t *testing.T) {
+	var l Latencies
+	l.Record(LatTransportSend, time.Millisecond)
+	l.Record(LatTransportSend, time.Millisecond)
+	l.Record(LatTransportRecv, time.Microsecond)
+	l.Hist(LatChunkPipeline).Record(time.Second)
+
+	m := l.Snapshot()
+	if len(m) != 3 {
+		t.Fatalf("snapshot has %d series, want 3: %v", len(m), m)
+	}
+	if m[LatTransportSend].Count != 2 || m[LatTransportRecv].Count != 1 || m[LatChunkPipeline].Count != 1 {
+		t.Errorf("series counts = %d/%d/%d, want 2/1/1",
+			m[LatTransportSend].Count, m[LatTransportRecv].Count, m[LatChunkPipeline].Count)
+	}
+	if same := l.Hist(LatTransportSend); same != l.Hist(LatTransportSend) {
+		t.Error("Hist must return the same histogram for the same name")
+	}
+}
+
+// TestHistogramConcurrent exercises Record under parallel writers so the
+// race target covers the lock-free path.
+func TestHistogramConcurrent(t *testing.T) {
+	var l Latencies
+	const workers, each = 8, 1000
+	done := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			for j := 0; j < each; j++ {
+				l.Record(LatChunkPipeline, time.Duration(i*j)*time.Nanosecond)
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	if got := l.Hist(LatChunkPipeline).Snapshot().Count; got != workers*each {
+		t.Errorf("count = %d, want %d", got, workers*each)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -24,6 +25,7 @@ func WriteText(w io.Writer, snap RegistrySnapshot) {
 	writeCountersText(w, "", snap.Global)
 	writeLifecycleText(w, snap.Lifecycle)
 	writeCacheText(w, snap.Cache)
+	writeLatenciesText(w, snap.Latencies)
 	if len(snap.Active) > 0 {
 		fmt.Fprintf(w, "# active sessions\n")
 		ordered := append([]SessionSnapshot(nil), snap.Active...)
@@ -75,13 +77,30 @@ func writeCacheText(w io.Writer, c CacheSnapshot) {
 	fmt.Fprintf(w, "cache_rotations %d\n", c.Rotations)
 }
 
+func writeLatenciesText(w io.Writer, lat map[string]HistogramSnapshot) {
+	if len(lat) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# latency histograms\n")
+	names := make([]string, 0, len(lat))
+	for name := range lat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := lat[name]
+		fmt.Fprintf(w, "latency name=%q count=%d mean=%s p50=%s p90=%s p99=%s max=%s\n",
+			name, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max)
+	}
+}
+
 func writeSessionText(w io.Writer, s SessionSnapshot) {
 	outcome := s.Outcome
 	if outcome == "" {
 		outcome = "running"
 	}
-	fmt.Fprintf(w, "session id=%d protocol=%s peer=%q role=%s local_set=%d peer_set=%d duration=%s modexp=%d oracle_hashes=%d wire_bytes=%d outcome=%q",
-		s.ID, s.Info.Protocol, s.Info.Peer, s.Info.Role,
+	fmt.Fprintf(w, "session id=%d trace=%s protocol=%s peer=%q role=%s local_set=%d peer_set=%d duration=%s modexp=%d oracle_hashes=%d wire_bytes=%d outcome=%q",
+		s.ID, s.TraceID, s.Info.Protocol, s.Info.Peer, s.Info.Role,
 		s.Info.LocalSetSize, s.Info.PeerSetSize,
 		s.Duration.Round(time.Microsecond),
 		s.Counters.ModExps(), s.Counters.OracleHashes,
@@ -117,12 +136,112 @@ func wantJSON(req *http.Request) bool {
 	return strings.Contains(req.Header.Get("Accept"), "application/json")
 }
 
+// SessionSummary is one row of the /debug/sessions listing.
+type SessionSummary struct {
+	ID       uint64        `json:"id"`
+	TraceID  TraceID       `json:"trace_id"`
+	Protocol string        `json:"protocol"`
+	Peer     string        `json:"peer,omitempty"`
+	Role     string        `json:"role"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Outcome  string        `json:"outcome"`
+}
+
+// SessionsList is the JSON body served at /debug/sessions: the flight
+// recorder's budget accounting plus one summary row per retained trace.
+type SessionsList struct {
+	BudgetBytes int64            `json:"budget_bytes"`
+	UsedBytes   int64            `json:"used_bytes"`
+	Evicted     int64            `json:"evicted"`
+	Sessions    []SessionSummary `json:"sessions"`
+}
+
+// SessionsHandler serves the flight recorder:
+//
+//	GET <prefix>              — list retained sessions (SessionsList JSON)
+//	GET <prefix>?trace=<hex>  — full snapshots for one trace ID
+//	GET <prefix>/<id>         — one session's full snapshot JSON
+//	GET <prefix>/<id>/trace   — that session as Chrome trace_event JSON
+//
+// where <prefix> is the path the handler is mounted at (DebugMux mounts
+// it at /debug/sessions).
+func (r *Registry) SessionsHandler(prefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		f := r.Flight()
+		rest := strings.TrimPrefix(strings.TrimPrefix(req.URL.Path, prefix), "/")
+		if rest == "" {
+			if tid, err := ParseTraceID(req.URL.Query().Get("trace")); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			} else if !tid.IsZero() {
+				snaps := f.ByTrace(tid)
+				if snaps == nil {
+					snaps = []SessionSnapshot{}
+				}
+				writeJSON(w, snaps)
+				return
+			}
+			list := SessionsList{
+				BudgetBytes: f.Budget(),
+				UsedBytes:   f.UsedBytes(),
+				Evicted:     f.Evicted(),
+				Sessions:    []SessionSummary{},
+			}
+			for _, s := range f.Snapshots() {
+				list.Sessions = append(list.Sessions, SessionSummary{
+					ID:       s.ID,
+					TraceID:  s.TraceID,
+					Protocol: s.Info.Protocol,
+					Peer:     s.Info.Peer,
+					Role:     s.Info.Role,
+					Start:    s.Start,
+					Duration: s.Duration,
+					Outcome:  s.Outcome,
+				})
+			}
+			writeJSON(w, list)
+			return
+		}
+		idStr, tail, _ := strings.Cut(rest, "/")
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad session id %q", idStr), http.StatusBadRequest)
+			return
+		}
+		snap, ok := f.ByID(id)
+		if !ok {
+			http.NotFound(w, req)
+			return
+		}
+		switch tail {
+		case "":
+			writeJSON(w, snap)
+		case "trace":
+			w.Header().Set("Content-Type", "application/json")
+			WriteTraceEvents(w, []SessionSnapshot{snap})
+		default:
+			http.NotFound(w, req)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
 // DebugMux returns the opt-in introspection mux served by psiserver's
-// -debug-addr: /metrics (this registry), /debug/vars (expvar) and
-// /debug/pprof/* (runtime profiling).
+// -debug-addr: /metrics (this registry), /debug/sessions (the flight
+// recorder), /debug/vars (expvar) and /debug/pprof/* (runtime
+// profiling).
 func (r *Registry) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/sessions", r.SessionsHandler("/debug/sessions"))
+	mux.Handle("/debug/sessions/", r.SessionsHandler("/debug/sessions"))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get serves one request against the debug mux and returns the recorder.
+func get(reg *Registry, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	reg.DebugMux().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestSessionsEndpointEmpty(t *testing.T) {
+	reg := NewRegistry()
+	rec := get(reg, "/debug/sessions")
+	if rec.Code != 200 {
+		t.Fatalf("GET /debug/sessions = %d, want 200", rec.Code)
+	}
+	var list SessionsList
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.BudgetBytes != DefaultFlightBudget || len(list.Sessions) != 0 {
+		t.Errorf("empty list = %+v", list)
+	}
+	// The sessions field must be a JSON array even when empty, so
+	// clients can range over it without a null check.
+	if !strings.Contains(rec.Body.String(), `"sessions": []`) {
+		t.Errorf("empty list body = %s, want explicit empty array", rec.Body.String())
+	}
+}
+
+func TestSessionsEndpointListAndDetail(t *testing.T) {
+	reg := NewRegistry()
+	sess := reg.StartSession(SessionInfo{Protocol: "equijoin", Peer: "10.0.0.7:9000", Role: "receiver"})
+	sp := sess.Root().StartChild("exchange")
+	sp.Annotate("chunks", 2)
+	sp.End()
+	id, tid := sess.ID(), sess.TraceID()
+	sess.End(nil)
+
+	// List: one summary row with identity and outcome.
+	var list SessionsList
+	if err := json.Unmarshal(get(reg, "/debug/sessions").Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 1 {
+		t.Fatalf("list has %d sessions, want 1", len(list.Sessions))
+	}
+	row := list.Sessions[0]
+	if row.ID != id || row.TraceID != tid || row.Protocol != "equijoin" ||
+		row.Role != "receiver" || row.Outcome != "ok" || row.Peer != "10.0.0.7:9000" {
+		t.Errorf("summary row = %+v", row)
+	}
+	if list.UsedBytes <= 0 || list.UsedBytes > list.BudgetBytes {
+		t.Errorf("budget accounting = %d/%d", list.UsedBytes, list.BudgetBytes)
+	}
+
+	// Detail: the full snapshot, spans and attrs included.
+	var snap SessionSnapshot
+	if err := json.Unmarshal(get(reg, fmt.Sprintf("/debug/sessions/%d", id)).Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != id || snap.TraceID != tid || len(snap.Spans) != 1 ||
+		snap.Spans[0].Name != "exchange" || len(snap.Spans[0].Attrs) != 1 {
+		t.Errorf("detail snapshot = %+v", snap)
+	}
+
+	// Per-session Chrome trace export parses and carries the trace id.
+	rec := get(reg, fmt.Sprintf("/debug/sessions/%d/trace", id))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace Content-Type = %q", ct)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	var sawSession bool
+	for _, ev := range file.TraceEvents {
+		if ev.Name == "session" && ev.Args["trace_id"] == tid.String() {
+			sawSession = true
+		}
+	}
+	if !sawSession {
+		t.Errorf("trace export missing the session event: %+v", file.TraceEvents)
+	}
+
+	// Trace-filtered query: the shared-registry form of cross-party
+	// stitching.
+	var byTrace []SessionSnapshot
+	if err := json.Unmarshal(get(reg, "/debug/sessions?trace="+tid.String()).Body.Bytes(), &byTrace); err != nil {
+		t.Fatal(err)
+	}
+	if len(byTrace) != 1 || byTrace[0].ID != id {
+		t.Errorf("trace query = %+v, want the one session", byTrace)
+	}
+	// An unknown trace yields an empty — not null — array.
+	body := get(reg, "/debug/sessions?trace="+NewTraceID().String()).Body.String()
+	if !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Errorf("unknown trace body = %q, want empty array", body)
+	}
+}
+
+func TestSessionsEndpointErrors(t *testing.T) {
+	reg := NewRegistry()
+	reg.StartSession(SessionInfo{Protocol: "intersection"}).End(nil)
+	for path, want := range map[string]int{
+		"/debug/sessions/999":       404, // unknown id
+		"/debug/sessions/abc":       400, // unparsable id
+		"/debug/sessions/1/bogus":   404, // unknown tail
+		"/debug/sessions?trace=zzz": 400, // unparsable trace id
+	} {
+		if rec := get(reg, path); rec.Code != want {
+			t.Errorf("GET %s = %d, want %d", path, rec.Code, want)
+		}
+	}
+}
+
+// TestMetricsIncludesLatencies: the histogram census renders on /metrics
+// in both encodings, and session lines carry the trace id.
+func TestMetricsIncludesLatencies(t *testing.T) {
+	reg := NewRegistry()
+	reg.Latencies().Record(LatTransportSend, 100*time.Microsecond)
+	sess := reg.StartSession(SessionInfo{Protocol: "intersection", Role: "receiver"})
+	tid := sess.TraceID()
+	sess.End(nil)
+
+	body := get(reg, "/metrics").Body.String()
+	for _, want := range []string{
+		"# latency histograms",
+		`latency name="transport/send" count=1`,
+		`latency name="phase/session" count=1`,
+		"trace=" + tid.String(),
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics text missing %q:\n%s", want, body)
+		}
+	}
+
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(get(reg, "/metrics?format=json").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := snap.Latencies[LatTransportSend]
+	if !ok || h.Count != 1 || h.P50 <= 0 || h.P99 < h.P50 {
+		t.Errorf("JSON latencies[%s] = %+v/%v", LatTransportSend, h, ok)
+	}
+	if _, ok := snap.Latencies[LatPhasePrefix+"session"]; !ok {
+		t.Errorf("JSON latencies missing phase/session: %v", snap.Latencies)
+	}
+}

@@ -17,16 +17,21 @@ type SessionInfo struct {
 // Session is the attribution unit: one protocol run at one endpoint.
 // Attach it to a context with WithSession before invoking a role
 // function; the instrumented stack below records counters (chained to
-// the registry's process-global level) and a span tree against it.
+// the registry's process-global level), latency histograms, and a span
+// tree against it.  Every session starts with a freshly minted trace ID;
+// if the peer's handshake header carries a different one, the session
+// adopts it (AdoptRemoteTrace) so both endpoints report the initiator's
+// trace.
 type Session struct {
 	reg      *Registry
 	id       uint64
-	info     SessionInfo
 	start    time.Time
 	counters Counters
 	root     *Span
 
 	mu      sync.Mutex
+	info    SessionInfo
+	trace   TraceID
 	ended   bool
 	d       time.Duration
 	outcome string
@@ -36,11 +41,75 @@ type Session struct {
 func (s *Session) ID() uint64 { return s.id }
 
 // Info returns the identifying metadata.
-func (s *Session) Info() SessionInfo { return s.info }
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.info
+}
 
 // Counters returns the session-level counter sink (parented to the
 // registry's global level).
 func (s *Session) Counters() *Counters { return &s.counters }
+
+// Latencies returns the latency-histogram registry this session records
+// into (the owning Registry's process-wide set).  Nil-safe: a nil
+// session — or one without a registry — yields a nil, inert Latencies.
+func (s *Session) Latencies() *Latencies {
+	if s == nil || s.reg == nil {
+		return nil
+	}
+	return &s.reg.lat
+}
+
+// TraceID returns the trace identity this session currently reports
+// under (its own minted ID until AdoptRemoteTrace switches it).  A nil
+// session reports the zero ("untraced") identity.
+func (s *Session) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trace
+}
+
+// Root returns the session's root span ("session"), under which all
+// phase spans nest.  Nil-safe: a nil session yields a nil, inert Span.
+func (s *Session) Root() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.root
+}
+
+// RootSpanID returns the root span's identity — the parent ID the peer's
+// root span adopts when this session initiates the trace.  A nil session
+// reports zero ("no span").
+func (s *Session) RootSpanID() SpanID { return s.Root().ID() }
+
+// AdoptRemoteTrace switches the session onto the trace identity minted
+// by the remote initiator: the session reports under tid, and its root
+// span becomes a child of the initiator's span parent (so the merged
+// two-party trace nests correctly).  A zero tid, or one the session
+// already carries, is a no-op — the initiator's own handshake echo lands
+// here.
+func (s *Session) AdoptRemoteTrace(tid TraceID, parent SpanID) {
+	if s == nil || tid.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	same := s.trace == tid
+	if !same {
+		s.trace = tid
+	}
+	s.mu.Unlock()
+	if same {
+		return
+	}
+	s.root.mu.Lock()
+	s.root.parent = parent
+	s.root.mu.Unlock()
+}
 
 // SetInfo replaces the session metadata (e.g. once the peer's set size
 // is learned from its header).
@@ -51,10 +120,14 @@ func (s *Session) SetInfo(info SessionInfo) {
 }
 
 // End closes the session with the run's outcome (nil error = "ok"),
-// moves it from the registry's active set into the recent ring, and
-// returns the final snapshot.  Calling End again returns a fresh
-// snapshot without touching the registry.
+// moves it from the registry's active set into the recent ring and the
+// flight recorder, and returns the final snapshot.  Calling End again
+// returns a fresh snapshot without touching the registry.  A nil session
+// is inert and yields a zero snapshot.
 func (s *Session) End(err error) SessionSnapshot {
+	if s == nil {
+		return SessionSnapshot{}
+	}
 	s.root.End()
 	s.mu.Lock()
 	already := s.ended
@@ -82,6 +155,7 @@ func (s *Session) End(err error) SessionSnapshot {
 			r.recent = r.recent[len(r.recent)-recentKeep:]
 		}
 		r.mu.Unlock()
+		r.flight.Add(snap)
 	}
 	return snap
 }
@@ -92,6 +166,7 @@ func (s *Session) Snapshot() SessionSnapshot {
 	s.mu.Lock()
 	snap := SessionSnapshot{
 		ID:       s.id,
+		TraceID:  s.trace,
 		Info:     s.info,
 		Start:    s.start,
 		Duration: s.d,
@@ -104,32 +179,40 @@ func (s *Session) Snapshot() SessionSnapshot {
 	}
 	snap.Counters = s.counters.Snapshot()
 	root := s.root.snapshot(s.start)
+	snap.RootSpanID = root.SpanID
+	snap.RootParentID = root.ParentID
 	snap.Spans = root.Children
 	return snap
 }
 
 // SessionSnapshot is an immutable copy of one session.
 type SessionSnapshot struct {
-	ID       uint64          `json:"id"`
-	Info     SessionInfo     `json:"info"`
-	Start    time.Time       `json:"start"`
-	Duration time.Duration   `json:"duration_ns"`
-	Outcome  string          `json:"outcome,omitempty"` // "" while running, "ok", or the error text
-	Counters CounterSnapshot `json:"counters"`
-	Spans    []SpanSnapshot  `json:"spans,omitempty"`
+	ID           uint64          `json:"id"`
+	TraceID      TraceID         `json:"trace_id,omitempty"`
+	RootSpanID   SpanID          `json:"root_span_id,omitempty"`
+	RootParentID SpanID          `json:"root_parent_id,omitempty"`
+	Info         SessionInfo     `json:"info"`
+	Start        time.Time       `json:"start"`
+	Duration     time.Duration   `json:"duration_ns"`
+	Outcome      string          `json:"outcome,omitempty"` // "" while running, "ok", or the error text
+	Counters     CounterSnapshot `json:"counters"`
+	Spans        []SpanSnapshot  `json:"spans,omitempty"`
 }
 
 // recentKeep bounds the finished-session ring kept for /metrics.
 const recentKeep = 8
 
-// Registry owns the process-global counter level and the set of live and
-// recently finished sessions.  A zero Registry is not usable; call
-// NewRegistry (or use Default).
+// Registry owns the process-global counter level, the latency-histogram
+// set, the flight recorder, and the set of live and recently finished
+// sessions.  A zero Registry is not usable; call NewRegistry (or use
+// Default).
 type Registry struct {
 	start     time.Time
 	global    Counters
 	lifecycle Lifecycle
 	cache     CacheStats
+	lat       Latencies
+	flight    FlightRecorder
 
 	mu       sync.Mutex
 	seq      uint64
@@ -139,9 +222,12 @@ type Registry struct {
 	recent   []SessionSnapshot
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the flight recorder at its
+// default byte budget.
 func NewRegistry() *Registry {
-	return &Registry{start: time.Now(), active: make(map[uint64]*Session)}
+	r := &Registry{start: time.Now(), active: make(map[uint64]*Session)}
+	r.flight.SetBudget(DefaultFlightBudget)
+	return r
 }
 
 // Global returns the process-global counter level.  Counting directly
@@ -169,17 +255,38 @@ func (r *Registry) Cache() *CacheStats {
 	return &r.cache
 }
 
+// Latencies returns the registry's process-wide latency-histogram set.
+// A nil registry yields a nil — and therefore inert — Latencies.
+func (r *Registry) Latencies() *Latencies {
+	if r == nil {
+		return nil
+	}
+	return &r.lat
+}
+
+// Flight returns the registry's session flight recorder.  A nil registry
+// yields a nil — and therefore inert — FlightRecorder.
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return &r.flight
+}
+
 // StartSession registers a new live session whose counters chain into
-// the registry's global level.
+// the registry's global level.  The session mints a fresh trace ID; the
+// wire handshake propagates it (initiator) or replaces it
+// (AdoptRemoteTrace, responder).
 func (r *Registry) StartSession(info SessionInfo) *Session {
 	now := time.Now()
 	s := &Session{
 		reg:      r,
 		info:     info,
 		start:    now,
+		trace:    NewTraceID(),
 		counters: Counters{parent: &r.global},
-		root:     &Span{name: "session", start: now},
 	}
+	s.root = &Span{name: "session", start: now, id: nextSpanID(), sess: s}
 	r.mu.Lock()
 	r.seq++
 	s.id = r.seq
@@ -190,19 +297,20 @@ func (r *Registry) StartSession(info SessionInfo) *Session {
 
 // RegistrySnapshot is a point-in-time copy of the whole registry.
 type RegistrySnapshot struct {
-	UptimeSeconds    float64           `json:"uptime_seconds"`
-	Global           CounterSnapshot   `json:"global"`
-	Lifecycle        LifecycleSnapshot `json:"lifecycle"`
-	Cache            CacheSnapshot     `json:"cache"`
-	SessionsActive   int               `json:"sessions_active"`
-	SessionsFinished int64             `json:"sessions_finished"`
-	SessionsFailed   int64             `json:"sessions_failed"`
-	Active           []SessionSnapshot `json:"active,omitempty"`
-	Recent           []SessionSnapshot `json:"recent,omitempty"`
+	UptimeSeconds    float64                      `json:"uptime_seconds"`
+	Global           CounterSnapshot              `json:"global"`
+	Lifecycle        LifecycleSnapshot            `json:"lifecycle"`
+	Cache            CacheSnapshot                `json:"cache"`
+	Latencies        map[string]HistogramSnapshot `json:"latencies,omitempty"`
+	SessionsActive   int                          `json:"sessions_active"`
+	SessionsFinished int64                        `json:"sessions_finished"`
+	SessionsFailed   int64                        `json:"sessions_failed"`
+	Active           []SessionSnapshot            `json:"active,omitempty"`
+	Recent           []SessionSnapshot            `json:"recent,omitempty"`
 }
 
-// Snapshot copies the registry: global counters, live sessions, and the
-// recent-finished ring.
+// Snapshot copies the registry: global counters, latency histograms,
+// live sessions, and the recent-finished ring.
 func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.Lock()
 	live := make([]*Session, 0, len(r.active))
@@ -220,6 +328,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	snap.Global = r.global.Snapshot()
 	snap.Lifecycle = r.lifecycle.Snapshot()
 	snap.Cache = r.cache.Snapshot()
+	snap.Latencies = r.lat.Snapshot()
 	for _, s := range live {
 		snap.Active = append(snap.Active, s.Snapshot())
 	}

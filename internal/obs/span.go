@@ -11,17 +11,32 @@ import (
 
 // Span is one timed phase of a protocol run (hash-to-group, bulk-encrypt,
 // exchange, re-encrypt, match, …).  Spans form a tree under a Session's
-// root.  A nil *Span is a valid no-op span: every method is nil-safe, so
-// instrumented code can call StartSpan/End unconditionally and pay
-// nothing when no session is attached.
+// root; every span carries the session's trace ID plus its own span ID
+// and its parent's, so the two endpoints' trees for one protocol run can
+// be stitched into a single cross-party trace.  A nil *Span is a valid
+// no-op span: every method is nil-safe, so instrumented code can call
+// StartSpan/End unconditionally and pay nothing when no session is
+// attached.
 type Span struct {
 	name  string
 	start time.Time
+	id    SpanID
+	sess  *Session // owning session; trace/parent identity and histograms
 
 	mu       sync.Mutex
+	parent   SpanID
 	d        time.Duration
 	ended    bool
 	children []*Span
+	attrs    []SpanAttr
+}
+
+// ID returns the span's process-unique identity (zero for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // StartChild opens a sub-span under s.  Returns nil if s is nil.
@@ -29,28 +44,50 @@ func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, start: time.Now(), id: nextSpanID(), parent: s.id, sess: s.sess}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
 }
 
+// Annotate attaches a key/value attribute to the span, stringifying the
+// value immediately.  Attributes travel into the flight recorder and any
+// exported trace, so they must never carry secrets (private exponents,
+// encrypted-set material) — psilint's secretlog analyzer enforces this.
+// Nil-safe no-op.
+func (s *Span) Annotate(key string, value any) {
+	if s == nil {
+		return
+	}
+	v := fmt.Sprint(value)
+	s.mu.Lock()
+	s.attrs = append(s.attrs, SpanAttr{Key: key, Value: v})
+	s.mu.Unlock()
+}
+
 // End closes the span, freezing its duration, and closes any still-open
 // children (so a phase abandoned on an error path freezes when its
-// parent — ultimately the session root — ends).  Idempotent and
-// nil-safe.
+// parent — ultimately the session root — ends).  The first End also
+// records the duration into the session's "phase/<name>" latency
+// histogram, so histogram counts match span counts exactly.  Idempotent
+// and nil-safe.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	if !s.ended {
+	first := !s.ended
+	if first {
 		s.ended = true
 		s.d = time.Since(s.start)
 	}
+	d := s.d
 	kids := append([]*Span(nil), s.children...)
 	s.mu.Unlock()
+	if first && s.sess != nil {
+		s.sess.Latencies().Record(LatPhasePrefix+s.name, d)
+	}
 	for _, c := range kids {
 		c.End()
 	}
@@ -60,7 +97,14 @@ func (s *Span) End() {
 // spans report their running duration.
 func (s *Span) snapshot(base time.Time) SpanSnapshot {
 	s.mu.Lock()
-	snap := SpanSnapshot{Name: s.name, Offset: s.start.Sub(base), Duration: s.d}
+	snap := SpanSnapshot{
+		Name:     s.name,
+		SpanID:   s.id,
+		ParentID: s.parent,
+		Offset:   s.start.Sub(base),
+		Duration: s.d,
+		Attrs:    append([]SpanAttr(nil), s.attrs...),
+	}
 	if !s.ended {
 		snap.Duration = time.Since(s.start)
 	}
@@ -72,11 +116,20 @@ func (s *Span) snapshot(base time.Time) SpanSnapshot {
 	return snap
 }
 
+// SpanAttr is one key/value annotation on a span.
+type SpanAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
 // SpanSnapshot is an immutable copy of one span.
 type SpanSnapshot struct {
 	Name     string         `json:"name"`
+	SpanID   SpanID         `json:"span_id,omitempty"`
+	ParentID SpanID         `json:"parent_id,omitempty"`
 	Offset   time.Duration  `json:"offset_ns"`
 	Duration time.Duration  `json:"duration_ns"`
+	Attrs    []SpanAttr     `json:"attrs,omitempty"`
 	Children []SpanSnapshot `json:"children,omitempty"`
 }
 

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceID identifies one cross-party protocol run: the session initiator
+// (party R, who speaks first) mints a TraceID and carries it in the wire
+// handshake, the responder adopts it, and both endpoints' span trees can
+// then be stitched into a single distributed trace.  The zero TraceID
+// means "untraced" and is never minted.
+type TraceID [16]byte
+
+// NewTraceID mints a random trace identity.  The 128-bit space makes
+// collisions between independently minted traces negligible, so two
+// parties never need to coordinate beyond the handshake itself.
+func NewTraceID() TraceID {
+	var t TraceID
+	for {
+		if _, err := rand.Read(t[:]); err != nil {
+			// crypto/rand never fails on supported platforms; fall back to
+			// the span-ID sequence rather than returning a zero ("untraced")
+			// identity.
+			binary.BigEndian.PutUint64(t[:8], uint64(nextSpanID()))
+			binary.BigEndian.PutUint64(t[8:], uint64(nextSpanID()))
+		}
+		if !t.IsZero() {
+			return t
+		}
+	}
+}
+
+// IsZero reports whether t is the zero ("untraced") identity.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// MarshalText implements encoding.TextMarshaler so trace IDs appear as
+// hex strings in JSON snapshots.
+func (t TraceID) MarshalText() ([]byte, error) {
+	return []byte(t.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (t *TraceID) UnmarshalText(text []byte) error {
+	parsed, err := ParseTraceID(string(text))
+	if err != nil {
+		return err
+	}
+	*t = parsed
+	return nil
+}
+
+// ParseTraceID parses the 32-hex-digit form produced by String.  The
+// empty string parses as the zero ("untraced") identity.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if s == "" {
+		return t, nil
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return t, fmt.Errorf("obs: parsing trace id %q: %w", s, err)
+	}
+	if len(b) != len(t) {
+		return t, fmt.Errorf("obs: trace id %q is %d bytes, want %d", s, len(b), len(t))
+	}
+	copy(t[:], b)
+	return t, nil
+}
+
+// SpanID identifies one span within a trace.  IDs are drawn from a
+// process-global sequence seeded randomly at startup, so the two
+// endpoints of a protocol run — separate processes with separate seeds —
+// mint disjoint ID ranges with overwhelming probability and the merged
+// cross-party trace needs no renumbering.  Zero means "no span" (the
+// root of a trace has ParentID zero).
+type SpanID uint64
+
+// String renders the span ID as 16 lowercase hex digits.
+func (s SpanID) String() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(s))
+	return hex.EncodeToString(b[:])
+}
+
+// MarshalText implements encoding.TextMarshaler so span IDs appear as
+// hex strings in JSON snapshots.
+func (s SpanID) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *SpanID) UnmarshalText(text []byte) error {
+	b, err := hex.DecodeString(string(text))
+	if err != nil {
+		return fmt.Errorf("obs: parsing span id %q: %w", text, err)
+	}
+	if len(b) != 8 {
+		return fmt.Errorf("obs: span id %q is %d bytes, want 8", text, len(b))
+	}
+	*s = SpanID(binary.BigEndian.Uint64(b))
+	return nil
+}
+
+// spanSeq is the process-global span-ID sequence; see SpanID for why it
+// is seeded randomly.
+var spanSeq atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		spanSeq.Store(binary.BigEndian.Uint64(seed[:]))
+	}
+}
+
+// nextSpanID mints the next span ID.  Lock-free: one atomic add.
+func nextSpanID() SpanID {
+	for {
+		if id := SpanID(spanSeq.Add(1)); id != 0 {
+			return id
+		}
+	}
+}

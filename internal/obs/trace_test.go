@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceIDMintParseRoundTrip(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a.IsZero() || b.IsZero() {
+		t.Fatal("minted trace IDs must be nonzero")
+	}
+	if a == b {
+		t.Fatal("two minted trace IDs collided")
+	}
+	s := a.String()
+	if len(s) != 32 || strings.ToLower(s) != s {
+		t.Errorf("String() = %q, want 32 lowercase hex digits", s)
+	}
+	parsed, err := ParseTraceID(s)
+	if err != nil || parsed != a {
+		t.Errorf("ParseTraceID(%q) = %v, %v; want the original", s, parsed, err)
+	}
+	// The empty string is the zero ("untraced") identity, not an error.
+	zero, err := ParseTraceID("")
+	if err != nil || !zero.IsZero() {
+		t.Errorf("ParseTraceID(\"\") = %v, %v; want zero, nil", zero, err)
+	}
+	for _, bad := range []string{"zz", "abcd", strings.Repeat("ab", 17)} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTraceAndSpanIDJSON(t *testing.T) {
+	type pair struct {
+		T TraceID `json:"t"`
+		S SpanID  `json:"s"`
+	}
+	in := pair{T: NewTraceID(), S: nextSpanID()}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IDs must serialize as hex strings, not byte arrays / numbers.
+	if !strings.Contains(string(data), `"t":"`+in.T.String()+`"`) ||
+		!strings.Contains(string(data), `"s":"`+in.S.String()+`"`) {
+		t.Fatalf("JSON = %s, want hex-string ids", data)
+	}
+	var out pair
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestSpanIDsUniqueAndNonzero(t *testing.T) {
+	seen := make(map[SpanID]bool)
+	for i := 0; i < 1000; i++ {
+		id := nextSpanID()
+		if id == 0 {
+			t.Fatal("nextSpanID minted zero")
+		}
+		if seen[id] {
+			t.Fatalf("nextSpanID repeated %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSessionSpanIdentity: every span in a session carries its own ID,
+// its parent's ID, and the session's trace ID appears in the snapshot.
+func TestSessionSpanIdentity(t *testing.T) {
+	reg := NewRegistry()
+	sess := reg.StartSession(SessionInfo{Protocol: "intersection", Role: "receiver"})
+	if sess.TraceID().IsZero() {
+		t.Fatal("StartSession must mint a trace ID")
+	}
+	root := sess.Root()
+	child := root.StartChild("phase")
+	grand := child.StartChild("sub")
+	grand.End()
+	child.End()
+	snap := sess.End(nil)
+
+	if snap.TraceID != sess.TraceID() {
+		t.Errorf("snapshot trace = %s, want %s", snap.TraceID, sess.TraceID())
+	}
+	if snap.RootSpanID != root.ID() || snap.RootSpanID == 0 {
+		t.Errorf("root span id = %s, want %s (nonzero)", snap.RootSpanID, root.ID())
+	}
+	if snap.RootParentID != 0 {
+		t.Errorf("initiator root parent = %s, want 0", snap.RootParentID)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("got %d top-level spans, want 1", len(snap.Spans))
+	}
+	ph := snap.Spans[0]
+	if ph.SpanID != child.ID() || ph.ParentID != root.ID() {
+		t.Errorf("phase ids = %s/%s, want %s under %s", ph.SpanID, ph.ParentID, child.ID(), root.ID())
+	}
+	if len(ph.Children) != 1 || ph.Children[0].ParentID != child.ID() {
+		t.Fatalf("grandchild must nest under the phase span: %+v", ph.Children)
+	}
+}
+
+func TestAdoptRemoteTrace(t *testing.T) {
+	reg := NewRegistry()
+	sess := reg.StartSession(SessionInfo{Protocol: "intersection", Role: "sender"})
+	own := sess.TraceID()
+
+	// A zero trace ID (legacy or untraced peer) is ignored.
+	sess.AdoptRemoteTrace(TraceID{}, 99)
+	if sess.TraceID() != own || sess.Snapshot().RootParentID != 0 {
+		t.Fatal("zero trace ID must be a no-op")
+	}
+
+	// The initiator's own echo (same ID) must not rewrite the parent.
+	sess.AdoptRemoteTrace(own, 99)
+	if sess.Snapshot().RootParentID != 0 {
+		t.Fatal("adopting the session's own trace ID must be a no-op")
+	}
+
+	// A genuine remote identity re-parents the root.
+	remote, parent := NewTraceID(), SpanID(0xfeed)
+	sess.AdoptRemoteTrace(remote, parent)
+	snap := sess.End(nil)
+	if snap.TraceID != remote {
+		t.Errorf("adopted trace = %s, want %s", snap.TraceID, remote)
+	}
+	if snap.RootParentID != parent {
+		t.Errorf("adopted root parent = %s, want %s", snap.RootParentID, parent)
+	}
+
+	// Nil session: inert.
+	var nilSess *Session
+	nilSess.AdoptRemoteTrace(remote, parent)
+	if !nilSess.TraceID().IsZero() {
+		t.Error("nil session must report a zero trace ID")
+	}
+}
+
+// TestSpanAnnotate: attributes stringify immediately and land in the
+// snapshot; the nil span stays inert.
+func TestSpanAnnotate(t *testing.T) {
+	reg := NewRegistry()
+	sess := reg.StartSession(SessionInfo{Protocol: "equijoin", Role: "receiver"})
+	sp := sess.Root().StartChild("exchange")
+	sp.Annotate("chunks", 17)
+	sp.Annotate("outcome", "ok")
+	sp.End()
+	snap := sess.End(nil)
+
+	attrs := snap.Spans[0].Attrs
+	if len(attrs) != 2 || attrs[0] != (SpanAttr{"chunks", "17"}) || attrs[1] != (SpanAttr{"outcome", "ok"}) {
+		t.Errorf("attrs = %+v, want chunks=17 outcome=ok", attrs)
+	}
+
+	var nilSpan *Span
+	nilSpan.Annotate("k", "v") // must not panic
+}
+
+// TestPhaseHistogramFedBySpanEnd: the first End of a span records
+// exactly one observation into phase/<name>; later Ends do not.
+func TestPhaseHistogramFedBySpanEnd(t *testing.T) {
+	reg := NewRegistry()
+	sess := reg.StartSession(SessionInfo{Protocol: "intersection", Role: "receiver"})
+	sp := sess.Root().StartChild("bulk-encrypt")
+	sp.End()
+	sp.End() // idempotent: must not double-count
+	sess.End(nil)
+
+	lat := reg.Latencies().Snapshot()
+	if got := lat[LatPhasePrefix+"bulk-encrypt"].Count; got != 1 {
+		t.Errorf("phase/bulk-encrypt count = %d, want 1", got)
+	}
+	// The session root feeds phase/session on End too.
+	if got := lat[LatPhasePrefix+"session"].Count; got != 1 {
+		t.Errorf("phase/session count = %d, want 1", got)
+	}
+}

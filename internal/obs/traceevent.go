@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// traceEvent is one entry of the Chrome trace_event format ("X" complete
+// events plus "M" metadata), as consumed by chrome://tracing and
+// Perfetto.  Timestamps and durations are microseconds; fractional
+// values carry the nanosecond precision through.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceEventFile is the JSON-object form of the trace_event format.
+type traceEventFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents exports session traces as Chrome trace_event JSON,
+// loadable directly in chrome://tracing or Perfetto.  Each snapshot
+// becomes its own process row (named after its role and protocol), so a
+// merged client+server pair for one trace ID renders as two aligned
+// timelines.  Alignment uses each session's wall-clock start relative to
+// the earliest one exported; for sessions captured on one machine (the
+// common case: tests, loopback runs, a server's own flight recorder)
+// that is exact, across machines it inherits their clock skew.
+func WriteTraceEvents(w io.Writer, snaps []SessionSnapshot) error {
+	base := time.Time{}
+	for _, s := range snaps {
+		if base.IsZero() || s.Start.Before(base) {
+			base = s.Start
+		}
+	}
+	file := traceEventFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	usec := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	for i, s := range snaps {
+		pid := i + 1
+		procName := fmt.Sprintf("%s %s", s.Info.Role, s.Info.Protocol)
+		if s.Info.Peer != "" {
+			procName += " (peer " + s.Info.Peer + ")"
+		}
+		file.TraceEvents = append(file.TraceEvents,
+			traceEvent{Name: "process_name", Phase: "M", PID: pid, TID: 1,
+				Args: map[string]any{"name": procName}},
+			traceEvent{Name: "thread_name", Phase: "M", PID: pid, TID: 1,
+				Args: map[string]any{"name": "session " + fmt.Sprint(s.ID)}},
+		)
+		sessStart := s.Start.Sub(base)
+		sessArgs := map[string]any{
+			"trace_id": s.TraceID.String(),
+			"span_id":  s.RootSpanID.String(),
+			"outcome":  s.Outcome,
+		}
+		if s.RootParentID != 0 {
+			sessArgs["parent_id"] = s.RootParentID.String()
+		}
+		file.TraceEvents = append(file.TraceEvents, traceEvent{
+			Name: "session", Cat: s.Info.Protocol, Phase: "X",
+			TS: usec(sessStart), Dur: usec(s.Duration), PID: pid, TID: 1,
+			Args: sessArgs,
+		})
+		var walk func(spans []SpanSnapshot)
+		walk = func(spans []SpanSnapshot) {
+			for _, sp := range spans {
+				args := map[string]any{
+					"span_id": sp.SpanID.String(),
+				}
+				if sp.ParentID != 0 {
+					args["parent_id"] = sp.ParentID.String()
+				}
+				for _, a := range sp.Attrs {
+					args[a.Key] = a.Value
+				}
+				file.TraceEvents = append(file.TraceEvents, traceEvent{
+					Name: sp.Name, Cat: s.Info.Protocol, Phase: "X",
+					TS: usec(sessStart + sp.Offset), Dur: usec(sp.Duration),
+					PID: pid, TID: 1, Args: args,
+				})
+				walk(sp.Children)
+			}
+		}
+		walk(s.Spans)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTraceFile round-trips the exported bytes through encoding/json
+// exactly as chrome://tracing would parse them.
+func decodeTraceFile(t *testing.T, data []byte) traceEventFile {
+	t.Helper()
+	var file traceEventFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, data)
+	}
+	return file
+}
+
+func TestWriteTraceEventsTwoParty(t *testing.T) {
+	tid := NewTraceID()
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	initiator := SessionSnapshot{
+		ID: 1, TraceID: tid, RootSpanID: 0x10,
+		Info:  SessionInfo{Protocol: "intersection", Role: "receiver", Peer: "s:9000"},
+		Start: base, Duration: 8 * time.Millisecond, Outcome: "ok",
+		Spans: []SpanSnapshot{{
+			Name: "exchange", SpanID: 0x11, ParentID: 0x10,
+			Offset: time.Millisecond, Duration: 2 * time.Millisecond,
+			Attrs:    []SpanAttr{{Key: "chunks", Value: "4"}},
+			Children: []SpanSnapshot{{Name: "sub", SpanID: 0x12, ParentID: 0x11}},
+		}},
+	}
+	responder := SessionSnapshot{
+		ID: 7, TraceID: tid, RootSpanID: 0x20, RootParentID: 0x10,
+		Info:  SessionInfo{Protocol: "intersection", Role: "sender"},
+		Start: base.Add(3 * time.Millisecond), Duration: 4 * time.Millisecond, Outcome: "ok",
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, []SessionSnapshot{initiator, responder}); err != nil {
+		t.Fatal(err)
+	}
+	file := decodeTraceFile(t, buf.Bytes())
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", file.DisplayTimeUnit)
+	}
+
+	byName := map[string][]traceEvent{}
+	for _, ev := range file.TraceEvents {
+		byName[ev.Name] = append(byName[ev.Name], ev)
+	}
+
+	// Each snapshot is its own process: metadata rows name both.
+	if got := len(byName["process_name"]); got != 2 {
+		t.Fatalf("%d process_name events, want 2", got)
+	}
+	if name := byName["process_name"][0].Args["name"]; name != "receiver intersection (peer s:9000)" {
+		t.Errorf("initiator process name = %q", name)
+	}
+	if name := byName["process_name"][1].Args["name"]; name != "sender intersection" {
+		t.Errorf("responder process name = %q", name)
+	}
+
+	// Session events: aligned to the earliest start, pids 1 and 2.
+	sessions := byName["session"]
+	if len(sessions) != 2 {
+		t.Fatalf("%d session events, want 2", len(sessions))
+	}
+	init, resp := sessions[0], sessions[1]
+	if init.Phase != "X" || init.PID != 1 || init.TS != 0 || init.Dur != 8000 {
+		t.Errorf("initiator session event = %+v, want X pid=1 ts=0 dur=8000µs", init)
+	}
+	if resp.PID != 2 || resp.TS != 3000 || resp.Dur != 4000 {
+		t.Errorf("responder session event = %+v, want pid=2 ts=3000 dur=4000µs", resp)
+	}
+	if init.Args["trace_id"] != tid.String() || resp.Args["trace_id"] != tid.String() {
+		t.Error("both session events must carry the shared trace id")
+	}
+	if _, has := init.Args["parent_id"]; has {
+		t.Error("initiator must not carry a parent_id")
+	}
+	if resp.Args["parent_id"] != SpanID(0x10).String() {
+		t.Errorf("responder parent_id = %v, want the initiator's root span", resp.Args["parent_id"])
+	}
+
+	// Phase spans: offset from their session start, ids and attrs in args.
+	ex := byName["exchange"]
+	if len(ex) != 1 {
+		t.Fatalf("%d exchange events, want 1", len(ex))
+	}
+	if ex[0].TS != 1000 || ex[0].Dur != 2000 || ex[0].PID != 1 {
+		t.Errorf("exchange event = %+v, want ts=1000 dur=2000 pid=1", ex[0])
+	}
+	if ex[0].Args["span_id"] != SpanID(0x11).String() ||
+		ex[0].Args["parent_id"] != SpanID(0x10).String() ||
+		ex[0].Args["chunks"] != "4" {
+		t.Errorf("exchange args = %v", ex[0].Args)
+	}
+	if got := len(byName["sub"]); got != 1 {
+		t.Errorf("%d sub (nested child) events, want 1", got)
+	}
+}
+
+func TestWriteTraceEventsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	file := decodeTraceFile(t, buf.Bytes())
+	if file.TraceEvents == nil || len(file.TraceEvents) != 0 {
+		t.Errorf("empty export = %v, want a present-but-empty traceEvents array", file.TraceEvents)
+	}
+}
+
+// TestWriteTraceEventsLiveSession exports a real finished session, the
+// path /debug/sessions/<id>/trace exercises.
+func TestWriteTraceEventsLiveSession(t *testing.T) {
+	reg := NewRegistry()
+	sess := reg.StartSession(SessionInfo{Protocol: "equijoin", Role: "receiver"})
+	sp := sess.Root().StartChild("hash-to-group")
+	sp.Annotate("values", 3)
+	sp.End()
+	snap := sess.End(nil)
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, []SessionSnapshot{snap}); err != nil {
+		t.Fatal(err)
+	}
+	file := decodeTraceFile(t, buf.Bytes())
+	var found bool
+	for _, ev := range file.TraceEvents {
+		if ev.Name == "hash-to-group" && ev.Args["values"] == "3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("exported events missing the annotated phase span: %+v", file.TraceEvents)
+	}
+}

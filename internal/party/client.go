@@ -143,47 +143,74 @@ func (c *Client) withConn(ctx context.Context, f func(conn transport.Conn) error
 	return err
 }
 
+// observe attaches a client-side obs session to ctx when the client has
+// a registry and the caller did not already supply a session of its own,
+// so every Client call is counted, span-timed, and trace-stitched with
+// the server without the caller touching the obs API.  The returned end
+// function closes the session with the run's outcome; with no registry
+// (or a caller-provided session) both returns are pass-throughs.
+func (c *Client) observe(ctx context.Context, protocol string, localSet int) (context.Context, func(error)) {
+	if c.Obs == nil || obs.SessionFrom(ctx) != nil {
+		return ctx, func(error) {}
+	}
+	sess := c.Obs.StartSession(obs.SessionInfo{
+		Protocol:     protocol,
+		Peer:         c.addr,
+		Role:         "receiver",
+		LocalSetSize: localSet,
+	})
+	return obs.WithSession(ctx, sess), func(err error) { sess.End(err) }
+}
+
 // Intersect runs the intersection protocol against the server.
 func (c *Client) Intersect(ctx context.Context, values [][]byte) (*core.IntersectionResult, error) {
+	ctx, end := c.observe(ctx, "intersection", len(values))
 	var res *core.IntersectionResult
 	err := c.withConn(ctx, func(conn transport.Conn) error {
 		var err error
 		res, err = core.IntersectionReceiver(ctx, c.cfg, conn, values)
 		return err
 	})
+	end(err)
 	return res, err
 }
 
 // IntersectSize runs the intersection-size protocol against the server.
 func (c *Client) IntersectSize(ctx context.Context, values [][]byte) (*core.SizeResult, error) {
+	ctx, end := c.observe(ctx, "intersection-size", len(values))
 	var res *core.SizeResult
 	err := c.withConn(ctx, func(conn transport.Conn) error {
 		var err error
 		res, err = core.IntersectionSizeReceiver(ctx, c.cfg, conn, values)
 		return err
 	})
+	end(err)
 	return res, err
 }
 
 // Join runs the equijoin protocol against the server.
 func (c *Client) Join(ctx context.Context, values [][]byte) (*core.JoinResult, error) {
+	ctx, end := c.observe(ctx, "equijoin", len(values))
 	var res *core.JoinResult
 	err := c.withConn(ctx, func(conn transport.Conn) error {
 		var err error
 		res, err = core.EquijoinReceiver(ctx, c.cfg, conn, values)
 		return err
 	})
+	end(err)
 	return res, err
 }
 
 // JoinSize runs the equijoin-size protocol against the server; values is
 // a multiset.
 func (c *Client) JoinSize(ctx context.Context, values [][]byte) (*core.JoinSizeResult, error) {
+	ctx, end := c.observe(ctx, "equijoin-size", len(values))
 	var res *core.JoinSizeResult
 	err := c.withConn(ctx, func(conn transport.Conn) error {
 		var err error
 		res, err = core.EquijoinSizeReceiver(ctx, c.cfg, conn, values)
 		return err
 	})
+	end(err)
 	return res, err
 }

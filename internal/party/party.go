@@ -483,8 +483,8 @@ func (s *Server) runSession(ctx context.Context, peer string, conn transport.Con
 			Duration: snap.Duration,
 			Spans:    obs.RenderSpans(snap.Spans),
 		}
-		s.logf("party: session %d with %s: protocol=%v outcome=%q duration=%s modexp=%d oracle_hashes=%d wire_bytes=%d spans=%q",
-			snap.ID, peer, hdr.Protocol, snap.Outcome,
+		s.logf("party: session %d trace=%s with %s: protocol=%v outcome=%q duration=%s modexp=%d oracle_hashes=%d wire_bytes=%d spans=%q",
+			snap.ID, snap.TraceID, peer, hdr.Protocol, snap.Outcome,
 			snap.Duration.Round(time.Microsecond),
 			snap.Counters.ModExps(), snap.Counters.OracleHashes,
 			snap.Counters.TotalWireBytes(), stats.Spans)

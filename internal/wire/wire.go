@@ -132,14 +132,20 @@ const MaxVectorLen = 1 << 24
 const (
 	// EncodedHeaderLen is the full encoded size of a Header message:
 	// kind(1) + protocol(1) + group bits(4) + group digest(32) +
-	// set size(8) + set version(8).
-	EncodedHeaderLen = 1 + 1 + 4 + 32 + 8 + 8
+	// set size(8) + set version(8) + trace id(16) + span id(8).
+	EncodedHeaderLen = 1 + 1 + 4 + 32 + 8 + 8 + 16 + 8
+	// PreTraceEncodedHeaderLen is the header size before the trace-context
+	// fields (TraceID, SpanID) existed.  Decode still accepts it — the
+	// missing fields read as zero, which both already define as "untraced"
+	// / "no span" — so a mixed-version deployment completes the handshake
+	// and simply runs the session untraced.
+	PreTraceEncodedHeaderLen = EncodedHeaderLen - 16 - 8
 	// LegacyEncodedHeaderLen is the pre-S27 header size, before the
 	// set-version field existed.  Decode still accepts it — the missing
 	// SetVersion reads as 0, which the field already defines as
 	// "unversioned" — so a mixed-version deployment completes the
 	// handshake instead of failing with a truncation error.
-	LegacyEncodedHeaderLen = EncodedHeaderLen - 8
+	LegacyEncodedHeaderLen = PreTraceEncodedHeaderLen - 8
 	// VectorOverhead is the fixed cost of any vector message beyond its
 	// elements: kind byte(1) + element count(4).
 	VectorOverhead = 1 + 4
@@ -164,6 +170,14 @@ type Header struct {
 	// peer that cached results or encrypted state from an earlier
 	// session can compare versions to detect a stale counterpart.
 	SetVersion uint64
+	// TraceID is the distributed-trace identity for this protocol run.
+	// The session initiator mints it; the responder adopts it and echoes
+	// it back, so both endpoints' span trees stitch into one trace.  All
+	// zeros means "untraced" (an uninstrumented or pre-trace peer).
+	TraceID [16]byte
+	// SpanID is the announcing party's root span identity, which becomes
+	// the parent of the adopting peer's root span.  Zero when untraced.
+	SpanID uint64
 }
 
 // Kind implements Message.
@@ -282,6 +296,9 @@ func (c *Codec) Encode(m Message) ([]byte, error) {
 		buf = append(buf, b8[:]...)
 		binary.BigEndian.PutUint64(b8[:], v.SetVersion)
 		buf = append(buf, b8[:]...)
+		buf = append(buf, v.TraceID[:]...)
+		binary.BigEndian.PutUint64(b8[:], v.SpanID)
+		buf = append(buf, b8[:]...)
 	case Elements:
 		buf = putCount(buf, len(v.Elems))
 		for _, e := range v.Elems {
@@ -343,9 +360,14 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 	buf := data[1:]
 	switch kind {
 	case KindHeader:
-		// Current (with set version) or legacy pre-S27 (without) layout;
-		// a legacy peer's header decodes with SetVersion 0 (unversioned).
-		if len(buf) != EncodedHeaderLen-1 && len(buf) != LegacyEncodedHeaderLen-1 {
+		// Three accepted layouts, newest first: current (with trace
+		// context), pre-trace (with set version only), and legacy pre-S27
+		// (neither).  Fields absent from an older layout decode as zero,
+		// which each field defines as its "absent" value, so a
+		// mixed-version deployment still completes the handshake.
+		switch len(buf) {
+		case EncodedHeaderLen - 1, PreTraceEncodedHeaderLen - 1, LegacyEncodedHeaderLen - 1:
+		default:
 			return nil, fmt.Errorf("%w: header of %d bytes", ErrTruncated, len(buf))
 		}
 		var h Header
@@ -353,8 +375,12 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 		h.GroupBits = binary.BigEndian.Uint32(buf[1:5])
 		copy(h.GroupDigest[:], buf[5:37])
 		h.SetSize = binary.BigEndian.Uint64(buf[37:45])
-		if len(buf) == EncodedHeaderLen-1 {
+		if len(buf) >= PreTraceEncodedHeaderLen-1 {
 			h.SetVersion = binary.BigEndian.Uint64(buf[45:53])
+		}
+		if len(buf) == EncodedHeaderLen-1 {
+			copy(h.TraceID[:], buf[53:69])
+			h.SpanID = binary.BigEndian.Uint64(buf[69:77])
 		}
 		return h, nil
 	case KindElements:

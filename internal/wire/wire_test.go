@@ -54,6 +54,8 @@ func TestHeaderRoundTrip(t *testing.T) {
 		GroupDigest: GroupDigest(g),
 		SetSize:     123456789,
 		SetVersion:  42,
+		TraceID:     [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		SpanID:      0xDEADBEEFCAFEF00D,
 	}
 	got := roundTrip(t, c, h).(Header)
 	if got != h {
@@ -68,9 +70,12 @@ func TestHeaderRoundTrip(t *testing.T) {
 	}
 }
 
-// TestHeaderDecodeLegacy pins mixed-version interop: a pre-S27 peer's
-// 46-byte header (no set-version field) must decode with SetVersion 0
-// ("unversioned") rather than failing the handshake as truncated.
+// TestHeaderDecodeLegacy pins mixed-version interop across all three
+// header generations: a pre-trace peer's 54-byte header (no trace
+// context) must decode with a zero TraceID/SpanID ("untraced"), and a
+// pre-S27 peer's 46-byte header (no set-version field either) must also
+// decode with SetVersion 0 ("unversioned") — neither may fail the
+// handshake as truncated.
 func TestHeaderDecodeLegacy(t *testing.T) {
 	c, g := testCodec()
 	h := Header{
@@ -79,32 +84,58 @@ func TestHeaderDecodeLegacy(t *testing.T) {
 		GroupDigest: GroupDigest(g),
 		SetSize:     987654321,
 		SetVersion:  42,
+		TraceID:     [16]byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0x10},
+		SpanID:      0x1234567890ABCDEF,
 	}
 	data, err := c.Encode(h)
 	if err != nil {
 		t.Fatal(err)
 	}
-	legacy := data[:LegacyEncodedHeaderLen]
-	msg, err := c.Decode(legacy)
-	if err != nil {
-		t.Fatalf("Decode(legacy %d-byte header): %v", len(legacy), err)
+
+	cases := []struct {
+		name string
+		data []byte
+		want Header
+	}{
+		{"pre-trace 54-byte", data[:PreTraceEncodedHeaderLen], func() Header {
+			w := h
+			w.TraceID = [16]byte{}
+			w.SpanID = 0
+			return w
+		}()},
+		{"pre-S27 46-byte", data[:LegacyEncodedHeaderLen], func() Header {
+			w := h
+			w.TraceID = [16]byte{}
+			w.SpanID = 0
+			w.SetVersion = 0
+			return w
+		}()},
 	}
-	got, ok := msg.(Header)
-	if !ok {
-		t.Fatalf("decoded %T, want Header", msg)
-	}
-	want := h
-	want.SetVersion = 0
-	if got != want {
-		t.Errorf("legacy header decode: got %+v, want %+v", got, want)
+	for _, tc := range cases {
+		msg, err := c.Decode(tc.data)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", tc.name, err)
+		}
+		got, ok := msg.(Header)
+		if !ok {
+			t.Fatalf("%s: decoded %T, want Header", tc.name, msg)
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
 	}
 
 	// Any other length stays a decode error.
-	if _, err := c.Decode(data[:LegacyEncodedHeaderLen+3]); err == nil {
-		t.Error("header between legacy and current size decoded without error")
-	}
-	if _, err := c.Decode(data[:LegacyEncodedHeaderLen-1]); err == nil {
-		t.Error("short header decoded without error")
+	for _, n := range []int{
+		LegacyEncodedHeaderLen - 1,
+		LegacyEncodedHeaderLen + 3,
+		PreTraceEncodedHeaderLen - 1,
+		PreTraceEncodedHeaderLen + 3,
+		EncodedHeaderLen - 1,
+	} {
+		if _, err := c.Decode(data[:n]); err == nil {
+			t.Errorf("%d-byte header decoded without error", n)
+		}
 	}
 }
 
@@ -306,6 +337,9 @@ func TestGoldenVectors(t *testing.T) {
 		GroupDigest: digest,
 		SetSize:     0x0102030405060708,
 		SetVersion:  0x1122334455667788,
+		TraceID: [16]byte{0xA1, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8,
+			0xB1, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6, 0xB7, 0xB8},
+		SpanID: 0xC1C2C3C4C5C6C7C8,
 	}
 	wantHeader := []byte{
 		1,           // kind
@@ -315,6 +349,9 @@ func TestGoldenVectors(t *testing.T) {
 	wantHeader = append(wantHeader, digest[:]...)                                   // offsets 6-37
 	wantHeader = append(wantHeader, 1, 2, 3, 4, 5, 6, 7, 8)                         // set size, offsets 38-45
 	wantHeader = append(wantHeader, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88) // set version, 46-53
+	wantHeader = append(wantHeader, 0xA1, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8,
+		0xB1, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6, 0xB7, 0xB8) // trace id, offsets 54-69
+	wantHeader = append(wantHeader, 0xC1, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8) // span id, offsets 70-77
 
 	cases := []struct {
 		name string
