@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-faults docs-check lint lint-fix-audit check bench bench-pipeline bench-cache bench-obs bench-obs-smoke experiments
+.PHONY: all build test vet race race-faults docs-check lint lint-fix-audit check bench bench-pipeline bench-cache bench-obs bench-obs-smoke bench-group bench-group-smoke experiments
 
 all: check
 
@@ -64,7 +64,23 @@ bench-obs:
 bench-obs-smoke:
 	$(GO) test -short -run xxx -bench ObsOverhead -benchtime 1x .
 
-check: build vet test race race-faults lint bench-obs-smoke
+# Group-backend benchmark (the BENCH_PR7.json numbers): the same
+# protocols end to end over each commutative-encryption backend —
+# qr1024 (the paper's parameters) vs ec25519 — plus the per-operation
+# C_e and hash-to-element costs, and the Montgomery-vs-big.Int modexp
+# comparison that certifies the fixed-width gate.
+bench-group:
+	$(GO) test -run xxx -bench GroupBackend -benchtime 3x .
+	$(GO) test -run xxx -bench MontVsBigExp -benchtime 50x ./internal/group
+
+# Short-mode smoke of the backend benches (tiny sets, one iteration):
+# a regression that breaks a backend's protocol path or the Montgomery
+# ladder fails check.
+bench-group-smoke:
+	$(GO) test -short -run xxx -bench GroupBackend -benchtime 1x .
+	$(GO) test -run xxx -bench MontVsBigExp -benchtime 1x ./internal/group
+
+check: build vet test race race-faults lint bench-obs-smoke bench-group-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

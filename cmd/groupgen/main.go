@@ -1,10 +1,17 @@
-// Command groupgen generates a fresh safe-prime group for the
-// commutative-encryption protocols and prints its modulus as hex.
+// Command groupgen generates or describes a commutative-encryption
+// group for the protocols.
 //
-//	groupgen -bits 1024
+//	groupgen -bits 1024            # generate a fresh safe-prime modulus
+//	groupgen -group ec25519        # describe a fixed-parameter backend
+//	groupgen -group qr256          # describe a builtin safe-prime group
 //
-// Safe primes are rare; large sizes take minutes on one core.  The
-// builtin groups (group.Builtin) cover common sizes without waiting.
+// With the default -group qr it searches for a fresh safe prime of
+// -bits bits and prints its modulus as hex.  Safe primes are rare;
+// large sizes take minutes on one core, and the builtin groups
+// (group.Builtin) cover common sizes without waiting.  Any other
+// -group value names a registry backend — those have fixed parameters
+// (nothing to generate), so groupgen prints the backend's name, wire
+// code, codeword width and parameter digest instead.
 package main
 
 import (
@@ -18,9 +25,27 @@ import (
 )
 
 func main() {
-	bits := flag.Int("bits", 1024, "modulus size in bits")
+	bits := flag.Int("bits", 1024, "modulus size in bits (safe-prime generation only)")
+	backend := flag.String("group", "qr", "backend to generate or describe: qr (generate), or a registry name (ec25519, qr1024, …)")
 	timeout := flag.Duration("timeout", time.Hour, "give up after this long")
 	flag.Parse()
+
+	if *backend != "qr" {
+		b, err := group.ByFlag(*backend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groupgen:", err)
+			os.Exit(1)
+		}
+		digest := b.ParamDigest()
+		fmt.Printf("backend:      %s\n", b.Name())
+		fmt.Printf("wire code:    %d\n", b.Code())
+		fmt.Printf("codeword:     %d bits (%d-byte elements)\n", b.Bits(), b.ElementLen())
+		fmt.Printf("param digest: %x\n", digest)
+		if g, ok := b.(*group.Group); ok {
+			fmt.Printf("modulus:      %x\n", g.P())
+		}
+		return
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()

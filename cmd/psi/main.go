@@ -13,7 +13,11 @@
 // file uses TAB-separated "value<TAB>ext" lines; the receiver gets each
 // matching value's ext printed alongside it.  -proto is one of
 // intersection, join, intersection-size, join-size.  -group selects the
-// builtin safe-prime modulus size (default 1024, the paper's).
+// group backend by registry name — "qr1024" (the paper's parameters,
+// the default), any other builtin "qr<bits>" size, or "ec25519" for the
+// Curve25519 backend — or, for compatibility, a bare safe-prime bit
+// count.  Both parties must select the same backend; a mismatch fails
+// the handshake with an explicit backend error.
 //
 // With -trace-out the run is traced: phase spans, latency histograms and
 // the distributed trace ID (carried to the peer in the handshake) are
@@ -58,7 +62,7 @@ func run() error {
 		listen    = flag.String("listen", "", "listen address (e.g. :9000)")
 		connect   = flag.String("connect", "", "peer address to connect to")
 		valueFile = flag.String("values", "", "path to the value file (one value per line; sender join files use value<TAB>ext)")
-		groupBits = flag.Int("group", 1024, "builtin safe-prime group size in bits")
+		groupName = flag.String("group", "qr1024", "group backend: "+strings.Join(group.Backends(), " | ")+", or a safe-prime bit count")
 		par       = flag.Int("p", 0, "encryption parallelism (0 = all cores)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "overall protocol deadline")
 		traceOut  = flag.String("trace-out", "", "write the run's trace as Chrome trace_event JSON to this file")
@@ -76,7 +80,7 @@ func run() error {
 		return fmt.Errorf("-values is required")
 	}
 
-	g, err := group.Builtin(group.Size(*groupBits))
+	g, err := group.ByFlag(*groupName)
 	if err != nil {
 		return err
 	}

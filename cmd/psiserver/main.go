@@ -67,7 +67,7 @@ func run() error {
 		debugAddr  = flag.String("debug-addr", "", "optional address for the introspection endpoint (/metrics, /debug/vars, /debug/pprof)")
 		tableFile  = flag.String("table", "", "CSV file with the table (typed header; see reldb.ReadCSV)")
 		attr       = flag.String("attr", "", "join attribute column")
-		groupBits  = flag.Int("group", 1024, "builtin safe-prime group size in bits")
+		groupName  = flag.String("group", "qr1024", "group backend: "+strings.Join(group.Backends(), " | ")+", or a safe-prime bit count")
 		protocols  = flag.String("protocols", "", "comma-separated allowed protocols (default: all); e.g. intersection-size,join-size")
 		maxPeerSet = flag.Int("max-peer-set", 1<<20, "reject sessions announcing a larger peer set")
 		minPeerSet = flag.Int("min-peer-set", 0, "reject sessions announcing a smaller peer set")
@@ -118,7 +118,7 @@ func run() error {
 		records[i] = core.JoinRecord{Value: joinValues[i], Ext: exts[i]}
 	}
 
-	g, err := group.Builtin(group.Size(*groupBits))
+	g, err := group.ByFlag(*groupName)
 	if err != nil {
 		return err
 	}

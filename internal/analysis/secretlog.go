@@ -9,6 +9,10 @@ import (
 // commutativePath is the package whose types carry key material.
 const commutativePath = "minshare/internal/commutative"
 
+// groupPath is the backend package whose Scalar type carries the raw
+// key material underneath commutative.Key.
+const groupPath = "minshare/internal/group"
+
 // SecretLog reports key material reaching a formatting or logging sink.
 //
 // The paper's security proofs (§5, Lemmas 1–3) model the commutative
@@ -17,9 +21,12 @@ const commutativePath = "minshare/internal/commutative"
 // breaks that model outside the protocol transcript entirely.  The
 // analyzer therefore rejects any argument to the fmt print family, the
 // log and log/slog packages, or error formatting whose value is — or
-// contains — a commutative.Key or a commutative.CachedSet (whose pinned
-// key and ciphertext ordering are both sensitive), as well as raw
-// exponents obtained from Key.Exponent or from a Key's fields.
+// contains — a commutative.Key, a commutative.CachedSet (whose pinned
+// key and ciphertext ordering are both sensitive), or a group.Scalar
+// (the raw key material every backend stores under the Key — a QR
+// exponent or a curve scalar alike), as well as raw exponents obtained
+// from Key.Exponent, raw scalars obtained from Scalar.Big, or fields
+// read off any of those types.
 //
 // The trace-export surface is a sink of the same severity: a span
 // annotation ((*obs.Span).Annotate) is stringified into the span tree,
@@ -28,8 +35,8 @@ const commutativePath = "minshare/internal/commutative"
 // rejected there too.
 var SecretLog = &Analyzer{
 	Name: "secretlog",
-	Doc: "no commutative.Key, raw exponent, or CachedSet value may reach " +
-		"fmt/log/slog formatting, error strings, or span annotations " +
+	Doc: "no commutative.Key, group.Scalar, raw exponent, or CachedSet value " +
+		"may reach fmt/log/slog formatting, error strings, or span annotations " +
 		"(the flight-recorder/trace-export path)",
 	Run: runSecretLog,
 }
@@ -107,17 +114,22 @@ func sinkName(f *types.Func) string {
 // returning a human description, or "" when it is safe.
 func secretDesc(pkg *Package, arg ast.Expr) string {
 	arg = ast.Unparen(arg)
-	// A raw exponent escaping through Key.Exponent().
+	// A raw exponent escaping through Key.Exponent(), or a raw backend
+	// scalar escaping through Scalar.Big().
 	if call, ok := arg.(*ast.CallExpr); ok {
-		if f := calleeFunc(pkg, call); f != nil && f.Name() == "Exponent" {
-			if p, r, ok := recvNamed(f); ok && p == commutativePath && r == "Key" {
-				return "a raw key exponent (commutative.Key.Exponent)"
+		if f := calleeFunc(pkg, call); f != nil {
+			if p, r, ok := recvNamed(f); ok {
+				switch {
+				case f.Name() == "Exponent" && p == commutativePath && r == "Key":
+					return "a raw key exponent (commutative.Key.Exponent)"
+				case f.Name() == "Big" && p == groupPath && r == "Scalar":
+					return "a raw key scalar (group.Scalar.Big)"
+				}
 			}
 		}
 	}
-	// A field read off a Key or CachedSet (possible inside the
-	// commutative package itself, where the unexported fields are
-	// visible).
+	// A field read off a Key, CachedSet or Scalar (possible inside the
+	// owning package itself, where the unexported fields are visible).
 	if sel, ok := arg.(*ast.SelectorExpr); ok {
 		if t := typeOf(pkg, sel.X); t != nil {
 			if isNamedType(t, commutativePath, "Key") {
@@ -125,6 +137,9 @@ func secretDesc(pkg *Package, arg ast.Expr) string {
 			}
 			if isNamedType(t, commutativePath, "CachedSet") {
 				return "a commutative.CachedSet field"
+			}
+			if isNamedType(t, groupPath, "Scalar") {
+				return "a group.Scalar field"
 			}
 		}
 	}
@@ -143,8 +158,13 @@ func secretType(t types.Type, seen map[types.Type]bool) string {
 		return ""
 	}
 	seen[t] = true
-	if p, n, ok := namedOf(t); ok && p == commutativePath && (n == "Key" || n == "CachedSet") {
-		return "commutative." + n
+	if p, n, ok := namedOf(t); ok {
+		if p == commutativePath && (n == "Key" || n == "CachedSet") {
+			return "commutative." + n
+		}
+		if p == groupPath && n == "Scalar" {
+			return "group.Scalar"
+		}
 	}
 	switch u := types.Unalias(t).(type) {
 	case *types.Pointer:

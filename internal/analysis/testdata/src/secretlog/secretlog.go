@@ -11,6 +11,7 @@ import (
 	"math/big"
 
 	"minshare/internal/commutative"
+	"minshare/internal/group"
 	"minshare/internal/obs"
 )
 
@@ -19,6 +20,13 @@ import (
 type session struct {
 	name string
 	key  *commutative.Key
+}
+
+// backendState looks like per-backend protocol state: the embedded raw
+// scalar is the key material itself.
+type backendState struct {
+	backend string
+	scalar  *group.Scalar
 }
 
 func positives(k *commutative.Key, cs *commutative.CachedSet, s session) error {
@@ -38,6 +46,26 @@ func annotatePositives(sp *obs.Span, k *commutative.Key, cs *commutative.CachedS
 	sp.Annotate("cache", cs)         // want `secretlog: .*commutative\.CachedSet.*flight recorder or trace export`
 	sp.Annotate("exp", k.Exponent()) // want `secretlog: .*raw key exponent.*flight recorder or trace export`
 	sp.Annotate("session", s)        // want `secretlog: .*containing.*commutative\.Key`
+}
+
+// scalarPositives: a group.Scalar is the raw key underneath
+// commutative.Key for every backend (QR exponent or curve scalar), so
+// it gets the same no-log protection, as does the big.Int that
+// Scalar.Big hands back.
+func scalarPositives(sp *obs.Span, sc *group.Scalar, st backendState) error {
+	fmt.Printf("scalar: %v\n", sc) // want `secretlog: argument 2 of fmt\.Printf carries a value of \(or containing\) group\.Scalar`
+	fmt.Println(sc.Big())          // want `secretlog: .*raw key scalar \(group\.Scalar\.Big\)`
+	slog.Info("state", "s", st)    // want `secretlog: .*containing.*group\.Scalar`
+	sp.Annotate("scalar", sc)      // want `secretlog: .*group\.Scalar.*flight recorder or trace export`
+	return fmt.Errorf("bad scalar %v", sc) // want `secretlog: .*group\.Scalar.*error strings`
+}
+
+// scalarNegatives: backend identity, element widths and wire codes are
+// public parameters, not key material.
+func scalarNegatives(sp *obs.Span, b group.Backend, code group.Code, elem *big.Int) {
+	fmt.Printf("backend %s (%d-bit, code %v)\n", b.Name(), b.Bits(), code)
+	slog.Info("element", "bits", elem.BitLen())
+	sp.Annotate("backend", b.Name())
 }
 
 func annotateNegatives(sp *obs.Span, y *big.Int) {

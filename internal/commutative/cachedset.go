@@ -75,9 +75,9 @@ func (c *CachedSet) Len() int { return len(c.elems) }
 
 // MemoryBytes estimates the heap footprint of the cached state.  It is
 // an accounting figure for bounded-memory caches, not an exact
-// measurement: each element is charged its big-endian byte length plus
-// fixed big.Int overhead, each payload its length plus slice-header
-// overhead.
+// measurement: each element is charged the word-aligned width of its
+// backing storage plus fixed big.Int overhead, each payload its length
+// plus slice-header overhead.
 func (c *CachedSet) MemoryBytes() int64 { return c.memory }
 
 const (
@@ -87,13 +87,23 @@ const (
 	sliceOverhead  = 24
 )
 
+// elemStorageBytes is the heap charge for one element container: the
+// word-aligned size of its big.Int backing array.  big.Int allocates
+// whole 64-bit words, so a 32-byte EC point encoding occupies four
+// words (32 bytes) even when its top byte — and hence its bit length —
+// is small; charging bitLen/8, as an earlier version did, undercounted
+// every element whose encoding starts with zero or near-zero bytes.
+func elemStorageBytes(e *big.Int) int64 {
+	return int64((e.BitLen()+63)/64) * 8
+}
+
 func (c *CachedSet) estimateMemory() int64 {
 	total := int64(bigIntOverhead) // the key's exponent
-	if c.key != nil {
-		total += int64(c.key.e.BitLen()+7) / 8
+	if c.key != nil && c.key.e != nil {
+		total += elemStorageBytes(c.key.e.Big())
 	}
 	for _, e := range c.elems {
-		total += int64(e.BitLen()+7)/8 + bigIntOverhead
+		total += elemStorageBytes(e) + bigIntOverhead
 	}
 	for _, p := range c.payload {
 		total += int64(len(p)) + sliceOverhead

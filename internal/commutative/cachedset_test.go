@@ -69,3 +69,36 @@ func TestCachedSetFromSortedValidatesPayload(t *testing.T) {
 		t.Errorf("payload not charged: %d <= %d", cs.MemoryBytes(), bare.MemoryBytes())
 	}
 }
+
+// TestCachedSetMemoryChargesWordAlignedStorage pins the element
+// accounting against the backend element width: big.Int allocates
+// whole 64-bit words, so a 32-byte EC point encoding whose top bytes
+// happen to be small must be charged the same four words as one with a
+// full-width top byte.  An earlier version charged ceil(bitLen/8) and
+// so undercounted exactly those elements.
+func TestCachedSetMemoryChargesWordAlignedStorage(t *testing.T) {
+	s := NewPowerFn(group.TestGroup())
+	k, err := s.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := func(e *big.Int) int64 {
+		t.Helper()
+		cs, err := CachedSetFromSorted(k, []*big.Int{e}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs.MemoryBytes()
+	}
+
+	full := new(big.Int).Lsh(big.NewInt(1), 255)  // bit length 256: 4 words
+	short := new(big.Int).Lsh(big.NewInt(1), 199) // bit length 200: still 4 words
+	tiny := new(big.Int).Lsh(big.NewInt(1), 63)   // bit length 64: 1 word
+
+	if mem(full) != mem(short) {
+		t.Errorf("same word count charged differently: 256-bit %d vs 200-bit %d", mem(full), mem(short))
+	}
+	if diff := mem(full) - mem(tiny); diff != 3*8 {
+		t.Errorf("4-word vs 1-word element charge differs by %d, want 24", diff)
+	}
+}

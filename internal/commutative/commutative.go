@@ -15,6 +15,13 @@
 //
 // Powers commute, each f_e is a bijection on QR(p) with inverse
 // f_{e^{-1} mod q}, and DDH over QR(p) gives Property 4.
+//
+// Nothing in Definition 2 requires that particular group, and this
+// package is written against group.Backend rather than the safe-prime
+// group: PowerFn over the Curve25519 backend is the same scheme with
+// f_e(x) = e·x over hashed-to-curve points (a scalar multiplication
+// instead of a modular exponentiation), at the same DDH security for a
+// fraction of the C_e cost.
 package commutative
 
 import (
@@ -30,39 +37,41 @@ import (
 // ErrNilKey is returned when an operation receives a nil key.
 var ErrNilKey = errors.New("commutative: nil key")
 
-// Key is a secret commutative-encryption key (an exponent in [1, q-1]).
-// Keys are produced by a Scheme and must not be shared between groups of
-// different moduli.
+// Key is a secret commutative-encryption key: a scalar in the key space
+// of the backend that produced it ([1, q-1] for QR(p), [1, ℓ-1] for the
+// Curve25519 subgroup).  Keys are produced by a Scheme and must never be
+// shared between backends or between groups of different parameters.
 type Key struct {
-	e *big.Int
+	e *group.Scalar
 
-	// Decryption inverse e⁻¹ mod q, computed once on first Decrypt.  A
-	// bulk decryptSet of n elements would otherwise pay n modular
-	// inversions for the same exponent.
+	// Decryption inverse e⁻¹ mod the key-space order, computed once on
+	// first Decrypt.  A bulk decryptSet of n elements would otherwise
+	// pay n modular inversions for the same exponent.
 	invOnce sync.Once
-	inv     *big.Int
+	inv     *group.Scalar
 	invErr  error
 }
 
-// inverse returns e⁻¹ mod q for the group g, caching it after the first
-// call.  Safe for concurrent use.
-func (k *Key) inverse(g *group.Group) (*big.Int, error) {
+// inverse returns the decryption scalar for backend b, caching it after
+// the first call.  Safe for concurrent use.
+func (k *Key) inverse(b group.Backend) (*group.Scalar, error) {
 	k.invOnce.Do(func() {
-		k.inv, k.invErr = g.InvExponent(k.e)
+		k.inv, k.invErr = b.InvertScalar(k.e)
 	})
 	return k.inv, k.invErr
 }
 
-// Exponent returns a copy of the key's secret exponent.  It is exposed
-// for serialization in tools; protocol code never needs it.
-func (k *Key) Exponent() *big.Int { return new(big.Int).Set(k.e) }
+// Exponent returns a copy of the key's secret scalar value.  It is
+// exposed for serialization in tools; protocol code never needs it.
+func (k *Key) Exponent() *big.Int { return k.e.Big() }
 
-// Scheme is a commutative encryption over a fixed group, in the sense of
-// Definition 2 of the paper.  Implementations must be safe for concurrent
-// use.
+// Scheme is a commutative encryption over a fixed domain, in the sense
+// of Definition 2 of the paper.  Implementations must be safe for
+// concurrent use.
 type Scheme interface {
-	// Group returns the underlying domain DomF = QR(p).
-	Group() *group.Group
+	// Backend returns the underlying domain DomF (QR(p), or the
+	// Curve25519 prime-order subgroup).
+	Backend() group.Backend
 	// GenerateKey draws a fresh uniform key from KeyF.  The randomness
 	// source defaults to crypto/rand when nil.
 	GenerateKey(r io.Reader) (*Key, error)
@@ -72,61 +81,61 @@ type Scheme interface {
 	Decrypt(k *Key, y *big.Int) (*big.Int, error)
 }
 
-// PowerFn is the Pohlig-Hellman power-function scheme of Example 1.
+// PowerFn is the commutative-encryption scheme of Example 1 generalized
+// over a backend: f_e = Apply(e, ·), the Pohlig-Hellman power function
+// when the backend is QR(p) and hashed-to-curve scalar multiplication
+// when it is the Curve25519 subgroup.
 type PowerFn struct {
-	g *group.Group
+	b group.Backend
 }
 
-// NewPowerFn returns the power-function scheme over g.
-func NewPowerFn(g *group.Group) *PowerFn {
-	return &PowerFn{g: g}
+// NewPowerFn returns the scheme over backend b.
+func NewPowerFn(b group.Backend) *PowerFn {
+	return &PowerFn{b: b}
 }
 
-// Group implements Scheme.
-func (s *PowerFn) Group() *group.Group { return s.g }
+// Backend implements Scheme.
+func (s *PowerFn) Backend() group.Backend { return s.b }
 
-// GenerateKey implements Scheme: a uniform exponent in [1, q-1].
+// GenerateKey implements Scheme: a uniform scalar from the backend's
+// key space.
 func (s *PowerFn) GenerateKey(r io.Reader) (*Key, error) {
-	e, err := s.g.RandomExponent(r)
+	e, err := s.b.RandomScalar(r)
 	if err != nil {
 		return nil, err
 	}
 	return &Key{e: e}, nil
 }
 
-// KeyFromExponent wraps an explicit exponent as a Key, validating that it
-// lies in [1, q-1].  Used by deterministic tests and key persistence.
+// KeyFromExponent wraps an explicit exponent as a Key, validating that
+// it lies in the backend's key space.  Used by deterministic tests and
+// key persistence.
 func (s *PowerFn) KeyFromExponent(e *big.Int) (*Key, error) {
-	if e == nil || e.Sign() <= 0 || e.Cmp(s.g.Q()) >= 0 {
-		return nil, errors.New("commutative: exponent outside [1, q-1]")
+	sc, err := s.b.ScalarFromBig(e)
+	if err != nil {
+		return nil, errors.New("commutative: exponent outside key space")
 	}
-	return &Key{e: new(big.Int).Set(e)}, nil
+	return &Key{e: sc}, nil
 }
 
-// Encrypt implements Scheme: f_e(x) = x^e mod p.
+// Encrypt implements Scheme: f_e(x), one C_e operation.
 func (s *PowerFn) Encrypt(k *Key, x *big.Int) (*big.Int, error) {
 	if k == nil || k.e == nil {
 		return nil, ErrNilKey
 	}
-	if !s.g.Contains(x) {
-		return nil, group.ErrNotInGroup
-	}
-	return s.g.Exp(x, k.e), nil
+	return s.b.Apply(k.e, x)
 }
 
-// Decrypt implements Scheme: f_e^{-1}(y) = y^{e^{-1} mod q} mod p.
+// Decrypt implements Scheme: f_e^{-1}(y) = Apply(e⁻¹, y) (Property 3).
 func (s *PowerFn) Decrypt(k *Key, y *big.Int) (*big.Int, error) {
 	if k == nil || k.e == nil {
 		return nil, ErrNilKey
 	}
-	if !s.g.Contains(y) {
-		return nil, group.ErrNotInGroup
-	}
-	inv, err := k.inverse(s.g)
+	inv, err := k.inverse(s.b)
 	if err != nil {
 		return nil, err
 	}
-	return s.g.Exp(y, inv), nil
+	return s.b.Apply(inv, y)
 }
 
 // Counting wraps a Scheme and counts encryption and decryption calls.
@@ -145,8 +154,8 @@ func NewCounting(inner Scheme) *Counting {
 	return &Counting{inner: inner}
 }
 
-// Group implements Scheme.
-func (c *Counting) Group() *group.Group { return c.inner.Group() }
+// Backend implements Scheme.
+func (c *Counting) Backend() group.Backend { return c.inner.Backend() }
 
 // GenerateKey implements Scheme.
 func (c *Counting) GenerateKey(r io.Reader) (*Key, error) {

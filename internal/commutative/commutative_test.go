@@ -16,13 +16,24 @@ func testScheme(t testing.TB) *PowerFn {
 	return NewPowerFn(group.TestGroup())
 }
 
+// qr recovers the concrete safe-prime group behind a scheme's backend so
+// tests can sample random elements from it.
+func qr(t testing.TB, s Scheme) *group.Group {
+	t.Helper()
+	g, ok := s.Backend().(*group.Group)
+	if !ok {
+		t.Fatalf("test scheme backend is %T, want *group.Group", s.Backend())
+	}
+	return g
+}
+
 // TestCommutativity checks Property 1 of Definition 2: f_e ∘ f_e' = f_e' ∘ f_e.
 func TestCommutativity(t *testing.T) {
 	s := testScheme(t)
 	rng := rand.New(rand.NewSource(1))
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		x, _ := s.Group().RandomElement(r)
+		x, _ := qr(t, s).RandomElement(r)
 		k1, _ := s.GenerateKey(r)
 		k2, _ := s.GenerateKey(r)
 		a1, err1 := s.Encrypt(k1, x)
@@ -78,7 +89,7 @@ func TestDecryptInverts(t *testing.T) {
 	s := testScheme(t)
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 10; i++ {
-		x, _ := s.Group().RandomElement(rng)
+		x, _ := qr(t, s).RandomElement(rng)
 		k, _ := s.GenerateKey(rng)
 		y, err := s.Encrypt(k, x)
 		if err != nil {
@@ -100,7 +111,7 @@ func TestDecryptInverts(t *testing.T) {
 func TestEncryptDecryptOrderIrrelevant(t *testing.T) {
 	s := testScheme(t)
 	rng := rand.New(rand.NewSource(3))
-	x, _ := s.Group().RandomElement(rng)
+	x, _ := qr(t, s).RandomElement(rng)
 	kR, _ := s.GenerateKey(rng)
 	kS, _ := s.GenerateKey(rng)
 
@@ -119,7 +130,7 @@ func TestEncryptDecryptOrderIrrelevant(t *testing.T) {
 func TestEncryptRejectsNonMembers(t *testing.T) {
 	s := testScheme(t)
 	k, _ := s.GenerateKey(rand.New(rand.NewSource(4)))
-	bad := []*big.Int{nil, big.NewInt(0), big.NewInt(-5), s.Group().P()}
+	bad := []*big.Int{nil, big.NewInt(0), big.NewInt(-5), qr(t, s).P()}
 	for _, x := range bad {
 		if _, err := s.Encrypt(k, x); !errors.Is(err, group.ErrNotInGroup) {
 			t.Errorf("Encrypt(%v) error = %v, want ErrNotInGroup", x, err)
@@ -132,7 +143,7 @@ func TestEncryptRejectsNonMembers(t *testing.T) {
 
 func TestNilKey(t *testing.T) {
 	s := testScheme(t)
-	x, _ := s.Group().RandomElement(rand.New(rand.NewSource(5)))
+	x, _ := qr(t, s).RandomElement(rand.New(rand.NewSource(5)))
 	if _, err := s.Encrypt(nil, x); !errors.Is(err, ErrNilKey) {
 		t.Errorf("Encrypt(nil key) error = %v, want ErrNilKey", err)
 	}
@@ -143,7 +154,7 @@ func TestNilKey(t *testing.T) {
 
 func TestKeyFromExponentValidation(t *testing.T) {
 	s := testScheme(t)
-	for _, e := range []*big.Int{nil, big.NewInt(0), big.NewInt(-1), s.Group().Q()} {
+	for _, e := range []*big.Int{nil, big.NewInt(0), big.NewInt(-1), qr(t, s).Q()} {
 		if _, err := s.KeyFromExponent(e); err == nil {
 			t.Errorf("KeyFromExponent(%v) accepted invalid exponent", e)
 		}
@@ -162,7 +173,7 @@ func TestCountingCounts(t *testing.T) {
 	c := NewCounting(s)
 	rng := rand.New(rand.NewSource(6))
 	k, _ := c.GenerateKey(rng)
-	x, _ := c.Group().RandomElement(rng)
+	x, _ := qr(t, c).RandomElement(rng)
 	for i := 0; i < 3; i++ {
 		y, err := c.Encrypt(k, x)
 		if err != nil {
@@ -187,7 +198,7 @@ func TestEncryptAllMatchesSequential(t *testing.T) {
 	k, _ := s.GenerateKey(rng)
 	xs := make([]*big.Int, 37)
 	for i := range xs {
-		xs[i], _ = s.Group().RandomElement(rng)
+		xs[i], _ = qr(t, s).RandomElement(rng)
 	}
 	for _, par := range []int{0, 1, 2, 4, 8} {
 		got, err := EncryptAll(context.Background(), s, k, xs, par)
@@ -209,7 +220,7 @@ func TestDecryptAllInvertsEncryptAll(t *testing.T) {
 	k, _ := s.GenerateKey(rng)
 	xs := make([]*big.Int, 9)
 	for i := range xs {
-		xs[i], _ = s.Group().RandomElement(rng)
+		xs[i], _ = qr(t, s).RandomElement(rng)
 	}
 	ys, err := EncryptAll(context.Background(), s, k, xs, 3)
 	if err != nil {
@@ -232,7 +243,7 @@ func TestEncryptAllPropagatesErrors(t *testing.T) {
 	k, _ := s.GenerateKey(rng)
 	xs := make([]*big.Int, 20)
 	for i := range xs {
-		xs[i], _ = s.Group().RandomElement(rng)
+		xs[i], _ = qr(t, s).RandomElement(rng)
 	}
 	xs[13] = big.NewInt(0) // not a group member
 	for _, par := range []int{1, 4} {
@@ -262,7 +273,7 @@ func TestEncryptAllCancelled(t *testing.T) {
 	k, _ := s.GenerateKey(rng)
 	xs := make([]*big.Int, 50)
 	for i := range xs {
-		xs[i], _ = s.Group().RandomElement(rng)
+		xs[i], _ = qr(t, s).RandomElement(rng)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -26,8 +26,8 @@ func Observed(inner Scheme, c *obs.Counters) Scheme {
 	return &observed{inner: inner, c: c}
 }
 
-// Group implements Scheme.
-func (o *observed) Group() *group.Group { return o.inner.Group() }
+// Backend implements Scheme.
+func (o *observed) Backend() group.Backend { return o.inner.Backend() }
 
 // GenerateKey implements Scheme.
 func (o *observed) GenerateKey(r io.Reader) (*Key, error) {

@@ -28,6 +28,16 @@ func DecryptAll(ctx context.Context, s Scheme, k *Key, ys []*big.Int, parallelis
 	})
 }
 
+// mapAll applies f to every element of xs with up to parallelism
+// concurrent workers, preserving input order in the result.
+//
+// The parallelism contract (pinned by TestMapAllDefaultsToGOMAXPROCS):
+// parallelism <= 0 selects runtime.GOMAXPROCS(0) at call time — the
+// paper's "P processors that we can utilize in parallel" default — and
+// any requested value is capped at len(xs), since a worker per element
+// is the most the feeder can ever keep busy.  Exactly min(parallelism,
+// len(xs)) workers are started; each holds at most one element
+// in flight.
 func mapAll(ctx context.Context, xs []*big.Int, parallelism int, f func(*big.Int) (*big.Int, error)) ([]*big.Int, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/big"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -83,6 +84,65 @@ func TestMapAllSerialObservesCancellation(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Errorf("f ran %d times after mid-run cancel, want 2", calls)
+	}
+}
+
+// TestMapAllDefaultsToGOMAXPROCS pins the documented parallelism
+// contract: parallelism <= 0 must select runtime.GOMAXPROCS(0) workers
+// at call time.  The probe f parks every worker on a gate, so the
+// number of concurrent entries is exactly the worker count; the test
+// raises GOMAXPROCS so the default is distinguishable from serial
+// execution even on a single-CPU machine.
+func TestMapAllDefaultsToGOMAXPROCS(t *testing.T) {
+	const want = 4
+	old := runtime.GOMAXPROCS(want)
+	defer runtime.GOMAXPROCS(old)
+
+	xs := make([]*big.Int, 32)
+	for i := range xs {
+		xs[i] = big.NewInt(int64(i))
+	}
+	var entered atomic.Int64
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := mapAll(context.Background(), xs, 0, func(x *big.Int) (*big.Int, error) {
+			entered.Add(1)
+			<-gate
+			return x, nil
+		})
+		done <- err
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for entered.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("parallelism 0 started %d concurrent workers, want GOMAXPROCS = %d", entered.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The other half of the contract: the worker count is capped at
+	// len(xs), so a huge request on a tiny vector must not park more
+	// than len(xs) workers inside f at once.
+	entered.Store(0)
+	var peak atomic.Int64
+	out, err := mapAll(context.Background(), xs[:3], 64, func(x *big.Int) (*big.Int, error) {
+		if n := entered.Add(1); n > peak.Load() {
+			peak.Store(n)
+		}
+		defer entered.Add(-1)
+		return x, nil
+	})
+	if err != nil || len(out) != 3 {
+		t.Fatalf("capped run: out=%v err=%v", out, err)
+	}
+	if peak.Load() > 3 {
+		t.Errorf("parallelism 64 over 3 elements reached %d concurrent workers, want <= 3", peak.Load())
 	}
 }
 

@@ -16,7 +16,7 @@ func streamTestVector(t testing.TB, s *PowerFn, n int, seed int64) []*big.Int {
 	xs := make([]*big.Int, n)
 	for i := range xs {
 		var err error
-		if xs[i], err = s.Group().RandomElement(rng); err != nil {
+		if xs[i], err = qr(t, s).RandomElement(rng); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"minshare/internal/group"
+	"minshare/internal/obs"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// ecConfig returns a Config over the Curve25519 backend with a seeded
+// randomness source.
+func ecConfig(seed int64) Config {
+	return Config{
+		Group:       group.EC25519(),
+		Rand:        rand.New(rand.NewSource(seed)),
+		Parallelism: 1,
+	}
+}
+
+// TestIntersectionOverEC25519 runs the full Section 3.3 protocol with
+// f_e(x) = e·H(x) over the curve backend: the protocol layer must be
+// completely backend-agnostic.
+func TestIntersectionOverEC25519(t *testing.T) {
+	for _, chunk := range []int{0, 3} {
+		vR, vS := overlapping(6, 7, 4)
+		cfgR, cfgS := ecConfig(1), ecConfig(2)
+		cfgR.ChunkSize = chunk
+		cfgS.ChunkSize = chunk
+		res, sInfo := runPair(t,
+			func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+				return IntersectionReceiver(ctx, cfgR, conn, vR)
+			},
+			func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+				return IntersectionSender(ctx, cfgS, conn, vS)
+			})
+		if len(res.Values) != 4 {
+			t.Fatalf("chunk=%d: |intersection| = %d, want 4", chunk, len(res.Values))
+		}
+		want := plaintextIntersection(vR, vS)
+		for _, v := range res.Values {
+			if !want[string(v)] {
+				t.Errorf("chunk=%d: spurious value %q", chunk, v)
+			}
+		}
+		if sInfo.ReceiverSetSize != 6 {
+			t.Errorf("chunk=%d: |V_R| = %d, want 6", chunk, sInfo.ReceiverSetSize)
+		}
+	}
+}
+
+// TestEquijoinOverEC25519 runs the Section 4.3 equijoin over the curve
+// backend: κ(v) is a 32-byte curve point feeding the hybrid payload
+// cipher.
+func TestEquijoinOverEC25519(t *testing.T) {
+	vR, vS := overlapping(5, 6, 3)
+	cfgR, cfgS := ecConfig(3), ecConfig(4)
+	res, _ := runPair(t,
+		func(ctx context.Context, conn transport.Conn) (*JoinResult, error) {
+			return EquijoinReceiver(ctx, cfgR, conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return EquijoinSender(ctx, cfgS, conn, mkRecords(vS))
+		})
+	if len(res.Matches) != 3 {
+		t.Fatalf("matches = %d, want 3", len(res.Matches))
+	}
+	for _, m := range res.Matches {
+		if string(m.Ext) != "ext-of-"+string(m.Value) {
+			t.Errorf("ext mismatch for %q", m.Value)
+		}
+	}
+}
+
+// TestIntersectionSizeOverEC25519 covers the Section 5.1.1 protocol on
+// the curve backend.
+func TestIntersectionSizeOverEC25519(t *testing.T) {
+	vR, vS := overlapping(8, 5, 2)
+	res, _ := runPair(t,
+		func(ctx context.Context, conn transport.Conn) (*SizeResult, error) {
+			return IntersectionSizeReceiver(ctx, ecConfig(5), conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSizeSender(ctx, ecConfig(6), conn, vS)
+		})
+	if res.IntersectionSize != 2 {
+		t.Fatalf("|intersection| = %d, want 2", res.IntersectionSize)
+	}
+}
+
+// TestBackendMismatchRejected pins the negotiation contract: a
+// safe-prime party and a curve party must fail the handshake with the
+// explicit backend error, in both pairings, before any encrypted
+// element is exchanged.
+func TestBackendMismatchRejected(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfgR, cfgS Config
+	}{
+		{"qr-receiver-ec-sender", testConfig(1), ecConfig(2)},
+		{"ec-receiver-qr-sender", ecConfig(1), testConfig(2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rErr, sErr := runPairExpectErr(
+				func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+					return IntersectionReceiver(ctx, tc.cfgR, conn, vals("r", 3))
+				},
+				func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+					return IntersectionSender(ctx, tc.cfgS, conn, vals("s", 3))
+				})
+			if rErr == nil && sErr == nil {
+				t.Fatal("backend mismatch went undetected")
+			}
+			// At least one side must report the explicit backend error;
+			// the other may see it relayed as a peer failure or a closed
+			// pipe, but never the generic parameter mismatch.
+			if !errors.Is(rErr, ErrBackendMismatch) && !errors.Is(sErr, ErrBackendMismatch) {
+				t.Fatalf("no side saw ErrBackendMismatch: receiver=%v sender=%v", rErr, sErr)
+			}
+			for side, err := range map[string]error{"receiver": rErr, "sender": sErr} {
+				if errors.Is(err, ErrGroupMismatch) {
+					t.Errorf("%s reported generic ErrGroupMismatch instead of the backend error: %v", side, err)
+				}
+			}
+		})
+	}
+}
+
+// TestECSenderSetCache exercises the cross-session encrypted-set cache
+// over the curve backend: the second run must hit the cached state and
+// still produce the right intersection.
+func TestECSenderSetCache(t *testing.T) {
+	var stats obs.CacheStats
+	cache := NewSenderSetCache(0, &stats)
+	key := SetCacheKey{PeerHost: "peer-a", Table: "t", Version: 1, Protocol: wire.ProtoIntersection}
+	vR, vS := overlapping(4, 5, 2)
+	for run := 0; run < 2; run++ {
+		cfgR := ecConfig(int64(10 + run))
+		cfgS := ecConfig(int64(20 + run))
+		cfgS.SetCache = cache
+		cfgS.CacheKey = key
+		res, _ := runPair(t,
+			func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+				return IntersectionReceiver(ctx, cfgR, conn, vR)
+			},
+			func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+				return IntersectionSender(ctx, cfgS, conn, vS)
+			})
+		if len(res.Values) != 2 {
+			t.Fatalf("run %d: |intersection| = %d, want 2", run, len(res.Values))
+		}
+	}
+	snap := stats.Snapshot()
+	if snap.Hits != 1 || snap.Misses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 1/1", snap.Hits, snap.Misses)
+	}
+}

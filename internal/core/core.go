@@ -58,6 +58,11 @@ import (
 
 // Common errors.
 var (
+	// ErrBackendMismatch reports that the peer announced a different
+	// commutative-encryption backend (e.g. safe-prime QR vs Curve25519).
+	// Elements of different backends are mutually meaningless, so the
+	// handshake fails before any encrypted value is exchanged.
+	ErrBackendMismatch = errors.New("core: peer uses a different group backend")
 	// ErrGroupMismatch reports that the peer announced a different group.
 	ErrGroupMismatch = errors.New("core: peer uses a different group")
 	// ErrProtocolMismatch reports that the peer is running a different protocol.
@@ -77,9 +82,13 @@ var (
 // Config carries the shared cryptographic setup for one protocol run.
 // Both parties must use the same Group; everything else is private.
 type Config struct {
-	// Group is the commutative-encryption domain.  Defaults to
-	// group.Default() (the 1024-bit group) when nil.
-	Group *group.Group
+	// Group is the commutative-encryption domain: a safe-prime QR group
+	// (*group.Group) or the Curve25519 backend (group.EC25519()).
+	// Defaults to group.Default() (the 1024-bit safe-prime group) when
+	// nil.  Both parties must configure the same backend and parameters;
+	// the handshake verifies this and fails with ErrBackendMismatch /
+	// ErrGroupMismatch otherwise.
+	Group group.Backend
 	// Scheme is the commutative encryption.  Defaults to the
 	// Pohlig-Hellman power function over Group.  Tests inject a
 	// commutative.Counting wrapper here to audit C_e operation counts.
@@ -269,6 +278,7 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 		GroupDigest: wire.GroupDigest(s.cfg.Group),
 		SetSize:     uint64(mySize),
 		SetVersion:  s.cfg.DataVersion,
+		Backend:     s.cfg.Group.Code(),
 	}
 	stamp := func() {
 		if s.osess != nil {
@@ -308,6 +318,12 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 	if peer.Protocol != proto {
 		return 0, s.abort(ctx, fmt.Errorf("%w: peer=%v local=%v", ErrProtocolMismatch, peer.Protocol, proto))
 	}
+	// Backend first: a cross-backend pairing must fail with the explicit
+	// backend error, not the generic parameter mismatch (the bits/digest
+	// comparison below would also fire, less informatively).
+	if peer.Backend != my.Backend {
+		return 0, s.abort(ctx, fmt.Errorf("%w: peer=%v local=%v", ErrBackendMismatch, peer.Backend, my.Backend))
+	}
 	if peer.GroupBits != my.GroupBits || peer.GroupDigest != my.GroupDigest {
 		return 0, s.abort(ctx, ErrGroupMismatch)
 	}
@@ -328,12 +344,13 @@ func (s *session) checkElems(ctx context.Context, elems []*big.Int, wantLen int,
 }
 
 // parallelCheckMin is the vector length below which checkChunk stays
-// serial: a Jacobi symbol costs ~µs, so goroutine fan-out only pays for
-// itself on larger runs.
+// serial: a membership test (Jacobi symbol or curve-point decode) costs
+// ~µs, so goroutine fan-out only pays for itself on larger runs.
 const parallelCheckMin = 32
 
 // checkChunk validates one contiguous run of a received vector — group
-// membership (a Jacobi-symbol test per entry) and, when requireSorted,
+// membership (a Jacobi-symbol test or curve-point decode per entry,
+// depending on the backend) and, when requireSorted,
 // ascending order including across the boundary from prev, the last
 // element of the preceding run (nil at the start of a vector).  The
 // membership tests shard across Config.Parallelism workers with the

@@ -10,6 +10,7 @@ import (
 	"minshare/internal/kenc"
 	"minshare/internal/obs"
 	"minshare/internal/transport"
+	"minshare/internal/wire"
 )
 
 // These tests are the observability tentpole's headline check: they run
@@ -243,6 +244,93 @@ func TestCostModelCrossCheckEquijoin(t *testing.T) {
 	if r.Counters.KeyGens != 1 || s.Counters.KeyGens != 2 {
 		t.Errorf("keygens = %d/%d, want 1/2", r.Counters.KeyGens, s.Counters.KeyGens)
 	}
+}
+
+// Per-backend cross-checks: the Section 6.1 censuses are symbolic in
+// the group, so they must certify unchanged over the curve backend —
+// one C_e is one scalar multiplication there, one codeword is one
+// 32-byte point, and the only envelope difference is the single
+// backend-code byte each handshake header grows by.
+
+func TestCostModelCrossCheckIntersectionEC25519(t *testing.T) {
+	const nR, nS, shared = 7, 5, 3
+	vR, vS := overlapping(nR, nS, shared)
+	reg := obs.NewRegistry()
+
+	r, s := runObservedPair(t, reg, "intersection",
+		func(ctx context.Context, conn transport.Conn) (*IntersectionResult, error) {
+			return IntersectionReceiver(ctx, ecConfig(1), conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return IntersectionSender(ctx, ecConfig(2), conn, vS)
+		})
+
+	// Computation: same 2(|V_S|+|V_R|) C_e census, now counting scalar
+	// multiplications.
+	ops := costmodel.IntersectionOps(nS, nR)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed scalar mults = %d, want Ce = %d", got, ops.Ce)
+	}
+
+	// Communication: byte-exact census with k = 256 and the one-byte
+	// header extension.
+	ec := group.EC25519()
+	hdrLen := wire.HeaderLen(ec.Code())
+	want := costmodel.IntersectionWireCost(nS, nR, ec.ElementLen()).WithHeaderLen(hdrLen)
+	checkWireCost(t, want, r.Counters, s.Counters)
+
+	// Stripping the (extended) envelope still recovers (|V_S|+2|V_R|)·k
+	// exactly.
+	observed := costmodel.WireCost{
+		FramesSent: r.Counters.FramesSent, FramesRecv: r.Counters.FramesRecv,
+		PayloadBytesSent: r.Counters.PayloadBytesSent, PayloadBytesRecv: r.Counters.PayloadBytesRecv,
+	}
+	extra := hdrLen - wire.EncodedHeaderLen
+	k := 8 * ec.ElementLen()
+	if gotBits := 8 * (observed.ElementPayloadBytes(3, 0) - 2*extra); float64(gotBits) != costmodel.IntersectionCommBits(nS, nR, k) {
+		t.Errorf("observed codeword bits = %d, want %v", gotBits, costmodel.IntersectionCommBits(nS, nR, k))
+	}
+	if r.Counters.KeyGens != 1 || s.Counters.KeyGens != 1 {
+		t.Errorf("keygens = %d/%d, want 1/1", r.Counters.KeyGens, s.Counters.KeyGens)
+	}
+}
+
+func TestCostModelCrossCheckEquijoinEC25519(t *testing.T) {
+	const nR, nS, shared = 6, 4, 2
+	const extPlainLen = 24
+	vR, vS := overlapping(nR, nS, shared)
+	records := make([]JoinRecord, len(vS))
+	for i, v := range vS {
+		ext := make([]byte, extPlainLen)
+		copy(ext, "ext for ")
+		copy(ext[8:], v)
+		records[i] = JoinRecord{Value: v, Ext: ext}
+	}
+	reg := obs.NewRegistry()
+
+	r, s := runObservedPair(t, reg, "equijoin",
+		func(ctx context.Context, conn transport.Conn) (*JoinResult, error) {
+			return EquijoinReceiver(ctx, ecConfig(1), conn, vR)
+		},
+		func(ctx context.Context, conn transport.Conn) (*SenderInfo, error) {
+			return EquijoinSender(ctx, ecConfig(2), conn, records)
+		})
+
+	ops := costmodel.JoinOps(nS, nR, shared)
+	if got := r.Counters.ModExps() + s.Counters.ModExps(); got != ops.Ce {
+		t.Errorf("observed scalar mults = %d, want Ce = %d", got, ops.Ce)
+	}
+	if got := int64(s.Counters.PayloadEncrypts + r.Counters.PayloadDecrypts); got != ops.CK {
+		t.Errorf("observed K operations = %d, want CK = %d", got, ops.CK)
+	}
+
+	ec := group.EC25519()
+	extLen := kenc.NewHybrid(ec).CiphertextLen(extPlainLen)
+	if extLen < 0 {
+		t.Fatalf("cipher rejects %d-byte payloads", extPlainLen)
+	}
+	want := costmodel.JoinWireCost(nS, nR, ec.ElementLen(), extLen).WithHeaderLen(wire.HeaderLen(ec.Code()))
+	checkWireCost(t, want, r.Counters, s.Counters)
 }
 
 // Chunked cross-checks: the same closed-form certification with both

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"minshare/internal/group"
 	"minshare/internal/kenc"
 	"minshare/internal/transport"
 )
@@ -56,7 +57,7 @@ func TestEquijoinBothCiphers(t *testing.T) {
 	vR, vS := overlapping(5, 6, 3)
 	for _, mk := range []func(Config) Config{
 		func(c Config) Config { c.Cipher = kenc.NewHybrid(c.Group); return c },
-		func(c Config) Config { c.Cipher = kenc.NewMultiplicative(c.Group); return c },
+		func(c Config) Config { c.Cipher = kenc.NewMultiplicative(c.Group.(*group.Group)); return c },
 	} {
 		cfgR, cfgS := mk(testConfig(1)), mk(testConfig(2))
 		t.Run(cfgR.Cipher.Name(), func(t *testing.T) {
@@ -77,7 +78,7 @@ func TestEquijoinCipherMismatchFails(t *testing.T) {
 	// R expects multiplicative ciphertexts, S sends hybrid: R must error
 	// out, not return wrong plaintext.
 	cfgR, cfgS := testConfig(1), testConfig(2)
-	cfgR.Cipher = kenc.NewMultiplicative(cfgR.Group)
+	cfgR.Cipher = kenc.NewMultiplicative(cfgR.Group.(*group.Group))
 	cfgS.Cipher = kenc.NewHybrid(cfgS.Group)
 	vR, vS := overlapping(3, 3, 2)
 	rErr, _ := runPairExpectErr(

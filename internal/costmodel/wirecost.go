@@ -39,6 +39,18 @@ func (w WireCost) WireBytesRecv() int64 {
 	return w.PayloadBytesRecv + w.FramesRecv*transport.FrameOverhead
 }
 
+// WithHeaderLen adjusts a census computed for the legacy safe-prime
+// header to a backend whose handshake header encodes to headerLen bytes
+// (wire.HeaderLen): each direction carries exactly one header frame, so
+// each payload total shifts by the difference.  The Section 6.1
+// codeword terms are untouched — only the fixed envelope moves.
+func (w WireCost) WithHeaderLen(headerLen int64) WireCost {
+	extra := headerLen - wire.EncodedHeaderLen
+	w.PayloadBytesSent += extra
+	w.PayloadBytesRecv += extra
+	return w
+}
+
 // TotalPayloadBytes returns payload traffic in both directions.
 func (w WireCost) TotalPayloadBytes() int64 {
 	return w.PayloadBytesSent + w.PayloadBytesRecv

@@ -1,0 +1,290 @@
+package group
+
+import (
+	"errors"
+	"math/big"
+	"math/bits"
+)
+
+// Fixed-width Montgomery-form arithmetic for the safe-prime backend's
+// hot path.
+//
+// big.Int.Exp re-derives the Montgomery parameters (notably R² mod p,
+// via a full division) and allocates working storage on every call.  A
+// protocol session performs thousands of exponentiations modulo the
+// SAME p, so this file precomputes everything modulus-dependent once —
+// R², -p⁻¹ mod 2^64, R mod p — into a Modulus, and then runs a
+// fixed-width CIOS (coarsely integrated operand scanning) multiply and
+// a fixed 4-bit-window ladder over plain word arrays.  The ladder
+// always scans the full modulus-width exponent, performs the identical
+// square/multiply schedule for every exponent, and reads its window
+// table with a masked gather, so the operation sequence and memory
+// touch pattern do not depend on key bits.
+//
+// Group.Exp routes through this path for moduli up to montMaxBits;
+// above that, math/big's assembly inner loops win despite their
+// per-call setup, so the gate keeps the fast path honest (the
+// crossover is certified by BenchmarkMontVsBigExp).
+
+// ErrOddModulus reports a modulus unusable for Montgomery arithmetic.
+var ErrOddModulus = errors.New("group: montgomery modulus must be odd and positive")
+
+// Modulus holds a modulus p with every reusable Montgomery constant
+// precomputed: the amortization unit of the fast exponentiation path.
+// A Modulus is immutable and safe for concurrent use.
+type Modulus struct {
+	w      []uint64 // little-endian words of p
+	n0inv  uint64   // -p⁻¹ mod 2^64
+	rr     []uint64 // R² mod p, R = 2^(64·len(w))
+	oneMon []uint64 // R mod p (1 in Montgomery form)
+	bits   int      // p.BitLen()
+}
+
+// NewModulus precomputes Montgomery constants for an odd modulus p.
+func NewModulus(p *big.Int) (*Modulus, error) {
+	if p == nil || p.Sign() <= 0 || p.Bit(0) == 0 {
+		return nil, ErrOddModulus
+	}
+	w := bigToWords(p, (p.BitLen()+63)/64)
+	n := len(w)
+
+	// n0inv = -p⁻¹ mod 2^64 by Newton iteration: each step doubles
+	// the number of correct low bits, and 6 steps cover 64.
+	inv := w[0] // correct to 3 bits (p odd)
+	for i := 0; i < 6; i++ {
+		inv *= 2 - w[0]*inv
+	}
+
+	R := new(big.Int).Lsh(big.NewInt(1), uint(64*n))
+	rr := new(big.Int).Mul(R, R)
+	rr.Mod(rr, p)
+	oneMon := new(big.Int).Mod(R, p)
+
+	return &Modulus{
+		w:      w,
+		n0inv:  -inv,
+		rr:     bigToWords(rr, n),
+		oneMon: bigToWords(oneMon, n),
+		bits:   p.BitLen(),
+	}, nil
+}
+
+// Bits returns the bit length of the modulus.
+func (m *Modulus) Bits() int { return m.bits }
+
+// Words returns the fixed word width of the modulus (and of every Nat
+// attached to it).
+func (m *Modulus) Words() int { return len(m.w) }
+
+// One returns 1 in Montgomery form (R mod p) without allocating word
+// storage: the returned Nat aliases the Modulus's precomputed constant.
+// Treat it as read-only — mutating it corrupts every later
+// exponentiation under this Modulus.  The psilint bigintalias analyzer
+// enforces this, exactly as it does for CachedSet accessor results.
+func (m *Modulus) One() *Nat { return &Nat{w: m.oneMon} }
+
+// bigToWords converts v to exactly n little-endian 64-bit words.
+func bigToWords(v *big.Int, n int) []uint64 {
+	buf := v.FillBytes(make([]byte, n*8))
+	w := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var x uint64
+		for j := 0; j < 8; j++ {
+			x = x<<8 | uint64(buf[(n-1-i)*8+j])
+		}
+		w[i] = x
+	}
+	return w
+}
+
+// wordsToBig converts little-endian words to a big.Int.
+func wordsToBig(w []uint64) *big.Int {
+	buf := make([]byte, len(w)*8)
+	for i, x := range w {
+		for j := 0; j < 8; j++ {
+			buf[(len(w)-1-i)*8+7-j] = byte(x >> (8 * j))
+		}
+	}
+	return new(big.Int).SetBytes(buf)
+}
+
+// Nat is a fixed-width natural number bound to a Modulus, in
+// Montgomery form.  Its mutating API reuses storage across the
+// thousands of same-modulus operations of a session; like big.Int (and
+// unlike fe/Point in the EC backend) a Nat is NOT immutable, so the
+// psilint bigintalias analyzer applies the same no-shared-mutation
+// rules to Nats that it applies to cached big.Int elements.
+type Nat struct {
+	w []uint64
+}
+
+// NewNat returns a zero Nat sized for m.
+func NewNat(m *Modulus) *Nat { return &Nat{w: make([]uint64, m.Words())} }
+
+// Set copies x into n and returns n.
+func (n *Nat) Set(x *Nat) *Nat {
+	copy(n.w, x.w)
+	return n
+}
+
+// SetBig loads v (which must lie in [0, p)) into n in Montgomery
+// form and returns n.
+func (n *Nat) SetBig(m *Modulus, v *big.Int) *Nat {
+	raw := bigToWords(v, m.Words())
+	m.montMul(n.w, raw, m.rr) // raw·R² / R = raw·R
+	return n
+}
+
+// Big leaves Montgomery form and returns the standard representative
+// in [0, p).
+func (n *Nat) Big(m *Modulus) *big.Int {
+	out := make([]uint64, m.Words())
+	one := make([]uint64, m.Words())
+	one[0] = 1
+	m.montMul(out, n.w, one) // n/R
+	return wordsToBig(out)
+}
+
+// MontMul sets n = a·b / R mod p (the Montgomery product) and
+// returns n.  All three may alias.
+func (n *Nat) MontMul(m *Modulus, a, b *Nat) *Nat {
+	out := make([]uint64, m.Words())
+	m.montMul(out, a.w, b.w)
+	copy(n.w, out)
+	return n
+}
+
+// montMul computes out = a·b/R mod p by CIOS.  out must not alias a
+// or b.  The result is fully reduced to [0, p).
+func (m *Modulus) montMul(out, a, b []uint64) {
+	m.montMulS(out, a, b, make([]uint64, len(m.w)+2))
+}
+
+// montMulS is montMul with caller-provided scratch (len(m.w)+2 words),
+// so the exponentiation ladder performs no allocation per product.
+// out must not alias a, b, or t.
+func (m *Modulus) montMulS(out, a, b, t []uint64) {
+	if len(m.w) == 4 && len(out) == 4 && len(a) == 4 && len(b) == 4 {
+		montMul4((*[4]uint64)(out), (*[4]uint64)(a), (*[4]uint64)(b),
+			(*[4]uint64)(m.w), m.n0inv)
+		return
+	}
+	n := len(m.w)
+	// t holds the running partial product across word iterations.
+	for j := range t {
+		t[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		// t += a[i]·b
+		var c uint64
+		for j := 0; j < n; j++ {
+			hi, lo := bits.Mul64(a[i], b[j])
+			lo, c1 := bits.Add64(lo, t[j], 0)
+			lo, c2 := bits.Add64(lo, c, 0)
+			t[j] = lo
+			c = hi + c1 + c2
+		}
+		tn, c3 := bits.Add64(t[n], c, 0)
+		t[n] = tn
+		t[n+1] = c3
+
+		// q chosen so t + q·p ≡ 0 mod 2^64; then shift one word.
+		q := t[0] * m.n0inv
+		hi, lo := bits.Mul64(q, m.w[0])
+		_, c0 := bits.Add64(lo, t[0], 0)
+		c = hi + c0
+		for j := 1; j < n; j++ {
+			hi, lo := bits.Mul64(q, m.w[j])
+			lo, c1 := bits.Add64(lo, t[j], 0)
+			lo, c2 := bits.Add64(lo, c, 0)
+			t[j-1] = lo
+			c = hi + c1 + c2
+		}
+		tn, c3 = bits.Add64(t[n], c, 0)
+		t[n-1] = tn
+		t[n] = t[n+1] + c3
+		t[n+1] = 0
+	}
+	// t ∈ [0, 2p): constant-time conditional subtraction of p, with
+	// the subtracted candidate built directly in out and blended back
+	// against t.
+	var borrow uint64
+	for j := 0; j < n; j++ {
+		out[j], borrow = bits.Sub64(t[j], m.w[j], borrow)
+	}
+	// Keep the subtracted value iff t ≥ p: either the top word t[n]
+	// is set, or the n-word subtraction did not borrow.
+	useSub := t[n] | (1 - borrow)
+	mask := -(useSub & 1)
+	for j := 0; j < n; j++ {
+		out[j] = out[j]&mask | t[j]&^mask
+	}
+}
+
+// Exp returns x^e mod p via the fixed-window Montgomery ladder.  x
+// must lie in [0, p) and e must be non-negative.  For repeated calls
+// with the same modulus this amortizes all per-modulus setup that
+// big.Int.Exp re-derives every time.
+func (m *Modulus) Exp(x, e *big.Int) *big.Int {
+	n := len(m.w)
+	if n == 4 && e.BitLen() <= 256 {
+		return m.exp4(x, e)
+	}
+
+	// One arena for everything the ladder touches: CIOS scratch, the
+	// 16-row window table, the accumulator and its double buffer, and
+	// the gather target.  A single allocation per Exp call; none per
+	// Montgomery product.
+	arena := make([]uint64, (n+2)+16*n+3*n)
+	scratch := arena[:n+2]
+	tableFlat := arena[n+2 : n+2+16*n]
+	acc := arena[n+2+16*n : n+2+17*n]
+	tmp := arena[n+2+17*n : n+2+18*n]
+	sel := arena[n+2+18*n : n+2+19*n]
+
+	// Window table: table row i holds x^i in Montgomery form.
+	copy(tableFlat[:n], m.oneMon)
+	xm := tableFlat[n : 2*n]
+	m.montMulS(xm, bigToWords(x, n), m.rr, scratch)
+	for i := 2; i < 16; i++ {
+		m.montMulS(tableFlat[i*n:(i+1)*n], tableFlat[(i-1)*n:i*n], xm, scratch)
+	}
+
+	// Exponent padded to the fixed modulus width so the ladder's
+	// schedule is independent of the exponent's actual length.
+	eb := e.FillBytes(make([]byte, n*8))
+
+	copy(acc, m.oneMon)
+	for _, by := range eb {
+		for _, nib := range [2]uint64{uint64(by >> 4), uint64(by & 15)} {
+			for s := 0; s < 4; s++ {
+				m.montMulS(tmp, acc, acc, scratch)
+				acc, tmp = tmp, acc
+			}
+			// Masked gather: read every table row, keep the match, so
+			// the memory touch pattern is independent of key nibbles.
+			for j := 0; j < n; j++ {
+				sel[j] = 0
+			}
+			for i := 0; i < 16; i++ {
+				// mask = all-ones iff i == nib, branch-free.
+				d := uint64(i) ^ nib
+				mask := -(1 ^ ((d | -d) >> 63))
+				row := tableFlat[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					sel[j] |= row[j] & mask
+				}
+			}
+			m.montMulS(tmp, acc, sel, scratch)
+			acc, tmp = tmp, acc
+		}
+	}
+
+	// Leave Montgomery form: multiply by plain 1 (reuse sel).
+	for j := 1; j < n; j++ {
+		sel[j] = 0
+	}
+	sel[0] = 1
+	m.montMulS(tmp, acc, sel, scratch)
+	return wordsToBig(tmp)
+}

@@ -1,0 +1,121 @@
+package group
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// montMul4 is the CIOS Montgomery product fully unrolled for 4-word
+// (224–256-bit) moduli, the width class where the fixed-width path
+// beats math/big.  The entire partial product lives in registers
+// (t0..t5), so the inner kernel is pure Mul64/Add64 straight-line code
+// with no loads, bounds checks, or loop overhead.  out may alias a or
+// b (all inputs are read before out is written).
+func montMul4(out, a, b, p *[4]uint64, n0inv uint64) {
+	var t0, t1, t2, t3, t4, t5 uint64
+	for i := 0; i < 4; i++ {
+		ai := a[i]
+
+		// t += ai·b
+		hi, lo := bits.Mul64(ai, b[0])
+		var cc, cc2 uint64
+		t0, cc = bits.Add64(t0, lo, 0)
+		c := hi + cc
+		hi, lo = bits.Mul64(ai, b[1])
+		lo, cc = bits.Add64(lo, c, 0)
+		t1, cc2 = bits.Add64(t1, lo, 0)
+		c = hi + cc + cc2
+		hi, lo = bits.Mul64(ai, b[2])
+		lo, cc = bits.Add64(lo, c, 0)
+		t2, cc2 = bits.Add64(t2, lo, 0)
+		c = hi + cc + cc2
+		hi, lo = bits.Mul64(ai, b[3])
+		lo, cc = bits.Add64(lo, c, 0)
+		t3, cc2 = bits.Add64(t3, lo, 0)
+		c = hi + cc + cc2
+		t4, cc = bits.Add64(t4, c, 0)
+		t5 += cc
+
+		// t = (t + q·p) / 2^64 with q killing the low word.
+		q := t0 * n0inv
+		hi, lo = bits.Mul64(q, p[0])
+		_, cc = bits.Add64(t0, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(q, p[1])
+		lo, cc = bits.Add64(lo, c, 0)
+		nt0, cc2 := bits.Add64(t1, lo, 0)
+		c = hi + cc + cc2
+		hi, lo = bits.Mul64(q, p[2])
+		lo, cc = bits.Add64(lo, c, 0)
+		nt1, cc2 := bits.Add64(t2, lo, 0)
+		c = hi + cc + cc2
+		hi, lo = bits.Mul64(q, p[3])
+		lo, cc = bits.Add64(lo, c, 0)
+		nt2, cc2 := bits.Add64(t3, lo, 0)
+		c = hi + cc + cc2
+		nt3, cc := bits.Add64(t4, c, 0)
+		t4 = t5 + cc
+		t5 = 0
+		t0, t1, t2, t3 = nt0, nt1, nt2, nt3
+	}
+
+	// t ∈ [0, 2p): constant-time conditional subtraction.
+	s0, borrow := bits.Sub64(t0, p[0], 0)
+	s1, borrow := bits.Sub64(t1, p[1], borrow)
+	s2, borrow := bits.Sub64(t2, p[2], borrow)
+	s3, borrow := bits.Sub64(t3, p[3], borrow)
+	useSub := t4 | (1 - borrow)
+	mask := -(useSub & 1)
+	out[0] = s0&mask | t0&^mask
+	out[1] = s1&mask | t1&^mask
+	out[2] = s2&mask | t2&^mask
+	out[3] = s3&mask | t3&^mask
+}
+
+// exp4 is Modulus.Exp specialized to 4-word moduli: the window table
+// and accumulator are fixed-size stack arrays, every product is the
+// unrolled montMul4 kernel, and the constant-time table gather is
+// unrolled over registers.
+func (m *Modulus) exp4(x, e *big.Int) *big.Int {
+	p := (*[4]uint64)(m.w)
+	n0inv := m.n0inv
+
+	var table [16][4]uint64
+	copy(table[0][:], m.oneMon)
+	var xw [4]uint64
+	copy(xw[:], bigToWords(x, 4))
+	var rr [4]uint64
+	copy(rr[:], m.rr)
+	montMul4(&table[1], &xw, &rr, p, n0inv)
+	for i := 2; i < 16; i++ {
+		montMul4(&table[i], &table[i-1], &table[1], p, n0inv)
+	}
+
+	var eb [32]byte
+	e.FillBytes(eb[:])
+
+	acc := table[0] // 1 in Montgomery form
+	for _, by := range eb {
+		for _, nib := range [2]uint64{uint64(by >> 4), uint64(by & 15)} {
+			montMul4(&acc, &acc, &acc, p, n0inv)
+			montMul4(&acc, &acc, &acc, p, n0inv)
+			montMul4(&acc, &acc, &acc, p, n0inv)
+			montMul4(&acc, &acc, &acc, p, n0inv)
+			var s [4]uint64
+			for i := 0; i < 16; i++ {
+				// mask = all-ones iff i == nib, branch-free.
+				d := uint64(i) ^ nib
+				mask := -(1 ^ ((d | -d) >> 63))
+				s[0] |= table[i][0] & mask
+				s[1] |= table[i][1] & mask
+				s[2] |= table[i][2] & mask
+				s[3] |= table[i][3] & mask
+			}
+			montMul4(&acc, &acc, &s, p, n0inv)
+		}
+	}
+
+	one := [4]uint64{1}
+	montMul4(&acc, &acc, &one, p, n0inv)
+	return wordsToBig(acc[:])
+}

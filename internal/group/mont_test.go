@@ -1,0 +1,155 @@
+package group
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestMontExpDifferential cross-checks the fixed-width Montgomery
+// ladder against big.Int.Exp over random bases and exponents for every
+// builtin modulus in the Montgomery range, plus edge exponents.
+func TestMontExpDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, size := range BuiltinSizes() {
+		if int(size) > montMaxBits {
+			continue
+		}
+		g := MustBuiltin(size)
+		m, err := NewModulus(g.P())
+		if err != nil {
+			t.Fatalf("NewModulus(%d bits): %v", size, err)
+		}
+		for i := 0; i < 40; i++ {
+			x := new(big.Int).Rand(rng, g.P())
+			e := new(big.Int).Rand(rng, g.P())
+			got := m.Exp(x, e)
+			want := new(big.Int).Exp(x, e, g.P())
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%d bits: mont exp mismatch at i=%d:\n got %x\nwant %x", size, i, got, want)
+			}
+		}
+		// Edge exponents: 0, 1, 2, q, p-1, and a full-width exponent.
+		for _, e := range []*big.Int{
+			big.NewInt(0), big.NewInt(1), big.NewInt(2),
+			g.Q(), new(big.Int).Sub(g.P(), big.NewInt(1)),
+			new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(64*m.Words())), big.NewInt(1)),
+		} {
+			x := new(big.Int).Rand(rng, g.P())
+			got := m.Exp(x, e)
+			want := new(big.Int).Exp(x, e, g.P())
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%d bits: mont exp mismatch at edge e=%v", size, e)
+			}
+		}
+		// Edge bases: 0, 1, p-1.
+		for _, x := range []*big.Int{
+			big.NewInt(0), big.NewInt(1), new(big.Int).Sub(g.P(), big.NewInt(1)),
+		} {
+			e := new(big.Int).Rand(rng, g.Q())
+			got := m.Exp(x, e)
+			want := new(big.Int).Exp(x, e, g.P())
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%d bits: mont exp mismatch at edge x=%v", size, x)
+			}
+		}
+	}
+}
+
+// TestMontNatRoundTrip exercises the Nat mutating API: SetBig/Big
+// round-trips and MontMul agrees with big.Int multiplication.
+func TestMontNatRoundTrip(t *testing.T) {
+	g := TestGroup()
+	m, err := NewModulus(g.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		a := new(big.Int).Rand(rng, g.P())
+		b := new(big.Int).Rand(rng, g.P())
+
+		na := NewNat(m).SetBig(m, a)
+		if got := na.Big(m); got.Cmp(a) != 0 {
+			t.Fatalf("SetBig/Big round-trip broke at i=%d", i)
+		}
+
+		nb := NewNat(m).SetBig(m, b)
+		prod := NewNat(m).MontMul(m, na, nb)
+		want := new(big.Int).Mul(a, b)
+		want.Mod(want, g.P())
+		if got := prod.Big(m); got.Cmp(want) != 0 {
+			t.Fatalf("MontMul mismatch at i=%d", i)
+		}
+
+		// Aliased receiver: na = na * nb in place.
+		na.MontMul(m, na, nb)
+		if got := na.Big(m); got.Cmp(want) != 0 {
+			t.Fatalf("aliased MontMul mismatch at i=%d", i)
+		}
+
+		// Set copies.
+		nc := NewNat(m).Set(na)
+		if got := nc.Big(m); got.Cmp(want) != 0 {
+			t.Fatalf("Set copy mismatch at i=%d", i)
+		}
+	}
+}
+
+// TestNewModulusRejections: even and non-positive moduli are refused.
+func TestNewModulusRejections(t *testing.T) {
+	for _, p := range []*big.Int{nil, big.NewInt(0), big.NewInt(-7), big.NewInt(10)} {
+		if _, err := NewModulus(p); err == nil {
+			t.Fatalf("NewModulus(%v) unexpectedly succeeded", p)
+		}
+	}
+}
+
+// TestGroupExpUsesMontWithinGate: Group.Exp output is identical with
+// and without the Montgomery gate across the boundary sizes.
+func TestGroupExpUsesMontWithinGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, size := range []Size{Bits256, Bits512, Bits1024} {
+		g := MustBuiltin(size)
+		for i := 0; i < 10; i++ {
+			x, err := g.RandomElement(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := new(big.Int).Rand(rng, g.Q())
+			got := g.Exp(x, e)
+			want := new(big.Int).Exp(x, e, g.P())
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%d bits: Group.Exp mismatch", size)
+			}
+		}
+	}
+}
+
+// BenchmarkMontVsBigExp measures the Montgomery ladder against
+// big.Int.Exp at each builtin width, certifying the montMaxBits gate:
+// the fixed-width path must win below the gate (the reported % is
+// published in BENCH_PR7.json) and the gate excludes widths where
+// math/big's assembly kernels win.
+func BenchmarkMontVsBigExp(b *testing.B) {
+	for _, size := range []Size{Bits256, Bits512, Bits768, Bits1024} {
+		g := MustBuiltin(size)
+		m, err := NewModulus(g.P())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(size)))
+		x := new(big.Int).Rand(rng, g.P())
+		e := new(big.Int).Rand(rng, g.Q())
+		b.Run(g.Name()+"/mont", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Exp(x, e)
+			}
+		})
+		b.Run(g.Name()+"/bigint", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				new(big.Int).Exp(x, e, g.P())
+			}
+		})
+	}
+}

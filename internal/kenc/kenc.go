@@ -20,6 +20,13 @@
 //     KDF+stream substitution for real record payloads; secrecy here is
 //     computational rather than information-theoretic.  DESIGN.md lists
 //     this as a documented substitution.
+//
+// Multiplicative is inherently tied to the safe-prime domain (it
+// multiplies in QR(p) and uses the p ≡ 3 (mod 4) residue embedding), so
+// it takes a *group.Group.  Hybrid only needs a key κ that is a valid
+// group element with a fixed-width encoding, so it is written against
+// group.Backend and works unchanged over the Curve25519 domain — the
+// default payload cipher for every backend.
 package kenc
 
 import (
@@ -151,14 +158,14 @@ func (c *Multiplicative) Decrypt(kappa *big.Int, ciphertext []byte) ([]byte, err
 // The tag lets honest parties detect corrupted frames and wrong keys;
 // semi-honest security does not require it, but fault-injection tests do.
 type Hybrid struct {
-	g *group.Group
+	b group.Backend
 	// tag is a domain-separation label mixed into the KDF.
 	tag []byte
 }
 
-// NewHybrid returns the KDF+stream cipher over g.
-func NewHybrid(g *group.Group) *Hybrid {
-	return &Hybrid{g: g, tag: []byte("minshare/kenc/hybrid/v1")}
+// NewHybrid returns the KDF+stream cipher keyed by elements of b.
+func NewHybrid(b group.Backend) *Hybrid {
+	return &Hybrid{b: b, tag: []byte("minshare/kenc/hybrid/v1")}
 }
 
 // Name implements Cipher.
@@ -178,7 +185,7 @@ func (c *Hybrid) CiphertextLen(plaintextLen int) int {
 func (c *Hybrid) derive(kappa *big.Int) []byte {
 	h := sha256.New()
 	h.Write(c.tag)
-	h.Write(fixedWidth(kappa, c.g.ElementLen()))
+	h.Write(fixedWidth(kappa, c.b.ElementLen()))
 	return h.Sum(nil)
 }
 
@@ -210,7 +217,7 @@ func (c *Hybrid) mac(key, ciphertext []byte) []byte {
 
 // Encrypt implements Cipher.
 func (c *Hybrid) Encrypt(kappa *big.Int, plaintext []byte) ([]byte, error) {
-	if !c.g.Contains(kappa) {
+	if !c.b.Contains(kappa) {
 		return nil, ErrBadKey
 	}
 	key := c.derive(kappa)
@@ -220,7 +227,7 @@ func (c *Hybrid) Encrypt(kappa *big.Int, plaintext []byte) ([]byte, error) {
 
 // Decrypt implements Cipher.
 func (c *Hybrid) Decrypt(kappa *big.Int, ciphertext []byte) ([]byte, error) {
-	if !c.g.Contains(kappa) {
+	if !c.b.Contains(kappa) {
 		return nil, ErrBadKey
 	}
 	if len(ciphertext) < tagLen {

@@ -3,14 +3,16 @@
 //
 // The protocols never encrypt attribute values directly: they encrypt
 // h(v), where h is modelled in the security proofs as a random oracle
-// into the group of quadratic residues.  This package instantiates h with
-// SHA-256 in counter mode (an extendable-output construction): the value
-// is expanded to twice the modulus width, reduced modulo p to an
-// almost-uniform element of Z_p, rejection-adjusted away from 0, and
-// squared.  Squaring maps the uniform distribution on Z_p* exactly
-// two-to-one onto QR(p), so h(v) is (statistically close to) uniform on
-// the group, which is what Lemma 2's use of the random-oracle model
-// requires.
+// into the commutative-encryption domain.  This package owns the
+// backend-independent half of h — SHA-256 in counter mode (an
+// extendable-output construction) expanding the value to the backend's
+// uniform-byte budget — and delegates the landing inside the group to
+// group.Backend.MapToElement.  For the safe-prime backend that is
+// reduce-mod-p, adjust away from 0, and square (squaring maps Z_p*
+// exactly two-to-one onto QR(p)); for the Curve25519 backend it is
+// Elligator2 hash-to-curve with cofactor clearing.  Either way h(v) is
+// statistically close to uniform on the group, which is what Lemma 2's
+// use of the random-oracle model requires.
 //
 // The package also reproduces the collision analysis of Section 3.2.2:
 // the closed-form birthday bound Pr[collision] ≈ 1 − exp(−n(n−1)/2N) and
@@ -30,10 +32,10 @@ import (
 	"minshare/internal/obs"
 )
 
-// Oracle hashes application values into a fixed group.  It is stateless
-// and safe for concurrent use.
+// Oracle hashes application values into a fixed commutative-encryption
+// domain.  It is stateless and safe for concurrent use.
 type Oracle struct {
-	g *group.Group
+	b group.Backend
 	// domainSep is mixed into every hash so that distinct protocol
 	// deployments (or test fixtures) can use independent oracles over the
 	// same group.
@@ -43,19 +45,19 @@ type Oracle struct {
 	counters *obs.Counters
 }
 
-// New returns an Oracle into g with an empty domain-separation tag.
-func New(g *group.Group) *Oracle {
-	return NewWithDomain(g, "")
+// New returns an Oracle into b with an empty domain-separation tag.
+func New(b group.Backend) *Oracle {
+	return NewWithDomain(b, "")
 }
 
-// NewWithDomain returns an Oracle into g whose outputs are independent of
+// NewWithDomain returns an Oracle into b whose outputs are independent of
 // any oracle with a different tag.
-func NewWithDomain(g *group.Group, tag string) *Oracle {
-	return &Oracle{g: g, domainSep: []byte(tag)}
+func NewWithDomain(b group.Backend, tag string) *Oracle {
+	return &Oracle{b: b, domainSep: []byte(tag)}
 }
 
-// Group returns the target group.
-func (o *Oracle) Group() *group.Group { return o.g }
+// Backend returns the target domain.
+func (o *Oracle) Backend() group.Backend { return o.b }
 
 // Observed returns a copy of the oracle whose evaluations are counted
 // into c (one C_h per Hash, one per rejection-sampling attempt in
@@ -70,16 +72,22 @@ func (o *Oracle) Observed(c *obs.Counters) *Oracle {
 	return &cp
 }
 
-// Hash maps an arbitrary byte string to a quadratic residue modulo p.
-// Equal inputs map to equal outputs; the distribution over random inputs
-// is statistically close to uniform on QR(p).
+// Hash maps an arbitrary byte string to a group element of the target
+// domain.  Equal inputs map to equal outputs; the distribution over
+// random inputs is statistically close to uniform on the group.
+//
+// The expansion is deliberately backend-independent: SHA-256 in counter
+// mode produces HashInputLen uniform bytes (2·ElementLen for QR(p),
+// keeping the mod-p reduction bias at most 2^-|p|; 64 bytes for
+// Curve25519), and MapToElement lands them in the group.  For the
+// safe-prime backend the composition is byte-for-byte the construction
+// this package always used, so existing transcripts and golden vectors
+// are unchanged.
 func (o *Oracle) Hash(v []byte) *big.Int {
 	if o.counters != nil {
 		o.counters.AddOracleHashes(1)
 	}
-	// Expand to 2*len(p) bytes so the bias of the final reduction mod p
-	// is at most 2^-|p|.
-	outLen := 2 * o.g.ElementLen()
+	outLen := o.b.HashInputLen()
 	buf := make([]byte, 0, outLen+sha256.Size)
 	var ctr uint32
 	for len(buf) < outLen {
@@ -92,11 +100,7 @@ func (o *Oracle) Hash(v []byte) *big.Int {
 		buf = h.Sum(buf)
 		ctr++
 	}
-	x := new(big.Int).SetBytes(buf[:outLen])
-	pMinus1 := new(big.Int).Sub(o.g.P(), big.NewInt(1))
-	x.Mod(x, pMinus1)
-	x.Add(x, big.NewInt(1)) // uniform in [1, p-1]
-	return o.g.Square(x)
+	return o.b.MapToElement(buf[:outLen])
 }
 
 // HashRejection is the alternative hash-to-group construction the
@@ -105,9 +109,20 @@ func (o *Oracle) Hash(v []byte) *big.Int {
 // until the candidate is already a quadratic residue — on average two
 // Legendre-symbol evaluations per value.  Same random-oracle guarantees,
 // measurably slower; the protocols use Hash.
+//
+// The construction is specific to the safe-prime domain: a uniform
+// integer is a quadratic residue with probability ~1/2, so rejection
+// terminates quickly, whereas a uniform integer is a valid curve-point
+// encoding with negligible probability.  On any non-QR backend
+// HashRejection therefore falls back to Hash (the ablation only ever
+// runs on QR groups).
 func (o *Oracle) HashRejection(v []byte) *big.Int {
-	outLen := 2 * o.g.ElementLen()
-	pMinus1 := new(big.Int).Sub(o.g.P(), big.NewInt(1))
+	g, ok := o.b.(*group.Group)
+	if !ok {
+		return o.Hash(v)
+	}
+	outLen := 2 * g.ElementLen()
+	pMinus1 := new(big.Int).Sub(g.P(), big.NewInt(1))
 	for attempt := uint32(0); ; attempt++ {
 		if o.counters != nil {
 			o.counters.AddOracleHashes(1)
@@ -131,7 +146,7 @@ func (o *Oracle) HashRejection(v []byte) *big.Int {
 		x := new(big.Int).SetBytes(buf[:outLen])
 		x.Mod(x, pMinus1)
 		x.Add(x, big.NewInt(1))
-		if o.g.Contains(x) {
+		if g.Contains(x) {
 			return x
 		}
 	}

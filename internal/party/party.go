@@ -168,8 +168,8 @@ func (s *Server) logf(format string, args ...any) {
 // registry).
 func (s *Server) lifecycle() *obs.Lifecycle { return s.Obs.Lifecycle() }
 
-// group returns the configured group, defaulted.
-func (s *Server) group() *group.Group {
+// group returns the configured group backend, defaulted.
+func (s *Server) group() group.Backend {
 	if g := s.Config.Group; g != nil {
 		return g
 	}

@@ -24,7 +24,6 @@
 package wire
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -130,6 +129,13 @@ const MaxVectorLen = 1 << 24
 // use these to translate the paper's Section 6.1 bit formulas — which
 // count only the k-bit codewords — into exact frame payload sizes.
 const (
+	// BackendEncodedHeaderLen is the encoded size of a Header that
+	// announces a non-default group backend: EncodedHeaderLen plus one
+	// trailing backend-code byte.  Headers for the default safe-prime
+	// backend (code 0) omit the byte entirely, so a safe-prime session's
+	// handshake remains byte-identical to every earlier release; see
+	// Header.Backend.
+	BackendEncodedHeaderLen = EncodedHeaderLen + 1
 	// EncodedHeaderLen is the full encoded size of a Header message:
 	// kind(1) + protocol(1) + group bits(4) + group digest(32) +
 	// set size(8) + set version(8) + trace id(16) + span id(8).
@@ -153,6 +159,17 @@ const (
 	// ciphertext.
 	ExtLenOverhead = 4
 )
+
+// HeaderLen returns the encoded header size a session negotiating the
+// given backend code puts on the wire: the legacy EncodedHeaderLen for
+// the default safe-prime backend, BackendEncodedHeaderLen (one extra
+// code byte) for every other backend.
+func HeaderLen(c group.Code) int64 {
+	if c != 0 {
+		return BackendEncodedHeaderLen
+	}
+	return EncodedHeaderLen
+}
 
 // Message is any protocol message.
 type Message interface {
@@ -178,6 +195,16 @@ type Header struct {
 	// SpanID is the announcing party's root span identity, which becomes
 	// the parent of the adopting peer's root span.  Zero when untraced.
 	SpanID uint64
+	// Backend is the announced commutative-encryption backend
+	// (group.CodeQR or group.CodeEC25519).  The wire encoding is
+	// backwards compatible by construction: the safe-prime backend is
+	// code 0 and is encoded by OMITTING the field, so safe-prime headers
+	// are byte-identical to pre-backend releases, and a legacy header's
+	// absent field decodes as 0 = safe prime — exactly what a legacy
+	// peer runs.  A non-zero code appends one byte, which a legacy
+	// decoder rejects as a length error: a mixed-backend pairing fails
+	// loudly at the handshake instead of exchanging cross-group garbage.
+	Backend group.Code
 }
 
 // Kind implements Message.
@@ -225,9 +252,11 @@ type ErrorMsg struct {
 // Kind implements Message.
 func (ErrorMsg) Kind() Kind { return KindError }
 
-// GroupDigest derives the header digest identifying a group's modulus.
-func GroupDigest(g *group.Group) [32]byte {
-	return sha256.Sum256(g.P().Bytes())
+// GroupDigest derives the header digest identifying a backend's concrete
+// group parameters.  For the safe-prime backend this is the SHA-256 of
+// the modulus bytes, unchanged since the first release.
+func GroupDigest(b group.Backend) [32]byte {
+	return b.ParamDigest()
 }
 
 // Codec encodes and decodes messages for a fixed group.  The element
@@ -236,10 +265,10 @@ type Codec struct {
 	elemLen int
 }
 
-// NewCodec returns a codec whose group elements occupy g.ElementLen()
+// NewCodec returns a codec whose group elements occupy b.ElementLen()
 // bytes each.
-func NewCodec(g *group.Group) *Codec {
-	return &Codec{elemLen: g.ElementLen()}
+func NewCodec(b group.Backend) *Codec {
+	return &Codec{elemLen: b.ElementLen()}
 }
 
 // ElemLen returns the fixed element width in bytes (k/8 in the paper's
@@ -299,6 +328,12 @@ func (c *Codec) Encode(m Message) ([]byte, error) {
 		buf = append(buf, v.TraceID[:]...)
 		binary.BigEndian.PutUint64(b8[:], v.SpanID)
 		buf = append(buf, b8[:]...)
+		// The backend byte is appended only for non-default backends,
+		// keeping safe-prime headers byte-identical to every earlier
+		// release (see Header.Backend).
+		if v.Backend != 0 {
+			buf = append(buf, byte(v.Backend))
+		}
 	case Elements:
 		buf = putCount(buf, len(v.Elems))
 		for _, e := range v.Elems {
@@ -360,13 +395,15 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 	buf := data[1:]
 	switch kind {
 	case KindHeader:
-		// Three accepted layouts, newest first: current (with trace
-		// context), pre-trace (with set version only), and legacy pre-S27
+		// Four accepted layouts, newest first: backend-announcing (one
+		// trailing backend-code byte), current (with trace context),
+		// pre-trace (with set version only), and legacy pre-S27
 		// (neither).  Fields absent from an older layout decode as zero,
-		// which each field defines as its "absent" value, so a
-		// mixed-version deployment still completes the handshake.
+		// which each field defines as its "absent" value — for Backend,
+		// zero is the safe-prime domain every pre-backend release runs —
+		// so a mixed-version deployment still completes the handshake.
 		switch len(buf) {
-		case EncodedHeaderLen - 1, PreTraceEncodedHeaderLen - 1, LegacyEncodedHeaderLen - 1:
+		case BackendEncodedHeaderLen - 1, EncodedHeaderLen - 1, PreTraceEncodedHeaderLen - 1, LegacyEncodedHeaderLen - 1:
 		default:
 			return nil, fmt.Errorf("%w: header of %d bytes", ErrTruncated, len(buf))
 		}
@@ -378,9 +415,12 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 		if len(buf) >= PreTraceEncodedHeaderLen-1 {
 			h.SetVersion = binary.BigEndian.Uint64(buf[45:53])
 		}
-		if len(buf) == EncodedHeaderLen-1 {
+		if len(buf) >= EncodedHeaderLen-1 {
 			copy(h.TraceID[:], buf[53:69])
 			h.SpanID = binary.BigEndian.Uint64(buf[69:77])
+		}
+		if len(buf) == BackendEncodedHeaderLen-1 {
+			h.Backend = group.Code(buf[77])
 		}
 		return h, nil
 	case KindElements:
