@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-faults docs-check lint lint-fix-audit check bench bench-pipeline bench-cache bench-obs bench-obs-smoke bench-group bench-group-smoke experiments
+.PHONY: all build test vet race race-faults docs-check lint lint-fix-audit check bench bench-pipeline bench-cache bench-obs bench-obs-smoke bench-group bench-group-smoke bench-shard bench-shard-smoke experiments
 
 all: check
 
@@ -80,7 +80,21 @@ bench-group-smoke:
 	$(GO) test -short -run xxx -bench GroupBackend -benchtime 1x .
 	$(GO) test -run xxx -bench MontVsBigExp -benchtime 1x ./internal/group
 
-check: build vet test race race-faults lint bench-obs-smoke bench-group-smoke
+# Shard-parallel benchmark (the BENCH_PR8.json numbers): the same
+# intersection over a modelled 4.5 Mbit/s link, classic single session
+# (k=1) vs eight multiplexed shards (k=8), with the certified-closed-form
+# wall estimates reported alongside; `experiments -exp E12` prints the
+# paper-scale (|V|=1M, P=8) projection table.
+bench-shard:
+	$(GO) test -run xxx -bench IntersectionSharded -benchtime 3x .
+
+# Short-mode smoke of the sharded bench (tiny sets, fast link, one
+# iteration): a regression in the mux, the coordinator, or the k=1
+# classic path fails check.
+bench-shard-smoke:
+	$(GO) test -short -run xxx -bench IntersectionSharded -benchtime 1x .
+
+check: build vet test race race-faults lint bench-obs-smoke bench-group-smoke bench-shard-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -12,6 +12,7 @@
 //	E9  ext.   real garbled-circuit PSI vs our protocol, measured at small n
 //	E10 §5.2   equijoin-size leakage characterization
 //	E11 §6.1   observability cross-check: live obs counters vs cost model
+//	E12 ext.   shard-parallel wall-clock projection from the certified forms
 //
 // Usage:
 //
@@ -47,7 +48,7 @@ type environment struct {
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (E1..E11) or 'all'")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (E1..E12) or 'all'")
 		groupBits = flag.Int("group", 1024, "builtin group size for measured runs")
 		quick     = flag.Bool("quick", false, "smaller measured sweeps")
 		par       = flag.Int("p", 0, "parallelism for measured runs (0 = all cores)")
@@ -72,6 +73,7 @@ func main() {
 		{"E9", "garbled-circuit PSI vs our protocol (measured)", runE9},
 		{"E10", "§5.2 equijoin-size leakage", runE10},
 		{"E11", "§6.1 observability cross-check: obs counters vs cost model", runE11},
+		{"E12", "shard-parallel wall-clock projection (certified closed forms)", runE12},
 	}
 
 	want := map[string]bool{}

@@ -19,6 +19,12 @@
 // count.  Both parties must select the same backend; a mismatch fails
 // the handshake with an explicit backend error.
 //
+// -shards k (k >= 2) splits the run into k shard-parallel sub-sessions
+// over one multiplexed connection, pipelining encryption against the
+// link.  Both parties must pass the same k; a mismatch fails the
+// handshake explicitly, and 0 or 1 keeps the classic wire format
+// byte for byte.
+//
 // With -trace-out the run is traced: phase spans, latency histograms and
 // the distributed trace ID (carried to the peer in the handshake) are
 // recorded, and the session's trace is written to the given file as
@@ -64,6 +70,7 @@ func run() error {
 		valueFile = flag.String("values", "", "path to the value file (one value per line; sender join files use value<TAB>ext)")
 		groupName = flag.String("group", "qr1024", "group backend: "+strings.Join(group.Backends(), " | ")+", or a safe-prime bit count")
 		par       = flag.Int("p", 0, "encryption parallelism (0 = all cores)")
+		shards    = flag.Int("shards", 0, "shard-parallel sub-sessions (0 or 1 = classic single session; both parties must agree)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "overall protocol deadline")
 		traceOut  = flag.String("trace-out", "", "write the run's trace as Chrome trace_event JSON to this file")
 		tracePeer = flag.String("trace-peer", "", "peer debug endpoint (http://host:port) to fetch and merge the other half of the trace from")
@@ -84,7 +91,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Group: g, Parallelism: *par}
+	if *shards < 0 || *shards > transport.MaxShards {
+		return fmt.Errorf("-shards must be between 0 and %d", transport.MaxShards)
+	}
+	cfg := core.Config{Group: g, Parallelism: *par, Shards: *shards}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()

@@ -72,6 +72,7 @@ func run() error {
 		maxPeerSet = flag.Int("max-peer-set", 1<<20, "reject sessions announcing a larger peer set")
 		minPeerSet = flag.Int("min-peer-set", 0, "reject sessions announcing a smaller peer set")
 		maxQueries = flag.Int("max-queries", 1000, "per-peer session budget (0 = unlimited)")
+		maxShards  = flag.Int("max-shards", 0, "largest shard count adopted from a peer's sharded handshake (0 = transport limit, 1 = refuse sharding)")
 
 		traceBuffer = flag.Int64("trace-buffer", obs.DefaultFlightBudget, "flight-recorder byte budget for completed session traces, served at /debug/sessions on the debug endpoint (0 = disabled)")
 
@@ -127,6 +128,7 @@ func run() error {
 		MaxPeerSetSize:    *maxPeerSet,
 		MinPeerSetSize:    *minPeerSet,
 		MaxQueriesPerPeer: *maxQueries,
+		MaxShards:         *maxShards,
 	}
 	if *protocols != "" {
 		byName := map[string]wire.Protocol{

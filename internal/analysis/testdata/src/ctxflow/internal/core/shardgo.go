@@ -1,0 +1,83 @@
+// Shard-fanout and mux-pump goroutine shapes (the PR 8 coordinator and
+// shard-multiplexed transport): per-shard workers and connection pumps
+// are long-lived protocol goroutines, so each must observe cancellation
+// — a WaitGroup alone only delays the leak report, it cannot unblock a
+// worker pinned on a stalled peer.
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+func shardFanout(ctx context.Context, shards int, run func(context.Context, int) error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := run(sctx, i); err != nil {
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func shardFanoutUncancellable(shards int, run func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		i := i
+		wg.Add(1)
+		go func() { // want `ctxflow: goroutine does not observe cancellation`
+			defer wg.Done()
+			run(i)
+		}()
+	}
+	wg.Wait()
+}
+
+type mux struct {
+	ctx  context.Context
+	stop chan struct{}
+}
+
+// demuxPump reads frames through a context-accepting Recv: referencing
+// the mux's ctx field counts as observing cancellation.
+func (m *mux) demuxPump(recv func(context.Context) ([]byte, error), deliver func([]byte)) {
+	go func() {
+		for {
+			f, err := recv(m.ctx)
+			if err != nil {
+				return
+			}
+			deliver(f)
+		}
+	}()
+}
+
+// creditPump returns flow-control credits until the mux stops; the stop
+// channel is its cancellation signal.
+func (m *mux) creditPump(send func(shard byte)) {
+	go func() {
+		for {
+			select {
+			case <-m.stop:
+				return
+			default:
+				send(0)
+			}
+		}
+	}()
+}
+
+func (m *mux) pumpWithoutSignal(send func(shard byte)) {
+	go func() { // want `ctxflow: goroutine does not observe cancellation`
+		for {
+			send(0)
+		}
+	}()
+}

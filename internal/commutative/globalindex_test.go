@@ -1,0 +1,109 @@
+package commutative
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// failOn wraps a Scheme so operations on one designated element fail,
+// letting tests pin exactly which index an error message names.
+type failOn struct {
+	Scheme
+	bad *big.Int
+}
+
+var errBoom = errors.New("boom")
+
+func (f *failOn) Encrypt(k *Key, x *big.Int) (*big.Int, error) {
+	if x.Cmp(f.bad) == 0 {
+		return nil, errBoom
+	}
+	return f.Scheme.Encrypt(k, x)
+}
+
+func (f *failOn) Decrypt(k *Key, y *big.Int) (*big.Int, error) {
+	if y.Cmp(f.bad) == 0 {
+		return nil, errBoom
+	}
+	return f.Scheme.Decrypt(k, y)
+}
+
+// TestStreamErrorsNameGlobalIndex is the regression test for the
+// chunk-local error-index bug: a failure in chunk 3 of a streamed bulk
+// operation must report the element's index in the full vector V, not
+// its offset within the chunk.
+func TestStreamErrorsNameGlobalIndex(t *testing.T) {
+	s := testScheme(t)
+	rng := rand.New(rand.NewSource(11))
+	k, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := streamTestVector(t, s, 16, 12)
+	const badIdx, chunkSize = 13, 4 // chunk 3, local offset 1
+	fs := &failOn{Scheme: s, bad: xs[badIdx]}
+
+	for _, parallelism := range []int{1, 3} {
+		var chunkErr error
+		for c := range EncryptStream(context.Background(), fs, k, xs, chunkSize, parallelism) {
+			if c.Err != nil {
+				chunkErr = c.Err
+			}
+		}
+		if chunkErr == nil {
+			t.Fatalf("parallelism=%d: stream succeeded, want element %d to fail", parallelism, badIdx)
+		}
+		if !errors.Is(chunkErr, errBoom) {
+			t.Fatalf("parallelism=%d: err = %v, want wrapped errBoom", parallelism, chunkErr)
+		}
+		if !strings.Contains(chunkErr.Error(), "element 13") {
+			t.Errorf("parallelism=%d: err %q names the wrong index, want global \"element 13\"", parallelism, chunkErr)
+		}
+		if strings.Contains(chunkErr.Error(), "element 1:") {
+			t.Errorf("parallelism=%d: err %q reports the chunk-local index", parallelism, chunkErr)
+		}
+	}
+}
+
+// TestAllAtOffsetsErrors pins the base-offset plumbing of the *At
+// variants on both the serial and the parallel mapAll path.
+func TestAllAtOffsetsErrors(t *testing.T) {
+	s := testScheme(t)
+	rng := rand.New(rand.NewSource(13))
+	k, err := s.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := streamTestVector(t, s, 6, 14)
+	fs := &failOn{Scheme: s, bad: xs[2]}
+
+	for _, tc := range []struct {
+		name string
+		call func() error
+	}{
+		{"encrypt serial", func() error {
+			_, err := EncryptAllAt(context.Background(), fs, k, xs, 1, 100)
+			return err
+		}},
+		{"encrypt parallel", func() error {
+			_, err := EncryptAllAt(context.Background(), fs, k, xs, 3, 100)
+			return err
+		}},
+		{"decrypt serial", func() error {
+			_, err := DecryptAllAt(context.Background(), fs, k, xs, 1, 100)
+			return err
+		}},
+	} {
+		err := tc.call()
+		if err == nil {
+			t.Fatalf("%s: succeeded, want failure at element 102", tc.name)
+		}
+		if !strings.Contains(err.Error(), "element 102") {
+			t.Errorf("%s: err %q, want base-shifted \"element 102\"", tc.name, err)
+		}
+	}
+}

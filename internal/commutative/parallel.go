@@ -16,20 +16,35 @@ import (
 // exponentiation is embarrassingly parallel, and EncryptAll is that
 // worker pool.  parallelism <= 0 selects GOMAXPROCS.
 func EncryptAll(ctx context.Context, s Scheme, k *Key, xs []*big.Int, parallelism int) ([]*big.Int, error) {
-	return mapAll(ctx, xs, parallelism, func(x *big.Int) (*big.Int, error) {
+	return EncryptAllAt(ctx, s, k, xs, parallelism, 0)
+}
+
+// EncryptAllAt is EncryptAll for a slice that starts at index base of a
+// larger vector: errors name the global index base+i, so a mid-stream
+// failure in chunk 3 of a streamed operation points at the right
+// element of V, not at the chunk-local offset.
+func EncryptAllAt(ctx context.Context, s Scheme, k *Key, xs []*big.Int, parallelism, base int) ([]*big.Int, error) {
+	return mapAll(ctx, xs, parallelism, base, func(x *big.Int) (*big.Int, error) {
 		return s.Encrypt(k, x)
 	})
 }
 
 // DecryptAll is the decryption counterpart of EncryptAll.
 func DecryptAll(ctx context.Context, s Scheme, k *Key, ys []*big.Int, parallelism int) ([]*big.Int, error) {
-	return mapAll(ctx, ys, parallelism, func(y *big.Int) (*big.Int, error) {
+	return DecryptAllAt(ctx, s, k, ys, parallelism, 0)
+}
+
+// DecryptAllAt is the decryption counterpart of EncryptAllAt.
+func DecryptAllAt(ctx context.Context, s Scheme, k *Key, ys []*big.Int, parallelism, base int) ([]*big.Int, error) {
+	return mapAll(ctx, ys, parallelism, base, func(y *big.Int) (*big.Int, error) {
 		return s.Decrypt(k, y)
 	})
 }
 
 // mapAll applies f to every element of xs with up to parallelism
-// concurrent workers, preserving input order in the result.
+// concurrent workers, preserving input order in the result.  base is
+// the index of xs[0] within the caller's full vector; error messages
+// report base-relative ("global") element indices.
 //
 // The parallelism contract (pinned by TestMapAllDefaultsToGOMAXPROCS):
 // parallelism <= 0 selects runtime.GOMAXPROCS(0) at call time — the
@@ -38,7 +53,7 @@ func DecryptAll(ctx context.Context, s Scheme, k *Key, ys []*big.Int, parallelis
 // is the most the feeder can ever keep busy.  Exactly min(parallelism,
 // len(xs)) workers are started; each holds at most one element
 // in flight.
-func mapAll(ctx context.Context, xs []*big.Int, parallelism int, f func(*big.Int) (*big.Int, error)) ([]*big.Int, error) {
+func mapAll(ctx context.Context, xs []*big.Int, parallelism, base int, f func(*big.Int) (*big.Int, error)) ([]*big.Int, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -56,7 +71,7 @@ func mapAll(ctx context.Context, xs []*big.Int, parallelism int, f func(*big.Int
 			}
 			y, err := f(x)
 			if err != nil {
-				return nil, fmt.Errorf("commutative: element %d: %w", i, err)
+				return nil, fmt.Errorf("commutative: element %d: %w", base+i, err)
 			}
 			out[i] = y
 		}
@@ -92,7 +107,7 @@ func mapAll(ctx context.Context, xs []*big.Int, parallelism int, f func(*big.Int
 				}
 				y, err := f(xs[i])
 				if err != nil {
-					fail(fmt.Errorf("commutative: element %d: %w", i, err))
+					fail(fmt.Errorf("commutative: element %d: %w", base+i, err))
 					return
 				}
 				out[i] = y

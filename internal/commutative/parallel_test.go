@@ -34,7 +34,7 @@ func TestMapAllParallelObservesCancellation(t *testing.T) {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
-		_, err := mapAll(ctx, xs, parallelism, f)
+		_, err := mapAll(ctx, xs, parallelism, 0, f)
 		done <- err
 	}()
 
@@ -72,7 +72,7 @@ func TestMapAllSerialObservesCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	var calls int
-	_, err := mapAll(ctx, xs, 1, func(x *big.Int) (*big.Int, error) {
+	_, err := mapAll(ctx, xs, 1, 0, func(x *big.Int) (*big.Int, error) {
 		calls++
 		if calls == 2 {
 			cancel()
@@ -106,7 +106,7 @@ func TestMapAllDefaultsToGOMAXPROCS(t *testing.T) {
 	gate := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		_, err := mapAll(context.Background(), xs, 0, func(x *big.Int) (*big.Int, error) {
+		_, err := mapAll(context.Background(), xs, 0, 0, func(x *big.Int) (*big.Int, error) {
 			entered.Add(1)
 			<-gate
 			return x, nil
@@ -131,7 +131,7 @@ func TestMapAllDefaultsToGOMAXPROCS(t *testing.T) {
 	// than len(xs) workers inside f at once.
 	entered.Store(0)
 	var peak atomic.Int64
-	out, err := mapAll(context.Background(), xs[:3], 64, func(x *big.Int) (*big.Int, error) {
+	out, err := mapAll(context.Background(), xs[:3], 64, 0, func(x *big.Int) (*big.Int, error) {
 		if n := entered.Add(1); n > peak.Load() {
 			peak.Store(n)
 		}
@@ -154,7 +154,7 @@ func TestMapAllCompletesWithoutCancellation(t *testing.T) {
 	for i := range xs {
 		xs[i] = big.NewInt(int64(i))
 	}
-	out, err := mapAll(context.Background(), xs, 4, func(x *big.Int) (*big.Int, error) {
+	out, err := mapAll(context.Background(), xs, 4, 0, func(x *big.Int) (*big.Int, error) {
 		return new(big.Int).Add(x, big.NewInt(1000)), nil
 	})
 	if err != nil {

@@ -33,11 +33,21 @@ import (
 //     table (the intersection family dedups, equijoin-size keeps the
 //     multiset, the equijoin adds payload ciphertexts), so slots must
 //     not alias across protocol roles.
+//   - Shard/Shards: a sharded session (Config.Shards > 1) runs one
+//     sub-protocol per hash-prefix partition, each under its own fresh
+//     exponent; Shard is the partition index and Shards the partition
+//     count the key belongs to.  Both participate in the identity so a
+//     shard's cached state replays only for the same partition of the
+//     same partitioning — re-sharding with a different k re-partitions
+//     every value and must miss.  Unsharded sessions leave both zero,
+//     preserving every pre-shard cache identity byte for byte.
 type SetCacheKey struct {
 	PeerHost string
 	Table    string
 	Version  uint64
 	Protocol wire.Protocol
+	Shard    uint8
+	Shards   uint8
 }
 
 // CacheEntry is the sender-side state a protocol run can replay: the
@@ -96,10 +106,17 @@ type SenderSetCache struct {
 	stats    *obs.CacheStats
 }
 
-// lruItem is what the LRU list elements hold.
+// lruItem is what the LRU list elements hold.  size is the entry's
+// accounting size at admission time: removal must subtract exactly what
+// admission added, so the size is captured once rather than recomputed.
+// (Recomputing at removal — as an earlier version did — let any entry
+// whose memoryBytes changed while cached, e.g. by an ExtKey attached
+// after Put, unbalance the byte budget on every Rotate/eviction until
+// the bound drifted useless.)
 type lruItem struct {
 	key   SetCacheKey
 	entry *CacheEntry
+	size  int64
 }
 
 // NewSenderSetCache returns a cache bounded to roughly maxBytes of
@@ -158,7 +175,7 @@ func (c *SenderSetCache) Put(k SetCacheKey, entry *CacheEntry) {
 	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
-	el := c.ll.PushFront(&lruItem{key: k, entry: entry})
+	el := c.ll.PushFront(&lruItem{key: k, entry: entry, size: size})
 	c.slots[k] = el
 	c.bytes += size
 	for c.maxBytes > 0 && c.bytes > c.maxBytes {
@@ -202,7 +219,7 @@ func (c *SenderSetCache) removeLocked(el *list.Element, countEviction bool) {
 	item := el.Value.(*lruItem)
 	c.ll.Remove(el)
 	delete(c.slots, item.key)
-	c.bytes -= item.entry.memoryBytes()
+	c.bytes -= item.size
 	if countEviction {
 		c.stats.AddEviction()
 	}

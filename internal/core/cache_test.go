@@ -468,3 +468,73 @@ func TestCacheConcurrentChurn(t *testing.T) {
 		t.Errorf("hits+misses = %d, want %d", snap.Hits+snap.Misses, runs)
 	}
 }
+
+// TestCacheRotateChurnAccounting is the regression test for the
+// Rotate/LRU byte-accounting interaction: across a rotate-heavy series
+// of admissions, evictions and flushes, the accounted bytes must return
+// exactly to baseline — even when an entry's memoryBytes changes while
+// it sits in the cache (the equijoin path attaches ExtKey state to a
+// live entry).  The pre-fix code recomputed the size at removal, so
+// every such mutation unbalanced the budget a little more per rotation
+// until the byte bound was useless.
+func TestCacheRotateChurnAccounting(t *testing.T) {
+	g := group.TestGroup()
+	scheme := commutative.NewPowerFn(g)
+	key, err := scheme.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := func(n int) *CacheEntry {
+		elems := make([]*big.Int, n)
+		for i := range elems {
+			elems[i] = big.NewInt(int64(1000 + i))
+		}
+		cs, err := commutative.CachedSetFromSorted(key, elems, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &CacheEntry{Set: cs}
+	}
+	slot := func(peer string, version uint64) SetCacheKey {
+		return SetCacheKey{PeerHost: peer, Table: "t", Version: version, Protocol: wire.ProtoEquijoin}
+	}
+
+	one := entry(4).memoryBytes()
+	var stats obs.CacheStats
+	cache := NewSenderSetCache(4*one, &stats)
+
+	for round := 0; round < 10; round++ {
+		// Admit more than fits, forcing LRU evictions.
+		for p := 0; p < 6; p++ {
+			e := entry(4)
+			cache.Put(slot(string(rune('a'+p)), uint64(round+1)), e)
+			if p%2 == 0 {
+				// Mutate the live entry so its memoryBytes no longer
+				// matches what admission charged.
+				e.ExtKey = key
+			}
+		}
+		// Version churn: re-admitting a slot at a new version displaces
+		// the old one.
+		cache.Put(slot("a", uint64(round+2)), entry(4))
+		cache.Rotate()
+		if got := cache.MemoryBytes(); got != 0 {
+			t.Fatalf("round %d: %d accounted bytes after Rotate, want 0 (accounting leak)", round, got)
+		}
+		if cache.Len() != 0 {
+			t.Fatalf("round %d: %d entries after Rotate, want 0", round, cache.Len())
+		}
+	}
+
+	// The budget is still fully usable after the churn: a fresh series
+	// admits up to the bound again.
+	for p := 0; p < 4; p++ {
+		cache.Put(slot(string(rune('a'+p)), 99), entry(4))
+	}
+	if cache.Len() != 4 {
+		t.Errorf("post-churn len = %d, want 4 (byte bound drifted)", cache.Len())
+	}
+	if got := cache.MemoryBytes(); got != 4*one {
+		t.Errorf("post-churn bytes = %d, want %d", got, 4*one)
+	}
+}

@@ -67,6 +67,11 @@ var (
 	ErrGroupMismatch = errors.New("core: peer uses a different group")
 	// ErrProtocolMismatch reports that the peer is running a different protocol.
 	ErrProtocolMismatch = errors.New("core: peer runs a different protocol")
+	// ErrShardMismatch reports that the peer negotiated a different shard
+	// count.  A k-sharded session partitions every value by a shared hash
+	// prefix, so differently-sharded parties would compare disjoint
+	// partitions; the handshake fails before any encrypted value moves.
+	ErrShardMismatch = errors.New("core: peer uses a different shard count")
 	// ErrPeerFailure wraps an error message received from the peer.
 	ErrPeerFailure = errors.New("core: peer reported failure")
 	// ErrHashCollision reports a hash collision inside a party's own set,
@@ -132,6 +137,19 @@ type Config struct {
 	// compared against CacheKey.Version by convention.  Zero means
 	// unversioned.
 	DataVersion uint64
+	// Shards, when > 1, runs the protocol shard-parallel: both parties
+	// partition their values into Shards buckets by a shared hash prefix
+	// of h(v) and run one independent sub-protocol per bucket, all
+	// multiplexed over the single conn (transport.Mux) and merged by a
+	// coordinator that preserves the unsharded result semantics.  The
+	// count is negotiated in the handshake; both parties must configure
+	// the same value or the handshake fails with ErrShardMismatch.
+	// 0 or 1 runs the classic single-pipeline protocol, byte-identical
+	// on the wire to releases without sharding.  Values above
+	// transport.MaxShards are rejected.  The only additional information
+	// revealed is each party's per-shard set sizes (the partition split;
+	// see leakage.ShardSplit).
+	Shards int
 }
 
 // normalized returns a copy of c with every nil field defaulted.
@@ -280,6 +298,9 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 		SetVersion:  s.cfg.DataVersion,
 		Backend:     s.cfg.Group.Code(),
 	}
+	if s.cfg.Shards > 1 {
+		my.Shards = uint8(s.cfg.Shards)
+	}
 	stamp := func() {
 		if s.osess != nil {
 			my.TraceID = s.osess.TraceID()
@@ -327,8 +348,22 @@ func (s *session) handshake(ctx context.Context, proto wire.Protocol, mySize int
 	if peer.GroupBits != my.GroupBits || peer.GroupDigest != my.GroupDigest {
 		return 0, s.abort(ctx, ErrGroupMismatch)
 	}
+	if normShards(peer.Shards) != normShards(my.Shards) {
+		return 0, s.abort(ctx, fmt.Errorf("%w: peer=%d local=%d", ErrShardMismatch, normShards(peer.Shards), normShards(my.Shards)))
+	}
 	s.peerVersion = peer.SetVersion
 	return int(peer.SetSize), nil
+}
+
+// normShards folds the two encodings of "unsharded" — absent (0) and
+// explicit 1 — into one value for the handshake comparison.  The wire
+// layer never produces an explicit 1 (wire.ErrBadShards), but config
+// values arrive unnormalized.
+func normShards(k uint8) uint8 {
+	if k <= 1 {
+		return 0
+	}
+	return k
 }
 
 // checkElems validates a complete received element vector: expected

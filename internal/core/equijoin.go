@@ -52,6 +52,9 @@ type JoinResult struct {
 //	     entry and decrypt ext(v) with κ(v) = f_e'S(h(v))
 //	8.   return the matches (the caller computes T_S ⋈ T_R from them)
 func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*JoinResult, error) {
+	if cfg.Shards > 1 {
+		return shardedEquijoinReceiver(ctx, cfg, conn, values)
+	}
 	s := newSession(ctx, cfg, conn)
 	vR := dedup(values)
 
@@ -145,6 +148,9 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 // records may repeat a value only with an identical Ext; conflicting
 // duplicates are rejected, since ext(v) is defined per distinct value.
 func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, records []JoinRecord) (*SenderInfo, error) {
+	if cfg.Shards > 1 {
+		return shardedEquijoinSender(ctx, cfg, conn, records)
+	}
 	s := newSession(ctx, cfg, conn)
 	vS, exts, err := dedupRecords(records)
 	if err != nil {

@@ -42,6 +42,9 @@ type SenderInfo struct {
 //	     replies ⟨f_eR(h(v)), f_eS(f_eR(h(v)))⟩ back with their v
 //	6.   select all v ∈ V_R whose double encryption lands in Z_S
 func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*IntersectionResult, error) {
+	if cfg.Shards > 1 {
+		return shardedIntersectionReceiver(ctx, cfg, conn, values)
+	}
 	s := newSession(ctx, cfg, conn)
 	vR := dedup(values)
 
@@ -128,6 +131,9 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 // IntersectionSender runs party S of the intersection protocol of
 // Section 3.3 over conn.  S learns only |V_R|.
 func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SenderInfo, error) {
+	if cfg.Shards > 1 {
+		return shardedIntersectionSender(ctx, cfg, conn, values)
+	}
 	s := newSession(ctx, cfg, conn)
 	vS := dedup(values)
 

@@ -29,6 +29,9 @@ type SizeResult struct {
 // R cannot match them back to its own values and learns only the overlap
 // cardinality.
 func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SizeResult, error) {
+	if cfg.Shards > 1 {
+		return shardedIntersectionSizeReceiver(ctx, cfg, conn, values)
+	}
 	s := newSession(ctx, cfg, conn)
 	vR := dedup(values)
 
@@ -99,6 +102,9 @@ func IntersectionSizeReceiver(ctx context.Context, cfg Config, conn transport.Co
 // IntersectionSizeSender runs party S of the intersection-size protocol
 // of Section 5.1.1.
 func IntersectionSizeSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*SenderInfo, error) {
+	if cfg.Shards > 1 {
+		return shardedIntersectionSizeSender(ctx, cfg, conn, values)
+	}
 	s := newSession(ctx, cfg, conn)
 	vS := dedup(values)
 

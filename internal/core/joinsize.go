@@ -45,6 +45,9 @@ type JoinSizeSenderInfo struct {
 // join size computed in the final step.  values is T_R.A *with*
 // duplicates.
 func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*JoinSizeResult, error) {
+	if cfg.Shards > 1 {
+		return shardedEquijoinSizeReceiver(ctx, cfg, conn, values)
+	}
 	s := newSession(ctx, cfg, conn)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoEquijoinSize, len(values), true)
@@ -118,6 +121,9 @@ func EquijoinSizeReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 // EquijoinSizeSender runs party S of the equijoin-size protocol of
 // Section 5.2.  values is T_S.A *with* duplicates.
 func EquijoinSizeSender(ctx context.Context, cfg Config, conn transport.Conn, values [][]byte) (*JoinSizeSenderInfo, error) {
+	if cfg.Shards > 1 {
+		return shardedEquijoinSizeSender(ctx, cfg, conn, values)
+	}
 	s := newSession(ctx, cfg, conn)
 
 	peerSize, err := s.handshake(ctx, wire.ProtoEquijoinSize, len(values), false)

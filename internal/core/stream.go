@@ -240,7 +240,9 @@ func (s *session) recvReencryptStream(ctx context.Context, k *commutative.Key, w
 			if encErr != nil {
 				continue // drain
 			}
-			ys, err := commutative.EncryptAll(ctx, s.cfg.Scheme, k, chunk, s.cfg.Parallelism)
+			// len(out) is the chunk's base offset in the received vector,
+			// so element errors name the global index.
+			ys, err := commutative.EncryptAllAt(ctx, s.cfg.Scheme, k, chunk, s.cfg.Parallelism, len(out))
 			if err != nil {
 				encErr = err
 				continue
@@ -309,16 +311,19 @@ func (s *session) recvEncryptPairsSend(ctx context.Context, kA, kB *commutative.
 		sp := obs.StartSpan(ctx, "re-encrypt")
 		defer sp.End()
 		ct := s.newChunkTimer()
+		off := 0 // base offset of the current chunk within Y_R
 		for chunk := range jobs {
+			base := off
+			off += len(chunk)
 			if encErr != nil || sendErr != nil {
 				continue // drain
 			}
-			withA, err := commutative.EncryptAll(ctx, s.cfg.Scheme, kA, chunk, s.cfg.Parallelism)
+			withA, err := commutative.EncryptAllAt(ctx, s.cfg.Scheme, kA, chunk, s.cfg.Parallelism, base)
 			if err != nil {
 				encErr = err
 				continue
 			}
-			withB, err := commutative.EncryptAll(ctx, s.cfg.Scheme, kB, chunk, s.cfg.Parallelism)
+			withB, err := commutative.EncryptAllAt(ctx, s.cfg.Scheme, kB, chunk, s.cfg.Parallelism, base)
 			if err != nil {
 				encErr = err
 				continue
@@ -415,12 +420,12 @@ func (s *session) recvPairsDecrypt(ctx context.Context, k *commutative.Key, want
 			if decErr != nil {
 				continue // drain
 			}
-			a, err := commutative.DecryptAll(ctx, s.cfg.Scheme, k, pc.a, s.cfg.Parallelism)
+			a, err := commutative.DecryptAllAt(ctx, s.cfg.Scheme, k, pc.a, s.cfg.Parallelism, len(outA))
 			if err != nil {
 				decErr = err
 				continue
 			}
-			b, err := commutative.DecryptAll(ctx, s.cfg.Scheme, k, pc.b, s.cfg.Parallelism)
+			b, err := commutative.DecryptAllAt(ctx, s.cfg.Scheme, k, pc.b, s.cfg.Parallelism, len(outB))
 			if err != nil {
 				decErr = err
 				continue

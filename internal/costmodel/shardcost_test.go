@@ -1,0 +1,100 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShardedOpsSums(t *testing.T) {
+	shardS, shardR := []int{3, 2}, []int{4, 1}
+	o := ShardedIntersectionOps(shardS, shardR)
+	// Ce: 2(3+4) + 2(2+1) = 20 — identical to the unsharded 2(5+5).
+	if o.Ce != 20 {
+		t.Errorf("Ce = %d, want 20", o.Ce)
+	}
+	if o.Ce != IntersectionOps(5, 5).Ce {
+		t.Errorf("sharded Ce = %d differs from unsharded %d", o.Ce, IntersectionOps(5, 5).Ce)
+	}
+	// Ch: per-bucket (3+4)+(2+1) = 10 plus the partition pass 10 = 20.
+	if o.Ch != 20 {
+		t.Errorf("Ch = %d, want 20", o.Ch)
+	}
+}
+
+func TestShardedJoinOpsSums(t *testing.T) {
+	shardS, shardR, shardI := []int{2, 2}, []int{3, 1}, []int{1, 0}
+	o := ShardedJoinOps(shardS, shardR, shardI)
+	// Ce: (2·2+5·3) + (2·2+5·1) = 19+9 = 28 = unsharded 2·4+5·4.
+	if o.Ce != 28 || o.Ce != JoinOps(4, 4, 1).Ce {
+		t.Errorf("Ce = %d, want 28", o.Ce)
+	}
+	// CK: (2+1)+(2+0) = 5 = unsharded 4+1.
+	if o.CK != 5 || o.CK != JoinOps(4, 4, 1).CK {
+		t.Errorf("CK = %d, want 5", o.CK)
+	}
+	// Ch: per-bucket 8 + partition 8 = 16.
+	if o.Ch != 16 {
+		t.Errorf("Ch = %d, want 16", o.Ch)
+	}
+}
+
+func TestShardedWireCostEnvelope(t *testing.T) {
+	// Two buckets, legacy framing: the census is the outer envelope plus
+	// two full single-run censuses.
+	shardS, shardR := []int{3, 2}, []int{4, 1}
+	elemLen := 16
+	w := ShardedIntersectionWireCost(shardS, shardR, elemLen, 0)
+	single := IntersectionWireCost(3, 4, elemLen).Plus(IntersectionWireCost(2, 1, elemLen))
+	if w.FramesSent != 1+single.FramesSent || w.FramesRecv != 1+single.FramesRecv {
+		t.Errorf("frames = %d/%d, want outer+subs %d/%d",
+			w.FramesSent, w.FramesRecv, 1+single.FramesSent, 1+single.FramesRecv)
+	}
+	// The payload beyond the sub-censuses is exactly one 80-byte sharded
+	// header per direction.
+	if got := w.PayloadBytesSent - single.PayloadBytesSent; got != 80 {
+		t.Errorf("outer header payload = %d, want 80", got)
+	}
+}
+
+func TestPipelinedWall(t *testing.T) {
+	c, m := 100*time.Millisecond, 60*time.Millisecond
+	if got := PipelinedWall(c, m, 1); got != c+m {
+		t.Errorf("k=1 wall = %v, want %v", got, c+m)
+	}
+	// k=8: (7·100 + 160)/8 = 107.5ms.
+	if got := PipelinedWall(c, m, 8); got != 107500*time.Microsecond {
+		t.Errorf("k=8 wall = %v, want 107.5ms", got)
+	}
+	// Monotone in k, bounded below by the slower stage.
+	prev := PipelinedWall(c, m, 1)
+	for k := 2; k <= 64; k *= 2 {
+		cur := PipelinedWall(c, m, k)
+		if cur > prev {
+			t.Errorf("wall increased from %v to %v at k=%d", prev, cur, k)
+		}
+		if cur < c {
+			t.Errorf("wall %v fell below the compute bound %v at k=%d", cur, c, k)
+		}
+		prev = cur
+	}
+}
+
+func TestShardedWallEstimate(t *testing.T) {
+	c, m := 100*time.Millisecond, 60*time.Millisecond
+	// One processor: sharding still overlaps compute with the link.
+	if got := ShardedWallEstimate(c, m, 8, 1); got >= c+m || got < c {
+		t.Errorf("1-cpu k=8 wall = %v, want within [%v, %v)", got, c, c+m)
+	}
+	// Eight processors: compute divides by 8 and the run goes comm-bound.
+	got := ShardedWallEstimate(c, m, 8, 8)
+	if got >= ShardedWallEstimate(c, m, 8, 1) {
+		t.Errorf("p=8 wall %v not faster than p=1", got)
+	}
+	if got < m {
+		t.Errorf("wall %v fell below the link bound %v", got, m)
+	}
+	// Degenerate parameters fall back to sequential.
+	if got := ShardedWallEstimate(c, m, 1, 8); got != c+m {
+		t.Errorf("k=1 estimate = %v, want %v", got, c+m)
+	}
+}

@@ -1,0 +1,67 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShardSplitDegenerate(t *testing.T) {
+	// All values in one bucket: the multinomial coefficient is 1, so the
+	// surprisal is exactly n·log₂ k.
+	const n, k = 1000, 8
+	sizes := make([]int, k)
+	sizes[0] = n
+	l := ShardSplit(sizes)
+	if l.Total != n || l.Shards != k {
+		t.Fatalf("total/shards = %d/%d, want %d/%d", l.Total, l.Shards, n, k)
+	}
+	want := float64(n) * math.Log2(k)
+	if math.Abs(l.SurprisalBits-want) > 1e-6 {
+		t.Errorf("degenerate surprisal = %v bits, want exactly n·log2(k) = %v", l.SurprisalBits, want)
+	}
+}
+
+func TestShardSplitBalancedBeatsSkewed(t *testing.T) {
+	const k = 8
+	balanced := []int{125, 125, 125, 125, 125, 125, 125, 125}
+	skewed := []int{500, 300, 100, 50, 20, 15, 10, 5}
+	b, s := ShardSplit(balanced), ShardSplit(skewed)
+	if b.Total != 1000 || s.Total != 1000 {
+		t.Fatalf("totals = %d/%d, want 1000", b.Total, s.Total)
+	}
+	if b.SurprisalBits >= s.SurprisalBits {
+		t.Errorf("balanced split (%v bits) should be less surprising than skewed (%v bits)",
+			b.SurprisalBits, s.SurprisalBits)
+	}
+	// A typical honest split leaks a few dozen bits, not anywhere near
+	// the n·log₂ k of a full membership reveal.
+	if max := float64(1000) * math.Log2(k) / 10; b.SurprisalBits > max {
+		t.Errorf("balanced surprisal = %v bits, implausibly high", b.SurprisalBits)
+	}
+}
+
+func TestShardSplitSupportBits(t *testing.T) {
+	// C(4+2-1, 1) = 5 splits of 4 into 2 buckets: log2(5) bits.
+	l := ShardSplit([]int{3, 1})
+	if want := math.Log2(5); math.Abs(l.SupportBits-want) > 1e-9 {
+		t.Errorf("support bits = %v, want log2(5) = %v", l.SupportBits, want)
+	}
+}
+
+func TestShardSplitSingleShard(t *testing.T) {
+	// k = 1 reveals nothing beyond the total: one possible split, zero
+	// surprisal.
+	l := ShardSplit([]int{42})
+	if l.SurprisalBits != 0 || l.SupportBits != 0 {
+		t.Errorf("k=1 leak = %v/%v bits, want 0/0", l.SurprisalBits, l.SupportBits)
+	}
+}
+
+func TestShardSplitExactSmallCase(t *testing.T) {
+	// By hand: P(2,1) under 3 values into 2 bins = C(3;2,1)·2⁻³ = 3/8,
+	// surprisal = log2(8/3).
+	l := ShardSplit([]int{2, 1})
+	if want := math.Log2(8.0 / 3.0); math.Abs(l.SurprisalBits-want) > 1e-9 {
+		t.Errorf("surprisal = %v, want %v", l.SurprisalBits, want)
+	}
+}

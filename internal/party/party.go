@@ -43,6 +43,12 @@ type Policy struct {
 	// connections: a peer cannot reset it by reconnecting from a fresh
 	// ephemeral port.
 	MaxQueriesPerPeer int
+	// MaxShards caps the shard count this server will adopt from a
+	// peer's sharded handshake (core.Config.Shards).  0 accepts anything
+	// up to the transport limit; 1 refuses shard-parallel sessions
+	// outright.  Each shard costs the server a concurrent sub-session,
+	// so an unbounded count is a resource-amplification vector.
+	MaxShards int
 }
 
 // ErrPolicy reports a session rejected by policy.
@@ -412,8 +418,16 @@ func (s *Server) runSession(ctx context.Context, peer string, conn transport.Con
 		return err
 	}
 
+	// Adopt the peer's shard count: the coordinator's outer handshake
+	// (running over the replayed header) verifies the agreement, and the
+	// policy gate above has already bounded it.  Shards <= 1 leaves the
+	// classic single-session path untouched.
+	if hdr.Shards > 1 {
+		cfg.Shards = int(hdr.Shards)
+	}
+
 	replay := &replayConn{Conn: conn, pending: first}
-	s.logf("party: %s running %v (peer set size %d)", peer, hdr.Protocol, hdr.SetSize)
+	s.logf("party: %s running %v (peer set size %d, shards %d)", peer, hdr.Protocol, hdr.SetSize, normalizedShards(hdr.Shards))
 
 	// Stamp the run with the served table's version and, when caching is
 	// enabled, point it at this peer's slot.  The slot identity is the
@@ -528,6 +542,14 @@ func (s *Server) checkPolicy(peer string, hdr wire.Header) error {
 	if s.Policy.MinPeerSetSize > 0 && hdr.SetSize < uint64(s.Policy.MinPeerSetSize) {
 		return fmt.Errorf("%w: peer set size %d below minimum %d", ErrPolicy, hdr.SetSize, s.Policy.MinPeerSetSize)
 	}
+	if k := int(hdr.Shards); k > 1 {
+		if k > transport.MaxShards {
+			return fmt.Errorf("%w: shard count %d above transport limit %d", ErrPolicy, k, transport.MaxShards)
+		}
+		if s.Policy.MaxShards > 0 && k > s.Policy.MaxShards {
+			return fmt.Errorf("%w: shard count %d above limit %d", ErrPolicy, k, s.Policy.MaxShards)
+		}
+	}
 	host := peerHost(peer)
 	s.mu.Lock()
 	count := s.perPeer[host]
@@ -553,6 +575,15 @@ func (s *Server) record(peer string, hdr wire.Header, stats leakage.SessionStats
 	if s.Auditor != nil {
 		_ = s.Auditor.ApproveSession(peer, hdr.Protocol.String(), s.Values, stats)
 	}
+}
+
+// normalizedShards maps the header's shard byte to the effective
+// sub-session count (<= 1 means the classic single session).
+func normalizedShards(k uint8) int {
+	if k <= 1 {
+		return 1
+	}
+	return int(k)
 }
 
 // replayConn hands back an already-consumed frame on the first Recv.

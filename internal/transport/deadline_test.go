@@ -212,3 +212,48 @@ func TestIdleTimeoutTLS(t *testing.T) {
 		t.Fatalf("err = %v, want ErrIdleTimeout", err)
 	}
 }
+
+// TestIdleTimeoutBufferedBurst: draining a burst of already-buffered
+// frames through the idle decorator must never produce a spurious
+// timeout.  Each Recv arms a cancel watcher on the per-operation idle
+// context; when the read completes without blocking (the frame was in
+// the kernel buffer), the watcher may first run only after the NEXT
+// Recv has armed its deadline — and a stale watcher that pokes the
+// deadline into the past at that point kills the next read with an
+// instant "i/o timeout".  This is exactly the mux demux pattern
+// (back-to-back sub-session frames, no work between reads), which is
+// how the regression first surfaced; watchCancel's stop must therefore
+// synchronize with watcher exit.
+func TestIdleTimeoutBufferedBurst(t *testing.T) {
+	a, b := tcpPair(t)
+	ctx := context.Background()
+
+	// Bursts with gaps: within a burst the reads return from the buffer
+	// without blocking (piling up not-yet-scheduled watchers); at each
+	// burst boundary the reader blocks, the stale watchers finally run,
+	// and — before the fix — each had even odds of poking the armed
+	// deadline into the past, failing the blocked read instantly.
+	const bursts, burstLen = 50, 20
+	const frames = bursts * burstLen
+	go func() {
+		for i := 0; i < frames; i++ {
+			if err := b.Send(ctx, []byte{byte(i)}); err != nil {
+				return
+			}
+			if i%burstLen == burstLen-1 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	idle := WithIdleTimeout(a, 30*time.Second)
+	for i := 0; i < frames; i++ {
+		frame, err := idle.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if len(frame) != 1 || frame[0] != byte(i) {
+			t.Fatalf("Recv %d: frame = %v", i, frame)
+		}
+	}
+}

@@ -21,16 +21,21 @@ import (
 // benchmark.  Only the send direction is shaped; wrap both endpoints to
 // shape both directions of a pipe.
 //
+// Serialization is delegated to a Link — a shared clock modelling the
+// line's capacity — so several Latency instances can contend for one
+// modelled link the way concurrent streams contend for a real one.
+// WithBandwidth gives this instance a private Link (the single-writer
+// behaviour of earlier releases); WithLink shares an explicit one.
+//
 // Like Fault and Meter, Latency decorates any Conn.
 type Latency struct {
 	inner Conn
 	delay time.Duration // one-way propagation delay (rtt/2)
-	bps   float64       // link bandwidth; 0 = infinite
 
-	mu       sync.Mutex
-	linkFree time.Time // when the link finishes serializing queued frames
-	sendErr  error     // sticky forwarding error
-	closed   bool
+	mu      sync.Mutex
+	link    *Link // serialization clock; nil = infinitely fast line
+	sendErr error // sticky forwarding error
+	closed  bool
 
 	queue chan timedFrame
 	done  chan struct{}
@@ -57,11 +62,24 @@ func NewLatency(inner Conn, rtt time.Duration) *Latency {
 // WithBandwidth sets the link's serialization rate in bits per second
 // (e.g. transport.T1.BitsPerSecond) and returns l for chaining.  Zero
 // means an infinitely fast link (propagation delay only).  Must be
-// called before the first Send.
+// called before the first Send.  The instance gets a private Link, so
+// this writer has the whole modelled line to itself; use WithLink to
+// share a line between writers.
 func (l *Latency) WithBandwidth(bitsPerSecond float64) *Latency {
+	if bitsPerSecond <= 0 {
+		return l.WithLink(nil)
+	}
+	return l.WithLink(NewLink(bitsPerSecond))
+}
+
+// WithLink makes l serialize its frames over link, sharing the line's
+// capacity with every other Latency holding the same Link.  A nil link
+// models an infinitely fast line.  Must be called before the first
+// Send.
+func (l *Latency) WithLink(link *Link) *Latency {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.bps = bitsPerSecond
+	l.link = link
 	return l
 }
 
@@ -78,20 +96,16 @@ func (l *Latency) Send(ctx context.Context, frame []byte) error {
 		l.mu.Unlock()
 		return err
 	}
-	now := time.Now()
-	start := l.linkFree
-	if start.Before(now) {
-		start = now
-	}
-	if l.bps > 0 {
-		// Store-and-forward: the frame (with its wire framing) must fully
-		// serialize before it propagates.
-		bits := float64(8 * (len(frame) + FrameOverhead))
-		start = start.Add(time.Duration(bits / l.bps * float64(time.Second)))
-	}
-	l.linkFree = start
-	due := start.Add(l.delay)
+	link := l.link
 	l.mu.Unlock()
+	// Store-and-forward: the frame (with its wire framing) must fully
+	// serialize onto the shared line before it propagates.  reserve
+	// queues it behind whatever any writer already booked.
+	start := time.Now()
+	if link != nil {
+		start = link.reserve(start, len(frame)+FrameOverhead)
+	}
+	due := start.Add(l.delay)
 
 	tf := timedFrame{due: due, frame: append([]byte(nil), frame...)}
 	select {

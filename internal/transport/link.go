@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Link is the serialization clock of one modelled transmission line: a
+// single store-and-forward resource that every frame crossing the link
+// must occupy for bits/bps seconds, in arrival order.  A Link may be
+// shared by several Latency decorators — concurrent streams (sharded
+// sessions, several connections through one uplink) then contend for
+// the same modelled capacity instead of each enjoying a private copy of
+// the line.
+//
+// Before Link existed, every Latency instance kept its own link-free
+// clock, so two concurrent writers through "one" modelled link each saw
+// the full bandwidth — doubling the apparent capacity and over-reporting
+// exactly the sharded speedups this model exists to measure honestly
+// (see TestLatencySharedLinkSerializes).  A real full-duplex line is two
+// independent serialization resources, one per direction: model it with
+// two Links, each shared by all same-direction writers.
+type Link struct {
+	bps float64 // serialization rate; <= 0 = infinitely fast
+
+	mu   sync.Mutex
+	free time.Time // when the line finishes serializing queued frames
+}
+
+// NewLink returns a serialization clock for a line of the given rate in
+// bits per second (e.g. transport.T1.BitsPerSecond).  bitsPerSecond <= 0
+// models an infinitely fast line: reserve returns immediately with no
+// queueing.
+func NewLink(bitsPerSecond float64) *Link {
+	return &Link{bps: bitsPerSecond}
+}
+
+// reserve books wireBytes onto the line no earlier than now and returns
+// the instant their serialization finishes — which is also when the next
+// frame, from whichever writer, may start.
+func (ln *Link) reserve(now time.Time, wireBytes int) time.Time {
+	if ln.bps <= 0 {
+		return now
+	}
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	start := ln.free
+	if start.Before(now) {
+		start = now
+	}
+	bits := float64(8 * wireBytes)
+	ln.free = start.Add(time.Duration(bits / ln.bps * float64(time.Second)))
+	return ln.free
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// sendAll pushes n frames of the given wire size through l and waits for
+// them all to land on sink, returning the wall time until the last one
+// arrives.
+func sendAll(t *testing.T, l *Latency, sink Conn, n, wireBytes int) time.Duration {
+	t.Helper()
+	frame := make([]byte, wireBytes-FrameOverhead)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := l.Send(context.Background(), frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sink.Recv(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// TestLatencySharedLinkSerializes is the regression test for the shared
+// link clock: two concurrent writers through one modelled link must
+// split its bandwidth, finishing in ~2× the time one writer needs for
+// the same per-writer byte count.  Before Link was extracted, each
+// Latency kept a private serialization clock, so each writer saw the
+// full line rate and sharded runs over-reported their speedup.
+func TestLatencySharedLinkSerializes(t *testing.T) {
+	const (
+		bps       = 1e6 // 1 Mbit/s
+		frames    = 4
+		wireBytes = 5000 // 40ms serialization per frame at 1 Mbit/s
+	)
+
+	// Baseline: one writer, alone on the line.
+	a1, b1 := Pipe()
+	solo := NewLatency(a1, 0).WithBandwidth(bps)
+	defer solo.Close()
+	soloTime := sendAll(t, solo, b1, frames, wireBytes)
+
+	// Two writers contending for one shared Link, each sending the
+	// same per-writer load as the baseline.
+	link := NewLink(bps)
+	a2, b2 := Pipe()
+	a3, b3 := Pipe()
+	w1 := NewLatency(a2, 0).WithLink(link)
+	w2 := NewLatency(a3, 0).WithLink(link)
+	defer w1.Close()
+	defer w2.Close()
+
+	type res struct{ d time.Duration }
+	done := make(chan res, 2)
+	start := time.Now()
+	go func() { done <- res{sendAll(t, w1, b2, frames, wireBytes)} }()
+	go func() { done <- res{sendAll(t, w2, b3, frames, wireBytes)} }()
+	<-done
+	<-done
+	sharedTime := time.Since(start)
+
+	// 2 writers × 4 frames × 40ms = 320ms of line time vs 160ms solo.
+	// Allow generous slop for scheduling, but the buggy behaviour
+	// (each writer at full rate → ~soloTime) must fail clearly.
+	if sharedTime < soloTime*3/2 {
+		t.Errorf("2 writers on a shared link finished in %v vs %v solo; link bandwidth is not shared", sharedTime, soloTime)
+	}
+}
+
+// TestLatencyPrivateLinksDoNotContend pins the opposite property: two
+// writers with *separate* links (e.g. the two directions of a
+// full-duplex line) do not queue behind each other.
+func TestLatencyPrivateLinksDoNotContend(t *testing.T) {
+	const (
+		bps       = 1e6
+		frames    = 4
+		wireBytes = 5000
+	)
+	a1, b1 := Pipe()
+	a2, b2 := Pipe()
+	w1 := NewLatency(a1, 0).WithBandwidth(bps)
+	w2 := NewLatency(a2, 0).WithBandwidth(bps)
+	defer w1.Close()
+	defer w2.Close()
+
+	done := make(chan struct{}, 2)
+	start := time.Now()
+	go func() { sendAll(t, w1, b1, frames, wireBytes); done <- struct{}{} }()
+	go func() { sendAll(t, w2, b2, frames, wireBytes); done <- struct{}{} }()
+	<-done
+	<-done
+	elapsed := time.Since(start)
+
+	// Each direction needs 160ms of its own line; with private links the
+	// two overlap, so well under the 320ms a shared line would take.
+	if elapsed > 280*time.Millisecond {
+		t.Errorf("2 writers on private links took %v, want ≈160ms (no contention)", elapsed)
+	}
+}

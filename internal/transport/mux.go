@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MaxShards bounds the shard count a session may negotiate.  The shard
+// tag is one byte with 0xFF reserved for control frames, so the wire
+// format allows up to 255 shards; 64 is a deliberate policy cap — far
+// beyond any useful parallelism for these protocols while keeping the
+// per-shard window memory (MuxWindow frames each way per shard) small.
+const MaxShards = 64
+
+// MuxWindow is the per-shard flow-control window: how many data frames
+// a shard's writer may have in flight before it must block waiting for
+// the reader to drain them.  Without it, one fast shard could flood the
+// shared connection's buffer and starve (or deadlock against) its
+// siblings; with it, each shard's memory on the receive side is bounded
+// by MuxWindow frames regardless of scheduling.
+const MuxWindow = 32
+
+// muxControl is the shard-tag value that marks a control frame.  Data
+// frames are [shardID][payload...] with shardID < muxControl; control
+// frames are [0xFF][shardID][credits], returning `credits` window slots
+// to the named shard's sender.
+const muxControl = 0xFF
+
+// ErrMuxOverflow reports a peer that sent more data frames on one shard
+// than the flow-control window allows — a protocol violation (or a
+// corrupted/foreign stream), never a legal state of a correct peer.
+var ErrMuxOverflow = errors.New("transport: mux: shard window overflow")
+
+// ErrBadShardTag reports a frame whose shard tag names no open shard.
+var ErrBadShardTag = errors.New("transport: mux: frame for unknown shard")
+
+// Mux multiplexes k independent shard streams over one underlying Conn.
+// Each shard is a virtual Conn usable by one sub-protocol session; the
+// frames of all shards interleave on the wire, tagged with a one-byte
+// shard ID, with per-shard credit-based flow control so no shard can
+// starve its siblings.
+//
+// Both endpoints must create their Mux with the same shard count.  Any
+// error on the underlying connection — or a protocol violation such as
+// a window overflow — is sticky and poisons every shard at once: a
+// sharded session fails atomically or not at all.
+//
+// The demux goroutine starts on the first Recv (via Start or lazily),
+// NOT at construction: the coordinator completes its outer handshake on
+// the raw conn first, and only then may the mux start consuming frames.
+type Mux struct {
+	inner  Conn
+	shards []*muxShard
+
+	sendMu sync.Mutex // serializes writes (data + control) to inner
+
+	mu      sync.Mutex
+	err     error // sticky poison; set once
+	started bool
+	stopped bool
+	closed  bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // demux goroutine exited
+}
+
+// muxShard is one virtual Conn carved out of a Mux.
+type muxShard struct {
+	m  *Mux
+	id uint8
+
+	credits chan struct{} // send-side window tokens; cap MuxWindow
+	inbox   chan []byte   // received payloads; cap MuxWindow
+
+	mu   sync.Mutex
+	owed int // frames consumed but not yet credited back to the peer
+}
+
+// NewMux wraps inner into shards independent virtual connections.
+// Both endpoints must agree on the count.  The returned shard Conns are
+// indexed 0..shards-1 via Shard.  Closing the Mux closes inner; closing
+// an individual shard Conn is a no-op (shards share the Mux lifetime).
+func NewMux(inner Conn, shards int) (*Mux, error) {
+	if shards < 2 || shards > MaxShards {
+		return nil, fmt.Errorf("transport: mux: shard count %d out of range [2, %d]", shards, MaxShards)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Mux{
+		inner:  inner,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	m.shards = make([]*muxShard, shards)
+	for i := range m.shards {
+		s := &muxShard{
+			m:       m,
+			id:      uint8(i),
+			credits: make(chan struct{}, MuxWindow),
+			inbox:   make(chan []byte, MuxWindow),
+		}
+		for j := 0; j < MuxWindow; j++ {
+			s.credits <- struct{}{}
+		}
+		m.shards[i] = s
+	}
+	return m, nil
+}
+
+// Shard returns the virtual Conn for shard i.
+func (m *Mux) Shard(i int) Conn { return m.shards[i] }
+
+// Start launches the demux goroutine.  It must be called exactly once,
+// after any pre-mux traffic (the coordinator's outer handshake) has
+// been fully consumed from the underlying connection.
+func (m *Mux) Start() {
+	m.mu.Lock()
+	if m.started || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	go m.demux()
+}
+
+// poison records the first fatal error and wakes every shard.
+func (m *Mux) poison(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+	m.cancel()
+}
+
+func (m *Mux) stickyErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// demux reads frames off the shared connection and routes them: data
+// frames to the owning shard's inbox, control frames back into the
+// sender's credit pool.  It never blocks on a shard — the flow-control
+// window guarantees inbox space for a correct peer, so a full inbox is
+// a protocol violation and poisons the session.
+func (m *Mux) demux() {
+	defer close(m.done)
+	for {
+		frame, err := m.inner.Recv(m.ctx)
+		if err != nil {
+			m.poison(err)
+			return
+		}
+		if len(frame) == 0 {
+			m.poison(fmt.Errorf("%w: empty frame", ErrBadShardTag))
+			return
+		}
+		tag := frame[0]
+		if tag == muxControl {
+			if len(frame) != 3 || int(frame[1]) >= len(m.shards) {
+				m.poison(fmt.Errorf("%w: malformed control frame", ErrBadShardTag))
+				return
+			}
+			s := m.shards[frame[1]]
+			for i := 0; i < int(frame[2]); i++ {
+				select {
+				case s.credits <- struct{}{}:
+				default:
+					m.poison(fmt.Errorf("transport: mux: shard %d credited beyond window", s.id))
+					return
+				}
+			}
+			continue
+		}
+		if int(tag) >= len(m.shards) {
+			m.poison(fmt.Errorf("%w: shard %d of %d", ErrBadShardTag, tag, len(m.shards)))
+			return
+		}
+		s := m.shards[tag]
+		select {
+		case s.inbox <- frame[1:]:
+		default:
+			m.poison(fmt.Errorf("%w: shard %d", ErrMuxOverflow, tag))
+			return
+		}
+	}
+}
+
+// Stop halts the demux goroutine and fails all shard operations WITHOUT
+// closing the underlying connection: a coordinator that borrowed the
+// caller's Conn for one sharded run detaches with Stop, leaving the
+// Conn's lifetime to its owner.  Stop blocks until the demux goroutine
+// has exited, so no Mux goroutine outlives the call.  Idempotent.
+func (m *Mux) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	started := m.started
+	if m.err == nil {
+		m.err = ErrClosed
+	}
+	m.mu.Unlock()
+	m.cancel()
+	if started {
+		<-m.done
+	}
+}
+
+// Close tears down the mux and the underlying connection.  All shard
+// operations fail afterwards.
+func (m *Mux) Close() error {
+	m.Stop()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	return m.inner.Close()
+}
+
+// Send implements Conn for one shard: it takes a window credit (blocking
+// until the peer has drained earlier frames), then writes the tagged
+// frame to the shared connection.
+func (s *muxShard) Send(ctx context.Context, frame []byte) error {
+	if err := s.m.stickyErr(); err != nil {
+		return err
+	}
+	select {
+	case <-s.credits:
+	case <-s.m.ctx.Done():
+		return s.sessionErr()
+	case <-ctx.Done():
+		return fmt.Errorf("transport: mux send: %w", ctx.Err())
+	}
+	tagged := make([]byte, 1+len(frame))
+	tagged[0] = s.id
+	copy(tagged[1:], frame)
+	s.m.sendMu.Lock()
+	err := s.m.inner.Send(ctx, tagged)
+	s.m.sendMu.Unlock()
+	if err != nil {
+		s.m.poison(err)
+		return err
+	}
+	return nil
+}
+
+// Recv implements Conn for one shard.  Consuming a frame owes the peer
+// a credit; credits are returned in batches of MuxWindow/2 to halve the
+// control-frame overhead while keeping the sender from ever stalling on
+// a drained-but-uncredited window.
+func (s *muxShard) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case frame := <-s.inbox:
+		if err := s.replenish(ctx); err != nil {
+			return nil, err
+		}
+		return frame, nil
+	case <-s.m.ctx.Done():
+		// Drain any frame that raced with the poison so callers see
+		// data delivered before the failure.
+		select {
+		case frame := <-s.inbox:
+			if err := s.replenish(ctx); err != nil {
+				return nil, err
+			}
+			return frame, nil
+		default:
+		}
+		return nil, s.sessionErr()
+	case <-ctx.Done():
+		return nil, fmt.Errorf("transport: mux recv: %w", ctx.Err())
+	}
+}
+
+// replenish returns batched credits to the peer once enough are owed.
+func (s *muxShard) replenish(ctx context.Context) error {
+	s.mu.Lock()
+	s.owed++
+	if s.owed < MuxWindow/2 {
+		s.mu.Unlock()
+		return nil
+	}
+	n := s.owed
+	s.owed = 0
+	s.mu.Unlock()
+	s.m.sendMu.Lock()
+	err := s.m.inner.Send(ctx, []byte{muxControl, s.id, byte(n)})
+	s.m.sendMu.Unlock()
+	if err != nil {
+		s.m.poison(err)
+		return err
+	}
+	return nil
+}
+
+// sessionErr maps the mux's terminal state to a per-shard error.
+func (s *muxShard) sessionErr() error {
+	if err := s.m.stickyErr(); err != nil {
+		return err
+	}
+	return ErrClosed
+}
+
+// Close on a shard is a no-op: shards share the Mux's lifetime, and the
+// coordinator closes the Mux (and with it the real connection) once.
+func (s *muxShard) Close() error { return nil }

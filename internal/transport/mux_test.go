@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// muxPair builds two Muxes over a Pipe and starts both demux loops.
+func muxPair(t *testing.T, shards int) (*Mux, *Mux) {
+	t.Helper()
+	a, b := Pipe()
+	ma, err := NewMux(a, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := NewMux(b, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.Start()
+	mb.Start()
+	t.Cleanup(func() { ma.Close(); mb.Close() })
+	return ma, mb
+}
+
+func TestMuxRoutesShardsIndependently(t *testing.T) {
+	const shards = 4
+	ma, mb := muxPair(t, shards)
+	ctx := context.Background()
+
+	// Interleave sends across shards, then read each shard's stream and
+	// check isolation + ordering.
+	const perShard = 20
+	for i := 0; i < perShard; i++ {
+		for s := 0; s < shards; s++ {
+			msg := []byte(fmt.Sprintf("shard%d-msg%d", s, i))
+			if err := ma.Shard(s).Send(ctx, msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for s := 0; s < shards; s++ {
+		for i := 0; i < perShard; i++ {
+			got, err := mb.Shard(s).Recv(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf("shard%d-msg%d", s, i)
+			if string(got) != want {
+				t.Fatalf("shard %d frame %d: got %q, want %q", s, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMuxBidirectional(t *testing.T) {
+	ma, mb := muxPair(t, 2)
+	ctx := context.Background()
+
+	if err := ma.Shard(0).Send(ctx, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := mb.Shard(0).Recv(ctx); err != nil || string(f) != "ping" {
+		t.Fatalf("got %q, %v", f, err)
+	}
+	if err := mb.Shard(1).Send(ctx, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := ma.Shard(1).Recv(ctx); err != nil || string(f) != "pong" {
+		t.Fatalf("got %q, %v", f, err)
+	}
+}
+
+// TestMuxFlowControl: a writer that outruns its reader must block at the
+// window, not flood the shared connection, and resume once the reader
+// drains.
+func TestMuxFlowControl(t *testing.T) {
+	ma, mb := muxPair(t, 2)
+	ctx := context.Background()
+
+	// Fill shard 0's window without anyone reading.
+	for i := 0; i < MuxWindow; i++ {
+		if err := ma.Shard(0).Send(ctx, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The next send must block until the reader drains.
+	blocked := make(chan error, 1)
+	go func() { blocked <- ma.Shard(0).Send(ctx, []byte{0xAA}) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("send beyond window returned (%v); want it to block on flow control", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// A sibling shard is unaffected by shard 0's stall.
+	if err := ma.Shard(1).Send(ctx, []byte("free")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := mb.Shard(1).Recv(ctx); err != nil || string(f) != "free" {
+		t.Fatalf("sibling shard blocked by a full window: %q, %v", f, err)
+	}
+
+	// Draining shard 0 returns credits and unblocks the writer.
+	for i := 0; i < MuxWindow; i++ {
+		if _, err := mb.Shard(0).Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("send still blocked after window drained")
+	}
+	if f, err := mb.Shard(0).Recv(ctx); err != nil || f[0] != 0xAA {
+		t.Fatalf("got %q, %v", f, err)
+	}
+}
+
+// TestMuxConcurrentShards runs a writer+reader pair per shard under the
+// race detector.
+func TestMuxConcurrentShards(t *testing.T) {
+	const shards = 8
+	ma, mb := muxPair(t, shards)
+	ctx := context.Background()
+
+	const perShard = 3 * MuxWindow // forces credit returns mid-stream
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(2)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				if err := ma.Shard(s).Send(ctx, []byte{byte(s), byte(i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(s)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				f, err := mb.Shard(s).Recv(ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if f[0] != byte(s) || f[1] != byte(i) {
+					errs <- fmt.Errorf("shard %d: frame %d got %v", s, i, f)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestMuxPoisonIsAtomic: an error on the underlying connection fails
+// every shard, including ones blocked in Send or Recv.
+func TestMuxPoisonIsAtomic(t *testing.T) {
+	a, b := Pipe()
+	ma, err := NewMux(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.Start()
+	defer ma.Close()
+	ctx := context.Background()
+
+	// Park a reader on every shard.
+	type recvRes struct {
+		shard int
+		err   error
+	}
+	results := make(chan recvRes, 4)
+	for s := 0; s < 4; s++ {
+		go func(s int) {
+			_, err := ma.Shard(s).Recv(ctx)
+			results <- recvRes{s, err}
+		}(s)
+	}
+
+	b.Close() // peer vanishes mid-session
+
+	for i := 0; i < 4; i++ {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				t.Errorf("shard %d: Recv succeeded after peer close", r.shard)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("shard Recv still blocked after peer close; poison not propagated")
+		}
+	}
+	// Sends fail fast too.
+	if err := ma.Shard(0).Send(ctx, []byte("x")); err == nil {
+		t.Error("Send succeeded on a poisoned mux")
+	}
+}
+
+// TestMuxRejectsForeignTraffic: unknown shard tags and window overflows
+// are protocol violations that poison the session.
+func TestMuxRejectsForeignTraffic(t *testing.T) {
+	t.Run("unknown shard", func(t *testing.T) {
+		a, b := Pipe()
+		ma, _ := NewMux(a, 2)
+		ma.Start()
+		defer ma.Close()
+		if err := b.Send(context.Background(), []byte{7, 'x'}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ma.Shard(0).Recv(context.Background())
+		if !errors.Is(err, ErrBadShardTag) {
+			t.Errorf("err = %v, want ErrBadShardTag", err)
+		}
+	})
+	t.Run("window overflow", func(t *testing.T) {
+		a, b := Pipe()
+		ma, _ := NewMux(a, 2)
+		ma.Start()
+		defer ma.Close()
+		// A raw peer ignores flow control and floods shard 0.
+		ctx := context.Background()
+		var sendErr error
+		for i := 0; i <= MuxWindow; i++ {
+			if sendErr = b.Send(ctx, []byte{0, byte(i)}); sendErr != nil {
+				break // pipe backpressure after poison is fine
+			}
+		}
+		// Without draining, frame MuxWindow+1 overflows the inbox.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if err := ma.stickyErr(); errors.Is(err, ErrMuxOverflow) {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Errorf("mux not poisoned with ErrMuxOverflow (sticky err: %v)", ma.stickyErr())
+	})
+}
+
+func TestMuxShardCountValidation(t *testing.T) {
+	a, _ := Pipe()
+	defer a.Close()
+	for _, k := range []int{-1, 0, 1, MaxShards + 1, 255} {
+		if _, err := NewMux(a, k); err == nil {
+			t.Errorf("NewMux(%d) succeeded, want range error", k)
+		}
+	}
+	if m, err := NewMux(a, MaxShards); err != nil {
+		t.Errorf("NewMux(MaxShards): %v", err)
+	} else {
+		m.Close()
+	}
+}
+
+// TestMuxCloseUnblocksAndStopsDemux: Close releases parked shard
+// operations and the demux goroutine exits (checked via Close's join).
+func TestMuxCloseUnblocksAndStopsDemux(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	ma, _ := NewMux(a, 2)
+	ma.Start()
+
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := ma.Shard(1).Recv(context.Background())
+		recvErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	if err := ma.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Error("Recv succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv still blocked after Close")
+	}
+	if err := ma.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

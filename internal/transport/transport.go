@@ -131,22 +131,37 @@ type tcpConn struct {
 // watchCancel interrupts a blocked read or write when ctx is cancelled by
 // moving the relevant I/O deadline into the past (the net-package idiom
 // for unblocking a stuck syscall).  The returned stop function must be
-// called once the operation completes; a stale poked deadline is harmless
-// because every operation re-arms its own deadline on entry.
+// called once the operation completes; it blocks until the watcher
+// goroutine has exited, so any deadline poke happens before stop
+// returns — and therefore before the next operation re-arms its own
+// deadline on entry.  (An async stop is NOT safe: when an operation
+// completes without blocking — the data was already buffered — the
+// watcher may not have run yet, and both its channels fire before it
+// first parks.  A select entered with both cases ready picks one at
+// random, so a stale watcher could poke the deadline into the past
+// AFTER the next operation armed its deadline, killing that read or
+// write with a spurious timeout.  The mux demux loop, which drains
+// back-to-back buffered frames with no work in between, hits exactly
+// this pattern.)
 func watchCancel(ctx context.Context, setDeadline func(time.Time) error) (stop func()) {
 	done := ctx.Done()
 	if done == nil {
 		return func() {}
 	}
 	finished := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
 		select {
 		case <-done:
 			_ = setDeadline(time.Unix(1, 0)) // far past: unblock now
 		case <-finished:
 		}
 	}()
-	return func() { close(finished) }
+	return func() {
+		close(finished)
+		<-exited
+	}
 }
 
 // opErr folds a context failure into an I/O error: when the context was

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"minshare/internal/group"
+)
+
+// TestHeaderShardRoundTrip covers the shard-announcing header layout for
+// both the default safe-prime backend (whose backend byte appears ONLY
+// because the shard byte needs a fixed position) and a non-default one.
+func TestHeaderShardRoundTrip(t *testing.T) {
+	c, g := testCodec()
+	for _, tc := range []struct {
+		name    string
+		backend group.Code
+	}{
+		{"default backend", 0},
+		{"ec25519 backend", group.CodeEC25519},
+	} {
+		h := Header{
+			Protocol:    ProtoIntersection,
+			GroupBits:   uint32(g.Bits()),
+			GroupDigest: GroupDigest(g),
+			SetSize:     1 << 20,
+			Backend:     tc.backend,
+			Shards:      8,
+		}
+		data, err := c.Encode(h)
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", tc.name, err)
+		}
+		if len(data) != ShardEncodedHeaderLen {
+			t.Errorf("%s: encoded %d bytes, want ShardEncodedHeaderLen = %d", tc.name, len(data), ShardEncodedHeaderLen)
+		}
+		got, err := c.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", tc.name, err)
+		}
+		if got.(Header) != h {
+			t.Errorf("%s: round trip: got %+v, want %+v", tc.name, got, h)
+		}
+	}
+}
+
+// TestHeaderShardByteIdentity pins the k=1 guarantee of the sharding
+// negotiation: Shards = 0 and Shards = 1 both encode to exactly the
+// pre-shard byte layout, for the default backend (78 bytes, no trailing
+// bytes at all) and a non-default one (79 bytes, backend byte only).
+// An unsharded session is therefore byte-identical to every release
+// before the shard field existed.
+func TestHeaderShardByteIdentity(t *testing.T) {
+	c, g := testCodec()
+	base := Header{
+		Protocol:    ProtoEquijoin,
+		GroupBits:   uint32(g.Bits()),
+		GroupDigest: GroupDigest(g),
+		SetSize:     42,
+		SetVersion:  7,
+	}
+	for _, backend := range []group.Code{0, group.CodeEC25519} {
+		preShard := base
+		preShard.Backend = backend
+		want, err := c.Encode(preShard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(want)) != HeaderLen(backend) {
+			t.Fatalf("backend %v: pre-shard header is %d bytes, want %d", backend, len(want), HeaderLen(backend))
+		}
+		for _, k := range []uint8{0, 1} {
+			h := preShard
+			h.Shards = k
+			data, err := c.Encode(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Errorf("backend %v, Shards=%d: encoding diverges from the pre-shard layout\n got %x\nwant %x", backend, k, data, want)
+			}
+			if int64(len(data)) != ShardedHeaderLen(backend, int(k)) {
+				t.Errorf("backend %v, Shards=%d: %d bytes, ShardedHeaderLen says %d", backend, k, len(data), ShardedHeaderLen(backend, int(k)))
+			}
+		}
+	}
+	if got := ShardedHeaderLen(0, 8); got != ShardEncodedHeaderLen {
+		t.Errorf("ShardedHeaderLen(0, 8) = %d, want %d", got, ShardEncodedHeaderLen)
+	}
+}
+
+// TestHeaderShardGolden pins the exact trailing-byte layout of a sharded
+// header (DESIGN.md Section 10.2): …span id, backend byte (present even
+// when zero), shard count.
+func TestHeaderShardGolden(t *testing.T) {
+	g := group.MustBuiltin(group.Bits64)
+	c := NewCodec(g)
+	digest := GroupDigest(g)
+	h := Header{
+		Protocol:    ProtoIntersection,
+		GroupBits:   64,
+		GroupDigest: digest,
+		SetSize:     0x0102030405060708,
+		Shards:      8,
+	}
+	want := []byte{
+		1,           // kind
+		1,           // protocol: intersection
+		0, 0, 0, 64, // group bits
+	}
+	want = append(want, digest[:]...)           // group digest
+	want = append(want, 1, 2, 3, 4, 5, 6, 7, 8) // set size
+	want = append(want, make([]byte, 8)...)     // set version (unversioned)
+	want = append(want, make([]byte, 16)...)    // trace id (untraced)
+	want = append(want, make([]byte, 8)...)     // span id
+	want = append(want, 0)                      // backend byte: default, forced by the shard byte
+	want = append(want, 8)                      // shard count
+	data, err := c.Encode(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("sharded header diverges from DESIGN.md Section 10.2\n got %x\nwant %x", data, want)
+	}
+}
+
+// TestHeaderShardDecodeRejectsAliases: a sharded-layout header whose
+// shard byte is 0 or 1 would alias the unsharded encodings, so the
+// decoder rejects it outright.
+func TestHeaderShardDecodeRejectsAliases(t *testing.T) {
+	c, g := testCodec()
+	h := Header{
+		Protocol:    ProtoIntersection,
+		GroupBits:   uint32(g.Bits()),
+		GroupDigest: GroupDigest(g),
+		SetSize:     9,
+		Shards:      2,
+	}
+	data, err := c.Encode(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []byte{0, 1} {
+		bad := append([]byte(nil), data...)
+		bad[len(bad)-1] = b
+		if _, err := c.Decode(bad); !errors.Is(err, ErrBadShards) {
+			t.Errorf("shard byte %d: err = %v, want ErrBadShards", b, err)
+		}
+	}
+}

@@ -117,6 +117,10 @@ var (
 	ErrTooLarge = errors.New("wire: vector too large")
 	// ErrKindMismatch reports receiving a different kind than expected.
 	ErrKindMismatch = errors.New("wire: unexpected message kind")
+	// ErrBadShards reports a sharded header layout whose shard byte is 0
+	// or 1 — values the unsharded encodings already own, so an explicit
+	// byte would alias two distinct wire forms.
+	ErrBadShards = errors.New("wire: shard byte in sharded header must be > 1")
 )
 
 // MaxVectorLen bounds declared element counts so that a corrupt or
@@ -129,6 +133,13 @@ const MaxVectorLen = 1 << 24
 // use these to translate the paper's Section 6.1 bit formulas — which
 // count only the k-bit codewords — into exact frame payload sizes.
 const (
+	// ShardEncodedHeaderLen is the encoded size of a Header that
+	// announces shard-parallel execution (Shards > 1): the backend-
+	// announcing layout plus one trailing shard-count byte.  A sharded
+	// header always carries the backend byte — even for the default
+	// safe-prime backend — so the decoder can tell the two trailing-byte
+	// layouts apart by length alone; see Header.Shards.
+	ShardEncodedHeaderLen = BackendEncodedHeaderLen + 1
 	// BackendEncodedHeaderLen is the encoded size of a Header that
 	// announces a non-default group backend: EncodedHeaderLen plus one
 	// trailing backend-code byte.  Headers for the default safe-prime
@@ -171,6 +182,18 @@ func HeaderLen(c group.Code) int64 {
 	return EncodedHeaderLen
 }
 
+// ShardedHeaderLen is HeaderLen for a session that also negotiates
+// shard-parallel execution: shards > 1 appends the shard-count byte
+// (and, with it, always the backend byte), while shards <= 1 leaves the
+// header exactly as HeaderLen describes — the k=1 byte-identity
+// guarantee.
+func ShardedHeaderLen(c group.Code, shards int) int64 {
+	if shards > 1 {
+		return ShardEncodedHeaderLen
+	}
+	return HeaderLen(c)
+}
+
 // Message is any protocol message.
 type Message interface {
 	Kind() Kind
@@ -205,6 +228,19 @@ type Header struct {
 	// decoder rejects as a length error: a mixed-backend pairing fails
 	// loudly at the handshake instead of exchanging cross-group garbage.
 	Backend group.Code
+	// Shards is the announced shard-parallel fan-out k: the session runs
+	// as k independent sub-protocols over one multiplexed transport,
+	// partitioned by hash prefix (see core.Config.Shards).  Zero and one
+	// both mean "unsharded" and are encoded by OMITTING the field — and,
+	// with it, nothing changes in the header at all — so an unsharded
+	// session is byte-identical to every earlier release.  A value > 1
+	// appends one trailing byte after the backend byte (which is then
+	// always present, even for the default backend, keeping the layouts
+	// distinguishable by length); a legacy decoder rejects the longer
+	// header as a length error, so a sharded initiator and a pre-shard
+	// peer fail loudly at the handshake rather than deadlocking over a
+	// half-multiplexed connection.
+	Shards uint8
 }
 
 // Kind implements Message.
@@ -330,9 +366,15 @@ func (c *Codec) Encode(m Message) ([]byte, error) {
 		buf = append(buf, b8[:]...)
 		// The backend byte is appended only for non-default backends,
 		// keeping safe-prime headers byte-identical to every earlier
-		// release (see Header.Backend).
-		if v.Backend != 0 {
+		// release (see Header.Backend).  A sharded header (Shards > 1)
+		// always carries it — the shard byte's position is defined
+		// relative to a present backend byte — followed by the shard
+		// count; Shards <= 1 adds nothing (see Header.Shards).
+		if v.Backend != 0 || v.Shards > 1 {
 			buf = append(buf, byte(v.Backend))
+		}
+		if v.Shards > 1 {
+			buf = append(buf, v.Shards)
 		}
 	case Elements:
 		buf = putCount(buf, len(v.Elems))
@@ -395,15 +437,17 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 	buf := data[1:]
 	switch kind {
 	case KindHeader:
-		// Four accepted layouts, newest first: backend-announcing (one
+		// Five accepted layouts, newest first: shard-announcing (backend
+		// byte plus a trailing shard-count byte), backend-announcing (one
 		// trailing backend-code byte), current (with trace context),
 		// pre-trace (with set version only), and legacy pre-S27
 		// (neither).  Fields absent from an older layout decode as zero,
 		// which each field defines as its "absent" value — for Backend,
-		// zero is the safe-prime domain every pre-backend release runs —
+		// zero is the safe-prime domain every pre-backend release runs;
+		// for Shards, zero is unsharded —
 		// so a mixed-version deployment still completes the handshake.
 		switch len(buf) {
-		case BackendEncodedHeaderLen - 1, EncodedHeaderLen - 1, PreTraceEncodedHeaderLen - 1, LegacyEncodedHeaderLen - 1:
+		case ShardEncodedHeaderLen - 1, BackendEncodedHeaderLen - 1, EncodedHeaderLen - 1, PreTraceEncodedHeaderLen - 1, LegacyEncodedHeaderLen - 1:
 		default:
 			return nil, fmt.Errorf("%w: header of %d bytes", ErrTruncated, len(buf))
 		}
@@ -419,8 +463,14 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 			copy(h.TraceID[:], buf[53:69])
 			h.SpanID = binary.BigEndian.Uint64(buf[69:77])
 		}
-		if len(buf) == BackendEncodedHeaderLen-1 {
+		if len(buf) >= BackendEncodedHeaderLen-1 {
 			h.Backend = group.Code(buf[77])
+		}
+		if len(buf) == ShardEncodedHeaderLen-1 {
+			h.Shards = buf[78]
+			if h.Shards <= 1 {
+				return nil, fmt.Errorf("%w: got %d", ErrBadShards, h.Shards)
+			}
 		}
 		return h, nil
 	case KindElements:
