@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-faults docs-check lint lint-fix-audit check bench bench-pipeline bench-cache bench-obs bench-obs-smoke bench-group bench-group-smoke bench-shard bench-shard-smoke experiments
+.PHONY: all build test vet race race-faults docs-check docs-drift lint lint-fix-audit check bench bench-pipeline bench-cache bench-obs bench-obs-smoke bench-group bench-group-smoke bench-shard bench-shard-smoke bench-delta bench-delta-smoke experiments
 
 all: check
 
@@ -36,9 +36,18 @@ race-faults:
 		./internal/party ./internal/transport ./internal/core ./internal/commutative
 
 # Documentation lint: every exported identifier in internal/* must have
-# a doc comment, every intra-repo link in the *.md files must resolve.
+# a doc comment (field-deep in group/ec25519/transport), every
+# intra-repo link in the *.md files must resolve, and the benchmark
+# history must match the committed records.
 docs-check:
 	$(GO) run ./cmd/docscheck
+
+# Benchmark-record drift alone: fails when EXPERIMENTS.md's
+# benchmark-history table and the BENCH_*.json files disagree — a row
+# without a record, a record without a row, or a record missing its
+# reproduction fields.
+docs-drift:
+	$(GO) run ./cmd/docscheck -drift
 
 # Protocol-safety static analysis (internal/analysis): secretlog,
 # bigintalias, ctxflow, errclose and spanpair over the whole module,
@@ -94,7 +103,20 @@ bench-shard:
 bench-shard-smoke:
 	$(GO) test -short -run xxx -bench IntersectionSharded -benchtime 1x .
 
-check: build vet test race race-faults lint bench-obs-smoke bench-group-smoke bench-shard-smoke
+# Delta-maintenance benchmark (the BENCH_PR9.json numbers): a 1%-churn
+# requery answered by the cache delta-upgrade path vs the S27 cold
+# rebuild at |V_S| = 10k over ec25519, plus the standing-query push
+# serving the same churn to a subscriber.
+bench-delta:
+	$(GO) test -run xxx -bench DeltaRequery -benchtime 3x -timeout 30m .
+
+# Short-mode smoke of the delta bench (tiny set, one iteration): a
+# regression in ApplyDelta, the upgrade path, or the subscription pump
+# fails check.
+bench-delta-smoke:
+	$(GO) test -short -run xxx -bench DeltaRequery -benchtime 1x .
+
+check: build vet test race race-faults lint docs-drift bench-obs-smoke bench-group-smoke bench-shard-smoke bench-delta-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -1,0 +1,230 @@
+package minshare
+
+// PR9 delta-maintenance benchmark (BENCH_PR9.json): the repeated-query,
+// slowly-churning-table regime.  A client re-runs the same intersection
+// after the server's table churned 1%; the sender either rebuilds its
+// encrypted set from scratch (the S27 cold path: O(|V_S|) modexps) or
+// upgrades the cached set by delta (O(churn)).  The standing-push
+// variant serves the same churn to an already-subscribed receiver —
+// no new session at all.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"minshare/internal/core"
+	"minshare/internal/costmodel"
+	"minshare/internal/group"
+	"minshare/internal/obs"
+	"minshare/internal/transport"
+	"minshare/internal/wire"
+)
+
+// churnSource is a core.DeltaSource over a sliding window of synthetic
+// values: step i serves {v_i, …, v_(i+nS)}, so each Advance inserts
+// churn fresh values and deletes the churn oldest — a constant-rate
+// churn model with exact, replayable deltas.
+type churnSource struct {
+	mu      sync.Mutex
+	nS      int
+	churn   int
+	version uint64
+	lo      int
+	notify  chan struct{}
+}
+
+func newChurnSource(nS, churn int) *churnSource {
+	return &churnSource{nS: nS, churn: churn, version: 1, notify: make(chan struct{})}
+}
+
+func churnValue(i int) []byte { return []byte(fmt.Sprintf("s-%09d", i)) }
+
+// values returns the current window.
+func (c *churnSource) values() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]byte, c.nS)
+	for i := range out {
+		out[i] = churnValue(c.lo + i)
+	}
+	return out
+}
+
+// Advance moves the window one churn step and wakes waiters.
+func (c *churnSource) Advance() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lo += c.churn
+	c.version++
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+func (c *churnSource) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+func (c *churnSource) DeltaSince(from uint64) (core.SetDelta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	steps := int(c.version - from)
+	if from > c.version || steps*c.churn > c.nS {
+		return core.SetDelta{}, false
+	}
+	d := core.SetDelta{From: from, To: c.version}
+	oldLo := c.lo - steps*c.churn
+	for i := 0; i < steps*c.churn; i++ {
+		d.Inserted = append(d.Inserted, core.JoinRecord{Value: churnValue(oldLo + c.nS + i)})
+		d.Deleted = append(d.Deleted, churnValue(oldLo+i))
+	}
+	return d, true
+}
+
+func (c *churnSource) Wait(ctx context.Context, from uint64) error {
+	for {
+		c.mu.Lock()
+		if c.version > from {
+			c.mu.Unlock()
+			return nil
+		}
+		ch := c.notify
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// deltaBenchSizes picks the acceptance workload (|V_S| = 10k, 1% churn)
+// or a smoke-sized one under -short.
+func deltaBenchSizes() (nS, churn, nR int) {
+	if testing.Short() {
+		return 300, 3, 30
+	}
+	return 10000, 100, 100
+}
+
+// receiverQuery builds the repeated client query: half its values are in
+// the server's current window, half are not.
+func receiverQuery(src *churnSource, nR int) [][]byte {
+	cur := src.values()
+	vR := make([][]byte, nR)
+	for i := range vR {
+		if i < nR/2 {
+			vR[i] = cur[i*2]
+		} else {
+			vR[i] = []byte(fmt.Sprintf("r-%09d", i))
+		}
+	}
+	return vR
+}
+
+// benchmarkDeltaRequery measures one mutate-then-requery round: the
+// table churns one step, then the client re-runs its intersection.
+// With upgrade=false the sender's cached set is stale and unusable (no
+// delta source), so every round pays the 2|V_S| cold rebuild; with
+// upgrade=true the delta-upgrade path re-encrypts only the churn.
+func benchmarkDeltaRequery(b *testing.B, upgrade bool) {
+	nS, churn, nR := deltaBenchSizes()
+	src := newChurnSource(nS, churn)
+	g := group.EC25519()
+	reg := obs.NewRegistry()
+	cache := core.NewSenderSetCache(0, reg.Cache())
+	cfgR := core.Config{Group: g}
+
+	runOnce := func() {
+		cfgS := core.Config{Group: g, SetCache: cache, DataVersion: src.Version(), CacheKey: core.SetCacheKey{
+			PeerHost: "bench-peer", Table: "t", Version: src.Version(), Protocol: wire.ProtoIntersection,
+		}}
+		if upgrade {
+			cfgS.DeltaSource = src
+		}
+		ctx := context.Background()
+		connR, connS := transport.Pipe()
+		defer connR.Close()
+		ch := make(chan error, 1)
+		go func() {
+			_, err := core.IntersectionSender(ctx, cfgS, connS, src.values())
+			ch <- err
+		}()
+		res, err := core.IntersectionReceiver(ctx, cfgR, connR, receiverQuery(src, nR))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-ch; err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Values) != nR/2 {
+			b.Fatalf("|intersection| = %d, want %d", len(res.Values), nR/2)
+		}
+	}
+
+	runOnce() // populate the slot's cache entry, untimed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		src.Advance() // the 1% churn between queries is the table's cost, not the protocol's
+		b.StartTimer()
+		runOnce()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(costmodel.IntersectionOps(nS, nR).Ce), "Ce-cold")
+	b.ReportMetric(float64(costmodel.IntersectionDeltaOps(nS, nR, churn, churn).Ce), "Ce-upgrade")
+	snap := reg.Cache().Snapshot()
+	if upgrade && snap.Upgrades < int64(b.N) {
+		b.Fatalf("upgrade path not exercised: %d upgrades over %d rounds", snap.Upgrades, b.N)
+	}
+	if !upgrade && snap.Upgrades != 0 {
+		b.Fatalf("cold variant unexpectedly upgraded %d times", snap.Upgrades)
+	}
+}
+
+// benchmarkDeltaStandingPush measures the same churn served to a
+// standing subscriber: one Advance, one pushed SubUpdate, one applied
+// result — no session setup, no O(|V_S|) work anywhere.
+func benchmarkDeltaStandingPush(b *testing.B) {
+	nS, churn, nR := deltaBenchSizes()
+	src := newChurnSource(nS, churn)
+	g := group.EC25519()
+	cfgS := core.Config{Group: g, DeltaSource: src, DataVersion: src.Version()}
+	cfgR := core.Config{Group: g}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	connR, connS := transport.Pipe()
+	defer connR.Close()
+	ch := make(chan error, 1)
+	go func() {
+		_, err := core.IntersectionSenderStanding(ctx, cfgS, connS, src.values())
+		ch <- err
+	}()
+	q, err := core.IntersectionReceiverStanding(ctx, cfgR, connR, receiverQuery(src, nR))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Advance()
+		if _, err := q.Await(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := q.Close(ctx); err != nil {
+		b.Fatal(err)
+	}
+	connR.Close()
+	<-ch
+}
+
+func BenchmarkDeltaRequery(b *testing.B) {
+	b.Run("cold", func(b *testing.B) { benchmarkDeltaRequery(b, false) })
+	b.Run("upgrade", func(b *testing.B) { benchmarkDeltaRequery(b, true) })
+	b.Run("standing-push", benchmarkDeltaStandingPush)
+}

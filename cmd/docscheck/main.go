@@ -4,10 +4,16 @@
 //
 //   - every exported top-level identifier in the internal/* packages
 //     carries a doc comment, so the wire-format and protocol references
-//     in DESIGN.md always have a godoc counterpart to point at;
+//     in DESIGN.md always have a godoc counterpart to point at — and in
+//     the boundary packages (docs.DeepDocPackages: group, ec25519,
+//     transport) the standard reaches exported struct fields and
+//     interface methods too;
 //   - every intra-repository link in the *.md files resolves, so the
 //     cross-references between README.md, DESIGN.md, EXPERIMENTS.md and
-//     the benchmark records cannot silently rot.
+//     the benchmark records cannot silently rot;
+//   - the EXPERIMENTS.md benchmark-history table matches the committed
+//     BENCH_*.json records row for row (also available alone as
+//     `docscheck -drift`, the `make docs-drift` gate).
 //
 // Every violation is printed with its file:line before the nonzero
 // exit — a broken file never hides the rest of the findings.  The same
@@ -16,6 +22,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -23,11 +30,17 @@ import (
 )
 
 func main() {
+	drift := flag.Bool("drift", false, "check only benchmark-history drift (EXPERIMENTS.md vs BENCH_*.json)")
+	flag.Parse()
 	root := "."
-	if len(os.Args) > 1 {
-		root = os.Args[1]
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
 	}
-	problems, err := docs.CheckAll(root)
+	check := docs.CheckAll
+	if *drift {
+		check = docs.CheckBenchHistory
+	}
+	problems, err := check(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "docscheck:", err)
 		os.Exit(2)

@@ -25,6 +25,12 @@
 // handshake explicitly, and 0 or 1 keeps the classic wire format
 // byte for byte.
 //
+// -subscribe N turns a receiver-side intersection or join into a
+// standing query against a psiserver running with -standing: after the
+// base result, the receiver stays subscribed and prints up to N
+// refreshed results as the server pushes encrypted deltas — O(churn)
+// work per update instead of a full protocol re-run.
+//
 // With -trace-out the run is traced: phase spans, latency histograms and
 // the distributed trace ID (carried to the peer in the handshake) are
 // recorded, and the session's trace is written to the given file as
@@ -39,6 +45,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -61,21 +68,59 @@ func main() {
 	}
 }
 
+// options holds every psi flag.  Flags are registered through
+// defineFlags so the README's flag table can be checked against the
+// real flag set (see TestREADMEFlagParity).
+type options struct {
+	role      *string
+	proto     *string
+	listen    *string
+	connect   *string
+	valueFile *string
+	groupName *string
+	par       *int
+	shards    *int
+	subscribe *int
+	timeout   *time.Duration
+	traceOut  *string
+	tracePeer *string
+}
+
+// defineFlags registers the psi flag set on fs.
+func defineFlags(fs *flag.FlagSet) *options {
+	return &options{
+		role:      fs.String("role", "", "party role: sender | receiver"),
+		proto:     fs.String("proto", "intersection", "protocol: intersection | join | intersection-size | join-size"),
+		listen:    fs.String("listen", "", "listen address (e.g. :9000)"),
+		connect:   fs.String("connect", "", "peer address to connect to"),
+		valueFile: fs.String("values", "", "path to the value file (one value per line; sender join files use value<TAB>ext)"),
+		groupName: fs.String("group", "qr1024", "group backend: "+strings.Join(group.Backends(), " | ")+", or a safe-prime bit count"),
+		par:       fs.Int("p", 0, "encryption parallelism (0 = all cores)"),
+		shards:    fs.Int("shards", 0, "shard-parallel sub-sessions (0 or 1 = classic single session; both parties must agree)"),
+		subscribe: fs.Int("subscribe", 0, "receiver only, intersection|join: stand the query — subscribe to the sender's updates and print up to N refreshed results (0 = one-shot; needs a psiserver -standing peer)"),
+		timeout:   fs.Duration("timeout", 10*time.Minute, "overall protocol deadline"),
+		traceOut:  fs.String("trace-out", "", "write the run's trace as Chrome trace_event JSON to this file"),
+		tracePeer: fs.String("trace-peer", "", "peer debug endpoint (http://host:port) to fetch and merge the other half of the trace from"),
+	}
+}
+
 func run() error {
-	var (
-		role      = flag.String("role", "", "party role: sender | receiver")
-		proto     = flag.String("proto", "intersection", "protocol: intersection | join | intersection-size | join-size")
-		listen    = flag.String("listen", "", "listen address (e.g. :9000)")
-		connect   = flag.String("connect", "", "peer address to connect to")
-		valueFile = flag.String("values", "", "path to the value file (one value per line; sender join files use value<TAB>ext)")
-		groupName = flag.String("group", "qr1024", "group backend: "+strings.Join(group.Backends(), " | ")+", or a safe-prime bit count")
-		par       = flag.Int("p", 0, "encryption parallelism (0 = all cores)")
-		shards    = flag.Int("shards", 0, "shard-parallel sub-sessions (0 or 1 = classic single session; both parties must agree)")
-		timeout   = flag.Duration("timeout", 10*time.Minute, "overall protocol deadline")
-		traceOut  = flag.String("trace-out", "", "write the run's trace as Chrome trace_event JSON to this file")
-		tracePeer = flag.String("trace-peer", "", "peer debug endpoint (http://host:port) to fetch and merge the other half of the trace from")
-	)
+	o := defineFlags(flag.CommandLine)
 	flag.Parse()
+	var (
+		role      = o.role
+		proto     = o.proto
+		listen    = o.listen
+		connect   = o.connect
+		valueFile = o.valueFile
+		groupName = o.groupName
+		par       = o.par
+		shards    = o.shards
+		subscribe = o.subscribe
+		timeout   = o.timeout
+		traceOut  = o.traceOut
+		tracePeer = o.tracePeer
+	)
 
 	if *role != "sender" && *role != "receiver" {
 		return fmt.Errorf("-role must be sender or receiver")
@@ -85,6 +130,17 @@ func run() error {
 	}
 	if *valueFile == "" {
 		return fmt.Errorf("-values is required")
+	}
+	if *subscribe > 0 {
+		if *role != "receiver" {
+			return fmt.Errorf("-subscribe is receiver-only (the sender side needs a live table; run psiserver -standing)")
+		}
+		if *proto != "intersection" && *proto != "join" {
+			return fmt.Errorf("-subscribe supports intersection and join, not %q", *proto)
+		}
+		if *shards > 1 {
+			return fmt.Errorf("-subscribe requires an unsharded session")
+		}
 	}
 
 	g, err := group.ByFlag(*groupName)
@@ -121,9 +177,9 @@ func run() error {
 
 	switch *proto {
 	case "intersection":
-		err = runIntersection(ctx, cfg, conn, *role, *valueFile)
+		err = runIntersection(ctx, cfg, conn, *role, *valueFile, *subscribe)
 	case "join":
-		err = runJoin(ctx, cfg, conn, *role, *valueFile)
+		err = runJoin(ctx, cfg, conn, *role, *valueFile, *subscribe)
 	case "intersection-size":
 		err = runIntersectionSize(ctx, cfg, conn, *role, *valueFile)
 	case "join-size":
@@ -283,7 +339,19 @@ func readJoinRecords(path string) ([]core.JoinRecord, error) {
 	return out, sc.Err()
 }
 
-func runIntersection(ctx context.Context, cfg core.Config, conn transport.Conn, role, path string) error {
+func printIntersection(res *core.IntersectionResult) {
+	lines := make([]string, len(res.Values))
+	for i, v := range res.Values {
+		lines[i] = string(v)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	fmt.Fprintf(os.Stderr, "psi: |intersection| = %d, |V_S| = %d\n", len(res.Values), res.SenderSetSize)
+}
+
+func runIntersection(ctx context.Context, cfg core.Config, conn transport.Conn, role, path string, subscribe int) error {
 	values, err := readValues(path)
 	if err != nil {
 		return err
@@ -296,23 +364,42 @@ func runIntersection(ctx context.Context, cfg core.Config, conn transport.Conn, 
 		fmt.Printf("peer set size: %d\n", info.ReceiverSetSize)
 		return nil
 	}
+	if subscribe > 0 {
+		q, err := core.IntersectionReceiverStanding(ctx, cfg, conn, values)
+		if err != nil {
+			return err
+		}
+		printIntersection(q.Result())
+		for i := 0; i < subscribe; i++ {
+			res, err := q.Await(ctx)
+			if errors.Is(err, core.ErrSubscriptionEnded) {
+				fmt.Fprintln(os.Stderr, "psi: subscription ended by sender")
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "psi: update %d/%d (sender version %d)\n", i+1, subscribe, q.Version())
+			printIntersection(res)
+		}
+		return q.Close(ctx)
+	}
 	res, err := core.IntersectionReceiver(ctx, cfg, conn, values)
 	if err != nil {
 		return err
 	}
-	lines := make([]string, len(res.Values))
-	for i, v := range res.Values {
-		lines[i] = string(v)
-	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		fmt.Println(l)
-	}
-	fmt.Fprintf(os.Stderr, "psi: |intersection| = %d, |V_S| = %d\n", len(res.Values), res.SenderSetSize)
+	printIntersection(res)
 	return nil
 }
 
-func runJoin(ctx context.Context, cfg core.Config, conn transport.Conn, role, path string) error {
+func printJoin(res *core.JoinResult) {
+	for _, m := range res.Matches {
+		fmt.Printf("%s\t%s\n", m.Value, m.Ext)
+	}
+	fmt.Fprintf(os.Stderr, "psi: %d joined values, |V_S| = %d\n", len(res.Matches), res.SenderSetSize)
+}
+
+func runJoin(ctx context.Context, cfg core.Config, conn transport.Conn, role, path string, subscribe int) error {
 	if role == "sender" {
 		recs, err := readJoinRecords(path)
 		if err != nil {
@@ -329,14 +416,31 @@ func runJoin(ctx context.Context, cfg core.Config, conn transport.Conn, role, pa
 	if err != nil {
 		return err
 	}
+	if subscribe > 0 {
+		q, err := core.EquijoinReceiverStanding(ctx, cfg, conn, values)
+		if err != nil {
+			return err
+		}
+		printJoin(q.Result())
+		for i := 0; i < subscribe; i++ {
+			res, err := q.Await(ctx)
+			if errors.Is(err, core.ErrSubscriptionEnded) {
+				fmt.Fprintln(os.Stderr, "psi: subscription ended by sender")
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "psi: update %d/%d (sender version %d)\n", i+1, subscribe, q.Version())
+			printJoin(res)
+		}
+		return q.Close(ctx)
+	}
 	res, err := core.EquijoinReceiver(ctx, cfg, conn, values)
 	if err != nil {
 		return err
 	}
-	for _, m := range res.Matches {
-		fmt.Printf("%s\t%s\n", m.Value, m.Ext)
-	}
-	fmt.Fprintf(os.Stderr, "psi: %d joined values, |V_S| = %d\n", len(res.Matches), res.SenderSetSize)
+	printJoin(res)
 	return nil
 }
 

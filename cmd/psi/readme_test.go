@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var readmeFlagRow = regexp.MustCompile("^\\| `-([a-z0-9-]+)`")
+
+// readmeFlagRows parses the flag names out of the README table under
+// the given heading ("Which flag do I want?" section).
+func readmeFlagRows(t *testing.T, heading string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]bool)
+	inSection := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "#") {
+			inSection = strings.TrimSpace(line) == heading
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := readmeFlagRow.FindStringSubmatch(line); m != nil {
+			rows[m[1]] = true
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no flag rows found under %q in README.md", heading)
+	}
+	return rows
+}
+
+// TestREADMEFlagParity pins the README's "Which flag do I want?" table
+// for this command to the binary's actual flag set: a flag added,
+// renamed, or removed without updating the table fails here.
+func TestREADMEFlagParity(t *testing.T) {
+	documented := readmeFlagRows(t, "### `psi` flags")
+	fs := flag.NewFlagSet("psi", flag.ContinueOnError)
+	defineFlags(fs)
+	defined := make(map[string]bool)
+	fs.VisitAll(func(f *flag.Flag) { defined[f.Name] = true })
+	for name := range defined {
+		if !documented[name] {
+			t.Errorf("flag -%s is not documented in README.md", name)
+		}
+	}
+	for name := range documented {
+		if !defined[name] {
+			t.Errorf("README.md documents -%s, which the binary does not define", name)
+		}
+	}
+}

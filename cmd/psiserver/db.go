@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"minshare/internal/reldb"
+)
+
+// registerDBHandlers mounts live-table mutation endpoints on the debug
+// mux, so an operator can drive standing queries and watch subscribers
+// receive deltas without restarting the server:
+//
+//	POST /db/append             body: one CSV row per line, no header,
+//	                            fields typed per the table schema
+//	POST /db/delete?value=v     delete every row whose -attr column
+//	                            equals v (typed like the CSV field)
+//
+// Both respond with the rows touched and the table version the mutation
+// produced — the version a subscriber's next pushed update will carry.
+// These handlers share the debug listener's trust model: anyone who can
+// reach -debug-addr can already read heap profiles, so gate the address
+// at the network layer.
+func registerDBHandlers(mux *http.ServeMux, table *reldb.Table, attr string, logf func(format string, args ...any)) {
+	cols := table.Schema().Columns()
+	attrIdx, _ := table.Schema().ColumnIndex(attr)
+
+	mux.HandleFunc("POST /db/append", func(w http.ResponseWriter, r *http.Request) {
+		inserted := 0
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			fields := strings.Split(line, ",")
+			if len(fields) != len(cols) {
+				http.Error(w, fmt.Sprintf("row %q has %d fields, schema has %d columns", line, len(fields), len(cols)), http.StatusBadRequest)
+				return
+			}
+			row := make(reldb.Row, len(cols))
+			for i, f := range fields {
+				v, err := parseField(cols[i], strings.TrimSpace(f))
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				row[i] = v
+			}
+			if err := table.Insert(row); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			inserted++
+		}
+		if err := sc.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		logf("db: appended %d row(s), version %d", inserted, table.Version())
+		fmt.Fprintf(w, "inserted %d row(s); table version %d\n", inserted, table.Version())
+	})
+
+	mux.HandleFunc("POST /db/delete", func(w http.ResponseWriter, r *http.Request) {
+		raw := r.URL.Query().Get("value")
+		if raw == "" {
+			http.Error(w, "missing ?value=", http.StatusBadRequest)
+			return
+		}
+		v, err := parseField(cols[attrIdx], raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := table.Delete(func(row reldb.Row) bool { return row[attrIdx].Equal(v) })
+		logf("db: deleted %d row(s) with %s=%s, version %d", n, attr, raw, table.Version())
+		fmt.Fprintf(w, "deleted %d row(s); table version %d\n", n, table.Version())
+	})
+}
+
+// parseField types a CSV field per its column, mirroring
+// reldb.ReadCSV's value syntax.
+func parseField(col reldb.Column, s string) (reldb.Value, error) {
+	switch col.Type {
+	case reldb.TypeString:
+		return reldb.String(s), nil
+	case reldb.TypeInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return reldb.Value{}, fmt.Errorf("column %s: %q is not an int", col.Name, s)
+		}
+		return reldb.Int(i), nil
+	case reldb.TypeBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return reldb.Value{}, fmt.Errorf("column %s: %q is not a bool", col.Name, s)
+		}
+		return reldb.Bool(b), nil
+	}
+	return reldb.Value{}, fmt.Errorf("column %s has unsupported type %v", col.Name, col.Type)
+}

@@ -8,6 +8,16 @@
 // intersection, intersection-size, equijoin (ext(v) = the full rows
 // matching each attribute value) and equijoin-size sessions against it.
 //
+// With -standing the server also serves standing queries: a subscribing
+// receiver (psi -subscribe, or party.Client.IntersectStanding /
+// JoinStanding) holds its session open after the base run and is pushed
+// encrypted deltas as the table changes — O(churn) incremental
+// maintenance instead of full re-runs.  -delta-churn bounds how large a
+// delta is worth pushing (or applying to the encrypted-set cache)
+// before a full rebuild wins.  The debug endpoint gains POST /db/append
+// and /db/delete handlers for mutating the live table, so standing
+// subscribers can be exercised end to end.
+//
 // With -debug-addr the server additionally exposes a live introspection
 // endpoint: /metrics serves per-session and process-global counters
 // (modular exponentiations, oracle hashes, frames, bytes), phase-latency
@@ -61,31 +71,95 @@ func main() {
 	}
 }
 
+// options holds every psiserver flag.  Flags are registered through
+// defineFlags so the README's flag table can be checked against the
+// real flag set (see TestREADMEFlagParity).
+type options struct {
+	listen     *string
+	debugAddr  *string
+	tableFile  *string
+	attr       *string
+	groupName  *string
+	protocols  *string
+	maxPeerSet *int
+	minPeerSet *int
+	maxQueries *int
+	maxShards  *int
+
+	standing   *bool
+	deltaChurn *float64
+
+	traceBuffer *int64
+
+	cacheSets   *int64
+	cacheRotate *time.Duration
+
+	maxSessions      *int
+	handshakeTimeout *time.Duration
+	idleTimeout      *time.Duration
+	sessionTimeout   *time.Duration
+	drainTimeout     *time.Duration
+}
+
+// defineFlags registers the psiserver flag set on fs.
+func defineFlags(fs *flag.FlagSet) *options {
+	return &options{
+		listen:     fs.String("listen", ":9000", "listen address"),
+		debugAddr:  fs.String("debug-addr", "", "optional address for the introspection endpoint (/metrics, /debug/vars, /debug/pprof, /db/append, /db/delete)"),
+		tableFile:  fs.String("table", "", "CSV file with the table (typed header; see reldb.ReadCSV)"),
+		attr:       fs.String("attr", "", "join attribute column"),
+		groupName:  fs.String("group", "qr1024", "group backend: "+strings.Join(group.Backends(), " | ")+", or a safe-prime bit count"),
+		protocols:  fs.String("protocols", "", "comma-separated allowed protocols (default: all); e.g. intersection-size,join-size"),
+		maxPeerSet: fs.Int("max-peer-set", 1<<20, "reject sessions announcing a larger peer set"),
+		minPeerSet: fs.Int("min-peer-set", 0, "reject sessions announcing a smaller peer set"),
+		maxQueries: fs.Int("max-queries", 1000, "per-peer session budget (0 = unlimited)"),
+		maxShards:  fs.Int("max-shards", 0, "largest shard count adopted from a peer's sharded handshake (0 = transport limit, 1 = refuse sharding)"),
+
+		standing:   fs.Bool("standing", false, "serve standing queries: a subscribing receiver (psi -subscribe) holds its session open and is pushed encrypted deltas as the table changes"),
+		deltaChurn: fs.Float64("delta-churn", 0, "delta fraction of the served set above which delta upgrades and standing pushes fall back to a full rebuild (0 = default 0.25, negative = disable delta upgrades)"),
+
+		traceBuffer: fs.Int64("trace-buffer", obs.DefaultFlightBudget, "flight-recorder byte budget for completed session traces, served at /debug/sessions on the debug endpoint (0 = disabled)"),
+
+		cacheSets:   fs.Int64("cache-sets", 0, "encrypted-set cache budget in bytes; warm peers skip the bulk exponentiation over the table (0 = disabled; slots are keyed by remote IP, so do not enable when distinct peers can share an address via NAT/proxy)"),
+		cacheRotate: fs.Duration("cache-rotate", 0, "rotate (flush) the encrypted-set cache at this interval, retiring the pinned exponents (0 = never)"),
+
+		maxSessions:      fs.Int("max-sessions", 64, "concurrent session cap; arrivals beyond it are refused immediately (0 = unlimited)"),
+		handshakeTimeout: fs.Duration("timeout-handshake", 10*time.Second, "eviction deadline for a connection that never sends its header (0 = none)"),
+		idleTimeout:      fs.Duration("timeout-idle", 30*time.Second, "per-frame idle allowance; a peer stalling mid-stream is evicted (0 = none)"),
+		sessionTimeout:   fs.Duration("timeout-session", 10*time.Minute, "whole-session wall-clock cap (0 = none)"),
+		drainTimeout:     fs.Duration("drain", 30*time.Second, "graceful-shutdown allowance for in-flight sessions before they are force-cancelled (0 = cancel immediately)"),
+	}
+}
+
 func run() error {
-	var (
-		listen     = flag.String("listen", ":9000", "listen address")
-		debugAddr  = flag.String("debug-addr", "", "optional address for the introspection endpoint (/metrics, /debug/vars, /debug/pprof)")
-		tableFile  = flag.String("table", "", "CSV file with the table (typed header; see reldb.ReadCSV)")
-		attr       = flag.String("attr", "", "join attribute column")
-		groupName  = flag.String("group", "qr1024", "group backend: "+strings.Join(group.Backends(), " | ")+", or a safe-prime bit count")
-		protocols  = flag.String("protocols", "", "comma-separated allowed protocols (default: all); e.g. intersection-size,join-size")
-		maxPeerSet = flag.Int("max-peer-set", 1<<20, "reject sessions announcing a larger peer set")
-		minPeerSet = flag.Int("min-peer-set", 0, "reject sessions announcing a smaller peer set")
-		maxQueries = flag.Int("max-queries", 1000, "per-peer session budget (0 = unlimited)")
-		maxShards  = flag.Int("max-shards", 0, "largest shard count adopted from a peer's sharded handshake (0 = transport limit, 1 = refuse sharding)")
-
-		traceBuffer = flag.Int64("trace-buffer", obs.DefaultFlightBudget, "flight-recorder byte budget for completed session traces, served at /debug/sessions on the debug endpoint (0 = disabled)")
-
-		cacheSets   = flag.Int64("cache-sets", 0, "encrypted-set cache budget in bytes; warm peers skip the bulk exponentiation over the table (0 = disabled; slots are keyed by remote IP, so do not enable when distinct peers can share an address via NAT/proxy)")
-		cacheRotate = flag.Duration("cache-rotate", 0, "rotate (flush) the encrypted-set cache at this interval, retiring the pinned exponents (0 = never)")
-
-		maxSessions      = flag.Int("max-sessions", 64, "concurrent session cap; arrivals beyond it are refused immediately (0 = unlimited)")
-		handshakeTimeout = flag.Duration("timeout-handshake", 10*time.Second, "eviction deadline for a connection that never sends its header (0 = none)")
-		idleTimeout      = flag.Duration("timeout-idle", 30*time.Second, "per-frame idle allowance; a peer stalling mid-stream is evicted (0 = none)")
-		sessionTimeout   = flag.Duration("timeout-session", 10*time.Minute, "whole-session wall-clock cap (0 = none)")
-		drainTimeout     = flag.Duration("drain", 30*time.Second, "graceful-shutdown allowance for in-flight sessions before they are force-cancelled (0 = cancel immediately)")
-	)
+	o := defineFlags(flag.CommandLine)
 	flag.Parse()
+	var (
+		listen     = o.listen
+		debugAddr  = o.debugAddr
+		tableFile  = o.tableFile
+		attr       = o.attr
+		groupName  = o.groupName
+		protocols  = o.protocols
+		maxPeerSet = o.maxPeerSet
+		minPeerSet = o.minPeerSet
+		maxQueries = o.maxQueries
+		maxShards  = o.maxShards
+
+		standing   = o.standing
+		deltaChurn = o.deltaChurn
+
+		traceBuffer = o.traceBuffer
+
+		cacheSets   = o.cacheSets
+		cacheRotate = o.cacheRotate
+
+		maxSessions      = o.maxSessions
+		handshakeTimeout = o.handshakeTimeout
+		idleTimeout      = o.idleTimeout
+		sessionTimeout   = o.sessionTimeout
+		drainTimeout     = o.drainTimeout
+	)
 	if *tableFile == "" || *attr == "" {
 		return fmt.Errorf("-table and -attr are required")
 	}
@@ -102,21 +176,28 @@ func run() error {
 		return err
 	}
 
+	binding, err := party.BindTable(table, *attr)
+	if err != nil {
+		return err
+	}
 	values, err := table.DistinctValues(*attr)
 	if err != nil {
 		return err
 	}
-	multiset, err := table.ColumnValues(*attr)
-	if err != nil {
-		return err
-	}
-	joinValues, exts, err := table.ExtPayloads(*attr)
-	if err != nil {
-		return err
-	}
-	records := make([]core.JoinRecord, len(joinValues))
-	for i := range joinValues {
-		records[i] = core.JoinRecord{Value: joinValues[i], Ext: exts[i]}
+
+	// A standing subscriber is quiet between pushes by design, so the
+	// per-frame and whole-session deadlines tuned for one-shot runs would
+	// evict it mid-subscription.  Lift them when -standing is on, unless
+	// the operator set them explicitly.
+	if *standing {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["timeout-idle"] {
+			*idleTimeout = 0
+		}
+		if !set["timeout-session"] {
+			*sessionTimeout = 0
+		}
 	}
 
 	g, err := group.ByFlag(*groupName)
@@ -153,11 +234,14 @@ func run() error {
 		setCache = core.NewSenderSetCache(*cacheSets, reg.Cache())
 	}
 	srv := &party.Server{
-		Config:   core.Config{Group: g},
-		Values:   values,
-		Records:  records,
-		Multiset: multiset,
-		Policy:   policy,
+		Config: core.Config{Group: g},
+		// Source binds the live table: every session serves a consistent
+		// snapshot, and the change log backs cache delta-upgrades and
+		// standing pushes.
+		Source:        binding,
+		DeltaChurnMax: *deltaChurn,
+		Standing:      *standing,
+		Policy:        policy,
 		Timeouts: party.Timeouts{
 			Handshake: *handshakeTimeout,
 			Idle:      *idleTimeout,
@@ -167,7 +251,6 @@ func run() error {
 		DrainTimeout: *drainTimeout,
 		SetCache:     setCache,
 		TableName:    "table",
-		DataVersion:  table.Version, // concurrency-safe: Version reads atomically
 		Auditor:      leakage.NewAuditor(leakage.AuditPolicy{MaxOverlapFraction: 1, MaxQueries: *maxQueries}),
 		Obs:          reg,
 		Logf: func(format string, args ...any) {
@@ -200,7 +283,12 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		dsrv := &http.Server{Handler: reg.DebugMux()}
+		dmux := http.NewServeMux()
+		dmux.Handle("/", reg.DebugMux())
+		registerDBHandlers(dmux, table, *attr, func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		})
+		dsrv := &http.Server{Handler: dmux}
 		go func() {
 			<-ctx.Done()
 			dsrv.Close() // lint:ignore errclose close is the shutdown signal; Serve reports anything beyond ErrServerClosed

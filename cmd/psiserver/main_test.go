@@ -1,0 +1,163 @@
+package main
+
+// End-to-end test of the server CLI: build the binary once, run a real
+// psiserver process with -standing, and drive it with party.Client —
+// base runs, pushed updates via the /db mutation handlers, and a clean
+// unsubscribe.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"minshare/internal/core"
+	"minshare/internal/group"
+	"minshare/internal/party"
+	"minshare/internal/reldb"
+)
+
+var serverBinary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "psiserver-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	serverBinary = filepath.Join(dir, "psiserver")
+	build := exec.Command("go", "build", "-o", serverBinary, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "building psiserver:", err)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func enc(s string) []byte { return reldb.String(s).Encode() }
+
+// TestServerStandingEndToEnd exercises the full deployment loop: serve
+// a CSV table with -standing, subscribe a client, mutate the table over
+// the debug endpoint, and watch the pushed deltas land.
+func TestServerStandingEndToEnd(t *testing.T) {
+	csvFile := filepath.Join(t.TempDir(), "table.csv")
+	if err := os.WriteFile(csvFile, []byte("v:string,note:string\na,one\nb,two\nc,three\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	addr, debugAddr := freePort(t), freePort(t)
+
+	server := exec.Command(serverBinary,
+		"-listen", addr, "-debug-addr", debugAddr,
+		"-table", csvFile, "-attr", "v",
+		"-group", "256", "-standing")
+	var serverLog strings.Builder
+	server.Stderr = &serverLog
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+		if t.Failed() {
+			t.Logf("server log:\n%s", serverLog.String())
+		}
+	}()
+
+	g, err := group.ByFlag("256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := party.NewClient(addr, core.Config{Group: g})
+	client.Retry = party.Retry{Attempts: 50, BaseDelay: 100 * time.Millisecond, MaxDelay: 200 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	q, err := client.IntersectStanding(ctx, [][]byte{enc("b"), enc("zebra")})
+	if err != nil {
+		t.Fatalf("IntersectStanding: %v", err)
+	}
+	defer q.Close(ctx)
+	if got := len(q.Result().Values); got != 1 {
+		t.Fatalf("base intersection = %d values, want 1 (b)", got)
+	}
+
+	// Append a row over the debug endpoint; the subscriber must see
+	// "zebra" join the intersection without a new session.
+	mutate(t, ctx, debugAddr, "/db/append", "zebra,note-z\n")
+	res, err := q.Await(ctx)
+	if err != nil {
+		t.Fatalf("Await after append: %v", err)
+	}
+	if got := len(res.Values); got != 2 {
+		t.Fatalf("intersection after append = %d values, want 2", got)
+	}
+
+	// Delete it again.
+	mutate(t, ctx, debugAddr, "/db/delete?value=zebra", "")
+	res, err = q.Await(ctx)
+	if err != nil {
+		t.Fatalf("Await after delete: %v", err)
+	}
+	if got := len(res.Values); got != 1 {
+		t.Fatalf("intersection after delete = %d values, want 1", got)
+	}
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The same server still answers classic one-shot sessions.
+	one, err := client.Intersect(ctx, [][]byte{enc("a"), enc("zebra")})
+	if err != nil {
+		t.Fatalf("one-shot Intersect: %v", err)
+	}
+	if got := len(one.Values); got != 1 {
+		t.Errorf("one-shot intersection = %d values, want 1 (a)", got)
+	}
+}
+
+// mutate POSTs to the server's debug endpoint, retrying until the
+// endpoint is up.
+func mutate(t *testing.T, ctx context.Context, debugAddr, path, body string) {
+	t.Helper()
+	url := "http://" + debugAddr + path
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				buf := make([]byte, 512)
+				n, _ := resp.Body.Read(buf)
+				t.Fatalf("POST %s: %s: %s", path, resp.Status, buf[:n])
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("POST %s never reachable: %v", path, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,78 @@
+package docs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// benchRowRe matches a benchmark-history table row's record link:
+// "| [BENCH_PR8.json](BENCH_PR8.json) | ...".
+var benchRowRe = regexp.MustCompile(`\[(BENCH_[A-Za-z0-9_]+\.json)\]\(([^)]+)\)`)
+
+// CheckBenchHistory cross-checks EXPERIMENTS.md's benchmark-history
+// table against the committed BENCH_*.json records — the `make
+// docs-drift` gate.  Three invariants:
+//
+//   - every BENCH_*.json file in the repo root has a history row, so a
+//     landed benchmark cannot skip the documented record;
+//   - every history row names an existing record, so a renamed or
+//     deleted file cannot leave a phantom row;
+//   - every record parses as JSON and carries the fields a reader needs
+//     to reproduce it (benchmark, command, date).
+func CheckBenchHistory(root string) ([]string, error) {
+	var problems []string
+
+	expPath := filepath.Join(root, "EXPERIMENTS.md")
+	data, err := os.ReadFile(expPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// A tree without EXPERIMENTS.md has nothing to drift.
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	linked := make(map[string]bool)
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		for _, m := range benchRowRe.FindAllStringSubmatch(line, -1) {
+			name, target := m[1], m[2]
+			if name != target {
+				problems = append(problems, fmt.Sprintf("%s:%d: benchmark row text %q links to %q", expPath, lineNo+1, name, target))
+			}
+			linked[name] = true
+			if _, err := os.Stat(filepath.Join(root, target)); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: benchmark row names missing record %q", expPath, lineNo+1, target))
+			}
+		}
+	}
+
+	records, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range records {
+		name := filepath.Base(rec)
+		if !linked[name] {
+			problems = append(problems, fmt.Sprintf("%s:1: record has no benchmark-history row in EXPERIMENTS.md", rec))
+		}
+		raw, err := os.ReadFile(rec)
+		if err != nil {
+			return nil, err
+		}
+		var fields map[string]any
+		if err := json.Unmarshal(raw, &fields); err != nil {
+			problems = append(problems, fmt.Sprintf("%s:1: record is not valid JSON: %v", rec, err))
+			continue
+		}
+		for _, want := range []string{"benchmark", "command", "date"} {
+			if _, ok := fields[want]; !ok {
+				problems = append(problems, fmt.Sprintf("%s:1: record lacks the %q field", rec, want))
+			}
+		}
+	}
+	return problems, nil
+}

@@ -1,10 +1,13 @@
 // Package docs implements the repo's documentation lint: every exported
 // top-level identifier in the internal/* packages must carry a doc
-// comment, and every intra-repository link in the *.md files must
-// resolve.  It backs both cmd/docscheck (the standalone driver) and
-// cmd/psilint, which folds these checks into the same exit-code
-// contract as the protocol-safety analyzers so `make check` surfaces
-// doc and lint findings in one pass.
+// comment (with DeepDocPackages additionally checked down to exported
+// struct fields and interface methods), every intra-repository link in
+// the *.md files must resolve, and the EXPERIMENTS.md benchmark-history
+// table must stay in sync with the committed BENCH_*.json records.  It
+// backs both cmd/docscheck (the standalone driver) and cmd/psilint,
+// which folds these checks into the same exit-code contract as the
+// protocol-safety analyzers so `make check` surfaces doc and lint
+// findings in one pass.
 //
 // Every violation is reported, each addressed as "file:line: message";
 // a file that fails to parse is itself reported as a violation at its
@@ -37,7 +40,24 @@ func CheckAll(root string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(problems, more...), nil
+	problems = append(problems, more...)
+	bench, err := CheckBenchHistory(root)
+	if err != nil {
+		return nil, err
+	}
+	return append(problems, bench...), nil
+}
+
+// DeepDocPackages names the packages (directories under internal/)
+// held to the deeper standard: beyond top-level declarations, exported
+// struct fields and interface methods of exported types must carry doc
+// comments too.  These are the packages whose types cross the
+// wire-format and group-abstraction boundaries, where an undocumented
+// field is a protocol detail lost.
+var DeepDocPackages = map[string]bool{
+	"group":     true,
+	"ec25519":   true,
+	"transport": true,
 }
 
 // CheckGoDocs walks every non-test Go file under dir (skipping testdata
@@ -45,7 +65,8 @@ func CheckAll(root string) ([]string, error) {
 // without a doc comment.  Grouped declarations (var/const blocks) are
 // satisfied by a comment on either the group or the individual spec,
 // matching godoc's own resolution.  Files that fail to parse are
-// reported as violations and the walk continues.
+// reported as violations and the walk continues.  Packages named in
+// DeepDocPackages are additionally checked field-by-field.
 func CheckGoDocs(dir string) ([]string, error) {
 	var problems []string
 	fset := token.NewFileSet()
@@ -69,6 +90,7 @@ func CheckGoDocs(dir string) ([]string, error) {
 			problems = append(problems, parseProblems(path, perr)...)
 			return nil
 		}
+		deep := DeepDocPackages[filepath.Base(filepath.Dir(path))]
 		for _, decl := range f.Decls {
 			switch d := decl.(type) {
 			case *ast.FuncDecl:
@@ -84,6 +106,9 @@ func CheckGoDocs(dir string) ([]string, error) {
 						if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
 							problems = append(problems, undocumented(fset, sp.Pos(), sp.Name.Name))
 						}
+						if deep && sp.Name.IsExported() {
+							problems = append(problems, deepTypeProblems(fset, sp)...)
+						}
 					case *ast.ValueSpec:
 						for _, name := range sp.Names {
 							if name.IsExported() && d.Doc == nil && sp.Doc == nil {
@@ -97,6 +122,41 @@ func CheckGoDocs(dir string) ([]string, error) {
 		return nil
 	})
 	return problems, err
+}
+
+// deepTypeProblems applies the field-level standard to one exported
+// type: every exported struct field and every exported interface method
+// needs a doc comment (a leading doc or a trailing line comment both
+// satisfy godoc).  Embedded fields and embedded interfaces are skipped —
+// their documentation lives with the embedded type.
+func deepTypeProblems(fset *token.FileSet, sp *ast.TypeSpec) []string {
+	var problems []string
+	report := func(f *ast.Field, name string, kind string) {
+		if f.Doc == nil && f.Comment == nil {
+			p := fset.Position(f.Pos())
+			problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s.%s has no doc comment", p.Filename, p.Line, kind, sp.Name.Name, name))
+		}
+	}
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			for _, name := range f.Names {
+				if name.IsExported() {
+					report(f, name.Name, "field")
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, f := range t.Methods.List {
+			// Methods have names; embedded interfaces do not.
+			for _, name := range f.Names {
+				if name.IsExported() {
+					report(f, name.Name, "method")
+				}
+			}
+		}
+	}
+	return problems
 }
 
 // parseProblems renders a parse failure as one violation per syntax

@@ -1,0 +1,130 @@
+package docs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepDocsFlagFieldsAndMethods(t *testing.T) {
+	root := t.TempDir()
+	// group is a DeepDocPackages member: undocumented exported fields
+	// and interface methods must be flagged; documented and unexported
+	// ones must not.
+	write(t, root, "internal/group/g.go", `// Package group is a fixture.
+package group
+
+// Params is documented.
+type Params struct {
+	// Bits is documented.
+	Bits int
+	Raw  []byte // trailing comments satisfy godoc too
+	Gap  int
+	priv int
+}
+
+// Backend is documented.
+type Backend interface {
+	// Name is documented.
+	Name() string
+	Open() error
+}
+`)
+	// core is not in DeepDocPackages: the same shape is clean.
+	write(t, root, "internal/core/c.go", `// Package core is a fixture.
+package core
+
+// Config is documented.
+type Config struct {
+	Undocumented int
+}
+`)
+	problems, err := CheckGoDocs(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, p := range problems {
+		got = append(got, p[strings.LastIndex(p, "exported"):])
+	}
+	want := []string{
+		"exported field Params.Gap has no doc comment",
+		"exported method Backend.Open has no doc comment",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("problems = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("problem[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+const validRecord = `{"benchmark": "BenchmarkX", "command": "make bench-x", "date": "2026-08-08"}`
+
+func TestBenchHistoryInSync(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "BENCH_PR1.json", validRecord)
+	write(t, root, "EXPERIMENTS.md", "| [BENCH_PR1.json](BENCH_PR1.json) | x | y | `make bench-x` |\n")
+	problems, err := CheckBenchHistory(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("in-sync tree reported %q", problems)
+	}
+}
+
+func TestBenchHistoryDrift(t *testing.T) {
+	root := t.TempDir()
+	// A record without a row, a row without a record, and a record
+	// missing its reproduction fields.
+	write(t, root, "BENCH_PR1.json", validRecord)
+	write(t, root, "BENCH_PR2.json", `{"benchmark": "B"}`)
+	write(t, root, "EXPERIMENTS.md", strings.Join([]string{
+		"| [BENCH_PR2.json](BENCH_PR2.json) | x | y | z |",
+		"| [BENCH_PR9.json](BENCH_PR9.json) | phantom | y | z |",
+	}, "\n"))
+	problems, err := CheckBenchHistory(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"missing record \"BENCH_PR9.json\"",
+		"no benchmark-history row",
+		"lacks the \"command\" field",
+		"lacks the \"date\" field",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no problem mentions %q in %q", want, problems)
+		}
+	}
+}
+
+func TestBenchHistoryNoExperimentsFile(t *testing.T) {
+	problems, err := CheckBenchHistory(t.TempDir())
+	if err != nil || len(problems) != 0 {
+		t.Errorf("empty tree: problems=%q err=%v", problems, err)
+	}
+}

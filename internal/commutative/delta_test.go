@@ -1,0 +1,202 @@
+package commutative
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+
+	"minshare/internal/group"
+	"minshare/internal/obs"
+)
+
+func deltaFixture(t *testing.T, payload bool) (Scheme, *CachedSet, []*big.Int) {
+	t.Helper()
+	s := NewPowerFn(group.TestGroup())
+	k, err := s.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []*big.Int{big.NewInt(9), big.NewInt(4), big.NewInt(25), big.NewInt(16)}
+	cs, err := NewCachedSet(context.Background(), s, k, xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload {
+		p := make([][]byte, cs.Len())
+		for i := range p {
+			p[i] = []byte{byte(i)}
+		}
+		cs, err = CachedSetFromSorted(k, cs.Elems(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, cs, xs
+}
+
+func TestApplyDeltaMatchesFullRebuild(t *testing.T) {
+	s, cs, _ := deltaFixture(t, false)
+	ctx := context.Background()
+
+	next, d, err := cs.ApplyDelta(ctx, s,
+		[]*big.Int{big.NewInt(36), big.NewInt(49)}, nil, []*big.Int{big.NewInt(4)},
+		nil, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The upgraded set must equal a cold rebuild over the final values.
+	want, err := NewCachedSet(ctx, s, cs.Key(),
+		[]*big.Int{big.NewInt(9), big.NewInt(25), big.NewInt(16), big.NewInt(36), big.NewInt(49)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Len() != want.Len() {
+		t.Fatalf("upgraded len %d, want %d", next.Len(), want.Len())
+	}
+	for i := range want.Elems() {
+		if next.Elems()[i].Cmp(want.Elems()[i]) != 0 {
+			t.Fatalf("element %d = %v, want %v", i, next.Elems()[i], want.Elems()[i])
+		}
+	}
+	if len(d.Inserted) != 2 || len(d.Deleted) != 1 || len(d.Updated) != 0 {
+		t.Fatalf("delta shape ins/upd/del = %d/%d/%d, want 2/0/1",
+			len(d.Inserted), len(d.Updated), len(d.Deleted))
+	}
+	for i := 1; i < len(d.Inserted); i++ {
+		if d.Inserted[i].Cmp(d.Inserted[i-1]) < 0 {
+			t.Error("CipherDelta.Inserted not sorted")
+		}
+	}
+	// The original set is untouched.
+	if cs.Len() != 4 {
+		t.Errorf("original set mutated: len %d", cs.Len())
+	}
+	if next.MemoryBytes() <= 0 || next.MemoryBytes() == cs.MemoryBytes() {
+		t.Errorf("memory not recomputed: %d vs %d", next.MemoryBytes(), cs.MemoryBytes())
+	}
+}
+
+func TestApplyDeltaPayloadUpdate(t *testing.T) {
+	s, cs, xs := deltaFixture(t, true)
+	ctx := context.Background()
+
+	next, d, err := cs.ApplyDelta(ctx, s,
+		[]*big.Int{big.NewInt(36)}, []*big.Int{xs[1]}, []*big.Int{xs[0]},
+		[][]byte{{0xaa}}, [][]byte{{0xbb}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Len() != 4 || len(next.Payload()) != 4 {
+		t.Fatalf("upgraded shape %d elems / %d payloads, want 4/4", next.Len(), len(next.Payload()))
+	}
+	// Payloads stay aligned: the updated element carries the new payload,
+	// the inserted one its payload, survivors keep theirs.
+	encUpd, err := s.Encrypt(cs.Key(), xs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	encIns, err := s.Encrypt(cs.Key(), big.NewInt(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for i, e := range next.Elems() {
+		switch {
+		case e.Cmp(encUpd) == 0:
+			if string(next.Payload()[i]) != "\xbb" {
+				t.Errorf("updated element payload = %x, want bb", next.Payload()[i])
+			}
+			found["upd"] = true
+		case e.Cmp(encIns) == 0:
+			if string(next.Payload()[i]) != "\xaa" {
+				t.Errorf("inserted element payload = %x, want aa", next.Payload()[i])
+			}
+			found["ins"] = true
+		}
+	}
+	if !found["upd"] || !found["ins"] {
+		t.Fatalf("updated/inserted elements not found in upgraded set: %v", found)
+	}
+	if len(d.Updated) != 1 || string(d.UpdatedPayload[0]) != "\xbb" {
+		t.Errorf("CipherDelta.Updated = %d entries, payload %x", len(d.Updated), d.UpdatedPayload)
+	}
+
+	ups, pay := d.Upserts()
+	if len(ups) != 2 || len(pay) != 2 {
+		t.Fatalf("Upserts = %d elems / %d payloads, want 2/2", len(ups), len(pay))
+	}
+	if ups[0].Cmp(ups[1]) >= 0 {
+		t.Error("Upserts not sorted")
+	}
+	for i, e := range ups {
+		want := "\xaa"
+		if e.Cmp(encUpd) == 0 {
+			want = "\xbb"
+		}
+		if string(pay[i]) != want {
+			t.Errorf("upsert %d payload = %x, want %x", i, pay[i], want)
+		}
+	}
+}
+
+func TestApplyDeltaConflicts(t *testing.T) {
+	s, cs, xs := deltaFixture(t, false)
+	ctx := context.Background()
+
+	cases := []struct {
+		name          string
+		ins, upd, del []*big.Int
+	}{
+		{"delete absent", nil, nil, []*big.Int{big.NewInt(64)}},
+		{"delete twice", nil, nil, []*big.Int{xs[0], xs[0]}},
+		{"insert present", []*big.Int{xs[2]}, nil, nil},
+		{"insert duplicate", []*big.Int{big.NewInt(36), big.NewInt(36)}, nil, nil},
+	}
+	for _, tc := range cases {
+		if _, _, err := cs.ApplyDelta(ctx, s, tc.ins, tc.upd, tc.del, nil, nil, 1); !errors.Is(err, ErrDeltaConflict) {
+			t.Errorf("%s: err = %v, want ErrDeltaConflict", tc.name, err)
+		}
+	}
+
+	// Update of an absent value conflicts too (payload-carrying set).
+	_, csp, _ := deltaFixture(t, true)
+	if _, _, err := csp.ApplyDelta(ctx, s, nil, []*big.Int{big.NewInt(64)}, nil, nil, [][]byte{{1}}, 1); !errors.Is(err, ErrDeltaConflict) {
+		t.Errorf("update absent: err = %v, want ErrDeltaConflict", err)
+	}
+}
+
+func TestApplyDeltaValidation(t *testing.T) {
+	s, cs, xs := deltaFixture(t, false)
+	ctx := context.Background()
+	if _, _, err := cs.ApplyDelta(ctx, s, nil, []*big.Int{xs[0]}, nil, nil, [][]byte{{1}}, 1); err == nil || errors.Is(err, ErrDeltaConflict) {
+		t.Errorf("update against payload-less set: err = %v, want plain error", err)
+	}
+	_, csp, _ := deltaFixture(t, true)
+	if _, _, err := csp.ApplyDelta(ctx, s, []*big.Int{big.NewInt(36)}, nil, nil, nil, nil, 1); err == nil || errors.Is(err, ErrDeltaConflict) {
+		t.Errorf("misaligned insert payload: err = %v, want plain error", err)
+	}
+}
+
+// ApplyDelta's C_e bill is exactly the churn — the whole point of the
+// delta path.
+func TestApplyDeltaCountsChurnOnly(t *testing.T) {
+	s, cs, xs := deltaFixture(t, true)
+	reg := obs.NewRegistry()
+	sess := reg.StartSession(obs.SessionInfo{Protocol: "delta-count"})
+	counted := Observed(s, sess.Counters())
+
+	_, _, err := cs.ApplyDelta(context.Background(), counted,
+		[]*big.Int{big.NewInt(36), big.NewInt(49)}, []*big.Int{xs[1]}, []*big.Int{xs[0]},
+		[][]byte{{1}, {2}}, [][]byte{{3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sess.Counters().Snapshot()
+	if snap.ModExpEncrypts != 4 {
+		t.Errorf("C_e = %d, want 4 (2 ins + 1 upd + 1 del)", snap.ModExpEncrypts)
+	}
+	if snap.ModExpDecrypts != 0 || snap.KeyGens != 0 {
+		t.Errorf("unexpected ops: decrypts %d, keygens %d", snap.ModExpDecrypts, snap.KeyGens)
+	}
+}

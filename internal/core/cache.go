@@ -148,6 +148,28 @@ func (c *SenderSetCache) Lookup(k SetCacheKey) (*CacheEntry, bool) {
 	return el.Value.(*lruItem).entry, true
 }
 
+// LookupStale returns an entry cached for the same slot — peer, table,
+// protocol, shard — at a *different* data version, together with that
+// version, or (nil, 0, false) when none exists.  It is the entry point
+// of the delta-upgrade path: a stale entry is normally unreachable
+// garbage awaiting displacement, but with a DeltaSource it is raw
+// material — the pinned key and sorted ciphertexts only need the churn
+// re-encrypted.  LookupStale records neither a hit nor a miss (the
+// preceding Lookup already counted the miss) and does not touch LRU
+// order; the upgrade's Put re-admits the slot at the front.
+func (c *SenderSetCache) LookupStale(k SetCacheKey) (*CacheEntry, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ik := el.Value.(*lruItem).key
+		if ik.PeerHost == k.PeerHost && ik.Table == k.Table && ik.Protocol == k.Protocol &&
+			ik.Shard == k.Shard && ik.Shards == k.Shards && ik.Version != k.Version {
+			return el.Value.(*lruItem).entry, ik.Version, true
+		}
+	}
+	return nil, 0, false
+}
+
 // Put stores entry under k, displacing any previous entry for the same
 // key and — because a version bump makes the old state permanently
 // unreachable — any entry for the same (peer, table, protocol) at a
@@ -258,6 +280,11 @@ func (s *session) ownEncryptedSet(ctx context.Context, vs [][]byte) (*commutativ
 		if s.lat != nil {
 			s.lat.Record(obs.LatCacheHit, time.Since(start))
 		}
+		return ent.Set.Key(), ent.Set.Elems(), nil
+	}
+	// A stale entry for this slot plus a delta source turns the miss
+	// into an upgrade: re-encrypt only the churn under the pinned key.
+	if ent, ok := s.upgradeCachedEntry(ctx, len(vs), false); ok {
 		return ent.Set.Key(), ent.Set.Elems(), nil
 	}
 	sp := obs.StartSpan(ctx, "hash-to-group")

@@ -131,6 +131,19 @@ type Config struct {
 	// is allowed but shares one slot, so only single-peer callers should
 	// use it.
 	CacheKey SetCacheKey
+	// DeltaSource, when non-nil alongside SetCache, lets the sender-side
+	// protocols upgrade a stale cached entry in place: a cache miss first
+	// looks for an entry of the same slot at an older version, asks the
+	// source how the set changed since, and re-encrypts only the churn
+	// under the entry's pinned key (commutative.CachedSet.ApplyDelta) —
+	// O(churn) instead of the O(|V|) rebuild.  It also feeds the
+	// standing-query sender.  Receiver-side protocols ignore it.
+	DeltaSource DeltaSource
+	// DeltaChurnMax bounds the upgrade path as a fraction of the current
+	// set size: a delta touching more than DeltaChurnMax·|V| values falls
+	// back to the full rebuild (past that point the bulk pipeline wins).
+	// Zero selects DefaultDeltaChurnMax; negative disables upgrades.
+	DeltaChurnMax float64
 	// DataVersion is this party's monotonic data version
 	// (reldb.Table.Version for a served table), announced in the
 	// handshake header so the peer can detect a stale counterpart, and
@@ -168,6 +181,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Rand == nil {
 		c.Rand = rand.Reader
+	}
+	if c.DeltaChurnMax == 0 {
+		c.DeltaChurnMax = DefaultDeltaChurnMax
 	}
 	return c
 }

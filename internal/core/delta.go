@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"math/big"
+	"time"
+
+	"minshare/internal/commutative"
+	"minshare/internal/obs"
+	"minshare/internal/wire"
+)
+
+// DefaultDeltaChurnMax is the churn bound the delta-upgrade path applies
+// when Config.DeltaChurnMax is zero: a delta touching more than a
+// quarter of the current set is rebuilt from scratch instead.  Around
+// that point the upgrade's per-value bookkeeping stops winning over the
+// bulk-exponentiation pipeline's parallelism.
+const DefaultDeltaChurnMax = 0.25
+
+// SetDelta reports how a party's value set changed between two data
+// versions, in the vocabulary of the protocol layer: inserted and
+// updated values carry their ext(v) payloads (empty for the set
+// protocols, which have none), deleted values are bare.  An updated
+// value is present at both versions with a changed ext(v) — it does not
+// affect set membership, only the equijoin's payload ciphertexts.
+type SetDelta struct {
+	// From and To are the data versions the delta spans.
+	From, To uint64
+	// Inserted and Updated hold the changed values with their current
+	// ext(v); Deleted holds the values no longer present.
+	Inserted []JoinRecord
+	Updated  []JoinRecord
+	Deleted  [][]byte
+}
+
+// Empty reports whether the delta carries no changes.
+func (d SetDelta) Empty() bool {
+	return len(d.Inserted) == 0 && len(d.Updated) == 0 && len(d.Deleted) == 0
+}
+
+// DeltaSource answers "how did my value set change since version v?" —
+// the question the cache-upgrade and standing-query paths put to the
+// private database.  internal/party adapts reldb.AttributeSource to
+// this interface; core deliberately does not import reldb.
+type DeltaSource interface {
+	// Version returns the current data version.
+	Version() uint64
+	// DeltaSince reports the changes between version from and the
+	// current version.  ok is false when the delta cannot be
+	// reconstructed (derived table, version outside the bounded change
+	// log) and the caller must fall back to a full rebuild.
+	DeltaSince(from uint64) (SetDelta, bool)
+	// Wait blocks until the version moves past from or ctx ends.
+	Wait(ctx context.Context, from uint64) error
+}
+
+// deltaUpgradable reports whether the delta-upgrade path applies to a
+// protocol's cached state.  The set protocols and the equijoin cache
+// one entry per *distinct* value, which is exactly what a SetDelta
+// describes; the equijoin-size protocol caches the encrypted multiset
+// (duplicate ciphertexts included), whose multiplicities a value-level
+// delta cannot maintain.  Sharded entries are likewise excluded: a
+// table-level delta spans all partitions, and upgrading one shard's
+// entry would need the delta re-partitioned by hash prefix.
+func (s *session) deltaUpgradable() bool {
+	if s.cfg.SetCache == nil || s.cfg.DeltaSource == nil || s.cfg.DeltaChurnMax < 0 {
+		return false
+	}
+	if s.cfg.CacheKey.Shards != 0 {
+		return false
+	}
+	switch s.cfg.CacheKey.Protocol {
+	case wire.ProtoIntersection, wire.ProtoIntersectionSize, wire.ProtoEquijoin:
+		return true
+	}
+	return false
+}
+
+// upgradeCachedEntry tries to bring a stale cached entry for this run's
+// slot up to the current data version by re-encrypting only the delta:
+// the O(churn) alternative to the O(|V|) rebuild.  nValues is the
+// current set size (the churn bound's denominator); wantPayload selects
+// the equijoin shape, where inserted and updated values also need fresh
+// K(κ(v), ext(v)) ciphertexts under the entry's retained e'_S.
+//
+// On success the upgraded entry is already cached under the current key
+// (displacing the stale one) and the upgrade is counted; any failure —
+// no stale entry, delta unavailable, churn over Config.DeltaChurnMax,
+// or a delta/set conflict — counts a rebuild (when an upgrade was
+// actually attempted) and returns false so the caller runs the cold
+// path.
+func (s *session) upgradeCachedEntry(ctx context.Context, nValues int, wantPayload bool) (*CacheEntry, bool) {
+	if !s.deltaUpgradable() {
+		return nil, false
+	}
+	var start time.Time
+	if s.lat != nil {
+		start = time.Now()
+	}
+	ent, staleVer, ok := s.cfg.SetCache.LookupStale(s.cfg.CacheKey)
+	if !ok {
+		return nil, false
+	}
+	if wantPayload && (ent.Set.Payload() == nil || ent.ExtKey == nil) {
+		return nil, false
+	}
+	stats := s.cfg.SetCache.stats
+	d, ok := s.cfg.DeltaSource.DeltaSince(staleVer)
+	if !ok || d.To != s.cfg.DataVersion || d.From != staleVer {
+		stats.AddRebuild()
+		return nil, false
+	}
+	churn := len(d.Inserted) + len(d.Deleted)
+	if wantPayload {
+		churn += len(d.Updated)
+	}
+	if float64(churn) > s.cfg.DeltaChurnMax*float64(nValues) {
+		stats.AddRebuild()
+		return nil, false
+	}
+
+	// Hash the churn values (C_h = churn), then re-encrypt them under the
+	// entry's pinned key inside ApplyDelta (C_e = churn).  Updated values
+	// do not change set membership, so the set protocols skip them
+	// entirely — zero work for an ext-only change.
+	var insV, updV [][]byte
+	var insExt, updExt [][]byte
+	for _, r := range d.Inserted {
+		insV = append(insV, r.Value)
+		insExt = append(insExt, r.Ext)
+	}
+	if wantPayload {
+		for _, r := range d.Updated {
+			updV = append(updV, r.Value)
+			updExt = append(updExt, r.Ext)
+		}
+	}
+	all := make([][]byte, 0, len(insV)+len(updV)+len(d.Deleted))
+	all = append(all, insV...)
+	all = append(all, updV...)
+	all = append(all, d.Deleted...)
+	hs, err := s.hashSet(all)
+	if err != nil {
+		stats.AddRebuild()
+		return nil, false
+	}
+	insH := hs[:len(insV)]
+	updH := hs[len(insV) : len(insV)+len(updV)]
+	delH := hs[len(insV)+len(updV):]
+
+	var insP, updP [][]byte
+	if wantPayload {
+		// κ(v) = f_e'S(h(v)) for every upserted value, then the payload
+		// ciphertext K(κ(v), ext(v)) — one C_e and one C_K per upsert.
+		insP, err = s.encryptExts(ctx, ent.ExtKey, insH, insExt)
+		if err == nil {
+			updP, err = s.encryptExts(ctx, ent.ExtKey, updH, updExt)
+		}
+		if err != nil {
+			stats.AddRebuild()
+			return nil, false
+		}
+	}
+	next, _, err := ent.Set.ApplyDelta(ctx, s.cfg.Scheme, insH, updH, delH, insP, updP, s.cfg.Parallelism)
+	if err != nil {
+		stats.AddRebuild()
+		return nil, false
+	}
+	up := &CacheEntry{Set: next, ExtKey: ent.ExtKey}
+	s.cachePut(up)
+	stats.AddUpgrade()
+	if s.lat != nil {
+		s.lat.Record(obs.LatCacheUpgrade, time.Since(start))
+	}
+	return up, true
+}
+
+// encryptExts computes the equijoin payload ciphertexts
+// K(f_extKey(h(v)), ext(v)) for hashed values hs with aligned payloads
+// exts.  Degenerate empty input returns an empty (non-nil) slice so
+// ApplyDelta's payload-alignment check holds even with zero upserts.
+func (s *session) encryptExts(ctx context.Context, extKey *commutative.Key, hs []*big.Int, exts [][]byte) ([][]byte, error) {
+	kappas, err := s.encryptSet(ctx, extKey, hs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(hs))
+	for i := range hs {
+		out[i], err = s.cfg.Cipher.Encrypt(kappas[i], exts[i])
+		if err != nil {
+			return nil, err
+		}
+		if s.counters != nil {
+			s.counters.AddPayloadEncrypts(1)
+		}
+	}
+	return out, nil
+}

@@ -56,8 +56,45 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 		return shardedEquijoinReceiver(ctx, cfg, conn, values)
 	}
 	s := newSession(ctx, cfg, conn)
-	vR := dedup(values)
+	st, err := s.equijoinReceiverRun(ctx, dedup(values))
+	if err != nil {
+		return nil, err
+	}
+	return st.result(s.peerVersion), nil
+}
 
+// equijoinState is the receiver-side state of one equijoin run that a
+// standing query retains.  The pushed elements of a SubUpdate arrive as
+// f_eS(h(v)) — exactly the keys of extByElem — so folding in a delta
+// needs no exponentiations at all: update the map, then re-decrypt only
+// the affected positions with the retained κ values.
+type equijoinState struct {
+	vR        [][]byte
+	order     []int
+	singleS   []*big.Int
+	kappas    []*big.Int
+	extByElem map[string][]byte
+	matched   []*JoinMatch
+	posByKey  map[string]int
+	peerSize  int
+	ky        *keyer
+}
+
+// result assembles the matches in R's input order.
+func (st *equijoinState) result(peerVersion uint64) *JoinResult {
+	res := &JoinResult{SenderSetSize: st.peerSize, SenderDataVersion: peerVersion}
+	for _, jm := range st.matched {
+		if jm != nil {
+			res.Matches = append(res.Matches, *jm)
+		}
+	}
+	return res
+}
+
+// equijoinReceiverRun executes the single-pipeline receiver body and
+// returns the retained state (the exported entry point derives the
+// result and drops it; the standing variant keeps it live).
+func (s *session) equijoinReceiverRun(ctx context.Context, vR [][]byte) (*equijoinState, error) {
 	peerSize, err := s.handshake(ctx, wire.ProtoEquijoin, len(vR), true)
 	if err != nil {
 		return nil, err
@@ -120,10 +157,12 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 	for i, e := range extElems {
 		extByElem[ky.key(e)] = extCts[i]
 	}
-	res := &JoinResult{SenderSetSize: peerSize, SenderDataVersion: s.peerVersion}
+	posByKey := make(map[string]int, len(vR))
 	matched := make([]*JoinMatch, len(vR))
 	for pos, idx := range order {
-		ct, hit := extByElem[ky.key(singleS[pos])]
+		k := ky.key(singleS[pos])
+		posByKey[k] = pos
+		ct, hit := extByElem[k]
 		if !hit {
 			continue
 		}
@@ -136,12 +175,17 @@ func EquijoinReceiver(ctx context.Context, cfg Config, conn transport.Conn, valu
 		}
 		matched[idx] = &JoinMatch{Value: vR[idx], Ext: ext}
 	}
-	for _, jm := range matched {
-		if jm != nil {
-			res.Matches = append(res.Matches, *jm)
-		}
-	}
-	return res, nil
+	return &equijoinState{
+		vR:        vR,
+		order:     order,
+		singleS:   singleS,
+		kappas:    kappas,
+		extByElem: extByElem,
+		matched:   matched,
+		posByKey:  posByKey,
+		peerSize:  peerSize,
+		ky:        ky,
+	}, nil
 }
 
 // EquijoinSender runs party S of the equijoin protocol of Section 4.3.
@@ -156,10 +200,17 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 	if err != nil {
 		return nil, err
 	}
+	info, _, _, _, _, err := s.equijoinSenderRun(ctx, vS, exts)
+	return info, err
+}
 
+// equijoinSenderRun executes the single-pipeline sender body and
+// additionally returns the pinned keys and the sorted step-5 pairs so a
+// standing sender can keep serving deltas.
+func (s *session) equijoinSenderRun(ctx context.Context, vS, exts [][]byte) (*SenderInfo, *commutative.Key, *commutative.Key, []*big.Int, [][]byte, error) {
 	peerSize, err := s.handshake(ctx, wire.ProtoEquijoin, len(vS), false)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 
 	// Step 1: hash V_S; draw the two secret keys e_S and e'_S — or, on a
@@ -188,20 +239,26 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 		if s.lat != nil {
 			s.lat.Record(obs.LatCacheHit, time.Since(phaseStart))
 		}
+	} else if ent, warm = s.upgradeCachedEntry(ctx, len(vS), true); warm {
+		// A stale entry was upgraded by delta: the pinned keys replay and
+		// the step-5 pairs are already current (upgradeCachedEntry records
+		// its own latency).
+		eS, ePrimeS = ent.Set.Key(), ent.ExtKey
+		outElems, outExts = ent.Set.Elems(), ent.Set.Payload()
 	} else {
 		sp := obs.StartSpan(ctx, "hash-to-group")
 		xS, err = s.hashSet(vS)
 		sp.End()
 		if err != nil {
-			return nil, s.abort(ctx, err)
+			return nil, nil, nil, nil, nil, s.abort(ctx, err)
 		}
 		eS, err = s.cfg.Scheme.GenerateKey(s.cfg.Rand)
 		if err != nil {
-			return nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
+			return nil, nil, nil, nil, nil, s.abort(ctx, fmt.Errorf("core: generating e_S: %w", err))
 		}
 		ePrimeS, err = s.cfg.Scheme.GenerateKey(s.cfg.Rand)
 		if err != nil {
-			return nil, s.abort(ctx, fmt.Errorf("core: generating e'_S: %w", err))
+			return nil, nil, nil, nil, nil, s.abort(ctx, fmt.Errorf("core: generating e'_S: %w", err))
 		}
 		if s.lat != nil {
 			precompute += time.Since(phaseStart)
@@ -216,7 +273,7 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 	_, err = s.recvEncryptPairsSend(ctx, eS, ePrimeS, peerSize, "Y_R")
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 
 	// Step 5: for each v ∈ V_S, form ⟨f_eS(h(v)), K(f_e'S(h(v)), ext(v))⟩
@@ -229,12 +286,12 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 		firsts, err := s.encryptSet(ctx, eS, xS)
 		if err != nil {
 			sp.End()
-			return nil, s.abort(ctx, err)
+			return nil, nil, nil, nil, nil, s.abort(ctx, err)
 		}
 		kappas, err := s.encryptSet(ctx, ePrimeS, xS)
 		sp.End()
 		if err != nil {
-			return nil, s.abort(ctx, err)
+			return nil, nil, nil, nil, nil, s.abort(ctx, err)
 		}
 		sp = obs.StartSpan(ctx, "payload-encrypt")
 		ciphertexts := make([][]byte, len(vS))
@@ -242,7 +299,7 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 			ciphertexts[i], err = s.cfg.Cipher.Encrypt(kappas[i], exts[i])
 			if err != nil {
 				sp.End()
-				return nil, s.abort(ctx, fmt.Errorf("core: encrypting ext(v): %w", err))
+				return nil, nil, nil, nil, nil, s.abort(ctx, fmt.Errorf("core: encrypting ext(v): %w", err))
 			}
 			if s.counters != nil {
 				s.counters.AddPayloadEncrypts(1)
@@ -270,9 +327,9 @@ func EquijoinSender(ctx context.Context, cfg Config, conn transport.Conn, record
 	err = s.sendExtPairs(ctx, outElems, outExts)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, nil, err
 	}
-	return &SenderInfo{ReceiverSetSize: peerSize}, nil
+	return &SenderInfo{ReceiverSetSize: peerSize}, eS, ePrimeS, outElems, outExts, nil
 }
 
 // dedupRecords splits records into parallel value/ext slices with

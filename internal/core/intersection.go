@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"minshare/internal/commutative"
 	"minshare/internal/obs"
 	"minshare/internal/transport"
 	"minshare/internal/wire"
@@ -46,8 +47,50 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 		return shardedIntersectionReceiver(ctx, cfg, conn, values)
 	}
 	s := newSession(ctx, cfg, conn)
-	vR := dedup(values)
+	st, err := s.intersectionReceiverRun(ctx, dedup(values))
+	if err != nil {
+		return nil, err
+	}
+	return st.result(s.peerVersion), nil
+}
 
+// intersectionState is the receiver-side state of one intersection run
+// that a standing query retains: everything needed to fold a pushed
+// delta into the result for O(churn) work.  zSet holds the
+// double-encrypted sender values f_eR(f_eS(h(v))); doubles[pos] is the
+// double encryption of R's own value at sorted position pos, and order
+// maps sorted positions back to input indices.
+type intersectionState struct {
+	vR       [][]byte
+	eR       *commutative.Key
+	order    []int
+	doubles  []*big.Int
+	zSet     map[string]struct{}
+	peerSize int
+	ky       *keyer
+}
+
+// result evaluates the membership test over the current zSet.
+func (st *intersectionState) result(peerVersion uint64) *IntersectionResult {
+	inIntersection := make([]bool, len(st.vR))
+	for pos, idx := range st.order {
+		if _, hit := st.zSet[st.ky.key(st.doubles[pos])]; hit {
+			inIntersection[idx] = true
+		}
+	}
+	res := &IntersectionResult{SenderSetSize: st.peerSize, SenderDataVersion: peerVersion}
+	for i, v := range st.vR {
+		if inIntersection[i] {
+			res.Values = append(res.Values, v)
+		}
+	}
+	return res
+}
+
+// intersectionReceiverRun executes the single-pipeline receiver body
+// and returns the retained state (the exported entry point derives the
+// result and drops it; the standing variant keeps it live).
+func (s *session) intersectionReceiverRun(ctx context.Context, vR [][]byte) (*intersectionState, error) {
 	peerSize, err := s.handshake(ctx, wire.ProtoIntersection, len(vR), true)
 	if err != nil {
 		return nil, err
@@ -112,20 +155,17 @@ func IntersectionReceiver(ctx context.Context, cfg Config, conn transport.Conn, 
 		zSet[ky.key(z)] = struct{}{}
 	}
 
-	// Step 6: v ∈ V_S ∩ V_R iff f_eS(f_eR(h(v))) ∈ Z_S.
-	inIntersection := make([]bool, len(vR))
-	for pos, idx := range order {
-		if _, hit := zSet[ky.key(doubles[pos])]; hit {
-			inIntersection[idx] = true
-		}
-	}
-	res := &IntersectionResult{SenderSetSize: peerSize, SenderDataVersion: s.peerVersion}
-	for i, v := range vR {
-		if inIntersection[i] {
-			res.Values = append(res.Values, v)
-		}
-	}
-	return res, nil
+	// Step 6 (v ∈ V_S ∩ V_R iff f_eS(f_eR(h(v))) ∈ Z_S) is evaluated by
+	// result() over the retained state.
+	return &intersectionState{
+		vR:       vR,
+		eR:       eR,
+		order:    order,
+		doubles:  doubles,
+		zSet:     zSet,
+		peerSize: peerSize,
+		ky:       ky,
+	}, nil
 }
 
 // IntersectionSender runs party S of the intersection protocol of
@@ -135,11 +175,17 @@ func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, va
 		return shardedIntersectionSender(ctx, cfg, conn, values)
 	}
 	s := newSession(ctx, cfg, conn)
-	vS := dedup(values)
+	info, _, _, err := s.intersectionSenderRun(ctx, dedup(values))
+	return info, err
+}
 
+// intersectionSenderRun executes the single-pipeline sender body and
+// additionally returns e_S and the sorted encrypted set so a standing
+// sender can keep serving deltas under the pinned key.
+func (s *session) intersectionSenderRun(ctx context.Context, vS [][]byte) (*SenderInfo, *commutative.Key, []*big.Int, error) {
 	peerSize, err := s.handshake(ctx, wire.ProtoIntersection, len(vS), false)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	// Step 1-2: hash V_S, draw e_S, compute Y_S — or, on a cache hit,
@@ -147,7 +193,7 @@ func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, va
 	// lexicographic reordering) from an earlier run against this peer.
 	eS, sortedYS, err := s.ownEncryptedSet(ctx, vS)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	// Step 3 (peer) + step 4(a): receive Y_R and ship Y_S reordered
@@ -165,16 +211,16 @@ func IntersectionSender(ctx context.Context, cfg Config, conn transport.Conn, va
 		})
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	// Step 4(b): encrypt each y ∈ Y_R with e_S and send back, preserving
 	// the received order so R can match without the y's being repeated —
 	// chunk i on the wire while chunk i+1 is still exponentiating.
 	if _, err := s.streamEncryptSend(ctx, eS, yR); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return &SenderInfo{ReceiverSetSize: peerSize}, nil
+	return &SenderInfo{ReceiverSetSize: peerSize}, eS, sortedYS, nil
 }
 
 // sortIndicesByElem returns a permutation perm such that

@@ -1,0 +1,33 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeltaUpdate(t *testing.T) {
+	d := DeltaUpdate(3, 2, 100)
+	if d.Inserts != 3 || d.Deletes != 2 || d.Total != 100 {
+		t.Fatalf("echoed fields = %+v", d)
+	}
+	if want := 2 * math.Log2(101); math.Abs(d.CardinalityBits-want) > 1e-12 {
+		t.Errorf("CardinalityBits = %v, want %v", d.CardinalityBits, want)
+	}
+	if d.LinkedCodewords != 2 {
+		t.Errorf("LinkedCodewords = %d, want the deletion count 2", d.LinkedCodewords)
+	}
+
+	// An empty update against an empty set reveals nothing.
+	if z := DeltaUpdate(0, 0, 0); z.CardinalityBits != 0 || z.LinkedCodewords != 0 {
+		t.Errorf("zero update leaks %+v", z)
+	}
+}
+
+func TestDeltaUpdatePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cardinality accepted")
+		}
+	}()
+	DeltaUpdate(-1, 0, 0)
+}

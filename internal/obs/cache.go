@@ -16,6 +16,8 @@ type CacheStats struct {
 	misses    atomic.Int64
 	evictions atomic.Int64
 	rotations atomic.Int64
+	upgrades  atomic.Int64
+	rebuilds  atomic.Int64
 }
 
 // AddHit records one session that reused a cached encrypted set.
@@ -49,6 +51,24 @@ func (c *CacheStats) AddRotation(n int64) {
 	}
 }
 
+// AddUpgrade records one stale cached set brought current by
+// re-encrypting only its delta (core's cache upgrade path) instead of
+// being discarded and rebuilt.
+func (c *CacheStats) AddUpgrade() {
+	if c != nil {
+		c.upgrades.Add(1)
+	}
+}
+
+// AddRebuild records one stale cached set that could not be upgraded —
+// delta unavailable, churn over the configured bound, or a conflict —
+// and fell back to the full bulk-exponentiation rebuild.
+func (c *CacheStats) AddRebuild() {
+	if c != nil {
+		c.rebuilds.Add(1)
+	}
+}
+
 // Snapshot returns a point-in-time copy; nil yields a zero snapshot.
 func (c *CacheStats) Snapshot() CacheSnapshot {
 	if c == nil {
@@ -59,6 +79,8 @@ func (c *CacheStats) Snapshot() CacheSnapshot {
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 		Rotations: c.rotations.Load(),
+		Upgrades:  c.upgrades.Load(),
+		Rebuilds:  c.rebuilds.Load(),
 	}
 }
 
@@ -68,4 +90,6 @@ type CacheSnapshot struct {
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	Rotations int64 `json:"rotations"`
+	Upgrades  int64 `json:"upgrades"`
+	Rebuilds  int64 `json:"rebuilds"`
 }

@@ -162,6 +162,15 @@ const (
 	// LatCacheMiss times the sender precompute phase when it had to run
 	// in full (and, typically, populate the cache).
 	LatCacheMiss = "cache/miss-path"
+	// LatCacheUpgrade times the sender precompute phase when a stale
+	// cached set was upgraded in place by re-encrypting only the delta.
+	LatCacheUpgrade = "cache/upgrade-path"
+	// LatDeltaPush times one standing-query update on the sender side:
+	// delta reconstruction, ApplyDelta, and the SubUpdate/SubAck round.
+	LatDeltaPush = "delta/push"
+	// LatDeltaApply times one standing-query update on the receiver
+	// side: re-encrypting the pushed churn and refreshing the result.
+	LatDeltaApply = "delta/apply"
 )
 
 // Latencies is a registry of named Histograms.  Histogram creation is a

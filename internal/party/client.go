@@ -104,6 +104,20 @@ func (p *sendProbe) Send(ctx context.Context, frame []byte) error {
 	return p.Conn.Send(ctx, frame)
 }
 
+// retryPause sleeps out the jittered backoff before retry n and counts
+// it; false means ctx ended first and the caller must give up.
+func (c *Client) retryPause(ctx context.Context, n int) bool {
+	t := time.NewTimer(c.Retry.backoff(n))
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		t.Stop()
+		return false
+	}
+	c.Obs.Lifecycle().AddClientRetry()
+	return true
+}
+
 func (c *Client) withConn(ctx context.Context, f func(conn transport.Conn) error) error {
 	attempts := c.Retry.Attempts
 	if attempts < 1 {
@@ -112,15 +126,9 @@ func (c *Client) withConn(ctx context.Context, f func(conn transport.Conn) error
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			pause := c.Retry.backoff(attempt - 1)
-			t := time.NewTimer(pause)
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
+			if !c.retryPause(ctx, attempt-1) {
 				return err
 			}
-			c.Obs.Lifecycle().AddClientRetry()
 		}
 		var conn transport.Conn
 		conn, err = c.dial(ctx)

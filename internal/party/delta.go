@@ -1,0 +1,135 @@
+package party
+
+import (
+	"context"
+	"fmt"
+
+	"minshare/internal/core"
+	"minshare/internal/reldb"
+)
+
+// TableBinding binds a Server to one live reldb table attribute.  It is
+// the glue between the storage layer's row vocabulary and the protocol
+// layer's set vocabulary: per-session snapshots of the attribute's
+// distinct values (with their ext(v) row groups) replace the Server's
+// static Values/Records/Multiset fields, the table version stamps each
+// session for cache keying, and the attribute's change log is exposed
+// as the core.DeltaSource behind cache delta-upgrades and standing
+// queries.
+type TableBinding struct {
+	src *reldb.AttributeSource
+}
+
+// BindTable builds a binding for column col of table t.  The column is
+// validated once here; Snapshot and the delta source never fail on it
+// afterwards.
+func BindTable(t *reldb.Table, col string) (*TableBinding, error) {
+	if _, err := t.Schema().ColumnIndex(col); err != nil {
+		return nil, fmt.Errorf("party: binding table %s: %w", t.Name(), err)
+	}
+	return &TableBinding{src: reldb.NewAttributeSource(t, col)}, nil
+}
+
+// MustBindTable is BindTable for known-good columns; it panics on error.
+func MustBindTable(t *reldb.Table, col string) *TableBinding {
+	b, err := BindTable(t, col)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TableName reports the bound table's name (the cache-key table label).
+func (b *TableBinding) TableName() string { return b.src.Table().Name() }
+
+// Version reports the bound table's current data version.
+func (b *TableBinding) Version() uint64 { return b.src.Version() }
+
+// DeltaSource exposes the bound attribute's change log in the protocol
+// layer's vocabulary (core deliberately does not import reldb).
+func (b *TableBinding) DeltaSource() core.DeltaSource { return attrDeltaSource{src: b.src} }
+
+// tableSnapshot is one consistent view of the bound attribute: every
+// field reflects the same data version, so a session's announced
+// version always matches the values it serves — the invariant the
+// standing-query version chain builds on.
+type tableSnapshot struct {
+	// Version is the table version the snapshot reflects.
+	Version uint64
+	// Values holds the distinct column values (the set protocols' V_S).
+	Values [][]byte
+	// Records pairs each distinct value with its serialized ext(v) row
+	// group (the equijoin's input).
+	Records []core.JoinRecord
+	// Multiset holds one value per row, duplicates preserved (the
+	// equijoin-size protocol's T_S.A).
+	Multiset [][]byte
+}
+
+// Snapshot captures a consistent view of the bound attribute.  The
+// table's fine-grained locks cover each read individually, not the
+// group, so the version is re-checked after reading and the snapshot
+// retried if a writer slipped in between.
+func (b *TableBinding) Snapshot() tableSnapshot {
+	t, col := b.src.Table(), b.src.Column()
+	for {
+		ver := b.src.Version()
+		values, exts, err := t.ExtPayloads(col)
+		if err != nil {
+			// The column was validated in BindTable and schemas are
+			// immutable; reaching this is a programming error.
+			panic(err)
+		}
+		multiset, err := t.ColumnValues(col)
+		if err != nil {
+			panic(err)
+		}
+		if b.src.Version() != ver {
+			continue
+		}
+		snap := tableSnapshot{Version: ver, Values: values, Multiset: multiset}
+		snap.Records = make([]core.JoinRecord, len(values))
+		for i, v := range values {
+			snap.Records[i] = core.JoinRecord{Value: v, Ext: exts[i]}
+		}
+		return snap
+	}
+}
+
+// attrDeltaSource adapts reldb.AttributeSource to core.DeltaSource,
+// translating row-group deltas into the protocol layer's value/ext
+// records.
+type attrDeltaSource struct {
+	src *reldb.AttributeSource
+}
+
+// Version reports the current data version.
+func (a attrDeltaSource) Version() uint64 { return a.src.Version() }
+
+// Wait blocks until the version moves past from or ctx ends.
+func (a attrDeltaSource) Wait(ctx context.Context, from uint64) error {
+	return a.src.Wait(ctx, from)
+}
+
+// DeltaSince reports the attribute's changes since version from, or
+// ok=false when the change log cannot reconstruct them.
+func (a attrDeltaSource) DeltaSince(from uint64) (core.SetDelta, bool) {
+	d, ok := a.src.DeltaSince(from)
+	if !ok {
+		return core.SetDelta{}, false
+	}
+	out := core.SetDelta{From: d.From, To: d.To, Deleted: d.Deleted}
+	if len(d.Inserted) > 0 {
+		out.Inserted = make([]core.JoinRecord, len(d.Inserted))
+		for i, v := range d.Inserted {
+			out.Inserted[i] = core.JoinRecord{Value: v, Ext: d.InsertedExt[i]}
+		}
+	}
+	if len(d.Updated) > 0 {
+		out.Updated = make([]core.JoinRecord, len(d.Updated))
+		for i, v := range d.Updated {
+			out.Updated[i] = core.JoinRecord{Value: v, Ext: d.UpdatedExt[i]}
+		}
+	}
+	return out, true
+}

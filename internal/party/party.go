@@ -145,6 +145,25 @@ type Server struct {
 	// handshake's version tag.  It is called once per session and must
 	// be safe for concurrent use; nil means version 0.
 	DataVersion func() uint64
+	// Source, when non-nil, binds the server to a live table attribute.
+	// Each session then serves a consistent snapshot of the attribute in
+	// place of the static Values/Records/Multiset fields, DataVersion
+	// and TableName default to the table's, and the attribute's change
+	// log becomes the core.DeltaSource behind cache delta-upgrades and
+	// standing queries.
+	Source *TableBinding
+	// DeltaChurnMax forwards to core.Config.DeltaChurnMax: the fraction
+	// of the served set a delta may touch before the delta-upgrade and
+	// standing-query paths fall back to a full rebuild (0 = the core
+	// default, negative disables delta upgrades).  Only meaningful with
+	// Source.
+	DeltaChurnMax float64
+	// Standing serves standing queries: after an unsharded intersection
+	// or equijoin completes, a subscribing receiver holds the session
+	// open and is pushed encrypted deltas as the bound table changes.
+	// Requires Source; classic receivers that hang up after the base
+	// run see byte-identical sessions either way.
+	Standing bool
 	// Auditor, when non-nil, records every answered session and can veto
 	// on its own criteria (budget, overlap of the served set).
 	Auditor *leakage.Auditor
@@ -440,12 +459,29 @@ func (s *Server) runSession(ctx context.Context, peer string, conn transport.Con
 	if s.DataVersion != nil {
 		cfg.DataVersion = s.DataVersion()
 	}
+	// A table binding replaces the static dataset with a consistent
+	// snapshot: values, records, multiset, and the announced version all
+	// reflect the same instant, which is what lets a standing session's
+	// delta chain start exactly where the base run left off.
+	values, records, multiset := s.Values, s.Records, s.Multiset
+	tableName := s.TableName
+	if s.Source != nil {
+		snap := s.Source.Snapshot()
+		values, multiset = snap.Values, snap.Multiset
+		records = snap.Records
+		cfg.DataVersion = snap.Version
+		cfg.DeltaSource = s.Source.DeltaSource()
+		cfg.DeltaChurnMax = s.DeltaChurnMax
+		if tableName == "" {
+			tableName = s.Source.TableName()
+		}
+	}
 	if s.SetCache != nil {
 		if id, ok := s.cachePeerIdentity(peer, conn); ok {
 			cfg.SetCache = s.SetCache
 			cfg.CacheKey = core.SetCacheKey{
 				PeerHost: id,
-				Table:    s.TableName,
+				Table:    tableName,
 				Version:  cfg.DataVersion,
 				Protocol: hdr.Protocol,
 			}
@@ -462,29 +498,39 @@ func (s *Server) runSession(ctx context.Context, peer string, conn transport.Con
 			Protocol:     hdr.Protocol.String(),
 			Peer:         peer,
 			Role:         "sender",
-			LocalSetSize: s.localSetSize(hdr.Protocol),
+			LocalSetSize: localSetSize(hdr.Protocol, values, records, multiset),
 			PeerSetSize:  int(hdr.SetSize),
 		})
 		ctx = obs.WithSession(ctx, osess)
 	}
 
+	// Standing service needs a delta source and an unsharded session (a
+	// table-level delta spans all hash partitions); everything else runs
+	// the classic one-shot senders.
+	standing := s.Standing && s.Source != nil && normalizedShards(hdr.Shards) == 1
 	switch hdr.Protocol {
 	case wire.ProtoIntersection:
-		_, err = core.IntersectionSender(ctx, cfg, replay, s.Values)
-	case wire.ProtoIntersectionSize:
-		_, err = core.IntersectionSizeSender(ctx, cfg, replay, s.Values)
-	case wire.ProtoEquijoin:
-		if s.Records == nil {
-			err = s.refuse(ctx, conn, codec, "server does not serve equijoin")
+		if standing {
+			_, err = core.IntersectionSenderStanding(ctx, cfg, replay, values)
 		} else {
-			_, err = core.EquijoinSender(ctx, cfg, replay, s.Records)
+			_, err = core.IntersectionSender(ctx, cfg, replay, values)
+		}
+	case wire.ProtoIntersectionSize:
+		_, err = core.IntersectionSizeSender(ctx, cfg, replay, values)
+	case wire.ProtoEquijoin:
+		switch {
+		case records == nil:
+			err = s.refuse(ctx, conn, codec, "server does not serve equijoin")
+		case standing:
+			_, err = core.EquijoinSenderStanding(ctx, cfg, replay, records)
+		default:
+			_, err = core.EquijoinSender(ctx, cfg, replay, records)
 		}
 	case wire.ProtoEquijoinSize:
-		values := s.Multiset
-		if values == nil {
-			values = s.Values
+		if multiset == nil {
+			multiset = values
 		}
-		_, err = core.EquijoinSizeSender(ctx, cfg, replay, values)
+		_, err = core.EquijoinSizeSender(ctx, cfg, replay, multiset)
 	default:
 		err = s.refuse(ctx, conn, codec, fmt.Sprintf("unsupported protocol %v", hdr.Protocol))
 	}
@@ -511,18 +557,18 @@ func (s *Server) runSession(ctx context.Context, peer string, conn transport.Con
 	return nil
 }
 
-// localSetSize reports how many values this server commits to a run of
-// the given protocol, for session metadata.
-func (s *Server) localSetSize(proto wire.Protocol) int {
+// localSetSize reports how many values the server commits to a run of
+// the given protocol over the session's dataset, for session metadata.
+func localSetSize(proto wire.Protocol, values [][]byte, records []core.JoinRecord, multiset [][]byte) int {
 	switch proto {
 	case wire.ProtoEquijoin:
-		return len(s.Records)
+		return len(records)
 	case wire.ProtoEquijoinSize:
-		if s.Multiset != nil {
-			return len(s.Multiset)
+		if multiset != nil {
+			return len(multiset)
 		}
 	}
-	return len(s.Values)
+	return len(values)
 }
 
 func (s *Server) refuse(ctx context.Context, conn transport.Conn, codec *wire.Codec, why string) error {

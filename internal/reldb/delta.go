@@ -1,0 +1,269 @@
+// Row-level delta maintenance.
+//
+// The paper's protocols re-encrypt a party's whole value set per query;
+// the S27 encrypted-set cache amortizes that across a *series* of
+// queries — but any mutation bumps the data version and, before this
+// file, invalidated the whole precomputation.  The change log below
+// turns a version bump into an answerable question: "which distinct
+// values of column A changed between version v and now?"  The protocol
+// layer uses the answer to upgrade cached encrypted sets
+// (commutative.CachedSet.ApplyDelta via core's delta-upgrade path) and
+// to push standing-query updates, paying O(churn) instead of O(|V|).
+package reldb
+
+import (
+	"context"
+	"sort"
+)
+
+// maxChangeLog bounds the per-table mutation log.  When the log
+// overflows, the oldest entries are dropped and DeltaSince answers
+// "unavailable" for versions older than the drop point — consumers fall
+// back to a full rebuild, exactly as they would for an unlogged table.
+const maxChangeLog = 4096
+
+// changeEntry is one logged row mutation.  The version is the table
+// version *after* the mutation; all rows removed by one Delete batch
+// share a version.
+type changeEntry struct {
+	version uint64
+	insert  bool
+	row     Row
+}
+
+// logAppendLocked records a mutation, trimming the log to its bound.
+// Callers hold t.mu.
+func (t *Table) logAppendLocked(e changeEntry) {
+	t.log = append(t.log, e)
+	for len(t.log) > maxChangeLog {
+		// Deltas from versions before the dropped entry can no longer be
+		// reconstructed; versions at or after it still can, because only
+		// entries strictly newer than `from` matter.
+		t.logSeal = t.log[0].version
+		t.log = t.log[1:]
+	}
+}
+
+// notify wakes every Wait/Changed watcher after a mutation.
+func (t *Table) notify() {
+	t.mu.Lock()
+	if t.watch != nil {
+		close(t.watch)
+		t.watch = nil
+	}
+	t.mu.Unlock()
+}
+
+// Changed returns a channel that is closed at the table's next
+// mutation.  Grab the channel *before* reading the state you depend on,
+// then select on it: the close can never be missed.
+func (t *Table) Changed() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.watch == nil {
+		t.watch = make(chan struct{})
+	}
+	return t.watch
+}
+
+// Wait blocks until the table's version differs from `from` or the
+// context ends.  A table already past `from` returns immediately.
+func (t *Table) Wait(ctx context.Context, from uint64) error {
+	for {
+		ch := t.Changed()
+		if t.Version() != from {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// AttrDelta is the distinct-value delta of one column between two data
+// versions: exactly the report the encrypted-set pipeline needs to
+// maintain f_e(h(v)) sets and ext(v) payloads incrementally.
+type AttrDelta struct {
+	// From and To are the data versions the delta spans.
+	From, To uint64
+	// Inserted holds encoded values present at To but absent at From,
+	// with InsertedExt the serialized ext(v) row group of each at To.
+	Inserted    [][]byte
+	InsertedExt [][]byte
+	// Updated holds values present at both versions whose matching row
+	// set — ext(v) — changed, with the new payload.  A value whose rows
+	// were deleted and identically reinserted within the span does not
+	// appear at all: its ext(v) is unchanged.
+	Updated    [][]byte
+	UpdatedExt [][]byte
+	// Deleted holds values present at From but absent at To.
+	Deleted [][]byte
+}
+
+// Empty reports whether the delta carries no changes.
+func (d AttrDelta) Empty() bool {
+	return len(d.Inserted) == 0 && len(d.Updated) == 0 && len(d.Deleted) == 0
+}
+
+// Churn is the number of distinct values the delta touches.
+func (d AttrDelta) Churn() int {
+	return len(d.Inserted) + len(d.Updated) + len(d.Deleted)
+}
+
+// DeltaSince reports how the distinct values of the named column (and
+// their ext(v) row groups) changed between version `from` and the
+// table's current version.  The second return is false when the delta
+// cannot be reconstructed — a derived table (Select/Project/Join output,
+// which carries no row provenance), a version older than the bounded
+// log reaches, a version from the future, or an unknown column — in
+// which case the caller must fall back to full invalidation.
+func (t *Table) DeltaSince(from uint64, col string) (AttrDelta, bool) {
+	ci, err := t.schema.ColumnIndex(col)
+	if err != nil {
+		return AttrDelta{}, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	to := t.Version()
+	if t.derived || from < t.logSeal || from > to {
+		return AttrDelta{}, false
+	}
+	d := AttrDelta{From: from, To: to}
+	if from == to {
+		return d, true
+	}
+
+	// The log suffix newer than `from`, and the set of values it touches.
+	var suffix []changeEntry
+	touched := make(map[string]bool)
+	for _, e := range t.log {
+		if e.version > from {
+			suffix = append(suffix, e)
+			touched[string(e.row[ci].Encode())] = true
+		}
+	}
+	if len(suffix) == 0 {
+		// A version advance with no logged rows cannot happen for a base
+		// table; refuse rather than claim an empty delta.
+		return AttrDelta{}, false
+	}
+
+	// Current row groups of the touched values, in table order (the
+	// order ExtPayloads serializes, so InsertedExt/UpdatedExt match it).
+	curRows := make(map[string][]Row)
+	for _, r := range t.rows {
+		k := string(r[ci].Encode())
+		if touched[k] {
+			curRows[k] = append(curRows[k], r)
+		}
+	}
+
+	// Reconstruct each touched value's row group at `from` by undoing
+	// the suffix newest-first: an insert removes its row again, a delete
+	// puts its row back.
+	oldRows := make(map[string][]Row, len(curRows))
+	for k, rs := range curRows {
+		oldRows[k] = append([]Row(nil), rs...)
+	}
+	for i := len(suffix) - 1; i >= 0; i-- {
+		e := suffix[i]
+		k := string(e.row[ci].Encode())
+		if e.insert {
+			rs := oldRows[k]
+			enc := string(e.row.Encode())
+			found := false
+			for j := len(rs) - 1; j >= 0; j-- {
+				if string(rs[j].Encode()) == enc {
+					oldRows[k] = append(rs[:j], rs[j+1:]...)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return AttrDelta{}, false // log disagrees with the rows
+			}
+		} else {
+			oldRows[k] = append(oldRows[k], e.row)
+		}
+	}
+
+	keys := make([]string, 0, len(touched))
+	for k := range touched {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		old, cur := oldRows[k], curRows[k]
+		switch {
+		case len(old) == 0 && len(cur) > 0:
+			d.Inserted = append(d.Inserted, []byte(k))
+			d.InsertedExt = append(d.InsertedExt, EncodeRows(cur))
+		case len(old) > 0 && len(cur) == 0:
+			d.Deleted = append(d.Deleted, []byte(k))
+		case len(old) > 0 && len(cur) > 0:
+			if !sameRowMultiset(old, cur) {
+				d.Updated = append(d.Updated, []byte(k))
+				d.UpdatedExt = append(d.UpdatedExt, EncodeRows(cur))
+			}
+		}
+	}
+	return d, true
+}
+
+// sameRowMultiset reports whether two row groups hold the same rows
+// regardless of order (reconstruction loses the original positions of
+// undeleted rows, and ext(v) equality is what consumers care about).
+func sameRowMultiset(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, r := range a {
+		counts[string(r.Encode())]++
+	}
+	for _, r := range b {
+		k := string(r.Encode())
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AttributeSource binds one (table, column) pair as a delta source for
+// the protocol layer: the sender side of the encrypted-set pipeline
+// polls Version, reconstructs deltas with DeltaSince, and parks on Wait
+// between standing-query pushes.  internal/party adapts it to
+// core.DeltaSource (reldb deliberately does not import the protocol
+// layer).
+type AttributeSource struct {
+	t   *Table
+	col string
+}
+
+// NewAttributeSource builds a delta source for the named column.
+func NewAttributeSource(t *Table, col string) *AttributeSource {
+	return &AttributeSource{t: t, col: col}
+}
+
+// Table returns the bound table.
+func (s *AttributeSource) Table() *Table { return s.t }
+
+// Column returns the bound column name.
+func (s *AttributeSource) Column() string { return s.col }
+
+// Version returns the bound table's current data version.
+func (s *AttributeSource) Version() uint64 { return s.t.Version() }
+
+// DeltaSince reports the bound column's delta from the given version.
+func (s *AttributeSource) DeltaSince(from uint64) (AttrDelta, bool) {
+	return s.t.DeltaSince(from, s.col)
+}
+
+// Wait blocks until the table mutates past `from` or ctx ends.
+func (s *AttributeSource) Wait(ctx context.Context, from uint64) error {
+	return s.t.Wait(ctx, from)
+}

@@ -1,0 +1,244 @@
+package reldb
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func deltaTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable("t", MustSchema(
+		Column{Name: "a", Type: TypeString},
+		Column{Name: "x", Type: TypeInt},
+	))
+	tbl.MustInsert(String("ann"), Int(1))
+	tbl.MustInsert(String("bob"), Int(2))
+	tbl.MustInsert(String("bob"), Int(3))
+	return tbl
+}
+
+func names(vals [][]byte) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		dv, err := DecodeValue(v)
+		if err != nil {
+			out[i] = fmt.Sprintf("<bad: %v>", err)
+			continue
+		}
+		out[i] = dv.AsString()
+	}
+	return out
+}
+
+func TestDeltaSinceInsertDelete(t *testing.T) {
+	tbl := deltaTable(t)
+	v0 := tbl.Version()
+
+	tbl.MustInsert(String("carol"), Int(4))
+	if n := tbl.Delete(func(r Row) bool { return r[0].AsString() == "ann" }); n != 1 {
+		t.Fatalf("deleted %d rows, want 1", n)
+	}
+	tbl.MustInsert(String("bob"), Int(5)) // bob present throughout, ext changes
+
+	d, ok := tbl.DeltaSince(v0, "a")
+	if !ok {
+		t.Fatal("delta unavailable, want available")
+	}
+	if d.From != v0 || d.To != tbl.Version() {
+		t.Errorf("span = %d..%d, want %d..%d", d.From, d.To, v0, tbl.Version())
+	}
+	if got := names(d.Inserted); len(got) != 1 || got[0] != "carol" {
+		t.Errorf("inserted = %v, want [carol]", got)
+	}
+	if got := names(d.Deleted); len(got) != 1 || got[0] != "ann" {
+		t.Errorf("deleted = %v, want [ann]", got)
+	}
+	if got := names(d.Updated); len(got) != 1 || got[0] != "bob" {
+		t.Errorf("updated = %v, want [bob]", got)
+	}
+	// The reported payloads must be exactly what ExtPayloads serializes
+	// for the current state.
+	vals, exts, err := tbl.ExtPayloads("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVal := make(map[string][]byte)
+	for i := range vals {
+		byVal[string(vals[i])] = exts[i]
+	}
+	if string(d.InsertedExt[0]) != string(byVal[string(d.Inserted[0])]) {
+		t.Error("InsertedExt does not match ExtPayloads for carol")
+	}
+	if string(d.UpdatedExt[0]) != string(byVal[string(d.Updated[0])]) {
+		t.Error("UpdatedExt does not match ExtPayloads for bob")
+	}
+}
+
+func TestDeltaSinceEmpty(t *testing.T) {
+	tbl := deltaTable(t)
+	v0 := tbl.Version()
+	d, ok := tbl.DeltaSince(v0, "a")
+	if !ok || !d.Empty() || d.Churn() != 0 {
+		t.Fatalf("same-version delta = %+v ok=%v, want empty/ok", d, ok)
+	}
+}
+
+// A value deleted and identically reinserted within one batch of
+// mutations is not churn: it is present at both ends with the same
+// ext(v), so it must not appear in the delta at all.
+func TestDeltaSinceDeleteReinsertSameValue(t *testing.T) {
+	tbl := deltaTable(t)
+	v0 := tbl.Version()
+
+	tbl.Delete(func(r Row) bool { return r[0].AsString() == "ann" })
+	tbl.MustInsert(String("ann"), Int(1)) // identical row comes back
+
+	d, ok := tbl.DeltaSince(v0, "a")
+	if !ok {
+		t.Fatal("delta unavailable")
+	}
+	if !d.Empty() {
+		t.Errorf("delete+reinsert delta = ins %v / upd %v / del %v, want empty",
+			names(d.Inserted), names(d.Updated), names(d.Deleted))
+	}
+
+	// Reinsertion with a *different* non-key column is an update: same
+	// value-set membership, changed ext(v).
+	tbl.Delete(func(r Row) bool { return r[0].AsString() == "ann" })
+	tbl.MustInsert(String("ann"), Int(99))
+	d, ok = tbl.DeltaSince(v0, "a")
+	if !ok {
+		t.Fatal("delta unavailable")
+	}
+	if got := names(d.Updated); len(got) != 1 || got[0] != "ann" {
+		t.Errorf("updated = %v, want [ann]", got)
+	}
+	if len(d.Inserted) != 0 || len(d.Deleted) != 0 {
+		t.Errorf("inserted/deleted = %v/%v, want none", names(d.Inserted), names(d.Deleted))
+	}
+}
+
+// Derived tables (Select/Project/Join) carry no row provenance: their
+// deltas are never reconstructible, forcing consumers to the full
+// rebuild path.
+func TestDeltaSinceDerivedFallsBack(t *testing.T) {
+	tbl := deltaTable(t)
+
+	sel := tbl.Select(func(r Row) bool { return r[1].AsInt() > 1 })
+	if _, ok := sel.DeltaSince(sel.Version(), "a"); ok {
+		t.Error("Select output answered DeltaSince, want full invalidation")
+	}
+	proj, err := tbl.Project("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := proj.DeltaSince(proj.Version(), "a"); ok {
+		t.Error("Project output answered DeltaSince, want full invalidation")
+	}
+	join, err := tbl.Join(tbl, "a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := join.DeltaSince(join.Version(), "a"); ok {
+		t.Error("Join output answered DeltaSince, want full invalidation")
+	}
+}
+
+func TestDeltaSinceUnavailableCases(t *testing.T) {
+	tbl := deltaTable(t)
+	v0 := tbl.Version()
+	if _, ok := tbl.DeltaSince(v0, "nope"); ok {
+		t.Error("unknown column answered, want unavailable")
+	}
+	if _, ok := tbl.DeltaSince(v0+1, "a"); ok {
+		t.Error("future version answered, want unavailable")
+	}
+	if _, ok := tbl.DeltaSince(v0-100, "a"); ok {
+		t.Error("pre-creation version answered, want unavailable")
+	}
+}
+
+// Overflowing the bounded change log seals off old versions but keeps
+// recent ones answerable.
+func TestDeltaSinceLogOverflow(t *testing.T) {
+	tbl := deltaTable(t)
+	vOld := tbl.Version()
+	for i := 0; i < maxChangeLog; i++ {
+		tbl.MustInsert(String(fmt.Sprintf("v%d", i)), Int(int64(i)))
+	}
+	vMid := tbl.Version()
+	tbl.MustInsert(String("last"), Int(1))
+
+	if _, ok := tbl.DeltaSince(vOld, "a"); ok {
+		t.Error("overflowed log answered an ancient version, want unavailable")
+	}
+	d, ok := tbl.DeltaSince(vMid, "a")
+	if !ok {
+		t.Fatal("recent version unavailable after overflow")
+	}
+	if got := names(d.Inserted); len(got) != 1 || got[0] != "last" {
+		t.Errorf("inserted = %v, want [last]", got)
+	}
+}
+
+func TestWaitAndChanged(t *testing.T) {
+	tbl := deltaTable(t)
+	v0 := tbl.Version()
+
+	// Already-moved version returns immediately.
+	tbl.MustInsert(String("x"), Int(1))
+	if err := tbl.Wait(context.Background(), v0); err != nil {
+		t.Fatalf("Wait on stale version: %v", err)
+	}
+
+	// A waiter parked on the current version wakes on mutation.
+	v1 := tbl.Version()
+	done := make(chan error, 1)
+	go func() { done <- tbl.Wait(context.Background(), v1) }()
+	time.Sleep(10 * time.Millisecond)
+	tbl.MustInsert(String("y"), Int(2))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait never woke after mutation")
+	}
+
+	// Context cancellation unblocks a parked waiter.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { done <- tbl.Wait(ctx, tbl.Version()) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Wait after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait ignored cancellation")
+	}
+}
+
+func TestAttributeSource(t *testing.T) {
+	tbl := deltaTable(t)
+	src := NewAttributeSource(tbl, "a")
+	if src.Table() != tbl || src.Column() != "a" {
+		t.Fatal("accessors disagree with construction")
+	}
+	v0 := src.Version()
+	if v0 != tbl.Version() {
+		t.Fatalf("source version %d != table version %d", v0, tbl.Version())
+	}
+	tbl.MustInsert(String("zed"), Int(9))
+	d, ok := src.DeltaSince(v0)
+	if !ok || len(d.Inserted) != 1 {
+		t.Fatalf("source delta = %+v ok=%v, want one insert", d, ok)
+	}
+	if err := src.Wait(context.Background(), v0); err != nil {
+		t.Fatalf("source Wait: %v", err)
+	}
+}

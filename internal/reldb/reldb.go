@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -269,18 +270,29 @@ func init() { versionCounter.Store(uint64(time.Now().UnixNano())) }
 // nextVersion issues a fresh, strictly increasing data version.
 func nextVersion() uint64 { return versionCounter.Add(1) }
 
-// Table is an in-memory relation.
+// Table is an in-memory relation.  Mutations (Insert, Delete) and reads
+// are safe for concurrent use: a long-lived server can keep answering
+// protocol sessions while the enterprise's application mutates the
+// table, which is the setting the standing-query machinery (DeltaSince,
+// Wait) exists for.
 type Table struct {
 	name    string
 	schema  *Schema
-	rows    []Row
 	version uint64 // read/written via atomics; see Version
+
+	mu      sync.RWMutex
+	rows    []Row
+	log     []changeEntry // bounded row-level mutation log; see DeltaSince
+	logSeal uint64        // oldest version DeltaSince can still answer from
+	derived bool          // Select/Project/Join output: no per-row provenance
+	watch   chan struct{} // closed and replaced on every mutation; see Changed
 }
 
 // NewTable creates an empty table.
 func NewTable(name string, schema *Schema) *Table {
 	t := &Table{name: name, schema: schema}
 	t.stampVersion()
+	t.logSeal = t.Version()
 	return t
 }
 
@@ -294,7 +306,11 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Schema() *Schema { return t.schema }
 
 // NumRows returns the row count.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
 
 // Version is the table's monotonic data version: it increases on every
 // mutation and never repeats for distinct contents of the same table.
@@ -319,9 +335,43 @@ func (t *Table) Insert(row Row) error {
 				t.schema.cols[i].Name, t.schema.cols[i].Type, v.Type())
 		}
 	}
+	t.mu.Lock()
 	t.rows = append(t.rows, append(Row(nil), row...))
 	t.stampVersion()
+	t.logAppendLocked(changeEntry{version: t.Version(), insert: true, row: t.rows[len(t.rows)-1]})
+	t.mu.Unlock()
+	t.notify()
 	return nil
+}
+
+// Delete removes every row satisfying pred and returns the number
+// removed.  All rows removed by one call share a single version bump —
+// the batch is one mutation as far as DeltaSince consumers are
+// concerned.
+func (t *Table) Delete(pred func(Row) bool) int {
+	t.mu.Lock()
+	kept := t.rows[:0]
+	var removed []Row
+	for _, r := range t.rows {
+		if pred(r) {
+			removed = append(removed, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.rows = kept
+	if len(removed) > 0 {
+		t.stampVersion()
+		v := t.Version()
+		for _, r := range removed {
+			t.logAppendLocked(changeEntry{version: v, insert: false, row: r})
+		}
+	}
+	t.mu.Unlock()
+	if len(removed) > 0 {
+		t.notify()
+	}
+	return len(removed)
 }
 
 // MustInsert is Insert panicking on error, for test and example fixtures.
@@ -333,6 +383,8 @@ func (t *Table) MustInsert(values ...Value) {
 
 // Rows returns a deep copy of all rows.
 func (t *Table) Rows() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]Row, len(t.rows))
 	for i, r := range t.rows {
 		out[i] = append(Row(nil), r...)
@@ -340,14 +392,19 @@ func (t *Table) Rows() []Row {
 	return out
 }
 
-// Select returns a new table holding the rows satisfying pred.
+// Select returns a new table holding the rows satisfying pred.  The
+// output is a derived snapshot: it carries no row-level provenance, so
+// DeltaSince on it always reports unavailable (full invalidation).
 func (t *Table) Select(pred func(Row) bool) *Table {
 	out := NewTable(t.name+"_sel", t.schema)
+	out.derived = true
+	t.mu.RLock()
 	for _, r := range t.rows {
 		if pred(r) {
 			out.rows = append(out.rows, append(Row(nil), r...))
 		}
 	}
+	t.mu.RUnlock()
 	out.stampVersion()
 	return out
 }
@@ -370,6 +427,8 @@ func (t *Table) Project(cols ...string) (*Table, error) {
 		return nil, err
 	}
 	out := NewTable(t.name+"_proj", schema)
+	out.derived = true
+	t.mu.RLock()
 	for _, r := range t.rows {
 		nr := make(Row, len(idx))
 		for i, j := range idx {
@@ -377,6 +436,7 @@ func (t *Table) Project(cols ...string) (*Table, error) {
 		}
 		out.rows = append(out.rows, nr)
 	}
+	t.mu.RUnlock()
 	out.stampVersion()
 	return out, nil
 }
@@ -389,6 +449,8 @@ func (t *Table) ColumnValues(col string) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([][]byte, len(t.rows))
 	for j, r := range t.rows {
 		out[j] = r[i].Encode()
@@ -424,6 +486,8 @@ func (t *Table) ExtPayloads(col string) (values [][]byte, exts [][]byte, err err
 	if err != nil {
 		return nil, nil, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	order := make([]string, 0)
 	groups := make(map[string][]Row)
 	for _, r := range t.rows {
@@ -501,13 +565,17 @@ func (t *Table) Join(o *Table, tCol, oCol string) (*Table, error) {
 		return nil, err
 	}
 	out := NewTable(t.name+"_join_"+o.name, schema)
+	out.derived = true
 
+	// Snapshot both inputs first: locking two tables in place would
+	// deadlock on concurrent Join(a, b) / Join(b, a).
+	tRows, oRows := t.Rows(), o.Rows()
 	byVal := make(map[string][]Row)
-	for _, r := range o.rows {
+	for _, r := range oRows {
 		k := string(r[oi].Encode())
 		byVal[k] = append(byVal[k], r)
 	}
-	for _, r := range t.rows {
+	for _, r := range tRows {
 		for _, or := range byVal[string(r[ti].Encode())] {
 			nr := append(Row(nil), r...)
 			for j, v := range or {
@@ -541,6 +609,8 @@ func (t *Table) GroupByCount(cols ...string) ([]GroupCount, error) {
 		idx[i] = j
 	}
 	counts := make(map[string]*GroupCount)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, r := range t.rows {
 		var key []byte
 		kv := make([]Value, len(idx))

@@ -47,8 +47,14 @@ const FrameOverhead = 4
 // protocol parties.  Send and Recv honour context cancellation.  A Conn
 // is safe for one concurrent sender and one concurrent receiver.
 type Conn interface {
+	// Send delivers one frame to the peer, blocking until it is handed
+	// to the transport or ctx ends.
 	Send(ctx context.Context, frame []byte) error
+	// Recv returns the next frame from the peer in send order, blocking
+	// until one arrives, the peer closes, or ctx ends.
 	Recv(ctx context.Context) ([]byte, error)
+	// Close releases the endpoint; the peer's pending and future Recvs
+	// fail.  Close is idempotent.
 	Close() error
 }
 

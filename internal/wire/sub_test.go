@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"minshare/internal/group"
+)
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	c := NewCodec(group.MustBuiltin(group.Bits64))
+	got := roundTrip(t, c, Subscribe{FromVersion: 42}).(Subscribe)
+	if got.FromVersion != 42 {
+		t.Errorf("round-trip FromVersion = %d, want 42", got.FromVersion)
+	}
+}
+
+func TestSubUpdateRoundTrip(t *testing.T) {
+	c := NewCodec(group.MustBuiltin(group.Bits64))
+	e := func(v int64) *big.Int { return big.NewInt(v) }
+
+	for _, tc := range []struct {
+		name string
+		msg  SubUpdate
+	}{
+		{"bare", SubUpdate{From: 3, To: 5, Upserts: []*big.Int{e(1), e(2)}, Deleted: []*big.Int{e(9)}}},
+		{"ext", SubUpdate{From: 3, To: 5, HasExt: true,
+			Upserts: []*big.Int{e(1), e(2)}, UpsertExt: [][]byte{[]byte("a"), {}},
+			Deleted: []*big.Int{e(9)}}},
+		{"empty", SubUpdate{From: 1, To: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := roundTrip(t, c, tc.msg).(SubUpdate)
+			if got.From != tc.msg.From || got.To != tc.msg.To || got.HasExt != tc.msg.HasExt {
+				t.Errorf("round-trip envelope = %+v, want %+v", got, tc.msg)
+			}
+			if len(got.Upserts) != len(tc.msg.Upserts) || len(got.Deleted) != len(tc.msg.Deleted) {
+				t.Fatalf("round-trip shape %d/%d, want %d/%d",
+					len(got.Upserts), len(got.Deleted), len(tc.msg.Upserts), len(tc.msg.Deleted))
+			}
+			for i := range tc.msg.Upserts {
+				if got.Upserts[i].Cmp(tc.msg.Upserts[i]) != 0 {
+					t.Errorf("upsert %d = %v, want %v", i, got.Upserts[i], tc.msg.Upserts[i])
+				}
+				if tc.msg.HasExt && string(got.UpsertExt[i]) != string(tc.msg.UpsertExt[i]) {
+					t.Errorf("upsert ext %d = %q, want %q", i, got.UpsertExt[i], tc.msg.UpsertExt[i])
+				}
+			}
+			for i := range tc.msg.Deleted {
+				if got.Deleted[i].Cmp(tc.msg.Deleted[i]) != 0 {
+					t.Errorf("deleted %d = %v, want %v", i, got.Deleted[i], tc.msg.Deleted[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSubUpdateValidation(t *testing.T) {
+	c := NewCodec(group.MustBuiltin(group.Bits64))
+	e := func(v int64) *big.Int { return big.NewInt(v) }
+
+	// Ext vector out of step with the flag.
+	if _, err := c.Encode(SubUpdate{HasExt: true, Upserts: []*big.Int{e(1)}}); err == nil {
+		t.Error("ext flag without exts encoded, want error")
+	}
+	if _, err := c.Encode(SubUpdate{Upserts: []*big.Int{e(1)}, UpsertExt: [][]byte{{1}}}); err == nil {
+		t.Error("exts without ext flag encoded, want error")
+	}
+
+	// Unknown ext flag byte on the wire.
+	data, err := c.Encode(SubUpdate{From: 1, To: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[17] = 7 // flag offset: kind(1) + from(8) + to(8)
+	if _, err := c.Decode(data); err == nil {
+		t.Error("flag byte 7 decoded, want error")
+	}
+
+	// Truncated entries.
+	data, err = c.Encode(SubUpdate{From: 1, To: 2, Upserts: []*big.Int{e(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(data[:len(data)-3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated decode err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestSubEndValidation(t *testing.T) {
+	c := NewCodec(group.MustBuiltin(group.Bits64))
+	if _, err := c.Encode(SubEnd{Code: 9}); err == nil {
+		t.Error("invalid close code encoded, want error")
+	}
+	if _, err := c.Decode([]byte{byte(KindSubEnd), 9}); err == nil {
+		t.Error("invalid close code decoded, want error")
+	}
+	got := roundTrip(t, c, SubEnd{Code: SubEndServer}).(SubEnd)
+	if got.Code != SubEndServer {
+		t.Errorf("round-trip code = %d, want server", got.Code)
+	}
+}
+
+// The encoded-size constants the cost model charges must match the
+// codec byte for byte.
+func TestSubEncodedSizes(t *testing.T) {
+	c := NewCodec(group.MustBuiltin(group.Bits64))
+	elemLen := c.ElemLen()
+
+	check := func(name string, m Message, want int) {
+		t.Helper()
+		data, err := c.Encode(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) != want {
+			t.Errorf("%s encodes to %d bytes, want %d", name, len(data), want)
+		}
+	}
+	check("subscribe", Subscribe{FromVersion: 1}, EncodedSubscribeLen)
+	check("sub ack", SubAck{Version: 1}, EncodedSubAckLen)
+	check("sub end", SubEnd{Code: SubEndClient}, EncodedSubEndLen)
+	check("empty sub update", SubUpdate{From: 1, To: 2}, EncodedSubUpdateBaseLen)
+	check("bare sub update", SubUpdate{From: 1, To: 2,
+		Upserts: []*big.Int{big.NewInt(1)}, Deleted: []*big.Int{big.NewInt(2)}},
+		EncodedSubUpdateBaseLen+2*elemLen)
+	check("ext sub update", SubUpdate{From: 1, To: 2, HasExt: true,
+		Upserts: []*big.Int{big.NewInt(1)}, UpsertExt: [][]byte{[]byte("abc")},
+		Deleted: []*big.Int{big.NewInt(2)}},
+		EncodedSubUpdateBaseLen+2*elemLen+int(ExtLenOverhead)+3)
+}

@@ -69,6 +69,14 @@ func (k Kind) String() string {
 		return "stream-ext-chunk"
 	case KindStreamEnd:
 		return "stream-end"
+	case KindSubscribe:
+		return "subscribe"
+	case KindSubUpdate:
+		return "sub-update"
+	case KindSubAck:
+		return "sub-ack"
+	case KindSubEnd:
+		return "sub-end"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -421,6 +429,14 @@ func (c *Codec) Encode(m Message) ([]byte, error) {
 		return c.encodeStreamExtChunk(buf, v)
 	case StreamEnd:
 		buf = c.encodeStreamEnd(buf, v)
+	case Subscribe:
+		buf = c.encodeSubscribe(buf, v)
+	case SubUpdate:
+		return c.encodeSubUpdate(buf, v)
+	case SubAck:
+		buf = c.encodeSubAck(buf, v)
+	case SubEnd:
+		return c.encodeSubEnd(buf, v)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", m)
 	}
@@ -571,6 +587,14 @@ func (c *Codec) Decode(data []byte) (Message, error) {
 		return c.decodeStreamExtChunk(buf)
 	case KindStreamEnd:
 		return c.decodeStreamEnd(buf)
+	case KindSubscribe:
+		return c.decodeSubscribe(buf)
+	case KindSubUpdate:
+		return c.decodeSubUpdate(buf)
+	case KindSubAck:
+		return c.decodeSubAck(buf)
+	case KindSubEnd:
+		return c.decodeSubEnd(buf)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
 	}

@@ -75,7 +75,9 @@ func TestHeaderRoundTrip(t *testing.T) {
 // context) must decode with a zero TraceID/SpanID ("untraced"), and a
 // pre-S27 peer's 46-byte header (no set-version field either) must also
 // decode with SetVersion 0 ("unversioned") — neither may fail the
-// handshake as truncated.
+// handshake as truncated.  The five accepted lengths (46/54/78/79/80)
+// are the rows of the wire-evolution table in DESIGN.md §10.2; any new
+// header field must add a row there and a case here.
 func TestHeaderDecodeLegacy(t *testing.T) {
 	c, g := testCodec()
 	h := Header{
@@ -413,6 +415,48 @@ func TestGoldenVectors(t *testing.T) {
 		{"stream end", StreamEnd{Chunks: 3}, []byte{
 			10,         // kind
 			0, 0, 0, 3, // chunk count
+		}},
+		{"subscribe", Subscribe{FromVersion: 0x0102030405060708}, []byte{
+			11,                     // kind
+			1, 2, 3, 4, 5, 6, 7, 8, // from-version
+		}},
+		{"sub update", SubUpdate{
+			From: 7, To: 9, HasExt: true,
+			Upserts:   []*big.Int{e(5)},
+			UpsertExt: [][]byte{{0xCD}},
+			Deleted:   []*big.Int{e(6)},
+		}, []byte{
+			12,                     // kind
+			0, 0, 0, 0, 0, 0, 0, 7, // from
+			0, 0, 0, 0, 0, 0, 0, 9, // to
+			1,          // ext flag
+			0, 0, 0, 1, // upsert count
+			0, 0, 0, 0, 0, 0, 0, 5, // upsert element
+			0, 0, 0, 1, // ext length
+			0xCD,
+			0, 0, 0, 1, // delete count
+			0, 0, 0, 0, 0, 0, 0, 6, // deleted element
+		}},
+		{"sub update bare", SubUpdate{
+			From: 1, To: 2,
+			Upserts: []*big.Int{e(5)},
+			Deleted: nil,
+		}, []byte{
+			12,                     // kind
+			0, 0, 0, 0, 0, 0, 0, 1, // from
+			0, 0, 0, 0, 0, 0, 0, 2, // to
+			0,          // ext flag
+			0, 0, 0, 1, // upsert count
+			0, 0, 0, 0, 0, 0, 0, 5, // upsert element
+			0, 0, 0, 0, // delete count
+		}},
+		{"sub ack", SubAck{Version: 9}, []byte{
+			13,                     // kind
+			0, 0, 0, 0, 0, 0, 0, 9, // version
+		}},
+		{"sub end", SubEnd{Code: SubEndClient}, []byte{
+			14, // kind
+			1,  // code: client done
 		}},
 	}
 	for _, tc := range cases {
