@@ -50,10 +50,14 @@ docs-drift:
 	$(GO) run ./cmd/docscheck -drift
 
 # Protocol-safety static analysis (internal/analysis): secretlog,
-# bigintalias, ctxflow, errclose and spanpair over the whole module,
-# with the documentation checks folded into the same exit code.
+# bigintalias, ctxflow, errclose, spanpair, the interprocedural leakflow
+# taint proof and the wirekind dispatch-exhaustiveness check over the
+# whole module, with the documentation checks folded into the same exit
+# code.  -summary appends the per-analyzer findings/elapsed table; use
+# `go run ./cmd/psilint -why file:line` to see the source→sink chain
+# behind a leakflow finding.
 lint:
-	$(GO) run ./cmd/psilint ./...
+	$(GO) run ./cmd/psilint -summary ./...
 
 # Inventory of every `lint:ignore` escape hatch in the tree, with the
 # mandatory reasons — review this when auditing suppressions.

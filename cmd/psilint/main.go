@@ -8,15 +8,25 @@
 // the paper's security argument: secretlog (no key material in
 // logs/errors), bigintalias (no in-place mutation of cache-shared
 // big.Ints), ctxflow (cancellation reaches every callee and protocol
-// goroutine), errclose (no dropped transport Send/Close/Flush errors)
-// and spanpair (every obs span ends on all paths).  The documentation
-// checks (internal/analysis/docs) run in the same pass by default, so
-// one exit code gates both; -docs=false runs the analyzers alone.
+// goroutine), errclose (no dropped transport Send/Close/Flush errors),
+// spanpair (every obs span ends on all paths), leakflow (the
+// interprocedural taint proof that only hashed, encrypted or
+// declassified data reaches the wire, logs or trace export) and
+// wirekind (every dispatch switch handles every wire message kind).
+// The documentation checks (internal/analysis/docs) run in the same
+// pass by default, so one exit code gates both; -docs=false runs the
+// analyzers alone.
 //
 // Findings are suppressed by a `// lint:ignore <analyzer> <reason>`
 // comment on the flagged line or the line above; -audit lists every
 // such directive with its reason (the `make lint-fix-audit` inventory)
 // instead of linting.
+//
+//	-why file:line   explain the finding at that position; for leakflow
+//	                 findings this prints the full source→sink call
+//	                 chain the taint engine followed
+//	-summary         append a per-analyzer findings/elapsed table
+//	-C dir           run against the module rooted at dir
 //
 // Exit codes: 0 clean, 1 findings, 2 internal failure (unparseable or
 // untypeable tree).
@@ -25,32 +35,98 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
 
 	"minshare/internal/analysis"
 	"minshare/internal/analysis/docs"
 )
 
 func main() {
-	audit := flag.Bool("audit", false, "list every lint:ignore directive with its reason, instead of linting")
-	withDocs := flag.Bool("docs", true, "fold the documentation checks (cmd/docscheck) into this run")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	patterns := flag.Args()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	audit := fs.Bool("audit", false, "list every lint:ignore directive with its reason, instead of linting")
+	withDocs := fs.Bool("docs", true, "fold the documentation checks (cmd/docscheck) into this run")
+	summary := fs.Bool("summary", false, "append a per-analyzer findings/elapsed table")
+	why := fs.String("why", "", "file:line — explain the finding at this position, with its source→sink chain when interprocedural")
+	dir := fs.String("C", ".", "run against the module rooted at this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
+	pkgs, err := loadPackages(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "psilint:", err)
+		return 2
+	}
+
+	if *audit {
+		recs := analysis.Audit(pkgs)
+		for _, rec := range recs {
+			fmt.Fprintln(stdout, rec)
+		}
+		fmt.Fprintf(stdout, "psilint: %d lint:ignore directive(s)\n", len(recs))
+		return 0
+	}
+
+	if *why != "" {
+		return explain(stdout, stderr, pkgs, *why)
+	}
+
+	findings := 0
+	if *summary {
+		findings = lintWithSummary(stdout, pkgs)
+	} else {
+		for _, d := range analysis.Run(pkgs, analysis.Suite()) {
+			fmt.Fprintln(stdout, d)
+			findings++
+		}
+	}
+	if *withDocs {
+		problems, err := docs.CheckAll(*dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "psilint:", err)
+			return 2
+		}
+		for _, msg := range problems {
+			fmt.Fprintln(stdout, msg)
+		}
+		findings += len(problems)
+	}
+	if findings > 0 {
+		fmt.Fprintf(stdout, "psilint: %d finding(s)\n", findings)
+		return 1
+	}
+	fmt.Fprintln(stdout, "psilint: ok")
+	return 0
+}
+
+// loadPackages type-checks every package matched by patterns in the
+// module rooted at dir.
+func loadPackages(dir string, patterns []string) ([]*analysis.Package, error) {
 	loader := analysis.NewLoader()
-	if _, err := loader.AddModuleFromGoMod("."); err != nil {
-		fatal(err)
+	if _, err := loader.AddModuleFromGoMod(dir); err != nil {
+		return nil, err
 	}
 	seen := make(map[string]bool)
 	var pkgs []*analysis.Package
 	for _, pat := range patterns {
-		paths, err := loader.Expand(".", pat)
+		paths, err := loader.Expand(dir, pat)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		for _, path := range paths {
 			if seen[path] {
@@ -59,44 +135,113 @@ func main() {
 			seen[path] = true
 			pkg, err := loader.LoadPath(path)
 			if err != nil {
-				fatal(err)
+				return nil, err
 			}
 			pkgs = append(pkgs, pkg)
 		}
 	}
-
-	if *audit {
-		recs := analysis.Audit(pkgs)
-		for _, rec := range recs {
-			fmt.Println(rec)
-		}
-		fmt.Printf("psilint: %d lint:ignore directive(s)\n", len(recs))
-		return
-	}
-
-	findings := 0
-	for _, d := range analysis.Run(pkgs, analysis.Suite()) {
-		fmt.Println(d)
-		findings++
-	}
-	if *withDocs {
-		problems, err := docs.CheckAll(".")
-		if err != nil {
-			fatal(err)
-		}
-		for _, msg := range problems {
-			fmt.Println(msg)
-		}
-		findings += len(problems)
-	}
-	if findings > 0 {
-		fmt.Printf("psilint: %d finding(s)\n", findings)
-		os.Exit(1)
-	}
-	fmt.Println("psilint: ok")
+	return pkgs, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "psilint:", err)
-	os.Exit(2)
+// lintWithSummary runs each analyzer separately so the table can report
+// per-analyzer findings and elapsed time.  Malformed-directive findings
+// (the "ignore" pseudo-analyzer) surface once, not once per analyzer.
+func lintWithSummary(stdout io.Writer, pkgs []*analysis.Package) int {
+	type row struct {
+		name     string
+		findings int
+		elapsed  time.Duration
+	}
+	var rows []row
+	printed := make(map[string]bool)
+	total := 0
+	start := time.Now()
+	for _, a := range analysis.Suite() {
+		t0 := time.Now()
+		diags := analysis.Run(pkgs, []*analysis.Analyzer{a})
+		elapsed := time.Since(t0)
+		count := 0
+		for _, d := range diags {
+			line := d.String()
+			if printed[line] {
+				continue
+			}
+			printed[line] = true
+			fmt.Fprintln(stdout, line)
+			count++
+		}
+		rows = append(rows, row{a.Name, count, elapsed})
+		total += count
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "\nanalyzer\tfindings\telapsed\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", r.name, r.findings, r.elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(tw, "total\t%d\t%s\n", total, time.Since(start).Round(time.Millisecond))
+	tw.Flush()
+	fmt.Fprintln(stdout)
+	return total
+}
+
+// explain prints the finding at the -why position together with the
+// source→sink chain the taint engine recorded for it.
+func explain(stdout, stderr io.Writer, pkgs []*analysis.Package, target string) int {
+	file, line, err := parseWhyTarget(target)
+	if err != nil {
+		fmt.Fprintln(stderr, "psilint:", err)
+		return 2
+	}
+	matched := 0
+	for _, d := range analysis.Run(pkgs, analysis.Suite()) {
+		if d.Pos.Line != line || !sameFile(d.Pos.Filename, file) {
+			continue
+		}
+		matched++
+		printFinding(stdout, d)
+	}
+	if matched == 0 {
+		fmt.Fprintf(stdout, "psilint: no finding at %s:%d (already clean, or suppressed by lint:ignore)\n", file, line)
+		return 1
+	}
+	return 0
+}
+
+// printFinding renders one finding in -why form: the canonical line,
+// then the recorded source→sink flow when the finding is
+// interprocedural.
+func printFinding(w io.Writer, d analysis.Diagnostic) {
+	fmt.Fprintln(w, d)
+	if len(d.Chain) == 0 {
+		fmt.Fprintln(w, "  (single-site finding: the violation is local to this line)")
+		return
+	}
+	fmt.Fprintln(w, "  flow:")
+	for _, step := range d.Chain {
+		fmt.Fprintf(w, "    %s\n", step)
+	}
+}
+
+// parseWhyTarget splits "file:line".
+func parseWhyTarget(s string) (string, int, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return "", 0, fmt.Errorf("-why wants file:line, got %q", s)
+	}
+	line, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("-why wants file:line, got %q", s)
+	}
+	return s[:i], line, nil
+}
+
+// sameFile matches a diagnostic's filename against the user-given path
+// by exact match or path-boundary suffix, so "core/standing.go" finds
+// "internal/core/standing.go".
+func sameFile(have, want string) bool {
+	if have == want {
+		return true
+	}
+	return strings.HasSuffix(have, want) &&
+		(len(have) == len(want) || have[len(have)-len(want)-1] == '/')
 }

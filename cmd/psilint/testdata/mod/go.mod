@@ -1,0 +1,3 @@
+module pfixture
+
+go 1.22

@@ -1,0 +1,28 @@
+// Package pump is the psilint driver's golden fixture: a tiny
+// stdlib-only module with one ctxflow violation and one malformed
+// suppression directive, so the driver tests pin the exact output
+// format (finding lines, counts, -audit inventory, -why rendering).
+package pump
+
+import "context"
+
+func fetch(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// drain receives a ctx but detaches its callee from it.
+func drain(ctx context.Context) error {
+	return fetch(context.Background())
+}
+
+// lint:ignore ctxflow
+func sloppyDirective(ctx context.Context) error {
+	return fetch(ctx)
+}
+
+// quiet shows a well-formed suppression: audited, not a finding.
+func quiet(ctx context.Context) error {
+	// lint:ignore ctxflow fixture keeps one documented detach for the audit listing
+	return fetch(context.Background())
+}

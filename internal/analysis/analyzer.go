@@ -7,7 +7,10 @@ import (
 )
 
 // Analyzer is one invariant checker.  Run inspects a single
-// type-checked package and reports findings through the Pass.
+// type-checked package and reports findings through the Pass; RunModule
+// instead receives every package of the run at once — the hook for
+// interprocedural analyses (the leakflow taint engine) that must follow
+// a value across package boundaries.  Exactly one of the two is set.
 type Analyzer struct {
 	// Name is the short identifier used in diagnostics and in the
 	// suppression directives ("lint:ignore <name> <reason>").
@@ -16,25 +19,64 @@ type Analyzer struct {
 	Doc string
 	// Run executes the analyzer over one package.
 	Run func(*Pass)
+	// RunModule executes the analyzer once over the whole package set
+	// (Pass.Pkgs); Pass.Pkg is nil for such a run.
+	RunModule func(*Pass)
 }
 
-// Pass carries one (analyzer, package) execution and collects its
-// findings.
+// Pass carries one (analyzer, package or module) execution and collects
+// its findings.
 type Pass struct {
 	// Analyzer is the analyzer being run.
 	Analyzer *Analyzer
-	// Pkg is the package under analysis.
+	// Pkg is the package under analysis (nil for a RunModule pass).
 	Pkg *Package
+	// Pkgs is the whole package set of the run, in load order.  Set for
+	// RunModule passes; nil for per-package runs.
+	Pkgs []*Package
 
 	diags []Diagnostic
+}
+
+// fset returns the shared file set of the pass (every package of one
+// run is loaded through one Loader, so one FileSet serves them all).
+func (p *Pass) fset() *token.FileSet {
+	if p.Pkg != nil {
+		return p.Pkg.Fset
+	}
+	return p.Pkgs[0].Fset
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{
-		Pos:      p.Pkg.Fset.Position(pos),
+		Pos:      p.fset().Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportChain records a finding at pos carrying a source→sink call
+// chain (one "file:line: step" entry per hop), retrievable through the
+// driver's -why flag.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.fset().Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
+// reportPosition records a finding at an already-resolved position —
+// module analyzers resolve positions against the shared FileSet while
+// walking many packages, so they report in resolved form.
+func (p *Pass) reportPosition(pos token.Position, chain []string, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
@@ -47,23 +89,45 @@ func Suite() []*Analyzer {
 		CtxFlow,
 		ErrClose,
 		SpanPair,
+		LeakFlow,
+		WireKind,
 	}
 }
 
 // Run executes every analyzer over every package, applies the
 // "lint:ignore" suppressions, and returns the surviving findings
 // sorted by position.  Malformed directives are returned as findings
-// themselves.
+// themselves.  Per-package analyzers run once per package;
+// whole-module analyzers (RunModule) run once over the full set.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	var allDirs []ignoreDirective
 	for _, pkg := range pkgs {
 		dirs, bad := collectIgnores(pkg)
 		out = append(out, bad...)
+		allDirs = append(allDirs, dirs...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg}
 			a.Run(pass)
 			for _, d := range pass.diags {
 				if !suppressed(d, dirs) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkgs: pkgs}
+			a.RunModule(pass)
+			for _, d := range pass.diags {
+				if !suppressed(d, allDirs) {
 					out = append(out, d)
 				}
 			}

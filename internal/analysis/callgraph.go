@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callGraph is the module-wide static call graph the taint engine
+// iterates over: one node per function declaration with a body in the
+// analyzed package set, edges for every statically resolvable call
+// (including calls inside closures, `go` statements and `defer`
+// statements — a goroutine edge is a call edge whose results are
+// discarded).  Function literals are not separate nodes: their bodies
+// belong to the enclosing declaration, so captured-variable taint flows
+// through the shared local state.
+type callGraph struct {
+	// funcs maps a declared function to its definition site.
+	funcs map[*types.Func]*funcDef
+	// defs lists the definitions in deterministic (package, source)
+	// order.
+	defs []*funcDef
+}
+
+// funcDef is one analyzable function: a declaration with a body.
+type funcDef struct {
+	fn   *types.Func
+	pkg  *Package
+	decl *ast.FuncDecl
+	sig  *types.Signature
+	// callees are the module-local functions this body statically
+	// calls.
+	callees []*funcDef
+
+	// scc bookkeeping (Tarjan).
+	index, lowlink int
+	onStack        bool
+}
+
+// buildCallGraph collects every function definition in pkgs and links
+// the static call edges between them.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{funcs: make(map[*types.Func]*funcDef)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig, ok := obj.Type().(*types.Signature)
+				if !ok {
+					continue
+				}
+				def := &funcDef{fn: obj, pkg: pkg, decl: fd, sig: sig, index: -1}
+				g.funcs[obj] = def
+				g.defs = append(g.defs, def)
+			}
+		}
+	}
+	for _, def := range g.defs {
+		seen := make(map[*funcDef]bool)
+		ast.Inspect(def.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(def.pkg, call)
+			if f == nil {
+				return true
+			}
+			if callee, ok := g.funcs[f.Origin()]; ok && !seen[callee] {
+				seen[callee] = true
+				def.callees = append(def.callees, callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// lookup resolves a called *types.Func (normalizing generic
+// instantiations to their origin) to its definition, or nil when the
+// body is outside the analyzed set.
+func (g *callGraph) lookup(f *types.Func) *funcDef {
+	if f == nil {
+		return nil
+	}
+	return g.funcs[f.Origin()]
+}
+
+// sccs returns the strongly connected components of the graph in
+// reverse topological order: every component appears after all
+// components it calls into, so a bottom-up summary pass can process
+// the slice front to back with callee summaries always available
+// (mutual recursion iterates within one component).
+func (g *callGraph) sccs() [][]*funcDef {
+	var (
+		out   [][]*funcDef
+		stack []*funcDef
+		next  int
+	)
+	var strongconnect func(v *funcDef)
+	strongconnect = func(v *funcDef) {
+		v.index, v.lowlink = next, next
+		next++
+		stack = append(stack, v)
+		v.onStack = true
+		for _, w := range v.callees {
+			if w.index < 0 {
+				strongconnect(w)
+				if w.lowlink < v.lowlink {
+					v.lowlink = w.lowlink
+				}
+			} else if w.onStack && w.index < v.lowlink {
+				v.lowlink = w.index
+			}
+		}
+		if v.lowlink == v.index {
+			var comp []*funcDef
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range g.defs {
+		if v.index < 0 {
+			strongconnect(v)
+		}
+	}
+	return out
+}

@@ -17,6 +17,11 @@ type Diagnostic struct {
 	Analyzer string
 	// Message describes the violated invariant at this site.
 	Message string
+	// Chain, when non-empty, is the source→sink call chain behind an
+	// interprocedural finding (leakflow), one "file:line: step" entry
+	// per hop.  The driver prints it on request (-why); the canonical
+	// one-line form does not include it.
+	Chain []string
 }
 
 // String renders the canonical "file:line: analyzer: message" form the

@@ -111,20 +111,17 @@ func sinkName(f *types.Func) string {
 }
 
 // secretDesc classifies an argument expression as secret-bearing,
-// returning a human description, or "" when it is safe.
+// returning a human description, or "" when it is safe.  The type and
+// extractor classification itself lives in secrets.go, shared with the
+// leakflow taint engine.
 func secretDesc(pkg *Package, arg ast.Expr) string {
 	arg = ast.Unparen(arg)
-	// A raw exponent escaping through Key.Exponent(), or a raw backend
-	// scalar escaping through Scalar.Big().
+	// A raw exponent or scalar escaping through an extractor call
+	// (Key.Exponent, Scalar.Big, …).
 	if call, ok := arg.(*ast.CallExpr); ok {
 		if f := calleeFunc(pkg, call); f != nil {
-			if p, r, ok := recvNamed(f); ok {
-				switch {
-				case f.Name() == "Exponent" && p == commutativePath && r == "Key":
-					return "a raw key exponent (commutative.Key.Exponent)"
-				case f.Name() == "Big" && p == groupPath && r == "Scalar":
-					return "a raw key scalar (group.Scalar.Big)"
-				}
+			if desc := secretExtractor(f); desc != "" {
+				return desc
 			}
 		}
 	}
@@ -132,61 +129,16 @@ func secretDesc(pkg *Package, arg ast.Expr) string {
 	// owning package itself, where the unexported fields are visible).
 	if sel, ok := arg.(*ast.SelectorExpr); ok {
 		if t := typeOf(pkg, sel.X); t != nil {
-			if isNamedType(t, commutativePath, "Key") {
-				return "a commutative.Key field"
-			}
-			if isNamedType(t, commutativePath, "CachedSet") {
-				return "a commutative.CachedSet field"
-			}
-			if isNamedType(t, groupPath, "Scalar") {
-				return "a group.Scalar field"
+			if p, n, ok := namedOf(t); ok {
+				if name, secret := secretNamedType(p, n); secret {
+					return "a " + name + " field"
+				}
 			}
 		}
 	}
 	if t := typeOf(pkg, arg); t != nil {
-		if name := secretType(t, make(map[types.Type]bool)); name != "" {
+		if name := secretTypeName(t); name != "" {
 			return "a value of (or containing) " + name
-		}
-	}
-	return ""
-}
-
-// secretType walks t's structure and returns the name of the first
-// embedded secret-bearing named type, or "".
-func secretType(t types.Type, seen map[types.Type]bool) string {
-	if t == nil || seen[t] {
-		return ""
-	}
-	seen[t] = true
-	if p, n, ok := namedOf(t); ok {
-		if p == commutativePath && (n == "Key" || n == "CachedSet") {
-			return "commutative." + n
-		}
-		if p == groupPath && n == "Scalar" {
-			return "group.Scalar"
-		}
-	}
-	switch u := types.Unalias(t).(type) {
-	case *types.Pointer:
-		return secretType(u.Elem(), seen)
-	case *types.Slice:
-		return secretType(u.Elem(), seen)
-	case *types.Array:
-		return secretType(u.Elem(), seen)
-	case *types.Map:
-		if s := secretType(u.Key(), seen); s != "" {
-			return s
-		}
-		return secretType(u.Elem(), seen)
-	case *types.Chan:
-		return secretType(u.Elem(), seen)
-	case *types.Named:
-		return secretType(u.Underlying(), seen)
-	case *types.Struct:
-		for i := 0; i < u.NumFields(); i++ {
-			if s := secretType(u.Field(i).Type(), seen); s != "" {
-				return s
-			}
 		}
 	}
 	return ""

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// This file is the single description of what "secret" means to the
+// suite: which named types carry key material, which calls extract raw
+// key material, and which structural containment rules apply.  Both the
+// intraprocedural secretlog analyzer and the interprocedural leakflow
+// taint engine consume it, so the two can never disagree about the
+// secret set (secretlog's private structural walk moved here when the
+// taint engine landed).
+
+// secretNamedType reports whether the named type pkgPath.name is itself
+// secret-bearing, returning its display name.
+func secretNamedType(pkgPath, name string) (string, bool) {
+	if pkgPath == commutativePath && (name == "Key" || name == "CachedSet") {
+		return "commutative." + name, true
+	}
+	if pkgPath == groupPath && name == "Scalar" {
+		return "group.Scalar", true
+	}
+	return "", false
+}
+
+// secretTypeName walks t's structure — pointers, slices, arrays, maps,
+// channels, struct fields — and returns the display name of the first
+// embedded secret-bearing named type, or "".  A struct holding a Key
+// two levels deep is still secret.
+func secretTypeName(t types.Type) string {
+	return walkSecretType(t, make(map[types.Type]bool))
+}
+
+func walkSecretType(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if p, n, ok := namedOf(t); ok {
+		if name, secret := secretNamedType(p, n); secret {
+			return name
+		}
+	}
+	switch u := types.Unalias(t).(type) {
+	case *types.Pointer:
+		return walkSecretType(u.Elem(), seen)
+	case *types.Slice:
+		return walkSecretType(u.Elem(), seen)
+	case *types.Array:
+		return walkSecretType(u.Elem(), seen)
+	case *types.Map:
+		if s := walkSecretType(u.Key(), seen); s != "" {
+			return s
+		}
+		return walkSecretType(u.Elem(), seen)
+	case *types.Chan:
+		return walkSecretType(u.Elem(), seen)
+	case *types.Named:
+		return walkSecretType(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := walkSecretType(u.Field(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+// secretExtractor classifies a function whose result is raw key
+// material even though its result type is a plain big.Int — the
+// "escape hatches" out of the typed secret set.  Returns a display
+// description, or "".
+func secretExtractor(f *types.Func) string {
+	p, r, ok := recvNamed(f)
+	if !ok {
+		return ""
+	}
+	switch {
+	case f.Name() == "Exponent" && p == commutativePath && r == "Key":
+		return "a raw key exponent (commutative.Key.Exponent)"
+	case f.Name() == "Big" && p == groupPath && r == "Scalar":
+		return "a raw key scalar (group.Scalar.Big)"
+	case f.Name() == "RandomExponent" && p == groupPath && r == "Group":
+		return "a raw key exponent (group.Group.RandomExponent)"
+	case f.Name() == "InvExponent" && p == groupPath && r == "Group":
+		return "a raw key exponent (group.Group.InvExponent)"
+	}
+	return ""
+}

@@ -1,0 +1,858 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the interprocedural forward taint engine behind
+// the leakflow analyzer: a module-wide dataflow analysis that follows a
+// secret value through helper functions, struct fields, channels,
+// closures and goroutines until it reaches a declared sink, or is
+// cleared by a declared sanitizer.
+//
+// The design is a classic bottom-up summary analysis:
+//
+//   - the unit is the function definition (callgraph.go); function
+//     literals are analyzed inline inside their enclosing declaration,
+//     so captured-variable taint needs no extra machinery, and a `go`
+//     statement is just a call edge whose results are discarded;
+//   - each function gets a summary: for every input slot (receiver,
+//     then parameters, in signature order) the set of results its
+//     taint flows to, and — when the slot's taint reaches a sink
+//     inside the function or below it — the shortest sink path;
+//   - summaries are computed over the strongly connected components of
+//     the call graph in callee-first order, iterating each component
+//     (and the module as a whole, for the global field relation) to a
+//     fixpoint; all facts grow monotonically, so the iteration
+//     terminates;
+//   - field sensitivity: reading a field of a tainted struct does NOT
+//     taint the read — a field carries taint only when its own type is
+//     secret-bearing, or when some write anywhere in the module stored
+//     a concretely tainted value into that field (a module-wide
+//     relation keyed by the field's *types.Var).  This is what keeps a
+//     protocol session object, which holds keys, from tainting every
+//     integer read off it.
+//
+// Taint values distinguish two provenances.  A *slot-relative* taint
+// ("this value derives from parameter 2") only feeds summaries: it
+// becomes a finding when some transitive caller passes a concrete
+// secret into that slot.  A *source* taint carries the concrete origin
+// (a Key.Exponent() call, a declared raw-input parameter, a tainted
+// field read) and produces a finding the moment it reaches a
+// sink-reaching position.  Expressions whose static type embeds a
+// secret type (secrets.go) are sources everywhere — the type system
+// carries them — but they are deliberately skipped at direct
+// formatting sinks, which are secretlog's domain, so the two analyzers
+// never double-report one site.
+
+// maxTaintSlots bounds the tracked input slots per function (a bitset).
+const maxTaintSlots = 63
+
+// slotSet is a bitset over a function's input slots: bit 0 is the
+// receiver when present, parameters follow in signature order.
+type slotSet uint64
+
+// taintSource is one concrete taint origin.
+type taintSource struct {
+	desc string
+	pos  token.Position
+	// typeOnly marks a source derived from the expression's static
+	// type alone — re-derivable wherever the value flows, so it is
+	// never stored into the global field relation.
+	typeOnly bool
+}
+
+// tval is the abstract value of one expression: which input slots flow
+// into it, and the first concrete source observed on it.
+type tval struct {
+	slots slotSet
+	src   *taintSource
+}
+
+func (v tval) tainted() bool { return v.slots != 0 || v.src != nil }
+
+func (v tval) or(w tval) tval {
+	out := tval{slots: v.slots | w.slots, src: v.src}
+	if out.src == nil {
+		out.src = w.src
+	}
+	return out
+}
+
+// sinkHop is one step of a sink-reaching path: either the sink call
+// itself (callee == nil) or a call whose callee's calleeSlot continues
+// the chain.
+type sinkHop struct {
+	sink       string
+	pos        token.Position
+	callee     *funcDef
+	calleeSlot int
+	depth      int
+}
+
+// taintSummary is one function's interprocedural summary.
+type taintSummary struct {
+	// results[i] is the abstract value of result i across all returns.
+	results []tval
+	// sinks maps an input slot to the shortest path by which its taint
+	// reaches a sink.
+	sinks map[int]*sinkHop
+}
+
+// taintFinding is one unsanitized source→sink flow.
+type taintFinding struct {
+	pos token.Position
+	src *taintSource
+	hop *sinkHop
+}
+
+// taintConfig declares the policy: sources, sinks, sanitizers and
+// declassification points.  All predicates receive Origin-normalized
+// *types.Func values.
+type taintConfig struct {
+	// sink classifies f as a data sink, returning its display name and
+	// whether it is a formatting/trace sink (whose directly secret-typed
+	// arguments belong to secretlog).
+	sink func(f *types.Func) (name string, formatting bool, ok bool)
+	// sanitizer reports functions whose results are clean regardless of
+	// argument taint (the commutative encryption f_e, the oracle hash,
+	// leakage.* declassification).
+	sanitizer func(f *types.Func) bool
+	// sourceCall classifies calls whose results are raw secret
+	// material (Key.Exponent, Scalar.Big, …).
+	sourceCall func(f *types.Func) string
+	// sourceParams returns, for a function, the parameter names seeded
+	// as concrete sources with their descriptions (raw protocol
+	// inputs), or nil.
+	sourceParams func(f *types.Func) map[string]string
+	// declassifiedResults reports functions whose results are the
+	// protocol's permitted output: callers receive them clean.
+	declassifiedResults func(f *types.Func) bool
+	// benign reports external functions whose results never carry
+	// argument taint (size/kind accessors).
+	benign func(f *types.Func) bool
+}
+
+// taintEngine holds the module-wide analysis state.
+type taintEngine struct {
+	cfg   *taintConfig
+	graph *callGraph
+	sums  map[*funcDef]*taintSummary
+	// fieldTaint is the module-wide field relation: fields observed to
+	// hold a concretely tainted value, with the first source.
+	fieldTaint map[*types.Var]*taintSource
+	// globalTaint tracks package-level variables the same way.
+	globalTaint map[types.Object]*taintSource
+	findings    []taintFinding
+	reported    map[string]bool
+	changed     bool
+}
+
+// runTaint builds the call graph over pkgs, iterates summaries to a
+// global fixpoint, and collects findings.
+func runTaint(pkgs []*Package, cfg *taintConfig) *taintEngine {
+	e := &taintEngine{
+		cfg:         cfg,
+		graph:       buildCallGraph(pkgs),
+		sums:        make(map[*funcDef]*taintSummary),
+		fieldTaint:  make(map[*types.Var]*taintSource),
+		globalTaint: make(map[types.Object]*taintSource),
+		reported:    make(map[string]bool),
+	}
+	comps := e.graph.sccs()
+	// Outer iterations re-run the callee-first pass until the global
+	// field/variable relations stop growing (they feed back into
+	// every function); inner iterations settle each component's
+	// mutual recursion.
+	for pass := 0; pass < 8; pass++ {
+		e.changed = false
+		for _, comp := range comps {
+			for iter := 0; iter < 8; iter++ {
+				before := e.changed
+				e.changed = false
+				for _, def := range comp {
+					e.analyze(def, false)
+				}
+				compChanged := e.changed
+				e.changed = before || compChanged
+				if !compChanged {
+					break
+				}
+			}
+		}
+		if !e.changed {
+			break
+		}
+	}
+	for _, def := range e.graph.defs {
+		e.analyze(def, true)
+	}
+	return e
+}
+
+// summary returns (creating) the summary for def.
+func (e *taintEngine) summary(def *funcDef) *taintSummary {
+	s, ok := e.sums[def]
+	if !ok {
+		s = &taintSummary{
+			results: make([]tval, def.sig.Results().Len()),
+			sinks:   make(map[int]*sinkHop),
+		}
+		e.sums[def] = s
+	}
+	return s
+}
+
+// mergeSink records that slot reaches a sink via hop, keeping the
+// shortest path.
+func (e *taintEngine) mergeSink(sum *taintSummary, slot int, hop *sinkHop) {
+	if cur, ok := sum.sinks[slot]; ok && cur.depth <= hop.depth {
+		return
+	}
+	sum.sinks[slot] = hop
+	e.changed = true
+}
+
+// mergeResult folds tv into result i of sum.
+func (e *taintEngine) mergeResult(sum *taintSummary, i int, tv tval) {
+	if i < 0 || i >= len(sum.results) {
+		return
+	}
+	cur := sum.results[i]
+	merged := cur.or(tv)
+	if merged.slots != cur.slots || (cur.src == nil && merged.src != nil) {
+		sum.results[i] = merged
+		e.changed = true
+	}
+}
+
+// markField records a concretely tainted store into a struct field.
+// Type-only sources are skipped: the field's own type re-derives them
+// at every read.
+func (e *taintEngine) markField(v *types.Var, src *taintSource) {
+	if src == nil || src.typeOnly {
+		return
+	}
+	if _, ok := e.fieldTaint[v]; !ok {
+		e.fieldTaint[v] = src
+		e.changed = true
+	}
+}
+
+func (e *taintEngine) markGlobal(obj types.Object, src *taintSource) {
+	if src == nil || src.typeOnly {
+		return
+	}
+	if _, ok := e.globalTaint[obj]; !ok {
+		e.globalTaint[obj] = src
+		e.changed = true
+	}
+}
+
+// analyze runs the local transfer function over def's body, updating
+// its summary and the global relations; with record set it also emits
+// findings (called once, after the fixpoint).
+func (e *taintEngine) analyze(def *funcDef, record bool) {
+	fe := &funcEval{
+		eng:    e,
+		def:    def,
+		sum:    e.summary(def),
+		locals: make(map[types.Object]tval),
+		record: record,
+	}
+	fe.seed()
+	// Two local passes: the second lets a use that lexically precedes
+	// its tainting assignment (loops, closures invoked after
+	// definition) observe the taint.
+	fe.walkBody()
+	fe.walkBody()
+}
+
+// funcEval is the per-function abstract interpreter.
+type funcEval struct {
+	eng    *taintEngine
+	def    *funcDef
+	sum    *taintSummary
+	locals map[types.Object]tval
+	record bool
+}
+
+// seed installs the input-slot bindings: receiver, then parameters.
+// Declared raw-input parameters additionally carry a concrete source.
+func (fe *funcEval) seed() {
+	srcParams := fe.eng.cfg.sourceParams(fe.def.fn.Origin())
+	slot := 0
+	bind := func(name *ast.Ident) {
+		if slot >= maxTaintSlots {
+			return
+		}
+		tv := tval{slots: 1 << slot}
+		if name != nil && name.Name != "_" {
+			if desc, ok := srcParams[name.Name]; ok {
+				tv.src = &taintSource{desc: desc, pos: fe.pos(name.Pos())}
+			}
+			if obj := fe.def.pkg.Info.Defs[name]; obj != nil {
+				fe.locals[obj] = tv
+			}
+		}
+		slot++
+	}
+	if fe.def.decl.Recv != nil && len(fe.def.decl.Recv.List) == 1 {
+		f := fe.def.decl.Recv.List[0]
+		if len(f.Names) == 1 {
+			bind(f.Names[0])
+		} else {
+			bind(nil)
+		}
+	} else if fe.def.sig.Recv() != nil {
+		slot++
+	}
+	if fe.def.decl.Type.Params != nil {
+		for _, f := range fe.def.decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				bind(nil)
+				continue
+			}
+			for _, name := range f.Names {
+				bind(name)
+			}
+		}
+	}
+}
+
+func (fe *funcEval) pos(p token.Pos) token.Position {
+	return fe.def.pkg.Fset.Position(p)
+}
+
+// walkBody interprets the body in source order.
+func (fe *funcEval) walkBody() {
+	ast.Inspect(fe.def.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fe.checkCall(n)
+		case *ast.AssignStmt:
+			fe.assignStmt(n)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					fe.assignList(identExprs(vs.Names), vs.Values)
+				}
+			}
+		case *ast.RangeStmt:
+			tv := fe.eval(n.X)
+			if tv.tainted() {
+				if n.Key != nil {
+					fe.assignTo(n.Key, tv, false)
+				}
+				if n.Value != nil {
+					fe.assignTo(n.Value, tv, false)
+				}
+			}
+		case *ast.SendStmt:
+			if tv := fe.eval(n.Value); tv.tainted() {
+				fe.assignTo(n.Chan, tv, true)
+			}
+		case *ast.ReturnStmt:
+			fe.returnStmt(n)
+		}
+		return true
+	})
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+func (fe *funcEval) assignStmt(n *ast.AssignStmt) {
+	// Compound assignments (+=, |=, …) merge rather than rebind.
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			if tv := fe.eval(n.Rhs[0]); tv.tainted() {
+				fe.assignTo(n.Lhs[0], tv, true)
+			}
+		}
+		return
+	}
+	fe.assignList(n.Lhs, n.Rhs)
+}
+
+func (fe *funcEval) assignList(lhs, rhs []ast.Expr) {
+	switch {
+	case len(rhs) == 0:
+		return
+	case len(lhs) == len(rhs):
+		for i := range lhs {
+			fe.assignTo(lhs[i], fe.eval(rhs[i]), false)
+		}
+	case len(rhs) == 1:
+		tvs := fe.evalMulti(rhs[0], len(lhs))
+		for i := range lhs {
+			fe.assignTo(lhs[i], tvs[i], false)
+		}
+	}
+}
+
+// assignTo writes tv into an lvalue.  merge preserves the existing
+// taint (used for element/pointee/channel writes, which never clear
+// the base); a plain rebind replaces it, so reassigning a clean value
+// clears a local.
+func (fe *funcEval) assignTo(lhs ast.Expr, tv tval, merge bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := fe.def.pkg.Info.Defs[l]
+		if obj == nil {
+			obj = fe.def.pkg.Info.Uses[l]
+		}
+		if obj == nil {
+			return
+		}
+		if isPackageLevel(obj) {
+			fe.eng.markGlobal(obj, tv.src)
+			return
+		}
+		if merge {
+			tv = fe.locals[obj].or(tv)
+		}
+		fe.locals[obj] = tv
+	case *ast.SelectorExpr:
+		if sel, ok := fe.def.pkg.Info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				fe.eng.markField(v, tv.src)
+			}
+			return
+		}
+		// Qualified package identifier: a write to another package's
+		// variable.
+		if obj := fe.def.pkg.Info.Uses[l.Sel]; obj != nil && isPackageLevel(obj) {
+			fe.eng.markGlobal(obj, tv.src)
+		}
+	case *ast.IndexExpr:
+		fe.assignTo(l.X, tv, true)
+	case *ast.StarExpr:
+		fe.assignTo(l.X, tv, true)
+	}
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+func (fe *funcEval) returnStmt(n *ast.ReturnStmt) {
+	nres := fe.def.sig.Results().Len()
+	if nres == 0 {
+		return
+	}
+	switch {
+	case len(n.Results) == 0:
+		// Naked return: named results are locals.
+		res := fe.def.sig.Results()
+		for i := 0; i < res.Len(); i++ {
+			if v := res.At(i); v.Name() != "" {
+				// Resolve through the declaration idents is not
+				// possible here; the signature vars ARE the named
+				// result objects for a FuncDecl.
+				fe.eng.mergeResult(fe.sum, i, fe.locals[v])
+			}
+		}
+	case len(n.Results) == nres:
+		for i, r := range n.Results {
+			fe.eng.mergeResult(fe.sum, i, fe.eval(r))
+		}
+	case len(n.Results) == 1:
+		tvs := fe.evalMulti(n.Results[0], nres)
+		for i := range tvs {
+			fe.eng.mergeResult(fe.sum, i, tvs[i])
+		}
+	}
+}
+
+// checkCall inspects one call site for sink and summary-sink hits and
+// handles direct function-literal invocation (argument → parameter
+// binding, covering the `go func(x …) {…}(secret)` goroutine shape).
+func (fe *funcEval) checkCall(call *ast.CallExpr) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		fe.bindLiteralCall(lit, call)
+		return
+	}
+	f := calleeFunc(fe.def.pkg, call)
+	if f == nil {
+		return
+	}
+	f = f.Origin()
+	if name, formatting, ok := fe.eng.cfg.sink(f); ok {
+		for i, arg := range call.Args {
+			if formatting && fe.secretStaticType(arg) {
+				continue // secretlog's domain: directly secret-typed formatting args
+			}
+			tv := fe.eval(arg)
+			if !tv.tainted() {
+				continue
+			}
+			hop := &sinkHop{sink: name, pos: fe.pos(call.Pos()), depth: 1}
+			if tv.src != nil {
+				fe.report(arg.Pos(), tv.src, hop)
+			}
+			for _, slot := range slotsOf(tv.slots) {
+				fe.eng.mergeSink(fe.sum, slot, hop)
+			}
+			_ = i
+		}
+		return
+	}
+	def := fe.eng.graph.lookup(f)
+	if def == nil {
+		return
+	}
+	calleeSum := fe.eng.sums[def]
+	if calleeSum == nil || len(calleeSum.sinks) == 0 {
+		return
+	}
+	exprs := fe.calleeSlotExprs(def, call)
+	for slot, hop := range calleeSum.sinks {
+		if slot >= len(exprs) || exprs[slot] == nil {
+			continue
+		}
+		tv := fe.eval(exprs[slot])
+		if !tv.tainted() {
+			continue
+		}
+		here := &sinkHop{
+			sink:       hop.sink,
+			pos:        fe.pos(call.Pos()),
+			callee:     def,
+			calleeSlot: slot,
+			depth:      hop.depth + 1,
+		}
+		if tv.src != nil {
+			fe.report(exprs[slot].Pos(), tv.src, here)
+		}
+		for _, s := range slotsOf(tv.slots) {
+			fe.eng.mergeSink(fe.sum, s, here)
+		}
+	}
+}
+
+// bindLiteralCall merges call arguments into the literal's parameter
+// objects; the literal's body is interpreted by the same walk, so a
+// second local pass observes the bindings.
+func (fe *funcEval) bindLiteralCall(lit *ast.FuncLit, call *ast.CallExpr) {
+	if lit.Type.Params == nil {
+		return
+	}
+	var params []*ast.Ident
+	for _, f := range lit.Type.Params.List {
+		if len(f.Names) == 0 {
+			params = append(params, nil)
+			continue
+		}
+		params = append(params, f.Names...)
+	}
+	for i, arg := range call.Args {
+		if i >= len(params) || params[i] == nil || params[i].Name == "_" {
+			continue
+		}
+		tv := fe.eval(arg)
+		if !tv.tainted() {
+			continue
+		}
+		if obj := fe.def.pkg.Info.Defs[params[i]]; obj != nil {
+			fe.locals[obj] = fe.locals[obj].or(tv)
+		}
+	}
+}
+
+// calleeSlotExprs maps the callee's input slots to this call site's
+// argument expressions (receiver first; variadic arguments share the
+// last slot, keeping the first).
+func (fe *funcEval) calleeSlotExprs(def *funcDef, call *ast.CallExpr) []ast.Expr {
+	base := 0
+	var exprs []ast.Expr
+	if def.sig.Recv() != nil {
+		base = 1
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			exprs = append(exprs, sel.X)
+		} else {
+			exprs = append(exprs, nil)
+		}
+	}
+	nparams := def.sig.Params().Len()
+	for i := 0; i < nparams; i++ {
+		if i < len(call.Args) {
+			exprs = append(exprs, call.Args[i])
+		} else {
+			exprs = append(exprs, nil)
+		}
+	}
+	// Extra variadic arguments: fold the first tainted one into the
+	// last slot by replacing a nil; simpler, check them all below.
+	if nparams > 0 && len(call.Args) > nparams {
+		last := base + nparams - 1
+		for _, extra := range call.Args[nparams:] {
+			if exprs[last] == nil || !fe.eval(exprs[last]).tainted() {
+				exprs[last] = extra
+			}
+		}
+	}
+	_ = base
+	return exprs
+}
+
+// report emits one finding (deduplicated on position, source and sink).
+func (fe *funcEval) report(pos token.Pos, src *taintSource, hop *sinkHop) {
+	if !fe.record {
+		return
+	}
+	p := fe.pos(pos)
+	key := p.String() + "|" + src.desc + "|" + hop.sink
+	if fe.eng.reported[key] {
+		return
+	}
+	fe.eng.reported[key] = true
+	fe.eng.findings = append(fe.eng.findings, taintFinding{pos: p, src: src, hop: hop})
+}
+
+// secretStaticType reports whether e's static type embeds a secret
+// type (the condition under which secretlog owns the site).
+func (fe *funcEval) secretStaticType(e ast.Expr) bool {
+	t := typeOf(fe.def.pkg, e)
+	return t != nil && secretTypeName(t) != ""
+}
+
+// eval computes the abstract value of e, overlaying the type-carried
+// source on every secret-typed expression.
+func (fe *funcEval) eval(e ast.Expr) tval {
+	tv := fe.evalValue(e)
+	if tv.src == nil {
+		if t := typeOf(fe.def.pkg, e); t != nil {
+			if name := secretTypeName(t); name != "" {
+				tv.src = &taintSource{
+					desc:     "a value of (or containing) " + name,
+					pos:      fe.pos(e.Pos()),
+					typeOnly: true,
+				}
+			}
+		}
+	}
+	return tv
+}
+
+func (fe *funcEval) evalValue(e ast.Expr) tval {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return fe.evalValue(e.X)
+	case *ast.Ident:
+		obj := exprObj(fe.def.pkg, e)
+		if obj == nil {
+			return tval{}
+		}
+		if tv, ok := fe.locals[obj]; ok {
+			return tv
+		}
+		if src, ok := fe.eng.globalTaint[obj]; ok {
+			return tval{src: src}
+		}
+		return tval{}
+	case *ast.SelectorExpr:
+		if sel, ok := fe.def.pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			var tv tval
+			if v, ok := sel.Obj().(*types.Var); ok {
+				if src, ok := fe.eng.fieldTaint[v]; ok {
+					tv.src = src
+				}
+			}
+			// A concretely (non-type) tainted struct value taints its
+			// data-bearing fields; slot-relative and type-carried struct
+			// taint does not — the field's own type decides (field
+			// sensitivity) — and numeric/bool fields stay clean: sizes,
+			// versions and flags are the paper's permitted disclosures.
+			base := fe.evalValue(e.X)
+			if tv.src == nil && base.src != nil && !base.src.typeOnly &&
+				!permittedInfoType(sel.Obj().Type()) {
+				tv.src = base.src
+			}
+			return tv
+		}
+		// Qualified identifier (pkg.Var) or method value.
+		if obj := fe.def.pkg.Info.Uses[e.Sel]; obj != nil {
+			if src, ok := fe.eng.globalTaint[obj]; ok {
+				return tval{src: src}
+			}
+		}
+		return tval{}
+	case *ast.CallExpr:
+		return fe.evalCall(e, 1)[0]
+	case *ast.IndexExpr:
+		return fe.evalValue(e.X)
+	case *ast.IndexListExpr:
+		return fe.evalValue(e.X)
+	case *ast.SliceExpr:
+		return fe.evalValue(e.X)
+	case *ast.StarExpr:
+		return fe.evalValue(e.X)
+	case *ast.UnaryExpr:
+		return fe.evalValue(e.X) // includes &x and <-ch
+	case *ast.BinaryExpr:
+		return fe.evalValue(e.X).or(fe.evalValue(e.Y))
+	case *ast.TypeAssertExpr:
+		return fe.evalValue(e.X)
+	case *ast.CompositeLit:
+		var tv tval
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				tv = tv.or(fe.evalValue(kv.Key)).or(fe.evalValue(kv.Value))
+			} else {
+				tv = tv.or(fe.evalValue(elt))
+			}
+		}
+		return tv
+	}
+	return tval{}
+}
+
+// evalMulti evaluates a single expression used in an n-value context
+// (multi-result call, v-ok assertion, map read, channel receive).
+func (fe *funcEval) evalMulti(e ast.Expr, n int) []tval {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		return fe.evalCall(call, n)
+	}
+	out := make([]tval, n)
+	out[0] = fe.eval(e) // x.(T), m[k], <-ch: value first, bool/ok clean
+	return out
+}
+
+// evalCall computes the call's result values in an n-value context.
+func (fe *funcEval) evalCall(call *ast.CallExpr, n int) []tval {
+	out := make([]tval, n)
+	overlay := func() []tval {
+		if n == 1 {
+			tv := out[0]
+			if tv.src == nil {
+				if t := typeOf(fe.def.pkg, call); t != nil {
+					if name := secretTypeName(t); name != "" {
+						tv.src = &taintSource{
+							desc:     "a value of (or containing) " + name,
+							pos:      fe.pos(call.Pos()),
+							typeOnly: true,
+						}
+						out[0] = tv
+					}
+				}
+			}
+		}
+		return out
+	}
+	argUnion := func() tval {
+		var tv tval
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isSel := fe.def.pkg.Info.Selections[sel]; isSel {
+				tv = tv.or(fe.evalValue(sel.X)) // method receiver
+			}
+		}
+		for _, a := range call.Args {
+			tv = tv.or(fe.evalValue(a))
+		}
+		tv.slots &= (1 << maxTaintSlots) - 1
+		return tv
+	}
+
+	// Type conversion: T(x) propagates x.
+	if tvand, ok := fe.def.pkg.Info.Types[call.Fun]; ok && tvand.IsType() {
+		if len(call.Args) == 1 {
+			out[0] = fe.evalValue(call.Args[0])
+		}
+		return overlay()
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := fe.def.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "copy", "min", "max":
+				out[0] = argUnion()
+			}
+			return out // len, cap, make, new, …: clean (sizes are permitted info)
+		}
+	}
+	f := calleeFunc(fe.def.pkg, call)
+	if f == nil {
+		// Indirect call through a function value: propagate argument
+		// taint to the results (no summary available).
+		out[0] = argUnion()
+		return overlay()
+	}
+	f = f.Origin()
+	cfg := fe.eng.cfg
+	switch {
+	case cfg.sanitizer(f):
+		return out
+	case cfg.declassifiedResults(f):
+		return out
+	case cfg.benign(f):
+		return out
+	}
+	if desc := cfg.sourceCall(f); desc != "" {
+		out[0] = tval{src: &taintSource{desc: desc, pos: fe.pos(call.Pos())}}
+		return out
+	}
+	if def := fe.eng.graph.lookup(f); def != nil {
+		sum := fe.eng.sums[def]
+		if sum == nil {
+			return overlay()
+		}
+		exprs := fe.calleeSlotExprs(def, call)
+		for i := 0; i < len(sum.results) && i < n; i++ {
+			r := sum.results[i]
+			var tv tval
+			if r.src != nil {
+				tv.src = r.src
+			}
+			for _, slot := range slotsOf(r.slots) {
+				if slot < len(exprs) && exprs[slot] != nil {
+					tv = tv.or(fe.eval(exprs[slot]))
+				}
+			}
+			out[i] = tv
+		}
+		return overlay()
+	}
+	// External (stdlib / interface) call: taint flows through.
+	u := argUnion()
+	for i := range out {
+		out[i] = u
+	}
+	return overlay()
+}
+
+// permittedInfoType reports whether t can only carry sizes, versions,
+// counters or flags — numeric and boolean values are disclosures the
+// paper permits by design (|V_R|, |V_S|, version numbers), so
+// whole-struct taint does not flow into such a field read.
+func permittedInfoType(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsBoolean|types.IsNumeric) != 0
+}
+
+// slotsOf expands a slotSet into indices.
+func slotsOf(s slotSet) []int {
+	var out []int
+	for i := 0; s != 0 && i < maxTaintSlots; i++ {
+		if s&(1<<i) != 0 {
+			out = append(out, i)
+			s &^= 1 << i
+		}
+	}
+	return out
+}

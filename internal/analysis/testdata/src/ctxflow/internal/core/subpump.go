@@ -1,0 +1,57 @@
+// The PR 9 standing-query subscriber shape: a pump goroutine that
+// forwards received SubUpdates to the serve loop over a channel.  The
+// pump must observe cancellation — a subscriber whose peer goes silent
+// would otherwise pin the goroutine (and its Conn read) forever.
+package core
+
+import "context"
+
+type subMsg struct {
+	payload []byte
+	err     error
+}
+
+type subConn interface {
+	Recv(ctx context.Context) ([]byte, error)
+}
+
+// subPumpBad is the broken shape: the pump loops on a blocking Recv
+// with no ctx and no done channel, so SubEnd from the peer is the only
+// way it ever exits.
+func subPumpBad(conn func() ([]byte, error), msgs chan subMsg) {
+	go func() { // want `ctxflow: goroutine does not observe cancellation`
+		for {
+			b, err := conn()
+			msgs <- subMsg{payload: b, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// subPump is the PR 9 shape as shipped: the pump passes ctx into Recv
+// and quits when the subscription is cancelled.
+func subPump(ctx context.Context, conn subConn, msgs chan subMsg) {
+	go func() {
+		defer close(msgs)
+		for {
+			b, err := conn.Recv(ctx)
+			select {
+			case msgs <- subMsg{payload: b, err: err}:
+			case <-ctx.Done():
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// subServeDetached drops cancellation at the serve-loop boundary: the
+// pump gets a fresh Background even though the subscriber's ctx is
+// right there.
+func subServeDetached(ctx context.Context, conn subConn, msgs chan subMsg) {
+	subPump(context.Background(), conn, msgs) // want `ctxflow: context.Background\(\) passed to subPump while the caller receives a ctx`
+}

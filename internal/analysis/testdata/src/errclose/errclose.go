@@ -36,3 +36,25 @@ func suppressed(conn transport.Conn) {
 func outOfScope(f *os.File) {
 	f.Close() // os.File is not a wire/transport type: out of scope
 }
+
+// subAckPump is the PR 9 standing-query shape: the serve loop
+// acknowledges each SubUpdate and tears the conn down when the
+// subscription ends.  The ack Send's error decides whether the sender
+// keeps pushing, so dropping it silently desynchronizes the protocol.
+func subAckPump(ctx context.Context, conn transport.Conn, updates <-chan []byte) {
+	for range updates {
+		conn.Send(ctx, []byte("ack")) // want `errclose: unchecked error from \(Conn\)\.Send`
+	}
+	defer conn.Close() // want `errclose: deferred error from \(Conn\)\.Close`
+}
+
+// subAckPumpChecked is the same loop with both errors handled: the ack
+// failure ends the subscription, the close failure is reported.
+func subAckPumpChecked(ctx context.Context, conn transport.Conn, updates <-chan []byte) error {
+	for range updates {
+		if err := conn.Send(ctx, []byte("ack")); err != nil {
+			break
+		}
+	}
+	return conn.Close()
+}

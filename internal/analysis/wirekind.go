@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireKind enforces dispatch exhaustiveness over the wire vocabulary:
+// every switch on a wire.Kind tag and every type switch on the
+// wire.Message interface must name every message kind the protocol
+// defines — including the standing-query kinds (Subscribe, SubUpdate,
+// SubAck, SubEnd) that arrived after the original dispatch sites were
+// written.
+//
+// A default clause does not excuse a missing case: defaults are the
+// malformed-input error path, and routing a well-formed kind into it is
+// exactly the silent-drop bug this analyzer exists to catch (a peer
+// that ignores a SubEnd leaks a subscription forever; one that ignores
+// an Error message hangs).  A dispatch site that deliberately handles a
+// subset — because an upstream filter already constrained the kinds —
+// records that rationale with a lint:ignore directive, which keeps the
+// filtering assumption reviewable next to the switch it licenses.
+//
+// The kind and message vocabularies are read from the wire package's
+// own scope (every Kind constant except KindInvalid; every exported
+// named type implementing Message), so adding a wire message
+// automatically re-checks every dispatch switch in the module.
+var WireKind = &Analyzer{
+	Name: "wirekind",
+	Doc: "every switch over wire.Kind and every type switch over " +
+		"wire.Message must handle every defined message kind (standing-query " +
+		"kinds included); defaults are for malformed input, not for silently " +
+		"dropping well-formed kinds",
+	Run: runWireKind,
+}
+
+func runWireKind(pass *Pass) {
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SwitchStmt:
+			checkKindSwitch(pass, n)
+		case *ast.TypeSwitchStmt:
+			checkMessageSwitch(pass, n)
+		}
+		return true
+	})
+}
+
+// wireKindTag reports whether t is the wire package's Kind type,
+// returning its package scope.
+func wireKindTag(t types.Type) (*types.Scope, bool) {
+	if t == nil {
+		return nil, false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil || obj.Pkg().Path() != wirePath {
+		return nil, false
+	}
+	return obj.Pkg().Scope(), true
+}
+
+// checkKindSwitch verifies a value switch whose tag is a wire.Kind
+// against the full constant set of the wire package.
+func checkKindSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tagType := typeOf(pass.Pkg, sw.Tag)
+	scope, ok := wireKindTag(tagType)
+	if !ok {
+		return
+	}
+	// The required vocabulary: every Kind constant except the explicit
+	// non-kind KindInvalid.
+	required := make(map[types.Object]string)
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || name == "KindInvalid" {
+			continue
+		}
+		if _, isKind := wireKindTag(c.Type()); isKind {
+			required[c] = name
+		}
+	}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range clause.List {
+			var obj types.Object
+			switch e := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				obj = pass.Pkg.Info.Uses[e]
+			case *ast.SelectorExpr: // qualified: wire.KindHeader
+				obj = pass.Pkg.Info.Uses[e.Sel]
+			}
+			if obj != nil {
+				delete(required, obj)
+			}
+		}
+	}
+	if len(required) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch on wire.Kind does not handle: %s — every dispatch must cover "+
+				"every message kind (or record the upstream filter with lint:ignore)",
+			joinSortedValues(required))
+	}
+}
+
+// checkMessageSwitch verifies a type switch over the wire.Message
+// interface against every wire type implementing it.
+func checkMessageSwitch(pass *Pass, sw *ast.TypeSwitchStmt) {
+	var assert *ast.TypeAssertExpr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		assert, _ = s.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assert, _ = s.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if assert == nil {
+		return
+	}
+	t := typeOf(pass.Pkg, assert.X)
+	if t == nil {
+		return
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "Message" || obj.Pkg() == nil || obj.Pkg().Path() != wirePath {
+		return
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	// The required vocabulary: every exported named wire type whose
+	// value or pointer form implements Message.
+	scope := obj.Pkg().Scope()
+	required := make(map[types.Object]string)
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn == obj {
+			continue
+		}
+		nt, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if types.Implements(nt, iface) || types.Implements(types.NewPointer(nt), iface) {
+			required[tn] = "wire." + name
+		}
+	}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range clause.List {
+			ct := typeOf(pass.Pkg, e)
+			if ct == nil {
+				continue
+			}
+			if nt, ok := types.Unalias(deref(ct)).(*types.Named); ok {
+				delete(required, nt.Obj())
+			}
+		}
+	}
+	if len(required) > 0 {
+		pass.Reportf(sw.Pos(),
+			"type switch on wire.Message does not handle: %s — every dispatch must "+
+				"cover every message kind (or record the upstream filter with lint:ignore)",
+			joinSortedValues(required))
+	}
+}
+
+// joinSortedValues renders a set's display names in stable order.
+func joinSortedValues[K comparable](m map[K]string) string {
+	names := make([]string, 0, len(m))
+	for _, v := range m {
+		names = append(names, v)
+	}
+	// Insertion sort: the sets are tiny.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}

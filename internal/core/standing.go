@@ -304,6 +304,7 @@ func (s *session) serveSubscription(ctx context.Context, cs *commutative.CachedS
 			if r.err != nil {
 				return subRecvErr(ctx, r.err)
 			}
+			// lint:ignore wirekind r.m comes from recvAny(KindSubAck, KindSubEnd) — the pump already rejects every other kind with ErrKindMismatch, so only the two subscription replies can reach this switch
 			switch am := r.m.(type) {
 			case wire.SubAck:
 				if am.Version != d.To {
