@@ -1,0 +1,20 @@
+package leakflow
+
+import (
+	"context"
+	"math/big"
+
+	"minshare/internal/commutative"
+	"minshare/internal/transport"
+)
+
+// setter-laundered field store: the concrete source only reaches the
+// field through a helper's parameter.
+func store(v *vault, x *big.Int) {
+	v.exp = x
+}
+
+func setterLaunderedFieldLeak(ctx context.Context, v *vault, k *commutative.Key, conn transport.Conn) {
+	store(v, k.Exponent())
+	_ = conn.Send(ctx, v.exp.Bytes()) // want `leakflow: unsanitized flow`
+}
